@@ -1,0 +1,23 @@
+//! `cargo bench --bench figures` — regenerate every table and figure of
+//! the paper at the current effort level (`ROBUSTQ_EFFORT=full` for
+//! smoother curves) and print them in paper order.
+//!
+//! This is a custom harness (not Criterion): figures report virtual time
+//! from the co-processor simulator, so statistical repetition of
+//! wall-clock measurements would add nothing — every run is
+//! deterministic.
+
+use robustq_bench::{all_figures, Effort};
+
+fn main() {
+    let effort = Effort::from_env();
+    let started = std::time::Instant::now();
+    for table in all_figures(effort) {
+        println!("{table}");
+    }
+    eprintln!(
+        "regenerated all figures in {:.1}s (effort {:?})",
+        started.elapsed().as_secs_f64(),
+        effort
+    );
+}

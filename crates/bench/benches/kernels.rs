@@ -1,0 +1,105 @@
+//! Criterion micro-benchmarks of the operator kernels (real wall-clock
+//! performance of the host-side kernels the engine executes).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use robustq_engine::expr::Expr;
+use robustq_engine::ops;
+use robustq_engine::plan::{AggSpec, JoinKind, SortKey};
+use robustq_engine::predicate::Predicate;
+use robustq_engine::Chunk;
+use robustq_storage::gen::ssb::SsbGenerator;
+use robustq_storage::Database;
+use std::hint::black_box;
+
+fn db() -> Database {
+    SsbGenerator::new(1).with_rows_per_sf(100_000).generate()
+}
+
+fn lineorder_chunk(db: &Database, cols: &[&str]) -> Chunk {
+    let names: Vec<String> = cols.iter().map(|s| s.to_string()).collect();
+    Chunk::from_table(db.table("lineorder").unwrap(), &names).unwrap()
+}
+
+fn bench_selection(c: &mut Criterion) {
+    let db = db();
+    let chunk = lineorder_chunk(&db, &["lo_discount", "lo_quantity"]);
+    let pred = Predicate::and([
+        Predicate::between("lo_discount", 4, 6),
+        Predicate::between("lo_quantity", 26, 35),
+    ]);
+    c.bench_function("selection/100k", |b| {
+        b.iter(|| ops::select::select(black_box(&chunk), black_box(&pred)).unwrap())
+    });
+}
+
+fn bench_hash_join(c: &mut Criterion) {
+    let db = db();
+    let probe = lineorder_chunk(&db, &["lo_custkey", "lo_revenue"]);
+    let build =
+        Chunk::from_table(db.table("customer").unwrap(), &["c_custkey".into()]).unwrap();
+    let mut g = c.benchmark_group("hash_join");
+    for kind in [JoinKind::Inner, JoinKind::Semi, JoinKind::Anti] {
+        g.bench_with_input(
+            BenchmarkId::from_parameter(format!("{kind:?}")),
+            &kind,
+            |b, &kind| {
+                b.iter(|| {
+                    ops::join::hash_join(
+                        black_box(&build),
+                        black_box(&probe),
+                        "c_custkey",
+                        "lo_custkey",
+                        kind,
+                    )
+                    .unwrap()
+                })
+            },
+        );
+    }
+    g.finish();
+}
+
+fn bench_aggregation(c: &mut Criterion) {
+    let db = db();
+    let chunk = lineorder_chunk(&db, &["lo_orderdate", "lo_revenue"]);
+    let aggs = vec![AggSpec::sum(Expr::col("lo_revenue"), "rev")];
+    c.bench_function("aggregation/group_by_date", |b| {
+        b.iter(|| {
+            ops::agg::aggregate(
+                black_box(&chunk),
+                black_box(&["lo_orderdate".to_string()]),
+                black_box(&aggs),
+            )
+            .unwrap()
+        })
+    });
+}
+
+fn bench_sort_topk(c: &mut Criterion) {
+    let db = db();
+    let chunk = lineorder_chunk(&db, &["lo_revenue"]);
+    c.bench_function("sort/top100", |b| {
+        b.iter(|| {
+            ops::sort::sort(black_box(&chunk), &[SortKey::desc("lo_revenue")], Some(100))
+                .unwrap()
+        })
+    });
+}
+
+fn bench_expression(c: &mut Criterion) {
+    let db = db();
+    let chunk = lineorder_chunk(&db, &["lo_extendedprice", "lo_discount"]);
+    let expr = Expr::col("lo_extendedprice")
+        * (Expr::lit(1.0) - Expr::col("lo_discount") / Expr::lit(100.0));
+    c.bench_function("expression/revenue", |b| {
+        b.iter(|| expr.evaluate_f64(black_box(&chunk)).unwrap())
+    });
+}
+
+criterion_group! {
+    name = kernels;
+    config = Criterion::default().sample_size(20);
+    targets = bench_selection, bench_hash_join, bench_aggregation,
+        bench_sort_topk, bench_expression
+}
+criterion_main!(kernels);

@@ -1,0 +1,53 @@
+//! Regenerate the paper's figures.
+//!
+//! ```text
+//! cargo run -p robustq-bench --release --bin figures            # all figures
+//! cargo run -p robustq-bench --release --bin figures -- fig14   # one figure
+//! cargo run -p robustq-bench --release --bin figures -- --json fig14
+//! ROBUSTQ_EFFORT=full cargo run -p robustq-bench --release --bin figures
+//! ```
+
+use robustq_bench::{all_figures, figure_by_id, Effort, FigTable, FIGURE_IDS};
+
+fn emit(table: &FigTable, json: bool) {
+    if json {
+        println!("{}", table.to_json());
+    } else {
+        println!("{table}");
+    }
+}
+
+fn main() {
+    let effort = Effort::from_env();
+    let mut json = false;
+    let args: Vec<String> = std::env::args()
+        .skip(1)
+        .filter(|a| {
+            if a == "--json" {
+                json = true;
+                false
+            } else {
+                true
+            }
+        })
+        .collect();
+    if args.is_empty() {
+        for table in all_figures(effort) {
+            emit(&table, json);
+        }
+        return;
+    }
+    let mut failed = false;
+    for id in &args {
+        match figure_by_id(id, effort) {
+            Some(table) => emit(&table, json),
+            None => {
+                eprintln!("unknown figure {id:?}; known: {}", FIGURE_IDS.join(", "));
+                failed = true;
+            }
+        }
+    }
+    if failed {
+        std::process::exit(2);
+    }
+}

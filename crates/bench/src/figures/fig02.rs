@@ -1,0 +1,46 @@
+//! Figure 2: execution time of the serial selection workload vs.
+//! co-processor buffer size, operator-driven placement. Performance
+//! degrades by a large factor (paper: 24×) while the working set exceeds
+//! the cache, because LRU evicts exactly the column the next query needs.
+
+use crate::figures::sweeps::{self, entry};
+use crate::machine::Effort;
+use crate::table::{ms, FigTable};
+
+pub fn run(effort: Effort) -> FigTable {
+    let sweep = sweeps::serial_sweep(effort);
+    let mut t = FigTable::new(
+        "fig02",
+        "Serial selection workload: exec time vs GPU buffer size (operator-driven)",
+    )
+    .with_columns(["cache/WS", "cache [KiB]", "CPU Only [ms]", "GPU op-driven [ms]"]);
+    for p in sweep.iter() {
+        t.push_row([
+            format!("{:.2}", p.frac),
+            format!("{}", p.cache_bytes / 1024),
+            ms(entry(&p.entries, "CPU Only").report.metrics.makespan),
+            ms(entry(&p.entries, "GPU Only").report.metrics.makespan),
+        ]);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn thrashing_cliff_exists() {
+        let t = run(Effort::Quick);
+        let gpu = t.column_values("GPU op-driven [ms]");
+        let worst = gpu.first().copied().unwrap();
+        let best = gpu.last().copied().unwrap();
+        assert!(
+            worst / best > 5.0,
+            "cache thrashing must degrade heavily: worst {worst} best {best}"
+        );
+        // Once the working set fits, the GPU beats the CPU.
+        let cpu = t.column_values("CPU Only [ms]");
+        assert!(best < *cpu.last().unwrap());
+    }
+}

@@ -1,0 +1,59 @@
+//! Figure 5: the Figure 2 sweep with data-driven operator placement.
+//! Data-Driven eliminates the thrashing degradation: the co-processor is
+//! only used for columns the placement manager pinned, so execution time
+//! falls smoothly as more of the working set fits.
+
+use crate::figures::sweeps::{self, entry};
+use crate::machine::Effort;
+use crate::table::{ms, FigTable};
+
+pub fn run(effort: Effort) -> FigTable {
+    let sweep = sweeps::serial_sweep(effort);
+    let mut t = FigTable::new(
+        "fig05",
+        "Serial selection workload: data-driven placement avoids thrashing",
+    )
+    .with_columns([
+        "cache/WS",
+        "CPU Only [ms]",
+        "GPU op-driven [ms]",
+        "Data-Driven [ms]",
+        "Data-Driven Chopping [ms]",
+    ]);
+    for p in sweep.iter() {
+        t.push_row([
+            format!("{:.2}", p.frac),
+            ms(entry(&p.entries, "CPU Only").report.metrics.makespan),
+            ms(entry(&p.entries, "GPU Only").report.metrics.makespan),
+            ms(entry(&p.entries, "Data-Driven").report.metrics.makespan),
+            ms(entry(&p.entries, "Data-Driven Chopping").report.metrics.makespan),
+        ]);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn data_driven_never_worse_than_cpu() {
+        let t = run(Effort::Quick);
+        let cpu = t.column_values("CPU Only [ms]");
+        let dd = t.column_values("Data-Driven [ms]");
+        for (c, d) in cpu.iter().zip(&dd) {
+            assert!(d <= &(c * 1.15), "Data-Driven {d} must track CPU {c} or better");
+        }
+        // And it reaches the (fast) optimum once everything is cached.
+        let gpu = t.column_values("GPU op-driven [ms]");
+        assert!((dd.last().unwrap() - gpu.last().unwrap()).abs() < gpu.last().unwrap() * 0.5);
+    }
+
+    #[test]
+    fn data_driven_beats_thrashing_gpu_below_capacity() {
+        let t = run(Effort::Quick);
+        let gpu = t.column_values("GPU op-driven [ms]");
+        let dd = t.column_values("Data-Driven [ms]");
+        assert!(dd[0] < gpu[0] / 3.0, "thrashing avoided: {} vs {}", dd[0], gpu[0]);
+    }
+}

@@ -1,0 +1,52 @@
+//! Figure 12: query chopping — run-time placement plus the per-device
+//! thread pool — achieves near-optimal performance on the parallel
+//! selection workload by bounding concurrent heap use.
+
+use crate::figures::sweeps::{self, entry};
+use crate::machine::Effort;
+use crate::table::{ms, FigTable};
+
+pub fn run(effort: Effort) -> FigTable {
+    let sweep = sweeps::parallel_sweep(effort);
+    let mut t = FigTable::new(
+        "fig12",
+        "Parallel selection workload: chopping is near-optimal",
+    )
+    .with_columns([
+        "users",
+        "CPU Only [ms]",
+        "GPU Only [ms]",
+        "Run-Time Placement [ms]",
+        "Chopping [ms]",
+        "Data-Driven Chopping [ms]",
+    ]);
+    for p in sweep.iter() {
+        t.push_row([
+            format!("{}", p.users),
+            ms(entry(&p.entries, "CPU Only").report.metrics.makespan),
+            ms(entry(&p.entries, "GPU Only").report.metrics.makespan),
+            ms(entry(&p.entries, "Run-Time Placement").report.metrics.makespan),
+            ms(entry(&p.entries, "Chopping").report.metrics.makespan),
+            ms(entry(&p.entries, "Data-Driven Chopping").report.metrics.makespan),
+        ]);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chopping_is_flat_and_beats_gpu_only() {
+        let t = run(Effort::Quick);
+        let gpu = t.column_values("GPU Only [ms]");
+        let chop = t.column_values("Data-Driven Chopping [ms]");
+        assert!(chop.last().unwrap() < gpu.last().unwrap());
+        // Near-flat: the worst point stays within a modest factor of the
+        // best (the ideal system is perfectly flat).
+        let best = chop.iter().cloned().fold(f64::INFINITY, f64::min);
+        let worst = chop.iter().cloned().fold(0.0, f64::max);
+        assert!(worst / best < 2.5, "chopping curve too steep: {best}..{worst}");
+    }
+}

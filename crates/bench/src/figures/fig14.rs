@@ -1,0 +1,64 @@
+//! Figure 14: average workload execution time of the SSBM (a) and the
+//! TPC-H subset (b) while scaling the database. GPU-only falls off once
+//! the working set exceeds the co-processor cache (paper: SF≈15);
+//! Data-Driven Chopping improves performance and is never slower than the
+//! other heuristics.
+
+use crate::figures::sweeps::{self, entry};
+use crate::machine::{Effort, WorkloadKind};
+use crate::table::{ms, FigTable};
+use robustq_core::Strategy;
+
+pub fn run(effort: Effort) -> FigTable {
+    let mut t = FigTable::new(
+        "fig14",
+        "Workload execution time vs scale factor (a: SSBM, b: TPC-H)",
+    )
+    .with_columns([
+        "benchmark",
+        "SF",
+        "CPU Only [ms]",
+        "GPU Only [ms]",
+        "Critical Path [ms]",
+        "Data-Driven [ms]",
+        "Chopping [ms]",
+        "Data-Driven Chopping [ms]",
+    ]);
+    for kind in [WorkloadKind::Ssb, WorkloadKind::Tpch] {
+        let sweep = sweeps::workload_sweep(kind, effort);
+        for p in sweep.iter() {
+            let mut row = vec![kind.name().to_string(), format!("{}", p.sf)];
+            for s in Strategy::PAPER_SIX {
+                row.push(ms(entry(&p.entries, s.name()).report.metrics.makespan));
+            }
+            t.push_row(row);
+        }
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn robustness_properties_hold() {
+        let t = run(Effort::Quick);
+        // At the largest SSB scale factor, GPU-only must fall behind the
+        // CPU, while Data-Driven Chopping stays at-or-better than CPU.
+        let ssb_last = t
+            .rows
+            .iter()
+            .rposition(|r| r[0] == "SSBM")
+            .expect("SSBM rows present");
+        let cpu = t.value(ssb_last, "CPU Only [ms]").unwrap();
+        let gpu = t.value(ssb_last, "GPU Only [ms]").unwrap();
+        let ddc = t.value(ssb_last, "Data-Driven Chopping [ms]").unwrap();
+        assert!(gpu > cpu, "cache thrashing must hurt GPU-only at SF30");
+        assert!(ddc <= cpu * 1.1, "DD-Chopping must never lose to CPU-only");
+        // At SF1 everything fits: GPU-only should win against CPU-only.
+        let cpu0 = t.value(0, "CPU Only [ms]").unwrap();
+        let gpu0 = t.value(0, "GPU Only [ms]").unwrap();
+        assert!(gpu0 < cpu0, "small scale: GPU should accelerate");
+    }
+}

@@ -1,0 +1,51 @@
+//! Figure 15: CPU→GPU data transfer time for the Figure 14 sweep.
+//! Data-Driven combined with Chopping saves the most IO.
+
+use crate::figures::sweeps::{self, entry};
+use crate::machine::{Effort, WorkloadKind};
+use crate::table::{ms, FigTable};
+use robustq_core::Strategy;
+
+pub fn run(effort: Effort) -> FigTable {
+    let mut t = FigTable::new(
+        "fig15",
+        "CPU→GPU transfer time vs scale factor (a: SSBM, b: TPC-H)",
+    )
+    .with_columns([
+        "benchmark",
+        "SF",
+        "CPU Only [ms]",
+        "GPU Only [ms]",
+        "Critical Path [ms]",
+        "Data-Driven [ms]",
+        "Chopping [ms]",
+        "Data-Driven Chopping [ms]",
+    ]);
+    for kind in [WorkloadKind::Ssb, WorkloadKind::Tpch] {
+        let sweep = sweeps::workload_sweep(kind, effort);
+        for p in sweep.iter() {
+            let mut row = vec![kind.name().to_string(), format!("{}", p.sf)];
+            for s in Strategy::PAPER_SIX {
+                row.push(ms(entry(&p.entries, s.name()).report.metrics.h2d_time));
+            }
+            t.push_row(row);
+        }
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gpu_only_transfers_dominate_at_scale() {
+        let t = run(Effort::Quick);
+        let last = t.rows.iter().rposition(|r| r[0] == "SSBM").unwrap();
+        let gpu = t.value(last, "GPU Only [ms]").unwrap();
+        let ddc = t.value(last, "Data-Driven Chopping [ms]").unwrap();
+        assert!(gpu > ddc, "DD-Chopping must save IO vs GPU-only");
+        let cpu = t.value(last, "CPU Only [ms]").unwrap();
+        assert_eq!(cpu, 0.0, "CPU-only never touches the bus");
+    }
+}

@@ -1,0 +1,46 @@
+//! Figure 16: memory footprint of the SSBM and TPC-H workloads vs scale
+//! factor, against the co-processor's column-cache capacity. The
+//! footprint crosses the cache around SF 15 — where the Figure 14 curves
+//! bend.
+
+use crate::figures::sweeps;
+use crate::machine::{Effort, WorkloadKind};
+use crate::table::FigTable;
+
+pub fn run(effort: Effort) -> FigTable {
+    let mut t = FigTable::new(
+        "fig16",
+        "Workload memory footprint vs scale factor",
+    )
+    .with_columns(["benchmark", "SF", "footprint [KiB]", "GPU cache [KiB]"]);
+    for kind in [WorkloadKind::Ssb, WorkloadKind::Tpch] {
+        let sweep = sweeps::workload_sweep(kind, effort);
+        for p in sweep.iter() {
+            t.push_row([
+                kind.name().to_string(),
+                format!("{}", p.sf),
+                format!("{}", p.footprint / 1024),
+                format!("{}", p.cache_bytes / 1024),
+            ]);
+        }
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn footprint_crosses_cache_midway() {
+        let t = run(Effort::Quick);
+        let ssb: Vec<&Vec<String>> =
+            t.rows.iter().filter(|r| r[0] == "SSBM").collect();
+        let first_fp: f64 = ssb.first().unwrap()[2].parse().unwrap();
+        let last_fp: f64 = ssb.last().unwrap()[2].parse().unwrap();
+        let cache: f64 = ssb[0][3].parse().unwrap();
+        assert!(first_fp < cache, "SF1 fits the cache");
+        assert!(last_fp > cache, "SF30 exceeds the cache");
+        assert!(last_fp > first_fp * 10.0, "footprint scales with SF");
+    }
+}

@@ -1,0 +1,56 @@
+//! Figure 18: average workload execution time of the SSBM and TPC-H
+//! workloads for varying numbers of parallel users at scale factor 10.
+//! Chopping's dynamic fault reaction and concurrency bound improve
+//! performance over naive GPU use.
+
+use crate::figures::sweeps::{self, entry};
+use crate::machine::{Effort, WorkloadKind};
+use crate::table::{ms, FigTable};
+use robustq_core::Strategy;
+
+pub fn run(effort: Effort) -> FigTable {
+    let mut t = FigTable::new(
+        "fig18",
+        "Workload execution time vs parallel users, SF 10 (a: SSBM, b: TPC-H)",
+    )
+    .with_columns([
+        "benchmark",
+        "users",
+        "CPU Only [ms]",
+        "GPU Only [ms]",
+        "Critical Path [ms]",
+        "Data-Driven [ms]",
+        "Chopping [ms]",
+        "Data-Driven Chopping [ms]",
+    ]);
+    for kind in [WorkloadKind::Ssb, WorkloadKind::Tpch] {
+        let sweep = sweeps::users_sweep(kind, effort);
+        for p in sweep.iter() {
+            let mut row = vec![kind.name().to_string(), format!("{}", p.users)];
+            for s in Strategy::PAPER_SIX {
+                row.push(ms(entry(&p.entries, s.name()).report.metrics.makespan));
+            }
+            t.push_row(row);
+        }
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chopping_beats_gpu_only_at_high_parallelism() {
+        let t = run(Effort::Quick);
+        for bench in ["SSBM", "TPC-H"] {
+            let last = t.rows.iter().rposition(|r| r[0] == bench).unwrap();
+            let gpu = t.value(last, "GPU Only [ms]").unwrap();
+            let ddc = t.value(last, "Data-Driven Chopping [ms]").unwrap();
+            assert!(
+                ddc < gpu,
+                "{bench}: DD-Chopping ({ddc}) must beat GPU-only ({gpu}) at max users"
+            );
+        }
+    }
+}

@@ -1,0 +1,62 @@
+//! Figure 21: latencies for selected SSB queries at 20 parallel users,
+//! scale factor 10 — including the GPU-only + admission-control reference
+//! (one query at a time). Chopping matches or beats admission control
+//! without serializing the workload.
+
+use crate::figures::sweeps::{self, entry};
+use crate::machine::{Effort, WorkloadKind};
+use crate::table::{ms, FigTable};
+use robustq_workloads::SsbQuery;
+
+pub fn run(effort: Effort) -> FigTable {
+    let sweep = sweeps::users_sweep(WorkloadKind::Ssb, effort);
+    let point = sweep.last().expect("users sweep non-empty"); // most users
+    let mut t = FigTable::new(
+        "fig21",
+        format!("Per-query latencies, SSBM SF 10, {} users", point.users),
+    )
+    .with_columns([
+        "query",
+        "GPU Only [ms]",
+        "GPU Only + Admission [ms]",
+        "Chopping [ms]",
+        "Data-Driven Chopping [ms]",
+    ]);
+    for q in SsbQuery::SELECTED {
+        let slot = SsbQuery::ALL.iter().position(|&x| x == q).expect("known query");
+        let lat = |label: &str| {
+            ms(entry(&point.entries, label)
+                .report
+                .mean_latency_of_slot(slot, point.workload_len))
+        };
+        t.push_row([
+            q.name().to_string(),
+            lat("GPU Only"),
+            lat("GPU Only + Admission"),
+            lat("Chopping"),
+            lat("Data-Driven Chopping"),
+        ]);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_latencies_positive_and_admission_reduces_gpu_only_latency() {
+        let t = run(Effort::Quick);
+        let mut admission_wins = 0;
+        for i in 0..t.rows.len() {
+            let gpu = t.value(i, "GPU Only [ms]").unwrap();
+            let adm = t.value(i, "GPU Only + Admission [ms]").unwrap();
+            assert!(gpu > 0.0 && adm > 0.0);
+            if adm < gpu {
+                admission_wins += 1;
+            }
+        }
+        // Admission control avoids contention for at least some queries.
+        assert!(admission_wins > 0);
+    }
+}

@@ -1,0 +1,72 @@
+//! Figure 24 (Appendix E): LFU vs LRU data placement under data-driven
+//! chopping on an interleaved SSB workload, with the fraction of GPU
+//! memory used as column cache swept from 0 to 100%. Both policies
+//! perform nearly identically — the gain comes from the data-driven
+//! strategy, not the ranking.
+
+use crate::machine::{Effort, WorkloadKind, WorkloadSetup};
+use crate::table::{ms, FigTable};
+use robustq_core::strategies::DataDrivenChopping;
+use robustq_core::{DataPlacementManager, PlacementPolicyKind};
+use robustq_workloads::{RunnerConfig, WorkloadRunner};
+
+pub fn run(effort: Effort) -> FigTable {
+    let setup = WorkloadSetup::new(WorkloadKind::Ssb, effort);
+    let db = setup.db(10);
+    let sim = setup.sim();
+    let queries = setup.queries(&db);
+    let runner = WorkloadRunner::new(&db, sim.clone());
+
+    let mut t = FigTable::new(
+        "fig24",
+        "Interleaved SSBM workload: LFU vs LRU data placement vs cache budget",
+    )
+    .with_columns(["cache budget [%]", "LFU [ms]", "LRU [ms]"]);
+    for pct in [0u64, 25, 50, 75, 100] {
+        let budget = sim.gpu.cache_bytes * pct / 100;
+        let mut lfu = DataDrivenChopping::with_manager(
+            DataPlacementManager::new(PlacementPolicyKind::Lfu).with_budget(budget),
+        );
+        let mut lru = DataDrivenChopping::with_manager(
+            DataPlacementManager::new(PlacementPolicyKind::Lru).with_budget(budget),
+        );
+        let cfg = RunnerConfig::default().with_placement_period(queries.len());
+        let lfu_report = runner
+            .run_with_policy(&queries, &mut lfu, "DD-Chopping/LFU", &cfg)
+            .expect("lfu run");
+        let lru_report = runner
+            .run_with_policy(&queries, &mut lru, "DD-Chopping/LRU", &cfg)
+            .expect("lru run");
+        t.push_row([
+            format!("{pct}"),
+            ms(lfu_report.metrics.makespan),
+            ms(lru_report.metrics.makespan),
+        ]);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn more_cache_helps_and_policies_are_close() {
+        let t = run(Effort::Quick);
+        let lfu = t.column_values("LFU [ms]");
+        let lru = t.column_values("LRU [ms]");
+        // Execution improves (or stays flat) as the budget grows.
+        assert!(*lfu.last().unwrap() <= lfu[0] * 1.05);
+        assert!(lfu.last().unwrap() < lfu.first().unwrap());
+        // LFU and LRU land close together; mid-budget corner cases may
+        // diverge because different columns are cached first — exactly
+        // the corner-case divergence Appendix E describes.
+        for (a, b) in lfu.iter().zip(&lru) {
+            let ratio = if a > b { a / b } else { b / a };
+            assert!(ratio < 2.0, "policies diverge: {a} vs {b}");
+        }
+        // At the extremes the pinned sets are identical.
+        assert_eq!(lfu[0], lru[0]);
+        assert_eq!(lfu.last().unwrap(), lru.last().unwrap());
+    }
+}

@@ -1,0 +1,257 @@
+//! Shared, memoized parameter sweeps.
+//!
+//! Several figures plot different metrics of the same experiment; each
+//! sweep runs once per effort level and its reports are reused.
+
+use crate::machine::{Effort, MicroSetup, ParallelSetup, WorkloadKind, WorkloadSetup};
+use robustq_core::Strategy;
+use robustq_workloads::{micro, RunReport, RunnerConfig, WorkloadRunner};
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex, OnceLock};
+
+/// One labelled run.
+#[derive(Debug, Clone)]
+pub struct Entry {
+    pub label: &'static str,
+    pub report: RunReport,
+}
+
+/// One point of the serial-selection cache sweep (Figures 2/5/6).
+#[derive(Debug, Clone)]
+pub struct SerialPoint {
+    pub frac: f64,
+    pub cache_bytes: u64,
+    pub entries: Vec<Entry>,
+}
+
+/// One point of the parallel-selection user sweep (Figures 3/7/9/12/13).
+#[derive(Debug, Clone)]
+pub struct ParallelPoint {
+    pub users: usize,
+    pub entries: Vec<Entry>,
+}
+
+/// One point of the scale-factor sweep (Figures 14/15/16/17).
+#[derive(Debug, Clone)]
+pub struct SfPoint {
+    pub sf: u32,
+    pub footprint: u64,
+    pub cache_bytes: u64,
+    pub entries: Vec<Entry>,
+}
+
+/// One point of the multi-user full-workload sweep (Figures 18–21/25).
+#[derive(Debug, Clone)]
+pub struct UsersPoint {
+    pub users: usize,
+    /// Length of one repetition of the workload (for latency slots).
+    pub workload_len: usize,
+    pub entries: Vec<Entry>,
+}
+
+/// One static memo map per sweep family.
+macro_rules! memo_map {
+    ($name:ident, $key:ty, $value:ty) => {
+        fn $name() -> &'static Mutex<HashMap<$key, Arc<$value>>> {
+            static CELL: OnceLock<Mutex<HashMap<$key, Arc<$value>>>> = OnceLock::new();
+            CELL.get_or_init(|| Mutex::new(HashMap::new()))
+        }
+    };
+}
+
+memo_map!(serial_memo, Effort, Vec<SerialPoint>);
+memo_map!(parallel_memo, Effort, Vec<ParallelPoint>);
+memo_map!(sf_memo, (WorkloadKind, Effort), Vec<SfPoint>);
+memo_map!(users_memo, (WorkloadKind, Effort), Vec<UsersPoint>);
+
+fn memoized<K, V>(
+    map: &'static Mutex<HashMap<K, Arc<V>>>,
+    key: K,
+    compute: impl FnOnce() -> V,
+) -> Arc<V>
+where
+    K: std::hash::Hash + Eq + Clone,
+{
+    if let Some(v) = map.lock().expect("memo lock").get(&key) {
+        return Arc::clone(v);
+    }
+    let v = Arc::new(compute());
+    map.lock().expect("memo lock").insert(key, Arc::clone(&v));
+    v
+}
+
+/// The serial-selection cache-size sweep (operator-driven thrashing vs
+/// data-driven placement).
+pub fn serial_sweep(effort: Effort) -> Arc<Vec<SerialPoint>> {
+    memoized(serial_memo(), effort, || {
+        let setup = MicroSetup::new(effort);
+        let queries = micro::serial_selection_workload(setup.reps);
+        let strategies = [
+            Strategy::CpuOnly,
+            Strategy::GpuPreferred,
+            Strategy::DataDriven,
+            Strategy::DataDrivenChopping,
+        ];
+        MicroSetup::cache_fractions()
+            .iter()
+            .map(|&frac| {
+                let cache_bytes = (setup.working_set as f64 * frac) as u64;
+                let sim = setup.sim(cache_bytes);
+                let runner = WorkloadRunner::new(&setup.db, sim);
+                // The placement background job runs once per workload
+                // round, not after every query ("periodically", §3.2).
+                let cfg = RunnerConfig::default().with_placement_period(queries.len());
+                let entries = strategies
+                    .iter()
+                    .map(|&s| Entry {
+                        label: s.name(),
+                        report: runner.run(&queries, s, &cfg).expect("serial sweep run"),
+                    })
+                    .collect();
+                SerialPoint { frac, cache_bytes, entries }
+            })
+            .collect()
+    })
+}
+
+/// The parallel-selection user sweep (heap contention).
+pub fn parallel_sweep(effort: Effort) -> Arc<Vec<ParallelPoint>> {
+    memoized(parallel_memo(), effort, || {
+        let setup = ParallelSetup::new(effort);
+        let queries = micro::parallel_selection_workload(setup.total_queries);
+        let sim = setup.sim();
+        let runner = WorkloadRunner::new(&setup.db, sim);
+        let strategies = [
+            Strategy::CpuOnly,
+            Strategy::GpuPreferred,
+            Strategy::DataDriven,
+            Strategy::RuntimePlacement,
+            Strategy::Chopping,
+            Strategy::DataDrivenChopping,
+        ];
+        setup
+            .users
+            .iter()
+            .map(|&users| {
+                // Section 6.1: access structures are pre-loaded into the
+                // co-processor memory before the measured run.
+                let cfg = RunnerConfig::default()
+                    .with_users(users)
+                    .with_placement_period(queries.len())
+                    .with_preload();
+                let entries = strategies
+                    .iter()
+                    .map(|&s| Entry {
+                        label: s.name(),
+                        report: runner.run(&queries, s, &cfg).expect("parallel sweep run"),
+                    })
+                    .collect();
+                ParallelPoint { users, entries }
+            })
+            .collect()
+    })
+}
+
+/// The scale-factor sweep over a full workload, six strategies.
+pub fn workload_sweep(kind: WorkloadKind, effort: Effort) -> Arc<Vec<SfPoint>> {
+    memoized(sf_memo(), (kind, effort), || {
+        let setup = WorkloadSetup::new(kind, effort);
+        let sim = setup.sim();
+        setup
+            .scale_factors
+            .iter()
+            .map(|&sf| {
+                let db = setup.db(sf);
+                let queries = setup.queries(&db);
+                let footprint = crate::machine::workload_footprint(&db, &queries);
+                let runner = WorkloadRunner::new(&db, sim.clone());
+                let cfg = RunnerConfig::default()
+                    .with_placement_period(queries.len())
+                    .with_preload();
+                let entries = Strategy::PAPER_SIX
+                    .iter()
+                    .map(|&s| Entry {
+                        label: s.name(),
+                        report: runner.run(&queries, s, &cfg).expect("sf sweep run"),
+                    })
+                    .collect();
+                SfPoint { sf, footprint, cache_bytes: sim.gpu.cache_bytes, entries }
+            })
+            .collect()
+    })
+}
+
+/// The multi-user sweep over a full workload at scale factor 10; includes
+/// the GPU-only + admission-control reference of Section 6.2.2.
+pub fn users_sweep(kind: WorkloadKind, effort: Effort) -> Arc<Vec<UsersPoint>> {
+    memoized(users_memo(), (kind, effort), || {
+        let setup = WorkloadSetup::new(kind, effort);
+        let sim = setup.sim();
+        let db = setup.db(10);
+        let base = setup.queries(&db);
+        let workload_len = base.len();
+        let mut queries = Vec::with_capacity(workload_len * setup.multiuser_reps);
+        for _ in 0..setup.multiuser_reps {
+            queries.extend(base.iter().cloned());
+        }
+        let runner = WorkloadRunner::new(&db, sim);
+        setup
+            .users
+            .iter()
+            .map(|&users| {
+                let cfg = RunnerConfig::default()
+                    .with_users(users)
+                    .with_placement_period(queries.len())
+                    .with_preload();
+                let mut entries: Vec<Entry> = Strategy::PAPER_SIX
+                    .iter()
+                    .map(|&s| Entry {
+                        label: s.name(),
+                        report: runner.run(&queries, s, &cfg).expect("users sweep run"),
+                    })
+                    .collect();
+                let admission_cfg = cfg.clone().with_admission_limit(1);
+                entries.push(Entry {
+                    label: "GPU Only + Admission",
+                    report: runner
+                        .run(&queries, Strategy::GpuPreferred, &admission_cfg)
+                        .expect("admission run"),
+                });
+                UsersPoint { users, workload_len, entries }
+            })
+            .collect()
+    })
+}
+
+/// Find one labelled entry at a sweep point.
+pub fn entry<'a>(entries: &'a [Entry], label: &str) -> &'a Entry {
+    entries
+        .iter()
+        .find(|e| e.label == label)
+        .unwrap_or_else(|| panic!("no entry labelled {label}"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn memoization_returns_same_arc() {
+        fn test_map() -> &'static Mutex<HashMap<u32, Arc<Vec<i32>>>> {
+            static CELL: OnceLock<Mutex<HashMap<u32, Arc<Vec<i32>>>>> = OnceLock::new();
+            CELL.get_or_init(|| Mutex::new(HashMap::new()))
+        }
+        let a = memoized(test_map(), 1u32, || vec![1, 2, 3]);
+        let b = memoized(test_map(), 1u32, || vec![9, 9, 9]);
+        assert!(Arc::ptr_eq(&a, &b));
+        assert_eq!(*b, vec![1, 2, 3]);
+        let c = memoized(test_map(), 2u32, || vec![4]);
+        assert_eq!(*c, vec![4]);
+    }
+
+    #[test]
+    #[should_panic(expected = "no entry labelled")]
+    fn entry_panics_on_unknown_label() {
+        entry(&[], "nope");
+    }
+}

@@ -1,0 +1,88 @@
+//! Figure/table regeneration harness.
+//!
+//! One module per figure of the paper (see DESIGN.md §3 for the index).
+//! Each figure function returns a [`FigTable`] — the same rows/series the
+//! paper plots — which the `figures` binary and the `figures` bench
+//! target print.
+//!
+//! ## Scaling
+//!
+//! All experiments run on linearly downscaled data (see DESIGN.md §1):
+//! `Effort::Quick` (default under `cargo bench`) uses small row counts so
+//! the full suite finishes in minutes; `Effort::Full` uses 4× more rows
+//! for smoother curves. Device parameters are downscaled with the data,
+//! preserving every working-set/cache and footprint/heap *ratio* the
+//! paper's effects depend on. Times are virtual milliseconds — shapes and
+//! factors are comparable to the paper, absolute values are not.
+
+pub mod figures;
+pub mod machine;
+pub mod table;
+
+pub use machine::{Effort, MicroSetup, WorkloadKind, WorkloadSetup};
+pub use table::FigTable;
+
+/// Run every figure at the given effort, in paper order.
+pub fn all_figures(effort: Effort) -> Vec<FigTable> {
+    vec![
+        figures::fig01::run(effort),
+        figures::fig02::run(effort),
+        figures::fig03::run(effort),
+        figures::fig05::run(effort),
+        figures::fig06::run(effort),
+        figures::fig07::run(effort),
+        figures::fig08::run(effort),
+        figures::fig09::run(effort),
+        figures::fig12::run(effort),
+        figures::fig13::run(effort),
+        figures::fig14::run(effort),
+        figures::fig15::run(effort),
+        figures::fig16::run(effort),
+        figures::fig17::run(effort),
+        figures::fig18::run(effort),
+        figures::fig19::run(effort),
+        figures::fig20::run(effort),
+        figures::fig21::run(effort),
+        figures::fig22::run(effort),
+        figures::fig23::run(effort),
+        figures::fig24::run(effort),
+        figures::fig25::run(effort),
+    ]
+}
+
+/// Look up one figure by id (e.g. `"fig14"`).
+pub fn figure_by_id(id: &str, effort: Effort) -> Option<FigTable> {
+    let run = match id {
+        "fig01" | "fig1" => figures::fig01::run,
+        "fig02" | "fig2" => figures::fig02::run,
+        "fig03" | "fig3" => figures::fig03::run,
+        "fig05" | "fig5" => figures::fig05::run,
+        "fig06" | "fig6" => figures::fig06::run,
+        "fig07" | "fig7" => figures::fig07::run,
+        "fig08" | "fig8" => figures::fig08::run,
+        "fig09" | "fig9" => figures::fig09::run,
+        "fig12" => figures::fig12::run,
+        "fig13" => figures::fig13::run,
+        "fig14" => figures::fig14::run,
+        "fig15" => figures::fig15::run,
+        "fig16" => figures::fig16::run,
+        "fig17" => figures::fig17::run,
+        "fig18" => figures::fig18::run,
+        "fig19" => figures::fig19::run,
+        "fig20" => figures::fig20::run,
+        "fig21" => figures::fig21::run,
+        "fig22" => figures::fig22::run,
+        "fig23" => figures::fig23::run,
+        "fig24" => figures::fig24::run,
+        "fig25" => figures::fig25::run,
+        _ => return None,
+    };
+    Some(run(effort))
+}
+
+/// Ids of all figures, in paper order.
+pub const FIGURE_IDS: [&str; 22] = [
+    "fig01", "fig02", "fig03", "fig05", "fig06", "fig07", "fig08", "fig09", "fig12", "fig13",
+    "fig14", "fig15", "fig16", "fig17", "fig18", "fig19", "fig20", "fig21", "fig22",
+    "fig23", "fig24", "fig25",
+];

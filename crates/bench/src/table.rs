@@ -1,0 +1,135 @@
+//! Result tables.
+
+use serde::Serialize;
+use std::fmt;
+
+/// One regenerated figure/table: a header plus aligned rows, in the same
+/// shape (series/columns) the paper plots.
+#[derive(Debug, Clone, Serialize)]
+pub struct FigTable {
+    /// Figure id, e.g. `"fig14a"`.
+    pub id: String,
+    /// What the paper's figure shows.
+    pub title: String,
+    pub columns: Vec<String>,
+    pub rows: Vec<Vec<String>>,
+}
+
+impl FigTable {
+    pub fn new(id: impl Into<String>, title: impl Into<String>) -> Self {
+        FigTable {
+            id: id.into(),
+            title: title.into(),
+            columns: Vec::new(),
+            rows: Vec::new(),
+        }
+    }
+
+    pub fn with_columns<S: Into<String>>(
+        mut self,
+        cols: impl IntoIterator<Item = S>,
+    ) -> Self {
+        self.columns = cols.into_iter().map(Into::into).collect();
+        self
+    }
+
+    pub fn push_row<S: Into<String>>(&mut self, row: impl IntoIterator<Item = S>) {
+        let row: Vec<String> = row.into_iter().map(Into::into).collect();
+        debug_assert_eq!(row.len(), self.columns.len(), "row width mismatch");
+        self.rows.push(row);
+    }
+
+    /// Cell value parsed as f64 (for assertions in tests).
+    pub fn value(&self, row: usize, col: &str) -> Option<f64> {
+        let c = self.columns.iter().position(|x| x == col)?;
+        self.rows.get(row)?.get(c)?.parse().ok()
+    }
+
+    /// Serialize the table as pretty-printed JSON (for plotting scripts).
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("FigTable serializes")
+    }
+
+    /// All values of one column parsed as f64.
+    pub fn column_values(&self, col: &str) -> Vec<f64> {
+        let Some(c) = self.columns.iter().position(|x| x == col) else {
+            return Vec::new();
+        };
+        self.rows.iter().filter_map(|r| r.get(c)?.parse().ok()).collect()
+    }
+}
+
+impl fmt::Display for FigTable {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "== {} — {} ==", self.id, self.title)?;
+        let mut widths: Vec<usize> = self.columns.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (w, cell) in widths.iter_mut().zip(row) {
+                *w = (*w).max(cell.len());
+            }
+        }
+        let header: Vec<String> = self
+            .columns
+            .iter()
+            .zip(&widths)
+            .map(|(c, w)| format!("{c:>w$}"))
+            .collect();
+        writeln!(f, "{}", header.join("  "))?;
+        for row in &self.rows {
+            let line: Vec<String> = row
+                .iter()
+                .zip(&widths)
+                .map(|(c, w)| format!("{c:>w$}"))
+                .collect();
+            writeln!(f, "{}", line.join("  "))?;
+        }
+        Ok(())
+    }
+}
+
+/// Format virtual milliseconds with three decimals.
+pub fn ms(t: robustq_sim::VirtualTime) -> String {
+    format!("{:.3}", t.as_millis_f64())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use robustq_sim::VirtualTime;
+
+    #[test]
+    fn build_and_query() {
+        let mut t = FigTable::new("figX", "demo").with_columns(["a", "b"]);
+        t.push_row(["1.5", "x"]);
+        t.push_row(["2.5", "y"]);
+        assert_eq!(t.value(0, "a"), Some(1.5));
+        assert_eq!(t.value(1, "b"), None, "non-numeric cell");
+        assert_eq!(t.column_values("a"), vec![1.5, 2.5]);
+        assert!(t.column_values("zz").is_empty());
+    }
+
+    #[test]
+    fn display_aligns() {
+        let mut t = FigTable::new("f", "t").with_columns(["col", "x"]);
+        t.push_row(["1", "22"]);
+        let s = t.to_string();
+        assert!(s.contains("== f — t =="));
+        assert!(s.contains("col"));
+    }
+
+    #[test]
+    fn ms_formatting() {
+        assert_eq!(ms(VirtualTime::from_micros(1500)), "1.500");
+    }
+
+    #[test]
+    fn json_roundtrips_structure() {
+        let mut t = FigTable::new("figX", "demo").with_columns(["a", "b"]);
+        t.push_row(["1", "x"]);
+        let json = t.to_json();
+        let v: serde_json::Value = serde_json::from_str(&json).unwrap();
+        assert_eq!(v["id"], "figX");
+        assert_eq!(v["columns"][1], "b");
+        assert_eq!(v["rows"][0][0], "1");
+    }
+}

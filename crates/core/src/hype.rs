@@ -1,0 +1,244 @@
+//! HyPE-style learned cost estimation.
+//!
+//! CoGaDB delegates operator placement to HyPE, whose cost models are
+//! *learned* from observed executions rather than derived analytically.
+//! We reproduce that split: one online simple linear regression
+//! (`duration ≈ a + b·work_bytes`) per (operator class, device), updated
+//! after every completed operator via [`HypeEstimator::observe`]. The
+//! estimator never reads the simulator's ground-truth model — before
+//! enough observations exist it falls back to deliberately rough priors,
+//! exactly the cold-start behaviour learning-based optimizers exhibit.
+
+use robustq_sim::{DeviceId, OpClass, VirtualTime};
+
+/// Online simple linear regression through accumulated sufficient
+/// statistics (exact least squares, O(1) per update).
+#[derive(Debug, Clone, Default)]
+pub struct LinearModel {
+    n: f64,
+    sum_x: f64,
+    sum_y: f64,
+    sum_xx: f64,
+    sum_xy: f64,
+}
+
+impl LinearModel {
+    /// An unfitted model.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of observations.
+    pub fn observations(&self) -> u64 {
+        self.n as u64
+    }
+
+    /// Add one observation `(x, y)`.
+    pub fn observe(&mut self, x: f64, y: f64) {
+        self.n += 1.0;
+        self.sum_x += x;
+        self.sum_y += y;
+        self.sum_xx += x * x;
+        self.sum_xy += x * y;
+    }
+
+    /// Current `(intercept, slope)`; `None` until two distinct x values
+    /// have been seen.
+    pub fn coefficients(&self) -> Option<(f64, f64)> {
+        if self.n < 2.0 {
+            return None;
+        }
+        let det = self.n * self.sum_xx - self.sum_x * self.sum_x;
+        if det.abs() < f64::EPSILON * self.n * self.sum_xx.max(1.0) {
+            return None;
+        }
+        let slope = (self.n * self.sum_xy - self.sum_x * self.sum_y) / det;
+        let intercept = (self.sum_y - slope * self.sum_x) / self.n;
+        Some((intercept, slope))
+    }
+
+    /// Predict `y` for `x`; `None` until the model is fitted.
+    pub fn predict(&self, x: f64) -> Option<f64> {
+        let (a, b) = self.coefficients()?;
+        Some((a + b * x).max(0.0))
+    }
+}
+
+/// The learned estimator: one model per (class, device).
+#[derive(Debug, Clone)]
+pub struct HypeEstimator {
+    models: [[LinearModel; 5]; 2],
+    /// Prior throughputs (bytes/s) used before models are fitted.
+    prior_cpu: f64,
+    prior_gpu: f64,
+    /// Measured copy bandwidth (bytes/s) used for transfer estimates —
+    /// HyPE measures this once at startup on real hardware.
+    copy_bandwidth: f64,
+}
+
+impl Default for HypeEstimator {
+    fn default() -> Self {
+        HypeEstimator {
+            models: Default::default(),
+            // Rough cold-start priors: the GPU is assumed ~3× faster.
+            prior_cpu: 5.0e9,
+            prior_gpu: 15.0e9,
+            copy_bandwidth: 1.2e9,
+        }
+    }
+}
+
+impl HypeEstimator {
+    /// An estimator with default priors and no observations.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn model(&self, class: OpClass, device: DeviceId) -> &LinearModel {
+        &self.models[device.index()][class.index()]
+    }
+
+    fn model_mut(&mut self, class: OpClass, device: DeviceId) -> &mut LinearModel {
+        &mut self.models[device.index()][class.index()]
+    }
+
+    /// Work measure fed to the per-class regressions (mirrors the shape,
+    /// not the constants, of the real cost: reads plus half-weighted
+    /// writes).
+    fn work(bytes_in: u64, bytes_out: u64) -> f64 {
+        bytes_in as f64 + bytes_out as f64 / 2.0
+    }
+
+    /// Record one completed operator.
+    pub fn observe(
+        &mut self,
+        class: OpClass,
+        device: DeviceId,
+        bytes_in: u64,
+        bytes_out: u64,
+        duration: VirtualTime,
+    ) {
+        self.model_mut(class, device)
+            .observe(Self::work(bytes_in, bytes_out), duration.as_secs_f64());
+    }
+
+    /// Estimated kernel duration of one operator.
+    pub fn estimate(
+        &self,
+        class: OpClass,
+        device: DeviceId,
+        bytes_in: u64,
+        bytes_out: u64,
+    ) -> VirtualTime {
+        let work = Self::work(bytes_in, bytes_out);
+        match self.model(class, device).predict(work) {
+            Some(secs) => VirtualTime::from_secs_f64(secs),
+            None => {
+                let prior = match device {
+                    DeviceId::Cpu => self.prior_cpu,
+                    DeviceId::Gpu => self.prior_gpu,
+                };
+                VirtualTime::from_secs_f64(work / prior)
+            }
+        }
+    }
+
+    /// Estimated one-way transfer time for `bytes`.
+    pub fn estimate_transfer(&self, bytes: u64) -> VirtualTime {
+        VirtualTime::from_secs_f64(bytes as f64 / self.copy_bandwidth)
+    }
+
+    /// Total observations across all models (used in reports/tests).
+    pub fn total_observations(&self) -> u64 {
+        self.models
+            .iter()
+            .flat_map(|per_dev| per_dev.iter())
+            .map(LinearModel::observations)
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn linear_model_recovers_line() {
+        let mut m = LinearModel::new();
+        for x in [1.0, 2.0, 5.0, 10.0] {
+            m.observe(x, 3.0 + 2.0 * x);
+        }
+        let (a, b) = m.coefficients().unwrap();
+        assert!((a - 3.0).abs() < 1e-9);
+        assert!((b - 2.0).abs() < 1e-9);
+        assert!((m.predict(7.0).unwrap() - 17.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn unfitted_model_predicts_none() {
+        let mut m = LinearModel::new();
+        assert!(m.predict(1.0).is_none());
+        m.observe(4.0, 2.0);
+        assert!(m.predict(1.0).is_none(), "one point is not a line");
+        // Two observations at the same x are still degenerate.
+        m.observe(4.0, 3.0);
+        assert!(m.predict(1.0).is_none());
+    }
+
+    #[test]
+    fn prediction_clamps_negative_durations() {
+        let mut m = LinearModel::new();
+        m.observe(10.0, 1.0);
+        m.observe(20.0, 3.0);
+        // Extrapolating to x=0 gives a negative intercept; clamp to 0.
+        assert_eq!(m.predict(0.0).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn estimator_uses_priors_then_learns() {
+        let mut e = HypeEstimator::new();
+        let cold = e.estimate(OpClass::Selection, DeviceId::Cpu, 5_000_000_000, 0);
+        assert_eq!(cold, VirtualTime::from_secs_f64(1.0), "prior is 5 GB/s");
+
+        // Teach it a 10 GB/s device.
+        for mb in [1u64, 10, 100] {
+            let bytes = mb * 1_000_000;
+            e.observe(
+                OpClass::Selection,
+                DeviceId::Cpu,
+                bytes,
+                0,
+                VirtualTime::from_secs_f64(bytes as f64 / 10.0e9),
+            );
+        }
+        let warm = e.estimate(OpClass::Selection, DeviceId::Cpu, 5_000_000_000, 0);
+        assert!((warm.as_secs_f64() - 0.5).abs() < 0.01, "learned 10 GB/s");
+    }
+
+    #[test]
+    fn models_are_per_class_and_device() {
+        let mut e = HypeEstimator::new();
+        e.observe(OpClass::Sort, DeviceId::Gpu, 1_000, 0, VirtualTime::from_micros(10));
+        assert_eq!(e.total_observations(), 1);
+        // Selection/CPU is untouched and still on priors.
+        let est = e.estimate(OpClass::Selection, DeviceId::Cpu, 5_000_000_000, 0);
+        assert_eq!(est, VirtualTime::from_secs_f64(1.0));
+    }
+
+    #[test]
+    fn transfer_estimate_scales_linearly() {
+        let e = HypeEstimator::new();
+        let t1 = e.estimate_transfer(1_200_000_000);
+        assert!((t1.as_secs_f64() - 1.0).abs() < 1e-9);
+        let t2 = e.estimate_transfer(2_400_000_000);
+        assert!((t2.as_secs_f64() - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn output_bytes_contribute_half_work() {
+        let e = HypeEstimator::new();
+        let with_out = e.estimate(OpClass::Projection, DeviceId::Cpu, 1_000_000, 2_000_000);
+        let doubled_in = e.estimate(OpClass::Projection, DeviceId::Cpu, 2_000_000, 0);
+        assert_eq!(with_out, doubled_in);
+    }
+}

@@ -1,0 +1,39 @@
+#![warn(missing_docs)]
+
+//! Robust operator placement for co-processor-accelerated databases.
+//!
+//! This crate is the paper's primary contribution, rebuilt as a library:
+//!
+//! * [`hype`] — a HyPE-style *learned* cost estimator: per
+//!   (operator class, device) online linear regressions fitted from
+//!   observed operator durations, never from the simulator's ground-truth
+//!   model (Sections 2.5, 5.2);
+//! * [`placement_mgr`] — the data placement manager: access-frequency
+//!   statistics drive Algorithm 1, pinning the hottest columns into the
+//!   co-processor cache (Section 3.2), with LFU and LRU variants
+//!   (Appendix E);
+//! * [`strategies`] — the placement strategies compared in the paper's
+//!   evaluation:
+//!   - [`strategies::CpuOnly`] / [`strategies::GpuPreferred`] — the
+//!     single-device references,
+//!   - [`strategies::CriticalPath`] — CoGaDB's default compile-time
+//!     iterative-refinement optimizer (Appendix D),
+//!   - [`strategies::DataDriven`] — data-driven operator placement
+//!     (Section 3),
+//!   - [`strategies::RuntimePlacement`] — tactical run-time placement
+//!     (Section 4),
+//!   - [`strategies::Chopping`] — query chopping: run-time placement plus
+//!     a per-device thread pool (Section 5),
+//!   - [`strategies::DataDrivenChopping`] — the combined, robust strategy
+//!     (Section 5.4).
+
+pub mod hype;
+pub mod placement_mgr;
+pub mod strategies;
+
+pub use hype::HypeEstimator;
+pub use placement_mgr::{DataPlacementManager, PlacementPolicyKind};
+pub use strategies::{
+    Chopping, CpuOnly, CriticalPath, DataDriven, DataDrivenChopping, GpuPreferred,
+    RuntimePlacement, Strategy,
+};

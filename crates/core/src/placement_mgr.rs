@@ -1,0 +1,230 @@
+//! The data placement manager (Section 3.2, Algorithm 1).
+//!
+//! A background job that periodically re-decides which base columns live
+//! in the co-processor's column cache. Columns are ranked by access
+//! frequency (LFU, the paper's default) or recency (LRU, the Appendix E
+//! variant) using the access counters the query processor maintains, and
+//! the top of the ranking is pinned until the cache budget is exhausted —
+//! exactly Algorithm 1: evict `old \ new`, cache `new \ old`.
+
+use robustq_sim::{CacheKey, DataCache};
+use robustq_storage::{ColumnId, Database};
+
+/// Ranking criterion for the pinned set.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PlacementPolicyKind {
+    /// Most frequently used first (the paper's default).
+    Lfu,
+    /// Most recently used first (Appendix E comparison).
+    Lru,
+}
+
+/// The data placement manager.
+#[derive(Debug, Clone)]
+pub struct DataPlacementManager {
+    kind: PlacementPolicyKind,
+    /// Optional cap on cache bytes used (defaults to the full cache).
+    budget: Option<u64>,
+}
+
+impl DataPlacementManager {
+    /// A manager with the given ranking criterion and no byte cap.
+    pub fn new(kind: PlacementPolicyKind) -> Self {
+        DataPlacementManager { kind, budget: None }
+    }
+
+    /// LFU ranking (the paper's default).
+    pub fn lfu() -> Self {
+        Self::new(PlacementPolicyKind::Lfu)
+    }
+
+    /// LRU ranking (Appendix E variant).
+    pub fn lru() -> Self {
+        Self::new(PlacementPolicyKind::Lru)
+    }
+
+    /// Limit the bytes Algorithm 1 may pin (Figure 24 sweeps this).
+    pub fn with_budget(mut self, bytes: u64) -> Self {
+        self.budget = Some(bytes);
+        self
+    }
+
+    /// The configured ranking criterion.
+    pub fn kind(&self) -> PlacementPolicyKind {
+        self.kind
+    }
+
+    /// Rank all base columns by the configured criterion, best first.
+    /// Columns never accessed rank last and are never pinned.
+    pub fn ranking(&self, db: &Database) -> Vec<(ColumnId, u64)> {
+        let stats = db.stats();
+        let mut ranked: Vec<(ColumnId, u64)> = db
+            .all_column_ids()
+            .map(|id| {
+                let score = match self.kind {
+                    PlacementPolicyKind::Lfu => stats.access_count(id.index()),
+                    PlacementPolicyKind::Lru => stats.last_access_tick(id.index()),
+                };
+                (id, score)
+            })
+            .filter(|&(_, score)| score > 0)
+            .collect();
+        // Descending score; ties broken by id for determinism.
+        ranked.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+        ranked
+    }
+
+    /// Algorithm 1: fill the cache with the highest-ranked columns that
+    /// fit, replacing the previous pinned set. Returns the keys newly
+    /// cached (whose transfer the caller charges).
+    pub fn update(&self, db: &Database, cache: &mut DataCache) -> Vec<CacheKey> {
+        let budget_cap = self.budget.unwrap_or(u64::MAX).min(cache.capacity());
+        let mut used = 0u64;
+        let mut pins: Vec<(CacheKey, u64)> = Vec::new();
+        for (id, _) in self.ranking(db) {
+            let bytes = db.column_size(id);
+            if used + bytes <= budget_cap {
+                used += bytes;
+                pins.push((CacheKey(id.0 as u64), bytes));
+            }
+        }
+        let (newly_cached, _evicted) = cache.set_pinned(&pins);
+        newly_cached
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use robustq_sim::CachePolicy;
+    use robustq_storage::{ColumnData, DataType, Field, Schema, Table};
+
+    fn db() -> Database {
+        let mut db = Database::new();
+        db.add_table(
+            Table::new(
+                "t",
+                Schema::new(vec![
+                    Field::new("a", DataType::Int32), // 12 bytes
+                    Field::new("b", DataType::Int32),
+                    Field::new("c", DataType::Int32),
+                ]),
+                vec![
+                    ColumnData::Int32(vec![1, 2, 3]),
+                    ColumnData::Int32(vec![4, 5, 6]),
+                    ColumnData::Int32(vec![7, 8, 9]),
+                ],
+            )
+            .unwrap(),
+        )
+        .unwrap();
+        db
+    }
+
+    fn touch(db: &Database, col: &str, times: usize) {
+        let id = db.column_id("t", col).unwrap();
+        for _ in 0..times {
+            db.stats().record_access(id.index());
+        }
+    }
+
+    #[test]
+    fn lfu_pins_hottest_columns_within_budget() {
+        let db = db();
+        touch(&db, "a", 5);
+        touch(&db, "b", 3);
+        touch(&db, "c", 10);
+        let mut cache = DataCache::new(24, CachePolicy::Lru); // room for 2 columns
+        let mgr = DataPlacementManager::lfu();
+        let newly = mgr.update(&db, &mut cache);
+        assert_eq!(newly.len(), 2);
+        let c = db.column_id("t", "c").unwrap();
+        let a = db.column_id("t", "a").unwrap();
+        assert!(cache.contains(CacheKey(c.0 as u64)));
+        assert!(cache.contains(CacheKey(a.0 as u64)));
+        assert_eq!(cache.used(), 24);
+    }
+
+    #[test]
+    fn never_accessed_columns_are_not_pinned() {
+        let db = db();
+        touch(&db, "a", 1);
+        let mut cache = DataCache::new(1_000, CachePolicy::Lru);
+        let mgr = DataPlacementManager::lfu();
+        mgr.update(&db, &mut cache);
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn update_is_incremental_algorithm_1() {
+        let db = db();
+        touch(&db, "a", 5);
+        touch(&db, "b", 4);
+        let mut cache = DataCache::new(24, CachePolicy::Lru);
+        let mgr = DataPlacementManager::lfu();
+        let first = mgr.update(&db, &mut cache);
+        assert_eq!(first.len(), 2);
+        // Shift the ranking: c becomes hottest; a survives, b is evicted.
+        touch(&db, "c", 10);
+        touch(&db, "a", 5);
+        let second = mgr.update(&db, &mut cache);
+        let c = db.column_id("t", "c").unwrap();
+        let b = db.column_id("t", "b").unwrap();
+        assert_eq!(second, vec![CacheKey(c.0 as u64)], "only c is newly cached");
+        assert!(!cache.contains(CacheKey(b.0 as u64)));
+    }
+
+    #[test]
+    fn lru_ranks_by_recency() {
+        let db = db();
+        touch(&db, "a", 10); // frequent but old
+        touch(&db, "b", 1); // recent
+        let mgr = DataPlacementManager::lru();
+        let ranking = mgr.ranking(&db);
+        assert_eq!(ranking[0].0, db.column_id("t", "b").unwrap());
+        assert_eq!(mgr.kind(), PlacementPolicyKind::Lru);
+    }
+
+    #[test]
+    fn budget_caps_pinned_bytes() {
+        let db = db();
+        touch(&db, "a", 3);
+        touch(&db, "b", 2);
+        touch(&db, "c", 1);
+        let mut cache = DataCache::new(1_000, CachePolicy::Lru);
+        let mgr = DataPlacementManager::lfu().with_budget(12);
+        mgr.update(&db, &mut cache);
+        assert_eq!(cache.used(), 12);
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn skips_oversized_but_fills_smaller(){
+        let mut db = Database::new();
+        db.add_table(
+            Table::new(
+                "big",
+                Schema::new(vec![Field::new("x", DataType::Int64)]),
+                vec![ColumnData::Int64(vec![0; 10])], // 80 bytes
+            )
+            .unwrap(),
+        )
+        .unwrap();
+        db.add_table(
+            Table::new(
+                "small",
+                Schema::new(vec![Field::new("y", DataType::Int32)]),
+                vec![ColumnData::Int32(vec![0; 3])], // 12 bytes
+            )
+            .unwrap(),
+        )
+        .unwrap();
+        db.stats().record_access(0);
+        db.stats().record_access(0);
+        db.stats().record_access(1);
+        let mut cache = DataCache::new(20, CachePolicy::Lru);
+        DataPlacementManager::lfu().update(&db, &mut cache);
+        // big (80 B) cannot fit; small (12 B) still gets pinned.
+        assert_eq!(cache.used(), 12);
+    }
+}

@@ -1,0 +1,336 @@
+//! The Critical Path compile-time heuristic (Appendix D).
+//!
+//! CoGaDB's default optimizer: a cost-based iterative-refinement search
+//! over hybrid plans. Only plans where a leaf-to-binary-parent path runs
+//! entirely on one processor are considered (data transfers are expensive,
+//! so processor changes mid-chain are never worth it), and a binary
+//! operator runs on the co-processor only if both children do.
+//!
+//! Starting from an all-CPU plan, each round tries moving one more leaf
+//! chain to the co-processor, keeps the cheapest candidate if it improves
+//! the estimated response time (the critical path length under the learned
+//! HyPE cost models), and stops otherwise — quadratic in the number of
+//! leaves, with a fixed iteration cap for very wide plans.
+
+use crate::hype::HypeEstimator;
+use robustq_engine::{PlacementPolicy, PolicyCtx, TaskInfo};
+use robustq_sim::{CacheKey, DeviceId, OpClass, VirtualTime};
+
+/// The Critical Path strategy.
+#[derive(Debug, Clone)]
+pub struct CriticalPath {
+    hype: HypeEstimator,
+    /// Cap on refinement rounds (Appendix D: "a fixed number of
+    /// iterations ... in case the plan contains too many leaf operators").
+    max_iterations: usize,
+}
+
+impl Default for CriticalPath {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl CriticalPath {
+    /// Critical Path with the default iteration cap.
+    pub fn new() -> Self {
+        CriticalPath { hype: HypeEstimator::new(), max_iterations: 16 }
+    }
+
+    /// Override the refinement-round cap.
+    pub fn with_max_iterations(mut self, n: usize) -> Self {
+        self.max_iterations = n.max(1);
+        self
+    }
+
+    /// The learned cost models driving plan costing.
+    pub fn hype(&self) -> &HypeEstimator {
+        &self.hype
+    }
+
+    /// Resolve placements from a set of co-processor leaves: leaves in the
+    /// set go to the co-processor, and every operator whose children all
+    /// run there follows (chaining; binary operators require both sides).
+    fn closure(gpu_leaves: &[bool], tasks: &[TaskInfo], base: usize) -> Vec<DeviceId> {
+        let mut devices = Vec::with_capacity(tasks.len());
+        for (i, t) in tasks.iter().enumerate() {
+            let d = if t.children_tasks.is_empty() {
+                if gpu_leaves[i] {
+                    DeviceId::Gpu
+                } else {
+                    DeviceId::Cpu
+                }
+            } else if t
+                .children_tasks
+                .iter()
+                .all(|&c| devices[c - base] == DeviceId::Gpu)
+            {
+                DeviceId::Gpu
+            } else {
+                DeviceId::Cpu
+            };
+            devices.push(d);
+        }
+        devices
+    }
+
+    /// Estimated response time (critical-path length) of one assignment.
+    fn response_time(
+        &self,
+        devices: &[DeviceId],
+        tasks: &[TaskInfo],
+        base: usize,
+        ctx: &PolicyCtx,
+    ) -> VirtualTime {
+        let mut completion: Vec<VirtualTime> = Vec::with_capacity(tasks.len());
+        for (i, t) in tasks.iter().enumerate() {
+            let device = devices[i];
+            let children_done = t
+                .children_tasks
+                .iter()
+                .map(|&c| completion[c - base])
+                .max()
+                .unwrap_or(VirtualTime::ZERO);
+            // Transfers: base columns for co-processor scans, child
+            // results crossing a device boundary otherwise.
+            let mut move_bytes = 0u64;
+            if device == DeviceId::Gpu {
+                for &col in &t.base_columns {
+                    if !ctx.cache.contains(CacheKey(col.0 as u64)) {
+                        move_bytes += ctx.db.column_size(col);
+                    }
+                }
+            }
+            for &c in &t.children_tasks {
+                if devices[c - base] != device {
+                    move_bytes += tasks[c - base].bytes_out_estimate;
+                }
+            }
+            let kernel =
+                self.hype.estimate(t.op_class, device, t.bytes_in, t.bytes_out_estimate);
+            completion.push(
+                children_done + self.hype.estimate_transfer(move_bytes) + kernel,
+            );
+        }
+        let root = *completion.last().expect("non-empty plan");
+        // The result must end on the host.
+        if *devices.last().expect("non-empty plan") == DeviceId::Gpu {
+            let out = tasks.last().expect("non-empty plan").bytes_out_estimate;
+            root + self.hype.estimate_transfer(out)
+        } else {
+            root
+        }
+    }
+}
+
+impl PlacementPolicy for CriticalPath {
+    fn name(&self) -> &'static str {
+        "Critical Path"
+    }
+
+    fn plan_query(&mut self, tasks: &[TaskInfo], ctx: &PolicyCtx) -> Vec<Option<DeviceId>> {
+        if tasks.is_empty() {
+            return Vec::new();
+        }
+        let base = tasks[0].task;
+        let leaves: Vec<usize> = tasks
+            .iter()
+            .enumerate()
+            .filter(|(_, t)| t.children_tasks.is_empty())
+            .map(|(i, _)| i)
+            .collect();
+
+        // Appendix D: start all-CPU; each round examines all plans with
+        // one more leaf chain on the co-processor and fixes the fastest,
+        // walking the whole greedy path (not stopping at the first
+        // non-improving round — the binary-join benefit only appears once
+        // both sides moved). The best assignment seen anywhere wins.
+        let mut chosen = vec![false; tasks.len()];
+        let mut best_devices = Self::closure(&chosen, tasks, base);
+        let mut best_cost = self.response_time(&best_devices, tasks, base, ctx);
+
+        for _round in 0..self.max_iterations.min(leaves.len()) {
+            let mut round_best: Option<(usize, VirtualTime, Vec<DeviceId>)> = None;
+            for &leaf in &leaves {
+                if chosen[leaf] {
+                    continue;
+                }
+                let mut cand = chosen.clone();
+                cand[leaf] = true;
+                let devices = Self::closure(&cand, tasks, base);
+                let cost = self.response_time(&devices, tasks, base, ctx);
+                if round_best.as_ref().is_none_or(|(_, c, _)| cost < *c) {
+                    round_best = Some((leaf, cost, devices));
+                }
+            }
+            let Some((leaf, cost, devices)) = round_best else {
+                break;
+            };
+            chosen[leaf] = true;
+            if cost < best_cost {
+                best_cost = cost;
+                best_devices = devices;
+            }
+        }
+        best_devices.into_iter().map(Some).collect()
+    }
+
+    fn observe(
+        &mut self,
+        op_class: OpClass,
+        device: DeviceId,
+        bytes_in: u64,
+        bytes_out: u64,
+        duration: VirtualTime,
+    ) {
+        self.hype.observe(op_class, device, bytes_in, bytes_out, duration);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::strategies::runtime::test_support::{cache, ctx, empty_db, task};
+    use robustq_sim::DataCache;
+    use robustq_storage::{ColumnData, DataType, Database, Field, Schema, Table};
+
+    /// Build a tiny 4-task plan: two scans (ids 0,1) joined (2), then
+    /// aggregated (3). `col_a`/`col_b` are the scans' base columns.
+    fn plan_tasks(bytes: u64) -> Vec<TaskInfo> {
+        let mut scan_a = task(bytes);
+        scan_a.task = 0;
+        scan_a.base_columns = vec![robustq_storage::ColumnId(0)];
+        scan_a.bytes_out_estimate = bytes / 2;
+        let mut scan_b = task(bytes);
+        scan_b.task = 1;
+        scan_b.base_columns = vec![robustq_storage::ColumnId(1)];
+        scan_b.bytes_out_estimate = bytes / 2;
+        let mut join = task(bytes);
+        join.task = 2;
+        join.op_class = OpClass::HashJoin;
+        join.children_tasks = vec![0, 1];
+        join.bytes_out_estimate = bytes / 2;
+        let mut agg = task(bytes / 2);
+        agg.task = 3;
+        agg.op_class = OpClass::Aggregation;
+        agg.children_tasks = vec![2];
+        agg.bytes_out_estimate = 64;
+        vec![scan_a, scan_b, join, agg]
+    }
+
+    fn db_with_two_columns(rows: usize) -> Database {
+        let mut db = Database::new();
+        db.add_table(
+            Table::new(
+                "t",
+                Schema::new(vec![
+                    Field::new("a", DataType::Int64),
+                    Field::new("b", DataType::Int64),
+                ]),
+                vec![
+                    ColumnData::Int64(vec![0; rows]),
+                    ColumnData::Int64(vec![0; rows]),
+                ],
+            )
+            .unwrap(),
+        )
+        .unwrap();
+        db
+    }
+
+    fn trained() -> CriticalPath {
+        let mut cp = CriticalPath::new();
+        for class in robustq_sim::OpClass::ALL {
+            for mb in [1u64, 8, 64] {
+                let b = mb * 1_000_000;
+                cp.observe(
+                    class,
+                    DeviceId::Cpu,
+                    b,
+                    0,
+                    VirtualTime::from_secs_f64(b as f64 / 8.0e9),
+                );
+                cp.observe(
+                    class,
+                    DeviceId::Gpu,
+                    b,
+                    0,
+                    VirtualTime::from_secs_f64(b as f64 / 24.0e9),
+                );
+            }
+        }
+        cp
+    }
+
+    #[test]
+    fn cold_cache_with_big_columns_stays_on_cpu() {
+        // 8 MB per column over a ~1.2 GB/s link dwarfs the kernel gain.
+        let db = db_with_two_columns(1_000_000);
+        let c = cache(0);
+        let ctx = ctx(&db, &c);
+        let mut cp = trained();
+        let out = cp.plan_query(&plan_tasks(8_000_000), &ctx);
+        assert_eq!(out, vec![Some(DeviceId::Cpu); 4]);
+    }
+
+    #[test]
+    fn hot_cache_moves_chains_to_gpu() {
+        let db = db_with_two_columns(1_000_000);
+        let mut c: DataCache = cache(1 << 30);
+        c.set_pinned(&[(CacheKey(0), 8_000_000), (CacheKey(1), 8_000_000)]);
+        let ctx = ctx(&db, &c);
+        let mut cp = trained();
+        let out = cp.plan_query(&plan_tasks(8_000_000), &ctx);
+        // Both scans cached: everything chains onto the co-processor.
+        assert_eq!(out[0], Some(DeviceId::Gpu));
+        assert_eq!(out[1], Some(DeviceId::Gpu));
+        assert_eq!(out[2], Some(DeviceId::Gpu), "binary op follows both children");
+    }
+
+    #[test]
+    fn single_cached_side_keeps_binary_on_cpu() {
+        let db = db_with_two_columns(1_000_000);
+        let mut c: DataCache = cache(1 << 30);
+        c.set_pinned(&[(CacheKey(0), 8_000_000)]);
+        let ctx = ctx(&db, &c);
+        let mut cp = trained();
+        let out = cp.plan_query(&plan_tasks(8_000_000), &ctx);
+        // The cold side stays on the CPU, so the join cannot chain.
+        assert_eq!(out[1], Some(DeviceId::Cpu));
+        assert_eq!(out[2], Some(DeviceId::Cpu));
+    }
+
+    #[test]
+    fn closure_respects_binary_rule() {
+        let tasks = plan_tasks(1_000);
+        let devices = CriticalPath::closure(&[true, false, false, false], &tasks, 0);
+        assert_eq!(devices[0], DeviceId::Gpu);
+        assert_eq!(devices[2], DeviceId::Cpu, "join needs both children on GPU");
+        let devices = CriticalPath::closure(&[true, true, false, false], &tasks, 0);
+        assert_eq!(devices[2], DeviceId::Gpu);
+        assert_eq!(devices[3], DeviceId::Gpu, "unary chain continues");
+    }
+
+    #[test]
+    fn empty_plan_is_handled() {
+        let db = empty_db();
+        let c = cache(0);
+        let ctx = ctx(&db, &c);
+        let mut cp = CriticalPath::new();
+        assert!(cp.plan_query(&[], &ctx).is_empty());
+    }
+
+    #[test]
+    fn iteration_cap_limits_rounds() {
+        let db = db_with_two_columns(10);
+        let mut c: DataCache = cache(1 << 20);
+        c.set_pinned(&[(CacheKey(0), 80), (CacheKey(1), 80)]);
+        let ctx = ctx(&db, &c);
+        let mut cp = trained().with_max_iterations(1);
+        let out = cp.plan_query(&plan_tasks(80), &ctx);
+        // With tiny data the launch overheads decide; we only check the
+        // cap does not break the search.
+        assert_eq!(out.len(), 4);
+        assert!(out.iter().all(Option::is_some));
+    }
+}

@@ -1,0 +1,287 @@
+//! Data-driven operator placement (Section 3) and its combination with
+//! query chopping (Section 5.4).
+//!
+//! The storage adviser (our [`DataPlacementManager`]) pins the most
+//! frequently used columns into the co-processor cache; the query
+//! processor places an operator on the co-processor *if and only if* its
+//! input is resident there. Scans check the pinned cache; downstream
+//! operators chain — they run on the co-processor exactly when all their
+//! children did, so the chain breaks at the first operator with a
+//! non-resident input and the rest of the query stays on the CPU
+//! (Section 3.3).
+
+use crate::placement_mgr::{DataPlacementManager, PlacementPolicyKind};
+use crate::strategies::runtime::RuntimePlacer;
+use robustq_engine::{PlacementPolicy, PolicyCtx, TaskInfo};
+use robustq_sim::{CacheKey, DataCache, DeviceId, OpClass, VirtualTime};
+use robustq_storage::Database;
+
+/// Shared chaining rule: co-processor iff every input is resident.
+fn data_driven_device(task: &TaskInfo, all_cached: bool) -> DeviceId {
+    if task.children_devices.is_empty() && task.children_tasks.is_empty() {
+        // Leaf scan: follow the pinned data.
+        if all_cached && !task.base_columns.is_empty() {
+            DeviceId::Gpu
+        } else {
+            DeviceId::Cpu
+        }
+    } else if task
+        .children_devices
+        .iter()
+        .all(|&d| d == DeviceId::Gpu)
+        && !task.children_devices.is_empty()
+    {
+        DeviceId::Gpu
+    } else {
+        DeviceId::Cpu
+    }
+}
+
+/// Data-driven operator placement at compile time (Section 3).
+///
+/// The whole chain is fixed when the query is admitted, based on cache
+/// residency at that moment; aborted operators restart on the CPU but
+/// their successors keep their annotation (this is why Data-Driven alone
+/// does not solve heap contention — Figure 7).
+#[derive(Debug, Clone)]
+pub struct DataDriven {
+    manager: DataPlacementManager,
+}
+
+impl DataDriven {
+    /// Data-driven placement with the given ranking criterion.
+    pub fn new(kind: PlacementPolicyKind) -> Self {
+        DataDriven { manager: DataPlacementManager::new(kind) }
+    }
+
+    /// Override the manager (e.g. to cap the pin budget in Figure 24).
+    pub fn with_manager(manager: DataPlacementManager) -> Self {
+        DataDriven { manager }
+    }
+}
+
+impl PlacementPolicy for DataDriven {
+    fn name(&self) -> &'static str {
+        "Data-Driven"
+    }
+
+    fn plan_query(&mut self, tasks: &[TaskInfo], ctx: &PolicyCtx) -> Vec<Option<DeviceId>> {
+        let base = tasks.first().map_or(0, |t| t.task);
+        let mut devices: Vec<DeviceId> = Vec::with_capacity(tasks.len());
+        for t in tasks {
+            // Postorder: children already decided.
+            let children: Vec<DeviceId> =
+                t.children_tasks.iter().map(|&c| devices[c - base]).collect();
+            let resolved = TaskInfo { children_devices: children, ..t.clone() };
+            let cached = ctx.all_cached(&resolved.base_columns);
+            devices.push(data_driven_device(&resolved, cached));
+        }
+        devices.into_iter().map(Some).collect()
+    }
+
+    fn caches_on_miss(&self) -> bool {
+        false
+    }
+
+    fn update_data_placement(
+        &mut self,
+        db: &Database,
+        cache: &mut DataCache,
+    ) -> Vec<CacheKey> {
+        self.manager.update(db, cache)
+    }
+}
+
+/// Data-driven query chopping (Section 5.4): the combined, robust
+/// strategy. Placement follows the pinned data like [`DataDriven`], but
+/// is decided at run time per ready operator (so aborts re-route the rest
+/// of the query), and the per-device thread pool bounds concurrent heap
+/// use.
+#[derive(Debug, Clone)]
+pub struct DataDrivenChopping {
+    manager: DataPlacementManager,
+    placer: RuntimePlacer,
+    slot_override: Option<usize>,
+}
+
+impl DataDrivenChopping {
+    /// Data-driven chopping with the given ranking criterion.
+    pub fn new(kind: PlacementPolicyKind) -> Self {
+        DataDrivenChopping {
+            manager: DataPlacementManager::new(kind),
+            placer: RuntimePlacer::new(),
+            slot_override: None,
+        }
+    }
+
+    /// Override the manager (pin-budget sweeps).
+    pub fn with_manager(manager: DataPlacementManager) -> Self {
+        DataDrivenChopping {
+            manager,
+            placer: RuntimePlacer::new(),
+            slot_override: None,
+        }
+    }
+
+    /// Fix the worker-slot bound on both devices (ablations).
+    pub fn with_slots(mut self, slots: usize) -> Self {
+        self.slot_override = Some(slots);
+        self
+    }
+}
+
+impl PlacementPolicy for DataDrivenChopping {
+    fn name(&self) -> &'static str {
+        "Data-Driven Chopping"
+    }
+
+    fn place_ready(&mut self, task: &TaskInfo, ctx: &PolicyCtx) -> DeviceId {
+        let cached = ctx.all_cached(&task.base_columns);
+        data_driven_device(task, cached)
+    }
+
+    fn worker_slots(&self, _device: DeviceId, spec_slots: usize) -> usize {
+        self.slot_override.unwrap_or(spec_slots)
+    }
+
+    fn caches_on_miss(&self) -> bool {
+        false
+    }
+
+    fn observe(
+        &mut self,
+        op_class: OpClass,
+        device: DeviceId,
+        bytes_in: u64,
+        bytes_out: u64,
+        duration: VirtualTime,
+    ) {
+        self.placer.observe(op_class, device, bytes_in, bytes_out, duration);
+    }
+
+    fn update_data_placement(
+        &mut self,
+        db: &Database,
+        cache: &mut DataCache,
+    ) -> Vec<CacheKey> {
+        self.manager.update(db, cache)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::strategies::runtime::test_support::{cache, ctx, empty_db, task};
+    use robustq_storage::ColumnId;
+
+    fn scan_task(cols: Vec<ColumnId>) -> TaskInfo {
+        TaskInfo { base_columns: cols, ..task(1_000) }
+    }
+
+    #[test]
+    fn scan_follows_pinned_data() {
+        let db = empty_db();
+        let mut c = cache(1_000);
+        c.set_pinned(&[(CacheKey(1), 10), (CacheKey(2), 10)]);
+        let ctx = ctx(&db, &c);
+        let mut p = DataDrivenChopping::new(PlacementPolicyKind::Lfu);
+        // Both columns resident -> GPU.
+        let t = scan_task(vec![ColumnId(1), ColumnId(2)]);
+        assert_eq!(p.place_ready(&t, &ctx), DeviceId::Gpu);
+        // One missing -> CPU.
+        let t = scan_task(vec![ColumnId(1), ColumnId(3)]);
+        assert_eq!(p.place_ready(&t, &ctx), DeviceId::Cpu);
+    }
+
+    #[test]
+    fn chain_breaks_at_first_cpu_child() {
+        let db = empty_db();
+        let c = cache(0);
+        let ctx = ctx(&db, &c);
+        let mut p = DataDrivenChopping::new(PlacementPolicyKind::Lfu);
+        let mut t = task(1_000);
+        t.children_tasks = vec![0, 1];
+        t.children_devices = vec![DeviceId::Gpu, DeviceId::Gpu];
+        t.children_bytes = vec![10, 10];
+        assert_eq!(p.place_ready(&t, &ctx), DeviceId::Gpu);
+        t.children_devices = vec![DeviceId::Gpu, DeviceId::Cpu];
+        assert_eq!(p.place_ready(&t, &ctx), DeviceId::Cpu);
+    }
+
+    #[test]
+    fn compile_time_data_driven_chains_through_plan() {
+        let db = empty_db();
+        let mut c = cache(1_000);
+        c.set_pinned(&[(CacheKey(7), 10)]);
+        let ctx = ctx(&db, &c);
+        let mut p = DataDriven::new(PlacementPolicyKind::Lfu);
+
+        // Tasks 0,1 are scans; 2 joins them (postorder, ids offset by 40).
+        let mut scan_hot = scan_task(vec![ColumnId(7)]);
+        scan_hot.task = 40;
+        let mut scan_cold = scan_task(vec![ColumnId(9)]);
+        scan_cold.task = 41;
+        let mut join = task(2_000);
+        join.task = 42;
+        join.children_tasks = vec![40, 41];
+        let out = p.plan_query(&[scan_hot.clone(), scan_cold, join.clone()], &ctx);
+        assert_eq!(
+            out,
+            vec![Some(DeviceId::Gpu), Some(DeviceId::Cpu), Some(DeviceId::Cpu)],
+            "join chains to CPU because one input scan is cold"
+        );
+
+        // If both scans are hot the whole chain goes to the co-processor.
+        let mut scan_hot2 = scan_task(vec![ColumnId(7)]);
+        scan_hot2.task = 41;
+        let out = p.plan_query(&[scan_hot, scan_hot2, join], &ctx);
+        assert_eq!(out, vec![Some(DeviceId::Gpu); 3]);
+    }
+
+    #[test]
+    fn data_driven_never_caches_on_miss() {
+        assert!(!DataDriven::new(PlacementPolicyKind::Lfu).caches_on_miss());
+        assert!(!DataDrivenChopping::new(PlacementPolicyKind::Lfu).caches_on_miss());
+    }
+
+    #[test]
+    fn placement_update_delegates_to_manager() {
+        use robustq_storage::{ColumnData, DataType, Field, Schema, Table};
+        let mut db = Database::new();
+        db.add_table(
+            Table::new(
+                "t",
+                Schema::new(vec![Field::new("x", DataType::Int32)]),
+                vec![ColumnData::Int32(vec![1, 2, 3])],
+            )
+            .unwrap(),
+        )
+        .unwrap();
+        db.stats().record_access(0);
+        let mut c = cache(1_000);
+        let mut p = DataDrivenChopping::new(PlacementPolicyKind::Lfu);
+        let newly = p.update_data_placement(&db, &mut c);
+        assert_eq!(newly.len(), 1);
+        assert!(c.contains(CacheKey(0)));
+    }
+
+    #[test]
+    fn slot_bounds() {
+        let p = DataDrivenChopping::new(PlacementPolicyKind::Lfu);
+        assert_eq!(p.worker_slots(DeviceId::Gpu, 4), 4);
+        let p = p.with_slots(1);
+        assert_eq!(p.worker_slots(DeviceId::Gpu, 4), 1);
+        // Compile-time DataDriven does not chop.
+        let p = DataDriven::new(PlacementPolicyKind::Lfu);
+        assert_eq!(p.worker_slots(DeviceId::Gpu, 4), usize::MAX);
+    }
+
+    #[test]
+    fn scan_with_no_base_columns_stays_on_cpu() {
+        let db = empty_db();
+        let c = cache(0);
+        let ctx = ctx(&db, &c);
+        let mut p = DataDrivenChopping::new(PlacementPolicyKind::Lfu);
+        assert_eq!(p.place_ready(&task(100), &ctx), DeviceId::Cpu);
+    }
+}

@@ -1,0 +1,291 @@
+//! Run-time operator placement (Section 4).
+//!
+//! Placement is deferred to the moment an operator becomes ready: all
+//! input cardinalities are exact, faults have already been observed (an
+//! aborted child's output resides on the CPU, so the successor naturally
+//! follows it there — avoiding the Figure 8 pathology), and HyPE's load
+//! tracking per ready queue steers the choice.
+
+use crate::hype::HypeEstimator;
+use robustq_engine::{PlacementPolicy, PolicyCtx, TaskInfo};
+use robustq_sim::{CacheKey, DeviceId, OpClass, VirtualTime};
+
+/// The shared run-time placement logic: estimated-completion-time
+/// minimization over both devices, using learned kernel models plus
+/// measured transfer bandwidth.
+#[derive(Debug, Clone, Default)]
+pub struct RuntimePlacer {
+    /// The learned kernel/transfer models.
+    pub hype: HypeEstimator,
+}
+
+impl RuntimePlacer {
+    /// A placer with unfitted models (cold-start priors).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Bytes that would have to cross the bus host→device for `task`.
+    fn h2d_bytes(&self, task: &TaskInfo, ctx: &PolicyCtx) -> u64 {
+        let mut bytes = 0;
+        for &col in &task.base_columns {
+            if !ctx.cache.contains(CacheKey(col.0 as u64)) {
+                bytes += ctx.db.column_size(col);
+            }
+        }
+        for (dev, b) in task.children_devices.iter().zip(&task.children_bytes) {
+            if *dev == DeviceId::Cpu {
+                bytes += b;
+            }
+        }
+        bytes
+    }
+
+    /// Bytes that would have to cross the bus device→host if the task ran
+    /// on the CPU.
+    fn d2h_bytes(&self, task: &TaskInfo) -> u64 {
+        task.children_devices
+            .iter()
+            .zip(&task.children_bytes)
+            .filter(|(dev, _)| **dev == DeviceId::Gpu)
+            .map(|(_, b)| b)
+            .sum()
+    }
+
+    /// Estimated completion time of `task` on `device`.
+    pub fn completion_estimate(
+        &self,
+        task: &TaskInfo,
+        device: DeviceId,
+        ctx: &PolicyCtx,
+    ) -> VirtualTime {
+        let kernel = self.hype.estimate(
+            task.op_class,
+            device,
+            task.bytes_in,
+            task.bytes_out_estimate,
+        );
+        let transfer = match device {
+            DeviceId::Gpu => self.hype.estimate_transfer(self.h2d_bytes(task, ctx)),
+            DeviceId::Cpu => self.hype.estimate_transfer(self.d2h_bytes(task)),
+        };
+        ctx.queued_work[device.index()] + transfer + kernel
+    }
+
+    /// Pick the device with the smaller estimated completion time
+    /// (ties go to the CPU — the risk-free side).
+    ///
+    /// One advantage of placing at run time (Section 4): current heap
+    /// usage and co-processor occupancy are observable. The admission
+    /// check is deliberately crude — it projects this task's input size
+    /// onto the already-running operators (2× input each, below the real
+    /// 3.25× selection footprint) — so heterogeneous workloads still
+    /// cause aborts, just fewer than blind compile-time placement
+    /// (Figure 13's middle curve).
+    pub fn choose(&self, task: &TaskInfo, ctx: &PolicyCtx) -> DeviceId {
+        let projected = (1 + ctx.running[DeviceId::Gpu.index()] as u64)
+            .saturating_mul(task.bytes_in.saturating_mul(2));
+        if ctx.gpu_heap_free < projected {
+            return DeviceId::Cpu;
+        }
+        let cpu = self.completion_estimate(task, DeviceId::Cpu, ctx);
+        let gpu = self.completion_estimate(task, DeviceId::Gpu, ctx);
+        if gpu < cpu {
+            DeviceId::Gpu
+        } else {
+            DeviceId::Cpu
+        }
+    }
+
+    /// Feed one completed-operator observation to the models.
+    pub fn observe(
+        &mut self,
+        op_class: OpClass,
+        device: DeviceId,
+        bytes_in: u64,
+        bytes_out: u64,
+        duration: VirtualTime,
+    ) {
+        self.hype.observe(op_class, device, bytes_in, bytes_out, duration);
+    }
+}
+
+/// Plain run-time placement: tactical decisions at execution time, no
+/// concurrency bound (Section 4 / Figure 9).
+#[derive(Debug, Clone, Default)]
+pub struct RuntimePlacement {
+    placer: RuntimePlacer,
+}
+
+impl RuntimePlacement {
+    /// Run-time placement with unfitted models.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The underlying placer (and its learned models).
+    pub fn placer(&self) -> &RuntimePlacer {
+        &self.placer
+    }
+}
+
+impl PlacementPolicy for RuntimePlacement {
+    fn name(&self) -> &'static str {
+        "Run-Time Placement"
+    }
+
+    fn place_ready(&mut self, task: &TaskInfo, ctx: &PolicyCtx) -> DeviceId {
+        self.placer.choose(task, ctx)
+    }
+
+    fn observe(
+        &mut self,
+        op_class: OpClass,
+        device: DeviceId,
+        bytes_in: u64,
+        bytes_out: u64,
+        duration: VirtualTime,
+    ) {
+        self.placer.observe(op_class, device, bytes_in, bytes_out, duration);
+    }
+}
+
+#[cfg(test)]
+pub(crate) mod test_support {
+    use super::*;
+    use robustq_sim::{CachePolicy, DataCache};
+    use robustq_storage::Database;
+
+    pub fn empty_db() -> Database {
+        Database::new()
+    }
+
+    pub fn cache(capacity: u64) -> DataCache {
+        DataCache::new(capacity, CachePolicy::Lru)
+    }
+
+    pub fn ctx<'a>(db: &'a Database, cache: &'a DataCache) -> PolicyCtx<'a> {
+        PolicyCtx {
+            db,
+            cache,
+            queued_work: [VirtualTime::ZERO; 2],
+            running: [0; 2],
+            gpu_heap_free: u64::MAX,
+            now: VirtualTime::ZERO,
+        }
+    }
+
+    pub fn task(bytes_in: u64) -> TaskInfo {
+        TaskInfo {
+            query: 0,
+            task: 0,
+            op_class: OpClass::Selection,
+            base_columns: vec![],
+            bytes_in,
+            bytes_out_estimate: bytes_in / 10,
+            children_devices: vec![],
+            children_bytes: vec![],
+            children_tasks: vec![],
+            was_aborted: false,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::test_support::*;
+    use super::*;
+
+    /// Teach the estimator that the GPU is much faster.
+    fn trained_placer() -> RuntimePlacer {
+        let mut p = RuntimePlacer::new();
+        for mb in [1u64, 4, 16, 64] {
+            let b = mb * 1_000_000;
+            p.observe(
+                OpClass::Selection,
+                DeviceId::Cpu,
+                b,
+                0,
+                VirtualTime::from_secs_f64(b as f64 / 10.0e9),
+            );
+            p.observe(
+                OpClass::Selection,
+                DeviceId::Gpu,
+                b,
+                0,
+                VirtualTime::from_secs_f64(b as f64 / 30.0e9),
+            );
+        }
+        p
+    }
+
+    #[test]
+    fn prefers_gpu_when_data_is_resident() {
+        let db = empty_db();
+        let cache = cache(0);
+        let ctx = ctx(&db, &cache);
+        let placer = trained_placer();
+        // No base columns, children on GPU: zero transfer either way in
+        // h2d, but CPU placement would pull the child back.
+        let mut t = task(8_000_000);
+        t.children_devices = vec![DeviceId::Gpu];
+        t.children_bytes = vec![8_000_000];
+        assert_eq!(placer.choose(&t, &ctx), DeviceId::Gpu);
+    }
+
+    #[test]
+    fn prefers_cpu_when_transfer_dominates() {
+        let db = empty_db();
+        let cache = cache(0);
+        let ctx = ctx(&db, &cache);
+        let placer = trained_placer();
+        // Child output is on the CPU: the GPU pays a 1.2 GB/s copy that
+        // dwarfs the kernel speedup.
+        let mut t = task(8_000_000);
+        t.children_devices = vec![DeviceId::Cpu];
+        t.children_bytes = vec![8_000_000];
+        assert_eq!(placer.choose(&t, &ctx), DeviceId::Cpu);
+    }
+
+    #[test]
+    fn load_balancing_diverts_from_busy_device() {
+        let db = empty_db();
+        let cache = cache(0);
+        let mut ctx = ctx(&db, &cache);
+        let placer = trained_placer();
+        let mut t = task(8_000_000);
+        t.children_devices = vec![DeviceId::Gpu];
+        t.children_bytes = vec![8_000_000];
+        assert_eq!(placer.choose(&t, &ctx), DeviceId::Gpu);
+        // Pile an hour of queued work on the GPU: go CPU despite transfer.
+        ctx.queued_work[DeviceId::Gpu.index()] = VirtualTime::from_secs_f64(3_600.0);
+        assert_eq!(placer.choose(&t, &ctx), DeviceId::Cpu);
+    }
+
+    #[test]
+    fn untrained_placer_uses_priors_and_still_decides() {
+        let db = empty_db();
+        let cache = cache(0);
+        let ctx = ctx(&db, &cache);
+        let placer = RuntimePlacer::new();
+        let t = task(1_000_000);
+        // With the default priors (GPU 3× faster, no transfers needed)
+        // the GPU wins.
+        assert_eq!(placer.choose(&t, &ctx), DeviceId::Gpu);
+    }
+
+    #[test]
+    fn runtime_placement_policy_delegates() {
+        let db = empty_db();
+        let c = cache(0);
+        let ctx = ctx(&db, &c);
+        let mut p = RuntimePlacement::new();
+        assert_eq!(p.name(), "Run-Time Placement");
+        assert_eq!(p.worker_slots(DeviceId::Gpu, 4), usize::MAX, "no chopping");
+        let t = task(1_000_000);
+        let d = p.place_ready(&t, &ctx);
+        assert_eq!(d, DeviceId::Gpu);
+        p.observe(OpClass::Selection, d, 1, 1, VirtualTime::from_micros(1));
+        assert_eq!(p.placer().hype.total_observations(), 1);
+    }
+}

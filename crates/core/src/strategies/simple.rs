@@ -1,0 +1,93 @@
+//! Single-device reference strategies.
+
+use robustq_engine::{PlacementPolicy, PolicyCtx, TaskInfo};
+use robustq_sim::DeviceId;
+
+/// Execute everything on the CPU (the paper's CPU-Only reference).
+#[derive(Debug, Default, Clone)]
+pub struct CpuOnly;
+
+impl PlacementPolicy for CpuOnly {
+    fn name(&self) -> &'static str {
+        "CPU Only"
+    }
+
+    fn plan_query(&mut self, tasks: &[TaskInfo], _ctx: &PolicyCtx) -> Vec<Option<DeviceId>> {
+        vec![Some(DeviceId::Cpu); tasks.len()]
+    }
+}
+
+/// Execute everything on the co-processor, falling back to the CPU only
+/// when an operator aborts (the paper's *GPU Preferred* / GPU-Only
+/// reference, Section 6.2). Operator-driven data placement at compile
+/// time: columns are cached on access, and successors of an aborted
+/// operator stay on the GPU — the Figure 8 pathology.
+#[derive(Debug, Default, Clone)]
+pub struct GpuPreferred;
+
+impl PlacementPolicy for GpuPreferred {
+    fn name(&self) -> &'static str {
+        "GPU Only"
+    }
+
+    fn plan_query(&mut self, tasks: &[TaskInfo], _ctx: &PolicyCtx) -> Vec<Option<DeviceId>> {
+        vec![Some(DeviceId::Gpu); tasks.len()]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use robustq_sim::{CachePolicy, DataCache, OpClass, VirtualTime};
+    use robustq_storage::Database;
+
+    fn ctx_fixture<'a>(db: &'a Database, cache: &'a DataCache) -> PolicyCtx<'a> {
+        PolicyCtx {
+            db,
+            cache,
+            queued_work: [VirtualTime::ZERO; 2],
+            running: [0; 2],
+            gpu_heap_free: 0,
+            now: VirtualTime::ZERO,
+        }
+    }
+
+    fn info() -> TaskInfo {
+        TaskInfo {
+            query: 0,
+            task: 0,
+            op_class: OpClass::Selection,
+            base_columns: vec![],
+            bytes_in: 100,
+            bytes_out_estimate: 10,
+            children_devices: vec![],
+            children_bytes: vec![],
+            children_tasks: vec![],
+            was_aborted: false,
+        }
+    }
+
+    #[test]
+    fn cpu_only_annotates_cpu() {
+        let db = Database::new();
+        let cache = DataCache::new(0, CachePolicy::Lru);
+        let mut p = CpuOnly;
+        assert_eq!(
+            p.plan_query(&[info(), info()], &ctx_fixture(&db, &cache)),
+            vec![Some(DeviceId::Cpu); 2]
+        );
+    }
+
+    #[test]
+    fn gpu_preferred_annotates_gpu_and_caches_on_miss() {
+        let db = Database::new();
+        let cache = DataCache::new(0, CachePolicy::Lru);
+        let mut p = GpuPreferred;
+        assert_eq!(
+            p.plan_query(&[info()], &ctx_fixture(&db, &cache)),
+            vec![Some(DeviceId::Gpu)]
+        );
+        assert!(p.caches_on_miss());
+        assert_eq!(p.worker_slots(DeviceId::Gpu, 4), usize::MAX);
+    }
+}

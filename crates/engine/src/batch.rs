@@ -1,0 +1,328 @@
+//! Materialized intermediate results.
+//!
+//! A [`Chunk`] is what flows between operators: a set of named, typed,
+//! equal-length columns. Operator-at-a-time processing means every
+//! operator consumes whole chunks and materializes whole chunks — there is
+//! no pipelining, exactly like the paper's evaluation engine.
+
+use robustq_storage::{ColumnData, DataType, Field, Table, Value};
+
+/// A fully materialized intermediate result.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Chunk {
+    fields: Vec<Field>,
+    columns: Vec<ColumnData>,
+}
+
+impl Chunk {
+    /// Build a chunk; panics (debug) if lengths are inconsistent.
+    pub fn new(fields: Vec<Field>, columns: Vec<ColumnData>) -> Self {
+        debug_assert_eq!(fields.len(), columns.len());
+        debug_assert!(
+            columns.windows(2).all(|w| w[0].len() == w[1].len()),
+            "all chunk columns must have equal length"
+        );
+        debug_assert!(fields
+            .iter()
+            .zip(&columns)
+            .all(|(f, c)| f.data_type == c.data_type()));
+        Chunk { fields, columns }
+    }
+
+    /// An empty, zero-column chunk.
+    pub fn empty() -> Self {
+        Chunk { fields: Vec::new(), columns: Vec::new() }
+    }
+
+    /// Materialize selected columns of a base table into a chunk.
+    ///
+    /// Column order follows `columns`; unknown names are an error.
+    pub fn from_table(table: &Table, columns: &[String]) -> Result<Self, String> {
+        let mut fields = Vec::with_capacity(columns.len());
+        let mut data = Vec::with_capacity(columns.len());
+        for name in columns {
+            let idx = table
+                .schema()
+                .index_of(name)
+                .ok_or_else(|| format!("no column {name} in table {}", table.name()))?;
+            fields.push(table.schema().field(idx).clone());
+            data.push(table.column_at(idx).clone());
+        }
+        Ok(Chunk { fields, columns: data })
+    }
+
+    /// The fields, in column order.
+    pub fn fields(&self) -> &[Field] {
+        &self.fields
+    }
+
+    /// The column data, in field order.
+    pub fn columns(&self) -> &[ColumnData] {
+        &self.columns
+    }
+
+    /// Number of rows.
+    pub fn num_rows(&self) -> usize {
+        self.columns.first().map_or(0, ColumnData::len)
+    }
+
+    /// Number of columns.
+    pub fn num_columns(&self) -> usize {
+        self.columns.len()
+    }
+
+    /// Payload bytes over all columns — the footprint/transfer unit.
+    pub fn byte_size(&self) -> u64 {
+        self.columns.iter().map(ColumnData::byte_size).sum()
+    }
+
+    /// Index of the column named `name`.
+    pub fn index_of(&self, name: &str) -> Option<usize> {
+        self.fields.iter().position(|f| f.name == name)
+    }
+
+    /// Column by name.
+    pub fn column(&self, name: &str) -> Option<&ColumnData> {
+        self.index_of(name).map(|i| &self.columns[i])
+    }
+
+    /// Column by name, with a descriptive error.
+    pub fn require_column(&self, name: &str) -> Result<&ColumnData, String> {
+        self.column(name).ok_or_else(|| {
+            format!(
+                "no column {name} in chunk (have: {})",
+                self.fields
+                    .iter()
+                    .map(|f| f.name.as_str())
+                    .collect::<Vec<_>>()
+                    .join(", ")
+            )
+        })
+    }
+
+    /// Type of the column named `name`.
+    pub fn column_type(&self, name: &str) -> Option<DataType> {
+        self.index_of(name).map(|i| self.fields[i].data_type)
+    }
+
+    /// Gather the given row positions from every column.
+    pub fn gather(&self, positions: &[usize]) -> Chunk {
+        Chunk {
+            fields: self.fields.clone(),
+            columns: self.columns.iter().map(|c| c.gather(positions)).collect(),
+        }
+    }
+
+    /// Concatenate the columns of two chunks side by side (used by joins).
+    ///
+    /// Duplicate names on the right side are suffixed with `_r`.
+    pub fn zip(mut self, right: Chunk) -> Chunk {
+        for (mut f, c) in right.fields.into_iter().zip(right.columns) {
+            if self.index_of(&f.name).is_some() {
+                f.name.push_str("_r");
+            }
+            self.fields.push(f);
+            self.columns.push(c);
+        }
+        self
+    }
+
+    /// Concatenate chunks with identical schemas row-wise.
+    ///
+    /// Dictionary columns are rebuilt (each part has its own dictionary).
+    /// Returns an error on empty input or schema mismatch.
+    pub fn concat(parts: &[Chunk]) -> Result<Chunk, String> {
+        let first = parts.first().ok_or("concat of zero chunks")?;
+        for p in &parts[1..] {
+            if p.fields() != first.fields() {
+                return Err(format!(
+                    "schema mismatch in concat: {:?} vs {:?}",
+                    p.fields(),
+                    first.fields()
+                ));
+            }
+        }
+        let mut columns = Vec::with_capacity(first.num_columns());
+        for c in 0..first.num_columns() {
+            let col = match &first.columns[c] {
+                ColumnData::Int32(_) => ColumnData::Int32(
+                    parts
+                        .iter()
+                        .flat_map(|p| match &p.columns[c] {
+                            ColumnData::Int32(v) => v.iter().copied(),
+                            _ => unreachable!("schemas checked"),
+                        })
+                        .collect(),
+                ),
+                ColumnData::Int64(_) => ColumnData::Int64(
+                    parts
+                        .iter()
+                        .flat_map(|p| match &p.columns[c] {
+                            ColumnData::Int64(v) => v.iter().copied(),
+                            _ => unreachable!("schemas checked"),
+                        })
+                        .collect(),
+                ),
+                ColumnData::Float64(_) => ColumnData::Float64(
+                    parts
+                        .iter()
+                        .flat_map(|p| match &p.columns[c] {
+                            ColumnData::Float64(v) => v.iter().copied(),
+                            _ => unreachable!("schemas checked"),
+                        })
+                        .collect(),
+                ),
+                ColumnData::Str(_) => {
+                    let strings = parts.iter().flat_map(|p| match &p.columns[c] {
+                        ColumnData::Str(d) => {
+                            (0..d.len()).map(move |i| d.get(i).to_owned())
+                        }
+                        _ => unreachable!("schemas checked"),
+                    });
+                    ColumnData::Str(robustq_storage::DictColumn::from_strings(strings))
+                }
+            };
+            columns.push(col);
+        }
+        Ok(Chunk { fields: first.fields.clone(), columns })
+    }
+
+    /// One row as values (for result checks and display).
+    pub fn row(&self, i: usize) -> Vec<Value> {
+        self.columns.iter().map(|c| c.get(i)).collect()
+    }
+
+    /// All rows as value vectors, sorted lexicographically by display form.
+    ///
+    /// Useful for order-insensitive result comparison in tests.
+    pub fn sorted_rows(&self) -> Vec<Vec<Value>> {
+        let mut rows: Vec<Vec<Value>> = (0..self.num_rows()).map(|i| self.row(i)).collect();
+        rows.sort_by_key(|r| r.iter().map(Value::to_string).collect::<Vec<_>>());
+        rows
+    }
+
+    /// A cheap order-insensitive checksum of the chunk's contents.
+    pub fn checksum(&self) -> u64 {
+        let mut acc = 0u64;
+        for i in 0..self.num_rows() {
+            let mut row_hash = 0xcbf2_9ce4_8422_2325u64;
+            for c in &self.columns {
+                row_hash = row_hash
+                    .rotate_left(13)
+                    .wrapping_mul(0x1000_0000_01b3)
+                    .wrapping_add(c.key_at(i));
+            }
+            acc = acc.wrapping_add(row_hash);
+        }
+        acc ^ (self.num_rows() as u64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use robustq_storage::{DictColumn, Schema};
+
+    fn chunk() -> Chunk {
+        Chunk::new(
+            vec![
+                Field::new("k", DataType::Int32),
+                Field::new("s", DataType::Str),
+            ],
+            vec![
+                ColumnData::Int32(vec![1, 2, 3]),
+                ColumnData::Str(DictColumn::from_strings(["a", "b", "c"])),
+            ],
+        )
+    }
+
+    #[test]
+    fn basic_accessors() {
+        let c = chunk();
+        assert_eq!(c.num_rows(), 3);
+        assert_eq!(c.num_columns(), 2);
+        assert_eq!(c.byte_size(), 12 + 12);
+        assert_eq!(c.column_type("k"), Some(DataType::Int32));
+        assert!(c.column("missing").is_none());
+        assert!(c.require_column("missing").is_err());
+    }
+
+    #[test]
+    fn from_table_projects_columns() {
+        let t = Table::new(
+            "t",
+            Schema::new(vec![
+                Field::new("a", DataType::Int32),
+                Field::new("b", DataType::Float64),
+            ]),
+            vec![
+                ColumnData::Int32(vec![1, 2]),
+                ColumnData::Float64(vec![0.5, 1.5]),
+            ],
+        )
+        .unwrap();
+        let c = Chunk::from_table(&t, &["b".into()]).unwrap();
+        assert_eq!(c.num_columns(), 1);
+        assert_eq!(c.column("b").unwrap(), t.column("b").unwrap());
+        assert!(Chunk::from_table(&t, &["zz".into()]).is_err());
+    }
+
+    #[test]
+    fn gather_rows() {
+        let c = chunk().gather(&[2, 0]);
+        assert_eq!(c.row(0), vec![Value::Int32(3), Value::from("c")]);
+        assert_eq!(c.row(1), vec![Value::Int32(1), Value::from("a")]);
+    }
+
+    #[test]
+    fn zip_renames_duplicates() {
+        let a = chunk();
+        let b = chunk();
+        let z = a.zip(b);
+        assert_eq!(z.num_columns(), 4);
+        assert!(z.column("k").is_some());
+        assert!(z.column("k_r").is_some());
+        assert!(z.column("s_r").is_some());
+    }
+
+    #[test]
+    fn checksum_is_order_insensitive() {
+        let a = chunk();
+        let b = chunk().gather(&[2, 1, 0]);
+        assert_eq!(a.checksum(), b.checksum());
+        let c = chunk().gather(&[0, 1]);
+        assert_ne!(a.checksum(), c.checksum());
+    }
+
+    #[test]
+    fn sorted_rows_for_comparison() {
+        let a = chunk().sorted_rows();
+        let b = chunk().gather(&[1, 2, 0]).sorted_rows();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn concat_rebuilds_dictionaries() {
+        let a = chunk();
+        let b = chunk().gather(&[2, 0]);
+        let c = Chunk::concat(&[a.clone(), b]).unwrap();
+        assert_eq!(c.num_rows(), 5);
+        assert_eq!(c.row(3), vec![Value::Int32(3), Value::from("c")]);
+        assert_eq!(c.row(4), vec![Value::Int32(1), Value::from("a")]);
+        // Schema mismatch and empty input are errors.
+        let other = Chunk::new(
+            vec![Field::new("x", DataType::Int32)],
+            vec![ColumnData::Int32(vec![1])],
+        );
+        assert!(Chunk::concat(&[a, other]).is_err());
+        assert!(Chunk::concat(&[]).is_err());
+    }
+
+    #[test]
+    fn empty_chunk() {
+        let e = Chunk::empty();
+        assert_eq!(e.num_rows(), 0);
+        assert_eq!(e.byte_size(), 0);
+        assert_eq!(e.checksum(), 0);
+    }
+}

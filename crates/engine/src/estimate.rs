@@ -1,0 +1,225 @@
+//! Analytical cardinality estimation for compile-time placement.
+//!
+//! Compile-time heuristics (Critical Path, GPU-Preferred) must guess
+//! operator input/output sizes *before* execution — the paper's Section 4
+//! lists exactly this dependence on cardinality estimates as a weakness of
+//! compile-time placement. The estimator here is deliberately simple
+//! (textbook selectivity constants), so the compile-time strategies carry a
+//! realistic amount of estimation error while run-time strategies use
+//! exact, observed cardinalities.
+
+use crate::plan::{JoinKind, PlanNode};
+use crate::predicate::{CmpOp, Predicate};
+use robustq_storage::Database;
+
+/// Estimated size of one operator's output.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Estimate {
+    /// Estimated output rows.
+    pub rows: f64,
+    /// Estimated output payload bytes.
+    pub bytes: f64,
+    /// Fraction of this subtree's base table that survives (used for
+    /// foreign-key join estimation); 1.0 when unknown.
+    pub fraction: f64,
+}
+
+/// Default selectivity of a predicate.
+pub fn selectivity(pred: &Predicate) -> f64 {
+    match pred {
+        Predicate::True => 1.0,
+        Predicate::Cmp { op, .. } => match op {
+            CmpOp::Eq => 0.05,
+            CmpOp::Ne => 0.95,
+            _ => 0.33,
+        },
+        Predicate::Between { .. } => 0.15,
+        Predicate::InList { values, .. } => (0.05 * values.len() as f64).min(1.0),
+        Predicate::StrPrefix { .. } | Predicate::StrSuffix { .. } => 0.1,
+        Predicate::ColCmp { .. } => 0.3,
+        Predicate::And(ps) => ps.iter().map(selectivity).product(),
+        Predicate::Or(ps) => ps.iter().map(selectivity).sum::<f64>().min(1.0),
+        Predicate::Not(p) => 1.0 - selectivity(p),
+    }
+}
+
+/// Estimate the output of `node` bottom-up.
+pub fn estimate(node: &PlanNode, db: &Database) -> Estimate {
+    match node {
+        PlanNode::Scan { table, columns, predicate } => {
+            let (rows, width) = match db.table(table) {
+                Some(t) => {
+                    let width: u64 = columns
+                        .iter()
+                        .filter_map(|c| t.column(c))
+                        .map(|c| c.data_type().byte_width() as u64)
+                        .sum();
+                    (t.num_rows() as f64, width.max(1) as f64)
+                }
+                None => (0.0, 1.0),
+            };
+            let sel = predicate.as_ref().map_or(1.0, selectivity);
+            Estimate { rows: rows * sel, bytes: rows * sel * width, fraction: sel }
+        }
+        PlanNode::Select { input, predicate } => {
+            let e = estimate(input, db);
+            let sel = selectivity(predicate);
+            Estimate {
+                rows: e.rows * sel,
+                bytes: e.bytes * sel,
+                fraction: e.fraction * sel,
+            }
+        }
+        PlanNode::HashJoin { build, probe, kind, .. } => {
+            let b = estimate(build, db);
+            let p = estimate(probe, db);
+            // Foreign-key assumption, symmetric in the join direction:
+            // the join keeps `frac_probe · frac_build` of the *larger*
+            // side's base table (the fact side of a fact–dimension join).
+            let p_base = if p.fraction > 0.0 { p.rows / p.fraction } else { 0.0 };
+            let b_base = if b.fraction > 0.0 { b.rows / b.fraction } else { 0.0 };
+            let matched =
+                (p.fraction * b.fraction).min(1.0) * p_base.max(b_base);
+            let rows = match kind {
+                JoinKind::Inner => matched,
+                JoinKind::Semi => p.rows * b.fraction.min(1.0),
+                JoinKind::Anti => p.rows * (1.0 - b.fraction.min(1.0)),
+            };
+            let row_width = if p.rows > 0.5 { p.bytes / p.rows } else { 8.0 };
+            let build_width = if b.rows > 0.5 { b.bytes / b.rows } else { 0.0 };
+            let width = match kind {
+                JoinKind::Inner => row_width + build_width,
+                _ => row_width,
+            };
+            Estimate { rows, bytes: rows * width, fraction: p.fraction * b.fraction.min(1.0) }
+        }
+        PlanNode::Project { input, exprs } => {
+            let e = estimate(input, db);
+            Estimate {
+                rows: e.rows,
+                bytes: e.rows * 8.0 * exprs.len() as f64,
+                fraction: e.fraction,
+            }
+        }
+        PlanNode::Aggregate { input, group_by, aggs } => {
+            let e = estimate(input, db);
+            let groups = if group_by.is_empty() {
+                1.0
+            } else {
+                // Square-root rule of thumb for distinct groups.
+                e.rows.sqrt().max(1.0)
+            };
+            Estimate {
+                rows: groups,
+                bytes: groups * 8.0 * (group_by.len() + aggs.len()) as f64,
+                fraction: 1.0,
+            }
+        }
+        PlanNode::Sort { input, limit, .. } => {
+            let e = estimate(input, db);
+            let rows = match limit {
+                Some(l) => e.rows.min(*l as f64),
+                None => e.rows,
+            };
+            let width = if e.rows > 0.5 { e.bytes / e.rows } else { 8.0 };
+            Estimate { rows, bytes: rows * width, fraction: e.fraction }
+        }
+    }
+}
+
+/// Estimated *input* bytes of `node`: the sum of its children's outputs,
+/// or the base columns it reads for scans.
+pub fn estimate_input_bytes(node: &PlanNode, db: &Database) -> f64 {
+    match node {
+        PlanNode::Scan { .. } => {
+            let (table, cols) = node.scan_access().expect("scan node");
+            match db.table(table) {
+                Some(t) => cols
+                    .iter()
+                    .filter_map(|c| t.column(c))
+                    .map(|c| c.byte_size() as f64)
+                    .sum(),
+                None => 0.0,
+            }
+        }
+        _ => node.children().iter().map(|c| estimate(c, db).bytes).sum(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::Expr;
+    use crate::plan::AggSpec;
+    use robustq_storage::gen::ssb::SsbGenerator;
+
+    fn db() -> Database {
+        SsbGenerator::new(1).with_rows_per_sf(1_000).generate()
+    }
+
+    #[test]
+    fn scan_estimate_uses_table_cardinality() {
+        let db = db();
+        let plan = PlanNode::scan("lineorder", ["lo_revenue"]);
+        let e = estimate(&plan, &db);
+        assert_eq!(e.rows, 1_000.0);
+        assert_eq!(e.bytes, 8_000.0);
+        assert_eq!(e.fraction, 1.0);
+    }
+
+    #[test]
+    fn predicate_reduces_estimate() {
+        let db = db();
+        let plan = PlanNode::scan("lineorder", ["lo_revenue"])
+            .filter(Predicate::between("lo_discount", 1, 3));
+        let e = estimate(&plan, &db);
+        assert!(e.rows < 1_000.0 && e.rows > 0.0);
+        assert!(e.fraction < 1.0);
+    }
+
+    #[test]
+    fn fk_join_scales_with_build_fraction() {
+        let db = db();
+        let dim = PlanNode::scan("date", ["d_datekey"])
+            .filter(Predicate::eq("d_year", 1993));
+        let plan = PlanNode::scan("lineorder", ["lo_orderdate", "lo_revenue"]).join(
+            dim,
+            "lo_orderdate",
+            "d_datekey",
+        );
+        let e = estimate(&plan, &db);
+        assert!(e.rows < 1_000.0, "filtered dim join must shrink fact side");
+        assert!(e.rows > 1.0);
+    }
+
+    #[test]
+    fn aggregate_shrinks_to_groups() {
+        let db = db();
+        let plan = PlanNode::scan("lineorder", ["lo_orderdate", "lo_revenue"]).aggregate(
+            ["lo_orderdate"],
+            vec![AggSpec::sum(Expr::col("lo_revenue"), "r")],
+        );
+        let e = estimate(&plan, &db);
+        assert!(e.rows <= 1_000.0f64.sqrt() + 1.0);
+    }
+
+    #[test]
+    fn and_selectivities_multiply() {
+        let p = Predicate::and([
+            Predicate::eq("a", 1),
+            Predicate::between("b", 1, 2),
+        ]);
+        assert!((selectivity(&p) - 0.05 * 0.15).abs() < 1e-12);
+    }
+
+    #[test]
+    fn input_bytes_for_scan_counts_predicate_columns() {
+        let db = db();
+        let plain = PlanNode::scan("lineorder", ["lo_revenue"]);
+        let with_pred = PlanNode::scan("lineorder", ["lo_revenue"])
+            .filter(Predicate::between("lo_discount", 1, 3));
+        assert!(
+            estimate_input_bytes(&with_pred, &db) > estimate_input_bytes(&plain, &db)
+        );
+    }
+}

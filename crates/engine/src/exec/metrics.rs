@@ -1,0 +1,121 @@
+//! Run metrics.
+//!
+//! Everything the paper's figures report: workload execution time
+//! (makespan), per-query latencies, CPU→GPU and GPU→CPU transfer time and
+//! bytes, aborted-operator counts and the *wasted time* metric of
+//! Figure 20 (total time from operator begin to abort).
+
+use robustq_sim::{DeviceId, VirtualTime};
+
+/// Outcome of one executed query.
+#[derive(Debug, Clone)]
+pub struct QueryOutcome {
+    /// Session that issued the query.
+    pub session: usize,
+    /// Position within the session's queue.
+    pub seq: usize,
+    /// Time from admission to result on the host.
+    pub latency: VirtualTime,
+    /// Result row count.
+    pub rows: usize,
+    /// Order-insensitive result checksum.
+    pub checksum: u64,
+    /// Full result, when `ExecOptions::capture_results` is set.
+    pub result: Option<crate::batch::Chunk>,
+}
+
+/// Aggregated metrics of one workload run.
+#[derive(Debug, Clone, Default)]
+pub struct RunMetrics {
+    /// Virtual time from start to the last query's completion.
+    pub makespan: VirtualTime,
+    /// Total CPU→GPU transfer service time / bytes.
+    pub h2d_time: VirtualTime,
+    /// Total CPU→GPU bytes moved.
+    pub h2d_bytes: u64,
+    /// Total GPU→CPU transfer service time / bytes.
+    pub d2h_time: VirtualTime,
+    /// Total GPU→CPU bytes moved.
+    pub d2h_bytes: u64,
+    /// Number of co-processor operator aborts.
+    pub aborts: u64,
+    /// Total time from operator begin to abort (Figure 20's metric).
+    pub wasted_time: VirtualTime,
+    /// Busy time per device (indexed by [`DeviceId::index`]).
+    pub device_busy: [VirtualTime; 2],
+    /// Operators completed per device.
+    pub ops_completed: [u64; 2],
+    /// Co-processor heap high-water mark in bytes.
+    pub gpu_heap_peak: u64,
+    /// Co-processor cache hits / misses.
+    pub cache_hits: u64,
+    /// Co-processor cache misses.
+    pub cache_misses: u64,
+    /// Number of queries executed.
+    pub queries: usize,
+}
+
+impl RunMetrics {
+    /// Record one completed operator.
+    pub(crate) fn record_op(&mut self, device: DeviceId, busy: VirtualTime) {
+        self.device_busy[device.index()] += busy;
+        self.ops_completed[device.index()] += 1;
+    }
+
+    /// Total transfer service time in both directions.
+    pub fn total_transfer_time(&self) -> VirtualTime {
+        self.h2d_time + self.d2h_time
+    }
+
+    /// Mean query latency over `outcomes`.
+    pub fn mean_latency(outcomes: &[QueryOutcome]) -> VirtualTime {
+        if outcomes.is_empty() {
+            return VirtualTime::ZERO;
+        }
+        let total: u64 = outcomes.iter().map(|o| o.latency.as_nanos()).sum();
+        VirtualTime::from_nanos(total / outcomes.len() as u64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_op_accumulates() {
+        let mut m = RunMetrics::default();
+        m.record_op(DeviceId::Cpu, VirtualTime::from_millis(2));
+        m.record_op(DeviceId::Cpu, VirtualTime::from_millis(3));
+        m.record_op(DeviceId::Gpu, VirtualTime::from_millis(1));
+        assert_eq!(m.device_busy[0], VirtualTime::from_millis(5));
+        assert_eq!(m.ops_completed[0], 2);
+        assert_eq!(m.ops_completed[1], 1);
+    }
+
+    #[test]
+    fn transfer_total() {
+        let m = RunMetrics {
+            h2d_time: VirtualTime::from_millis(3),
+            d2h_time: VirtualTime::from_millis(4),
+            ..Default::default()
+        };
+        assert_eq!(m.total_transfer_time(), VirtualTime::from_millis(7));
+    }
+
+    #[test]
+    fn mean_latency_of_outcomes() {
+        let out = |l: u64| QueryOutcome {
+            session: 0,
+            seq: 0,
+            latency: VirtualTime::from_millis(l),
+            rows: 0,
+            checksum: 0,
+            result: None,
+        };
+        assert_eq!(
+            RunMetrics::mean_latency(&[out(10), out(20)]),
+            VirtualTime::from_millis(15)
+        );
+        assert_eq!(RunMetrics::mean_latency(&[]), VirtualTime::ZERO);
+    }
+}

@@ -1,0 +1,16 @@
+//! The discrete-event executor.
+//!
+//! * [`task`] — flattened task graphs built from physical plans,
+//! * [`policy`] — the [`policy::PlacementPolicy`] trait the placement
+//!   strategies implement,
+//! * [`metrics`] — run metrics (makespan, transfer times, aborts, wasted
+//!   time),
+//! * [`executor`] — the event loop: per-device ready queues and worker
+//!   slots, input transfers over the simulated link, staged heap
+//!   allocation with operator aborts and CPU fallback, closed-loop
+//!   multi-session workloads, and optional query admission control.
+
+pub mod executor;
+pub mod metrics;
+pub mod policy;
+pub mod task;

@@ -1,0 +1,243 @@
+//! The placement-policy interface.
+//!
+//! Strategies (crate `robustq-core`) implement [`PlacementPolicy`]; the
+//! executor consults it at three points:
+//!
+//! 1. **query admission** — [`PlacementPolicy::plan_query`] may fix a
+//!    compile-time placement per operator (the classic approach of
+//!    Section 2.5.2) or defer by returning `None` entries;
+//! 2. **task readiness** — deferred tasks are placed by
+//!    [`PlacementPolicy::place_ready`] with *exact* input cardinalities
+//!    (run-time placement, Section 4);
+//! 3. **operator completion** — [`PlacementPolicy::observe`] feeds the
+//!    learned cost models, and periodically
+//!    [`PlacementPolicy::update_data_placement`] lets a data-driven
+//!    strategy re-pin the co-processor cache (Section 3.2, Algorithm 1).
+
+use robustq_sim::{CacheKey, DataCache, DeviceId, OpClass, VirtualTime};
+use robustq_storage::{ColumnId, Database};
+
+/// Everything a policy may inspect when placing one task.
+#[derive(Debug, Clone)]
+pub struct TaskInfo {
+    /// Query instance the task belongs to.
+    pub query: usize,
+    /// Task index within the executor.
+    pub task: usize,
+    /// Cost-model class of the operator.
+    pub op_class: OpClass,
+    /// Base columns read directly (non-empty only for scans).
+    pub base_columns: Vec<ColumnId>,
+    /// Input payload bytes: an estimate at compile time, exact at run time.
+    pub bytes_in: u64,
+    /// Output payload bytes: an estimate at compile time, exact only
+    /// after execution (so still an estimate in `place_ready`).
+    pub bytes_out_estimate: u64,
+    /// Devices holding each child's output (empty at compile time).
+    pub children_devices: Vec<DeviceId>,
+    /// Output bytes per child: exact at run time, the child's estimate at
+    /// compile time. Aligned with `children_tasks`.
+    pub children_bytes: Vec<u64>,
+    /// Global task ids of the children (build side first for joins). In
+    /// `plan_query` these index into the same `tasks` slice after
+    /// subtracting the first task's id, exposing the plan tree to
+    /// compile-time strategies like Critical Path.
+    pub children_tasks: Vec<usize>,
+    /// True if this task was already aborted on the co-processor once.
+    pub was_aborted: bool,
+}
+
+/// Read-only snapshot of execution state exposed to policies.
+pub struct PolicyCtx<'a> {
+    /// The database being queried.
+    pub db: &'a Database,
+    /// The co-processor column cache (residency checks).
+    pub cache: &'a DataCache,
+    /// Estimated outstanding work queued per device, indexed by
+    /// [`DeviceId::index`] — HyPE's load tracking signal (Section 5.2).
+    pub queued_work: [VirtualTime; 2],
+    /// Operators currently running per device.
+    pub running: [usize; 2],
+    /// Free bytes of the co-processor heap.
+    pub gpu_heap_free: u64,
+    /// Current virtual time.
+    pub now: VirtualTime,
+}
+
+impl PolicyCtx<'_> {
+    /// True if every base column in `cols` is resident in the
+    /// co-processor cache.
+    pub fn all_cached(&self, cols: &[ColumnId]) -> bool {
+        cols.iter().all(|c| self.cache.contains(CacheKey(c.0 as u64)))
+    }
+}
+
+/// A placement strategy.
+///
+/// The default implementations describe a plain run-time CPU-only policy;
+/// strategies override what they need.
+pub trait PlacementPolicy {
+    /// Human-readable strategy name (used in reports).
+    fn name(&self) -> &'static str;
+
+    /// Compile-time placement for a whole query. One entry per task (same
+    /// order as `tasks`): `Some(device)` fixes the placement, `None`
+    /// defers to [`PlacementPolicy::place_ready`].
+    fn plan_query(&mut self, tasks: &[TaskInfo], ctx: &PolicyCtx) -> Vec<Option<DeviceId>> {
+        let _ = ctx;
+        vec![None; tasks.len()]
+    }
+
+    /// Run-time placement of one ready task.
+    fn place_ready(&mut self, task: &TaskInfo, ctx: &PolicyCtx) -> DeviceId {
+        let _ = (task, ctx);
+        DeviceId::Cpu
+    }
+
+    /// Worker-slot bound for `device`; `spec_slots` is the device's
+    /// configured thread-pool size. Non-chopping strategies return
+    /// `usize::MAX` (operators are pushed, not pulled — Section 5.1).
+    fn worker_slots(&self, device: DeviceId, spec_slots: usize) -> usize {
+        let _ = (device, spec_slots);
+        usize::MAX
+    }
+
+    /// Whether a co-processor scan inserts missing columns into the cache
+    /// (operator-driven data placement). Data-driven strategies return
+    /// `false`: only the placement manager writes the cache.
+    fn caches_on_miss(&self) -> bool {
+        true
+    }
+
+    /// Observe one completed operator (kernel time only, no transfers) —
+    /// the learning signal for HyPE-style cost models.
+    fn observe(
+        &mut self,
+        op_class: OpClass,
+        device: DeviceId,
+        bytes_in: u64,
+        bytes_out: u64,
+        duration: VirtualTime,
+    ) {
+        let _ = (op_class, device, bytes_in, bytes_out, duration);
+    }
+
+    /// Periodic data-placement update (the background job of Section 3.2).
+    /// May re-pin the cache; returns the keys newly cached so the executor
+    /// can charge their transfer time.
+    fn update_data_placement(
+        &mut self,
+        db: &Database,
+        cache: &mut DataCache,
+    ) -> Vec<CacheKey> {
+        let _ = (db, cache);
+        Vec::new()
+    }
+}
+
+/// The trivial CPU-only baseline (also useful in tests).
+#[derive(Debug, Default, Clone)]
+pub struct CpuOnlyPolicy;
+
+impl PlacementPolicy for CpuOnlyPolicy {
+    fn name(&self) -> &'static str {
+        "cpu-only"
+    }
+
+    fn plan_query(&mut self, tasks: &[TaskInfo], _ctx: &PolicyCtx) -> Vec<Option<DeviceId>> {
+        vec![Some(DeviceId::Cpu); tasks.len()]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use robustq_sim::CachePolicy;
+
+    #[test]
+    fn default_trait_methods() {
+        struct Noop;
+        impl PlacementPolicy for Noop {
+            fn name(&self) -> &'static str {
+                "noop"
+            }
+        }
+        let mut p = Noop;
+        let db = Database::new();
+        let cache = DataCache::new(0, CachePolicy::Lru);
+        let ctx = PolicyCtx {
+            db: &db,
+            cache: &cache,
+            queued_work: [VirtualTime::ZERO; 2],
+            running: [0; 2],
+            gpu_heap_free: 0,
+            now: VirtualTime::ZERO,
+        };
+        let info = TaskInfo {
+            query: 0,
+            task: 0,
+            op_class: OpClass::Selection,
+            base_columns: vec![],
+            bytes_in: 0,
+            bytes_out_estimate: 0,
+            children_devices: vec![],
+            children_bytes: vec![],
+            children_tasks: vec![],
+            was_aborted: false,
+        };
+        assert_eq!(p.plan_query(std::slice::from_ref(&info), &ctx), vec![None]);
+        assert_eq!(p.place_ready(&info, &ctx), DeviceId::Cpu);
+        assert_eq!(p.worker_slots(DeviceId::Gpu, 4), usize::MAX);
+        assert!(p.caches_on_miss());
+    }
+
+    #[test]
+    fn all_cached_checks_every_column() {
+        let db = Database::new();
+        let mut cache = DataCache::new(100, CachePolicy::Lru);
+        cache.insert(CacheKey(1), 10);
+        let ctx = PolicyCtx {
+            db: &db,
+            cache: &cache,
+            queued_work: [VirtualTime::ZERO; 2],
+            running: [0; 2],
+            gpu_heap_free: 0,
+            now: VirtualTime::ZERO,
+        };
+        assert!(ctx.all_cached(&[ColumnId(1)]));
+        assert!(!ctx.all_cached(&[ColumnId(1), ColumnId(2)]));
+        assert!(ctx.all_cached(&[]));
+    }
+
+    #[test]
+    fn cpu_only_pins_everything_to_cpu() {
+        let mut p = CpuOnlyPolicy;
+        let db = Database::new();
+        let cache = DataCache::new(0, CachePolicy::Lru);
+        let ctx = PolicyCtx {
+            db: &db,
+            cache: &cache,
+            queued_work: [VirtualTime::ZERO; 2],
+            running: [0; 2],
+            gpu_heap_free: 0,
+            now: VirtualTime::ZERO,
+        };
+        let info = TaskInfo {
+            query: 0,
+            task: 0,
+            op_class: OpClass::HashJoin,
+            base_columns: vec![],
+            bytes_in: 100,
+            bytes_out_estimate: 10,
+            children_devices: vec![],
+            children_bytes: vec![],
+            children_tasks: vec![],
+            was_aborted: false,
+        };
+        assert_eq!(
+            p.plan_query(&[info.clone(), info], &ctx),
+            vec![Some(DeviceId::Cpu); 2]
+        );
+        assert_eq!(p.name(), "cpu-only");
+    }
+}

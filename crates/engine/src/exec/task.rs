@@ -1,0 +1,273 @@
+//! Flattened task graphs.
+//!
+//! The executor works on a flat, index-addressed form of the plan tree:
+//! one [`TaskNode`] per operator, children before parents (postorder), the
+//! root last. Query chopping (Section 5.2) falls out naturally: leaves
+//! have no dependencies and enter the operator stream immediately; every
+//! other task enters when its last child finishes.
+
+use crate::batch::Chunk;
+use crate::expr::Expr;
+use crate::ops;
+use crate::plan::{AggSpec, JoinKind, PlanNode, SortKey};
+use crate::predicate::Predicate;
+use robustq_sim::OpClass;
+use robustq_storage::Database;
+
+/// The operator payload of one task (a plan node without its children).
+#[derive(Debug, Clone, PartialEq)]
+pub enum TaskOp {
+    /// Scan a base table with an optional pushed-down predicate.
+    Scan {
+        /// Table to read.
+        table: String,
+        /// Columns to output.
+        columns: Vec<String>,
+        /// Pushed-down filter, if any.
+        predicate: Option<Predicate>,
+    },
+    /// Filter an intermediate result.
+    Select {
+        /// The filter.
+        predicate: Predicate,
+    },
+    /// Hash equi-join (build side is the first child).
+    HashJoin {
+        /// Key column on the build side.
+        build_key: String,
+        /// Key column on the probe side.
+        probe_key: String,
+        /// Inner, semi or anti.
+        kind: JoinKind,
+    },
+    /// Compute named expressions.
+    Project {
+        /// `(output name, expression)` pairs.
+        exprs: Vec<(String, Expr)>,
+    },
+    /// Group-by aggregation.
+    Aggregate {
+        /// Grouping key columns.
+        group_by: Vec<String>,
+        /// Aggregates to compute.
+        aggs: Vec<AggSpec>,
+    },
+    /// Sort / top-k.
+    Sort {
+        /// Sort keys, most significant first.
+        keys: Vec<SortKey>,
+        /// Keep only the first `limit` rows, if set.
+        limit: Option<usize>,
+    },
+}
+
+impl TaskOp {
+    /// Cost-model class.
+    pub fn op_class(&self) -> OpClass {
+        match self {
+            TaskOp::Scan { .. } | TaskOp::Select { .. } => OpClass::Selection,
+            TaskOp::HashJoin { .. } => OpClass::HashJoin,
+            TaskOp::Project { .. } => OpClass::Projection,
+            TaskOp::Aggregate { .. } => OpClass::Aggregation,
+            TaskOp::Sort { .. } => OpClass::Sort,
+        }
+    }
+
+    /// For scans: table and the full set of base columns read.
+    pub fn scan_access(&self) -> Option<(&str, Vec<String>)> {
+        match self {
+            TaskOp::Scan { table, columns, predicate } => {
+                let mut cols = columns.clone();
+                if let Some(p) = predicate {
+                    for c in p.referenced_columns() {
+                        if !cols.contains(&c) {
+                            cols.push(c);
+                        }
+                    }
+                }
+                Some((table.as_str(), cols))
+            }
+            _ => None,
+        }
+    }
+
+    /// Execute the kernel given the children's outputs (build side first
+    /// for joins).
+    pub fn execute(&self, children: &[Chunk], db: &Database) -> Result<Chunk, String> {
+        match self {
+            TaskOp::Scan { table, columns, predicate } => {
+                let t = db.table(table).ok_or_else(|| format!("no table {table}"))?;
+                let (_, read_cols) = self.scan_access().expect("scan op");
+                let chunk = Chunk::from_table(t, &read_cols)?;
+                let filtered = match predicate {
+                    Some(p) => ops::select::select(&chunk, p)?,
+                    None => chunk,
+                };
+                ops::project::keep_columns(&filtered, columns)
+            }
+            TaskOp::Select { predicate } => ops::select::select(&children[0], predicate),
+            TaskOp::HashJoin { build_key, probe_key, kind } => {
+                ops::join::hash_join(&children[0], &children[1], build_key, probe_key, *kind)
+            }
+            TaskOp::Project { exprs } => ops::project::project(&children[0], exprs),
+            TaskOp::Aggregate { group_by, aggs } => {
+                ops::agg::aggregate(&children[0], group_by, aggs)
+            }
+            TaskOp::Sort { keys, limit } => ops::sort::sort(&children[0], keys, *limit),
+        }
+    }
+
+    /// Short label for diagnostics.
+    pub fn label(&self) -> &'static str {
+        match self {
+            TaskOp::Scan { .. } => "scan",
+            TaskOp::Select { .. } => "select",
+            TaskOp::HashJoin { .. } => "join",
+            TaskOp::Project { .. } => "project",
+            TaskOp::Aggregate { .. } => "aggregate",
+            TaskOp::Sort { .. } => "sort",
+        }
+    }
+}
+
+/// One node of a flattened plan.
+#[derive(Debug, Clone)]
+pub struct TaskNode {
+    /// The operator payload.
+    pub op: TaskOp,
+    /// Indices (within the same flattened plan) of the children, build
+    /// side first for joins.
+    pub children: Vec<usize>,
+    /// Index of the parent; `None` for the root.
+    pub parent: Option<usize>,
+}
+
+/// Flatten a plan tree into postorder task nodes; the root is the last
+/// entry.
+pub fn flatten(plan: &PlanNode) -> Vec<TaskNode> {
+    fn rec(node: &PlanNode, out: &mut Vec<TaskNode>) -> usize {
+        let children: Vec<usize> =
+            node.children().iter().map(|c| rec(c, out)).collect();
+        let op = match node {
+            PlanNode::Scan { table, columns, predicate } => TaskOp::Scan {
+                table: table.clone(),
+                columns: columns.clone(),
+                predicate: predicate.clone(),
+            },
+            PlanNode::Select { predicate, .. } => {
+                TaskOp::Select { predicate: predicate.clone() }
+            }
+            PlanNode::HashJoin { build_key, probe_key, kind, .. } => TaskOp::HashJoin {
+                build_key: build_key.clone(),
+                probe_key: probe_key.clone(),
+                kind: *kind,
+            },
+            PlanNode::Project { exprs, .. } => TaskOp::Project { exprs: exprs.clone() },
+            PlanNode::Aggregate { group_by, aggs, .. } => TaskOp::Aggregate {
+                group_by: group_by.clone(),
+                aggs: aggs.clone(),
+            },
+            PlanNode::Sort { keys, limit, .. } => {
+                TaskOp::Sort { keys: keys.clone(), limit: *limit }
+            }
+        };
+        let idx = out.len();
+        out.push(TaskNode { op, children: children.clone(), parent: None });
+        for c in children {
+            out[c].parent = Some(idx);
+        }
+        idx
+    }
+    let mut out = Vec::with_capacity(plan.num_operators());
+    rec(plan, &mut out);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plan::AggSpec;
+
+    fn plan() -> PlanNode {
+        PlanNode::scan("lineorder", ["lo_orderdate", "lo_revenue"])
+            .filter(Predicate::between("lo_discount", 1, 3))
+            .join(
+                PlanNode::scan("date", ["d_datekey", "d_year"]),
+                "lo_orderdate",
+                "d_datekey",
+            )
+            .aggregate(["d_year"], vec![AggSpec::sum(Expr::col("lo_revenue"), "r")])
+    }
+
+    #[test]
+    fn flatten_is_postorder_with_root_last() {
+        let tasks = flatten(&plan());
+        assert_eq!(tasks.len(), 4);
+        let root = tasks.last().unwrap();
+        assert!(matches!(root.op, TaskOp::Aggregate { .. }));
+        assert!(root.parent.is_none());
+        // Every child index precedes its parent.
+        for (i, t) in tasks.iter().enumerate() {
+            for &c in &t.children {
+                assert!(c < i);
+                assert_eq!(tasks[c].parent, Some(i));
+            }
+        }
+    }
+
+    #[test]
+    fn join_children_are_build_then_probe() {
+        let tasks = flatten(&plan());
+        let join = tasks
+            .iter()
+            .find(|t| matches!(t.op, TaskOp::HashJoin { .. }))
+            .unwrap();
+        assert_eq!(join.children.len(), 2);
+        let build = &tasks[join.children[0]];
+        match &build.op {
+            TaskOp::Scan { table, .. } => assert_eq!(table, "date"),
+            other => panic!("expected date scan on build side, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn leaves_have_no_children() {
+        let tasks = flatten(&plan());
+        let leaves: Vec<_> = tasks.iter().filter(|t| t.children.is_empty()).collect();
+        assert_eq!(leaves.len(), 2);
+        assert!(leaves.iter().all(|t| matches!(t.op, TaskOp::Scan { .. })));
+    }
+
+    #[test]
+    fn task_execution_matches_plan_execution() {
+        use robustq_storage::gen::ssb::SsbGenerator;
+        let db = SsbGenerator::new(1).with_rows_per_sf(500).generate();
+        let p = plan();
+        let direct = crate::ops::execute_plan(&p, &db).unwrap();
+
+        let tasks = flatten(&p);
+        let mut outputs: Vec<Option<Chunk>> = vec![None; tasks.len()];
+        for (i, t) in tasks.iter().enumerate() {
+            let children: Vec<Chunk> = t
+                .children
+                .iter()
+                .map(|&c| outputs[c].clone().expect("postorder guarantees children done"))
+                .collect();
+            outputs[i] = Some(t.op.execute(&children, &db).unwrap());
+        }
+        let via_tasks = outputs.last().unwrap().clone().unwrap();
+        assert_eq!(direct.checksum(), via_tasks.checksum());
+        assert_eq!(direct.num_rows(), via_tasks.num_rows());
+    }
+
+    #[test]
+    fn scan_access_merges_predicate_columns() {
+        let op = TaskOp::Scan {
+            table: "t".into(),
+            columns: vec!["a".into()],
+            predicate: Some(Predicate::eq("b", 1)),
+        };
+        let (_, cols) = op.scan_access().unwrap();
+        assert_eq!(cols, vec!["a".to_string(), "b".into()]);
+    }
+}

@@ -1,0 +1,42 @@
+#![warn(missing_docs)]
+
+//! Operator-at-a-time query execution engine with CPU and simulated-GPU
+//! operator variants.
+//!
+//! The engine mirrors CoGaDB's processing model (Section 2.5 of the
+//! paper): queries are physical operator trees; each operator consumes its
+//! complete input and materializes its output; sibling subtrees may run in
+//! parallel (inter-operator parallelism). Operators *really execute* on
+//! real columns — results are correct and testable — while all reported
+//! timing comes from the `robustq-sim` virtual clock.
+//!
+//! Layout:
+//!
+//! * [`batch`] — materialized intermediate results ([`batch::Chunk`]),
+//! * [`expr`] / [`predicate`] — scalar expressions and filter predicates,
+//! * [`ops`] — the operator kernels (selection, hash join, aggregation,
+//!   projection, sort/top-k),
+//! * [`plan`] — physical plans,
+//! * [`estimate`] — the simple analytical cardinality estimator used by
+//!   compile-time placement heuristics,
+//! * [`exec`] — the discrete-event executor: task graphs, device queues,
+//!   transfers, staged heap allocation, operator aborts and the
+//!   [`exec::policy::PlacementPolicy`] hook that the placement strategies
+//!   in `robustq-core` implement,
+//! * [`vectorized`] — a vector-at-a-time comparator engine (stands in for
+//!   the MonetDB/Ocelot comparison of Appendix A; see DESIGN.md).
+
+pub mod batch;
+pub mod estimate;
+pub mod exec;
+pub mod expr;
+pub mod ops;
+pub mod plan;
+pub mod predicate;
+pub mod vectorized;
+
+pub use batch::Chunk;
+pub use exec::executor::{ExecOptions, Executor, RunOutcome};
+pub use exec::metrics::RunMetrics;
+pub use exec::policy::{PlacementPolicy, PolicyCtx, TaskInfo};
+pub use plan::{AggFunc, AggSpec, JoinKind, PlanNode, SortKey, SortOrder};

@@ -1,0 +1,260 @@
+//! Group-by aggregation kernel.
+
+use crate::batch::Chunk;
+use crate::plan::{AggFunc, AggSpec};
+use robustq_storage::{ColumnData, DataType, Field};
+use std::collections::HashMap;
+
+/// Running state of one aggregate within one group.
+#[derive(Debug, Clone, Copy)]
+struct AggState {
+    sum: f64,
+    count: u64,
+    min: f64,
+    max: f64,
+}
+
+impl AggState {
+    fn new() -> Self {
+        AggState { sum: 0.0, count: 0, min: f64::INFINITY, max: f64::NEG_INFINITY }
+    }
+
+    fn update(&mut self, v: f64) {
+        self.sum += v;
+        self.count += 1;
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+    }
+
+    fn finish(&self, func: AggFunc) -> f64 {
+        match func {
+            AggFunc::Sum => self.sum,
+            AggFunc::Count => self.count as f64,
+            AggFunc::Min => self.min,
+            AggFunc::Max => self.max,
+            AggFunc::Avg => {
+                if self.count == 0 {
+                    0.0
+                } else {
+                    self.sum / self.count as f64
+                }
+            }
+        }
+    }
+}
+
+/// Group `chunk` by the named columns and compute the aggregates.
+///
+/// With an empty `group_by`, produces exactly one row (the global
+/// aggregate) even for empty input — matching SQL aggregate semantics for
+/// `COUNT`, with zero sums.
+pub fn aggregate(
+    chunk: &Chunk,
+    group_by: &[String],
+    aggs: &[AggSpec],
+) -> Result<Chunk, String> {
+    let n = chunk.num_rows();
+    let key_cols: Vec<&ColumnData> = group_by
+        .iter()
+        .map(|name| chunk.require_column(name))
+        .collect::<Result<_, _>>()?;
+    let agg_inputs: Vec<Vec<f64>> = aggs
+        .iter()
+        .map(|a| a.input.evaluate_f64(chunk))
+        .collect::<Result<_, _>>()?;
+
+    // Group index: composite key -> dense group id. The common one- and
+    // two-key cases avoid the per-row Vec allocation.
+    let mut representative: Vec<usize> = Vec::new();
+    let mut states: Vec<Vec<AggState>> = Vec::new();
+    {
+        let mut new_group = |row: usize, states: &mut Vec<Vec<AggState>>| {
+            representative.push(row);
+            states.push(vec![AggState::new(); aggs.len()]);
+            states.len() - 1
+        };
+        match key_cols.as_slice() {
+            [] => {
+                if n > 0 {
+                    let gid = new_group(0, &mut states);
+                    for row in 0..n {
+                        for (s, input) in states[gid].iter_mut().zip(&agg_inputs) {
+                            s.update(input[row]);
+                        }
+                    }
+                }
+            }
+            [k0] => {
+                let mut groups: HashMap<u64, usize> = HashMap::new();
+                for row in 0..n {
+                    let gid = *groups
+                        .entry(k0.key_at(row))
+                        .or_insert_with(|| new_group(row, &mut states));
+                    for (s, input) in states[gid].iter_mut().zip(&agg_inputs) {
+                        s.update(input[row]);
+                    }
+                }
+            }
+            [k0, k1] => {
+                let mut groups: HashMap<(u64, u64), usize> = HashMap::new();
+                for row in 0..n {
+                    let gid = *groups
+                        .entry((k0.key_at(row), k1.key_at(row)))
+                        .or_insert_with(|| new_group(row, &mut states));
+                    for (s, input) in states[gid].iter_mut().zip(&agg_inputs) {
+                        s.update(input[row]);
+                    }
+                }
+            }
+            _ => {
+                let mut groups: HashMap<Vec<u64>, usize> = HashMap::new();
+                for row in 0..n {
+                    let key: Vec<u64> =
+                        key_cols.iter().map(|c| c.key_at(row)).collect();
+                    let gid = *groups
+                        .entry(key)
+                        .or_insert_with(|| new_group(row, &mut states));
+                    for (s, input) in states[gid].iter_mut().zip(&agg_inputs) {
+                        s.update(input[row]);
+                    }
+                }
+            }
+        }
+    }
+
+    // Global aggregate over empty groups: one row of neutral values.
+    if group_by.is_empty() && states.is_empty() {
+        representative.push(0);
+        states.push(vec![AggState::new(); aggs.len()]);
+    }
+
+    let mut fields = Vec::with_capacity(group_by.len() + aggs.len());
+    let mut columns = Vec::with_capacity(group_by.len() + aggs.len());
+    for (name, col) in group_by.iter().zip(&key_cols) {
+        fields.push(Field::new(name.clone(), col.data_type()));
+        columns.push(col.gather(&representative));
+    }
+    for (i, a) in aggs.iter().enumerate() {
+        let vals: Vec<f64> = states.iter().map(|g| g[i].finish(a.func)).collect();
+        match a.func {
+            AggFunc::Count => {
+                fields.push(Field::new(a.output_name.clone(), DataType::Int64));
+                columns.push(ColumnData::Int64(vals.into_iter().map(|v| v as i64).collect()));
+            }
+            _ => {
+                fields.push(Field::new(a.output_name.clone(), DataType::Float64));
+                columns.push(ColumnData::Float64(vals));
+            }
+        }
+    }
+    Ok(Chunk::new(fields, columns))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::Expr;
+    use robustq_storage::{DictColumn, Value};
+
+    fn chunk() -> Chunk {
+        Chunk::new(
+            vec![
+                Field::new("g", DataType::Str),
+                Field::new("v", DataType::Float64),
+            ],
+            vec![
+                ColumnData::Str(DictColumn::from_strings(["x", "y", "x", "x"])),
+                ColumnData::Float64(vec![1.0, 2.0, 3.0, 5.0]),
+            ],
+        )
+    }
+
+    #[test]
+    fn grouped_sum_count_avg() {
+        let out = aggregate(
+            &chunk(),
+            &["g".into()],
+            &[
+                AggSpec::sum(Expr::col("v"), "s"),
+                AggSpec::count("c"),
+                AggSpec::new(AggFunc::Avg, Expr::col("v"), "a"),
+            ],
+        )
+        .unwrap();
+        let mut rows = out.sorted_rows();
+        rows.sort_by_key(|r| r[0].to_string());
+        assert_eq!(
+            rows[0],
+            vec![Value::from("x"), Value::Float64(9.0), Value::Int64(3), Value::Float64(3.0)]
+        );
+        assert_eq!(
+            rows[1],
+            vec![Value::from("y"), Value::Float64(2.0), Value::Int64(1), Value::Float64(2.0)]
+        );
+    }
+
+    #[test]
+    fn min_max() {
+        let out = aggregate(
+            &chunk(),
+            &[],
+            &[
+                AggSpec::new(AggFunc::Min, Expr::col("v"), "lo"),
+                AggSpec::new(AggFunc::Max, Expr::col("v"), "hi"),
+            ],
+        )
+        .unwrap();
+        assert_eq!(out.num_rows(), 1);
+        assert_eq!(out.row(0), vec![Value::Float64(1.0), Value::Float64(5.0)]);
+    }
+
+    #[test]
+    fn global_aggregate_over_empty_input() {
+        let empty = chunk().gather(&[]);
+        let out = aggregate(&empty, &[], &[AggSpec::count("c")]).unwrap();
+        assert_eq!(out.num_rows(), 1);
+        assert_eq!(out.row(0), vec![Value::Int64(0)]);
+    }
+
+    #[test]
+    fn grouped_aggregate_over_empty_input_is_empty() {
+        let empty = chunk().gather(&[]);
+        let out = aggregate(&empty, &["g".into()], &[AggSpec::count("c")]).unwrap();
+        assert_eq!(out.num_rows(), 0);
+    }
+
+    #[test]
+    fn aggregate_of_expression() {
+        let out = aggregate(
+            &chunk(),
+            &[],
+            &[AggSpec::sum(Expr::col("v") * Expr::lit(10.0), "s")],
+        )
+        .unwrap();
+        assert_eq!(out.row(0), vec![Value::Float64(110.0)]);
+    }
+
+    #[test]
+    fn multi_key_grouping() {
+        let c = Chunk::new(
+            vec![
+                Field::new("a", DataType::Int32),
+                Field::new("b", DataType::Int32),
+                Field::new("v", DataType::Float64),
+            ],
+            vec![
+                ColumnData::Int32(vec![1, 1, 2, 1]),
+                ColumnData::Int32(vec![1, 2, 1, 1]),
+                ColumnData::Float64(vec![1.0, 1.0, 1.0, 1.0]),
+            ],
+        );
+        let out =
+            aggregate(&c, &["a".into(), "b".into()], &[AggSpec::count("c")]).unwrap();
+        assert_eq!(out.num_rows(), 3);
+    }
+
+    #[test]
+    fn missing_group_column_is_error() {
+        assert!(aggregate(&chunk(), &["zz".into()], &[AggSpec::count("c")]).is_err());
+    }
+}

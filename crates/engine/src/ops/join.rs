@@ -1,0 +1,237 @@
+//! Hash join kernel (inner, semi, anti).
+
+use crate::batch::Chunk;
+use crate::plan::JoinKind;
+use robustq_storage::{ColumnData, DataType};
+use std::collections::HashMap;
+
+/// Canonical 64-bit join keys for a pair of key columns.
+///
+/// Integer pairs compare as integers, anything involving a float compares
+/// through `f64` bits, and string pairs are interned over the build side's
+/// dictionary (probe-only strings map to a sentinel that never matches).
+fn join_keys(build: &ColumnData, probe: &ColumnData) -> Result<(Vec<u64>, Vec<u64>), String> {
+    use DataType::*;
+    let (bt, pt) = (build.data_type(), probe.data_type());
+    match (bt, pt) {
+        (Str, Str) => {
+            let (b, p) = match (build, probe) {
+                (ColumnData::Str(b), ColumnData::Str(p)) => (b, p),
+                _ => unreachable!("types checked"),
+            };
+            let mut intern: HashMap<&str, u64> = HashMap::new();
+            for (i, s) in b.dict().iter().enumerate() {
+                intern.insert(s.as_str(), i as u64);
+            }
+            let probe_map: Vec<u64> = p
+                .dict()
+                .iter()
+                .map(|s| intern.get(s.as_str()).copied().unwrap_or(u64::MAX))
+                .collect();
+            Ok((
+                b.codes().iter().map(|&c| c as u64).collect(),
+                p.codes().iter().map(|&c| probe_map[c as usize]).collect(),
+            ))
+        }
+        (Str, _) | (_, Str) => {
+            Err("cannot join a string column with a numeric column".into())
+        }
+        (Float64, _) | (_, Float64) => {
+            let conv = |c: &ColumnData| -> Vec<u64> {
+                (0..c.len()).map(|i| c.get_f64(i).to_bits()).collect()
+            };
+            Ok((conv(build), conv(probe)))
+        }
+        _ => {
+            let conv = |c: &ColumnData| -> Vec<u64> {
+                (0..c.len())
+                    .map(|i| match c {
+                        ColumnData::Int32(v) => v[i] as i64 as u64,
+                        ColumnData::Int64(v) => v[i] as u64,
+                        _ => unreachable!("integer types checked"),
+                    })
+                    .collect()
+            };
+            Ok((conv(build), conv(probe)))
+        }
+    }
+}
+
+/// Hash join `probe ⋈ build` on `probe_key = build_key`.
+///
+/// * `Inner`: output is probe columns then build columns (duplicate names
+///   suffixed `_r`), one row per matching pair.
+/// * `Semi`: probe rows with at least one match, probe columns only.
+/// * `Anti`: probe rows with no match, probe columns only.
+pub fn hash_join(
+    build: &Chunk,
+    probe: &Chunk,
+    build_key: &str,
+    probe_key: &str,
+    kind: JoinKind,
+) -> Result<Chunk, String> {
+    let bcol = build.require_column(build_key)?;
+    let pcol = probe.require_column(probe_key)?;
+    let (bkeys, pkeys) = join_keys(bcol, pcol)?;
+
+    let mut table: HashMap<u64, Vec<u32>> = HashMap::with_capacity(bkeys.len());
+    for (i, &k) in bkeys.iter().enumerate() {
+        table.entry(k).or_default().push(i as u32);
+    }
+
+    match kind {
+        JoinKind::Inner => {
+            let mut probe_pos = Vec::new();
+            let mut build_pos = Vec::new();
+            for (i, &k) in pkeys.iter().enumerate() {
+                if k == u64::MAX {
+                    continue; // probe-only string, cannot match
+                }
+                if let Some(matches) = table.get(&k) {
+                    for &b in matches {
+                        probe_pos.push(i);
+                        build_pos.push(b as usize);
+                    }
+                }
+            }
+            Ok(probe.gather(&probe_pos).zip(build.gather(&build_pos)))
+        }
+        JoinKind::Semi => {
+            let pos: Vec<usize> = pkeys
+                .iter()
+                .enumerate()
+                .filter(|&(_, k)| *k != u64::MAX && table.contains_key(k))
+                .map(|(i, _)| i)
+                .collect();
+            Ok(probe.gather(&pos))
+        }
+        JoinKind::Anti => {
+            let pos: Vec<usize> = pkeys
+                .iter()
+                .enumerate()
+                .filter(|&(_, k)| *k == u64::MAX || !table.contains_key(k))
+                .map(|(i, _)| i)
+                .collect();
+            Ok(probe.gather(&pos))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use robustq_storage::{DictColumn, Field, Value};
+
+    fn build_side() -> Chunk {
+        Chunk::new(
+            vec![
+                Field::new("id", DataType::Int32),
+                Field::new("name", DataType::Str),
+            ],
+            vec![
+                ColumnData::Int32(vec![1, 2, 2]),
+                ColumnData::Str(DictColumn::from_strings(["a", "b", "b2"])),
+            ],
+        )
+    }
+
+    fn probe_side() -> Chunk {
+        Chunk::new(
+            vec![
+                Field::new("fk", DataType::Int32),
+                Field::new("v", DataType::Float64),
+            ],
+            vec![
+                ColumnData::Int32(vec![2, 3, 1]),
+                ColumnData::Float64(vec![20.0, 30.0, 10.0]),
+            ],
+        )
+    }
+
+    #[test]
+    fn inner_join_matches_and_duplicates() {
+        let out =
+            hash_join(&build_side(), &probe_side(), "id", "fk", JoinKind::Inner).unwrap();
+        // fk=2 matches two build rows, fk=3 none, fk=1 one.
+        assert_eq!(out.num_rows(), 3);
+        assert_eq!(out.num_columns(), 4);
+        let rows = out.sorted_rows();
+        assert!(rows.contains(&vec![
+            Value::Int32(1),
+            Value::Float64(10.0),
+            Value::Int32(1),
+            Value::from("a")
+        ]));
+    }
+
+    #[test]
+    fn semi_join_keeps_probe_schema() {
+        let out =
+            hash_join(&build_side(), &probe_side(), "id", "fk", JoinKind::Semi).unwrap();
+        assert_eq!(out.num_columns(), 2);
+        assert_eq!(out.num_rows(), 2); // fk=2 and fk=1 (no duplication)
+    }
+
+    #[test]
+    fn anti_join_keeps_non_matching() {
+        let out =
+            hash_join(&build_side(), &probe_side(), "id", "fk", JoinKind::Anti).unwrap();
+        assert_eq!(out.num_rows(), 1);
+        assert_eq!(out.row(0)[0], Value::Int32(3));
+    }
+
+    #[test]
+    fn string_key_join_across_dictionaries() {
+        let build = Chunk::new(
+            vec![Field::new("n", DataType::Str)],
+            vec![ColumnData::Str(DictColumn::from_strings(["FRANCE", "GERMANY"]))],
+        );
+        let probe = Chunk::new(
+            vec![Field::new("n2", DataType::Str)],
+            vec![ColumnData::Str(DictColumn::from_strings([
+                "GERMANY", "RUSSIA", "FRANCE", "GERMANY",
+            ]))],
+        );
+        let out = hash_join(&build, &probe, "n", "n2", JoinKind::Inner).unwrap();
+        assert_eq!(out.num_rows(), 3);
+        let semi = hash_join(&build, &probe, "n", "n2", JoinKind::Anti).unwrap();
+        assert_eq!(semi.num_rows(), 1);
+        assert_eq!(semi.row(0)[0], Value::from("RUSSIA"));
+    }
+
+    #[test]
+    fn mixed_int_float_keys_join_numerically() {
+        let build = Chunk::new(
+            vec![Field::new("k", DataType::Float64)],
+            vec![ColumnData::Float64(vec![1.0, 2.0])],
+        );
+        let probe = Chunk::new(
+            vec![Field::new("k2", DataType::Int32)],
+            vec![ColumnData::Int32(vec![2, 5])],
+        );
+        let out = hash_join(&build, &probe, "k", "k2", JoinKind::Inner).unwrap();
+        assert_eq!(out.num_rows(), 1);
+    }
+
+    #[test]
+    fn string_vs_numeric_key_is_an_error() {
+        let build = Chunk::new(
+            vec![Field::new("s", DataType::Str)],
+            vec![ColumnData::Str(DictColumn::from_strings(["x"]))],
+        );
+        assert!(
+            hash_join(&build, &probe_side(), "s", "fk", JoinKind::Inner).is_err()
+        );
+    }
+
+    #[test]
+    fn empty_sides() {
+        let empty_build = build_side().gather(&[]);
+        let out =
+            hash_join(&empty_build, &probe_side(), "id", "fk", JoinKind::Inner).unwrap();
+        assert_eq!(out.num_rows(), 0);
+        let out =
+            hash_join(&empty_build, &probe_side(), "id", "fk", JoinKind::Anti).unwrap();
+        assert_eq!(out.num_rows(), 3);
+    }
+}

@@ -1,0 +1,56 @@
+//! Selection kernel.
+
+use crate::batch::Chunk;
+use crate::predicate::Predicate;
+
+/// Filter `chunk` by `predicate`, materializing qualifying rows.
+pub fn select(chunk: &Chunk, predicate: &Predicate) -> Result<Chunk, String> {
+    let mask = predicate.evaluate(chunk)?;
+    let positions: Vec<usize> =
+        mask.iter().enumerate().filter_map(|(i, &m)| m.then_some(i)).collect();
+    Ok(chunk.gather(&positions))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use robustq_storage::{ColumnData, DataType, Field, Value};
+
+    fn chunk() -> Chunk {
+        Chunk::new(
+            vec![
+                Field::new("a", DataType::Int32),
+                Field::new("b", DataType::Float64),
+            ],
+            vec![
+                ColumnData::Int32(vec![1, 2, 3, 4, 5]),
+                ColumnData::Float64(vec![1.0, 2.0, 3.0, 4.0, 5.0]),
+            ],
+        )
+    }
+
+    #[test]
+    fn filters_rows() {
+        let out = select(&chunk(), &Predicate::between("a", 2, 4)).unwrap();
+        assert_eq!(out.num_rows(), 3);
+        assert_eq!(out.row(0), vec![Value::Int32(2), Value::Float64(2.0)]);
+    }
+
+    #[test]
+    fn empty_selection() {
+        let out = select(&chunk(), &Predicate::eq("a", 99)).unwrap();
+        assert_eq!(out.num_rows(), 0);
+        assert_eq!(out.num_columns(), 2);
+    }
+
+    #[test]
+    fn true_predicate_keeps_everything() {
+        let out = select(&chunk(), &Predicate::True).unwrap();
+        assert_eq!(out.num_rows(), 5);
+    }
+
+    #[test]
+    fn error_propagates() {
+        assert!(select(&chunk(), &Predicate::eq("missing", 1)).is_err());
+    }
+}

@@ -1,0 +1,136 @@
+//! Sort / top-k kernel.
+//!
+//! Comparison keys are precomputed once per column — numeric columns as
+//! `f64`, string columns as lexicographic *ranks* of their dictionary
+//! codes — so the comparator never allocates and never re-reads values.
+
+use crate::batch::Chunk;
+use crate::plan::{SortKey, SortOrder};
+use robustq_storage::ColumnData;
+use std::cmp::Ordering;
+
+/// Order-preserving numeric keys for one column: `f64` for numerics,
+/// dictionary rank for strings.
+fn order_keys(col: &ColumnData) -> Vec<f64> {
+    match col {
+        ColumnData::Str(d) => {
+            // Rank of each dictionary entry in lexicographic order.
+            let mut order: Vec<u32> = (0..d.dict().len() as u32).collect();
+            order.sort_by(|&a, &b| d.dict()[a as usize].cmp(&d.dict()[b as usize]));
+            let mut rank = vec![0u32; d.dict().len()];
+            for (r, &code) in order.iter().enumerate() {
+                rank[code as usize] = r as u32;
+            }
+            d.codes().iter().map(|&c| rank[c as usize] as f64).collect()
+        }
+        _ => (0..col.len()).map(|i| col.get_f64(i)).collect(),
+    }
+}
+
+/// Sort `chunk` by `keys` (stable), optionally truncating to `limit` rows.
+pub fn sort(chunk: &Chunk, keys: &[SortKey], limit: Option<usize>) -> Result<Chunk, String> {
+    // Validate keys up front so errors mention the key, not a row.
+    let cols: Vec<(Vec<f64>, SortOrder)> = keys
+        .iter()
+        .map(|k| Ok((order_keys(chunk.require_column(&k.column)?), k.order)))
+        .collect::<Result<_, String>>()?;
+    let mut idx: Vec<usize> = (0..chunk.num_rows()).collect();
+    idx.sort_by(|&a, &b| {
+        for (vals, order) in &cols {
+            let ord = vals[a].partial_cmp(&vals[b]).unwrap_or(Ordering::Equal);
+            let ord = match order {
+                SortOrder::Asc => ord,
+                SortOrder::Desc => ord.reverse(),
+            };
+            if ord != Ordering::Equal {
+                return ord;
+            }
+        }
+        Ordering::Equal
+    });
+    if let Some(l) = limit {
+        idx.truncate(l);
+    }
+    Ok(chunk.gather(&idx))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use robustq_storage::{DataType, DictColumn, Field, Value};
+
+    fn chunk() -> Chunk {
+        Chunk::new(
+            vec![
+                Field::new("k", DataType::Int32),
+                Field::new("s", DataType::Str),
+            ],
+            vec![
+                ColumnData::Int32(vec![3, 1, 2, 1]),
+                ColumnData::Str(DictColumn::from_strings(["c", "b", "a", "a"])),
+            ],
+        )
+    }
+
+    #[test]
+    fn ascending_sort() {
+        let out = sort(&chunk(), &[SortKey::asc("k")], None).unwrap();
+        let ks: Vec<_> = (0..4).map(|i| out.row(i)[0].clone()).collect();
+        assert_eq!(
+            ks,
+            vec![Value::Int32(1), Value::Int32(1), Value::Int32(2), Value::Int32(3)]
+        );
+    }
+
+    #[test]
+    fn multi_key_with_directions() {
+        let out =
+            sort(&chunk(), &[SortKey::asc("k"), SortKey::desc("s")], None).unwrap();
+        assert_eq!(out.row(0), vec![Value::Int32(1), Value::from("b")]);
+        assert_eq!(out.row(1), vec![Value::Int32(1), Value::from("a")]);
+    }
+
+    #[test]
+    fn string_sort_uses_lexicographic_order_not_code_order() {
+        // Dictionary order is first-seen ("c" gets code 0); sorting must
+        // still be lexicographic.
+        let out = sort(&chunk(), &[SortKey::asc("s")], None).unwrap();
+        assert_eq!(out.row(0)[1], Value::from("a"));
+        assert_eq!(out.row(3)[1], Value::from("c"));
+    }
+
+    #[test]
+    fn top_k_truncates() {
+        let out = sort(&chunk(), &[SortKey::desc("k")], Some(2)).unwrap();
+        assert_eq!(out.num_rows(), 2);
+        assert_eq!(out.row(0)[0], Value::Int32(3));
+    }
+
+    #[test]
+    fn limit_larger_than_input_is_fine() {
+        let out = sort(&chunk(), &[SortKey::asc("k")], Some(100)).unwrap();
+        assert_eq!(out.num_rows(), 4);
+    }
+
+    #[test]
+    fn missing_key_is_error() {
+        assert!(sort(&chunk(), &[SortKey::asc("zz")], None).is_err());
+    }
+
+    #[test]
+    fn stability_preserves_input_order_on_ties() {
+        let c = Chunk::new(
+            vec![
+                Field::new("k", DataType::Int32),
+                Field::new("tag", DataType::Int32),
+            ],
+            vec![
+                ColumnData::Int32(vec![1, 1, 1, 1]),
+                ColumnData::Int32(vec![10, 20, 30, 40]),
+            ],
+        );
+        let out = sort(&c, &[SortKey::asc("k")], None).unwrap();
+        let tags: Vec<i64> = (0..4).map(|i| out.row(i)[1].as_i64().unwrap()).collect();
+        assert_eq!(tags, vec![10, 20, 30, 40]);
+    }
+}

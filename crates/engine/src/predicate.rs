@@ -1,0 +1,511 @@
+//! Filter predicates, evaluated to row masks.
+//!
+//! Covers the predicate forms of the SSB and TPC-H query subset: scalar
+//! comparisons, `BETWEEN`, `IN` lists, string prefix/suffix matching
+//! (`LIKE 'x%'` / `LIKE '%x'`), column-to-column comparison (TPC-H Q5's
+//! `c_nationkey = s_nationkey`, Q4's `l_commitdate < l_receiptdate`) and
+//! boolean combinations.
+
+use crate::batch::Chunk;
+use robustq_storage::{ColumnData, Value};
+use std::cmp::Ordering;
+use std::fmt;
+
+/// A comparison operator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CmpOp {
+    /// Equal.
+    Eq,
+    /// Not equal.
+    Ne,
+    /// Less than.
+    Lt,
+    /// Less than or equal.
+    Le,
+    /// Greater than.
+    Gt,
+    /// Greater than or equal.
+    Ge,
+}
+
+impl CmpOp {
+    fn matches(self, ord: Ordering) -> bool {
+        match self {
+            CmpOp::Eq => ord == Ordering::Equal,
+            CmpOp::Ne => ord != Ordering::Equal,
+            CmpOp::Lt => ord == Ordering::Less,
+            CmpOp::Le => ord != Ordering::Greater,
+            CmpOp::Gt => ord == Ordering::Greater,
+            CmpOp::Ge => ord != Ordering::Less,
+        }
+    }
+
+    /// SQL symbol of the operator.
+    pub fn symbol(self) -> &'static str {
+        match self {
+            CmpOp::Eq => "=",
+            CmpOp::Ne => "<>",
+            CmpOp::Lt => "<",
+            CmpOp::Le => "<=",
+            CmpOp::Gt => ">",
+            CmpOp::Ge => ">=",
+        }
+    }
+}
+
+/// A filter predicate over one chunk.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Predicate {
+    /// `column <op> literal`.
+    Cmp {
+        /// Filtered column.
+        column: String,
+        /// Comparison operator.
+        op: CmpOp,
+        /// Literal operand.
+        value: Value,
+    },
+    /// `column BETWEEN lo AND hi` (inclusive).
+    Between {
+        /// Filtered column.
+        column: String,
+        /// Inclusive lower bound.
+        lo: Value,
+        /// Inclusive upper bound.
+        hi: Value,
+    },
+    /// `column IN (values…)`.
+    InList {
+        /// Filtered column.
+        column: String,
+        /// Accepted values.
+        values: Vec<Value>,
+    },
+    /// `column LIKE 'prefix%'`.
+    StrPrefix {
+        /// Filtered string column.
+        column: String,
+        /// Required prefix.
+        prefix: String,
+    },
+    /// `column LIKE '%suffix'`.
+    StrSuffix {
+        /// Filtered string column.
+        column: String,
+        /// Required suffix.
+        suffix: String,
+    },
+    /// `left <op> right` between two columns of the same chunk.
+    ColCmp {
+        /// Left column.
+        left: String,
+        /// Comparison operator.
+        op: CmpOp,
+        /// Right column.
+        right: String,
+    },
+    /// Conjunction.
+    And(Vec<Predicate>),
+    /// Disjunction.
+    Or(Vec<Predicate>),
+    /// Negation.
+    Not(Box<Predicate>),
+    /// Always true (used as a neutral element by plan builders).
+    True,
+}
+
+impl Predicate {
+    /// `column = value`.
+    pub fn eq(column: impl Into<String>, value: impl Into<Value>) -> Predicate {
+        Predicate::Cmp { column: column.into(), op: CmpOp::Eq, value: value.into() }
+    }
+
+    /// `column <op> value`.
+    pub fn cmp(column: impl Into<String>, op: CmpOp, value: impl Into<Value>) -> Predicate {
+        Predicate::Cmp { column: column.into(), op, value: value.into() }
+    }
+
+    /// `column BETWEEN lo AND hi`.
+    pub fn between(
+        column: impl Into<String>,
+        lo: impl Into<Value>,
+        hi: impl Into<Value>,
+    ) -> Predicate {
+        Predicate::Between { column: column.into(), lo: lo.into(), hi: hi.into() }
+    }
+
+    /// `column IN (values…)`.
+    pub fn in_list<V: Into<Value>>(
+        column: impl Into<String>,
+        values: impl IntoIterator<Item = V>,
+    ) -> Predicate {
+        Predicate::InList {
+            column: column.into(),
+            values: values.into_iter().map(Into::into).collect(),
+        }
+    }
+
+    /// Conjunction (empty input is `TRUE`, one input collapses).
+    pub fn and(preds: impl IntoIterator<Item = Predicate>) -> Predicate {
+        let v: Vec<Predicate> = preds.into_iter().collect();
+        match v.len() {
+            0 => Predicate::True,
+            1 => v.into_iter().next().expect("len checked"),
+            _ => Predicate::And(v),
+        }
+    }
+
+    /// Disjunction.
+    pub fn or(preds: impl IntoIterator<Item = Predicate>) -> Predicate {
+        Predicate::Or(preds.into_iter().collect())
+    }
+
+    /// Names of all columns the predicate reads.
+    pub fn referenced_columns(&self) -> Vec<String> {
+        let mut out = Vec::new();
+        self.collect_columns(&mut out);
+        out
+    }
+
+    fn collect_columns(&self, out: &mut Vec<String>) {
+        let mut push = |n: &String| {
+            if !out.contains(n) {
+                out.push(n.clone());
+            }
+        };
+        match self {
+            Predicate::Cmp { column, .. }
+            | Predicate::Between { column, .. }
+            | Predicate::InList { column, .. }
+            | Predicate::StrPrefix { column, .. }
+            | Predicate::StrSuffix { column, .. } => push(column),
+            Predicate::ColCmp { left, right, .. } => {
+                push(left);
+                push(right);
+            }
+            Predicate::And(ps) | Predicate::Or(ps) => {
+                for p in ps {
+                    p.collect_columns(out);
+                }
+            }
+            Predicate::Not(p) => p.collect_columns(out),
+            Predicate::True => {}
+        }
+    }
+
+    /// Evaluate to one boolean per row.
+    pub fn evaluate(&self, chunk: &Chunk) -> Result<Vec<bool>, String> {
+        let n = chunk.num_rows();
+        match self {
+            Predicate::True => Ok(vec![true; n]),
+            Predicate::Cmp { column, op, value } => {
+                let col = chunk.require_column(column)?;
+                cmp_column_value(col, *op, value)
+            }
+            Predicate::Between { column, lo, hi } => {
+                let col = chunk.require_column(column)?;
+                let ge = cmp_column_value(col, CmpOp::Ge, lo)?;
+                let le = cmp_column_value(col, CmpOp::Le, hi)?;
+                Ok(ge.into_iter().zip(le).map(|(a, b)| a && b).collect())
+            }
+            Predicate::InList { column, values } => {
+                let col = chunk.require_column(column)?;
+                let mut mask = vec![false; n];
+                for v in values {
+                    for (m, ok) in
+                        mask.iter_mut().zip(cmp_column_value(col, CmpOp::Eq, v)?)
+                    {
+                        *m |= ok;
+                    }
+                }
+                Ok(mask)
+            }
+            Predicate::StrPrefix { column, prefix } => {
+                str_match(chunk, column, |s| s.starts_with(prefix.as_str()))
+            }
+            Predicate::StrSuffix { column, suffix } => {
+                str_match(chunk, column, |s| s.ends_with(suffix.as_str()))
+            }
+            Predicate::ColCmp { left, op, right } => {
+                let l = chunk.require_column(left)?;
+                let r = chunk.require_column(right)?;
+                let mut mask = Vec::with_capacity(n);
+                for i in 0..n {
+                    let ord = l
+                        .get(i)
+                        .partial_cmp_value(&r.get(i))
+                        .ok_or_else(|| format!("incomparable columns {left}, {right}"))?;
+                    mask.push(op.matches(ord));
+                }
+                Ok(mask)
+            }
+            Predicate::And(ps) => {
+                let mut mask = vec![true; n];
+                for p in ps {
+                    for (m, ok) in mask.iter_mut().zip(p.evaluate(chunk)?) {
+                        *m &= ok;
+                    }
+                }
+                Ok(mask)
+            }
+            Predicate::Or(ps) => {
+                let mut mask = vec![false; n];
+                for p in ps {
+                    for (m, ok) in mask.iter_mut().zip(p.evaluate(chunk)?) {
+                        *m |= ok;
+                    }
+                }
+                Ok(mask)
+            }
+            Predicate::Not(p) => {
+                Ok(p.evaluate(chunk)?.into_iter().map(|b| !b).collect())
+            }
+        }
+    }
+}
+
+/// Compare every row of `col` against a literal.
+///
+/// Dictionary columns use a precomputed per-code match table so the string
+/// comparison happens once per distinct value, not once per row.
+fn cmp_column_value(col: &ColumnData, op: CmpOp, value: &Value) -> Result<Vec<bool>, String> {
+    match (col, value) {
+        (ColumnData::Str(d), Value::Str(s)) => {
+            let table: Vec<bool> = d
+                .dict()
+                .iter()
+                .map(|entry| op.matches(entry.as_str().cmp(s.as_str())))
+                .collect();
+            Ok(d.codes().iter().map(|&c| table[c as usize]).collect())
+        }
+        (ColumnData::Str(_), other) => {
+            Err(format!("cannot compare string column with {other:?}"))
+        }
+        (col, v) => {
+            let rhs = v
+                .as_f64()
+                .ok_or_else(|| format!("cannot compare numeric column with {v:?}"))?;
+            let n = col.len();
+            let mut mask = Vec::with_capacity(n);
+            for i in 0..n {
+                let ord = col
+                    .get_f64(i)
+                    .partial_cmp(&rhs)
+                    .ok_or_else(|| "NaN in comparison".to_string())?;
+                mask.push(op.matches(ord));
+            }
+            Ok(mask)
+        }
+    }
+}
+
+fn str_match(
+    chunk: &Chunk,
+    column: &str,
+    pred: impl Fn(&str) -> bool,
+) -> Result<Vec<bool>, String> {
+    match chunk.require_column(column)? {
+        ColumnData::Str(d) => {
+            let table: Vec<bool> = d.dict().iter().map(|s| pred(s)).collect();
+            Ok(d.codes().iter().map(|&c| table[c as usize]).collect())
+        }
+        _ => Err(format!("column {column} is not a string column")),
+    }
+}
+
+impl fmt::Display for Predicate {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Predicate::Cmp { column, op, value } => {
+                write!(f, "{column} {} {value}", op.symbol())
+            }
+            Predicate::Between { column, lo, hi } => {
+                write!(f, "{column} BETWEEN {lo} AND {hi}")
+            }
+            Predicate::InList { column, values } => {
+                write!(f, "{column} IN (")?;
+                for (i, v) in values.iter().enumerate() {
+                    if i > 0 {
+                        f.write_str(", ")?;
+                    }
+                    write!(f, "{v}")?;
+                }
+                f.write_str(")")
+            }
+            Predicate::StrPrefix { column, prefix } => {
+                write!(f, "{column} LIKE '{prefix}%'")
+            }
+            Predicate::StrSuffix { column, suffix } => {
+                write!(f, "{column} LIKE '%{suffix}'")
+            }
+            Predicate::ColCmp { left, op, right } => {
+                write!(f, "{left} {} {right}", op.symbol())
+            }
+            Predicate::And(ps) => {
+                f.write_str("(")?;
+                for (i, p) in ps.iter().enumerate() {
+                    if i > 0 {
+                        f.write_str(" AND ")?;
+                    }
+                    write!(f, "{p}")?;
+                }
+                f.write_str(")")
+            }
+            Predicate::Or(ps) => {
+                f.write_str("(")?;
+                for (i, p) in ps.iter().enumerate() {
+                    if i > 0 {
+                        f.write_str(" OR ")?;
+                    }
+                    write!(f, "{p}")?;
+                }
+                f.write_str(")")
+            }
+            Predicate::Not(p) => write!(f, "NOT {p}"),
+            Predicate::True => f.write_str("TRUE"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use robustq_storage::{DataType, DictColumn, Field};
+
+    fn chunk() -> Chunk {
+        Chunk::new(
+            vec![
+                Field::new("q", DataType::Int32),
+                Field::new("d", DataType::Int32),
+                Field::new("region", DataType::Str),
+            ],
+            vec![
+                ColumnData::Int32(vec![10, 25, 30, 40]),
+                ColumnData::Int32(vec![1, 4, 6, 9]),
+                ColumnData::Str(DictColumn::from_strings([
+                    "ASIA", "EUROPE", "ASIA", "AMERICA",
+                ])),
+            ],
+        )
+    }
+
+    #[test]
+    fn numeric_comparisons() {
+        let c = chunk();
+        assert_eq!(
+            Predicate::cmp("q", CmpOp::Lt, 30).evaluate(&c).unwrap(),
+            vec![true, true, false, false]
+        );
+        assert_eq!(
+            Predicate::cmp("q", CmpOp::Ge, 30).evaluate(&c).unwrap(),
+            vec![false, false, true, true]
+        );
+        assert_eq!(
+            Predicate::cmp("q", CmpOp::Ne, 25).evaluate(&c).unwrap(),
+            vec![true, false, true, true]
+        );
+    }
+
+    #[test]
+    fn between_is_inclusive() {
+        let c = chunk();
+        assert_eq!(
+            Predicate::between("d", 4, 6).evaluate(&c).unwrap(),
+            vec![false, true, true, false]
+        );
+    }
+
+    #[test]
+    fn string_equality_and_in_list() {
+        let c = chunk();
+        assert_eq!(
+            Predicate::eq("region", "ASIA").evaluate(&c).unwrap(),
+            vec![true, false, true, false]
+        );
+        assert_eq!(
+            Predicate::in_list("region", ["ASIA", "AMERICA"]).evaluate(&c).unwrap(),
+            vec![true, false, true, true]
+        );
+    }
+
+    #[test]
+    fn string_range_lexicographic() {
+        let c = chunk();
+        // ASIA <= x <= EUROPE
+        assert_eq!(
+            Predicate::between("region", "ASIA", "EUROPE").evaluate(&c).unwrap(),
+            vec![true, true, true, false]
+        );
+    }
+
+    #[test]
+    fn prefix_suffix() {
+        let c = chunk();
+        assert_eq!(
+            Predicate::StrPrefix { column: "region".into(), prefix: "A".into() }
+                .evaluate(&c)
+                .unwrap(),
+            vec![true, false, true, true]
+        );
+        assert_eq!(
+            Predicate::StrSuffix { column: "region".into(), suffix: "PE".into() }
+                .evaluate(&c)
+                .unwrap(),
+            vec![false, true, false, false]
+        );
+    }
+
+    #[test]
+    fn col_to_col_comparison() {
+        let c = chunk();
+        // q > d everywhere
+        assert_eq!(
+            Predicate::ColCmp { left: "q".into(), op: CmpOp::Gt, right: "d".into() }
+                .evaluate(&c)
+                .unwrap(),
+            vec![true; 4]
+        );
+    }
+
+    #[test]
+    fn boolean_combinations() {
+        let c = chunk();
+        let p = Predicate::and([
+            Predicate::cmp("q", CmpOp::Ge, 25),
+            Predicate::eq("region", "ASIA"),
+        ]);
+        assert_eq!(p.evaluate(&c).unwrap(), vec![false, false, true, false]);
+
+        let p = Predicate::or([
+            Predicate::eq("region", "EUROPE"),
+            Predicate::cmp("q", CmpOp::Gt, 35),
+        ]);
+        assert_eq!(p.evaluate(&c).unwrap(), vec![false, true, false, true]);
+
+        let p = Predicate::Not(Box::new(Predicate::eq("region", "ASIA")));
+        assert_eq!(p.evaluate(&c).unwrap(), vec![false, true, false, true]);
+    }
+
+    #[test]
+    fn and_of_nothing_is_true() {
+        let c = chunk();
+        assert_eq!(Predicate::and([]).evaluate(&c).unwrap(), vec![true; 4]);
+    }
+
+    #[test]
+    fn referenced_columns_collected() {
+        let p = Predicate::and([
+            Predicate::eq("a", 1),
+            Predicate::or([Predicate::eq("b", 2), Predicate::eq("a", 3)]),
+        ]);
+        assert_eq!(p.referenced_columns(), vec!["a".to_string(), "b".into()]);
+    }
+
+    #[test]
+    fn type_errors_are_reported() {
+        let c = chunk();
+        assert!(Predicate::eq("region", 4).evaluate(&c).is_err());
+        assert!(Predicate::eq("q", "x").evaluate(&c).is_err());
+        assert!(Predicate::eq("missing", 1).evaluate(&c).is_err());
+    }
+}

@@ -1,0 +1,17 @@
+//! Vector-at-a-time comparator engine.
+//!
+//! Appendix A of the paper compares CoGaDB against MonetDB/Ocelot, a
+//! closed third-party engine we cannot rebuild in scope. This module is
+//! the documented substitute (DESIGN.md §2): a second, independent
+//! execution model over the same storage layer — vector-at-a-time
+//! processing as discussed in Section 5.5 — whose CPU and simulated-GPU
+//! backends are compared per query against the operator-at-a-time engine
+//! in Figures 22/23. [`compiled`] adds the third processing model of
+//! Section 5.5, query compilation, used by the processing-model ablation
+//! to show that cache thrashing is inherent to all three.
+
+pub mod compiled;
+pub mod engine;
+
+pub use compiled::CompiledEngine;
+pub use engine::{VectorizedEngine, VectorizedReport};

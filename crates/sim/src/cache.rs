@@ -1,0 +1,358 @@
+//! Device column cache.
+//!
+//! Part of the co-processor memory is used as a cache for base columns
+//! (Section 2.1). Two modes are exercised by the paper:
+//!
+//! * **operator-driven** (the classic approach): an operator placed on the
+//!   co-processor pulls its inputs into the cache on demand, evicting by
+//!   LRU or LFU — this is what thrashes when the working set exceeds the
+//!   cache (Figure 2);
+//! * **data-driven** (Section 3): a placement manager *pins* the most
+//!   frequently used columns (Algorithm 1), and operators only run on the
+//!   co-processor when their inputs are pinned.
+
+use std::collections::HashMap;
+
+/// Opaque cache key; the engine uses the base-column id.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct CacheKey(pub u64);
+
+/// Eviction policy for unpinned entries.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CachePolicy {
+    /// Evict the least recently used entry.
+    Lru,
+    /// Evict the least frequently used entry (ties: least recent).
+    Lfu,
+}
+
+#[derive(Debug, Clone)]
+struct Entry {
+    bytes: u64,
+    last_tick: u64,
+    access_count: u64,
+    pinned: bool,
+}
+
+/// Result of an insert attempt.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct InsertOutcome {
+    /// Whether the entry now resides in the cache.
+    pub inserted: bool,
+    /// Entries evicted to make room, with their sizes.
+    pub evicted: Vec<(CacheKey, u64)>,
+}
+
+/// The device column cache.
+#[derive(Debug, Clone)]
+pub struct DataCache {
+    capacity: u64,
+    used: u64,
+    policy: CachePolicy,
+    entries: HashMap<CacheKey, Entry>,
+    tick: u64,
+    hits: u64,
+    misses: u64,
+}
+
+impl DataCache {
+    /// An empty cache of `capacity` bytes with the given policy.
+    pub fn new(capacity: u64, policy: CachePolicy) -> Self {
+        DataCache {
+            capacity,
+            used: 0,
+            policy,
+            entries: HashMap::new(),
+            tick: 0,
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    /// Total capacity in bytes.
+    pub fn capacity(&self) -> u64 {
+        self.capacity
+    }
+
+    /// Bytes currently resident.
+    pub fn used(&self) -> u64 {
+        self.used
+    }
+
+    /// The configured eviction policy.
+    pub fn policy(&self) -> CachePolicy {
+        self.policy
+    }
+
+    /// Number of resident entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True if nothing is resident.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Total cache hits/misses recorded through [`DataCache::probe`].
+    pub fn hit_miss(&self) -> (u64, u64) {
+        (self.hits, self.misses)
+    }
+
+    /// Whether `key` is resident.
+    pub fn contains(&self, key: CacheKey) -> bool {
+        self.entries.contains_key(&key)
+    }
+
+    /// Record an access: returns `true` on hit (updating recency and
+    /// frequency), `false` on miss.
+    pub fn probe(&mut self, key: CacheKey) -> bool {
+        self.tick += 1;
+        let tick = self.tick;
+        if let Some(e) = self.entries.get_mut(&key) {
+            e.last_tick = tick;
+            e.access_count += 1;
+            self.hits += 1;
+            true
+        } else {
+            self.misses += 1;
+            false
+        }
+    }
+
+    /// Insert `key` (`bytes` large), evicting unpinned entries as needed.
+    ///
+    /// If the entry cannot fit even after evicting every unpinned entry,
+    /// nothing changes and `inserted` is `false` — the caller then
+    /// processes the data without caching it.
+    pub fn insert(&mut self, key: CacheKey, bytes: u64) -> InsertOutcome {
+        if self.contains(key) {
+            self.probe(key);
+            return InsertOutcome { inserted: true, evicted: Vec::new() };
+        }
+        let unpinned: u64 =
+            self.entries.values().filter(|e| !e.pinned).map(|e| e.bytes).sum();
+        if bytes > self.capacity - self.used + unpinned {
+            return InsertOutcome { inserted: false, evicted: Vec::new() };
+        }
+        let mut evicted = Vec::new();
+        while self.capacity - self.used < bytes {
+            let victim = self
+                .victim_key()
+                .expect("unpinned bytes were sufficient, so a victim exists");
+            let e = self.entries.remove(&victim).expect("victim is resident");
+            self.used -= e.bytes;
+            evicted.push((victim, e.bytes));
+        }
+        self.tick += 1;
+        self.entries.insert(
+            key,
+            Entry { bytes, last_tick: self.tick, access_count: 1, pinned: false },
+        );
+        self.used += bytes;
+        InsertOutcome { inserted: true, evicted }
+    }
+
+    /// Pick the next eviction victim among unpinned entries.
+    fn victim_key(&self) -> Option<CacheKey> {
+        let candidates = self.entries.iter().filter(|(_, e)| !e.pinned);
+        match self.policy {
+            CachePolicy::Lru => candidates
+                .min_by_key(|(k, e)| (e.last_tick, **k))
+                .map(|(k, _)| *k),
+            CachePolicy::Lfu => candidates
+                .min_by_key(|(k, e)| (e.access_count, e.last_tick, **k))
+                .map(|(k, _)| *k),
+        }
+    }
+
+    /// Make the *pinned* portion of the cache exactly `entries`
+    /// (Algorithm 1: evict `old \ new`, cache `new \ old`).
+    ///
+    /// Previously pinned entries not in `entries` are unpinned and
+    /// removed. Unpinned (operator-driven) entries are evicted as needed
+    /// to make room. Returns `(newly cached, evicted)` key lists; the
+    /// caller charges transfer time for the newly cached ones.
+    ///
+    /// # Panics
+    /// Panics if the pinned set itself exceeds the cache capacity — the
+    /// placement manager is responsible for respecting the budget.
+    pub fn set_pinned(&mut self, entries: &[(CacheKey, u64)]) -> (Vec<CacheKey>, Vec<CacheKey>) {
+        let total: u64 = entries.iter().map(|&(_, b)| b).sum();
+        assert!(
+            total <= self.capacity,
+            "pinned set ({total}B) exceeds cache capacity ({}B)",
+            self.capacity
+        );
+        let new_keys: HashMap<CacheKey, u64> = entries.iter().copied().collect();
+        let mut evicted = Vec::new();
+        // Drop stale pinned entries.
+        let stale: Vec<CacheKey> = self
+            .entries
+            .iter()
+            .filter(|(k, e)| e.pinned && !new_keys.contains_key(k))
+            .map(|(k, _)| *k)
+            .collect();
+        for k in stale {
+            let e = self.entries.remove(&k).expect("stale key is resident");
+            self.used -= e.bytes;
+            evicted.push(k);
+        }
+        // Pin already-resident entries in place.
+        for &k in new_keys.keys() {
+            if let Some(e) = self.entries.get_mut(&k) {
+                e.pinned = true;
+            }
+        }
+        // Insert the missing ones, evicting unpinned entries as needed.
+        let mut newly_cached = Vec::new();
+        for (&k, &bytes) in &new_keys {
+            if self.contains(k) {
+                continue;
+            }
+            while self.capacity - self.used < bytes {
+                let victim = self
+                    .victim_key()
+                    .expect("pinned set fits capacity, so unpinned victims suffice");
+                let e = self.entries.remove(&victim).expect("victim is resident");
+                self.used -= e.bytes;
+                evicted.push(victim);
+            }
+            self.tick += 1;
+            self.entries.insert(
+                k,
+                Entry { bytes, last_tick: self.tick, access_count: 0, pinned: true },
+            );
+            self.used += bytes;
+            newly_cached.push(k);
+        }
+        newly_cached.sort();
+        evicted.sort();
+        (newly_cached, evicted)
+    }
+
+    /// Keys of all pinned entries.
+    pub fn pinned_keys(&self) -> Vec<CacheKey> {
+        let mut v: Vec<CacheKey> =
+            self.entries.iter().filter(|(_, e)| e.pinned).map(|(k, _)| *k).collect();
+        v.sort();
+        v
+    }
+
+    /// Remove everything, including pinned entries.
+    pub fn clear(&mut self) {
+        self.entries.clear();
+        self.used = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn k(v: u64) -> CacheKey {
+        CacheKey(v)
+    }
+
+    #[test]
+    fn insert_and_probe() {
+        let mut c = DataCache::new(100, CachePolicy::Lru);
+        assert!(c.insert(k(1), 40).inserted);
+        assert!(c.probe(k(1)));
+        assert!(!c.probe(k(2)));
+        assert_eq!(c.hit_miss(), (1, 1));
+        assert_eq!(c.used(), 40);
+    }
+
+    #[test]
+    fn lru_evicts_least_recent() {
+        let mut c = DataCache::new(100, CachePolicy::Lru);
+        c.insert(k(1), 40);
+        c.insert(k(2), 40);
+        c.probe(k(1)); // 2 is now least recent
+        let out = c.insert(k(3), 40);
+        assert!(out.inserted);
+        assert_eq!(out.evicted, vec![(k(2), 40)]);
+        assert!(c.contains(k(1)) && c.contains(k(3)));
+    }
+
+    #[test]
+    fn lfu_evicts_least_frequent() {
+        let mut c = DataCache::new(100, CachePolicy::Lfu);
+        c.insert(k(1), 40);
+        c.insert(k(2), 40);
+        c.probe(k(1));
+        c.probe(k(1));
+        c.probe(k(2)); // counts: 1 -> 3, 2 -> 2
+        let out = c.insert(k(3), 40);
+        assert_eq!(out.evicted, vec![(k(2), 40)]);
+    }
+
+    #[test]
+    fn oversized_insert_refused_without_damage() {
+        let mut c = DataCache::new(100, CachePolicy::Lru);
+        c.insert(k(1), 60);
+        let out = c.insert(k(2), 150);
+        assert!(!out.inserted);
+        assert!(out.evicted.is_empty());
+        assert!(c.contains(k(1)));
+        assert_eq!(c.used(), 60);
+    }
+
+    #[test]
+    fn reinserting_resident_key_is_a_hit() {
+        let mut c = DataCache::new(100, CachePolicy::Lru);
+        c.insert(k(1), 60);
+        let out = c.insert(k(1), 60);
+        assert!(out.inserted);
+        assert!(out.evicted.is_empty());
+        assert_eq!(c.used(), 60);
+    }
+
+    #[test]
+    fn pinning_replaces_the_pinned_set() {
+        let mut c = DataCache::new(100, CachePolicy::Lru);
+        let (cached, evicted) = c.set_pinned(&[(k(1), 30), (k(2), 30)]);
+        assert_eq!(cached, vec![k(1), k(2)]);
+        assert!(evicted.is_empty());
+        assert_eq!(c.pinned_keys(), vec![k(1), k(2)]);
+
+        let (cached, evicted) = c.set_pinned(&[(k(2), 30), (k(3), 50)]);
+        assert_eq!(cached, vec![k(3)]);
+        assert_eq!(evicted, vec![k(1)]);
+        assert_eq!(c.used(), 80);
+    }
+
+    #[test]
+    fn pinned_entries_survive_operator_driven_pressure() {
+        let mut c = DataCache::new(100, CachePolicy::Lru);
+        c.set_pinned(&[(k(1), 70)]);
+        // Unpinned insert fits next to the pin...
+        assert!(c.insert(k(2), 30).inserted);
+        // ...a second unpinned one evicts only the unpinned entry...
+        let out = c.insert(k(3), 25);
+        assert!(out.inserted);
+        assert_eq!(out.evicted, vec![(k(2), 30)]);
+        assert!(c.contains(k(1)));
+        // ...and one bigger than capacity-minus-pin is refused outright.
+        let out = c.insert(k(4), 40);
+        assert!(!out.inserted);
+        assert!(c.contains(k(3)));
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds cache capacity")]
+    fn oversized_pin_set_panics() {
+        let mut c = DataCache::new(50, CachePolicy::Lfu);
+        c.set_pinned(&[(k(1), 60)]);
+    }
+
+    #[test]
+    fn clear_resets() {
+        let mut c = DataCache::new(100, CachePolicy::Lru);
+        c.set_pinned(&[(k(1), 50)]);
+        c.clear();
+        assert!(c.is_empty());
+        assert_eq!(c.used(), 0);
+    }
+}

@@ -1,0 +1,122 @@
+//! Simulation configuration.
+
+use crate::cache::CachePolicy;
+use crate::costmodel::CostParams;
+use crate::device::DeviceSpec;
+use crate::link::LinkParams;
+
+/// Everything the simulated machine needs: two devices, the link between
+/// them, the ground-truth cost model and the cache policy.
+#[derive(Debug, Clone)]
+pub struct SimConfig {
+    /// The host CPU.
+    pub cpu: DeviceSpec,
+    /// The co-processor.
+    pub gpu: DeviceSpec,
+    /// The interconnect between them.
+    pub link: LinkParams,
+    /// Ground-truth kernel durations and footprints.
+    pub cost: CostParams,
+    /// Eviction policy of the co-processor column cache.
+    pub cache_policy: CachePolicy,
+}
+
+impl Default for SimConfig {
+    /// A machine shaped like the paper's testbed, scaled to the default
+    /// generator downscale: 4 CPU worker slots (the Xeon E5-1607's four
+    /// cores), a co-processor with 40 MB device memory (4 GB ÷ 100, the
+    /// default data downscale), 60 % of which is column cache.
+    fn default() -> Self {
+        let memory = 40 * 1024 * 1024;
+        SimConfig {
+            cpu: DeviceSpec::cpu(4),
+            gpu: DeviceSpec::coprocessor(4, memory, memory * 6 / 10),
+            link: LinkParams::default(),
+            cost: CostParams::default(),
+            cache_policy: CachePolicy::Lru,
+        }
+    }
+}
+
+impl SimConfig {
+    /// Replace the co-processor's total memory, keeping the cache fraction.
+    pub fn with_gpu_memory(mut self, memory_bytes: u64) -> Self {
+        let frac = if self.gpu.memory_bytes == 0 {
+            0.6
+        } else {
+            self.gpu.cache_bytes as f64 / self.gpu.memory_bytes as f64
+        };
+        self.gpu.memory_bytes = memory_bytes;
+        self.gpu.cache_bytes = (memory_bytes as f64 * frac) as u64;
+        self
+    }
+
+    /// Replace the co-processor's cache size in bytes.
+    ///
+    /// # Panics
+    /// Panics if larger than the device memory.
+    pub fn with_gpu_cache(mut self, cache_bytes: u64) -> Self {
+        assert!(cache_bytes <= self.gpu.memory_bytes);
+        self.gpu.cache_bytes = cache_bytes;
+        self
+    }
+
+    /// Replace the number of co-processor worker slots (the chopping
+    /// thread-pool bound).
+    pub fn with_gpu_workers(mut self, slots: usize) -> Self {
+        self.gpu.worker_slots = slots;
+        self
+    }
+
+    /// Replace the number of CPU worker slots.
+    pub fn with_cpu_workers(mut self, slots: usize) -> Self {
+        self.cpu.worker_slots = slots;
+        self
+    }
+
+    /// Replace the cache eviction policy.
+    pub fn with_cache_policy(mut self, policy: CachePolicy) -> Self {
+        self.cache_policy = policy;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_self_consistent() {
+        let c = SimConfig::default();
+        assert!(c.gpu.cache_bytes < c.gpu.memory_bytes);
+        assert!(c.gpu.heap_bytes() > 0);
+        assert!(c.cpu.worker_slots > 0);
+    }
+
+    #[test]
+    fn with_gpu_memory_preserves_cache_fraction() {
+        let c = SimConfig::default().with_gpu_memory(1_000);
+        assert_eq!(c.gpu.memory_bytes, 1_000);
+        assert_eq!(c.gpu.cache_bytes, 600);
+    }
+
+    #[test]
+    fn builders_apply() {
+        let c = SimConfig::default()
+            .with_gpu_memory(10_000)
+            .with_gpu_cache(1_234)
+            .with_gpu_workers(2)
+            .with_cpu_workers(8)
+            .with_cache_policy(CachePolicy::Lfu);
+        assert_eq!(c.gpu.cache_bytes, 1_234);
+        assert_eq!(c.gpu.worker_slots, 2);
+        assert_eq!(c.cpu.worker_slots, 8);
+        assert_eq!(c.cache_policy, CachePolicy::Lfu);
+    }
+
+    #[test]
+    #[should_panic]
+    fn oversized_cache_panics() {
+        let _ = SimConfig::default().with_gpu_memory(100).with_gpu_cache(200);
+    }
+}

@@ -1,0 +1,152 @@
+//! Device descriptions.
+
+use std::fmt;
+
+/// Identifier of a (co-)processor in the simulated machine.
+///
+/// The machine layout mirrors the paper's testbed: one CPU and one
+/// co-processor, so a two-variant enum is both faithful and cheap. The
+/// placement strategies and the executor treat the set of devices
+/// generically through [`DeviceId::ALL`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum DeviceId {
+    /// The host CPU.
+    Cpu,
+    /// The co-processor (the paper's GPU).
+    Gpu,
+}
+
+impl DeviceId {
+    /// All devices in the simulated machine.
+    pub const ALL: [DeviceId; 2] = [DeviceId::Cpu, DeviceId::Gpu];
+
+    /// The other device.
+    pub fn other(self) -> DeviceId {
+        match self {
+            DeviceId::Cpu => DeviceId::Gpu,
+            DeviceId::Gpu => DeviceId::Cpu,
+        }
+    }
+
+    /// Dense index (for per-device arrays).
+    pub fn index(self) -> usize {
+        match self {
+            DeviceId::Cpu => 0,
+            DeviceId::Gpu => 1,
+        }
+    }
+
+    /// The device's processor family.
+    pub fn kind(self) -> DeviceKind {
+        match self {
+            DeviceId::Cpu => DeviceKind::Cpu,
+            DeviceId::Gpu => DeviceKind::CoProcessor,
+        }
+    }
+
+    /// True for the co-processor.
+    pub fn is_coprocessor(self) -> bool {
+        matches!(self, DeviceId::Gpu)
+    }
+}
+
+impl fmt::Display for DeviceId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DeviceId::Cpu => f.write_str("CPU"),
+            DeviceId::Gpu => f.write_str("GPU"),
+        }
+    }
+}
+
+/// Processor family, used by the cost model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DeviceKind {
+    /// A general-purpose host processor.
+    Cpu,
+    /// An accelerator behind the interconnect.
+    CoProcessor,
+}
+
+/// Static description of one device.
+#[derive(Debug, Clone)]
+pub struct DeviceSpec {
+    /// Which device this describes.
+    pub id: DeviceId,
+    /// Number of operators that may run concurrently on this device.
+    ///
+    /// This is the thread-pool bound of Section 5 ("query chopping");
+    /// strategies that do not chop use an effectively unbounded value.
+    pub worker_slots: usize,
+    /// Total device memory in bytes (`u64::MAX` for the host CPU, whose
+    /// memory is never the bottleneck in the paper's experiments).
+    pub memory_bytes: u64,
+    /// Portion of `memory_bytes` reserved as the column cache; the rest is
+    /// the operator heap (Section 2.1).
+    pub cache_bytes: u64,
+}
+
+impl DeviceSpec {
+    /// The host CPU: no device cache, unbounded memory.
+    pub fn cpu(worker_slots: usize) -> Self {
+        DeviceSpec {
+            id: DeviceId::Cpu,
+            worker_slots,
+            memory_bytes: u64::MAX,
+            cache_bytes: 0,
+        }
+    }
+
+    /// A co-processor with `memory_bytes` total, `cache_bytes` of which is
+    /// the column cache.
+    ///
+    /// # Panics
+    /// Panics if `cache_bytes > memory_bytes`.
+    pub fn coprocessor(worker_slots: usize, memory_bytes: u64, cache_bytes: u64) -> Self {
+        assert!(
+            cache_bytes <= memory_bytes,
+            "cache ({cache_bytes}) larger than device memory ({memory_bytes})"
+        );
+        DeviceSpec { id: DeviceId::Gpu, worker_slots, memory_bytes, cache_bytes }
+    }
+
+    /// Bytes available as operator heap.
+    pub fn heap_bytes(&self) -> u64 {
+        self.memory_bytes.saturating_sub(self.cache_bytes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn other_and_index() {
+        assert_eq!(DeviceId::Cpu.other(), DeviceId::Gpu);
+        assert_eq!(DeviceId::Gpu.other(), DeviceId::Cpu);
+        assert_eq!(DeviceId::Cpu.index(), 0);
+        assert_eq!(DeviceId::Gpu.index(), 1);
+        assert!(DeviceId::Gpu.is_coprocessor());
+        assert!(!DeviceId::Cpu.is_coprocessor());
+    }
+
+    #[test]
+    fn heap_is_memory_minus_cache() {
+        let d = DeviceSpec::coprocessor(4, 1_000, 600);
+        assert_eq!(d.heap_bytes(), 400);
+        let c = DeviceSpec::cpu(8);
+        assert_eq!(c.heap_bytes(), u64::MAX);
+    }
+
+    #[test]
+    #[should_panic(expected = "larger than device memory")]
+    fn cache_cannot_exceed_memory() {
+        DeviceSpec::coprocessor(1, 100, 200);
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(DeviceId::Cpu.to_string(), "CPU");
+        assert_eq!(DeviceId::Gpu.to_string(), "GPU");
+    }
+}

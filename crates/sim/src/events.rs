@@ -1,0 +1,132 @@
+//! Deterministic discrete-event queue.
+//!
+//! A thin priority queue over `(VirtualTime, sequence)` keys. The sequence
+//! number breaks timestamp ties in insertion order, which makes every
+//! simulation run bit-for-bit reproducible.
+
+use crate::time::VirtualTime;
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+struct Entry<E> {
+    at: VirtualTime,
+    seq: u64,
+    payload: E,
+}
+
+impl<E> PartialEq for Entry<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl<E> Eq for Entry<E> {}
+
+impl<E> Ord for Entry<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reverse: BinaryHeap is a max-heap, we want earliest-first.
+        other.at.cmp(&self.at).then(other.seq.cmp(&self.seq))
+    }
+}
+impl<E> PartialOrd for Entry<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// A future-event list ordered by virtual time, FIFO within equal times.
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Entry<E>>,
+    next_seq: u64,
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> EventQueue<E> {
+    /// An empty queue.
+    pub fn new() -> Self {
+        EventQueue { heap: BinaryHeap::new(), next_seq: 0 }
+    }
+
+    /// Schedule `payload` to fire at `at`.
+    pub fn push(&mut self, at: VirtualTime, payload: E) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Entry { at, seq, payload });
+    }
+
+    /// Remove and return the earliest event.
+    pub fn pop(&mut self) -> Option<(VirtualTime, E)> {
+        self.heap.pop().map(|e| (e.at, e.payload))
+    }
+
+    /// Timestamp of the earliest event without removing it.
+    pub fn peek_time(&self) -> Option<VirtualTime> {
+        self.heap.peek().map(|e| e.at)
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// True if no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.push(VirtualTime::from_nanos(30), "c");
+        q.push(VirtualTime::from_nanos(10), "a");
+        q.push(VirtualTime::from_nanos(20), "b");
+        assert_eq!(q.pop(), Some((VirtualTime::from_nanos(10), "a")));
+        assert_eq!(q.pop(), Some((VirtualTime::from_nanos(20), "b")));
+        assert_eq!(q.pop(), Some((VirtualTime::from_nanos(30), "c")));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn equal_times_are_fifo() {
+        let mut q = EventQueue::new();
+        let t = VirtualTime::from_nanos(5);
+        for i in 0..100 {
+            q.push(t, i);
+        }
+        for i in 0..100 {
+            assert_eq!(q.pop().unwrap().1, i);
+        }
+    }
+
+    #[test]
+    fn peek_does_not_remove() {
+        let mut q = EventQueue::new();
+        q.push(VirtualTime::from_nanos(7), ());
+        assert_eq!(q.peek_time(), Some(VirtualTime::from_nanos(7)));
+        assert_eq!(q.len(), 1);
+        assert!(!q.is_empty());
+        q.pop();
+        assert!(q.is_empty());
+        assert_eq!(q.peek_time(), None);
+    }
+
+    #[test]
+    fn interleaved_push_pop_keeps_order() {
+        let mut q = EventQueue::new();
+        q.push(VirtualTime::from_nanos(10), 1);
+        q.push(VirtualTime::from_nanos(5), 0);
+        assert_eq!(q.pop().unwrap().1, 0);
+        q.push(VirtualTime::from_nanos(7), 2);
+        assert_eq!(q.pop().unwrap().1, 2);
+        assert_eq!(q.pop().unwrap().1, 1);
+    }
+}

@@ -1,0 +1,159 @@
+//! Byte-accurate device heap.
+//!
+//! The co-processor heap is where operators allocate intermediate data
+//! structures and results. Exceeding its capacity is *the* failure mode
+//! behind the paper's heap-contention effect: an allocation that does not
+//! fit fails immediately and the operator must abort (Section 2.5.1 —
+//! CoGaDB aborts rather than waiting, to stay deadlock-free).
+
+/// A simple counting allocator over a fixed capacity.
+///
+/// Allocations are tracked by opaque tag so that an aborting operator can
+/// release everything it holds without the caller doing bookkeeping.
+#[derive(Debug, Clone)]
+pub struct HeapAllocator {
+    capacity: u64,
+    used: u64,
+    /// `(tag, bytes)` live allocations; tags are engine-chosen (task ids).
+    allocations: Vec<(u64, u64)>,
+    /// High-water mark, for reporting.
+    peak: u64,
+}
+
+impl HeapAllocator {
+    /// An empty heap of `capacity` bytes.
+    pub fn new(capacity: u64) -> Self {
+        HeapAllocator { capacity, used: 0, allocations: Vec::new(), peak: 0 }
+    }
+
+    /// Total capacity in bytes.
+    pub fn capacity(&self) -> u64 {
+        self.capacity
+    }
+
+    /// Bytes currently allocated.
+    pub fn used(&self) -> u64 {
+        self.used
+    }
+
+    /// Bytes still available.
+    pub fn free_bytes(&self) -> u64 {
+        self.capacity - self.used
+    }
+
+    /// High-water mark of `used`.
+    pub fn peak(&self) -> u64 {
+        self.peak
+    }
+
+    /// Try to allocate `bytes` under `tag`.
+    ///
+    /// Returns `false` (allocating nothing) when the heap cannot satisfy
+    /// the request — the caller then aborts the operator.
+    #[must_use]
+    pub fn try_alloc(&mut self, tag: u64, bytes: u64) -> bool {
+        if bytes > self.capacity - self.used {
+            return false;
+        }
+        self.used += bytes;
+        self.peak = self.peak.max(self.used);
+        if bytes > 0 {
+            self.allocations.push((tag, bytes));
+        }
+        true
+    }
+
+    /// Release every allocation held under `tag`; returns bytes freed.
+    pub fn free_tag(&mut self, tag: u64) -> u64 {
+        let mut freed = 0;
+        self.allocations.retain(|&(t, b)| {
+            if t == tag {
+                freed += b;
+                false
+            } else {
+                true
+            }
+        });
+        self.used -= freed;
+        freed
+    }
+
+    /// Bytes currently held under `tag`.
+    pub fn bytes_of(&self, tag: u64) -> u64 {
+        self.allocations.iter().filter(|&&(t, _)| t == tag).map(|&(_, b)| b).sum()
+    }
+
+    /// Number of live allocations.
+    pub fn live_allocations(&self) -> usize {
+        self.allocations.len()
+    }
+
+    /// Release everything.
+    pub fn reset(&mut self) {
+        self.allocations.clear();
+        self.used = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alloc_and_free() {
+        let mut h = HeapAllocator::new(100);
+        assert!(h.try_alloc(1, 60));
+        assert!(h.try_alloc(2, 30));
+        assert_eq!(h.used(), 90);
+        assert_eq!(h.free_bytes(), 10);
+        assert_eq!(h.free_tag(1), 60);
+        assert_eq!(h.used(), 30);
+        assert_eq!(h.bytes_of(2), 30);
+    }
+
+    #[test]
+    fn over_allocation_fails_atomically() {
+        let mut h = HeapAllocator::new(100);
+        assert!(h.try_alloc(1, 80));
+        assert!(!h.try_alloc(2, 30));
+        // Failed allocation must not consume anything.
+        assert_eq!(h.used(), 80);
+        assert_eq!(h.bytes_of(2), 0);
+    }
+
+    #[test]
+    fn multiple_allocations_same_tag() {
+        let mut h = HeapAllocator::new(100);
+        assert!(h.try_alloc(7, 10));
+        assert!(h.try_alloc(7, 20));
+        assert_eq!(h.bytes_of(7), 30);
+        assert_eq!(h.live_allocations(), 2);
+        assert_eq!(h.free_tag(7), 30);
+        assert_eq!(h.used(), 0);
+    }
+
+    #[test]
+    fn peak_tracking() {
+        let mut h = HeapAllocator::new(100);
+        assert!(h.try_alloc(1, 70));
+        h.free_tag(1);
+        assert!(h.try_alloc(2, 40));
+        assert_eq!(h.peak(), 70);
+    }
+
+    #[test]
+    fn zero_byte_alloc_always_succeeds() {
+        let mut h = HeapAllocator::new(0);
+        assert!(h.try_alloc(1, 0));
+        assert_eq!(h.live_allocations(), 0);
+    }
+
+    #[test]
+    fn reset_clears_state() {
+        let mut h = HeapAllocator::new(50);
+        assert!(h.try_alloc(1, 50));
+        h.reset();
+        assert_eq!(h.used(), 0);
+        assert!(h.try_alloc(2, 50));
+    }
+}

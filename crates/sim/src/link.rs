@@ -1,0 +1,211 @@
+//! Interconnect (PCIe) model.
+//!
+//! Transfers pay a fixed latency, a staging copy into page-locked host
+//! memory (Section 2.5.3: asynchronous CUDA transfers require a pinned
+//! staging area) and the bus itself. Each direction is a FIFO resource:
+//! concurrent requests queue behind each other, which is how multi-user
+//! workloads amplify transfer cost in the simulator just as they congest
+//! the real bus.
+
+use crate::time::VirtualTime;
+
+/// Transfer direction over the link.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Direction {
+    /// Host (CPU) to device (co-processor).
+    HostToDevice,
+    /// Device (co-processor) to host.
+    DeviceToHost,
+}
+
+impl Direction {
+    /// Dense index (for per-direction arrays).
+    pub fn index(self) -> usize {
+        match self {
+            Direction::HostToDevice => 0,
+            Direction::DeviceToHost => 1,
+        }
+    }
+}
+
+/// A scheduled transfer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Transfer {
+    /// When the transfer actually started (after queueing).
+    pub start: VirtualTime,
+    /// When the last byte arrived.
+    pub end: VirtualTime,
+    /// Pure service time (latency + staging + bus), excluding queueing.
+    pub service: VirtualTime,
+    /// Bytes moved.
+    pub bytes: u64,
+}
+
+/// Link parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct LinkParams {
+    /// Bus bandwidth in bytes per second.
+    pub bus_bandwidth: f64,
+    /// Staging (pinned host memory copy) bandwidth in bytes per second.
+    pub staging_bandwidth: f64,
+    /// Fixed setup latency per transfer.
+    pub latency: VirtualTime,
+}
+
+impl Default for LinkParams {
+    fn default() -> Self {
+        // Calibrated so that the effective end-to-end bandwidth is
+        // ~0.86 GB/s: ~3x below the CPU's effective query throughput
+        // (Figure 1's cold-cache slowdown) and ~20-25x below the
+        // co-processor selection throughput (Figure 2's thrashing factor).
+        // EXPERIMENTS.md records the calibration.
+        LinkParams {
+            bus_bandwidth: 2.0e9,
+            staging_bandwidth: 1.5e9,
+            latency: VirtualTime::from_micros(2),
+        }
+    }
+}
+
+impl LinkParams {
+    /// Pure service time to move `bytes` one way.
+    pub fn service_time(&self, bytes: u64) -> VirtualTime {
+        let b = bytes as f64;
+        self.latency
+            + VirtualTime::from_secs_f64(b / self.staging_bandwidth)
+            + VirtualTime::from_secs_f64(b / self.bus_bandwidth)
+    }
+}
+
+/// Accumulated traffic statistics for one direction.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LinkStats {
+    /// Total bytes moved.
+    pub bytes: u64,
+    /// Number of transfers.
+    pub transfers: u64,
+    /// Sum of pure service times.
+    pub busy_time: VirtualTime,
+}
+
+/// The bidirectional link with FIFO contention per direction.
+#[derive(Debug, Clone)]
+pub struct Interconnect {
+    params: LinkParams,
+    busy_until: [VirtualTime; 2],
+    stats: [LinkStats; 2],
+}
+
+impl Interconnect {
+    /// An idle link with the given parameters.
+    pub fn new(params: LinkParams) -> Self {
+        Interconnect {
+            params,
+            busy_until: [VirtualTime::ZERO; 2],
+            stats: [LinkStats::default(); 2],
+        }
+    }
+
+    /// The link parameters.
+    pub fn params(&self) -> &LinkParams {
+        &self.params
+    }
+
+    /// Enqueue a transfer of `bytes` in `dir` at time `now`; returns the
+    /// scheduled window.
+    pub fn transfer(&mut self, now: VirtualTime, dir: Direction, bytes: u64) -> Transfer {
+        let service = self.params.service_time(bytes);
+        let start = now.max(self.busy_until[dir.index()]);
+        let end = start + service;
+        self.busy_until[dir.index()] = end;
+        let s = &mut self.stats[dir.index()];
+        s.bytes += bytes;
+        s.transfers += 1;
+        s.busy_time += service;
+        Transfer { start, end, service, bytes }
+    }
+
+    /// Traffic statistics for `dir`.
+    pub fn stats(&self, dir: Direction) -> LinkStats {
+        self.stats[dir.index()]
+    }
+
+    /// When the link in `dir` becomes idle.
+    pub fn busy_until(&self, dir: Direction) -> VirtualTime {
+        self.busy_until[dir.index()]
+    }
+
+    /// Reset queues and statistics (used between experiment runs).
+    pub fn reset(&mut self) {
+        self.busy_until = [VirtualTime::ZERO; 2];
+        self.stats = [LinkStats::default(); 2];
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn link() -> Interconnect {
+        Interconnect::new(LinkParams {
+            bus_bandwidth: 1e9,
+            staging_bandwidth: 1e9,
+            latency: VirtualTime::from_micros(1),
+        })
+    }
+
+    #[test]
+    fn service_time_components() {
+        let l = link();
+        // 1e9 bytes at 1 GB/s staging + 1 GB/s bus = 2 s + 1 us.
+        let t = l.params().service_time(1_000_000_000);
+        assert_eq!(t.as_nanos(), 2_000_000_000 + 1_000);
+    }
+
+    #[test]
+    fn fifo_contention_queues_transfers() {
+        let mut l = link();
+        let t0 = l.transfer(VirtualTime::ZERO, Direction::HostToDevice, 500_000_000);
+        let t1 = l.transfer(VirtualTime::ZERO, Direction::HostToDevice, 500_000_000);
+        assert_eq!(t0.start, VirtualTime::ZERO);
+        assert_eq!(t1.start, t0.end);
+        assert!(t1.end > t0.end);
+    }
+
+    #[test]
+    fn directions_are_independent() {
+        let mut l = link();
+        let down = l.transfer(VirtualTime::ZERO, Direction::HostToDevice, 1_000_000);
+        let up = l.transfer(VirtualTime::ZERO, Direction::DeviceToHost, 1_000_000);
+        assert_eq!(down.start, VirtualTime::ZERO);
+        assert_eq!(up.start, VirtualTime::ZERO);
+    }
+
+    #[test]
+    fn stats_accumulate() {
+        let mut l = link();
+        l.transfer(VirtualTime::ZERO, Direction::HostToDevice, 100);
+        l.transfer(VirtualTime::ZERO, Direction::HostToDevice, 200);
+        let s = l.stats(Direction::HostToDevice);
+        assert_eq!(s.bytes, 300);
+        assert_eq!(s.transfers, 2);
+        assert!(s.busy_time > VirtualTime::ZERO);
+        assert_eq!(l.stats(Direction::DeviceToHost), LinkStats::default());
+    }
+
+    #[test]
+    fn later_requests_start_at_request_time_when_idle() {
+        let mut l = link();
+        let t = l.transfer(VirtualTime::from_millis(5), Direction::DeviceToHost, 10);
+        assert_eq!(t.start, VirtualTime::from_millis(5));
+    }
+
+    #[test]
+    fn reset_clears_queues() {
+        let mut l = link();
+        l.transfer(VirtualTime::ZERO, Direction::HostToDevice, 1_000_000_000);
+        l.reset();
+        assert_eq!(l.busy_until(Direction::HostToDevice), VirtualTime::ZERO);
+        assert_eq!(l.stats(Direction::HostToDevice).transfers, 0);
+    }
+}

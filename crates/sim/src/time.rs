@@ -1,0 +1,155 @@
+//! Virtual time.
+//!
+//! All simulated durations and timestamps are integer nanoseconds, which
+//! keeps the discrete-event executor fully deterministic (no float
+//! accumulation order effects across runs).
+
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Sub};
+
+/// A point in (or span of) virtual time, in nanoseconds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct VirtualTime(pub u64);
+
+impl VirtualTime {
+    /// The origin of virtual time.
+    pub const ZERO: VirtualTime = VirtualTime(0);
+
+    /// From whole nanoseconds.
+    pub fn from_nanos(ns: u64) -> Self {
+        VirtualTime(ns)
+    }
+
+    /// From whole microseconds.
+    pub fn from_micros(us: u64) -> Self {
+        VirtualTime(us * 1_000)
+    }
+
+    /// From whole milliseconds.
+    pub fn from_millis(ms: u64) -> Self {
+        VirtualTime(ms * 1_000_000)
+    }
+
+    /// From fractional seconds, rounding to the nearest nanosecond.
+    ///
+    /// Negative and non-finite inputs clamp to zero.
+    pub fn from_secs_f64(secs: f64) -> Self {
+        if !secs.is_finite() || secs <= 0.0 {
+            return VirtualTime::ZERO;
+        }
+        VirtualTime((secs * 1e9).round() as u64)
+    }
+
+    /// Whole nanoseconds.
+    pub fn as_nanos(self) -> u64 {
+        self.0
+    }
+
+    /// Fractional seconds.
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1e9
+    }
+
+    /// Fractional milliseconds.
+    pub fn as_millis_f64(self) -> f64 {
+        self.0 as f64 / 1e6
+    }
+
+    /// Subtraction clamping at zero.
+    pub fn saturating_sub(self, rhs: VirtualTime) -> VirtualTime {
+        VirtualTime(self.0.saturating_sub(rhs.0))
+    }
+
+    /// Scale a duration by a non-negative factor.
+    pub fn scale(self, factor: f64) -> VirtualTime {
+        debug_assert!(factor >= 0.0);
+        VirtualTime((self.0 as f64 * factor).round() as u64)
+    }
+
+    /// The later of two instants.
+    pub fn max(self, other: VirtualTime) -> VirtualTime {
+        VirtualTime(self.0.max(other.0))
+    }
+
+    /// The earlier of two instants.
+    pub fn min(self, other: VirtualTime) -> VirtualTime {
+        VirtualTime(self.0.min(other.0))
+    }
+}
+
+impl Add for VirtualTime {
+    type Output = VirtualTime;
+    fn add(self, rhs: VirtualTime) -> VirtualTime {
+        VirtualTime(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for VirtualTime {
+    fn add_assign(&mut self, rhs: VirtualTime) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for VirtualTime {
+    type Output = VirtualTime;
+    fn sub(self, rhs: VirtualTime) -> VirtualTime {
+        VirtualTime(self.0 - rhs.0)
+    }
+}
+
+impl Sum for VirtualTime {
+    fn sum<I: Iterator<Item = VirtualTime>>(iter: I) -> VirtualTime {
+        iter.fold(VirtualTime::ZERO, |a, b| a + b)
+    }
+}
+
+impl fmt::Display for VirtualTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.3}ms", self.as_millis_f64())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions() {
+        assert_eq!(VirtualTime::from_micros(3).as_nanos(), 3_000);
+        assert_eq!(VirtualTime::from_millis(2).as_nanos(), 2_000_000);
+        assert_eq!(VirtualTime::from_secs_f64(1.5).as_nanos(), 1_500_000_000);
+        assert!((VirtualTime::from_nanos(250).as_secs_f64() - 2.5e-7).abs() < 1e-15);
+    }
+
+    #[test]
+    fn degenerate_seconds_clamp_to_zero() {
+        assert_eq!(VirtualTime::from_secs_f64(-1.0), VirtualTime::ZERO);
+        assert_eq!(VirtualTime::from_secs_f64(f64::NAN), VirtualTime::ZERO);
+        assert_eq!(VirtualTime::from_secs_f64(f64::INFINITY), VirtualTime::ZERO);
+    }
+
+    #[test]
+    fn arithmetic() {
+        let a = VirtualTime::from_nanos(10);
+        let b = VirtualTime::from_nanos(4);
+        assert_eq!(a + b, VirtualTime::from_nanos(14));
+        assert_eq!(a - b, VirtualTime::from_nanos(6));
+        assert_eq!(b.saturating_sub(a), VirtualTime::ZERO);
+        assert_eq!(a.scale(2.5), VirtualTime::from_nanos(25));
+        assert_eq!(a.max(b), a);
+        assert_eq!(a.min(b), b);
+    }
+
+    #[test]
+    fn sum_of_durations() {
+        let total: VirtualTime =
+            [1u64, 2, 3].into_iter().map(VirtualTime::from_nanos).sum();
+        assert_eq!(total, VirtualTime::from_nanos(6));
+    }
+
+    #[test]
+    fn display_in_millis() {
+        assert_eq!(VirtualTime::from_millis(12).to_string(), "12.000ms");
+    }
+}

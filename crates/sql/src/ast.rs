@@ -1,0 +1,219 @@
+//! Parsed query representation.
+
+/// A scalar or boolean SQL expression.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SqlExpr {
+    /// Column reference (possibly `table.column`).
+    Column(String),
+    /// Numeric literal.
+    Number(f64),
+    /// String literal.
+    Str(String),
+    /// Binary arithmetic or comparison.
+    Binary {
+        /// Left operand.
+        left: Box<SqlExpr>,
+        /// The operator.
+        op: BinOp,
+        /// Right operand.
+        right: Box<SqlExpr>,
+    },
+    /// `expr BETWEEN lo AND hi`.
+    Between {
+        /// The tested expression.
+        expr: Box<SqlExpr>,
+        /// Inclusive lower bound.
+        lo: Box<SqlExpr>,
+        /// Inclusive upper bound.
+        hi: Box<SqlExpr>,
+    },
+    /// `expr IN (literal, …)`.
+    InList {
+        /// The tested expression.
+        expr: Box<SqlExpr>,
+        /// The accepted literals.
+        list: Vec<SqlExpr>,
+    },
+    /// `expr LIKE 'pattern'` (only `x%`, `%x` and `%x%` patterns).
+    Like {
+        /// The tested expression.
+        expr: Box<SqlExpr>,
+        /// The raw pattern.
+        pattern: String,
+    },
+    /// Logical AND.
+    And(Box<SqlExpr>, Box<SqlExpr>),
+    /// Logical OR.
+    Or(Box<SqlExpr>, Box<SqlExpr>),
+    /// Logical NOT.
+    Not(Box<SqlExpr>),
+}
+
+/// Binary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BinOp {
+    /// `+`
+    Add,
+    /// `-`
+    Sub,
+    /// `*`
+    Mul,
+    /// `/`
+    Div,
+    /// `=`
+    Eq,
+    /// `<>`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+}
+
+impl BinOp {
+    /// True for the six comparison operators.
+    pub fn is_comparison(self) -> bool {
+        matches!(
+            self,
+            BinOp::Eq | BinOp::Ne | BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge
+        )
+    }
+}
+
+/// Aggregate functions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AggName {
+    /// `SUM(expr)`
+    Sum,
+    /// `COUNT(expr)` / `COUNT(*)`
+    Count,
+    /// `MIN(expr)`
+    Min,
+    /// `MAX(expr)`
+    Max,
+    /// `AVG(expr)`
+    Avg,
+}
+
+/// One item of the SELECT list.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SelectItem {
+    /// `*`.
+    Star,
+    /// Scalar expression with optional alias.
+    Expr {
+        /// The expression.
+        expr: SqlExpr,
+        /// `AS alias`, if given.
+        alias: Option<String>,
+    },
+    /// `agg(expr)` with optional alias; `count(*)` has `expr: None`.
+    Agg {
+        /// The aggregate function.
+        func: AggName,
+        /// Its argument (`None` = `*`).
+        expr: Option<SqlExpr>,
+        /// `AS alias`, if given.
+        alias: Option<String>,
+    },
+}
+
+/// Sort direction of one ORDER BY key.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OrderItem {
+    /// Column or output alias to sort by.
+    pub column: String,
+    /// True for `DESC`.
+    pub desc: bool,
+}
+
+/// A parsed SELECT statement.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Query {
+    /// The SELECT list.
+    pub select: Vec<SelectItem>,
+    /// FROM tables.
+    pub from: Vec<String>,
+    /// WHERE condition, if any.
+    pub where_clause: Option<SqlExpr>,
+    /// GROUP BY columns.
+    pub group_by: Vec<String>,
+    /// ORDER BY keys.
+    pub order_by: Vec<OrderItem>,
+    /// LIMIT row count, if any.
+    pub limit: Option<usize>,
+}
+
+impl SqlExpr {
+    /// All column names referenced by the expression.
+    pub fn referenced_columns(&self) -> Vec<String> {
+        let mut out = Vec::new();
+        self.collect(&mut out);
+        out
+    }
+
+    fn collect(&self, out: &mut Vec<String>) {
+        match self {
+            SqlExpr::Column(c) => {
+                if !out.contains(c) {
+                    out.push(c.clone());
+                }
+            }
+            SqlExpr::Number(_) | SqlExpr::Str(_) => {}
+            SqlExpr::Binary { left, right, .. } => {
+                left.collect(out);
+                right.collect(out);
+            }
+            SqlExpr::Between { expr, lo, hi } => {
+                expr.collect(out);
+                lo.collect(out);
+                hi.collect(out);
+            }
+            SqlExpr::InList { expr, list } => {
+                expr.collect(out);
+                for e in list {
+                    e.collect(out);
+                }
+            }
+            SqlExpr::Like { expr, .. } => expr.collect(out),
+            SqlExpr::And(a, b) | SqlExpr::Or(a, b) => {
+                a.collect(out);
+                b.collect(out);
+            }
+            SqlExpr::Not(e) => e.collect(out),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn referenced_columns_dedup() {
+        let e = SqlExpr::And(
+            Box::new(SqlExpr::Binary {
+                left: Box::new(SqlExpr::Column("a".into())),
+                op: BinOp::Eq,
+                right: Box::new(SqlExpr::Column("b".into())),
+            }),
+            Box::new(SqlExpr::Between {
+                expr: Box::new(SqlExpr::Column("a".into())),
+                lo: Box::new(SqlExpr::Number(1.0)),
+                hi: Box::new(SqlExpr::Number(2.0)),
+            }),
+        );
+        assert_eq!(e.referenced_columns(), vec!["a".to_string(), "b".into()]);
+    }
+
+    #[test]
+    fn binop_classification() {
+        assert!(BinOp::Eq.is_comparison());
+        assert!(BinOp::Ge.is_comparison());
+        assert!(!BinOp::Add.is_comparison());
+    }
+}

@@ -1,0 +1,46 @@
+//! SQL front-end errors.
+
+use std::fmt;
+
+/// Errors from lexing, parsing or planning SQL.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SqlError {
+    /// Unexpected character or malformed literal at byte offset.
+    Lex {
+        /// Byte offset of the problem.
+        offset: usize,
+        /// What went wrong.
+        message: String,
+    },
+    /// Parse error with the offending token description.
+    Parse(String),
+    /// Name resolution / planning error.
+    Plan(String),
+}
+
+impl fmt::Display for SqlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SqlError::Lex { offset, message } => {
+                write!(f, "lex error at byte {offset}: {message}")
+            }
+            SqlError::Parse(m) => write!(f, "parse error: {m}"),
+            SqlError::Plan(m) => write!(f, "planning error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for SqlError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_forms() {
+        let e = SqlError::Lex { offset: 3, message: "bad char".into() };
+        assert!(e.to_string().contains("byte 3"));
+        assert!(SqlError::Parse("x".into()).to_string().contains("parse"));
+        assert!(SqlError::Plan("y".into()).to_string().contains("planning"));
+    }
+}

@@ -1,0 +1,228 @@
+//! SQL tokenizer.
+
+use crate::error::SqlError;
+
+/// One SQL token.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Token {
+    /// Identifier or keyword, lower-cased.
+    Ident(String),
+    /// Numeric literal.
+    Number(f64),
+    /// Single-quoted string literal.
+    Str(String),
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `,`
+    Comma,
+    /// `*`
+    Star,
+    /// `+`
+    Plus,
+    /// `-`
+    Minus,
+    /// `/`
+    Slash,
+    /// `=`
+    Eq,
+    /// `<>`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+}
+
+impl Token {
+    /// True if this is the identifier/keyword `kw` (case-insensitive by
+    /// construction: identifiers are lower-cased during lexing).
+    pub fn is_kw(&self, kw: &str) -> bool {
+        matches!(self, Token::Ident(s) if s == kw)
+    }
+}
+
+/// Tokenize `input`.
+pub fn tokenize(input: &str) -> Result<Vec<Token>, SqlError> {
+    let bytes = input.as_bytes();
+    let mut tokens = Vec::new();
+    let mut i = 0;
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        match c {
+            ' ' | '\t' | '\n' | '\r' => i += 1,
+            '(' => {
+                tokens.push(Token::LParen);
+                i += 1;
+            }
+            ')' => {
+                tokens.push(Token::RParen);
+                i += 1;
+            }
+            ',' => {
+                tokens.push(Token::Comma);
+                i += 1;
+            }
+            '*' => {
+                tokens.push(Token::Star);
+                i += 1;
+            }
+            '+' => {
+                tokens.push(Token::Plus);
+                i += 1;
+            }
+            '/' => {
+                tokens.push(Token::Slash);
+                i += 1;
+            }
+            '-' => {
+                // Comment `--` to end of line, or minus.
+                if bytes.get(i + 1) == Some(&b'-') {
+                    while i < bytes.len() && bytes[i] != b'\n' {
+                        i += 1;
+                    }
+                } else {
+                    tokens.push(Token::Minus);
+                    i += 1;
+                }
+            }
+            '=' => {
+                tokens.push(Token::Eq);
+                i += 1;
+            }
+            '<' => match bytes.get(i + 1) {
+                Some(b'=') => {
+                    tokens.push(Token::Le);
+                    i += 2;
+                }
+                Some(b'>') => {
+                    tokens.push(Token::Ne);
+                    i += 2;
+                }
+                _ => {
+                    tokens.push(Token::Lt);
+                    i += 1;
+                }
+            },
+            '>' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    tokens.push(Token::Ge);
+                    i += 2;
+                } else {
+                    tokens.push(Token::Gt);
+                    i += 1;
+                }
+            }
+            '\'' => {
+                let start = i + 1;
+                let mut j = start;
+                while j < bytes.len() && bytes[j] != b'\'' {
+                    j += 1;
+                }
+                if j >= bytes.len() {
+                    return Err(SqlError::Lex {
+                        offset: i,
+                        message: "unterminated string literal".into(),
+                    });
+                }
+                tokens.push(Token::Str(input[start..j].to_owned()));
+                i = j + 1;
+            }
+            '0'..='9' => {
+                let start = i;
+                while i < bytes.len()
+                    && (bytes[i].is_ascii_digit() || bytes[i] == b'.')
+                {
+                    i += 1;
+                }
+                let text = &input[start..i];
+                let n: f64 = text.parse().map_err(|_| SqlError::Lex {
+                    offset: start,
+                    message: format!("bad number {text}"),
+                })?;
+                tokens.push(Token::Number(n));
+            }
+            c if c.is_ascii_alphabetic() || c == '_' => {
+                let start = i;
+                while i < bytes.len()
+                    && ((bytes[i] as char).is_ascii_alphanumeric()
+                        || bytes[i] == b'_'
+                        || bytes[i] == b'.')
+                {
+                    i += 1;
+                }
+                tokens.push(Token::Ident(input[start..i].to_ascii_lowercase()));
+            }
+            other => {
+                return Err(SqlError::Lex {
+                    offset: i,
+                    message: format!("unexpected character {other:?}"),
+                });
+            }
+        }
+    }
+    Ok(tokens)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_tokens() {
+        let t = tokenize("select a, b from t where x >= 1.5").unwrap();
+        assert_eq!(t[0], Token::Ident("select".into()));
+        assert!(t.contains(&Token::Comma));
+        assert!(t.contains(&Token::Ge));
+        assert!(t.contains(&Token::Number(1.5)));
+    }
+
+    #[test]
+    fn keywords_are_case_insensitive() {
+        let t = tokenize("SeLeCt").unwrap();
+        assert!(t[0].is_kw("select"));
+    }
+
+    #[test]
+    fn strings_and_operators() {
+        let t = tokenize("name = 'MFGR#12' <> <= <").unwrap();
+        assert_eq!(t[2], Token::Str("MFGR#12".into()));
+        assert_eq!(t[3], Token::Ne);
+        assert_eq!(t[4], Token::Le);
+        assert_eq!(t[5], Token::Lt);
+    }
+
+    #[test]
+    fn comments_are_skipped() {
+        let t = tokenize("select -- a comment\n 1").unwrap();
+        assert_eq!(t.len(), 2);
+        assert_eq!(t[1], Token::Number(1.0));
+    }
+
+    #[test]
+    fn minus_vs_comment() {
+        let t = tokenize("1 - 2").unwrap();
+        assert_eq!(t, vec![Token::Number(1.0), Token::Minus, Token::Number(2.0)]);
+    }
+
+    #[test]
+    fn unterminated_string_is_error() {
+        assert!(matches!(tokenize("'oops"), Err(SqlError::Lex { .. })));
+    }
+
+    #[test]
+    fn unexpected_char_is_error() {
+        assert!(matches!(tokenize("a ; b"), Err(SqlError::Lex { offset: 2, .. })));
+    }
+
+    #[test]
+    fn empty_input() {
+        assert!(tokenize("").unwrap().is_empty());
+        assert!(tokenize("   \n").unwrap().is_empty());
+    }
+}

@@ -1,0 +1,51 @@
+#![warn(missing_docs)]
+
+//! SQL front end and Selinger-style planner.
+//!
+//! CoGaDB exposes an SQL interface over its column store (Section 2.5);
+//! this crate rebuilds that layer for the select-project-join-aggregate
+//! subset the SSB and TPC-H workloads need:
+//!
+//! * [`lexer`] — tokenization,
+//! * [`ast`] — the parsed query representation,
+//! * [`parser`] — a recursive-descent parser,
+//! * [`planner`] — name resolution, predicate classification
+//!   (per-table / join / residual), Selinger-style dynamic-programming
+//!   join ordering over the equi-join graph, projection pushdown and
+//!   physical plan construction.
+//!
+//! # Example
+//!
+//! ```
+//! use robustq_sql::plan_sql;
+//! use robustq_storage::gen::ssb::SsbGenerator;
+//!
+//! let db = SsbGenerator::new(1).with_rows_per_sf(500).generate();
+//! let plan = plan_sql(
+//!     "select d_year, sum(lo_revenue) as revenue \
+//!      from lineorder, date \
+//!      where lo_orderdate = d_datekey and d_year = 1993 \
+//!      group by d_year",
+//!     &db,
+//! )
+//! .unwrap();
+//! let result = robustq_engine::ops::execute_plan(&plan, &db).unwrap();
+//! assert_eq!(result.num_rows(), 1);
+//! ```
+
+pub mod ast;
+pub mod error;
+pub mod lexer;
+pub mod parser;
+pub mod planner;
+
+pub use error::SqlError;
+
+use robustq_engine::plan::PlanNode;
+use robustq_storage::Database;
+
+/// Parse and plan one SQL statement against `db`.
+pub fn plan_sql(sql: &str, db: &Database) -> Result<PlanNode, SqlError> {
+    let query = parser::parse(sql)?;
+    planner::plan(&query, db)
+}

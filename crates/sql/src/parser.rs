@@ -1,0 +1,457 @@
+//! Recursive-descent parser for the SPJA subset.
+//!
+//! Grammar (informal):
+//!
+//! ```text
+//! query     := SELECT items FROM table (, table)*
+//!              [WHERE or_expr] [GROUP BY cols] [ORDER BY key (,key)*]
+//!              [LIMIT n]
+//! items     := * | item (, item)*
+//! item      := agg ( arith | * ) [AS ident] | arith [AS ident]
+//! or_expr   := and_expr (OR and_expr)*
+//! and_expr  := unary (AND unary)*
+//! unary     := NOT unary | predicate
+//! predicate := arith cmp arith | arith BETWEEN arith AND arith
+//!            | arith IN ( literal, … ) | arith LIKE 'pat' | ( or_expr )
+//! arith     := term ((+|-) term)*
+//! term      := factor ((*|/) factor)*
+//! factor    := number | 'string' | ident | ( arith )
+//! ```
+
+use crate::ast::*;
+use crate::error::SqlError;
+use crate::lexer::{tokenize, Token};
+
+/// Parse one SELECT statement.
+pub fn parse(sql: &str) -> Result<Query, SqlError> {
+    let tokens = tokenize(sql)?;
+    let mut p = Parser { tokens, pos: 0 };
+    let q = p.query()?;
+    if p.pos != p.tokens.len() {
+        return Err(SqlError::Parse(format!(
+            "trailing tokens starting at {:?}",
+            p.peek()
+        )));
+    }
+    Ok(q)
+}
+
+struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> Option<&Token> {
+        self.tokens.get(self.pos)
+    }
+
+    fn next(&mut self) -> Option<Token> {
+        let t = self.tokens.get(self.pos).cloned();
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn eat_kw(&mut self, kw: &str) -> bool {
+        if self.peek().is_some_and(|t| t.is_kw(kw)) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_kw(&mut self, kw: &str) -> Result<(), SqlError> {
+        if self.eat_kw(kw) {
+            Ok(())
+        } else {
+            Err(SqlError::Parse(format!("expected {kw}, found {:?}", self.peek())))
+        }
+    }
+
+    fn expect(&mut self, tok: Token) -> Result<(), SqlError> {
+        if self.peek() == Some(&tok) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(SqlError::Parse(format!("expected {tok:?}, found {:?}", self.peek())))
+        }
+    }
+
+    fn ident(&mut self) -> Result<String, SqlError> {
+        match self.next() {
+            Some(Token::Ident(s)) => Ok(s),
+            other => Err(SqlError::Parse(format!("expected identifier, found {other:?}"))),
+        }
+    }
+
+    fn query(&mut self) -> Result<Query, SqlError> {
+        self.expect_kw("select")?;
+        let select = self.select_items()?;
+        self.expect_kw("from")?;
+        let mut from = vec![self.ident()?];
+        while self.peek() == Some(&Token::Comma) {
+            self.pos += 1;
+            from.push(self.ident()?);
+        }
+        let where_clause = if self.eat_kw("where") {
+            Some(self.or_expr()?)
+        } else {
+            None
+        };
+        let mut group_by = Vec::new();
+        if self.eat_kw("group") {
+            self.expect_kw("by")?;
+            group_by.push(self.ident()?);
+            while self.peek() == Some(&Token::Comma) {
+                self.pos += 1;
+                group_by.push(self.ident()?);
+            }
+        }
+        let mut order_by = Vec::new();
+        if self.eat_kw("order") {
+            self.expect_kw("by")?;
+            loop {
+                let column = self.ident()?;
+                let desc = if self.eat_kw("desc") {
+                    true
+                } else {
+                    self.eat_kw("asc");
+                    false
+                };
+                order_by.push(OrderItem { column, desc });
+                if self.peek() == Some(&Token::Comma) {
+                    self.pos += 1;
+                } else {
+                    break;
+                }
+            }
+        }
+        let limit = if self.eat_kw("limit") {
+            match self.next() {
+                Some(Token::Number(n)) if n >= 0.0 => Some(n as usize),
+                other => {
+                    return Err(SqlError::Parse(format!("bad LIMIT value {other:?}")))
+                }
+            }
+        } else {
+            None
+        };
+        Ok(Query { select, from, where_clause, group_by, order_by, limit })
+    }
+
+    fn select_items(&mut self) -> Result<Vec<SelectItem>, SqlError> {
+        if self.peek() == Some(&Token::Star) {
+            self.pos += 1;
+            return Ok(vec![SelectItem::Star]);
+        }
+        let mut items = vec![self.select_item()?];
+        while self.peek() == Some(&Token::Comma) {
+            self.pos += 1;
+            items.push(self.select_item()?);
+        }
+        Ok(items)
+    }
+
+    fn agg_name(s: &str) -> Option<AggName> {
+        match s {
+            "sum" => Some(AggName::Sum),
+            "count" => Some(AggName::Count),
+            "min" => Some(AggName::Min),
+            "max" => Some(AggName::Max),
+            "avg" => Some(AggName::Avg),
+            _ => None,
+        }
+    }
+
+    fn select_item(&mut self) -> Result<SelectItem, SqlError> {
+        // Aggregate call?
+        if let Some(Token::Ident(name)) = self.peek() {
+            if let Some(func) = Self::agg_name(name) {
+                if self.tokens.get(self.pos + 1) == Some(&Token::LParen) {
+                    self.pos += 2;
+                    let expr = if self.peek() == Some(&Token::Star) {
+                        self.pos += 1;
+                        None
+                    } else {
+                        Some(self.arith()?)
+                    };
+                    self.expect(Token::RParen)?;
+                    let alias = self.alias()?;
+                    return Ok(SelectItem::Agg { func, expr, alias });
+                }
+            }
+        }
+        let expr = self.arith()?;
+        let alias = self.alias()?;
+        Ok(SelectItem::Expr { expr, alias })
+    }
+
+    fn alias(&mut self) -> Result<Option<String>, SqlError> {
+        if self.eat_kw("as") {
+            Ok(Some(self.ident()?))
+        } else {
+            Ok(None)
+        }
+    }
+
+    fn or_expr(&mut self) -> Result<SqlExpr, SqlError> {
+        let mut left = self.and_expr()?;
+        while self.eat_kw("or") {
+            let right = self.and_expr()?;
+            left = SqlExpr::Or(Box::new(left), Box::new(right));
+        }
+        Ok(left)
+    }
+
+    fn and_expr(&mut self) -> Result<SqlExpr, SqlError> {
+        let mut left = self.unary()?;
+        while self.eat_kw("and") {
+            let right = self.unary()?;
+            left = SqlExpr::And(Box::new(left), Box::new(right));
+        }
+        Ok(left)
+    }
+
+    fn unary(&mut self) -> Result<SqlExpr, SqlError> {
+        if self.eat_kw("not") {
+            return Ok(SqlExpr::Not(Box::new(self.unary()?)));
+        }
+        self.predicate()
+    }
+
+    fn predicate(&mut self) -> Result<SqlExpr, SqlError> {
+        // Parenthesized boolean expression: look ahead for a comparison
+        // inside; we reuse arith's paren handling for scalars, so here we
+        // try boolean parse on '(' by speculative descent.
+        if self.peek() == Some(&Token::LParen) {
+            let save = self.pos;
+            self.pos += 1;
+            if let Ok(inner) = self.or_expr() {
+                if self.peek() == Some(&Token::RParen) && is_boolean(&inner) {
+                    self.pos += 1;
+                    return Ok(inner);
+                }
+            }
+            self.pos = save;
+        }
+        let left = self.arith()?;
+        if self.eat_kw("between") {
+            let lo = self.arith()?;
+            self.expect_kw("and")?;
+            let hi = self.arith()?;
+            return Ok(SqlExpr::Between {
+                expr: Box::new(left),
+                lo: Box::new(lo),
+                hi: Box::new(hi),
+            });
+        }
+        if self.eat_kw("in") {
+            self.expect(Token::LParen)?;
+            let mut list = vec![self.arith()?];
+            while self.peek() == Some(&Token::Comma) {
+                self.pos += 1;
+                list.push(self.arith()?);
+            }
+            self.expect(Token::RParen)?;
+            return Ok(SqlExpr::InList { expr: Box::new(left), list });
+        }
+        if self.eat_kw("like") {
+            match self.next() {
+                Some(Token::Str(pattern)) => {
+                    return Ok(SqlExpr::Like { expr: Box::new(left), pattern })
+                }
+                other => {
+                    return Err(SqlError::Parse(format!(
+                        "LIKE expects a string pattern, found {other:?}"
+                    )))
+                }
+            }
+        }
+        let op = match self.peek() {
+            Some(Token::Eq) => BinOp::Eq,
+            Some(Token::Ne) => BinOp::Ne,
+            Some(Token::Lt) => BinOp::Lt,
+            Some(Token::Le) => BinOp::Le,
+            Some(Token::Gt) => BinOp::Gt,
+            Some(Token::Ge) => BinOp::Ge,
+            other => {
+                return Err(SqlError::Parse(format!(
+                    "expected comparison operator, found {other:?}"
+                )))
+            }
+        };
+        self.pos += 1;
+        let right = self.arith()?;
+        Ok(SqlExpr::Binary { left: Box::new(left), op, right: Box::new(right) })
+    }
+
+    fn arith(&mut self) -> Result<SqlExpr, SqlError> {
+        let mut left = self.term()?;
+        loop {
+            let op = match self.peek() {
+                Some(Token::Plus) => BinOp::Add,
+                Some(Token::Minus) => BinOp::Sub,
+                _ => break,
+            };
+            self.pos += 1;
+            let right = self.term()?;
+            left = SqlExpr::Binary { left: Box::new(left), op, right: Box::new(right) };
+        }
+        Ok(left)
+    }
+
+    fn term(&mut self) -> Result<SqlExpr, SqlError> {
+        let mut left = self.factor()?;
+        loop {
+            let op = match self.peek() {
+                Some(Token::Star) => BinOp::Mul,
+                Some(Token::Slash) => BinOp::Div,
+                _ => break,
+            };
+            self.pos += 1;
+            let right = self.factor()?;
+            left = SqlExpr::Binary { left: Box::new(left), op, right: Box::new(right) };
+        }
+        Ok(left)
+    }
+
+    fn factor(&mut self) -> Result<SqlExpr, SqlError> {
+        match self.next() {
+            Some(Token::Number(n)) => Ok(SqlExpr::Number(n)),
+            Some(Token::Str(s)) => Ok(SqlExpr::Str(s)),
+            Some(Token::Ident(s)) => Ok(SqlExpr::Column(s)),
+            Some(Token::LParen) => {
+                let e = self.arith()?;
+                self.expect(Token::RParen)?;
+                Ok(e)
+            }
+            other => Err(SqlError::Parse(format!("unexpected token {other:?}"))),
+        }
+    }
+}
+
+/// Whether the expression is boolean-valued (comparison/logical).
+fn is_boolean(e: &SqlExpr) -> bool {
+    match e {
+        SqlExpr::Binary { op, .. } => op.is_comparison(),
+        SqlExpr::Between { .. }
+        | SqlExpr::InList { .. }
+        | SqlExpr::Like { .. }
+        | SqlExpr::And(_, _)
+        | SqlExpr::Or(_, _)
+        | SqlExpr::Not(_) => true,
+        _ => false,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_star_query() {
+        let q = parse("select * from orders where quantity < 1").unwrap();
+        assert_eq!(q.select, vec![SelectItem::Star]);
+        assert_eq!(q.from, vec!["orders".to_string()]);
+        assert!(q.where_clause.is_some());
+    }
+
+    #[test]
+    fn parse_ssb_q11_shape() {
+        let q = parse(
+            "select sum(lo_extendedprice * lo_discount) as revenue \
+             from lineorder, date \
+             where lo_orderdate = d_datekey and d_year = 1993 \
+             and lo_discount between 1 and 3 and lo_quantity < 25",
+        )
+        .unwrap();
+        assert_eq!(q.from.len(), 2);
+        match &q.select[0] {
+            SelectItem::Agg { func: AggName::Sum, expr: Some(_), alias: Some(a) } => {
+                assert_eq!(a, "revenue");
+            }
+            other => panic!("unexpected select item {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parse_group_order_limit() {
+        let q = parse(
+            "select d_year, sum(lo_revenue) from lineorder, date \
+             where lo_orderdate = d_datekey \
+             group by d_year order by d_year desc, revenue limit 10",
+        )
+        .unwrap();
+        assert_eq!(q.group_by, vec!["d_year".to_string()]);
+        assert_eq!(q.order_by.len(), 2);
+        assert!(q.order_by[0].desc);
+        assert!(!q.order_by[1].desc);
+        assert_eq!(q.limit, Some(10));
+    }
+
+    #[test]
+    fn parse_in_and_like() {
+        let q = parse(
+            "select * from part where p_brand1 in ('A', 'B') and p_type like '%BRASS'",
+        )
+        .unwrap();
+        match q.where_clause.unwrap() {
+            SqlExpr::And(a, b) => {
+                assert!(matches!(*a, SqlExpr::InList { .. }));
+                assert!(matches!(*b, SqlExpr::Like { .. }));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parse_or_with_parens() {
+        let q = parse(
+            "select * from t where (a = 1 and b = 2) or (a = 2 and b = 1)",
+        )
+        .unwrap();
+        assert!(matches!(q.where_clause.unwrap(), SqlExpr::Or(_, _)));
+    }
+
+    #[test]
+    fn parse_count_star() {
+        let q = parse("select count(*) from t").unwrap();
+        match &q.select[0] {
+            SelectItem::Agg { func: AggName::Count, expr: None, .. } => {}
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn arithmetic_precedence() {
+        let q = parse("select a + b * c from t").unwrap();
+        match &q.select[0] {
+            SelectItem::Expr {
+                expr: SqlExpr::Binary { op: BinOp::Add, right, .. },
+                ..
+            } => {
+                assert!(matches!(**right, SqlExpr::Binary { op: BinOp::Mul, .. }));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn trailing_tokens_rejected() {
+        assert!(parse("select * from t garbage garbage").is_err());
+    }
+
+    #[test]
+    fn missing_from_rejected() {
+        assert!(parse("select *").is_err());
+    }
+
+    #[test]
+    fn not_predicate() {
+        let q = parse("select * from t where not a = 1").unwrap();
+        assert!(matches!(q.where_clause.unwrap(), SqlExpr::Not(_)));
+    }
+}

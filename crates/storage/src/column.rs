@@ -1,0 +1,288 @@
+//! Fully materialized, typed columns.
+//!
+//! A column is a dense vector of one scalar type. Strings are dictionary
+//! encoded ([`DictColumn`]): the per-row payload is a `u32` code, which is
+//! also what the co-processor footprint math charges.
+
+use crate::types::{DataType, Value};
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// A dictionary-encoded string column.
+///
+/// Codes index into `dict`, which holds each distinct string once, in
+/// first-seen order. The dictionary is behind an [`Arc`] so that filtered
+/// intermediates can share it with the base column instead of copying it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DictColumn {
+    dict: Arc<Vec<String>>,
+    codes: Vec<u32>,
+}
+
+impl DictColumn {
+    /// Build a dictionary column from raw strings.
+    pub fn from_strings<I, S>(values: I) -> Self
+    where
+        I: IntoIterator<Item = S>,
+        S: AsRef<str>,
+    {
+        let mut dict: Vec<String> = Vec::new();
+        let mut lookup: HashMap<String, u32> = HashMap::new();
+        let mut codes = Vec::new();
+        for v in values {
+            let s = v.as_ref();
+            let code = match lookup.get(s) {
+                Some(&c) => c,
+                None => {
+                    let c = dict.len() as u32;
+                    dict.push(s.to_owned());
+                    lookup.insert(s.to_owned(), c);
+                    c
+                }
+            };
+            codes.push(code);
+        }
+        DictColumn { dict: Arc::new(dict), codes }
+    }
+
+    /// Build a column that reuses an existing dictionary with new codes.
+    ///
+    /// Every code must index into `dict`.
+    pub fn from_parts(dict: Arc<Vec<String>>, codes: Vec<u32>) -> Self {
+        debug_assert!(codes.iter().all(|&c| (c as usize) < dict.len()));
+        DictColumn { dict, codes }
+    }
+
+    /// The shared dictionary.
+    pub fn dict(&self) -> &Arc<Vec<String>> {
+        &self.dict
+    }
+
+    /// Per-row codes.
+    pub fn codes(&self) -> &[u32] {
+        &self.codes
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.codes.len()
+    }
+
+    /// True if the column holds no rows.
+    pub fn is_empty(&self) -> bool {
+        self.codes.is_empty()
+    }
+
+    /// The string at row `i`.
+    pub fn get(&self, i: usize) -> &str {
+        &self.dict[self.codes[i] as usize]
+    }
+
+    /// The code for `s`, if present in the dictionary.
+    pub fn code_of(&self, s: &str) -> Option<u32> {
+        self.dict.iter().position(|d| d == s).map(|p| p as u32)
+    }
+
+    /// Gather rows at the given positions into a new column sharing the
+    /// dictionary.
+    pub fn gather(&self, positions: &[usize]) -> DictColumn {
+        let codes = positions.iter().map(|&p| self.codes[p]).collect();
+        DictColumn { dict: Arc::clone(&self.dict), codes }
+    }
+}
+
+/// A typed, fully materialized column.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ColumnData {
+    /// 32-bit signed integers.
+    Int32(Vec<i32>),
+    /// 64-bit signed integers.
+    Int64(Vec<i64>),
+    /// 64-bit IEEE floats.
+    Float64(Vec<f64>),
+    /// Dictionary-encoded strings.
+    Str(DictColumn),
+}
+
+impl ColumnData {
+    /// Logical type of the column.
+    pub fn data_type(&self) -> DataType {
+        match self {
+            ColumnData::Int32(_) => DataType::Int32,
+            ColumnData::Int64(_) => DataType::Int64,
+            ColumnData::Float64(_) => DataType::Float64,
+            ColumnData::Str(_) => DataType::Str,
+        }
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        match self {
+            ColumnData::Int32(v) => v.len(),
+            ColumnData::Int64(v) => v.len(),
+            ColumnData::Float64(v) => v.len(),
+            ColumnData::Str(d) => d.len(),
+        }
+    }
+
+    /// True if the column holds no rows.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Size in bytes of the per-row payload.
+    ///
+    /// This is the quantity all transfer-time and device-memory math is
+    /// based on; the (shared, small) string dictionary is not charged.
+    pub fn byte_size(&self) -> u64 {
+        (self.len() as u64) * (self.data_type().byte_width() as u64)
+    }
+
+    /// The value at row `i`.
+    pub fn get(&self, i: usize) -> Value {
+        match self {
+            ColumnData::Int32(v) => Value::Int32(v[i]),
+            ColumnData::Int64(v) => Value::Int64(v[i]),
+            ColumnData::Float64(v) => Value::Float64(v[i]),
+            ColumnData::Str(d) => Value::Str(d.get(i).to_owned()),
+        }
+    }
+
+    /// Numeric view of row `i` as `f64`; strings yield their code.
+    ///
+    /// Used by arithmetic expression evaluation, which only ever touches
+    /// numeric columns in well-typed plans.
+    pub fn get_f64(&self, i: usize) -> f64 {
+        match self {
+            ColumnData::Int32(v) => v[i] as f64,
+            ColumnData::Int64(v) => v[i] as f64,
+            ColumnData::Float64(v) => v[i],
+            ColumnData::Str(d) => d.codes()[i] as f64,
+        }
+    }
+
+    /// A 64-bit group/join key for row `i`.
+    ///
+    /// Integers use their value, floats their bit pattern, strings their
+    /// dictionary code. Equal values always produce equal keys within one
+    /// column; across columns that share a dictionary (gathered children)
+    /// string keys also agree.
+    pub fn key_at(&self, i: usize) -> u64 {
+        match self {
+            ColumnData::Int32(v) => v[i] as i64 as u64,
+            ColumnData::Int64(v) => v[i] as u64,
+            ColumnData::Float64(v) => v[i].to_bits(),
+            ColumnData::Str(d) => d.codes()[i] as u64,
+        }
+    }
+
+    /// Gather rows at `positions` into a new column.
+    pub fn gather(&self, positions: &[usize]) -> ColumnData {
+        match self {
+            ColumnData::Int32(v) => {
+                ColumnData::Int32(positions.iter().map(|&p| v[p]).collect())
+            }
+            ColumnData::Int64(v) => {
+                ColumnData::Int64(positions.iter().map(|&p| v[p]).collect())
+            }
+            ColumnData::Float64(v) => {
+                ColumnData::Float64(positions.iter().map(|&p| v[p]).collect())
+            }
+            ColumnData::Str(d) => ColumnData::Str(d.gather(positions)),
+        }
+    }
+
+    /// Build a column of the given type from values produced row-wise.
+    ///
+    /// # Panics
+    /// Panics if a value does not match `ty`.
+    pub fn from_values(ty: DataType, values: &[Value]) -> ColumnData {
+        match ty {
+            DataType::Int32 => ColumnData::Int32(
+                values
+                    .iter()
+                    .map(|v| v.as_i64().expect("int32 value") as i32)
+                    .collect(),
+            ),
+            DataType::Int64 => ColumnData::Int64(
+                values.iter().map(|v| v.as_i64().expect("int64 value")).collect(),
+            ),
+            DataType::Float64 => ColumnData::Float64(
+                values.iter().map(|v| v.as_f64().expect("float value")).collect(),
+            ),
+            DataType::Str => ColumnData::Str(DictColumn::from_strings(
+                values.iter().map(|v| v.as_str().expect("string value")),
+            )),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dict_roundtrip() {
+        let d = DictColumn::from_strings(["ASIA", "EUROPE", "ASIA", "AFRICA"]);
+        assert_eq!(d.len(), 4);
+        assert_eq!(d.dict().len(), 3);
+        assert_eq!(d.get(0), "ASIA");
+        assert_eq!(d.get(2), "ASIA");
+        assert_eq!(d.codes()[0], d.codes()[2]);
+        assert_eq!(d.code_of("AFRICA"), Some(2));
+        assert_eq!(d.code_of("MARS"), None);
+    }
+
+    #[test]
+    fn dict_gather_shares_dictionary() {
+        let d = DictColumn::from_strings(["a", "b", "c"]);
+        let g = d.gather(&[2, 0]);
+        assert_eq!(g.get(0), "c");
+        assert_eq!(g.get(1), "a");
+        assert!(Arc::ptr_eq(g.dict(), d.dict()));
+    }
+
+    #[test]
+    fn byte_sizes() {
+        assert_eq!(ColumnData::Int32(vec![1, 2, 3]).byte_size(), 12);
+        assert_eq!(ColumnData::Int64(vec![1, 2]).byte_size(), 16);
+        assert_eq!(ColumnData::Float64(vec![1.0]).byte_size(), 8);
+        let s = ColumnData::Str(DictColumn::from_strings(["x", "y"]));
+        assert_eq!(s.byte_size(), 8);
+    }
+
+    #[test]
+    fn gather_all_types() {
+        let c = ColumnData::Int32(vec![10, 20, 30]);
+        assert_eq!(c.gather(&[2, 2, 0]), ColumnData::Int32(vec![30, 30, 10]));
+        let f = ColumnData::Float64(vec![0.5, 1.5]);
+        assert_eq!(f.gather(&[1]), ColumnData::Float64(vec![1.5]));
+    }
+
+    #[test]
+    fn keys_agree_for_equal_values() {
+        let c = ColumnData::Int32(vec![7, 7, 8]);
+        assert_eq!(c.key_at(0), c.key_at(1));
+        assert_ne!(c.key_at(0), c.key_at(2));
+        let s = ColumnData::Str(DictColumn::from_strings(["p", "q", "p"]));
+        assert_eq!(s.key_at(0), s.key_at(2));
+    }
+
+    #[test]
+    fn from_values_roundtrip() {
+        let vals = vec![Value::Int32(1), Value::Int32(-5)];
+        let c = ColumnData::from_values(DataType::Int32, &vals);
+        assert_eq!(c.get(1), Value::Int32(-5));
+        let vals = vec![Value::from("a"), Value::from("b")];
+        let c = ColumnData::from_values(DataType::Str, &vals);
+        assert_eq!(c.get(0), Value::from("a"));
+    }
+
+    #[test]
+    fn get_f64_views() {
+        let c = ColumnData::Int64(vec![41]);
+        assert_eq!(c.get_f64(0), 41.0);
+        let f = ColumnData::Float64(vec![2.25]);
+        assert_eq!(f.get_f64(0), 2.25);
+    }
+}

@@ -1,0 +1,48 @@
+//! Storage-layer errors.
+
+use std::fmt;
+
+/// Errors raised while building or accessing storage structures.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StorageError {
+    /// A table's schema and columns disagree.
+    SchemaMismatch {
+        /// The offending table.
+        table: String,
+        /// What disagreed.
+        detail: String,
+    },
+    /// A table name was registered twice.
+    DuplicateTable(String),
+    /// A table or column lookup failed.
+    NotFound(String),
+}
+
+impl fmt::Display for StorageError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StorageError::SchemaMismatch { table, detail } => {
+                write!(f, "schema mismatch in table {table}: {detail}")
+            }
+            StorageError::DuplicateTable(t) => write!(f, "duplicate table {t}"),
+            StorageError::NotFound(what) => write!(f, "not found: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for StorageError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_variants() {
+        let e = StorageError::DuplicateTable("t".into());
+        assert_eq!(e.to_string(), "duplicate table t");
+        let e = StorageError::NotFound("t.c".into());
+        assert!(e.to_string().contains("t.c"));
+        let e = StorageError::SchemaMismatch { table: "x".into(), detail: "d".into() };
+        assert!(e.to_string().contains("x"));
+    }
+}

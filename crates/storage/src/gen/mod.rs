@@ -1,0 +1,96 @@
+//! Deterministic benchmark data generators.
+//!
+//! Both generators are linearly *downscaled* versions of the official
+//! specifications: scale factor `s` produces `s × rows_per_sf` fact rows
+//! (instead of `s × 6 000 000`), with all table-size ratios preserved. The
+//! harness downscales the simulated device parameters by the same factor,
+//! so every working-set-vs-cache and footprint-vs-heap ratio the paper's
+//! effects depend on is preserved (see DESIGN.md §1).
+//!
+//! All generation is seeded ([`rand::rngs::StdRng`]); the same generator
+//! configuration always produces byte-identical databases.
+
+pub mod ssb;
+pub mod tpch;
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// The 5 TPC-H regions.
+pub const REGIONS: [&str; 5] = ["AFRICA", "AMERICA", "ASIA", "EUROPE", "MIDDLE EAST"];
+
+/// The 25 TPC-H nations with their region index.
+pub const NATIONS: [(&str, usize); 25] = [
+    ("ALGERIA", 0),
+    ("ARGENTINA", 1),
+    ("BRAZIL", 1),
+    ("CANADA", 1),
+    ("EGYPT", 4),
+    ("ETHIOPIA", 0),
+    ("FRANCE", 3),
+    ("GERMANY", 3),
+    ("INDIA", 2),
+    ("INDONESIA", 2),
+    ("IRAN", 4),
+    ("IRAQ", 4),
+    ("JAPAN", 2),
+    ("JORDAN", 4),
+    ("KENYA", 0),
+    ("MOROCCO", 0),
+    ("MOZAMBIQUE", 0),
+    ("PERU", 1),
+    ("ROMANIA", 3),
+    ("RUSSIA", 3),
+    ("SAUDI ARABIA", 4),
+    ("UNITED KINGDOM", 3),
+    ("UNITED STATES", 1),
+    ("VIETNAM", 2),
+    ("CHINA", 2),
+];
+
+/// SSB-style city name: the nation name truncated/padded to 9 characters
+/// plus a digit 0–9, e.g. `UNITED KI4` for UNITED KINGDOM.
+pub fn city_name(nation: &str, digit: u32) -> String {
+    let mut base: String = nation.chars().take(9).collect();
+    while base.len() < 9 {
+        base.push(' ');
+    }
+    format!("{base}{digit}")
+}
+
+/// Pick a random nation index.
+pub(crate) fn pick_nation(rng: &mut StdRng) -> usize {
+    rng.gen_range(0..NATIONS.len())
+}
+
+/// Days per month in the non-leap calendar used by the date dimension.
+pub(crate) const DAYS_IN_MONTH: [u32; 12] = [31, 28, 31, 30, 31, 30, 31, 31, 30, 31, 30, 31];
+
+/// Short month names used by `d_yearmonth` (`Dec1997`).
+pub(crate) const MONTH_NAMES: [&str; 12] = [
+    "Jan", "Feb", "Mar", "Apr", "May", "Jun", "Jul", "Aug", "Sep", "Oct", "Nov", "Dec",
+];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn city_names_match_ssb_shape() {
+        assert_eq!(city_name("UNITED KINGDOM", 1), "UNITED KI1");
+        assert_eq!(city_name("PERU", 3), "PERU     3");
+        assert_eq!(city_name("UNITED STATES", 0), "UNITED ST0");
+    }
+
+    #[test]
+    fn nations_cover_all_regions() {
+        for r in 0..REGIONS.len() {
+            assert!(NATIONS.iter().any(|&(_, reg)| reg == r));
+        }
+    }
+
+    #[test]
+    fn calendar_is_non_leap() {
+        assert_eq!(DAYS_IN_MONTH.iter().sum::<u32>(), 365);
+    }
+}

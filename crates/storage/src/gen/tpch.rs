@@ -1,0 +1,480 @@
+//! TPC-H data generator (downscaled, deterministic).
+//!
+//! Generates the eight TPC-H tables with the columns and value
+//! distributions needed by the evaluated query subset Q2–Q7 (Appendix C.2
+//! of the paper). Scale factor `s` yields `s × rows_per_sf` lineitem rows;
+//! all inter-table ratios follow the specification.
+
+use super::{DAYS_IN_MONTH, NATIONS, REGIONS};
+use crate::column::{ColumnData, DictColumn};
+use crate::database::Database;
+use crate::table::{Field, Schema, Table};
+use crate::types::DataType;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Configurable, seeded TPC-H generator.
+#[derive(Debug, Clone)]
+pub struct TpchGenerator {
+    scale_factor: u32,
+    rows_per_sf: usize,
+    seed: u64,
+}
+
+impl TpchGenerator {
+    /// Generator for scale factor `sf` with default downscaling
+    /// (60 000 lineitem rows per scale factor, i.e. 100× below spec).
+    pub fn new(sf: u32) -> Self {
+        TpchGenerator { scale_factor: sf.max(1), rows_per_sf: 60_000, seed: 0x79C4 }
+    }
+
+    /// Override the number of lineitem rows per scale factor.
+    pub fn with_rows_per_sf(mut self, rows: usize) -> Self {
+        self.rows_per_sf = rows.max(1);
+        self
+    }
+
+    /// Override the RNG seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// The configured scale factor.
+    pub fn scale_factor(&self) -> u32 {
+        self.scale_factor
+    }
+
+    /// Number of lineitem rows this configuration will generate.
+    pub fn lineitem_rows(&self) -> usize {
+        self.scale_factor as usize * self.rows_per_sf
+    }
+
+    /// Generate the database.
+    pub fn generate(&self) -> Database {
+        let mut rng = StdRng::seed_from_u64(self.seed ^ (self.scale_factor as u64));
+        let l_rows = self.lineitem_rows();
+        let o_rows = (l_rows / 4).max(40);
+        let c_rows = (l_rows / 40).max(40);
+        let p_rows = (l_rows / 30).max(50);
+        let s_rows = (l_rows / 600).max(20);
+
+        let days = calendar_days();
+
+        let mut db = Database::new();
+        db.add_table(gen_region()).unwrap();
+        db.add_table(gen_nation()).unwrap();
+        db.add_table(gen_supplier(s_rows, &mut rng)).unwrap();
+        db.add_table(gen_customer(c_rows, &mut rng)).unwrap();
+        db.add_table(gen_part(p_rows, &mut rng)).unwrap();
+        db.add_table(gen_partsupp(p_rows, s_rows, &mut rng)).unwrap();
+        let (orders, order_date_idx) = gen_orders(o_rows, c_rows, &days, &mut rng);
+        db.add_table(orders).unwrap();
+        db.add_table(gen_lineitem(
+            l_rows, o_rows, p_rows, s_rows, &days, &order_date_idx, &mut rng,
+        ))
+        .unwrap();
+        db
+    }
+}
+
+/// All `yyyymmdd` date keys of 1992-01-01 … 1998-12-31 (non-leap).
+fn calendar_days() -> Vec<i32> {
+    let mut days = Vec::with_capacity(7 * 365);
+    for y in 1992..=1998i32 {
+        for (m, &dim) in DAYS_IN_MONTH.iter().enumerate() {
+            for d in 1..=dim {
+                days.push(y * 10_000 + (m as i32 + 1) * 100 + d as i32);
+            }
+        }
+    }
+    days
+}
+
+fn gen_region() -> Table {
+    Table::new(
+        "region",
+        Schema::new(vec![
+            Field::new("r_regionkey", DataType::Int32),
+            Field::new("r_name", DataType::Str),
+        ]),
+        vec![
+            ColumnData::Int32((0..REGIONS.len() as i32).collect()),
+            ColumnData::Str(DictColumn::from_strings(REGIONS)),
+        ],
+    )
+    .expect("region schema is consistent")
+}
+
+fn gen_nation() -> Table {
+    Table::new(
+        "nation",
+        Schema::new(vec![
+            Field::new("n_nationkey", DataType::Int32),
+            Field::new("n_name", DataType::Str),
+            Field::new("n_regionkey", DataType::Int32),
+        ]),
+        vec![
+            ColumnData::Int32((0..NATIONS.len() as i32).collect()),
+            ColumnData::Str(DictColumn::from_strings(NATIONS.iter().map(|&(n, _)| n))),
+            ColumnData::Int32(NATIONS.iter().map(|&(_, r)| r as i32).collect()),
+        ],
+    )
+    .expect("nation schema is consistent")
+}
+
+fn gen_supplier(rows: usize, rng: &mut StdRng) -> Table {
+    let mut key = Vec::with_capacity(rows);
+    let mut name = Vec::with_capacity(rows);
+    let mut nationkey = Vec::with_capacity(rows);
+    let mut acctbal = Vec::with_capacity(rows);
+    for i in 0..rows {
+        key.push(i as i32 + 1);
+        name.push(format!("Supplier#{:09}", i + 1));
+        nationkey.push(rng.gen_range(0..NATIONS.len() as i32));
+        acctbal.push(rng.gen_range(-99_999..=999_999) as f64 / 100.0);
+    }
+    Table::new(
+        "supplier",
+        Schema::new(vec![
+            Field::new("s_suppkey", DataType::Int32),
+            Field::new("s_name", DataType::Str),
+            Field::new("s_nationkey", DataType::Int32),
+            Field::new("s_acctbal", DataType::Float64),
+        ]),
+        vec![
+            ColumnData::Int32(key),
+            ColumnData::Str(DictColumn::from_strings(name)),
+            ColumnData::Int32(nationkey),
+            ColumnData::Float64(acctbal),
+        ],
+    )
+    .expect("supplier schema is consistent")
+}
+
+fn gen_customer(rows: usize, rng: &mut StdRng) -> Table {
+    let mut key = Vec::with_capacity(rows);
+    let mut name = Vec::with_capacity(rows);
+    let mut nationkey = Vec::with_capacity(rows);
+    let mut mktsegment = Vec::with_capacity(rows);
+    let segments = ["AUTOMOBILE", "BUILDING", "FURNITURE", "MACHINERY", "HOUSEHOLD"];
+    for i in 0..rows {
+        key.push(i as i32 + 1);
+        name.push(format!("Customer#{:09}", i + 1));
+        nationkey.push(rng.gen_range(0..NATIONS.len() as i32));
+        mktsegment.push(segments[rng.gen_range(0..segments.len())].to_owned());
+    }
+    Table::new(
+        "customer",
+        Schema::new(vec![
+            Field::new("c_custkey", DataType::Int32),
+            Field::new("c_name", DataType::Str),
+            Field::new("c_nationkey", DataType::Int32),
+            Field::new("c_mktsegment", DataType::Str),
+        ]),
+        vec![
+            ColumnData::Int32(key),
+            ColumnData::Str(DictColumn::from_strings(name)),
+            ColumnData::Int32(nationkey),
+            ColumnData::Str(DictColumn::from_strings(mktsegment)),
+        ],
+    )
+    .expect("customer schema is consistent")
+}
+
+fn gen_part(rows: usize, rng: &mut StdRng) -> Table {
+    let mut key = Vec::with_capacity(rows);
+    let mut mfgr = Vec::with_capacity(rows);
+    let mut ptype = Vec::with_capacity(rows);
+    let mut size = Vec::with_capacity(rows);
+    let type1 = ["STANDARD", "SMALL", "MEDIUM", "LARGE", "ECONOMY", "PROMO"];
+    let type2 = ["ANODIZED", "BURNISHED", "PLATED", "POLISHED", "BRUSHED"];
+    let type3 = ["TIN", "NICKEL", "BRASS", "STEEL", "COPPER"];
+    for i in 0..rows {
+        key.push(i as i32 + 1);
+        mfgr.push(format!("Manufacturer#{}", rng.gen_range(1..=5)));
+        ptype.push(format!(
+            "{} {} {}",
+            type1[rng.gen_range(0..type1.len())],
+            type2[rng.gen_range(0..type2.len())],
+            type3[rng.gen_range(0..type3.len())]
+        ));
+        size.push(rng.gen_range(1..=50));
+    }
+    Table::new(
+        "part",
+        Schema::new(vec![
+            Field::new("p_partkey", DataType::Int32),
+            Field::new("p_mfgr", DataType::Str),
+            Field::new("p_type", DataType::Str),
+            Field::new("p_size", DataType::Int32),
+        ]),
+        vec![
+            ColumnData::Int32(key),
+            ColumnData::Str(DictColumn::from_strings(mfgr)),
+            ColumnData::Str(DictColumn::from_strings(ptype)),
+            ColumnData::Int32(size),
+        ],
+    )
+    .expect("part schema is consistent")
+}
+
+fn gen_partsupp(p_rows: usize, s_rows: usize, rng: &mut StdRng) -> Table {
+    let rows = p_rows * 4;
+    let mut partkey = Vec::with_capacity(rows);
+    let mut suppkey = Vec::with_capacity(rows);
+    let mut supplycost = Vec::with_capacity(rows);
+    let mut availqty = Vec::with_capacity(rows);
+    for p in 0..p_rows {
+        for _ in 0..4 {
+            partkey.push(p as i32 + 1);
+            suppkey.push(rng.gen_range(1..=s_rows as i32));
+            supplycost.push(rng.gen_range(100..=100_000) as f64 / 100.0);
+            availqty.push(rng.gen_range(1..=9_999));
+        }
+    }
+    Table::new(
+        "partsupp",
+        Schema::new(vec![
+            Field::new("ps_partkey", DataType::Int32),
+            Field::new("ps_suppkey", DataType::Int32),
+            Field::new("ps_supplycost", DataType::Float64),
+            Field::new("ps_availqty", DataType::Int32),
+        ]),
+        vec![
+            ColumnData::Int32(partkey),
+            ColumnData::Int32(suppkey),
+            ColumnData::Float64(supplycost),
+            ColumnData::Int32(availqty),
+        ],
+    )
+    .expect("partsupp schema is consistent")
+}
+
+/// Generates orders; also returns each order's index into the calendar so
+/// lineitem ship/commit/receipt dates can be offset from it.
+fn gen_orders(
+    rows: usize,
+    c_rows: usize,
+    days: &[i32],
+    rng: &mut StdRng,
+) -> (Table, Vec<usize>) {
+    let mut key = Vec::with_capacity(rows);
+    let mut custkey = Vec::with_capacity(rows);
+    let mut orderdate = Vec::with_capacity(rows);
+    let mut orderpriority = Vec::with_capacity(rows);
+    let mut shippriority = Vec::with_capacity(rows);
+    let mut totalprice = Vec::with_capacity(rows);
+    let mut date_idx = Vec::with_capacity(rows);
+    let priorities = ["1-URGENT", "2-HIGH", "3-MEDIUM", "4-NOT SPECIFIED", "5-LOW"];
+    // Leave room for ship + receipt offsets (up to 151 days) at the end.
+    let max_idx = days.len() - 152;
+    for i in 0..rows {
+        key.push(i as i32 + 1);
+        custkey.push(rng.gen_range(1..=c_rows as i32));
+        let di = rng.gen_range(0..max_idx);
+        date_idx.push(di);
+        orderdate.push(days[di]);
+        orderpriority.push(priorities[rng.gen_range(0..priorities.len())].to_owned());
+        shippriority.push(0);
+        totalprice.push(rng.gen_range(100_000..=50_000_000) as f64 / 100.0);
+    }
+    let table = Table::new(
+        "orders",
+        Schema::new(vec![
+            Field::new("o_orderkey", DataType::Int32),
+            Field::new("o_custkey", DataType::Int32),
+            Field::new("o_orderdate", DataType::Int32),
+            Field::new("o_orderpriority", DataType::Str),
+            Field::new("o_shippriority", DataType::Int32),
+            Field::new("o_totalprice", DataType::Float64),
+        ]),
+        vec![
+            ColumnData::Int32(key),
+            ColumnData::Int32(custkey),
+            ColumnData::Int32(orderdate),
+            ColumnData::Str(DictColumn::from_strings(orderpriority)),
+            ColumnData::Int32(shippriority),
+            ColumnData::Float64(totalprice),
+        ],
+    )
+    .expect("orders schema is consistent");
+    (table, date_idx)
+}
+
+#[allow(clippy::too_many_arguments)]
+fn gen_lineitem(
+    rows: usize,
+    o_rows: usize,
+    p_rows: usize,
+    s_rows: usize,
+    days: &[i32],
+    order_date_idx: &[usize],
+    rng: &mut StdRng,
+) -> Table {
+    let mut orderkey = Vec::with_capacity(rows);
+    let mut partkey = Vec::with_capacity(rows);
+    let mut suppkey = Vec::with_capacity(rows);
+    let mut quantity = Vec::with_capacity(rows);
+    let mut extendedprice = Vec::with_capacity(rows);
+    let mut discount = Vec::with_capacity(rows);
+    let mut tax = Vec::with_capacity(rows);
+    let mut shipdate = Vec::with_capacity(rows);
+    let mut commitdate = Vec::with_capacity(rows);
+    let mut receiptdate = Vec::with_capacity(rows);
+    let mut shipmode = Vec::with_capacity(rows);
+    let modes = ["AIR", "MAIL", "SHIP", "TRUCK", "RAIL", "REG AIR", "FOB"];
+    for i in 0..rows {
+        let o = (i / 4) % o_rows;
+        orderkey.push(o as i32 + 1);
+        partkey.push(rng.gen_range(1..=p_rows as i32));
+        suppkey.push(rng.gen_range(1..=s_rows as i32));
+        quantity.push(rng.gen_range(1..=50));
+        extendedprice.push(rng.gen_range(90_000..=10_000_000) as f64 / 100.0);
+        discount.push(rng.gen_range(0..=10) as f64 / 100.0);
+        tax.push(rng.gen_range(0..=8) as f64 / 100.0);
+        let base = order_date_idx[o];
+        let ship = base + rng.gen_range(1..=121);
+        let commit = base + rng.gen_range(30..=90);
+        let receipt = ship + rng.gen_range(1..=30);
+        shipdate.push(days[ship]);
+        commitdate.push(days[commit]);
+        receiptdate.push(days[receipt]);
+        shipmode.push(modes[rng.gen_range(0..modes.len())].to_owned());
+    }
+    Table::new(
+        "lineitem",
+        Schema::new(vec![
+            Field::new("l_orderkey", DataType::Int32),
+            Field::new("l_partkey", DataType::Int32),
+            Field::new("l_suppkey", DataType::Int32),
+            Field::new("l_quantity", DataType::Int32),
+            Field::new("l_extendedprice", DataType::Float64),
+            Field::new("l_discount", DataType::Float64),
+            Field::new("l_tax", DataType::Float64),
+            Field::new("l_shipdate", DataType::Int32),
+            Field::new("l_commitdate", DataType::Int32),
+            Field::new("l_receiptdate", DataType::Int32),
+            Field::new("l_shipmode", DataType::Str),
+        ]),
+        vec![
+            ColumnData::Int32(orderkey),
+            ColumnData::Int32(partkey),
+            ColumnData::Int32(suppkey),
+            ColumnData::Int32(quantity),
+            ColumnData::Float64(extendedprice),
+            ColumnData::Float64(discount),
+            ColumnData::Float64(tax),
+            ColumnData::Int32(shipdate),
+            ColumnData::Int32(commitdate),
+            ColumnData::Int32(receiptdate),
+            ColumnData::Str(DictColumn::from_strings(shipmode)),
+        ],
+    )
+    .expect("lineitem schema is consistent")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_db() -> Database {
+        TpchGenerator::new(1).with_rows_per_sf(2_000).generate()
+    }
+
+    #[test]
+    fn all_tables_present() {
+        let db = tiny_db();
+        for t in [
+            "region", "nation", "supplier", "customer", "part", "partsupp", "orders",
+            "lineitem",
+        ] {
+            assert!(db.table(t).is_some(), "missing table {t}");
+        }
+        assert_eq!(db.table("lineitem").unwrap().num_rows(), 2_000);
+        assert_eq!(db.table("region").unwrap().num_rows(), 5);
+        assert_eq!(db.table("nation").unwrap().num_rows(), 25);
+    }
+
+    #[test]
+    fn deterministic() {
+        let a = tiny_db();
+        let b = tiny_db();
+        assert_eq!(
+            a.table("lineitem").unwrap().column("l_discount").unwrap(),
+            b.table("lineitem").unwrap().column("l_discount").unwrap()
+        );
+    }
+
+    #[test]
+    fn dates_are_ordered_per_row() {
+        let db = tiny_db();
+        let li = db.table("lineitem").unwrap();
+        let ship = match li.column("l_shipdate").unwrap() {
+            ColumnData::Int32(v) => v,
+            _ => panic!(),
+        };
+        let receipt = match li.column("l_receiptdate").unwrap() {
+            ColumnData::Int32(v) => v,
+            _ => panic!(),
+        };
+        // yyyymmdd encoding preserves chronological order.
+        assert!(ship.iter().zip(receipt).all(|(s, r)| s < r));
+    }
+
+    #[test]
+    fn commit_before_receipt_sometimes_and_not_always() {
+        // TPC-H Q4 counts orders with a late lineitem; the generator must
+        // produce both outcomes.
+        let db = tiny_db();
+        let li = db.table("lineitem").unwrap();
+        let commit = match li.column("l_commitdate").unwrap() {
+            ColumnData::Int32(v) => v,
+            _ => panic!(),
+        };
+        let receipt = match li.column("l_receiptdate").unwrap() {
+            ColumnData::Int32(v) => v,
+            _ => panic!(),
+        };
+        let late = commit.iter().zip(receipt).filter(|(c, r)| c < r).count();
+        assert!(late > 0 && late < commit.len());
+    }
+
+    #[test]
+    fn partsupp_covers_every_part() {
+        let db = tiny_db();
+        let ps = db.table("partsupp").unwrap();
+        let n_parts = db.table("part").unwrap().num_rows();
+        assert_eq!(ps.num_rows(), n_parts * 4);
+        match ps.column("ps_partkey").unwrap() {
+            ColumnData::Int32(v) => {
+                let distinct: std::collections::HashSet<i32> = v.iter().copied().collect();
+                assert_eq!(distinct.len(), n_parts);
+            }
+            _ => panic!(),
+        }
+    }
+
+    #[test]
+    fn brass_parts_exist_for_q2() {
+        let db = tiny_db();
+        match db.table("part").unwrap().column("p_type").unwrap() {
+            ColumnData::Str(d) => {
+                assert!(d.dict().iter().any(|t| t.ends_with("BRASS")));
+            }
+            _ => panic!(),
+        }
+    }
+
+    #[test]
+    fn q7_nations_exist() {
+        let db = tiny_db();
+        match db.table("nation").unwrap().column("n_name").unwrap() {
+            ColumnData::Str(d) => {
+                assert!(d.code_of("FRANCE").is_some());
+                assert!(d.code_of("GERMANY").is_some());
+            }
+            _ => panic!(),
+        }
+    }
+}

@@ -1,0 +1,231 @@
+//! Tables and schemas.
+
+use crate::column::ColumnData;
+use crate::error::StorageError;
+use crate::types::DataType;
+
+/// A named, typed column slot in a schema.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Field {
+    /// Column name.
+    pub name: String,
+    /// Column type.
+    pub data_type: DataType,
+}
+
+impl Field {
+    /// A field with the given name and type.
+    pub fn new(name: impl Into<String>, data_type: DataType) -> Self {
+        Field { name: name.into(), data_type }
+    }
+}
+
+/// An ordered list of fields.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Schema {
+    fields: Vec<Field>,
+}
+
+impl Schema {
+    /// A schema over the given fields.
+    pub fn new(fields: Vec<Field>) -> Self {
+        Schema { fields }
+    }
+
+    /// The fields, in column order.
+    pub fn fields(&self) -> &[Field] {
+        &self.fields
+    }
+
+    /// Number of fields.
+    pub fn len(&self) -> usize {
+        self.fields.len()
+    }
+
+    /// True if the schema has no fields.
+    pub fn is_empty(&self) -> bool {
+        self.fields.is_empty()
+    }
+
+    /// Index of the field named `name`.
+    pub fn index_of(&self, name: &str) -> Option<usize> {
+        self.fields.iter().position(|f| f.name == name)
+    }
+
+    /// The field at position `i`.
+    pub fn field(&self, i: usize) -> &Field {
+        &self.fields[i]
+    }
+}
+
+/// A fully materialized table: a schema plus one column per field.
+///
+/// Invariant: all columns have the same number of rows and each column's
+/// type matches its schema field.
+#[derive(Debug, Clone)]
+pub struct Table {
+    name: String,
+    schema: Schema,
+    columns: Vec<ColumnData>,
+}
+
+impl Table {
+    /// Build a table, validating the schema/column invariants.
+    pub fn new(
+        name: impl Into<String>,
+        schema: Schema,
+        columns: Vec<ColumnData>,
+    ) -> Result<Self, StorageError> {
+        let name = name.into();
+        if schema.len() != columns.len() {
+            return Err(StorageError::SchemaMismatch {
+                table: name,
+                detail: format!(
+                    "{} fields but {} columns",
+                    schema.len(),
+                    columns.len()
+                ),
+            });
+        }
+        let mut rows: Option<usize> = None;
+        for (f, c) in schema.fields().iter().zip(&columns) {
+            if f.data_type != c.data_type() {
+                return Err(StorageError::SchemaMismatch {
+                    table: name,
+                    detail: format!(
+                        "field {} declared {} but column is {}",
+                        f.name,
+                        f.data_type,
+                        c.data_type()
+                    ),
+                });
+            }
+            match rows {
+                None => rows = Some(c.len()),
+                Some(r) if r != c.len() => {
+                    return Err(StorageError::SchemaMismatch {
+                        table: name,
+                        detail: format!(
+                            "column {} has {} rows, expected {}",
+                            f.name,
+                            c.len(),
+                            r
+                        ),
+                    });
+                }
+                _ => {}
+            }
+        }
+        Ok(Table { name, schema, columns })
+    }
+
+    /// The table's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The table's schema.
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// Number of rows.
+    pub fn num_rows(&self) -> usize {
+        self.columns.first().map_or(0, ColumnData::len)
+    }
+
+    /// Number of columns.
+    pub fn num_columns(&self) -> usize {
+        self.columns.len()
+    }
+
+    /// The column data, in schema order.
+    pub fn columns(&self) -> &[ColumnData] {
+        &self.columns
+    }
+
+    /// Column by name.
+    pub fn column(&self, name: &str) -> Option<&ColumnData> {
+        self.schema.index_of(name).map(|i| &self.columns[i])
+    }
+
+    /// Column by positional index.
+    pub fn column_at(&self, i: usize) -> &ColumnData {
+        &self.columns[i]
+    }
+
+    /// Total payload bytes across all columns.
+    pub fn byte_size(&self) -> u64 {
+        self.columns.iter().map(ColumnData::byte_size).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn two_col_table() -> Table {
+        let schema = Schema::new(vec![
+            Field::new("k", DataType::Int32),
+            Field::new("v", DataType::Float64),
+        ]);
+        Table::new(
+            "t",
+            schema,
+            vec![
+                ColumnData::Int32(vec![1, 2, 3]),
+                ColumnData::Float64(vec![0.1, 0.2, 0.3]),
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn build_and_lookup() {
+        let t = two_col_table();
+        assert_eq!(t.num_rows(), 3);
+        assert_eq!(t.num_columns(), 2);
+        assert_eq!(t.schema().index_of("v"), Some(1));
+        assert!(t.column("k").is_some());
+        assert!(t.column("missing").is_none());
+        assert_eq!(t.byte_size(), 3 * 4 + 3 * 8);
+    }
+
+    #[test]
+    fn rejects_row_count_mismatch() {
+        let schema = Schema::new(vec![
+            Field::new("a", DataType::Int32),
+            Field::new("b", DataType::Int32),
+        ]);
+        let err = Table::new(
+            "bad",
+            schema,
+            vec![ColumnData::Int32(vec![1]), ColumnData::Int32(vec![1, 2])],
+        )
+        .unwrap_err();
+        assert!(matches!(err, StorageError::SchemaMismatch { .. }));
+    }
+
+    #[test]
+    fn rejects_type_mismatch() {
+        let schema = Schema::new(vec![Field::new("a", DataType::Float64)]);
+        let err =
+            Table::new("bad", schema, vec![ColumnData::Int32(vec![1])]).unwrap_err();
+        assert!(matches!(err, StorageError::SchemaMismatch { .. }));
+    }
+
+    #[test]
+    fn rejects_column_count_mismatch() {
+        let schema = Schema::new(vec![Field::new("a", DataType::Int32)]);
+        let err = Table::new("bad", schema, vec![]).unwrap_err();
+        assert!(matches!(err, StorageError::SchemaMismatch { .. }));
+    }
+
+    #[test]
+    fn empty_table_has_zero_rows() {
+        let schema = Schema::new(vec![Field::new("a", DataType::Int32)]);
+        let t = Table::new("e", schema, vec![ColumnData::Int32(vec![])]).unwrap();
+        assert_eq!(t.num_rows(), 0);
+        assert_eq!(t.byte_size(), 0);
+    }
+}

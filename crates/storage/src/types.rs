@@ -1,0 +1,212 @@
+//! Scalar types and values.
+
+use std::cmp::Ordering;
+use std::fmt;
+
+/// The logical type of a column or scalar expression.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DataType {
+    /// 32-bit signed integer (keys, dates encoded as `yyyymmdd`, small ints).
+    Int32,
+    /// 64-bit signed integer (large keys, counts).
+    Int64,
+    /// 64-bit IEEE float (prices, aggregates).
+    Float64,
+    /// Dictionary-encoded UTF-8 string.
+    Str,
+}
+
+impl DataType {
+    /// Width in bytes of a single encoded value of this type.
+    ///
+    /// Dictionary-encoded strings store a `u32` code per row; the dictionary
+    /// itself is shared and small, so footprint math uses the code width.
+    pub fn byte_width(self) -> usize {
+        match self {
+            DataType::Int32 => 4,
+            DataType::Int64 => 8,
+            DataType::Float64 => 8,
+            DataType::Str => 4,
+        }
+    }
+
+    /// True if values of this type are totally ordered numbers.
+    pub fn is_numeric(self) -> bool {
+        !matches!(self, DataType::Str)
+    }
+}
+
+impl fmt::Display for DataType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            DataType::Int32 => "INT32",
+            DataType::Int64 => "INT64",
+            DataType::Float64 => "FLOAT64",
+            DataType::Str => "STR",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A single scalar value, used for predicates, literals and result rows.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// 32-bit signed integer.
+    Int32(i32),
+    /// 64-bit signed integer.
+    Int64(i64),
+    /// 64-bit IEEE float.
+    Float64(f64),
+    /// UTF-8 string.
+    Str(String),
+    /// Absent value (only produced by outer joins / empty aggregates).
+    Null,
+}
+
+impl Value {
+    /// Logical type of the value; `None` for [`Value::Null`].
+    pub fn data_type(&self) -> Option<DataType> {
+        match self {
+            Value::Int32(_) => Some(DataType::Int32),
+            Value::Int64(_) => Some(DataType::Int64),
+            Value::Float64(_) => Some(DataType::Float64),
+            Value::Str(_) => Some(DataType::Str),
+            Value::Null => None,
+        }
+    }
+
+    /// Numeric view of the value as `f64`, if it is numeric.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Int32(v) => Some(*v as f64),
+            Value::Int64(v) => Some(*v as f64),
+            Value::Float64(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// Integer view of the value as `i64`, if it is an integer.
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Value::Int32(v) => Some(*v as i64),
+            Value::Int64(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// String view of the value, if it is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Compare two values of compatible types.
+    ///
+    /// Numeric types compare through `f64` (exact for the 32-bit and
+    /// sub-2^53 integer ranges used by the benchmarks); strings compare
+    /// lexicographically. Incompatible types and `Null` return `None`.
+    pub fn partial_cmp_value(&self, other: &Value) -> Option<Ordering> {
+        match (self, other) {
+            (Value::Str(a), Value::Str(b)) => Some(a.as_str().cmp(b.as_str())),
+            (Value::Null, _) | (_, Value::Null) => None,
+            (a, b) => {
+                let (x, y) = (a.as_f64()?, b.as_f64()?);
+                x.partial_cmp(&y)
+            }
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Int32(v) => write!(f, "{v}"),
+            Value::Int64(v) => write!(f, "{v}"),
+            Value::Float64(v) => write!(f, "{v:.4}"),
+            Value::Str(s) => write!(f, "{s}"),
+            Value::Null => f.write_str("NULL"),
+        }
+    }
+}
+
+impl From<i32> for Value {
+    fn from(v: i32) -> Self {
+        Value::Int32(v)
+    }
+}
+impl From<i64> for Value {
+    fn from(v: i64) -> Self {
+        Value::Int64(v)
+    }
+}
+impl From<f64> for Value {
+    fn from(v: f64) -> Self {
+        Value::Float64(v)
+    }
+}
+impl From<&str> for Value {
+    fn from(v: &str) -> Self {
+        Value::Str(v.to_owned())
+    }
+}
+impl From<String> for Value {
+    fn from(v: String) -> Self {
+        Value::Str(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn byte_widths() {
+        assert_eq!(DataType::Int32.byte_width(), 4);
+        assert_eq!(DataType::Int64.byte_width(), 8);
+        assert_eq!(DataType::Float64.byte_width(), 8);
+        assert_eq!(DataType::Str.byte_width(), 4);
+    }
+
+    #[test]
+    fn numeric_classification() {
+        assert!(DataType::Int32.is_numeric());
+        assert!(DataType::Float64.is_numeric());
+        assert!(!DataType::Str.is_numeric());
+    }
+
+    #[test]
+    fn value_type_roundtrip() {
+        assert_eq!(Value::from(3i32).data_type(), Some(DataType::Int32));
+        assert_eq!(Value::from(3i64).data_type(), Some(DataType::Int64));
+        assert_eq!(Value::from(3.0).data_type(), Some(DataType::Float64));
+        assert_eq!(Value::from("x").data_type(), Some(DataType::Str));
+        assert_eq!(Value::Null.data_type(), None);
+    }
+
+    #[test]
+    fn cross_type_numeric_compare() {
+        let a = Value::Int32(4);
+        let b = Value::Float64(4.5);
+        assert_eq!(a.partial_cmp_value(&b), Some(Ordering::Less));
+        assert_eq!(b.partial_cmp_value(&a), Some(Ordering::Greater));
+        assert_eq!(a.partial_cmp_value(&Value::Int64(4)), Some(Ordering::Equal));
+    }
+
+    #[test]
+    fn string_compare_and_null() {
+        let a = Value::from("ASIA");
+        let b = Value::from("EUROPE");
+        assert_eq!(a.partial_cmp_value(&b), Some(Ordering::Less));
+        assert_eq!(a.partial_cmp_value(&Value::Null), None);
+        assert_eq!(Value::Null.partial_cmp_value(&a), None);
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(Value::Int32(7).to_string(), "7");
+        assert_eq!(Value::from("hi").to_string(), "hi");
+        assert_eq!(Value::Null.to_string(), "NULL");
+    }
+}

@@ -1,0 +1,398 @@
+//! Closed-loop multi-user workload execution (the paper's procedure).
+//!
+//! Section 6.1: workloads are run twice to warm up (populating access
+//! statistics, learned cost models and the data placement), access
+//! structures are pre-loaded into the co-processor memory until the
+//! buffer is full, and then the measured run executes a *fixed total
+//! number of queries* distributed over `users` parallel sessions.
+
+use robustq_core::Strategy;
+use robustq_engine::exec::metrics::QueryOutcome;
+use robustq_engine::plan::PlanNode;
+use robustq_engine::{ExecOptions, Executor, RunMetrics};
+use robustq_sim::{SimConfig, VirtualTime};
+use robustq_storage::{ColumnId, Database};
+
+/// Runner options.
+#[derive(Debug, Clone)]
+pub struct RunnerConfig {
+    /// Parallel user sessions sharing the workload.
+    pub users: usize,
+    /// Warm-up executions of the full workload before measuring.
+    pub warmup_runs: usize,
+    /// Pin the hottest columns into the co-processor cache before the
+    /// measured run. Usually unnecessary — warm-up runs already leave the
+    /// cache warm (it persists across runs) — but useful for hot-cache
+    /// scenarios without warm-up, like Figure 1's hot case.
+    pub preload_hot_columns: bool,
+    /// Queries between data-placement background-job runs (0 = never).
+    pub placement_update_period: usize,
+    /// Admission control: maximum concurrently admitted queries.
+    pub max_concurrent_queries: usize,
+    /// Keep full results in the outcomes.
+    pub capture_results: bool,
+}
+
+impl Default for RunnerConfig {
+    fn default() -> Self {
+        RunnerConfig {
+            users: 1,
+            warmup_runs: 1,
+            preload_hot_columns: false,
+            placement_update_period: 1,
+            max_concurrent_queries: usize::MAX,
+            capture_results: false,
+        }
+    }
+}
+
+impl RunnerConfig {
+    /// Set the number of parallel sessions.
+    pub fn with_users(mut self, users: usize) -> Self {
+        self.users = users.max(1);
+        self
+    }
+
+    /// Fully cold start: no warm-up, no pre-load.
+    pub fn cold_cache(mut self) -> Self {
+        self.preload_hot_columns = false;
+        self.warmup_runs = 0;
+        self
+    }
+
+    /// Pin the hottest columns before the measured run.
+    pub fn with_preload(mut self) -> Self {
+        self.preload_hot_columns = true;
+        self
+    }
+
+    /// Admit at most `n` queries concurrently (admission control).
+    pub fn with_admission_limit(mut self, n: usize) -> Self {
+        self.max_concurrent_queries = n.max(1);
+        self
+    }
+
+    /// Run the data-placement background job every `n` completed queries.
+    pub fn with_placement_period(mut self, n: usize) -> Self {
+        self.placement_update_period = n;
+        self
+    }
+}
+
+/// Result of one measured workload run.
+#[derive(Debug, Clone)]
+pub struct RunReport {
+    /// Display name of the strategy that ran.
+    pub strategy: &'static str,
+    /// Number of parallel sessions.
+    pub users: usize,
+    /// Aggregated run metrics.
+    pub metrics: RunMetrics,
+    /// Per-query outcomes, in completion order.
+    pub outcomes: Vec<QueryOutcome>,
+}
+
+impl RunReport {
+    /// Mean query latency.
+    pub fn mean_latency(&self) -> VirtualTime {
+        RunMetrics::mean_latency(&self.outcomes)
+    }
+
+    /// The `p`-th latency percentile (nearest-rank), `0.0 < p <= 100.0`.
+    ///
+    /// Returns zero for an empty outcome set.
+    pub fn latency_percentile(&self, p: f64) -> VirtualTime {
+        if self.outcomes.is_empty() {
+            return VirtualTime::ZERO;
+        }
+        let mut lat: Vec<VirtualTime> =
+            self.outcomes.iter().map(|o| o.latency).collect();
+        lat.sort();
+        let p = p.clamp(f64::MIN_POSITIVE, 100.0);
+        let rank = ((p / 100.0) * lat.len() as f64).ceil() as usize;
+        lat[rank.saturating_sub(1)]
+    }
+
+    /// Median query latency.
+    pub fn median_latency(&self) -> VirtualTime {
+        self.latency_percentile(50.0)
+    }
+
+    /// 95th-percentile latency — the tail the paper's worst-case-execution
+    /// -time argument is about.
+    pub fn p95_latency(&self) -> VirtualTime {
+        self.latency_percentile(95.0)
+    }
+
+    /// Latency of the `k`-th query of the original workload list (queries
+    /// are distributed round-robin over sessions).
+    pub fn latency_of_query(&self, k: usize) -> Option<VirtualTime> {
+        let session = k % self.users;
+        let seq = k / self.users;
+        self.outcomes
+            .iter()
+            .find(|o| o.session == session && o.seq == seq)
+            .map(|o| o.latency)
+    }
+
+    /// Mean latency over every repetition of original workload index
+    /// `k mod workload_len` (useful when the workload list is the same
+    /// query set repeated).
+    pub fn mean_latency_of_slot(&self, slot: usize, workload_len: usize) -> VirtualTime {
+        let mut total = 0u64;
+        let mut n = 0u64;
+        let mut k = slot;
+        while let Some(l) = self.latency_of_query(k) {
+            total += l.as_nanos();
+            n += 1;
+            k += workload_len;
+        }
+        match total.checked_div(n) {
+            Some(mean) => VirtualTime::from_nanos(mean),
+            None => VirtualTime::ZERO,
+        }
+    }
+}
+
+/// The workload runner: a database plus a simulated machine.
+pub struct WorkloadRunner<'a> {
+    db: &'a Database,
+    config: SimConfig,
+}
+
+impl<'a> WorkloadRunner<'a> {
+    /// A runner over `db` and the given machine.
+    pub fn new(db: &'a Database, config: SimConfig) -> Self {
+        WorkloadRunner { db, config }
+    }
+
+    /// The simulated machine configuration.
+    pub fn config(&self) -> &SimConfig {
+        &self.config
+    }
+
+    /// Distribute `queries` round-robin over `users` sessions.
+    pub fn sessions(queries: &[PlanNode], users: usize) -> Vec<Vec<PlanNode>> {
+        let users = users.max(1);
+        let mut sessions: Vec<Vec<PlanNode>> = vec![Vec::new(); users];
+        for (i, q) in queries.iter().enumerate() {
+            sessions[i % users].push(q.clone());
+        }
+        sessions
+    }
+
+    /// The hottest columns by access count, greedily packed into
+    /// `capacity` bytes (the Section 6.1 pre-load).
+    pub fn hot_columns(db: &Database, capacity: u64) -> Vec<ColumnId> {
+        let stats = db.stats();
+        let mut ranked: Vec<(ColumnId, u64)> = db
+            .all_column_ids()
+            .map(|id| (id, stats.access_count(id.index())))
+            .filter(|&(_, c)| c > 0)
+            .collect();
+        ranked.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+        let mut budget = capacity;
+        let mut out = Vec::new();
+        for (id, _) in ranked {
+            let bytes = db.column_size(id);
+            if bytes <= budget {
+                budget -= bytes;
+                out.push(id);
+            }
+        }
+        out
+    }
+
+    /// Run `queries` (the fixed total workload) under `strategy`.
+    ///
+    /// Access statistics are reset first so strategies are compared
+    /// fairly; warm-up runs then repopulate them, learned cost models and
+    /// the data placement, before the measured run.
+    pub fn run(
+        &self,
+        queries: &[PlanNode],
+        strategy: Strategy,
+        cfg: &RunnerConfig,
+    ) -> Result<RunReport, String> {
+        let mut policy = strategy.build();
+        self.run_with_policy(queries, policy.as_mut(), strategy.name(), cfg)
+    }
+
+    /// Like [`WorkloadRunner::run`] with a caller-constructed policy
+    /// (custom data-placement budgets, slot overrides, …).
+    pub fn run_with_policy(
+        &self,
+        queries: &[PlanNode],
+        policy: &mut dyn robustq_engine::PlacementPolicy,
+        label: &'static str,
+        cfg: &RunnerConfig,
+    ) -> Result<RunReport, String> {
+        self.db.stats().reset();
+        let executor = Executor::new(self.db, self.config.clone());
+        // The cache persists across warm-up and measured runs, exactly
+        // like device memory across the paper's warm-up executions.
+        let mut cache = robustq_sim::DataCache::new(
+            self.config.gpu.cache_bytes,
+            self.config.cache_policy,
+        );
+
+        let warm_opts = ExecOptions {
+            capture_results: false,
+            placement_update_period: cfg.placement_update_period,
+            max_concurrent_queries: cfg.max_concurrent_queries,
+            preload: Vec::new(),
+        };
+        for _ in 0..cfg.warmup_runs {
+            executor.run_with_cache(
+                Self::sessions(queries, cfg.users),
+                policy,
+                &warm_opts,
+                &mut cache,
+            )?;
+        }
+
+        let preload = if cfg.preload_hot_columns {
+            Self::hot_columns(self.db, self.config.gpu.cache_bytes)
+        } else {
+            Vec::new()
+        };
+        let opts = ExecOptions {
+            capture_results: cfg.capture_results,
+            placement_update_period: cfg.placement_update_period,
+            max_concurrent_queries: cfg.max_concurrent_queries,
+            preload,
+        };
+        let out = executor.run_with_cache(
+            Self::sessions(queries, cfg.users),
+            policy,
+            &opts,
+            &mut cache,
+        )?;
+        Ok(RunReport {
+            strategy: label,
+            users: cfg.users,
+            metrics: out.metrics,
+            outcomes: out.outcomes,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::micro;
+    use robustq_storage::gen::ssb::SsbGenerator;
+
+    fn db() -> Database {
+        SsbGenerator::new(1).with_rows_per_sf(2_000).generate()
+    }
+
+    #[test]
+    fn sessions_distribute_round_robin() {
+        let q = micro::parallel_selection_workload(7);
+        let s = WorkloadRunner::sessions(&q, 3);
+        assert_eq!(s.len(), 3);
+        assert_eq!(s[0].len(), 3);
+        assert_eq!(s[1].len(), 2);
+        assert_eq!(s[2].len(), 2);
+    }
+
+    #[test]
+    fn run_cpu_only_micro_workload() {
+        let db = db();
+        let runner = WorkloadRunner::new(&db, SimConfig::default());
+        let queries = micro::parallel_selection_workload(6);
+        let report = runner
+            .run(&queries, Strategy::CpuOnly, &RunnerConfig::default().with_users(2))
+            .unwrap();
+        assert_eq!(report.outcomes.len(), 6);
+        assert_eq!(report.metrics.h2d_bytes, 0);
+        assert!(report.mean_latency() > VirtualTime::ZERO);
+    }
+
+    #[test]
+    fn latency_slot_mapping() {
+        let db = db();
+        let runner = WorkloadRunner::new(&db, SimConfig::default());
+        let queries = micro::parallel_selection_workload(4);
+        let report = runner
+            .run(&queries, Strategy::CpuOnly, &RunnerConfig::default().with_users(2))
+            .unwrap();
+        for k in 0..4 {
+            assert!(report.latency_of_query(k).is_some(), "query {k}");
+        }
+        assert!(report.latency_of_query(4).is_none());
+        assert!(report.mean_latency_of_slot(0, 4) > VirtualTime::ZERO);
+    }
+
+    #[test]
+    fn warmup_trains_data_driven_placement() {
+        let db = db();
+        let runner = WorkloadRunner::new(&db, SimConfig::default());
+        let queries = micro::serial_selection_workload(2);
+        let report = runner
+            .run(&queries, Strategy::DataDrivenChopping, &RunnerConfig::default())
+            .unwrap();
+        assert_eq!(report.outcomes.len(), 16);
+        // After warmup the filter columns are pinned, so the measured run
+        // executes selections on the GPU.
+        assert!(
+            report.metrics.ops_completed[robustq_sim::DeviceId::Gpu.index()] > 0,
+            "expected co-processor work after warmup"
+        );
+    }
+
+    #[test]
+    fn latency_percentiles() {
+        use robustq_engine::exec::metrics::QueryOutcome;
+        let mk = |ms: u64| QueryOutcome {
+            session: 0,
+            seq: 0,
+            latency: VirtualTime::from_millis(ms),
+            rows: 0,
+            checksum: 0,
+            result: None,
+        };
+        let report = RunReport {
+            strategy: "test",
+            users: 1,
+            metrics: RunMetrics::default(),
+            outcomes: (1..=100).map(mk).collect(),
+        };
+        assert_eq!(report.median_latency(), VirtualTime::from_millis(50));
+        assert_eq!(report.p95_latency(), VirtualTime::from_millis(95));
+        assert_eq!(report.latency_percentile(100.0), VirtualTime::from_millis(100));
+        assert_eq!(report.latency_percentile(1.0), VirtualTime::from_millis(1));
+
+        let empty = RunReport {
+            strategy: "empty",
+            users: 1,
+            metrics: RunMetrics::default(),
+            outcomes: vec![],
+        };
+        assert_eq!(empty.p95_latency(), VirtualTime::ZERO);
+    }
+
+    #[test]
+    fn hot_columns_respect_budget() {
+        let db = db();
+        for (c, _, _) in micro::SERIAL_SELECTIONS {
+            let id = db.column_id("lineorder", c).unwrap();
+            db.stats().record_access(id.index());
+        }
+        let cols = WorkloadRunner::hot_columns(&db, 3 * 8_000);
+        assert!(!cols.is_empty());
+        let total: u64 = cols.iter().map(|&c| db.column_size(c)).sum();
+        assert!(total <= 3 * 8_000);
+    }
+
+    #[test]
+    fn admission_control_config_plumbs_through() {
+        let db = db();
+        let runner = WorkloadRunner::new(&db, SimConfig::default());
+        let queries = micro::parallel_selection_workload(4);
+        let cfg = RunnerConfig::default().with_users(4).with_admission_limit(1);
+        let report = runner.run(&queries, Strategy::GpuPreferred, &cfg).unwrap();
+        assert_eq!(report.outcomes.len(), 4);
+    }
+}

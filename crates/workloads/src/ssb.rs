@@ -1,0 +1,306 @@
+//! The 13 Star Schema Benchmark queries (O'Neil et al., revision 3),
+//! expressed in SQL against the generated schema and planned through the
+//! SQL front end.
+
+use robustq_engine::plan::PlanNode;
+use robustq_sql::{plan_sql, SqlError};
+use robustq_storage::Database;
+
+/// The SSB queries Q1.1–Q4.3.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[allow(non_camel_case_types)]
+pub enum SsbQuery {
+    /// Flight 1, drill-down 1 (year filter).
+    Q1_1,
+    /// Flight 1, drill-down 2 (year-month filter).
+    Q1_2,
+    /// Flight 1, drill-down 3 (week filter).
+    Q1_3,
+    /// Flight 2, drill-down 1 (category filter).
+    Q2_1,
+    /// Flight 2, drill-down 2 (brand range).
+    Q2_2,
+    /// Flight 2, drill-down 3 (single brand).
+    Q2_3,
+    /// Flight 3, drill-down 1 (regions).
+    Q3_1,
+    /// Flight 3, drill-down 2 (nations).
+    Q3_2,
+    /// Flight 3, drill-down 3 (cities).
+    Q3_3,
+    /// Flight 3, drill-down 4 (cities, one month).
+    Q3_4,
+    /// Flight 4, drill-down 1 (profit by nation).
+    Q4_1,
+    /// Flight 4, drill-down 2 (profit by category).
+    Q4_2,
+    /// Flight 4, drill-down 3 (profit by brand).
+    Q4_3,
+}
+
+impl SsbQuery {
+    /// All queries in flight order (the full SSBM workload).
+    pub const ALL: [SsbQuery; 13] = [
+        SsbQuery::Q1_1,
+        SsbQuery::Q1_2,
+        SsbQuery::Q1_3,
+        SsbQuery::Q2_1,
+        SsbQuery::Q2_2,
+        SsbQuery::Q2_3,
+        SsbQuery::Q3_1,
+        SsbQuery::Q3_2,
+        SsbQuery::Q3_3,
+        SsbQuery::Q3_4,
+        SsbQuery::Q4_1,
+        SsbQuery::Q4_2,
+        SsbQuery::Q4_3,
+    ];
+
+    /// The paper's Figure 17/21 query selection.
+    pub const SELECTED: [SsbQuery; 8] = [
+        SsbQuery::Q1_1,
+        SsbQuery::Q2_1,
+        SsbQuery::Q2_3,
+        SsbQuery::Q3_1,
+        SsbQuery::Q3_4,
+        SsbQuery::Q4_1,
+        SsbQuery::Q4_2,
+        SsbQuery::Q4_3,
+    ];
+
+    /// The query's paper name, e.g. `Q3.3`.
+    pub fn name(self) -> &'static str {
+        match self {
+            SsbQuery::Q1_1 => "Q1.1",
+            SsbQuery::Q1_2 => "Q1.2",
+            SsbQuery::Q1_3 => "Q1.3",
+            SsbQuery::Q2_1 => "Q2.1",
+            SsbQuery::Q2_2 => "Q2.2",
+            SsbQuery::Q2_3 => "Q2.3",
+            SsbQuery::Q3_1 => "Q3.1",
+            SsbQuery::Q3_2 => "Q3.2",
+            SsbQuery::Q3_3 => "Q3.3",
+            SsbQuery::Q3_4 => "Q3.4",
+            SsbQuery::Q4_1 => "Q4.1",
+            SsbQuery::Q4_2 => "Q4.2",
+            SsbQuery::Q4_3 => "Q4.3",
+        }
+    }
+
+    /// The SQL text of the query.
+    pub fn sql(self) -> &'static str {
+        match self {
+            SsbQuery::Q1_1 => {
+                "select sum(lo_extendedprice * lo_discount) as revenue \
+                 from lineorder, date \
+                 where lo_orderdate = d_datekey and d_year = 1993 \
+                 and lo_discount between 1 and 3 and lo_quantity < 25"
+            }
+            SsbQuery::Q1_2 => {
+                "select sum(lo_extendedprice * lo_discount) as revenue \
+                 from lineorder, date \
+                 where lo_orderdate = d_datekey and d_yearmonthnum = 199401 \
+                 and lo_discount between 4 and 6 \
+                 and lo_quantity between 26 and 35"
+            }
+            SsbQuery::Q1_3 => {
+                "select sum(lo_extendedprice * lo_discount) as revenue \
+                 from lineorder, date \
+                 where lo_orderdate = d_datekey and d_weeknuminyear = 6 \
+                 and d_year = 1994 and lo_discount between 5 and 7 \
+                 and lo_quantity between 26 and 35"
+            }
+            SsbQuery::Q2_1 => {
+                "select sum(lo_revenue) as revenue, d_year, p_brand1 \
+                 from lineorder, date, part, supplier \
+                 where lo_orderdate = d_datekey and lo_partkey = p_partkey \
+                 and lo_suppkey = s_suppkey and p_category = 'MFGR#12' \
+                 and s_region = 'AMERICA' \
+                 group by d_year, p_brand1 order by d_year, p_brand1"
+            }
+            SsbQuery::Q2_2 => {
+                "select sum(lo_revenue) as revenue, d_year, p_brand1 \
+                 from lineorder, date, part, supplier \
+                 where lo_orderdate = d_datekey and lo_partkey = p_partkey \
+                 and lo_suppkey = s_suppkey \
+                 and p_brand1 between 'MFGR#2221' and 'MFGR#2228' \
+                 and s_region = 'ASIA' \
+                 group by d_year, p_brand1 order by d_year, p_brand1"
+            }
+            SsbQuery::Q2_3 => {
+                "select sum(lo_revenue) as revenue, d_year, p_brand1 \
+                 from lineorder, date, part, supplier \
+                 where lo_orderdate = d_datekey and lo_partkey = p_partkey \
+                 and lo_suppkey = s_suppkey and p_brand1 = 'MFGR#2221' \
+                 and s_region = 'EUROPE' \
+                 group by d_year, p_brand1 order by d_year, p_brand1"
+            }
+            SsbQuery::Q3_1 => {
+                "select c_nation, s_nation, d_year, sum(lo_revenue) as revenue \
+                 from customer, lineorder, supplier, date \
+                 where lo_custkey = c_custkey and lo_suppkey = s_suppkey \
+                 and lo_orderdate = d_datekey and c_region = 'ASIA' \
+                 and s_region = 'ASIA' and d_year >= 1992 and d_year <= 1997 \
+                 group by c_nation, s_nation, d_year \
+                 order by d_year asc, revenue desc"
+            }
+            SsbQuery::Q3_2 => {
+                "select c_city, s_city, d_year, sum(lo_revenue) as revenue \
+                 from customer, lineorder, supplier, date \
+                 where lo_custkey = c_custkey and lo_suppkey = s_suppkey \
+                 and lo_orderdate = d_datekey and c_nation = 'UNITED STATES' \
+                 and s_nation = 'UNITED STATES' \
+                 and d_year >= 1992 and d_year <= 1997 \
+                 group by c_city, s_city, d_year \
+                 order by d_year asc, revenue desc"
+            }
+            SsbQuery::Q3_3 => {
+                "select c_city, s_city, d_year, sum(lo_revenue) as revenue \
+                 from customer, lineorder, supplier, date \
+                 where lo_custkey = c_custkey and lo_suppkey = s_suppkey \
+                 and lo_orderdate = d_datekey \
+                 and c_city in ('UNITED KI1', 'UNITED KI5') \
+                 and s_city in ('UNITED KI1', 'UNITED KI5') \
+                 and d_year >= 1992 and d_year <= 1997 \
+                 group by c_city, s_city, d_year \
+                 order by d_year asc, revenue desc"
+            }
+            SsbQuery::Q3_4 => {
+                "select c_city, s_city, d_year, sum(lo_revenue) as revenue \
+                 from customer, lineorder, supplier, date \
+                 where lo_custkey = c_custkey and lo_suppkey = s_suppkey \
+                 and lo_orderdate = d_datekey \
+                 and c_city in ('UNITED KI1', 'UNITED KI5') \
+                 and s_city in ('UNITED KI1', 'UNITED KI5') \
+                 and d_yearmonth = 'Dec1997' \
+                 group by c_city, s_city, d_year \
+                 order by d_year asc, revenue desc"
+            }
+            SsbQuery::Q4_1 => {
+                "select d_year, c_nation, \
+                 sum(lo_revenue - lo_supplycost) as profit \
+                 from date, customer, supplier, part, lineorder \
+                 where lo_custkey = c_custkey and lo_suppkey = s_suppkey \
+                 and lo_partkey = p_partkey and lo_orderdate = d_datekey \
+                 and c_region = 'AMERICA' and s_region = 'AMERICA' \
+                 and p_mfgr in ('MFGR#1', 'MFGR#2') \
+                 group by d_year, c_nation order by d_year, c_nation"
+            }
+            SsbQuery::Q4_2 => {
+                "select d_year, s_nation, p_category, \
+                 sum(lo_revenue - lo_supplycost) as profit \
+                 from date, customer, supplier, part, lineorder \
+                 where lo_custkey = c_custkey and lo_suppkey = s_suppkey \
+                 and lo_partkey = p_partkey and lo_orderdate = d_datekey \
+                 and c_region = 'AMERICA' and s_region = 'AMERICA' \
+                 and d_year in (1997, 1998) \
+                 and p_mfgr in ('MFGR#1', 'MFGR#2') \
+                 group by d_year, s_nation, p_category \
+                 order by d_year, s_nation, p_category"
+            }
+            SsbQuery::Q4_3 => {
+                "select d_year, s_city, p_brand1, \
+                 sum(lo_revenue - lo_supplycost) as profit \
+                 from date, customer, supplier, part, lineorder \
+                 where lo_custkey = c_custkey and lo_suppkey = s_suppkey \
+                 and lo_partkey = p_partkey and lo_orderdate = d_datekey \
+                 and c_region = 'AMERICA' and s_nation = 'UNITED STATES' \
+                 and d_year in (1997, 1998) and p_category = 'MFGR#14' \
+                 group by d_year, s_city, p_brand1 \
+                 order by d_year, s_city, p_brand1"
+            }
+        }
+    }
+
+    /// Plan the query against `db`.
+    pub fn plan(self, db: &Database) -> Result<PlanNode, SqlError> {
+        plan_sql(self.sql(), db)
+    }
+}
+
+/// Plans for the full 13-query SSBM workload.
+pub fn workload(db: &Database) -> Result<Vec<PlanNode>, SqlError> {
+    SsbQuery::ALL.iter().map(|q| q.plan(db)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use robustq_engine::ops::execute_plan;
+    use robustq_storage::gen::ssb::SsbGenerator;
+
+    fn db() -> Database {
+        SsbGenerator::new(1).with_rows_per_sf(3_000).generate()
+    }
+
+    #[test]
+    fn all_queries_plan_and_execute() {
+        let db = db();
+        for q in SsbQuery::ALL {
+            let plan = q.plan(&db).unwrap_or_else(|e| panic!("{}: {e}", q.name()));
+            let out = execute_plan(&plan, &db)
+                .unwrap_or_else(|e| panic!("{}: {e}", q.name()));
+            // Flight 1 aggregates to one row; the others group.
+            if matches!(q, SsbQuery::Q1_1 | SsbQuery::Q1_2 | SsbQuery::Q1_3) {
+                assert_eq!(out.num_rows(), 1, "{}", q.name());
+            }
+        }
+    }
+
+    #[test]
+    fn q1_1_matches_manual_computation() {
+        let db = db();
+        use robustq_storage::ColumnData;
+        let lo = db.table("lineorder").unwrap();
+        let date = db.table("date").unwrap();
+        let years: std::collections::HashMap<i32, i32> = {
+            let (k, y) = (date.column("d_datekey").unwrap(), date.column("d_year").unwrap());
+            (0..date.num_rows())
+                .map(|i| match (k, y) {
+                    (ColumnData::Int32(k), ColumnData::Int32(y)) => (k[i], y[i]),
+                    _ => unreachable!(),
+                })
+                .collect()
+        };
+        let (od, disc, qty, price) = (
+            lo.column("lo_orderdate").unwrap(),
+            lo.column("lo_discount").unwrap(),
+            lo.column("lo_quantity").unwrap(),
+            lo.column("lo_extendedprice").unwrap(),
+        );
+        let mut expected = 0.0;
+        for i in 0..lo.num_rows() {
+            let (d, q, p) = (disc.get_f64(i), qty.get_f64(i), price.get_f64(i));
+            if years[&(od.get_f64(i) as i32)] == 1993 && (1.0..=3.0).contains(&d) && q < 25.0
+            {
+                expected += p * d;
+            }
+        }
+        let out = execute_plan(&SsbQuery::Q1_1.plan(&db).unwrap(), &db).unwrap();
+        let got = out.row(0)[0].as_f64().unwrap();
+        assert!((got - expected).abs() < 1e-6 * expected.max(1.0));
+    }
+
+    #[test]
+    fn q3_3_filters_to_two_cities() {
+        let db = db();
+        let out = execute_plan(&SsbQuery::Q3_3.plan(&db).unwrap(), &db).unwrap();
+        for i in 0..out.num_rows() {
+            let c_city = out.row(i)[0].to_string();
+            assert!(c_city == "UNITED KI1" || c_city == "UNITED KI5");
+        }
+    }
+
+    #[test]
+    fn selected_subset_is_subset_of_all() {
+        for q in SsbQuery::SELECTED {
+            assert!(SsbQuery::ALL.contains(&q));
+        }
+    }
+
+    #[test]
+    fn workload_has_13_queries() {
+        let db = db();
+        assert_eq!(workload(&db).unwrap().len(), 13);
+    }
+}

@@ -1,0 +1,15 @@
+//! Umbrella crate re-exporting the full `robustq` workspace.
+//!
+//! Most users should depend on this crate and use the re-exported modules:
+//!
+//! ```
+//! use robustq::storage::gen::ssb::SsbGenerator;
+//! let db = SsbGenerator::new(1).with_rows_per_sf(100).generate();
+//! assert!(db.table("lineorder").is_some());
+//! ```
+pub use robustq_core as core;
+pub use robustq_engine as engine;
+pub use robustq_sim as sim;
+pub use robustq_sql as sql;
+pub use robustq_storage as storage;
+pub use robustq_workloads as workloads;

@@ -1,0 +1,90 @@
+//! End-to-end tests of the `robustq-cli` shell, driven through stdin.
+
+use std::io::Write;
+use std::process::{Command, Stdio};
+
+fn run_script(script: &str) -> String {
+    let mut child = Command::new(env!("CARGO_BIN_EXE_robustq-cli"))
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("cli starts");
+    child
+        .stdin
+        .as_mut()
+        .expect("stdin piped")
+        .write_all(script.as_bytes())
+        .expect("script written");
+    let out = child.wait_with_output().expect("cli exits");
+    assert!(out.status.success(), "cli failed: {out:?}");
+    String::from_utf8(out.stdout).expect("utf8 output")
+}
+
+#[test]
+fn generate_and_query() {
+    let out = run_script(
+        "\\gen ssb 1 1000\n\
+         select count(*) as n from lineorder\n\
+         \\quit\n",
+    );
+    assert!(out.contains("generated ssb SF1"));
+    assert!(out.contains("\n1000\n"), "count(*) result missing: {out}");
+    assert!(out.contains("Data-Driven Chopping"), "default strategy shown");
+}
+
+#[test]
+fn strategy_switch_and_machine_resize() {
+    let out = run_script(
+        "\\gen ssb 1 500\n\
+         \\strategy cpu\n\
+         select count(*) as n from customer\n\
+         \\gpu 64 32\n\
+         \\strategy gpu\n\
+         select count(*) as n from customer\n\
+         \\quit\n",
+    );
+    assert!(out.contains("strategy set to CPU Only"));
+    assert!(out.contains("co-processor: 64 KiB memory, 32 KiB cache"));
+    assert!(out.contains("strategy set to GPU Only"));
+}
+
+#[test]
+fn errors_are_reported_not_fatal() {
+    let out = run_script(
+        "select 1 from nowhere\n\
+         \\gen ssb 1 500\n\
+         select zz from lineorder\n\
+         \\nonsense\n\
+         select count(*) as n from part\n\
+         \\quit\n",
+    );
+    assert!(out.contains("error: no database"));
+    assert!(out.contains("error: planning error"));
+    assert!(out.contains("error: unknown command"));
+    // The session survived all of it.
+    assert!(out.contains("GPU ops") || out.contains("CPU ops"));
+}
+
+#[test]
+fn compression_command() {
+    let out = run_script(
+        "\\gen ssb 1 1000\n\
+         \\compress on\n\
+         \\compress off\n\
+         \\quit\n",
+    );
+    assert!(out.contains("transparent compression on (ratio"));
+    assert!(out.contains("transparent compression off"));
+}
+
+#[test]
+fn schema_listing() {
+    let out = run_script(
+        "\\gen tpch 1 500\n\
+         \\schema nation\n\
+         \\quit\n",
+    );
+    assert!(out.contains("n_nationkey INT32"));
+    assert!(out.contains("n_name STR"));
+}

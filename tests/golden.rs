@@ -1,0 +1,75 @@
+//! Golden regression tests: the benchmark generators and every operator
+//! kernel are deterministic, so full-query results are locked by checksum.
+//! A change to any kernel, the planner, the SQL front end or a generator
+//! that alters results shows up here immediately.
+//!
+//! (Some highly selective queries return zero rows at this test scale —
+//! a documented artifact of the linear downscale, not of the queries.)
+
+use robustq::engine::ops;
+use robustq::storage::gen::ssb::SsbGenerator;
+use robustq::storage::gen::tpch::TpchGenerator;
+use robustq::workloads::{SsbQuery, TpchQuery};
+
+#[test]
+fn ssb_results_are_stable() {
+    let db = SsbGenerator::new(2).with_rows_per_sf(2_500).generate();
+    let golden: [(&str, usize, u64); 13] = [
+        ("Q1.1", 1, 0xa0030593053babfb),
+        ("Q1.2", 1, 0x9fd94f9ef20878c9),
+        ("Q1.3", 1, 0x9fbb44ac4ba21263),
+        ("Q2.1", 41, 0x37bc41bf6e773ab7),
+        ("Q2.2", 2, 0x8b31ba2cc8799db0),
+        ("Q2.3", 0, 0x0000000000000000),
+        ("Q3.1", 59, 0x684316f088fbfefe),
+        ("Q3.2", 0, 0x0000000000000000),
+        ("Q3.3", 0, 0x0000000000000000),
+        ("Q3.4", 0, 0x0000000000000000),
+        ("Q4.1", 30, 0xea938a253ac43938),
+        ("Q4.2", 23, 0x9b92aa382a026c94),
+        ("Q4.3", 0, 0x0000000000000000),
+    ];
+    for (q, (name, rows, checksum)) in SsbQuery::ALL.iter().zip(golden) {
+        assert_eq!(q.name(), name);
+        let out = ops::execute_plan(&q.plan(&db).expect("plans"), &db).expect("runs");
+        assert_eq!(out.num_rows(), rows, "{name}: row count drifted");
+        assert_eq!(out.checksum(), checksum, "{name}: result drifted");
+    }
+}
+
+#[test]
+fn tpch_results_are_stable() {
+    let db = TpchGenerator::new(2).with_rows_per_sf(2_500).generate();
+    let golden: [(&str, usize, u64); 6] = [
+        ("Q2", 0, 0x0000000000000000),
+        ("Q3", 8, 0xa37b1f2ef1fc30c5),
+        ("Q4", 5, 0xb9d4d2bf4800fe5d),
+        ("Q5", 3, 0xa9b308a13e18fcc1),
+        ("Q6", 1, 0x9fb184e7fdcf20b9),
+        ("Q7", 0, 0x0000000000000000),
+    ];
+    for (q, (name, rows, checksum)) in TpchQuery::ALL.iter().zip(golden) {
+        assert_eq!(q.name(), name);
+        let out = ops::execute_plan(&q.plan(), &db).expect("runs");
+        assert_eq!(out.num_rows(), rows, "{name}: row count drifted");
+        assert_eq!(out.checksum(), checksum, "{name}: result drifted");
+    }
+}
+
+#[test]
+fn nonzero_queries_cover_every_operator_kind() {
+    // The golden set must not be vacuous: the non-empty queries span
+    // selections, inner and semi joins, grouped and global aggregation,
+    // sorting and top-k.
+    let db = SsbGenerator::new(2).with_rows_per_sf(2_500).generate();
+    let nonzero = SsbQuery::ALL
+        .iter()
+        .filter(|q| {
+            ops::execute_plan(&q.plan(&db).expect("plans"), &db)
+                .expect("runs")
+                .num_rows()
+                > 0
+        })
+        .count();
+    assert!(nonzero >= 7, "only {nonzero} SSB queries non-empty at test scale");
+}

@@ -1,0 +1,96 @@
+//! Fuzz-style property tests of the SQL front end: the lexer, parser and
+//! planner must never panic, and generated well-formed queries must plan
+//! and execute against the generated schema.
+
+use proptest::prelude::*;
+use robustq::engine::ops;
+use robustq::sql::{plan_sql, SqlError};
+use robustq::storage::gen::ssb::SsbGenerator;
+use robustq::storage::Database;
+use std::sync::OnceLock;
+
+fn db() -> &'static Database {
+    static DB: OnceLock<Database> = OnceLock::new();
+    DB.get_or_init(|| SsbGenerator::new(1).with_rows_per_sf(300).generate())
+}
+
+proptest! {
+    /// Arbitrary byte soup: lexing/parsing/planning return errors, never
+    /// panic.
+    #[test]
+    fn arbitrary_input_never_panics(input in ".{0,200}") {
+        let _ = plan_sql(&input, db());
+    }
+
+    /// SQL-shaped token soup exercises deeper parser paths.
+    #[test]
+    fn sqlish_token_soup_never_panics(
+        tokens in prop::collection::vec(
+            prop::sample::select(vec![
+                "select", "from", "where", "group", "by", "order", "and",
+                "or", "not", "between", "in", "like", "limit", "as", "sum",
+                "count", "(", ")", ",", "*", "+", "-", "=", "<", ">=",
+                "lineorder", "date", "lo_revenue", "d_year", "lo_discount",
+                "1", "3.5", "'ASIA'", "''",
+            ]),
+            0..40,
+        )
+    ) {
+        let sql = tokens.join(" ");
+        let _ = plan_sql(&sql, db());
+    }
+}
+
+/// Generator for well-formed single-table queries over lineorder.
+fn well_formed_query() -> impl Strategy<Value = String> {
+    let num_col = prop::sample::select(vec![
+        "lo_quantity",
+        "lo_discount",
+        "lo_tax",
+        "lo_revenue",
+        "lo_extendedprice",
+    ]);
+    let op = prop::sample::select(vec!["<", "<=", ">", ">=", "=", "<>"]);
+    (num_col, op, 0i32..60, prop::bool::ANY).prop_map(|(col, op, v, agg)| {
+        if agg {
+            format!(
+                "select lo_discount, count(*) as n, sum(lo_revenue) as r \
+                 from lineorder where {col} {op} {v} \
+                 group by lo_discount order by lo_discount"
+            )
+        } else {
+            format!(
+                "select lo_orderkey, {col} from lineorder where {col} {op} {v} \
+                 order by {col} desc limit 7"
+            )
+        }
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Well-formed queries always plan and execute, and the WHERE clause
+    /// is actually enforced.
+    #[test]
+    fn well_formed_queries_plan_and_execute(sql in well_formed_query()) {
+        let plan = plan_sql(&sql, db()).expect("well-formed query plans");
+        let out = ops::execute_plan(&plan, db()).expect("plans execute");
+        // Either an aggregate (>=0 groups) or a top-7.
+        prop_assert!(out.num_rows() <= 300);
+        prop_assert!(out.num_columns() >= 2);
+    }
+}
+
+#[test]
+fn error_messages_name_the_problem() {
+    let e = plan_sql("select zzz from lineorder", db()).unwrap_err();
+    assert!(matches!(e, SqlError::Plan(_)));
+    assert!(e.to_string().contains("zzz"));
+
+    let e = plan_sql("select * from", db()).unwrap_err();
+    assert!(matches!(e, SqlError::Parse(_)));
+
+    let e = plan_sql("select * from t 'unterminated", db()).unwrap_err();
+    assert!(matches!(e, SqlError::Lex { .. }));
+}
