@@ -100,7 +100,9 @@ pub fn serial_sweep(effort: Effort) -> Arc<Vec<SerialPoint>> {
                 let runner = WorkloadRunner::new(&setup.db, sim);
                 // The placement background job runs once per workload
                 // round, not after every query ("periodically", §3.2).
-                let cfg = RunnerConfig::default().with_placement_period(queries.len());
+                let cfg = RunnerConfig::default()
+                    .with_placement_period(queries.len())
+                    .with_parallel(crate::machine::parallel_ctx());
                 let entries = strategies
                     .iter()
                     .map(|&s| Entry {
@@ -138,7 +140,8 @@ pub fn parallel_sweep(effort: Effort) -> Arc<Vec<ParallelPoint>> {
                 let cfg = RunnerConfig::default()
                     .with_users(users)
                     .with_placement_period(queries.len())
-                    .with_preload();
+                    .with_preload()
+                    .with_parallel(crate::machine::parallel_ctx());
                 let entries = strategies
                     .iter()
                     .map(|&s| Entry {
@@ -167,7 +170,8 @@ pub fn workload_sweep(kind: WorkloadKind, effort: Effort) -> Arc<Vec<SfPoint>> {
                 let runner = WorkloadRunner::new(&db, sim.clone());
                 let cfg = RunnerConfig::default()
                     .with_placement_period(queries.len())
-                    .with_preload();
+                    .with_preload()
+                    .with_parallel(crate::machine::parallel_ctx());
                 let entries = Strategy::PAPER_SIX
                     .iter()
                     .map(|&s| Entry {
@@ -202,7 +206,8 @@ pub fn users_sweep(kind: WorkloadKind, effort: Effort) -> Arc<Vec<UsersPoint>> {
                 let cfg = RunnerConfig::default()
                     .with_users(users)
                     .with_placement_period(queries.len())
-                    .with_preload();
+                    .with_preload()
+                    .with_parallel(crate::machine::parallel_ctx());
                 let mut entries: Vec<Entry> = Strategy::PAPER_SIX
                     .iter()
                     .map(|&s| Entry {

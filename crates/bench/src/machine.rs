@@ -13,6 +13,7 @@
 //!   crossover sits (Figure 16).
 
 use robustq_engine::plan::PlanNode;
+use robustq_engine::ParallelCtx;
 use robustq_sim::SimConfig;
 use robustq_storage::gen::ssb::SsbGenerator;
 use robustq_storage::gen::tpch::TpchGenerator;
@@ -36,6 +37,20 @@ impl Effort {
             Ok("full") | Ok("FULL") => Effort::Full,
             _ => Effort::Quick,
         }
+    }
+}
+
+/// Real-CPU parallelism for the benches' kernel execution: worker count
+/// from `ROBUSTQ_WORKERS`, defaulting to all available hardware threads.
+/// Results and virtual-time figures are bit-identical across settings —
+/// this only changes how long the benches take on the wall clock.
+pub fn parallel_ctx() -> ParallelCtx {
+    match std::env::var("ROBUSTQ_WORKERS")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+    {
+        Some(w) => ParallelCtx::serial().with_workers(w),
+        None => ParallelCtx::auto(),
     }
 }
 

@@ -1,11 +1,10 @@
 //! Result tables.
 
-use serde::Serialize;
 use std::fmt;
 
 /// One regenerated figure/table: a header plus aligned rows, in the same
 /// shape (series/columns) the paper plots.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct FigTable {
     /// Figure id, e.g. `"fig14a"`.
     pub id: String,
@@ -46,8 +45,22 @@ impl FigTable {
     }
 
     /// Serialize the table as pretty-printed JSON (for plotting scripts).
+    ///
+    /// Hand-rolled (the build has no registry access for serde): two-space
+    /// indent, fields in declaration order, full string escaping.
     pub fn to_json(&self) -> String {
-        serde_json::to_string_pretty(self).expect("FigTable serializes")
+        let mut out = String::from("{\n");
+        out.push_str(&format!("  \"id\": {},\n", json_str(&self.id)));
+        out.push_str(&format!("  \"title\": {},\n", json_str(&self.title)));
+        out.push_str("  \"columns\": ");
+        out.push_str(&json_string_array(&self.columns));
+        out.push_str(",\n  \"rows\": [");
+        for (i, row) in self.rows.iter().enumerate() {
+            out.push_str(if i == 0 { "\n    " } else { ",\n    " });
+            out.push_str(&json_string_array(row));
+        }
+        out.push_str(if self.rows.is_empty() { "]\n}" } else { "\n  ]\n}" });
+        out
     }
 
     /// All values of one column parsed as f64.
@@ -92,6 +105,30 @@ pub fn ms(t: robustq_sim::VirtualTime) -> String {
     format!("{:.3}", t.as_millis_f64())
 }
 
+/// Escape `s` as a JSON string literal (with surrounding quotes).
+pub fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+fn json_string_array(items: &[String]) -> String {
+    let cells: Vec<String> = items.iter().map(|s| json_str(s)).collect();
+    format!("[{}]", cells.join(", "))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -123,13 +160,27 @@ mod tests {
     }
 
     #[test]
-    fn json_roundtrips_structure() {
+    fn json_has_expected_structure() {
         let mut t = FigTable::new("figX", "demo").with_columns(["a", "b"]);
         t.push_row(["1", "x"]);
         let json = t.to_json();
-        let v: serde_json::Value = serde_json::from_str(&json).unwrap();
-        assert_eq!(v["id"], "figX");
-        assert_eq!(v["columns"][1], "b");
-        assert_eq!(v["rows"][0][0], "1");
+        assert!(json.contains("\"id\": \"figX\""), "{json}");
+        assert!(json.contains("\"columns\": [\"a\", \"b\"]"), "{json}");
+        assert!(json.contains("[\"1\", \"x\"]"), "{json}");
+        assert!(json.starts_with('{') && json.ends_with('}'), "{json}");
+    }
+
+    #[test]
+    fn json_escapes_special_characters() {
+        assert_eq!(json_str("a\"b\\c\nd"), "\"a\\\"b\\\\c\\nd\"");
+        assert_eq!(json_str("\u{1}"), "\"\\u0001\"");
+    }
+
+    #[test]
+    fn json_empty_table_is_wellformed() {
+        let t = FigTable::new("f", "t");
+        let json = t.to_json();
+        assert!(json.contains("\"columns\": []"), "{json}");
+        assert!(json.contains("\"rows\": []"), "{json}");
     }
 }

@@ -20,6 +20,7 @@ use crate::estimate;
 use crate::exec::metrics::{QueryOutcome, RunMetrics};
 use crate::exec::policy::{PlacementPolicy, PolicyCtx, TaskInfo};
 use crate::exec::task::{flatten, TaskNode};
+use crate::parallel::ParallelCtx;
 use crate::plan::PlanNode;
 use robustq_sim::{
     CacheKey, CostModel, DataCache, DeviceId, DeviceKind, Direction, EventQueue, HeapAllocator,
@@ -44,6 +45,11 @@ pub struct ExecOptions {
     /// free of charge (the paper pre-loads access structures before
     /// benchmarks — Section 6.1).
     pub preload: Vec<ColumnId>,
+    /// Real-CPU parallelism for the hot kernels (selection, join probe,
+    /// aggregation). Affects wall-clock only: parallel results are
+    /// bit-identical to serial, and *virtual* time comes from the cost
+    /// model either way. Defaults to serial.
+    pub parallel: ParallelCtx,
 }
 
 impl Default for ExecOptions {
@@ -53,6 +59,7 @@ impl Default for ExecOptions {
             placement_update_period: 1,
             max_concurrent_queries: usize::MAX,
             preload: Vec::new(),
+            parallel: ParallelCtx::serial(),
         }
     }
 }
@@ -534,7 +541,11 @@ impl Sim<'_, '_> {
                         .ok_or_else(|| "child output missing".to_string())
                 })
                 .collect::<Result<_, _>>()?;
-            let out = self.tasks[task].node.op.execute(&children_chunks, self.db)?;
+            let out = self.tasks[task].node.op.execute_ctx(
+                &children_chunks,
+                self.db,
+                self.opts.parallel,
+            )?;
             self.tasks[task].output_bytes = out.byte_size();
             self.tasks[task].output_rows = out.num_rows() as u64;
             self.tasks[task].output = Some(out);

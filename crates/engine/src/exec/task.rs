@@ -9,6 +9,7 @@
 use crate::batch::Chunk;
 use crate::expr::Expr;
 use crate::ops;
+use crate::parallel::{self, ParallelCtx};
 use crate::plan::{AggSpec, JoinKind, PlanNode, SortKey};
 use crate::predicate::Predicate;
 use robustq_sim::OpClass;
@@ -92,26 +93,46 @@ impl TaskOp {
     }
 
     /// Execute the kernel given the children's outputs (build side first
-    /// for joins).
+    /// for joins). Serial reference path.
     pub fn execute(&self, children: &[Chunk], db: &Database) -> Result<Chunk, String> {
+        self.execute_ctx(children, db, ParallelCtx::serial())
+    }
+
+    /// [`TaskOp::execute`] with an explicit parallelism context: scans
+    /// with pushed-down predicates, selections, hash joins and
+    /// aggregations run through the morsel-parallel kernels
+    /// (`crate::parallel`), bit-identical to the serial path.
+    pub fn execute_ctx(
+        &self,
+        children: &[Chunk],
+        db: &Database,
+        ctx: ParallelCtx,
+    ) -> Result<Chunk, String> {
         match self {
             TaskOp::Scan { table, columns, predicate } => {
                 let t = db.table(table).ok_or_else(|| format!("no table {table}"))?;
                 let (_, read_cols) = self.scan_access().expect("scan op");
                 let chunk = Chunk::from_table(t, &read_cols)?;
                 let filtered = match predicate {
-                    Some(p) => ops::select::select(&chunk, p)?,
+                    Some(p) => parallel::select(&chunk, p, ctx)?,
                     None => chunk,
                 };
                 ops::project::keep_columns(&filtered, columns)
             }
-            TaskOp::Select { predicate } => ops::select::select(&children[0], predicate),
-            TaskOp::HashJoin { build_key, probe_key, kind } => {
-                ops::join::hash_join(&children[0], &children[1], build_key, probe_key, *kind)
+            TaskOp::Select { predicate } => {
+                parallel::select(&children[0], predicate, ctx)
             }
+            TaskOp::HashJoin { build_key, probe_key, kind } => parallel::hash_join(
+                &children[0],
+                &children[1],
+                build_key,
+                probe_key,
+                *kind,
+                ctx,
+            ),
             TaskOp::Project { exprs } => ops::project::project(&children[0], exprs),
             TaskOp::Aggregate { group_by, aggs } => {
-                ops::agg::aggregate(&children[0], group_by, aggs)
+                parallel::aggregate(&children[0], group_by, aggs, ctx)
             }
             TaskOp::Sort { keys, limit } => ops::sort::sort(&children[0], keys, *limit),
         }

@@ -14,8 +14,10 @@
 //!
 //! * [`batch`] — materialized intermediate results ([`batch::Chunk`]),
 //! * [`expr`] / [`predicate`] — scalar expressions and filter predicates,
-//! * [`ops`] — the operator kernels (selection, hash join, aggregation,
-//!   projection, sort/top-k),
+//! * [`ops`] — the serial reference operator kernels (selection, hash
+//!   join, aggregation, projection, sort/top-k),
+//! * [`parallel`] — morsel-driven parallel variants of the hot kernels,
+//!   bit-identical to `ops` and selected by [`ParallelCtx`],
 //! * [`plan`] — physical plans,
 //! * [`estimate`] — the simple analytical cardinality estimator used by
 //!   compile-time placement heuristics,
@@ -31,11 +33,13 @@ pub mod estimate;
 pub mod exec;
 pub mod expr;
 pub mod ops;
+pub mod parallel;
 pub mod plan;
 pub mod predicate;
 pub mod vectorized;
 
 pub use batch::Chunk;
+pub use parallel::ParallelCtx;
 pub use exec::executor::{ExecOptions, Executor, RunOutcome};
 pub use exec::metrics::RunMetrics;
 pub use exec::policy::{PlacementPolicy, PolicyCtx, TaskInfo};

@@ -6,8 +6,11 @@ use robustq_storage::{ColumnData, DataType, Field};
 use std::collections::HashMap;
 
 /// Running state of one aggregate within one group.
+///
+/// Shared with the parallel kernel (`crate::parallel`), whose phase 2
+/// updates states in the exact row order the serial kernel uses.
 #[derive(Debug, Clone, Copy)]
-struct AggState {
+pub(crate) struct AggState {
     sum: f64,
     count: u64,
     min: f64,
@@ -15,11 +18,11 @@ struct AggState {
 }
 
 impl AggState {
-    fn new() -> Self {
+    pub(crate) fn new() -> Self {
         AggState { sum: 0.0, count: 0, min: f64::INFINITY, max: f64::NEG_INFINITY }
     }
 
-    fn update(&mut self, v: f64) {
+    pub(crate) fn update(&mut self, v: f64) {
         self.sum += v;
         self.count += 1;
         self.min = self.min.min(v);
@@ -128,11 +131,25 @@ pub fn aggregate(
         states.push(vec![AggState::new(); aggs.len()]);
     }
 
+    Ok(finalize(group_by, &key_cols, aggs, &representative, &states))
+}
+
+/// Build the output chunk from finished group states: one row per group,
+/// group-key columns (gathered at each group's representative row) followed
+/// by one column per aggregate. Shared by the serial and parallel kernels
+/// so the materialization is identical by construction.
+pub(crate) fn finalize(
+    group_by: &[String],
+    key_cols: &[&ColumnData],
+    aggs: &[AggSpec],
+    representative: &[usize],
+    states: &[Vec<AggState>],
+) -> Chunk {
     let mut fields = Vec::with_capacity(group_by.len() + aggs.len());
     let mut columns = Vec::with_capacity(group_by.len() + aggs.len());
-    for (name, col) in group_by.iter().zip(&key_cols) {
+    for (name, col) in group_by.iter().zip(key_cols) {
         fields.push(Field::new(name.clone(), col.data_type()));
-        columns.push(col.gather(&representative));
+        columns.push(col.gather(representative));
     }
     for (i, a) in aggs.iter().enumerate() {
         let vals: Vec<f64> = states.iter().map(|g| g[i].finish(a.func)).collect();
@@ -147,7 +164,7 @@ pub fn aggregate(
             }
         }
     }
-    Ok(Chunk::new(fields, columns))
+    Chunk::new(fields, columns)
 }
 
 #[cfg(test)]

@@ -3,14 +3,50 @@
 use crate::batch::Chunk;
 use crate::plan::JoinKind;
 use robustq_storage::{ColumnData, DataType};
+use std::cell::RefCell;
 use std::collections::HashMap;
+use std::sync::Arc;
 
-/// Canonical 64-bit join keys for a pair of key columns.
+/// Run `f` with the thread's reusable join key buffers (cleared).
 ///
-/// Integer pairs compare as integers, anything involving a float compares
-/// through `f64` bits, and string pairs are interned over the build side's
-/// dictionary (probe-only strings map to a sentinel that never matches).
-fn join_keys(build: &ColumnData, probe: &ColumnData) -> Result<(Vec<u64>, Vec<u64>), String> {
+/// Key extraction is row-width work, so the two `Vec<u64>`s dominate the
+/// join's allocation cost; keeping them thread-local means steady-state
+/// joins allocate nothing for keys. `mem::take` (rather than holding the
+/// borrow) keeps a nested join safe — it would simply see fresh buffers.
+pub(crate) fn with_key_buffers<R>(
+    f: impl FnOnce(&mut Vec<u64>, &mut Vec<u64>) -> R,
+) -> R {
+    thread_local! {
+        static KEY_BUFS: RefCell<(Vec<u64>, Vec<u64>)> =
+            const { RefCell::new((Vec::new(), Vec::new())) };
+    }
+    KEY_BUFS.with(|bufs| {
+        let (mut bkeys, mut pkeys) = std::mem::take(&mut *bufs.borrow_mut());
+        bkeys.clear();
+        pkeys.clear();
+        let result = f(&mut bkeys, &mut pkeys);
+        *bufs.borrow_mut() = (bkeys, pkeys);
+        result
+    })
+}
+
+/// Fill `bkeys`/`pkeys` with canonical 64-bit join keys for a key column
+/// pair (appending to whatever the buffers already hold — callers clear).
+///
+/// Integer pairs compare as integers and anything involving a float
+/// compares through `f64` bits. String pairs reuse the build side's
+/// dictionary codes directly as keys: when both columns share one
+/// dictionary `Arc` (common after gathers/filters of the same base
+/// column), probe codes are emitted as-is with no per-call map at all;
+/// otherwise only the two *dictionaries* are reconciled (O(|dicts|), not
+/// O(rows)) and probe codes are translated through that table. Probe-only
+/// strings map to a sentinel that never matches.
+pub(crate) fn join_keys_into(
+    build: &ColumnData,
+    probe: &ColumnData,
+    bkeys: &mut Vec<u64>,
+    pkeys: &mut Vec<u64>,
+) -> Result<(), String> {
     use DataType::*;
     let (bt, pt) = (build.data_type(), probe.data_type());
     match (bt, pt) {
@@ -19,42 +55,54 @@ fn join_keys(build: &ColumnData, probe: &ColumnData) -> Result<(Vec<u64>, Vec<u6
                 (ColumnData::Str(b), ColumnData::Str(p)) => (b, p),
                 _ => unreachable!("types checked"),
             };
-            let mut intern: HashMap<&str, u64> = HashMap::new();
-            for (i, s) in b.dict().iter().enumerate() {
-                intern.insert(s.as_str(), i as u64);
+            bkeys.extend(b.codes().iter().map(|&c| c as u64));
+            if Arc::ptr_eq(b.dict(), p.dict()) {
+                // Shared dictionary: codes are directly comparable.
+                pkeys.extend(p.codes().iter().map(|&c| c as u64));
+            } else {
+                let intern: HashMap<&str, u64> = b
+                    .dict()
+                    .iter()
+                    .enumerate()
+                    .map(|(i, s)| (s.as_str(), i as u64))
+                    .collect();
+                let probe_map: Vec<u64> = p
+                    .dict()
+                    .iter()
+                    .map(|s| intern.get(s.as_str()).copied().unwrap_or(u64::MAX))
+                    .collect();
+                pkeys.extend(p.codes().iter().map(|&c| probe_map[c as usize]));
             }
-            let probe_map: Vec<u64> = p
-                .dict()
-                .iter()
-                .map(|s| intern.get(s.as_str()).copied().unwrap_or(u64::MAX))
-                .collect();
-            Ok((
-                b.codes().iter().map(|&c| c as u64).collect(),
-                p.codes().iter().map(|&c| probe_map[c as usize]).collect(),
-            ))
+            Ok(())
         }
         (Str, _) | (_, Str) => {
             Err("cannot join a string column with a numeric column".into())
         }
         (Float64, _) | (_, Float64) => {
-            let conv = |c: &ColumnData| -> Vec<u64> {
-                (0..c.len()).map(|i| c.get_f64(i).to_bits()).collect()
-            };
-            Ok((conv(build), conv(probe)))
+            bkeys.extend((0..build.len()).map(|i| build.get_f64(i).to_bits()));
+            pkeys.extend((0..probe.len()).map(|i| probe.get_f64(i).to_bits()));
+            Ok(())
         }
         _ => {
-            let conv = |c: &ColumnData| -> Vec<u64> {
-                (0..c.len())
-                    .map(|i| match c {
-                        ColumnData::Int32(v) => v[i] as i64 as u64,
-                        ColumnData::Int64(v) => v[i] as u64,
-                        _ => unreachable!("integer types checked"),
-                    })
-                    .collect()
+            let conv = |c: &ColumnData, out: &mut Vec<u64>| match c {
+                ColumnData::Int32(v) => out.extend(v.iter().map(|&x| x as i64 as u64)),
+                ColumnData::Int64(v) => out.extend(v.iter().map(|&x| x as u64)),
+                _ => unreachable!("integer types checked"),
             };
-            Ok((conv(build), conv(probe)))
+            conv(build, bkeys);
+            conv(probe, pkeys);
+            Ok(())
         }
     }
+}
+
+/// Hash the build keys into `key -> build row positions`.
+pub(crate) fn build_table(bkeys: &[u64]) -> HashMap<u64, Vec<u32>> {
+    let mut table: HashMap<u64, Vec<u32>> = HashMap::with_capacity(bkeys.len());
+    for (i, &k) in bkeys.iter().enumerate() {
+        table.entry(k).or_default().push(i as u32);
+    }
+    table
 }
 
 /// Hash join `probe ⋈ build` on `probe_key = build_key`.
@@ -72,13 +120,21 @@ pub fn hash_join(
 ) -> Result<Chunk, String> {
     let bcol = build.require_column(build_key)?;
     let pcol = probe.require_column(probe_key)?;
-    let (bkeys, pkeys) = join_keys(bcol, pcol)?;
+    with_key_buffers(|bkeys, pkeys| {
+        join_keys_into(bcol, pcol, bkeys, pkeys)?;
+        let table = build_table(bkeys);
+        join_with_table(build, probe, pkeys, &table, kind)
+    })
+}
 
-    let mut table: HashMap<u64, Vec<u32>> = HashMap::with_capacity(bkeys.len());
-    for (i, &k) in bkeys.iter().enumerate() {
-        table.entry(k).or_default().push(i as u32);
-    }
-
+/// Probe `pkeys` against a prebuilt `table` and materialize the result.
+fn join_with_table(
+    build: &Chunk,
+    probe: &Chunk,
+    pkeys: &[u64],
+    table: &HashMap<u64, Vec<u32>>,
+    kind: JoinKind,
+) -> Result<Chunk, String> {
     match kind {
         JoinKind::Inner => {
             let mut probe_pos = Vec::new();
@@ -197,6 +253,25 @@ mod tests {
         let semi = hash_join(&build, &probe, "n", "n2", JoinKind::Anti).unwrap();
         assert_eq!(semi.num_rows(), 1);
         assert_eq!(semi.row(0)[0], Value::from("RUSSIA"));
+    }
+
+    #[test]
+    fn string_key_join_with_shared_dictionary() {
+        // A gather shares the dictionary Arc, so this exercises the
+        // code-reuse fast path (no interning map at all).
+        let base = Chunk::new(
+            vec![Field::new("n", DataType::Str)],
+            vec![ColumnData::Str(DictColumn::from_strings([
+                "FRANCE", "GERMANY", "RUSSIA",
+            ]))],
+        );
+        let build = base.gather(&[0, 1]);
+        let probe = base.gather(&[1, 2, 0, 1]);
+        let out = hash_join(&build, &probe, "n", "n", JoinKind::Inner).unwrap();
+        assert_eq!(out.num_rows(), 3);
+        let anti = hash_join(&build, &probe, "n", "n", JoinKind::Anti).unwrap();
+        assert_eq!(anti.num_rows(), 1);
+        assert_eq!(anti.row(0)[0], Value::from("RUSSIA"));
     }
 
     #[test]

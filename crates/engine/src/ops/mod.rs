@@ -13,15 +13,30 @@ pub mod select;
 pub mod sort;
 
 use crate::batch::Chunk;
+use crate::parallel::{self, ParallelCtx};
 use crate::plan::PlanNode;
 use robustq_storage::Database;
 
 /// Execute one plan node given its children's outputs (build side first
-/// for joins), returning the materialized result.
+/// for joins), returning the materialized result. Serial reference path.
 pub fn execute_node(
     node: &PlanNode,
     children: &[Chunk],
     db: &Database,
+) -> Result<Chunk, String> {
+    execute_node_ctx(node, children, db, ParallelCtx::serial())
+}
+
+/// [`execute_node`] with an explicit parallelism context.
+///
+/// Selection, hash join and aggregation run through the morsel-parallel
+/// kernels (`crate::parallel`), which fall back to the serial reference
+/// kernels when `ctx.is_serial()` and are bit-identical otherwise.
+pub fn execute_node_ctx(
+    node: &PlanNode,
+    children: &[Chunk],
+    db: &Database,
+    ctx: ParallelCtx,
 ) -> Result<Chunk, String> {
     match node {
         PlanNode::Scan { table, columns, predicate } => {
@@ -31,21 +46,26 @@ pub fn execute_node(
             let (_, read_cols) = node.scan_access().expect("scan node");
             let chunk = Chunk::from_table(t, &read_cols)?;
             let filtered = match predicate {
-                Some(p) => select::select(&chunk, p)?,
+                Some(p) => parallel::select(&chunk, p, ctx)?,
                 None => chunk,
             };
             // Project away predicate-only columns.
             project::keep_columns(&filtered, columns)
         }
         PlanNode::Select { predicate, .. } => {
-            select::select(&children[0], predicate)
+            parallel::select(&children[0], predicate, ctx)
         }
-        PlanNode::HashJoin { build_key, probe_key, kind, .. } => {
-            join::hash_join(&children[0], &children[1], build_key, probe_key, *kind)
-        }
+        PlanNode::HashJoin { build_key, probe_key, kind, .. } => parallel::hash_join(
+            &children[0],
+            &children[1],
+            build_key,
+            probe_key,
+            *kind,
+            ctx,
+        ),
         PlanNode::Project { exprs, .. } => project::project(&children[0], exprs),
         PlanNode::Aggregate { group_by, aggs, .. } => {
-            agg::aggregate(&children[0], group_by, aggs)
+            parallel::aggregate(&children[0], group_by, aggs, ctx)
         }
         PlanNode::Sort { keys, limit, .. } => sort::sort(&children[0], keys, *limit),
     }
@@ -55,12 +75,21 @@ pub fn execute_node(
 /// simulation. This is the reference path used by tests and by the
 /// vectorized comparator's correctness checks.
 pub fn execute_plan(node: &PlanNode, db: &Database) -> Result<Chunk, String> {
+    execute_plan_ctx(node, db, ParallelCtx::serial())
+}
+
+/// [`execute_plan`] with an explicit parallelism context.
+pub fn execute_plan_ctx(
+    node: &PlanNode,
+    db: &Database,
+    ctx: ParallelCtx,
+) -> Result<Chunk, String> {
     let children: Vec<Chunk> = node
         .children()
         .iter()
-        .map(|c| execute_plan(c, db))
+        .map(|c| execute_plan_ctx(c, db, ctx))
         .collect::<Result<_, _>>()?;
-    execute_node(node, &children, db)
+    execute_node_ctx(node, children.as_slice(), db, ctx)
 }
 
 #[cfg(test)]

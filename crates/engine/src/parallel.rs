@@ -1,0 +1,500 @@
+//! Morsel-driven parallel execution of the hot CPU kernels.
+//!
+//! The paper's CPU baseline is a multi-core Xeon; a serial scalar loop is
+//! not an honest stand-in. This module partitions a [`Chunk`] into
+//! fixed-size row ranges ("morsels", after HyPer's morsel-driven
+//! parallelism), fans kernel work across a scoped worker pool
+//! (`std::thread::scope` — no external dependencies), and merges partial
+//! results **deterministically in morsel order**, so the parallel kernels
+//! are bit-identical to the serial reference in `ops/`:
+//!
+//! * **selection** — each worker evaluates the predicate over its morsel
+//!   ([`Predicate::evaluate_range`]); qualifying positions are concatenated
+//!   in morsel order and materialized by a single global `gather`, exactly
+//!   like the serial path (so string columns share the same dictionary
+//!   `Arc` either way).
+//! * **hash-join probe** — the build table is built once and shared
+//!   read-only; each worker probes its morsel of the probe side; match
+//!   vectors are concatenated in morsel order (= probe row order).
+//! * **aggregation** — each worker groups its morsel into a local hash
+//!   table (phase 1); local groups are merged serially in morsel order,
+//!   which reproduces the serial first-occurrence group numbering; the
+//!   aggregate states are then accumulated serially in row order (phase 2),
+//!   so even non-associative `f64` sums come out bit-for-bit equal to the
+//!   serial fold. Phase 1 — the hashing — is the expensive part.
+//!
+//! Work is distributed by an atomic next-morsel counter (work stealing):
+//! scheduling order is nondeterministic, result order never is. Workers
+//! only compute *partial positions/groupings*; everything ordered happens
+//! on the calling thread.
+//!
+//! Parallelism changes only real wall-clock time. Simulated virtual time
+//! (`robustq-sim`) is computed from the cost model and is unaffected, and
+//! because results are bit-identical, checksums and figures are too.
+
+use crate::batch::Chunk;
+use crate::ops;
+use crate::plan::{AggSpec, JoinKind};
+use crate::predicate::Predicate;
+use robustq_storage::ColumnData;
+use std::collections::hash_map::Entry;
+use std::collections::HashMap;
+use std::ops::Range;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Default rows per morsel.
+///
+/// Large enough that per-morsel overhead (range bookkeeping, one small
+/// `Vec` per morsel) is negligible, small enough that a 1M-row chunk still
+/// splits into ~16 units for load balancing.
+pub const DEFAULT_MORSEL_ROWS: usize = 65_536;
+
+/// How kernel work is spread across CPU worker threads.
+///
+/// `workers == 1` (the [`Default`]) means strictly serial execution on the
+/// calling thread — the `ops/` reference kernels run unchanged, which is
+/// what tests use. Any result is bit-identical across all `workers` and
+/// `morsel_rows` settings.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ParallelCtx {
+    /// Number of worker threads to fan kernel work across (≥ 1).
+    pub workers: usize,
+    /// Rows per morsel (≥ 1).
+    pub morsel_rows: usize,
+}
+
+impl Default for ParallelCtx {
+    fn default() -> Self {
+        ParallelCtx::serial()
+    }
+}
+
+impl ParallelCtx {
+    /// Strictly serial execution (the reference path).
+    pub fn serial() -> Self {
+        ParallelCtx { workers: 1, morsel_rows: DEFAULT_MORSEL_ROWS }
+    }
+
+    /// One worker per available hardware thread.
+    pub fn auto() -> Self {
+        let workers =
+            std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+        ParallelCtx { workers, morsel_rows: DEFAULT_MORSEL_ROWS }
+    }
+
+    /// Set the worker count (clamped to ≥ 1).
+    pub fn with_workers(mut self, workers: usize) -> Self {
+        self.workers = workers.max(1);
+        self
+    }
+
+    /// Set the morsel size in rows (clamped to ≥ 1).
+    pub fn with_morsel_rows(mut self, rows: usize) -> Self {
+        self.morsel_rows = rows.max(1);
+        self
+    }
+
+    /// True if kernels run on the calling thread only.
+    pub fn is_serial(&self) -> bool {
+        self.workers <= 1
+    }
+
+    /// Split `rows` into morsels, apply `f` to every morsel range across
+    /// the worker pool, and return the per-morsel results **in morsel
+    /// order** (deterministic regardless of scheduling). The first error in
+    /// morsel order is returned, matching what a serial left-to-right scan
+    /// would report.
+    pub fn run_morsels<T, F>(&self, rows: usize, f: F) -> Result<Vec<T>, String>
+    where
+        T: Send,
+        F: Fn(Range<usize>) -> Result<T, String> + Sync,
+    {
+        let morsel = self.morsel_rows.max(1);
+        let num_morsels = rows.div_ceil(morsel);
+        let range_of = |i: usize| -> Range<usize> {
+            let start = i * morsel;
+            start..(start + morsel).min(rows)
+        };
+        let workers = self.workers.clamp(1, num_morsels.max(1));
+        if workers == 1 {
+            return (0..num_morsels).map(|i| f(range_of(i))).collect();
+        }
+
+        // Work stealing: each worker claims the next unclaimed morsel.
+        let next = AtomicUsize::new(0);
+        let mut slots: Vec<Option<Result<T, String>>> =
+            (0..num_morsels).map(|_| None).collect();
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..workers)
+                .map(|_| {
+                    scope.spawn(|| {
+                        let mut done: Vec<(usize, Result<T, String>)> = Vec::new();
+                        loop {
+                            let i = next.fetch_add(1, Ordering::Relaxed);
+                            if i >= num_morsels {
+                                break;
+                            }
+                            done.push((i, f(range_of(i))));
+                        }
+                        done
+                    })
+                })
+                .collect();
+            for handle in handles {
+                let done = handle
+                    .join()
+                    .unwrap_or_else(|panic| std::panic::resume_unwind(panic));
+                for (i, result) in done {
+                    slots[i] = Some(result);
+                }
+            }
+        });
+        slots
+            .into_iter()
+            .map(|slot| slot.expect("every morsel index was claimed"))
+            .collect()
+    }
+}
+
+/// Parallel selection: bit-identical to [`ops::select::select`].
+pub fn select(
+    chunk: &Chunk,
+    predicate: &Predicate,
+    ctx: ParallelCtx,
+) -> Result<Chunk, String> {
+    if ctx.is_serial() {
+        return ops::select::select(chunk, predicate);
+    }
+    let parts = ctx.run_morsels(chunk.num_rows(), |rows| {
+        let start = rows.start;
+        let mask = predicate.evaluate_range(chunk, rows)?;
+        Ok(mask
+            .iter()
+            .enumerate()
+            .filter_map(|(i, &m)| m.then_some(start + i))
+            .collect::<Vec<usize>>())
+    })?;
+    let mut positions = Vec::with_capacity(parts.iter().map(Vec::len).sum());
+    for part in &parts {
+        positions.extend_from_slice(part);
+    }
+    // One global gather, like the serial path: gathered string columns
+    // share the input's dictionary Arc (a per-morsel gather + concat would
+    // rebuild dictionaries and change code assignments).
+    Ok(chunk.gather(&positions))
+}
+
+/// Parallel hash join: bit-identical to [`ops::join::hash_join`].
+///
+/// The build side is hashed once on the calling thread; only the probe
+/// loop fans out.
+pub fn hash_join(
+    build: &Chunk,
+    probe: &Chunk,
+    build_key: &str,
+    probe_key: &str,
+    kind: JoinKind,
+    ctx: ParallelCtx,
+) -> Result<Chunk, String> {
+    if ctx.is_serial() {
+        return ops::join::hash_join(build, probe, build_key, probe_key, kind);
+    }
+    let bcol = build.require_column(build_key)?;
+    let pcol = probe.require_column(probe_key)?;
+    ops::join::with_key_buffers(|bkeys, pkeys| {
+        ops::join::join_keys_into(bcol, pcol, bkeys, pkeys)?;
+        let table = ops::join::build_table(bkeys);
+
+        match kind {
+            JoinKind::Inner => {
+                let parts = ctx.run_morsels(pkeys.len(), |rows| {
+                    let mut probe_pos = Vec::new();
+                    let mut build_pos = Vec::new();
+                    for i in rows {
+                        let k = pkeys[i];
+                        if k == u64::MAX {
+                            continue; // probe-only string, cannot match
+                        }
+                        if let Some(matches) = table.get(&k) {
+                            for &b in matches {
+                                probe_pos.push(i);
+                                build_pos.push(b as usize);
+                            }
+                        }
+                    }
+                    Ok((probe_pos, build_pos))
+                })?;
+                let total = parts.iter().map(|(p, _)| p.len()).sum();
+                let mut probe_pos = Vec::with_capacity(total);
+                let mut build_pos = Vec::with_capacity(total);
+                for (p, b) in &parts {
+                    probe_pos.extend_from_slice(p);
+                    build_pos.extend_from_slice(b);
+                }
+                Ok(probe.gather(&probe_pos).zip(build.gather(&build_pos)))
+            }
+            JoinKind::Semi | JoinKind::Anti => {
+                let keep_matches = kind == JoinKind::Semi;
+                let parts = ctx.run_morsels(pkeys.len(), |rows| {
+                    Ok(rows
+                        .filter(|&i| {
+                            let k = pkeys[i];
+                            let found = k != u64::MAX && table.contains_key(&k);
+                            found == keep_matches
+                        })
+                        .collect::<Vec<usize>>())
+                })?;
+                let mut pos = Vec::with_capacity(parts.iter().map(Vec::len).sum());
+                for part in &parts {
+                    pos.extend_from_slice(part);
+                }
+                Ok(probe.gather(&pos))
+            }
+        }
+    })
+}
+
+/// A composite group key (dense cases avoid the per-row `Vec`).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+enum GroupKey {
+    One(u64),
+    Two(u64, u64),
+    Many(Vec<u64>),
+}
+
+fn group_key(key_cols: &[&ColumnData], row: usize) -> GroupKey {
+    match key_cols {
+        [a] => GroupKey::One(a.key_at(row)),
+        [a, b] => GroupKey::Two(a.key_at(row), b.key_at(row)),
+        cols => GroupKey::Many(cols.iter().map(|c| c.key_at(row)).collect()),
+    }
+}
+
+/// Per-morsel grouping result (phase 1).
+struct LocalGroups {
+    /// Distinct keys, in local first-occurrence order.
+    keys: Vec<GroupKey>,
+    /// Global row index of each key's first occurrence in this morsel.
+    reps: Vec<usize>,
+    /// Local group id of every row of the morsel, in row order.
+    row_gids: Vec<u32>,
+}
+
+/// Parallel group-by aggregation: bit-identical to
+/// [`ops::agg::aggregate`].
+///
+/// Phase 1 (parallel) builds per-morsel hash tables mapping composite keys
+/// to local group ids. The merge walks morsels in order, assigning global
+/// group ids in first-occurrence order — the same numbering the serial
+/// kernel produces. Phase 2 then folds every aggregate input serially in
+/// row order, so `f64` sums associate exactly like the serial reference.
+///
+/// Global aggregation (`group_by` empty) is delegated to the serial
+/// kernel: it is a pure fold whose result depends on association order, so
+/// there is no bit-identical way to split it.
+pub fn aggregate(
+    chunk: &Chunk,
+    group_by: &[String],
+    aggs: &[AggSpec],
+    ctx: ParallelCtx,
+) -> Result<Chunk, String> {
+    if ctx.is_serial() || group_by.is_empty() {
+        return ops::agg::aggregate(chunk, group_by, aggs);
+    }
+    let n = chunk.num_rows();
+    let key_cols: Vec<&ColumnData> = group_by
+        .iter()
+        .map(|name| chunk.require_column(name))
+        .collect::<Result<_, _>>()?;
+    let agg_inputs: Vec<Vec<f64>> = aggs
+        .iter()
+        .map(|a| a.input.evaluate_f64(chunk))
+        .collect::<Result<_, _>>()?;
+
+    // Phase 1 (parallel): per-morsel grouping.
+    let locals = ctx.run_morsels(n, |rows| {
+        let mut map: HashMap<GroupKey, u32> = HashMap::new();
+        let mut keys = Vec::new();
+        let mut reps = Vec::new();
+        let mut row_gids = Vec::with_capacity(rows.len());
+        for row in rows {
+            let gid = match map.entry(group_key(&key_cols, row)) {
+                Entry::Occupied(e) => *e.get(),
+                Entry::Vacant(e) => {
+                    let g = keys.len() as u32;
+                    keys.push(e.key().clone());
+                    reps.push(row);
+                    e.insert(g);
+                    g
+                }
+            };
+            row_gids.push(gid);
+        }
+        Ok(LocalGroups { keys, reps, row_gids })
+    })?;
+
+    // Merge (serial, morsel order): global ids in first-occurrence order.
+    let mut global: HashMap<GroupKey, u32> = HashMap::new();
+    let mut representative: Vec<usize> = Vec::new();
+    let mut gids: Vec<u32> = Vec::with_capacity(n);
+    for local in &locals {
+        let translate: Vec<u32> = local
+            .keys
+            .iter()
+            .zip(&local.reps)
+            .map(|(key, &rep)| match global.entry(key.clone()) {
+                Entry::Occupied(e) => *e.get(),
+                Entry::Vacant(e) => {
+                    let g = representative.len() as u32;
+                    representative.push(rep);
+                    e.insert(g);
+                    g
+                }
+            })
+            .collect();
+        gids.extend(local.row_gids.iter().map(|&l| translate[l as usize]));
+    }
+
+    // Phase 2 (serial, row order): exact serial accumulation order.
+    let mut states =
+        vec![vec![ops::agg::AggState::new(); aggs.len()]; representative.len()];
+    for (row, &gid) in gids.iter().enumerate() {
+        for (state, input) in states[gid as usize].iter_mut().zip(&agg_inputs) {
+            state.update(input[row]);
+        }
+    }
+    Ok(ops::agg::finalize(group_by, &key_cols, aggs, &representative, &states))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::Expr;
+    use crate::plan::AggSpec;
+    use robustq_storage::{ColumnData, DataType, DictColumn, Field};
+
+    fn wide_chunk(rows: usize) -> Chunk {
+        let ints: Vec<i32> = (0..rows).map(|i| (i as i32 * 7) % 23 - 11).collect();
+        let floats: Vec<f64> = (0..rows).map(|i| (i as f64) * 0.37 - 50.0).collect();
+        let strs: Vec<String> =
+            (0..rows).map(|i| format!("k{}", (i * 13) % 17)).collect();
+        Chunk::new(
+            vec![
+                Field::new("a", DataType::Int32),
+                Field::new("f", DataType::Float64),
+                Field::new("s", DataType::Str),
+            ],
+            vec![
+                ColumnData::Int32(ints),
+                ColumnData::Float64(floats),
+                ColumnData::Str(DictColumn::from_strings(strs)),
+            ],
+        )
+    }
+
+    fn ctx(workers: usize, morsel: usize) -> ParallelCtx {
+        ParallelCtx { workers, morsel_rows: morsel }
+    }
+
+    #[test]
+    fn run_morsels_preserves_order_and_covers_all_rows() {
+        let c = ctx(4, 10);
+        let parts = c.run_morsels(95, |r| Ok(r.clone())).unwrap();
+        assert_eq!(parts.len(), 10);
+        assert_eq!(parts[0], 0..10);
+        assert_eq!(parts[9], 90..95);
+        let total: usize = parts.iter().map(|r| r.len()).sum();
+        assert_eq!(total, 95);
+    }
+
+    #[test]
+    fn run_morsels_empty_input() {
+        let parts = ctx(4, 8).run_morsels(0, |r| Ok(r.len())).unwrap();
+        assert!(parts.is_empty());
+    }
+
+    #[test]
+    fn run_morsels_reports_first_error_in_morsel_order() {
+        let c = ctx(4, 1);
+        let err = c
+            .run_morsels(10, |r| {
+                if r.start >= 3 {
+                    Err(format!("boom at {}", r.start))
+                } else {
+                    Ok(r.start)
+                }
+            })
+            .unwrap_err();
+        assert_eq!(err, "boom at 3");
+    }
+
+    #[test]
+    fn parallel_select_matches_serial_exactly() {
+        let chunk = wide_chunk(1_000);
+        let pred = Predicate::between("a", -5, 5);
+        let serial = ops::select::select(&chunk, &pred).unwrap();
+        for workers in [2, 8] {
+            for morsel in [1, 7, 64] {
+                let par = select(&chunk, &pred, ctx(workers, morsel)).unwrap();
+                assert_eq!(par, serial, "workers={workers} morsel={morsel}");
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_join_matches_serial_exactly() {
+        let build = wide_chunk(50);
+        let probe = wide_chunk(777);
+        for kind in [JoinKind::Inner, JoinKind::Semi, JoinKind::Anti] {
+            let serial =
+                ops::join::hash_join(&build, &probe, "a", "a", kind).unwrap();
+            let par =
+                hash_join(&build, &probe, "a", "a", kind, ctx(3, 13)).unwrap();
+            assert_eq!(par, serial, "{kind:?}");
+        }
+    }
+
+    #[test]
+    fn parallel_aggregate_matches_serial_exactly() {
+        let chunk = wide_chunk(2_000);
+        let aggs = vec![
+            AggSpec::sum(Expr::col("f"), "s"),
+            AggSpec::count("c"),
+            AggSpec::new(crate::plan::AggFunc::Avg, Expr::col("f"), "m"),
+        ];
+        let group_by = vec!["s".to_string(), "a".to_string()];
+        let serial = ops::agg::aggregate(&chunk, &group_by, &aggs).unwrap();
+        let par = aggregate(&chunk, &group_by, &aggs, ctx(4, 111)).unwrap();
+        assert_eq!(par, serial);
+    }
+
+    #[test]
+    fn errors_match_serial() {
+        let chunk = wide_chunk(100);
+        assert!(select(&chunk, &Predicate::eq("zz", 1), ctx(2, 8)).is_err());
+        assert!(hash_join(
+            &chunk,
+            &chunk,
+            "zz",
+            "a",
+            JoinKind::Inner,
+            ctx(2, 8)
+        )
+        .is_err());
+        assert!(aggregate(
+            &chunk,
+            &["zz".to_string()],
+            &[AggSpec::count("c")],
+            ctx(2, 8)
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn default_ctx_is_serial() {
+        assert!(ParallelCtx::default().is_serial());
+        assert!(ParallelCtx::serial().is_serial());
+        assert!(!ParallelCtx::serial().with_workers(4).is_serial());
+        assert!(ParallelCtx::auto().workers >= 1);
+    }
+}

@@ -10,6 +10,7 @@ use crate::batch::Chunk;
 use robustq_storage::{ColumnData, Value};
 use std::cmp::Ordering;
 use std::fmt;
+use std::ops::Range;
 
 /// A comparison operator.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -195,25 +196,41 @@ impl Predicate {
 
     /// Evaluate to one boolean per row.
     pub fn evaluate(&self, chunk: &Chunk) -> Result<Vec<bool>, String> {
-        let n = chunk.num_rows();
+        self.evaluate_range(chunk, 0..chunk.num_rows())
+    }
+
+    /// Evaluate over `rows` only: one boolean per row of the range, with
+    /// result index 0 corresponding to `rows.start`.
+    ///
+    /// [`Predicate::evaluate`] is this over the full chunk; the
+    /// morsel-parallel selection kernel calls it once per morsel, and the
+    /// result is positionally identical to the matching slice of a
+    /// whole-chunk evaluation.
+    pub fn evaluate_range(
+        &self,
+        chunk: &Chunk,
+        rows: Range<usize>,
+    ) -> Result<Vec<bool>, String> {
+        let n = rows.len();
         match self {
             Predicate::True => Ok(vec![true; n]),
             Predicate::Cmp { column, op, value } => {
                 let col = chunk.require_column(column)?;
-                cmp_column_value(col, *op, value)
+                cmp_column_value(col, *op, value, rows)
             }
             Predicate::Between { column, lo, hi } => {
                 let col = chunk.require_column(column)?;
-                let ge = cmp_column_value(col, CmpOp::Ge, lo)?;
-                let le = cmp_column_value(col, CmpOp::Le, hi)?;
+                let ge = cmp_column_value(col, CmpOp::Ge, lo, rows.clone())?;
+                let le = cmp_column_value(col, CmpOp::Le, hi, rows)?;
                 Ok(ge.into_iter().zip(le).map(|(a, b)| a && b).collect())
             }
             Predicate::InList { column, values } => {
                 let col = chunk.require_column(column)?;
                 let mut mask = vec![false; n];
                 for v in values {
-                    for (m, ok) in
-                        mask.iter_mut().zip(cmp_column_value(col, CmpOp::Eq, v)?)
+                    for (m, ok) in mask
+                        .iter_mut()
+                        .zip(cmp_column_value(col, CmpOp::Eq, v, rows.clone())?)
                     {
                         *m |= ok;
                     }
@@ -221,16 +238,16 @@ impl Predicate {
                 Ok(mask)
             }
             Predicate::StrPrefix { column, prefix } => {
-                str_match(chunk, column, |s| s.starts_with(prefix.as_str()))
+                str_match(chunk, column, |s| s.starts_with(prefix.as_str()), rows)
             }
             Predicate::StrSuffix { column, suffix } => {
-                str_match(chunk, column, |s| s.ends_with(suffix.as_str()))
+                str_match(chunk, column, |s| s.ends_with(suffix.as_str()), rows)
             }
             Predicate::ColCmp { left, op, right } => {
                 let l = chunk.require_column(left)?;
                 let r = chunk.require_column(right)?;
                 let mut mask = Vec::with_capacity(n);
-                for i in 0..n {
+                for i in rows {
                     let ord = l
                         .get(i)
                         .partial_cmp_value(&r.get(i))
@@ -242,7 +259,9 @@ impl Predicate {
             Predicate::And(ps) => {
                 let mut mask = vec![true; n];
                 for p in ps {
-                    for (m, ok) in mask.iter_mut().zip(p.evaluate(chunk)?) {
+                    for (m, ok) in
+                        mask.iter_mut().zip(p.evaluate_range(chunk, rows.clone())?)
+                    {
                         *m &= ok;
                     }
                 }
@@ -251,24 +270,33 @@ impl Predicate {
             Predicate::Or(ps) => {
                 let mut mask = vec![false; n];
                 for p in ps {
-                    for (m, ok) in mask.iter_mut().zip(p.evaluate(chunk)?) {
+                    for (m, ok) in
+                        mask.iter_mut().zip(p.evaluate_range(chunk, rows.clone())?)
+                    {
                         *m |= ok;
                     }
                 }
                 Ok(mask)
             }
             Predicate::Not(p) => {
-                Ok(p.evaluate(chunk)?.into_iter().map(|b| !b).collect())
+                Ok(p.evaluate_range(chunk, rows)?.into_iter().map(|b| !b).collect())
             }
         }
     }
 }
 
-/// Compare every row of `col` against a literal.
+/// Compare the rows of `col` in `rows` against a literal.
 ///
 /// Dictionary columns use a precomputed per-code match table so the string
-/// comparison happens once per distinct value, not once per row.
-fn cmp_column_value(col: &ColumnData, op: CmpOp, value: &Value) -> Result<Vec<bool>, String> {
+/// comparison happens once per distinct value, not once per row. (The
+/// table covers the whole dictionary even for a sub-range — dictionaries
+/// are small relative to row counts.)
+fn cmp_column_value(
+    col: &ColumnData,
+    op: CmpOp,
+    value: &Value,
+    rows: Range<usize>,
+) -> Result<Vec<bool>, String> {
     match (col, value) {
         (ColumnData::Str(d), Value::Str(s)) => {
             let table: Vec<bool> = d
@@ -276,7 +304,7 @@ fn cmp_column_value(col: &ColumnData, op: CmpOp, value: &Value) -> Result<Vec<bo
                 .iter()
                 .map(|entry| op.matches(entry.as_str().cmp(s.as_str())))
                 .collect();
-            Ok(d.codes().iter().map(|&c| table[c as usize]).collect())
+            Ok(d.codes()[rows].iter().map(|&c| table[c as usize]).collect())
         }
         (ColumnData::Str(_), other) => {
             Err(format!("cannot compare string column with {other:?}"))
@@ -285,9 +313,8 @@ fn cmp_column_value(col: &ColumnData, op: CmpOp, value: &Value) -> Result<Vec<bo
             let rhs = v
                 .as_f64()
                 .ok_or_else(|| format!("cannot compare numeric column with {v:?}"))?;
-            let n = col.len();
-            let mut mask = Vec::with_capacity(n);
-            for i in 0..n {
+            let mut mask = Vec::with_capacity(rows.len());
+            for i in rows {
                 let ord = col
                     .get_f64(i)
                     .partial_cmp(&rhs)
@@ -303,11 +330,12 @@ fn str_match(
     chunk: &Chunk,
     column: &str,
     pred: impl Fn(&str) -> bool,
+    rows: Range<usize>,
 ) -> Result<Vec<bool>, String> {
     match chunk.require_column(column)? {
         ColumnData::Str(d) => {
             let table: Vec<bool> = d.dict().iter().map(|s| pred(s)).collect();
-            Ok(d.codes().iter().map(|&c| table[c as usize]).collect())
+            Ok(d.codes()[rows].iter().map(|&c| table[c as usize]).collect())
         }
         _ => Err(format!("column {column} is not a string column")),
     }
@@ -499,6 +527,36 @@ mod tests {
             Predicate::or([Predicate::eq("b", 2), Predicate::eq("a", 3)]),
         ]);
         assert_eq!(p.referenced_columns(), vec!["a".to_string(), "b".into()]);
+    }
+
+    #[test]
+    fn range_evaluation_matches_full_slice() {
+        let c = chunk();
+        let preds = [
+            Predicate::cmp("q", CmpOp::Lt, 30),
+            Predicate::between("d", 4, 6),
+            Predicate::in_list("region", ["ASIA", "AMERICA"]),
+            Predicate::StrPrefix { column: "region".into(), prefix: "A".into() },
+            Predicate::StrSuffix { column: "region".into(), suffix: "PE".into() },
+            Predicate::ColCmp { left: "q".into(), op: CmpOp::Gt, right: "d".into() },
+            Predicate::and([
+                Predicate::cmp("q", CmpOp::Ge, 25),
+                Predicate::Not(Box::new(Predicate::eq("region", "ASIA"))),
+            ]),
+            Predicate::True,
+        ];
+        for p in &preds {
+            let full = p.evaluate(&c).unwrap();
+            for start in 0..4 {
+                for end in start..=4 {
+                    assert_eq!(
+                        p.evaluate_range(&c, start..end).unwrap(),
+                        full[start..end],
+                        "{p} over {start}..{end}"
+                    );
+                }
+            }
+        }
     }
 
     #[test]

@@ -9,7 +9,7 @@
 use robustq_core::Strategy;
 use robustq_engine::exec::metrics::QueryOutcome;
 use robustq_engine::plan::PlanNode;
-use robustq_engine::{ExecOptions, Executor, RunMetrics};
+use robustq_engine::{ExecOptions, Executor, ParallelCtx, RunMetrics};
 use robustq_sim::{SimConfig, VirtualTime};
 use robustq_storage::{ColumnId, Database};
 
@@ -31,6 +31,9 @@ pub struct RunnerConfig {
     pub max_concurrent_queries: usize,
     /// Keep full results in the outcomes.
     pub capture_results: bool,
+    /// Real-CPU parallelism for the hot kernels. Results and virtual-time
+    /// figures are bit-identical across settings; only wall-clock changes.
+    pub parallel: ParallelCtx,
 }
 
 impl Default for RunnerConfig {
@@ -42,6 +45,7 @@ impl Default for RunnerConfig {
             placement_update_period: 1,
             max_concurrent_queries: usize::MAX,
             capture_results: false,
+            parallel: ParallelCtx::serial(),
         }
     }
 }
@@ -75,6 +79,12 @@ impl RunnerConfig {
     /// Run the data-placement background job every `n` completed queries.
     pub fn with_placement_period(mut self, n: usize) -> Self {
         self.placement_update_period = n;
+        self
+    }
+
+    /// Run the hot kernels with the given parallelism context.
+    pub fn with_parallel(mut self, parallel: ParallelCtx) -> Self {
+        self.parallel = parallel;
         self
     }
 }
@@ -241,6 +251,7 @@ impl<'a> WorkloadRunner<'a> {
             placement_update_period: cfg.placement_update_period,
             max_concurrent_queries: cfg.max_concurrent_queries,
             preload: Vec::new(),
+            parallel: cfg.parallel,
         };
         for _ in 0..cfg.warmup_runs {
             executor.run_with_cache(
@@ -261,6 +272,7 @@ impl<'a> WorkloadRunner<'a> {
             placement_update_period: cfg.placement_update_period,
             max_concurrent_queries: cfg.max_concurrent_queries,
             preload,
+            parallel: cfg.parallel,
         };
         let out = executor.run_with_cache(
             Self::sessions(queries, cfg.users),

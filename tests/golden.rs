@@ -15,18 +15,18 @@ use robustq::workloads::{SsbQuery, TpchQuery};
 fn ssb_results_are_stable() {
     let db = SsbGenerator::new(2).with_rows_per_sf(2_500).generate();
     let golden: [(&str, usize, u64); 13] = [
-        ("Q1.1", 1, 0xa0030593053babfb),
-        ("Q1.2", 1, 0x9fd94f9ef20878c9),
-        ("Q1.3", 1, 0x9fbb44ac4ba21263),
-        ("Q2.1", 41, 0x37bc41bf6e773ab7),
-        ("Q2.2", 2, 0x8b31ba2cc8799db0),
+        ("Q1.1", 1, 0xa000a9423d8d9780),
+        ("Q1.2", 1, 0x9fd16fbb4ba21260),
+        ("Q1.3", 1, 0x5ea170c03727311b),
+        ("Q2.1", 23, 0x2511636749a8375e),
+        ("Q2.2", 1, 0x87748cda88cb93e5),
         ("Q2.3", 0, 0x0000000000000000),
-        ("Q3.1", 59, 0x684316f088fbfefe),
+        ("Q3.1", 32, 0x70fac327673ea06a),
         ("Q3.2", 0, 0x0000000000000000),
         ("Q3.3", 0, 0x0000000000000000),
         ("Q3.4", 0, 0x0000000000000000),
-        ("Q4.1", 30, 0xea938a253ac43938),
-        ("Q4.2", 23, 0x9b92aa382a026c94),
+        ("Q4.1", 33, 0x6173633c80f99d8b),
+        ("Q4.2", 30, 0xeb3246a1cd96b2f8),
         ("Q4.3", 0, 0x0000000000000000),
     ];
     for (q, (name, rows, checksum)) in SsbQuery::ALL.iter().zip(golden) {
@@ -41,12 +41,12 @@ fn ssb_results_are_stable() {
 fn tpch_results_are_stable() {
     let db = TpchGenerator::new(2).with_rows_per_sf(2_500).generate();
     let golden: [(&str, usize, u64); 6] = [
-        ("Q2", 0, 0x0000000000000000),
-        ("Q3", 8, 0xa37b1f2ef1fc30c5),
-        ("Q4", 5, 0xb9d4d2bf4800fe5d),
-        ("Q5", 3, 0xa9b308a13e18fcc1),
-        ("Q6", 1, 0x9fb184e7fdcf20b9),
-        ("Q7", 0, 0x0000000000000000),
+        ("Q2", 1, 0x2f1a607dc73d16cb),
+        ("Q3", 5, 0xe5b7f8b15baab692),
+        ("Q4", 5, 0xb9d4d2bf4800fe60),
+        ("Q5", 2, 0xcf0db2c71ed99a8c),
+        ("Q6", 1, 0x9fb1607f07d82395),
+        ("Q7", 4, 0xe7517de8b08e8175),
     ];
     for (q, (name, rows, checksum)) in TpchQuery::ALL.iter().zip(golden) {
         assert_eq!(q.name(), name);

@@ -1,0 +1,436 @@
+//! Offline drop-in subset of the `proptest` 1.x API.
+//!
+//! The build environment has no access to the crates.io registry, so this
+//! vendored crate implements the slice of proptest the workspace's property
+//! tests use: the [`proptest!`] macro, [`prop_assert!`]/[`prop_assert_eq!`],
+//! the [`strategy::Strategy`] trait with `prop_map`, integer-range / tuple /
+//! `vec` / `select` / `bool` strategies, a tiny `.{lo,hi}`-style string
+//! pattern strategy, and [`test_runner::ProptestConfig`].
+//!
+//! Differences from upstream, by design:
+//! - **No shrinking.** A failing case panics with the generated inputs
+//!   reproducible from the (deterministic) per-test seed.
+//! - **Deterministic.** Each test derives its seed from its module path and
+//!   name, so runs are stable across machines and invocations.
+//! - `prop_assert!` is plain `assert!` (panic, not `Err`-return).
+
+#![warn(missing_docs)]
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Test-case generation strategies.
+pub mod strategy {
+    use super::test_runner::TestRng;
+
+    /// A recipe for generating values of `Self::Value`.
+    ///
+    /// Mirrors `proptest::strategy::Strategy`, minus value trees and
+    /// shrinking: `generate` directly produces a value.
+    pub trait Strategy {
+        /// The type of value this strategy generates.
+        type Value;
+
+        /// Generate one value.
+        fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Transform every generated value with `f`.
+        fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> O,
+        {
+            Map { source: self, func: f }
+        }
+    }
+
+    /// Strategy returned by [`Strategy::prop_map`].
+    #[derive(Debug, Clone)]
+    pub struct Map<S, F> {
+        source: S,
+        func: F,
+    }
+
+    impl<S, O, F> Strategy for Map<S, F>
+    where
+        S: Strategy,
+        F: Fn(S::Value) -> O,
+    {
+        type Value = O;
+        fn generate(&self, rng: &mut TestRng) -> O {
+            (self.func)(self.source.generate(rng))
+        }
+    }
+
+    macro_rules! impl_int_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for core::ops::Range<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    rng.gen_range(self.clone())
+                }
+            }
+            impl Strategy for core::ops::RangeInclusive<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    rng.gen_range(self.clone())
+                }
+            }
+        )*};
+    }
+
+    impl_int_strategy!(i8, i16, i32, i64, u8, u16, u32, u64, usize, isize);
+
+    macro_rules! impl_tuple_strategy {
+        ($($name:ident),*) => {
+            impl<$($name: Strategy),*> Strategy for ($($name,)*) {
+                type Value = ($($name::Value,)*);
+                #[allow(non_snake_case)]
+                fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                    let ($($name,)*) = self;
+                    ($($name.generate(rng),)*)
+                }
+            }
+        };
+    }
+
+    impl_tuple_strategy!(A, B);
+    impl_tuple_strategy!(A, B, C);
+    impl_tuple_strategy!(A, B, C, D);
+    impl_tuple_strategy!(A, B, C, D, E);
+    impl_tuple_strategy!(A, B, C, D, E, G);
+
+    /// `&str` as a string pattern strategy.
+    ///
+    /// Upstream proptest treats `&str` as a full regex; this subset supports
+    /// the one shape the workspace uses — `.{lo,hi}`: a string of `lo..=hi`
+    /// characters drawn from a printable-heavy alphabet (with quotes,
+    /// operators and a couple of multi-byte characters to stress lexers).
+    /// Any pattern without `.{` generates the literal pattern itself.
+    impl Strategy for &str {
+        type Value = String;
+        fn generate(&self, rng: &mut TestRng) -> String {
+            const ALPHABET: &[char] = &[
+                'a', 'b', 'c', 'x', 'y', 'z', 'S', 'E', 'L', 'C', 'T', '0', '1', '2', '7',
+                '9', ' ', ' ', '\t', '\n', '(', ')', ',', '.', '*', '+', '-', '/', '=',
+                '<', '>', '\'', '"', '_', ';', '%', '{', '}', 'é', '漢', '🦀', '\u{0}',
+            ];
+            let Some((lo, hi)) = parse_dot_repeat(self) else {
+                return (*self).to_string();
+            };
+            let len = rng.gen_range(lo..=hi);
+            (0..len)
+                .map(|_| ALPHABET[rng.gen_range(0..ALPHABET.len())])
+                .collect()
+        }
+    }
+
+    fn parse_dot_repeat(pattern: &str) -> Option<(usize, usize)> {
+        let rest = pattern.strip_prefix(".{")?.strip_suffix('}')?;
+        let (lo, hi) = rest.split_once(',')?;
+        Some((lo.trim().parse().ok()?, hi.trim().parse().ok()?))
+    }
+}
+
+/// Collection strategies (`prop::collection`).
+pub mod collection {
+    use super::strategy::Strategy;
+    use super::test_runner::TestRng;
+
+    /// A length constraint for [`vec`], converted from `usize` ranges.
+    ///
+    /// Mirrors `proptest::collection::SizeRange`: taking a concrete type
+    /// with `From<Range<usize>>` (rather than a generic strategy) is what
+    /// lets a bare `0..200` literal infer as `usize`.
+    #[derive(Debug, Clone, Copy)]
+    pub struct SizeRange {
+        lo: usize,
+        hi_inclusive: usize,
+    }
+
+    impl From<core::ops::Range<usize>> for SizeRange {
+        fn from(r: core::ops::Range<usize>) -> Self {
+            assert!(r.start < r.end, "collection::vec: empty size range");
+            SizeRange { lo: r.start, hi_inclusive: r.end - 1 }
+        }
+    }
+
+    impl From<core::ops::RangeInclusive<usize>> for SizeRange {
+        fn from(r: core::ops::RangeInclusive<usize>) -> Self {
+            assert!(r.start() <= r.end(), "collection::vec: empty size range");
+            SizeRange { lo: *r.start(), hi_inclusive: *r.end() }
+        }
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange { lo: n, hi_inclusive: n }
+        }
+    }
+
+    /// A `Vec` whose length is drawn from `size` and whose elements are
+    /// drawn from `element`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy { element, size: size.into() }
+    }
+
+    /// Strategy returned by [`vec`].
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let len = rng.gen_range(self.size.lo..=self.size.hi_inclusive);
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+/// Sampling strategies (`prop::sample`).
+pub mod sample {
+    use super::strategy::Strategy;
+    use super::test_runner::TestRng;
+
+    /// Pick one of `options` uniformly. Panics if `options` is empty.
+    pub fn select<T: Clone>(options: Vec<T>) -> Select<T> {
+        assert!(!options.is_empty(), "sample::select: empty options");
+        Select { options }
+    }
+
+    /// Strategy returned by [`select`].
+    #[derive(Debug, Clone)]
+    pub struct Select<T> {
+        options: Vec<T>,
+    }
+
+    impl<T: Clone> Strategy for Select<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            self.options[rng.gen_range(0..self.options.len())].clone()
+        }
+    }
+}
+
+/// Boolean strategies (`prop::bool`).
+pub mod bool {
+    use super::strategy::Strategy;
+    use super::test_runner::TestRng;
+
+    /// Strategy generating `true` or `false` with equal probability.
+    #[derive(Debug, Clone, Copy)]
+    pub struct Any;
+
+    /// The any-bool strategy.
+    pub const ANY: Any = Any;
+
+    impl Strategy for Any {
+        type Value = bool;
+        fn generate(&self, rng: &mut TestRng) -> bool {
+            rng.gen_range(0u32..2) == 1
+        }
+    }
+}
+
+/// Test-runner configuration and the per-test RNG.
+pub mod test_runner {
+    use super::{Rng, SeedableRng, StdRng};
+
+    /// Runner configuration (subset: case count only).
+    #[derive(Debug, Clone)]
+    pub struct ProptestConfig {
+        /// Number of generated cases per test.
+        pub cases: u32,
+    }
+
+    impl ProptestConfig {
+        /// A config running `cases` cases per test.
+        pub fn with_cases(cases: u32) -> Self {
+            ProptestConfig { cases }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            // Upstream defaults to 256; 64 keeps the deterministic suite fast
+            // while still exercising each property across a spread of inputs.
+            ProptestConfig { cases: 64 }
+        }
+    }
+
+    /// Per-test-case deterministic RNG.
+    ///
+    /// Seeded from the test's module path + name and the case index, so every
+    /// run of the suite generates the same inputs.
+    #[derive(Debug, Clone)]
+    pub struct TestRng(StdRng);
+
+    impl TestRng {
+        /// RNG for case number `case` of the test identified by `name`.
+        pub fn for_case(name: &str, case: u64) -> Self {
+            // FNV-1a over the test identity, mixed with the case index.
+            let mut h = 0xcbf2_9ce4_8422_2325u64;
+            for b in name.bytes() {
+                h ^= b as u64;
+                h = h.wrapping_mul(0x0000_0100_0000_01B3);
+            }
+            TestRng(StdRng::seed_from_u64(
+                h ^ case.wrapping_mul(0x9E37_79B9_7F4A_7C15),
+            ))
+        }
+
+        /// A uniform sample from `range`.
+        pub fn gen_range<T, S>(&mut self, range: S) -> T
+        where
+            S: rand::uniform::SampleRange<T>,
+        {
+            self.0.gen_range(range)
+        }
+    }
+}
+
+/// The strategy namespace re-exported by the prelude as `prop`.
+pub mod prop {
+    pub use super::bool;
+    pub use super::collection;
+    pub use super::sample;
+}
+
+/// Everything a property-test file needs.
+pub mod prelude {
+    pub use super::prop;
+    pub use super::strategy::Strategy;
+    pub use super::test_runner::ProptestConfig;
+    pub use super::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+}
+
+/// Define deterministic property tests.
+///
+/// Supports the upstream surface the workspace uses:
+///
+/// ```ignore
+/// proptest! {
+///     #![proptest_config(ProptestConfig::with_cases(64))] // optional
+///     /// doc comments allowed
+///     #[test]
+///     fn my_property(x in 0i32..10, v in prop::collection::vec(0u64..5, 0..20)) {
+///         prop_assert!(x >= 0);
+///     }
+/// }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl!(($cfg) $($rest)*);
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl!(($crate::test_runner::ProptestConfig::default()) $($rest)*);
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (($cfg:expr)) => {};
+    (($cfg:expr)
+     $(#[$meta:meta])*
+     fn $name:ident($($arg:ident in $strat:expr),* $(,)?) $body:block
+     $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let __config: $crate::test_runner::ProptestConfig = $cfg;
+            let __strategies = ($($strat,)*);
+            for __case in 0..__config.cases {
+                let mut __rng = $crate::test_runner::TestRng::for_case(
+                    concat!(module_path!(), "::", stringify!($name)),
+                    __case as u64,
+                );
+                let ($($arg,)*) = {
+                    let ($(ref $arg,)*) = __strategies;
+                    ($($crate::strategy::Strategy::generate($arg, &mut __rng),)*)
+                };
+                $body
+            }
+        }
+        $crate::__proptest_impl!(($cfg) $($rest)*);
+    };
+}
+
+/// Assert a property holds (plain `assert!` in this subset).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($args:tt)*) => { assert!($($args)*) };
+}
+
+/// Assert two values are equal (plain `assert_eq!` in this subset).
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($args:tt)*) => { assert_eq!($($args)*) };
+}
+
+/// Assert two values differ (plain `assert_ne!` in this subset).
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($args:tt)*) => { assert_ne!($($args)*) };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #[test]
+        fn ranges_and_tuples(x in -5i32..5, pair in (0u64..3, 1usize..=4)) {
+            prop_assert!((-5..5).contains(&x));
+            prop_assert!(pair.0 < 3);
+            prop_assert!((1..=4).contains(&pair.1));
+        }
+
+        #[test]
+        fn vectors_respect_length(v in prop::collection::vec(0i32..10, 2..6)) {
+            prop_assert!(v.len() >= 2 && v.len() < 6);
+            prop_assert!(v.iter().all(|&x| (0..10).contains(&x)));
+        }
+
+        #[test]
+        fn select_and_bool(word in prop::sample::select(vec!["a", "b"]), flag in prop::bool::ANY) {
+            prop_assert!(word == "a" || word == "b");
+            let _ = flag;
+        }
+
+        #[test]
+        fn string_pattern_length(s in ".{0,20}") {
+            prop_assert!(s.chars().count() <= 20);
+        }
+
+        #[test]
+        fn prop_map_applies(doubled in (0i32..10).prop_map(|x| x * 2)) {
+            prop_assert_eq!(doubled % 2, 0);
+            prop_assert_ne!(doubled, 21);
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(3))]
+        #[test]
+        fn config_is_respected(x in 0i32..100) {
+            let _ = x;
+        }
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        use crate::strategy::Strategy;
+        use crate::test_runner::TestRng;
+        let strat = crate::collection::vec(0i32..1000, 5..6);
+        let a = strat.generate(&mut TestRng::for_case("t", 0));
+        let b = strat.generate(&mut TestRng::for_case("t", 0));
+        let c = strat.generate(&mut TestRng::for_case("t", 1));
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+}

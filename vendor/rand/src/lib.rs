@@ -1,0 +1,230 @@
+//! Offline drop-in subset of the `rand` 0.8 API.
+//!
+//! The build environment has no access to the crates.io registry, so this
+//! vendored crate provides exactly the surface the workspace uses:
+//! [`rngs::StdRng`], [`SeedableRng::seed_from_u64`], and
+//! [`Rng::gen_range`] over integer (and `f64`) ranges.
+//!
+//! The generator is xoshiro256** seeded through SplitMix64 — a different
+//! stream than upstream `StdRng` (which is ChaCha12), but the workspace only
+//! requires *determinism* (same seed ⇒ same database), not upstream
+//! bit-compatibility. Range sampling uses the widening-multiply method; it is
+//! deterministic and unbiased to within 2⁻⁶⁴.
+
+#![warn(missing_docs)]
+
+/// Concrete generator types.
+pub mod rngs {
+    /// A deterministic pseudo-random generator (xoshiro256**).
+    ///
+    /// Construct with [`crate::SeedableRng::seed_from_u64`]; the same seed
+    /// always produces the same stream on every platform.
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        pub(crate) state: [u64; 4],
+    }
+
+    impl StdRng {
+        /// Next raw 64-bit output of the generator.
+        pub fn next_u64(&mut self) -> u64 {
+            let s = &mut self.state;
+            let result = s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+            let t = s[1] << 17;
+            s[2] ^= s[0];
+            s[3] ^= s[1];
+            s[1] ^= s[2];
+            s[0] ^= s[3];
+            s[2] ^= t;
+            s[3] = s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+/// A generator that can be constructed from a `u64` seed.
+pub trait SeedableRng: Sized {
+    /// Build a generator whose stream is fully determined by `seed`.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+impl SeedableRng for rngs::StdRng {
+    fn seed_from_u64(seed: u64) -> Self {
+        // SplitMix64 expansion of the seed into the xoshiro state, as
+        // recommended by the xoshiro authors.
+        let mut x = seed;
+        let mut next = move || {
+            x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = x;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        };
+        let state = [next(), next(), next(), next()];
+        rngs::StdRng { state }
+    }
+}
+
+/// Uniform range sampling, mirroring `rand::distributions::uniform`.
+pub mod uniform {
+    use crate::Rng;
+
+    /// Types that can be sampled uniformly from a range.
+    pub trait SampleUniform: Copy + PartialOrd {
+        /// A uniform sample from `[lo, hi]` if `inclusive`, else `[lo, hi)`.
+        /// Panics on an empty range.
+        fn sample_uniform<R: Rng + ?Sized>(rng: &mut R, lo: Self, hi: Self, inclusive: bool)
+            -> Self;
+    }
+
+    /// A range that can produce a uniformly distributed `T`.
+    ///
+    /// Blanket-implemented for `Range<T>` and `RangeInclusive<T>` over any
+    /// [`SampleUniform`] `T` — a single impl per range shape, so integer
+    /// literal inference flows through `gen_range` exactly as with upstream
+    /// rand (`base + rng.gen_range(30..=90)` infers the range as `usize`).
+    pub trait SampleRange<T> {
+        /// Draw one sample from the range. Panics on an empty range.
+        fn sample_single<R: Rng + ?Sized>(self, rng: &mut R) -> T;
+    }
+
+    impl<T: SampleUniform> SampleRange<T> for core::ops::Range<T> {
+        fn sample_single<R: Rng + ?Sized>(self, rng: &mut R) -> T {
+            T::sample_uniform(rng, self.start, self.end, false)
+        }
+    }
+
+    impl<T: SampleUniform> SampleRange<T> for core::ops::RangeInclusive<T> {
+        fn sample_single<R: Rng + ?Sized>(self, rng: &mut R) -> T {
+            T::sample_uniform(rng, *self.start(), *self.end(), true)
+        }
+    }
+
+    // Widening-multiply mapping of a raw u64 onto [0, span).
+    pub(crate) fn below<R: Rng + ?Sized>(rng: &mut R, span: u64) -> u64 {
+        debug_assert!(span > 0);
+        ((rng.next_u64() as u128 * span as u128) >> 64) as u64
+    }
+
+    macro_rules! impl_sample_uniform_int {
+        ($($t:ty),*) => {$(
+            impl SampleUniform for $t {
+                fn sample_uniform<R: Rng + ?Sized>(
+                    rng: &mut R,
+                    lo: Self,
+                    hi: Self,
+                    inclusive: bool,
+                ) -> Self {
+                    if inclusive {
+                        assert!(lo <= hi, "gen_range: empty range");
+                        let span = (hi as i128 - lo as i128) as u128 + 1;
+                        if span > u64::MAX as u128 {
+                            // Full-width range: every u64 is a valid offset.
+                            return (lo as i128 + rng.next_u64() as i128) as $t;
+                        }
+                        (lo as i128 + below(rng, span as u64) as i128) as $t
+                    } else {
+                        assert!(lo < hi, "gen_range: empty range");
+                        let span = (hi as i128 - lo as i128) as u64;
+                        (lo as i128 + below(rng, span) as i128) as $t
+                    }
+                }
+            }
+        )*};
+    }
+
+    impl_sample_uniform_int!(i8, i16, i32, i64, u8, u16, u32, u64, usize, isize);
+
+    impl SampleUniform for f64 {
+        fn sample_uniform<R: Rng + ?Sized>(rng: &mut R, lo: Self, hi: Self, _inclusive: bool)
+            -> Self {
+            assert!(lo < hi, "gen_range: empty range");
+            let frac = (rng.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
+            lo + frac * (hi - lo)
+        }
+    }
+}
+
+/// User-facing generator methods, mirroring `rand::Rng`.
+pub trait Rng {
+    /// Next raw 64-bit output.
+    fn next_u64(&mut self) -> u64;
+
+    /// A uniform sample from `range` (`Range` or `RangeInclusive`).
+    fn gen_range<T, S>(&mut self, range: S) -> T
+    where
+        S: uniform::SampleRange<T>,
+        Self: Sized,
+    {
+        range.sample_single(self)
+    }
+
+    /// `true` with probability `p`.
+    fn gen_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        assert!((0.0..=1.0).contains(&p), "gen_bool: p not in [0, 1]");
+        let frac = (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
+        frac < p
+    }
+}
+
+impl Rng for rngs::StdRng {
+    fn next_u64(&mut self) -> u64 {
+        rngs::StdRng::next_u64(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..64 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = StdRng::seed_from_u64(1);
+        let mut b = StdRng::seed_from_u64(2);
+        assert!((0..8).any(|_| a.next_u64() != b.next_u64()));
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..10_000 {
+            let v = rng.gen_range(-5i32..5);
+            assert!((-5..5).contains(&v));
+            let w = rng.gen_range(1u32..=50);
+            assert!((1..=50).contains(&w));
+            let u = rng.gen_range(0usize..3);
+            assert!(u < 3);
+            let f = rng.gen_range(0.0f64..1.0);
+            assert!((0.0..1.0).contains(&f));
+        }
+    }
+
+    #[test]
+    fn inclusive_range_reaches_both_ends() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut seen = [false; 3];
+        for _ in 0..1_000 {
+            seen[rng.gen_range(0usize..=2)] = true;
+        }
+        assert_eq!(seen, [true; 3]);
+    }
+
+    #[test]
+    fn gen_bool_extremes() {
+        let mut rng = StdRng::seed_from_u64(9);
+        assert!(!(0..100).any(|_| rng.gen_bool(0.0)));
+        assert!((0..100).all(|_| rng.gen_bool(1.0)));
+    }
+}
