@@ -1,0 +1,224 @@
+//! Chaos sweep over seeded fault plans (DESIGN.md §8).
+//!
+//! Runs a workload once fault-free, then once per seed under a seeded
+//! [`FaultPlan`], and checks the differential and accounting invariants
+//! after every run. Exit status 1 if any invariant is violated.
+//!
+//! ```text
+//! cargo run -p robustq-bench --release --bin chaos
+//! cargo run -p robustq-bench --release --bin chaos -- --seeds 200 --base-seed 0
+//! cargo run -p robustq-bench --release --bin chaos -- --workload micro --users 4
+//! ```
+
+use std::collections::BTreeMap;
+
+use robustq_core::Strategy;
+use robustq_engine::plan::PlanNode;
+use robustq_sim::{FaultPlan, FaultSpec, SimConfig, VirtualTime};
+use robustq_storage::gen::ssb::SsbGenerator;
+use robustq_storage::Database;
+use robustq_workloads::{micro, ssb, RunReport, RunnerConfig, WorkloadRunner};
+
+struct Args {
+    seeds: u64,
+    base_seed: u64,
+    workload: String,
+    users: usize,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args =
+        Args { seeds: 100, base_seed: 0, workload: "ssb".to_string(), users: 2 };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| {
+            it.next().ok_or_else(|| format!("{name} needs a value"))
+        };
+        match flag.as_str() {
+            "--seeds" => args.seeds = value("--seeds")?.parse().map_err(|e| format!("--seeds: {e}"))?,
+            "--base-seed" => {
+                args.base_seed =
+                    value("--base-seed")?.parse().map_err(|e| format!("--base-seed: {e}"))?
+            }
+            "--workload" => args.workload = value("--workload")?,
+            "--users" => args.users = value("--users")?.parse().map_err(|e| format!("--users: {e}"))?,
+            other => return Err(format!("unknown flag {other:?}")),
+        }
+    }
+    Ok(args)
+}
+
+/// The same five fault-model shapes the `chaos` test suite cycles over.
+fn spec_for(seed: u64, horizon: VirtualTime) -> FaultSpec {
+    let mut spec = FaultSpec::default();
+    match seed % 5 {
+        0 => spec.alloc_fail_prob = 0.25,
+        1 => {
+            spec.transfer_transient_prob = 0.15;
+            spec.transfer_permanent_prob = 0.05;
+            spec.transfer_spike_prob = 0.10;
+            spec.transfer_spike_factor = 5.0;
+        }
+        2 => spec.kernel_abort_prob = 0.25,
+        3 => {
+            spec.random_stalls = 4;
+            spec.stall_horizon = horizon;
+            spec.stall_len = (
+                VirtualTime::from_nanos(1 + horizon.as_nanos() / 50),
+                VirtualTime::from_nanos(1 + horizon.as_nanos() / 10),
+            );
+        }
+        _ => {
+            spec.alloc_fail_prob = 0.05;
+            spec.alloc_fail_stages = vec![2];
+            spec.transfer_transient_prob = 0.05;
+            spec.transfer_spike_prob = 0.05;
+            spec.transfer_spike_factor = 3.0;
+            spec.kernel_abort_prob = 0.05;
+            spec.random_stalls = 1;
+            spec.stall_horizon = horizon;
+            spec.stall_len =
+                (VirtualTime::from_nanos(1 + horizon.as_nanos() / 20), VirtualTime::ZERO);
+        }
+    }
+    spec
+}
+
+const SHAPES: [&str; 5] = ["alloc", "transfer", "kernel", "stall", "mixed"];
+
+/// Check every chaos invariant; returns human-readable violations.
+fn check(
+    report: &RunReport,
+    baseline: &BTreeMap<(usize, usize), (usize, u64)>,
+) -> Vec<String> {
+    let m = &report.metrics;
+    let mut bad = Vec::new();
+    let mut push = |cond: bool, msg: String| {
+        if !cond {
+            bad.push(msg);
+        }
+    };
+
+    push(
+        report.outcomes.len() == baseline.len(),
+        format!("outcome count {} != {}", report.outcomes.len(), baseline.len()),
+    );
+    for o in &report.outcomes {
+        match baseline.get(&(o.session, o.seq)) {
+            Some(&(rows, checksum)) => {
+                push(
+                    o.rows == rows && o.checksum == checksum,
+                    format!("query ({}, {}) result drifted under faults", o.session, o.seq),
+                );
+            }
+            None => push(false, format!("unknown slot ({}, {})", o.session, o.seq)),
+        }
+    }
+    push(m.gpu_heap_leaked == 0, format!("heap leaked {} bytes", m.gpu_heap_leaked));
+    push(m.h2d_bytes == m.link_h2d.bytes, "H2D byte accounting split".into());
+    push(m.d2h_bytes == m.link_d2h.bytes, "D2H byte accounting split".into());
+    push(m.h2d_time == m.link_h2d.busy_time, "H2D time accounting split".into());
+    push(m.d2h_time == m.link_d2h.busy_time, "D2H time accounting split".into());
+    push(
+        m.faults.injected == m.fault_stats.injected,
+        format!(
+            "executor injected {} != plan injected {}",
+            m.faults.injected, m.fault_stats.injected
+        ),
+    );
+    push(
+        m.faults.retries <= m.fault_stats.transfer_transient,
+        "more retries than transient faults".into(),
+    );
+    push(m.aborts >= m.faults.fallbacks, "fallbacks without aborts".into());
+    push(m.wasted_time <= m.total_device_time(), "wasted time exceeds device time".into());
+    bad
+}
+
+fn main() {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("chaos: {e}");
+            std::process::exit(2);
+        }
+    };
+
+    let db: Database = SsbGenerator::new(1).with_rows_per_sf(1_000).generate();
+    let queries: Vec<PlanNode> = match args.workload.as_str() {
+        "ssb" => ssb::workload(&db).expect("SSB plans"),
+        "micro" => micro::parallel_selection_workload(12),
+        other => {
+            eprintln!("chaos: unknown workload {other:?}; known: ssb, micro");
+            std::process::exit(2);
+        }
+    };
+
+    let sim = SimConfig::default().with_gpu_memory(512 * 1024).with_gpu_cache(256 * 1024);
+    let runner = WorkloadRunner::new(&db, sim);
+    let cfg = RunnerConfig::default().with_users(args.users);
+    let baseline = runner
+        .run(&queries, Strategy::GpuPreferred, &cfg)
+        .expect("fault-free baseline run");
+    let map: BTreeMap<(usize, usize), (usize, u64)> = baseline
+        .outcomes
+        .iter()
+        .map(|o| ((o.session, o.seq), (o.rows, o.checksum)))
+        .collect();
+    let horizon = baseline.metrics.makespan.max(VirtualTime::from_micros(1));
+
+    println!(
+        "chaos: workload={} users={} seeds={}..{}",
+        args.workload,
+        args.users,
+        args.base_seed,
+        args.base_seed + args.seeds
+    );
+
+    // Totals per fault-model shape, printed as a deterministic summary.
+    let mut injected = [0u64; 5];
+    let mut retries = [0u64; 5];
+    let mut fallbacks = [0u64; 5];
+    let mut runs = [0u64; 5];
+    let mut violations = 0u64;
+    for i in 0..args.seeds {
+        let seed = args.base_seed + i;
+        let shape = (seed % 5) as usize;
+        let plan = FaultPlan::new(seed, spec_for(seed, horizon));
+        let cfg =
+            RunnerConfig::default().with_users(args.users).with_fault_plan(plan);
+        let report = match runner.run(&queries, Strategy::GpuPreferred, &cfg) {
+            Ok(r) => r,
+            Err(e) => {
+                println!("seed {seed}: run failed: {e}");
+                violations += 1;
+                continue;
+            }
+        };
+        for msg in check(&report, &map) {
+            println!("seed {seed}: VIOLATION: {msg}");
+            violations += 1;
+        }
+        runs[shape] += 1;
+        injected[shape] += report.metrics.faults.injected;
+        retries[shape] += report.metrics.faults.retries;
+        fallbacks[shape] += report.metrics.faults.fallbacks;
+    }
+
+    println!("shape      runs   injected   retries   fallbacks");
+    for (i, name) in SHAPES.iter().enumerate() {
+        println!(
+            "{name:<9} {:>5} {:>10} {:>9} {:>11}",
+            runs[i], injected[i], retries[i], fallbacks[i]
+        );
+    }
+    let total: u64 = injected.iter().sum();
+    println!("total injected: {total}, violations: {violations}");
+    if violations > 0 {
+        std::process::exit(1);
+    }
+    if total == 0 {
+        eprintln!("chaos: sweep injected nothing — vacuous configuration");
+        std::process::exit(1);
+    }
+}

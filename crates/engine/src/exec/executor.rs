@@ -17,14 +17,14 @@
 
 use crate::batch::Chunk;
 use crate::estimate;
-use crate::exec::metrics::{QueryOutcome, RunMetrics};
+use crate::exec::metrics::{FaultCounters, QueryOutcome, RunMetrics};
 use crate::exec::policy::{PlacementPolicy, PolicyCtx, TaskInfo};
 use crate::exec::task::{flatten, TaskNode};
 use crate::parallel::ParallelCtx;
 use crate::plan::PlanNode;
 use robustq_sim::{
-    CacheKey, CostModel, DataCache, DeviceId, DeviceKind, Direction, EventQueue, HeapAllocator,
-    Interconnect, SimConfig, VirtualTime,
+    CacheKey, CostModel, DataCache, DeviceId, DeviceKind, Direction, EventQueue, FaultPlan,
+    HeapAllocator, Interconnect, RetryPolicy, SimConfig, TransferFault, VirtualTime,
 };
 use robustq_storage::{ColumnId, Database};
 use std::collections::VecDeque;
@@ -50,6 +50,14 @@ pub struct ExecOptions {
     /// bit-identical to serial, and *virtual* time comes from the cost
     /// model either way. Defaults to serial.
     pub parallel: ParallelCtx,
+    /// Deterministic fault injection (chaos testing, DESIGN.md §8). The
+    /// executor clones the plan at run start; with the default
+    /// [`FaultPlan::disabled`] the fault layer is provably zero-cost —
+    /// no generator draws, bit-identical runs.
+    pub fault: FaultPlan,
+    /// Recovery policy for transient transfer faults: bounded
+    /// retry-with-backoff in virtual time.
+    pub retry: RetryPolicy,
 }
 
 impl Default for ExecOptions {
@@ -60,6 +68,8 @@ impl Default for ExecOptions {
             max_concurrent_queries: usize::MAX,
             preload: Vec::new(),
             parallel: ParallelCtx::serial(),
+            fault: FaultPlan::disabled(),
+            retry: RetryPolicy::default(),
         }
     }
 }
@@ -147,6 +157,9 @@ struct Sim<'a, 'p> {
     cache: &'a mut DataCache,
     gpu_heap: HeapAllocator,
     link: Interconnect,
+    fault: FaultPlan,
+    /// Per-query fault counters, indexed by query id.
+    query_faults: Vec<FaultCounters>,
     events: EventQueue<Ev>,
     tasks: Vec<TaskState>,
     queries: Vec<QueryState>,
@@ -230,6 +243,8 @@ impl<'a> Executor<'a> {
             cache,
             gpu_heap: HeapAllocator::new(self.config.gpu.heap_bytes()),
             link: Interconnect::new(self.config.link),
+            fault: opts.fault.clone(),
+            query_faults: Vec::new(),
             events: EventQueue::new(),
             tasks: Vec::new(),
             queries: Vec::new(),
@@ -275,6 +290,8 @@ impl Sim<'_, '_> {
                 }
                 Ev::QueryDone { query } => self.on_query_done(query)?,
             }
+            #[cfg(debug_assertions)]
+            self.audit();
         }
 
         if self.outcomes.len() != total_queries {
@@ -288,6 +305,10 @@ impl Sim<'_, '_> {
         self.metrics.cache_hits = hits;
         self.metrics.cache_misses = misses;
         self.metrics.gpu_heap_peak = self.gpu_heap.peak();
+        self.metrics.gpu_heap_leaked = self.gpu_heap.used();
+        self.metrics.fault_stats = *self.fault.stats();
+        self.metrics.link_h2d = self.link.stats(Direction::HostToDevice);
+        self.metrics.link_d2h = self.link.stats(Direction::DeviceToHost);
         debug_assert_eq!(
             self.gpu_heap.used(),
             0,
@@ -398,6 +419,7 @@ impl Sim<'_, '_> {
         }
         let root = self.tasks.len() - 1;
         self.queries.push(QueryState { session, seq, root, submit_time });
+        self.query_faults.push(FaultCounters::default());
         self.active_queries += 1;
 
         // Compile-time placement pass.
@@ -518,6 +540,169 @@ impl Sim<'_, '_> {
         (task as u64) * 2 + 1
     }
 
+    /// Record one fired injection, attributed to `query` when known.
+    fn note_injected(&mut self, query: Option<usize>) {
+        self.metrics.faults.injected += 1;
+        if let Some(q) = query {
+            self.query_faults[q].injected += 1;
+        }
+    }
+
+    /// Record one scheduled transfer retry.
+    fn note_retry(&mut self, query: Option<usize>) {
+        self.metrics.faults.retries += 1;
+        if let Some(q) = query {
+            self.query_faults[q].retries += 1;
+        }
+    }
+
+    /// Record virtual time lost to injections.
+    fn note_injected_wasted(&mut self, query: Option<usize>, t: VirtualTime) {
+        self.metrics.faults.injected_wasted += t;
+        if let Some(q) = query {
+            self.query_faults[q].injected_wasted += t;
+        }
+    }
+
+    /// Charge one transfer attempt to the run metrics.
+    fn charge_transfer(&mut self, dir: Direction, service: VirtualTime, bytes: u64) {
+        match dir {
+            Direction::HostToDevice => {
+                self.metrics.h2d_time += service;
+                self.metrics.h2d_bytes += bytes;
+            }
+            Direction::DeviceToHost => {
+                self.metrics.d2h_time += service;
+                self.metrics.d2h_bytes += bytes;
+            }
+        }
+    }
+
+    /// A co-processor heap allocation attempt that the fault layer may
+    /// fail. `stage` is the staged-allocation step (0 = upfront slice,
+    /// 1..=3 = mid-execution growth); on an injected failure `injected`
+    /// is set so the abort's waste can be attributed to the injection.
+    fn alloc_or_inject(
+        &mut self,
+        tag: u64,
+        bytes: u64,
+        stage: u32,
+        query: usize,
+        injected: &mut bool,
+    ) -> bool {
+        if self.fault.fail_alloc(stage) {
+            self.note_injected(Some(query));
+            *injected = true;
+            return false;
+        }
+        self.gpu_heap.try_alloc(tag, bytes)
+    }
+
+    /// One logical transfer over the link, with fault injection and
+    /// bounded retry-with-backoff in *virtual* time (every failed
+    /// attempt occupies the FIFO for its full service window, then the
+    /// retry waits out an exponential backoff).
+    ///
+    /// Returns `Some(end)` when the payload arrived. Returns `None` —
+    /// only possible when `abortable` — for a permanent fault or for
+    /// transient faults exhausting the retry budget; the caller then
+    /// aborts the operator to the CPU. Non-abortable transfers (results
+    /// returning to the host, background placement traffic) always
+    /// complete: permanent faults degrade to transient and the fault
+    /// layer stops injecting once the budget is spent.
+    fn xfer(
+        &mut self,
+        now: VirtualTime,
+        dir: Direction,
+        bytes: u64,
+        query: Option<usize>,
+        abortable: bool,
+    ) -> Option<VirtualTime> {
+        let mut at = now;
+        let mut failures: u32 = 0;
+        loop {
+            let decision = if failures > self.opts.retry.max_retries {
+                None // budget spent: durable transfers complete clean
+            } else {
+                match self.fault.transfer_fault(dir) {
+                    Some(TransferFault::Permanent) if !abortable => {
+                        Some(TransferFault::Transient)
+                    }
+                    d => d,
+                }
+            };
+            match decision {
+                None => {
+                    let tr = self.link.transfer(at, dir, bytes);
+                    self.charge_transfer(dir, tr.service, bytes);
+                    return Some(tr.end);
+                }
+                Some(TransferFault::Spike(f)) => {
+                    let tr = self.link.transfer_scaled(at, dir, bytes, f);
+                    self.charge_transfer(dir, tr.service, bytes);
+                    let clean = self.link.params().service_time(bytes);
+                    self.note_injected(query);
+                    self.note_injected_wasted(query, tr.service.saturating_sub(clean));
+                    return Some(tr.end);
+                }
+                Some(TransferFault::Permanent) => {
+                    // The link errors out before the payload moves.
+                    self.note_injected(query);
+                    return None;
+                }
+                Some(TransferFault::Transient) => {
+                    // The failed attempt still occupied the bus.
+                    let tr = self.link.transfer(at, dir, bytes);
+                    self.charge_transfer(dir, tr.service, bytes);
+                    self.note_injected(query);
+                    failures += 1;
+                    if abortable && failures > self.opts.retry.max_retries {
+                        self.note_injected_wasted(query, tr.service);
+                        return None;
+                    }
+                    let backoff = self.opts.retry.backoff(failures);
+                    self.note_retry(query);
+                    self.note_injected_wasted(query, tr.service + backoff);
+                    at = tr.end + backoff;
+                }
+            }
+        }
+    }
+
+    /// Heap, cache and link accounting invariants, re-checked after
+    /// every simulation event in debug builds (tests and chaos runs).
+    #[cfg(debug_assertions)]
+    fn audit(&self) {
+        assert_eq!(
+            self.gpu_heap.used(),
+            self.gpu_heap.accounted_bytes(),
+            "heap conservation: used must equal the sum of live tags"
+        );
+        assert!(
+            self.gpu_heap.used() <= self.gpu_heap.capacity(),
+            "heap overcommitted"
+        );
+        assert_eq!(
+            self.cache.used(),
+            self.cache.accounted_bytes(),
+            "cache accounting: used must equal the sum of resident entries"
+        );
+        assert!(self.cache.used() <= self.cache.capacity(), "cache overcommitted");
+        for dir in [Direction::HostToDevice, Direction::DeviceToHost] {
+            let s = self.link.stats(dir);
+            assert!(
+                s.transfers > 0 || (s.bytes == 0 && s.busy_time == VirtualTime::ZERO),
+                "link stats: traffic without transfers"
+            );
+            // Each transfer advances busy_until by at least its service
+            // time, so the FIFO horizon dominates accumulated service.
+            assert!(
+                self.link.busy_until(dir) >= s.busy_time,
+                "link busy_until fell behind accumulated service time"
+            );
+        }
+    }
+
     fn start_task(&mut self, task: usize, device: DeviceId) -> Result<(), String> {
         let now = self.now;
         self.running[device.index()] += 1;
@@ -577,23 +762,31 @@ impl Sim<'_, '_> {
             // the wasted time of Figure 20, possible.
             let stage = footprint * 3 / 10;
             let tag = Self::working_tag(task);
-            let ok = self.gpu_heap.try_alloc(tag, input_transfer_bytes)
-                && self.gpu_heap.try_alloc(tag, footprint - 3 * stage);
+            let query = self.tasks[task].query;
+            let mut injected = false;
+            let ok = self.alloc_or_inject(tag, input_transfer_bytes, 0, query, &mut injected)
+                && self.alloc_or_inject(tag, footprint - 3 * stage, 0, query, &mut injected);
             if !ok {
-                self.abort_task(task)?;
+                self.abort_task(task, injected)?;
                 return Ok(());
             }
 
-            // Base columns: probe the cache, transfer on miss.
+            // Base columns: probe the cache, transfer on miss. A
+            // permanent transfer fault aborts the operator to the CPU,
+            // exactly like a failed allocation.
             let caches_on_miss = self.policy.caches_on_miss();
             for &col in &self.tasks[task].base_columns.clone() {
                 let key = CacheKey(col.0 as u64);
                 let bytes = self.db.column_size(col);
                 if !self.cache.probe(key) {
-                    let tr = self.link.transfer(now, Direction::HostToDevice, bytes);
-                    self.metrics.h2d_time += tr.service;
-                    self.metrics.h2d_bytes += bytes;
-                    ready_at = ready_at.max(tr.end);
+                    match self.xfer(now, Direction::HostToDevice, bytes, Some(query), true)
+                    {
+                        Some(end) => ready_at = ready_at.max(end),
+                        None => {
+                            self.abort_task(task, true)?;
+                            return Ok(());
+                        }
+                    }
                     if caches_on_miss {
                         self.cache.insert(key, bytes);
                     }
@@ -601,11 +794,19 @@ impl Sim<'_, '_> {
             }
             // Host-resident intermediate inputs cross the bus.
             if input_transfer_bytes > 0 {
-                let tr =
-                    self.link.transfer(now, Direction::HostToDevice, input_transfer_bytes);
-                self.metrics.h2d_time += tr.service;
-                self.metrics.h2d_bytes += input_transfer_bytes;
-                ready_at = ready_at.max(tr.end);
+                match self.xfer(
+                    now,
+                    Direction::HostToDevice,
+                    input_transfer_bytes,
+                    Some(query),
+                    true,
+                ) {
+                    Some(end) => ready_at = ready_at.max(end),
+                    None => {
+                        self.abort_task(task, true)?;
+                        return Ok(());
+                    }
+                }
             }
 
             let duration =
@@ -621,14 +822,17 @@ impl Sim<'_, '_> {
             let epoch = t.epoch;
             self.events.push(ready_at, Ev::ComputeStart { task, epoch });
         } else {
-            // CPU: pull any co-processor-resident inputs back to the host.
+            // CPU: pull any co-processor-resident inputs back to the
+            // host. These transfers are durable — the CPU is the fallback
+            // device, so its inputs must always arrive.
+            let query = self.tasks[task].query;
             for &c in &self.tasks[task].children.clone() {
                 if self.tasks[c].output_device == Some(DeviceId::Gpu) {
                     let bytes = self.d2h_consume_bytes(c);
-                    let tr = self.link.transfer(now, Direction::DeviceToHost, bytes);
-                    self.metrics.d2h_time += tr.service;
-                    self.metrics.d2h_bytes += bytes;
-                    ready_at = ready_at.max(tr.end);
+                    let end = self
+                        .xfer(now, Direction::DeviceToHost, bytes, Some(query), false)
+                        .expect("non-abortable transfers always complete");
+                    ready_at = ready_at.max(end);
                     self.gpu_heap.free_tag(Self::result_tag(c));
                     self.tasks[c].output_device = Some(DeviceId::Cpu);
                 }
@@ -653,6 +857,22 @@ impl Sim<'_, '_> {
             return Ok(());
         }
         let device = self.tasks[task].device.expect("computing task is placed");
+        let query = self.tasks[task].query;
+        let class = self.tasks[task].node.op.op_class();
+        if self.fault.abort_kernel(class, device) {
+            // Injected kernel fault: surfaces as an ordinary abort.
+            self.note_injected(Some(query));
+            self.abort_task(task, true)?;
+            return Ok(());
+        }
+        if let Some(until) = self.fault.stall_until(device, self.now) {
+            // The worker slot is stalled: the kernel launch is deferred
+            // to the end of the window, in virtual time.
+            self.note_injected(Some(query));
+            self.note_injected_wasted(Some(query), until - self.now);
+            self.events.push(until, Ev::ComputeStart { task, epoch });
+            return Ok(());
+        }
         self.advance(device);
         self.compute[device.index()].push(task);
         self.reschedule(device);
@@ -713,10 +933,20 @@ impl Sim<'_, '_> {
             } else {
                 self.tasks[t].milestones.pop();
                 let bytes = self.tasks[t].stage_bytes;
-                if !self.gpu_heap.try_alloc(Self::working_tag(t), bytes) {
+                // Growth stages are numbered 1..=3 after the pop.
+                let stage = (3 - self.tasks[t].milestones.len()) as u32;
+                let query = self.tasks[t].query;
+                let mut injected = false;
+                if !self.alloc_or_inject(
+                    Self::working_tag(t),
+                    bytes,
+                    stage,
+                    query,
+                    &mut injected,
+                ) {
                     // Mid-flight out-of-memory: the heap-contention abort.
                     self.compute[di].retain(|&x| x != t);
-                    self.abort_task(t)?;
+                    self.abort_task(t, injected)?;
                 }
             }
         }
@@ -746,12 +976,21 @@ impl Sim<'_, '_> {
 
     /// Abort a co-processor operator and restart it on the CPU. The
     /// caller removes the task from the device's compute set when it was
-    /// already computing.
-    fn abort_task(&mut self, task: usize) -> Result<(), String> {
+    /// already computing. `injected` marks aborts forced by the fault
+    /// plan: the recovery path is identical (injected faults must be
+    /// indistinguishable downstream), only the accounting differs.
+    fn abort_task(&mut self, task: usize, injected: bool) -> Result<(), String> {
         let device = self.tasks[task].device.expect("aborting a placed task");
         debug_assert_eq!(device, DeviceId::Gpu, "only co-processor operators abort");
         self.metrics.aborts += 1;
-        self.metrics.wasted_time += self.now - self.tasks[task].start_time;
+        let wasted = self.now - self.tasks[task].start_time;
+        self.metrics.wasted_time += wasted;
+        let query = self.tasks[task].query;
+        self.metrics.faults.fallbacks += 1;
+        self.query_faults[query].fallbacks += 1;
+        if injected {
+            self.note_injected_wasted(Some(query), wasted);
+        }
         self.gpu_heap.free_tag(Self::working_tag(task));
         self.running[device.index()] -= 1;
         let t = &mut self.tasks[task];
@@ -815,12 +1054,14 @@ impl Sim<'_, '_> {
                 let mut done_at = self.now;
                 if device == DeviceId::Gpu {
                     let bytes = self.d2h_consume_bytes(task);
-                    let tr = self.link.transfer(self.now, Direction::DeviceToHost, bytes);
-                    self.metrics.d2h_time += tr.service;
-                    self.metrics.d2h_bytes += bytes;
+                    // Result transfers are durable: the fault layer only
+                    // delays them, never loses them.
+                    let end = self
+                        .xfer(self.now, Direction::DeviceToHost, bytes, Some(query), false)
+                        .expect("non-abortable transfers always complete");
                     self.gpu_heap.free_tag(Self::result_tag(task));
                     self.tasks[task].output_device = Some(DeviceId::Cpu);
-                    done_at = tr.end;
+                    done_at = end;
                 }
                 self.events.push(done_at, Ev::QueryDone { query });
             }
@@ -844,6 +1085,7 @@ impl Sim<'_, '_> {
             latency,
             rows: output.num_rows(),
             checksum: output.checksum(),
+            faults: self.query_faults[query],
             result: self.opts.capture_results.then_some(output),
         });
         self.active_queries -= 1;
@@ -857,9 +1099,9 @@ impl Sim<'_, '_> {
             let new_keys = self.policy.update_data_placement(self.db, self.cache);
             for key in new_keys {
                 let bytes = self.db.column_size(ColumnId(key.0 as u32));
-                let tr = self.link.transfer(self.now, Direction::HostToDevice, bytes);
-                self.metrics.h2d_time += tr.service;
-                self.metrics.h2d_bytes += bytes;
+                // Background placement transfers are durable and not
+                // attributed to any one query.
+                self.xfer(self.now, Direction::HostToDevice, bytes, None, false);
             }
         }
 

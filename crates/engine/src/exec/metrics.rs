@@ -5,7 +5,38 @@
 //! bytes, aborted-operator counts and the *wasted time* metric of
 //! Figure 20 (total time from operator begin to abort).
 
-use robustq_sim::{DeviceId, VirtualTime};
+use robustq_sim::{DeviceId, FaultStats, LinkStats, VirtualTime};
+
+/// Fault-recovery counters, kept per query and aggregated per run.
+///
+/// `injected` counts fault-layer decisions that fired (all kinds);
+/// `retries` counts transfer retry attempts scheduled by the bounded
+/// backoff policy; `fallbacks` counts operators restarted on the CPU
+/// after an abort (organic or injected); `injected_wasted` is virtual
+/// time lost *because of injections*: abort waste of injected aborts,
+/// stall-window waits, failed transfer attempts plus their backoff, and
+/// the excess service time of latency spikes.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FaultCounters {
+    /// Fault-layer decisions that fired.
+    pub injected: u64,
+    /// Transfer retries scheduled (each preceded by a transient fault).
+    pub retries: u64,
+    /// Operators restarted on the CPU after an abort.
+    pub fallbacks: u64,
+    /// Virtual time lost to injected faults.
+    pub injected_wasted: VirtualTime,
+}
+
+impl FaultCounters {
+    /// Accumulate `other` into `self`.
+    pub fn absorb(&mut self, other: &FaultCounters) {
+        self.injected += other.injected;
+        self.retries += other.retries;
+        self.fallbacks += other.fallbacks;
+        self.injected_wasted += other.injected_wasted;
+    }
+}
 
 /// Outcome of one executed query.
 #[derive(Debug, Clone)]
@@ -20,6 +51,8 @@ pub struct QueryOutcome {
     pub rows: usize,
     /// Order-insensitive result checksum.
     pub checksum: u64,
+    /// Fault-recovery counters attributed to this query.
+    pub faults: FaultCounters,
     /// Full result, when `ExecOptions::capture_results` is set.
     pub result: Option<crate::batch::Chunk>,
 }
@@ -53,6 +86,22 @@ pub struct RunMetrics {
     pub cache_misses: u64,
     /// Number of queries executed.
     pub queries: usize,
+    /// Aggregated fault-recovery counters (sum of per-query counters
+    /// plus injections not attributable to one query, e.g. on
+    /// placement-update transfers).
+    pub faults: FaultCounters,
+    /// Injection counters straight from the fault plan; cross-checks
+    /// `faults.injected` (chaos invariant: the two `injected` totals
+    /// are equal).
+    pub fault_stats: FaultStats,
+    /// Host→device link statistics as accounted by the interconnect
+    /// itself (chaos invariant: `link_h2d.bytes == h2d_bytes`).
+    pub link_h2d: LinkStats,
+    /// Device→host link statistics from the interconnect.
+    pub link_d2h: LinkStats,
+    /// Bytes still allocated on the co-processor heap after the run
+    /// drained (chaos invariant: zero — no leaked tags).
+    pub gpu_heap_leaked: u64,
 }
 
 impl RunMetrics {
@@ -65,6 +114,13 @@ impl RunMetrics {
     /// Total transfer service time in both directions.
     pub fn total_transfer_time(&self) -> VirtualTime {
         self.h2d_time + self.d2h_time
+    }
+
+    /// Total device time: busy time across devices plus abort waste.
+    /// By construction `wasted_time <= total_device_time()` — the
+    /// metrics-consistency invariant the chaos harness checks.
+    pub fn total_device_time(&self) -> VirtualTime {
+        self.device_busy[0] + self.device_busy[1] + self.wasted_time
     }
 
     /// Mean query latency over `outcomes`.
@@ -110,6 +166,7 @@ mod tests {
             latency: VirtualTime::from_millis(l),
             rows: 0,
             checksum: 0,
+            faults: FaultCounters::default(),
             result: None,
         };
         assert_eq!(

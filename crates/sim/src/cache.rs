@@ -198,10 +198,20 @@ impl DataCache {
             self.used -= e.bytes;
             evicted.push(k);
         }
-        // Pin already-resident entries in place.
-        for &k in new_keys.keys() {
-            if let Some(e) = self.entries.get_mut(&k) {
-                e.pinned = true;
+        // Pin already-resident entries in place. An entry resident at a
+        // *different* size than declared is dropped and re-cached below
+        // at the declared size — keeping it would let the pinned set
+        // exceed its declared budget (and strand the eviction loop with
+        // nothing left to evict).
+        for (&k, &bytes) in &new_keys {
+            match self.entries.get_mut(&k) {
+                Some(e) if e.bytes == bytes => e.pinned = true,
+                Some(_) => {
+                    let e = self.entries.remove(&k).expect("entry is resident");
+                    self.used -= e.bytes;
+                    evicted.push(k);
+                }
+                None => {}
             }
         }
         // Insert the missing ones, evicting unpinned entries as needed.
@@ -229,6 +239,25 @@ impl DataCache {
         newly_cached.sort();
         evicted.sort();
         (newly_cached, evicted)
+    }
+
+    /// Bytes held across all resident entries, recomputed from the entry
+    /// table. Accounting invariant (chaos/property tests):
+    /// `accounted_bytes() == used()` must hold after every operation.
+    pub fn accounted_bytes(&self) -> u64 {
+        self.entries.values().map(|e| e.bytes).sum()
+    }
+
+    /// Keys of all resident entries, sorted.
+    pub fn resident_keys(&self) -> Vec<CacheKey> {
+        let mut v: Vec<CacheKey> = self.entries.keys().copied().collect();
+        v.sort();
+        v
+    }
+
+    /// Bytes of `key` if resident.
+    pub fn bytes_of(&self, key: CacheKey) -> Option<u64> {
+        self.entries.get(&key).map(|e| e.bytes)
     }
 
     /// Keys of all pinned entries.
@@ -338,6 +367,19 @@ mod tests {
         let out = c.insert(k(4), 40);
         assert!(!out.inserted);
         assert!(c.contains(k(3)));
+    }
+
+    #[test]
+    fn pinning_a_resident_key_at_a_new_size_recaches_it() {
+        let mut c = DataCache::new(1_000, CachePolicy::Lru);
+        // Resident unpinned at 450 bytes; the pin declares it at 100.
+        assert!(c.insert(k(1), 450).inserted);
+        let (cached, evicted) = c.set_pinned(&[(k(1), 100), (k(2), 100)]);
+        assert_eq!(cached, vec![k(1), k(2)]);
+        assert_eq!(evicted, vec![k(1)]); // dropped at the old size
+        assert_eq!(c.bytes_of(k(1)), Some(100));
+        assert_eq!(c.used(), 200);
+        assert_eq!(c.used(), c.accounted_bytes());
     }
 
     #[test]

@@ -1,0 +1,598 @@
+//! Deterministic fault injection.
+//!
+//! The paper's robustness argument rests on operators *failing* — heap
+//! allocations that do not fit (Section 2.5.1), transfers that stall the
+//! bus, kernels that abort mid-flight — and on the placement strategies
+//! absorbing those failures gracefully (Figures 8, 13, 20). This module
+//! turns the simulator into a fault *injector*: a [`FaultPlan`] built from
+//! a seed and a declarative [`FaultSpec`] decides, deterministically,
+//! which allocation attempts fail, which transfers suffer transient or
+//! permanent errors or latency spikes, which device worker slots stall for
+//! virtual-time windows, and which kernels abort outright.
+//!
+//! Design rules:
+//!
+//! * **Pure virtual time.** Every trigger is a function of the seed, the
+//!   decision site and the per-site decision counter — never of wall
+//!   clock. Two runs with the same seed and the same workload make
+//!   identical decisions.
+//! * **Independent streams per site.** Allocation, transfer and kernel
+//!   decisions each consume their own counter, so adding (say) an extra
+//!   transfer to the executor does not reshuffle which allocation fails.
+//! * **Zero-cost when disabled.** [`FaultPlan::disabled`] short-circuits
+//!   every query without touching the generator: a run with a disabled
+//!   plan is bit-identical to a run on a build without the fault layer.
+//!
+//! The engine consults the plan; this module never schedules anything
+//! itself. Injected faults surface to the engine through the *same* code
+//! paths as organic ones (an injected allocation failure is just
+//! `try_alloc == false`), so recovery machinery cannot distinguish them —
+//! which is the point: chaos runs exercise exactly the production paths.
+
+use crate::costmodel::OpClass;
+use crate::device::DeviceId;
+use crate::link::Direction;
+use crate::time::VirtualTime;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// What the fault layer does to one transfer attempt.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum TransferFault {
+    /// The transfer fails after occupying the bus; a retry may succeed.
+    Transient,
+    /// The transfer can never complete (link error persists). Only
+    /// injected host→device; device→host faults degrade to transient so
+    /// results can always return to the host.
+    Permanent,
+    /// The transfer completes but its service time is multiplied by the
+    /// given factor (≥ 1) — a latency spike.
+    Spike(f64),
+}
+
+/// One virtual-time window during which a device's worker slots stall:
+/// operators scheduled on the device cannot start computing until the
+/// window closes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StallWindow {
+    /// The stalled device.
+    pub device: DeviceId,
+    /// Window start (inclusive).
+    pub from: VirtualTime,
+    /// Window end (exclusive) — compute resumes at this instant.
+    pub until: VirtualTime,
+}
+
+/// Declarative fault model. All probabilities are per *decision*
+/// (allocation attempt, transfer attempt, kernel start) in `[0, 1]`.
+///
+/// The default spec injects nothing; [`FaultPlan::new`] with a default
+/// spec behaves exactly like [`FaultPlan::disabled`] in effect (it draws
+/// from the generator but every decision comes out clean).
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultSpec {
+    /// Probability that any single co-processor heap allocation attempt
+    /// fails as if out of memory.
+    pub alloc_fail_prob: f64,
+    /// Staged-allocation steps that *always* fail (0 = the upfront input
+    /// slice, 1..=3 = the mid-execution growth stages). Targets the exact
+    /// abort point; useful for reproducing Figure 20's wasted-time shape.
+    pub alloc_fail_stages: Vec<u32>,
+    /// Probability a transfer attempt fails transiently (retryable).
+    pub transfer_transient_prob: f64,
+    /// Probability a host→device transfer fails permanently (the operator
+    /// must fall back to the CPU). Device→host draws of this class are
+    /// degraded to transient.
+    pub transfer_permanent_prob: f64,
+    /// Probability a transfer suffers a latency spike.
+    pub transfer_spike_prob: f64,
+    /// Maximum spike multiplier; the actual factor is drawn uniformly
+    /// from `[1, transfer_spike_factor]`. Values ≤ 1 disable spikes.
+    pub transfer_spike_factor: f64,
+    /// Probability a matching co-processor kernel aborts right before it
+    /// would start computing (after paying its transfers).
+    pub kernel_abort_prob: f64,
+    /// Operator classes `kernel_abort_prob` applies to; empty = all.
+    pub kernel_abort_classes: Vec<OpClass>,
+    /// Explicit stall windows (merged with any randomly generated ones).
+    pub stall_windows: Vec<StallWindow>,
+    /// Number of co-processor stall windows to generate from the seed.
+    pub random_stalls: u32,
+    /// Generated stall windows start uniformly in `[0, stall_horizon)`.
+    pub stall_horizon: VirtualTime,
+    /// Generated stall window length range (uniform).
+    pub stall_len: (VirtualTime, VirtualTime),
+}
+
+impl Default for FaultSpec {
+    fn default() -> Self {
+        FaultSpec {
+            alloc_fail_prob: 0.0,
+            alloc_fail_stages: Vec::new(),
+            transfer_transient_prob: 0.0,
+            transfer_permanent_prob: 0.0,
+            transfer_spike_prob: 0.0,
+            transfer_spike_factor: 1.0,
+            kernel_abort_prob: 0.0,
+            kernel_abort_classes: Vec::new(),
+            stall_windows: Vec::new(),
+            random_stalls: 0,
+            stall_horizon: VirtualTime::ZERO,
+            stall_len: (VirtualTime::ZERO, VirtualTime::ZERO),
+        }
+    }
+}
+
+/// Running injection counters, kept by the plan as it is consulted.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FaultStats {
+    /// Total faults injected (all kinds, spikes included).
+    pub injected: u64,
+    /// Allocation attempts failed by injection.
+    pub alloc_failures: u64,
+    /// Transient transfer faults injected.
+    pub transfer_transient: u64,
+    /// Permanent transfer faults injected.
+    pub transfer_permanent: u64,
+    /// Latency spikes injected.
+    pub transfer_spikes: u64,
+    /// Kernel aborts injected.
+    pub kernel_aborts: u64,
+    /// Virtual time operators spent waiting out stall windows.
+    pub stall_time: VirtualTime,
+}
+
+/// Decision-site families, each with an independent derived stream.
+#[derive(Clone, Copy)]
+enum Site {
+    Alloc = 0,
+    Transfer = 1,
+    Kernel = 2,
+}
+
+/// A seeded, deterministic fault plan.
+///
+/// Construct with [`FaultPlan::new`] (or [`FaultPlan::disabled`] for the
+/// no-op plan) and hand it to the executor; consult [`FaultPlan::stats`]
+/// afterwards. The executor clones the plan out of its options at run
+/// start, so a freshly built plan value can seed many runs; use
+/// [`FaultPlan::reset`] to replay a consulted plan from the top.
+#[derive(Debug, Clone)]
+pub struct FaultPlan {
+    spec: FaultSpec,
+    seed: u64,
+    enabled: bool,
+    stalls: Vec<StallWindow>,
+    counters: [u64; 3],
+    stats: FaultStats,
+}
+
+impl Default for FaultPlan {
+    fn default() -> Self {
+        FaultPlan::disabled()
+    }
+}
+
+impl FaultPlan {
+    /// The no-op plan: injects nothing, draws nothing, costs nothing.
+    pub fn disabled() -> Self {
+        FaultPlan {
+            spec: FaultSpec::default(),
+            seed: 0,
+            enabled: false,
+            stalls: Vec::new(),
+            counters: [0; 3],
+            stats: FaultStats::default(),
+        }
+    }
+
+    /// A plan whose every decision is determined by `seed` and `spec`.
+    pub fn new(seed: u64, spec: FaultSpec) -> Self {
+        let mut stalls = spec.stall_windows.clone();
+        if spec.random_stalls > 0 && spec.stall_horizon > VirtualTime::ZERO {
+            // Windows are derived from the seed once, up front, so they
+            // are independent of anything the run does.
+            let mut rng = StdRng::seed_from_u64(seed ^ STALL_STREAM_SALT);
+            for _ in 0..spec.random_stalls {
+                let from =
+                    VirtualTime::from_nanos(rng.gen_range(0..spec.stall_horizon.as_nanos()));
+                let (lo, hi) = spec.stall_len;
+                let len = if hi > lo {
+                    VirtualTime::from_nanos(rng.gen_range(lo.as_nanos()..=hi.as_nanos()))
+                } else {
+                    lo
+                };
+                stalls.push(StallWindow { device: DeviceId::Gpu, from, until: from + len });
+            }
+        }
+        FaultPlan {
+            spec,
+            seed,
+            enabled: true,
+            stalls,
+            counters: [0; 3],
+            stats: FaultStats::default(),
+        }
+    }
+
+    /// Whether the plan can inject anything at all.
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// The seed the plan was built from.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// The declarative spec behind the plan.
+    pub fn spec(&self) -> &FaultSpec {
+        &self.spec
+    }
+
+    /// Injection counters so far.
+    pub fn stats(&self) -> &FaultStats {
+        &self.stats
+    }
+
+    /// Reset counters and stats; the plan replays the same decisions.
+    pub fn reset(&mut self) {
+        self.counters = [0; 3];
+        self.stats = FaultStats::default();
+    }
+
+    /// Next uniform draw in `[0, 1)` for `site`.
+    ///
+    /// Each decision derives a one-shot generator from
+    /// `(seed, site, counter)`, so streams at different sites are
+    /// independent and a decision's outcome depends only on *how many*
+    /// decisions of its own kind preceded it.
+    fn draw(&mut self, site: Site) -> f64 {
+        let i = site as usize;
+        let n = self.counters[i];
+        self.counters[i] = n + 1;
+        let mut rng = StdRng::seed_from_u64(
+            self.seed ^ (0x9E37_79B9 + i as u64) ^ n.rotate_left(17),
+        );
+        rng.gen_range(0.0..1.0)
+    }
+
+    /// Should this co-processor heap allocation attempt fail? `stage` is
+    /// the staged-allocation step (0 = upfront, 1..=3 = growth stages).
+    pub fn fail_alloc(&mut self, stage: u32) -> bool {
+        if !self.enabled {
+            return false;
+        }
+        if self.spec.alloc_fail_stages.contains(&stage) {
+            self.stats.injected += 1;
+            self.stats.alloc_failures += 1;
+            return true;
+        }
+        if self.spec.alloc_fail_prob > 0.0 && self.draw(Site::Alloc) < self.spec.alloc_fail_prob
+        {
+            self.stats.injected += 1;
+            self.stats.alloc_failures += 1;
+            return true;
+        }
+        false
+    }
+
+    /// Fault decision for one transfer attempt in `dir`, or `None` for a
+    /// clean transfer.
+    pub fn transfer_fault(&mut self, dir: Direction) -> Option<TransferFault> {
+        if !self.enabled {
+            return None;
+        }
+        let s = &self.spec;
+        let any = s.transfer_permanent_prob + s.transfer_transient_prob + s.transfer_spike_prob;
+        if any <= 0.0 {
+            return None;
+        }
+        let u = self.draw(Site::Transfer);
+        let s = &self.spec;
+        if u < s.transfer_permanent_prob {
+            self.stats.injected += 1;
+            if dir == Direction::HostToDevice {
+                self.stats.transfer_permanent += 1;
+                return Some(TransferFault::Permanent);
+            }
+            // Results must be able to return to the host: degrade.
+            self.stats.transfer_transient += 1;
+            return Some(TransferFault::Transient);
+        }
+        if u < s.transfer_permanent_prob + s.transfer_transient_prob {
+            self.stats.injected += 1;
+            self.stats.transfer_transient += 1;
+            return Some(TransferFault::Transient);
+        }
+        if u < s.transfer_permanent_prob + s.transfer_transient_prob + s.transfer_spike_prob {
+            let span = (s.transfer_spike_factor - 1.0).max(0.0);
+            if span == 0.0 {
+                return None;
+            }
+            // Reuse the decision draw's low-order structure for the
+            // factor by drawing again from the same site stream.
+            let f = 1.0 + span * self.draw(Site::Transfer);
+            self.stats.injected += 1;
+            self.stats.transfer_spikes += 1;
+            return Some(TransferFault::Spike(f));
+        }
+        None
+    }
+
+    /// Should a kernel of `class` abort right before computing on
+    /// `device`? Only co-processor kernels abort (the CPU is the fallback
+    /// device and must always make progress).
+    pub fn abort_kernel(&mut self, class: OpClass, device: DeviceId) -> bool {
+        if !self.enabled || !device.is_coprocessor() || self.spec.kernel_abort_prob <= 0.0 {
+            return false;
+        }
+        if !self.spec.kernel_abort_classes.is_empty()
+            && !self.spec.kernel_abort_classes.contains(&class)
+        {
+            return false;
+        }
+        if self.draw(Site::Kernel) < self.spec.kernel_abort_prob {
+            self.stats.injected += 1;
+            self.stats.kernel_aborts += 1;
+            return true;
+        }
+        false
+    }
+
+    /// If `now` falls inside a stall window for `device`, return when the
+    /// window closes (and account the stall); otherwise `None`. Windows
+    /// are half-open `[from, until)`, so re-checking at the returned
+    /// instant proceeds.
+    pub fn stall_until(&mut self, device: DeviceId, now: VirtualTime) -> Option<VirtualTime> {
+        if !self.enabled {
+            return None;
+        }
+        let mut until: Option<VirtualTime> = None;
+        for w in &self.stalls {
+            if w.device == device && w.from <= now && now < w.until {
+                until = Some(match until {
+                    Some(u) => u.max(w.until),
+                    None => w.until,
+                });
+            }
+        }
+        if let Some(u) = until {
+            self.stats.injected += 1;
+            self.stats.stall_time += u - now;
+        }
+        until
+    }
+
+    /// The resolved stall windows (explicit plus generated).
+    pub fn stall_windows(&self) -> &[StallWindow] {
+        &self.stalls
+    }
+}
+
+/// Retry policy for transient transfer faults: bounded exponential
+/// backoff in *virtual* time. After `max_retries` failed attempts a
+/// host→device transfer is treated as permanently failed (the operator
+/// falls back to the CPU); device→host transfers then complete cleanly
+/// (the fault layer stops injecting) so results always reach the host.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Maximum retry attempts after the first failure.
+    pub max_retries: u32,
+    /// Backoff before the first retry.
+    pub backoff_base: VirtualTime,
+    /// Backoff multiplier per subsequent retry (integer to stay exact).
+    pub backoff_mult: u32,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_retries: 3,
+            backoff_base: VirtualTime::from_micros(20),
+            backoff_mult: 2,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// Backoff to wait before retry number `attempt` (1-based).
+    pub fn backoff(&self, attempt: u32) -> VirtualTime {
+        let mult = self.backoff_mult.max(1) as u64;
+        VirtualTime::from_nanos(
+            self.backoff_base.as_nanos().saturating_mul(mult.saturating_pow(attempt.saturating_sub(1))),
+        )
+    }
+}
+
+/// Decorrelates the stall-window stream from the decision streams.
+const STALL_STREAM_SALT: u64 = 0x57A1_157A_1157_A110;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn chaos_spec() -> FaultSpec {
+        FaultSpec {
+            alloc_fail_prob: 0.3,
+            transfer_transient_prob: 0.2,
+            transfer_permanent_prob: 0.05,
+            transfer_spike_prob: 0.1,
+            transfer_spike_factor: 4.0,
+            kernel_abort_prob: 0.25,
+            ..FaultSpec::default()
+        }
+    }
+
+    #[test]
+    fn disabled_plan_injects_nothing() {
+        let mut p = FaultPlan::disabled();
+        assert!(!p.is_enabled());
+        for stage in 0..4 {
+            assert!(!p.fail_alloc(stage));
+        }
+        assert_eq!(p.transfer_fault(Direction::HostToDevice), None);
+        assert!(!p.abort_kernel(OpClass::Selection, DeviceId::Gpu));
+        assert_eq!(p.stall_until(DeviceId::Gpu, VirtualTime::ZERO), None);
+        assert_eq!(*p.stats(), FaultStats::default());
+    }
+
+    #[test]
+    fn same_seed_same_decisions() {
+        let mk = || FaultPlan::new(42, chaos_spec());
+        let (mut a, mut b) = (mk(), mk());
+        for stage in 0..64u32 {
+            assert_eq!(a.fail_alloc(stage % 4), b.fail_alloc(stage % 4));
+            assert_eq!(
+                a.transfer_fault(Direction::HostToDevice),
+                b.transfer_fault(Direction::HostToDevice)
+            );
+            assert_eq!(
+                a.abort_kernel(OpClass::HashJoin, DeviceId::Gpu),
+                b.abort_kernel(OpClass::HashJoin, DeviceId::Gpu)
+            );
+        }
+        assert_eq!(a.stats(), b.stats());
+    }
+
+    #[test]
+    fn sites_have_independent_streams() {
+        // Consuming transfer decisions must not change alloc outcomes.
+        let mut a = FaultPlan::new(7, chaos_spec());
+        let mut b = FaultPlan::new(7, chaos_spec());
+        for _ in 0..10 {
+            let _ = b.transfer_fault(Direction::DeviceToHost);
+        }
+        let sa: Vec<bool> = (0..32).map(|_| a.fail_alloc(1)).collect();
+        let sb: Vec<bool> = (0..32).map(|_| b.fail_alloc(1)).collect();
+        assert_eq!(sa, sb);
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = FaultPlan::new(1, chaos_spec());
+        let mut b = FaultPlan::new(2, chaos_spec());
+        let sa: Vec<bool> = (0..64).map(|_| a.fail_alloc(0)).collect();
+        let sb: Vec<bool> = (0..64).map(|_| b.fail_alloc(0)).collect();
+        assert_ne!(sa, sb);
+    }
+
+    #[test]
+    fn forced_stage_always_fails() {
+        let spec = FaultSpec { alloc_fail_stages: vec![2], ..FaultSpec::default() };
+        let mut p = FaultPlan::new(0, spec);
+        assert!(!p.fail_alloc(0));
+        assert!(!p.fail_alloc(1));
+        assert!(p.fail_alloc(2));
+        assert!(p.fail_alloc(2));
+        assert!(!p.fail_alloc(3));
+        assert_eq!(p.stats().alloc_failures, 2);
+    }
+
+    #[test]
+    fn permanent_degrades_to_transient_on_d2h() {
+        let spec = FaultSpec { transfer_permanent_prob: 1.0, ..FaultSpec::default() };
+        let mut p = FaultPlan::new(3, spec);
+        assert_eq!(
+            p.transfer_fault(Direction::HostToDevice),
+            Some(TransferFault::Permanent)
+        );
+        assert_eq!(
+            p.transfer_fault(Direction::DeviceToHost),
+            Some(TransferFault::Transient)
+        );
+        assert_eq!(p.stats().transfer_permanent, 1);
+        assert_eq!(p.stats().transfer_transient, 1);
+    }
+
+    #[test]
+    fn spikes_are_bounded_and_at_least_one() {
+        let spec = FaultSpec {
+            transfer_spike_prob: 1.0,
+            transfer_spike_factor: 3.0,
+            ..FaultSpec::default()
+        };
+        let mut p = FaultPlan::new(11, spec);
+        for _ in 0..64 {
+            match p.transfer_fault(Direction::HostToDevice) {
+                Some(TransferFault::Spike(f)) => assert!((1.0..=3.0).contains(&f)),
+                other => panic!("expected spike, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn kernel_abort_respects_class_filter_and_device() {
+        let spec = FaultSpec {
+            kernel_abort_prob: 1.0,
+            kernel_abort_classes: vec![OpClass::Sort],
+            ..FaultSpec::default()
+        };
+        let mut p = FaultPlan::new(5, spec);
+        assert!(p.abort_kernel(OpClass::Sort, DeviceId::Gpu));
+        assert!(!p.abort_kernel(OpClass::Selection, DeviceId::Gpu));
+        assert!(!p.abort_kernel(OpClass::Sort, DeviceId::Cpu), "CPU never aborts");
+    }
+
+    #[test]
+    fn stall_windows_cover_and_account() {
+        let w = StallWindow {
+            device: DeviceId::Gpu,
+            from: VirtualTime::from_millis(1),
+            until: VirtualTime::from_millis(3),
+        };
+        let spec = FaultSpec { stall_windows: vec![w], ..FaultSpec::default() };
+        let mut p = FaultPlan::new(0, spec);
+        assert_eq!(p.stall_until(DeviceId::Gpu, VirtualTime::ZERO), None);
+        assert_eq!(
+            p.stall_until(DeviceId::Gpu, VirtualTime::from_millis(2)),
+            Some(VirtualTime::from_millis(3))
+        );
+        // Half-open: at the closing instant compute proceeds.
+        assert_eq!(p.stall_until(DeviceId::Gpu, VirtualTime::from_millis(3)), None);
+        assert_eq!(p.stall_until(DeviceId::Cpu, VirtualTime::from_millis(2)), None);
+        assert_eq!(p.stats().stall_time, VirtualTime::from_millis(1));
+    }
+
+    #[test]
+    fn random_stalls_are_seed_deterministic() {
+        let spec = FaultSpec {
+            random_stalls: 4,
+            stall_horizon: VirtualTime::from_millis(100),
+            stall_len: (VirtualTime::from_micros(10), VirtualTime::from_micros(500)),
+            ..FaultSpec::default()
+        };
+        let a = FaultPlan::new(9, spec.clone());
+        let b = FaultPlan::new(9, spec.clone());
+        let c = FaultPlan::new(10, spec);
+        assert_eq!(a.stall_windows(), b.stall_windows());
+        assert_ne!(a.stall_windows(), c.stall_windows());
+        assert_eq!(a.stall_windows().len(), 4);
+        for w in a.stall_windows() {
+            assert!(w.until > w.from);
+        }
+    }
+
+    #[test]
+    fn reset_replays_the_same_decisions() {
+        let mut p = FaultPlan::new(4, chaos_spec());
+        let first: Vec<bool> = (0..16).map(|_| p.fail_alloc(0)).collect();
+        p.reset();
+        assert_eq!(p.counters, [0; 3]);
+        assert_eq!(*p.stats(), FaultStats::default());
+        let second: Vec<bool> = (0..16).map(|_| p.fail_alloc(0)).collect();
+        assert_eq!(first, second);
+    }
+
+    #[test]
+    fn retry_backoff_grows_exponentially() {
+        let r = RetryPolicy {
+            max_retries: 5,
+            backoff_base: VirtualTime::from_micros(10),
+            backoff_mult: 2,
+        };
+        assert_eq!(r.backoff(1), VirtualTime::from_micros(10));
+        assert_eq!(r.backoff(2), VirtualTime::from_micros(20));
+        assert_eq!(r.backoff(3), VirtualTime::from_micros(40));
+    }
+}

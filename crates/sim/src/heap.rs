@@ -88,6 +88,21 @@ impl HeapAllocator {
         self.allocations.len()
     }
 
+    /// Bytes held across all live allocations, recomputed from the tag
+    /// list. Conservation invariant (chaos/property tests):
+    /// `accounted_bytes() == used()` must hold after every operation.
+    pub fn accounted_bytes(&self) -> u64 {
+        self.allocations.iter().map(|&(_, b)| b).sum()
+    }
+
+    /// Distinct tags with live allocations, sorted.
+    pub fn live_tags(&self) -> Vec<u64> {
+        let mut tags: Vec<u64> = self.allocations.iter().map(|&(t, _)| t).collect();
+        tags.sort_unstable();
+        tags.dedup();
+        tags
+    }
+
     /// Release everything.
     pub fn reset(&mut self) {
         self.allocations.clear();

@@ -18,7 +18,11 @@
 //! * [`link::Interconnect`] — the PCIe model: latency, staging copy and
 //!   bus bandwidth, FIFO contention per direction,
 //! * [`costmodel::CostModel`] — ground-truth kernel durations and device
-//!   memory footprints per operator class.
+//!   memory footprints per operator class,
+//! * [`fault::FaultPlan`] — seeded deterministic fault injection: heap
+//!   allocation failures, transfer errors and latency spikes, device
+//!   stall windows and kernel aborts, all triggered in virtual time
+//!   (DESIGN.md §8).
 //!
 //! Nothing in this crate knows about relational operators or plans; the
 //! engine crate drives the simulation.
@@ -28,6 +32,7 @@ pub mod config;
 pub mod costmodel;
 pub mod device;
 pub mod events;
+pub mod fault;
 pub mod heap;
 pub mod link;
 pub mod time;
@@ -37,6 +42,7 @@ pub use config::SimConfig;
 pub use costmodel::{CostModel, CostParams, OpClass};
 pub use device::{DeviceId, DeviceKind, DeviceSpec};
 pub use events::EventQueue;
+pub use fault::{FaultPlan, FaultSpec, FaultStats, RetryPolicy, StallWindow, TransferFault};
 pub use heap::HeapAllocator;
-pub use link::{Direction, Interconnect, Transfer};
+pub use link::{Direction, Interconnect, LinkStats, Transfer};
 pub use time::VirtualTime;

@@ -114,7 +114,25 @@ impl Interconnect {
     /// Enqueue a transfer of `bytes` in `dir` at time `now`; returns the
     /// scheduled window.
     pub fn transfer(&mut self, now: VirtualTime, dir: Direction, bytes: u64) -> Transfer {
-        let service = self.params.service_time(bytes);
+        self.transfer_scaled(now, dir, bytes, 1.0)
+    }
+
+    /// Like [`Interconnect::transfer`] but with the service time
+    /// multiplied by `factor` (≥ 1) — an injected latency spike
+    /// (degraded link, contention from outside the model). The slowed
+    /// transfer occupies the FIFO for its full stretched window.
+    pub fn transfer_scaled(
+        &mut self,
+        now: VirtualTime,
+        dir: Direction,
+        bytes: u64,
+        factor: f64,
+    ) -> Transfer {
+        debug_assert!(factor >= 1.0, "spike factor must not speed the link up");
+        let mut service = self.params.service_time(bytes);
+        if factor != 1.0 {
+            service = service.scale(factor);
+        }
         let start = now.max(self.busy_until[dir.index()]);
         let end = start + service;
         self.busy_until[dir.index()] = end;

@@ -1,0 +1,125 @@
+//! Property tests for the device heap: byte conservation against a
+//! naive model, peak monotonicity, no-op frees and reset, under random
+//! allocate/free sequences.
+
+use std::collections::HashMap;
+
+use proptest::prelude::*;
+use robustq_sim::HeapAllocator;
+
+const CAPACITY: u64 = 10_000;
+
+/// One scripted heap operation.
+#[derive(Debug, Clone, Copy)]
+enum Op {
+    Alloc { tag: u64, bytes: u64 },
+    Free { tag: u64 },
+}
+
+fn ops_strategy() -> impl Strategy<Value = Vec<Op>> {
+    // (selector, tag, bytes): selector 0..3 → alloc, 3 → free, so the
+    // sequence leans towards filling the heap and forcing failures.
+    prop::collection::vec((0u8..4, 0u64..8, 0u64..4_000), 0..120).prop_map(|raw| {
+        raw.into_iter()
+            .map(|(sel, tag, bytes)| {
+                if sel < 3 {
+                    Op::Alloc { tag, bytes }
+                } else {
+                    Op::Free { tag }
+                }
+            })
+            .collect()
+    })
+}
+
+proptest! {
+    /// After every operation the heap agrees with a naive model: `used`
+    /// equals the model's total, equals the recomputed allocation-list
+    /// sum, never exceeds capacity, and `live_tags` matches the model.
+    #[test]
+    fn conservation_against_model(ops in ops_strategy()) {
+        let mut heap = HeapAllocator::new(CAPACITY);
+        let mut model: HashMap<u64, u64> = HashMap::new();
+        for op in ops {
+            match op {
+                Op::Alloc { tag, bytes } => {
+                    let model_total: u64 = model.values().sum();
+                    let fits = bytes <= CAPACITY - model_total;
+                    let ok = heap.try_alloc(tag, bytes);
+                    prop_assert_eq!(ok, fits, "alloc admission diverged from model");
+                    if ok && bytes > 0 {
+                        *model.entry(tag).or_insert(0) += bytes;
+                    }
+                }
+                Op::Free { tag } => {
+                    let expected = model.remove(&tag).unwrap_or(0);
+                    prop_assert_eq!(heap.free_tag(tag), expected);
+                }
+            }
+            let model_total: u64 = model.values().sum();
+            prop_assert_eq!(heap.used(), model_total);
+            prop_assert_eq!(heap.accounted_bytes(), heap.used());
+            prop_assert!(heap.used() <= heap.capacity());
+            let mut tags: Vec<u64> = model.keys().copied().collect();
+            tags.sort_unstable();
+            prop_assert_eq!(heap.live_tags(), tags);
+            for (&tag, &bytes) in &model {
+                prop_assert_eq!(heap.bytes_of(tag), bytes);
+            }
+        }
+    }
+
+    /// The high-water mark never decreases, always covers `used`, and
+    /// equals the running maximum of `used` over the history.
+    #[test]
+    fn peak_is_the_running_maximum(ops in ops_strategy()) {
+        let mut heap = HeapAllocator::new(CAPACITY);
+        let mut high = 0;
+        for op in ops {
+            let before = heap.peak();
+            match op {
+                Op::Alloc { tag, bytes } => { let _ = heap.try_alloc(tag, bytes); }
+                Op::Free { tag } => { let _ = heap.free_tag(tag); }
+            }
+            high = high.max(heap.used());
+            prop_assert!(heap.peak() >= before, "peak decreased");
+            prop_assert_eq!(heap.peak(), high);
+        }
+    }
+
+    /// Freeing a tag that was never allocated is a no-op returning 0,
+    /// whatever state the heap is in.
+    #[test]
+    fn unknown_free_is_a_noop(ops in ops_strategy(), ghost in 100u64..200) {
+        let mut heap = HeapAllocator::new(CAPACITY);
+        for op in ops {
+            match op {
+                Op::Alloc { tag, bytes } => { let _ = heap.try_alloc(tag, bytes); }
+                Op::Free { tag } => { let _ = heap.free_tag(tag); }
+            }
+            let used = heap.used();
+            let tags = heap.live_tags();
+            prop_assert_eq!(heap.free_tag(ghost), 0);
+            prop_assert_eq!(heap.used(), used);
+            prop_assert_eq!(heap.live_tags(), tags);
+        }
+    }
+
+    /// Reset always restores the empty heap (but keeps the peak as a
+    /// report of the past run), and the full capacity is usable again.
+    #[test]
+    fn reset_restores_empty(ops in ops_strategy()) {
+        let mut heap = HeapAllocator::new(CAPACITY);
+        for op in ops {
+            match op {
+                Op::Alloc { tag, bytes } => { let _ = heap.try_alloc(tag, bytes); }
+                Op::Free { tag } => { let _ = heap.free_tag(tag); }
+            }
+        }
+        heap.reset();
+        prop_assert_eq!(heap.used(), 0);
+        prop_assert_eq!(heap.accounted_bytes(), 0);
+        prop_assert!(heap.live_tags().is_empty());
+        prop_assert!(heap.try_alloc(0, CAPACITY));
+    }
+}

@@ -10,7 +10,7 @@ use robustq_core::Strategy;
 use robustq_engine::exec::metrics::QueryOutcome;
 use robustq_engine::plan::PlanNode;
 use robustq_engine::{ExecOptions, Executor, ParallelCtx, RunMetrics};
-use robustq_sim::{SimConfig, VirtualTime};
+use robustq_sim::{FaultPlan, RetryPolicy, SimConfig, VirtualTime};
 use robustq_storage::{ColumnId, Database};
 
 /// Runner options.
@@ -34,6 +34,11 @@ pub struct RunnerConfig {
     /// Real-CPU parallelism for the hot kernels. Results and virtual-time
     /// figures are bit-identical across settings; only wall-clock changes.
     pub parallel: ParallelCtx,
+    /// Deterministic fault injection for the *measured* run (warm-up runs
+    /// are always fault-free so the trained state matches the clean run).
+    pub fault: FaultPlan,
+    /// Recovery policy for transient transfer faults.
+    pub retry: RetryPolicy,
 }
 
 impl Default for RunnerConfig {
@@ -46,6 +51,8 @@ impl Default for RunnerConfig {
             max_concurrent_queries: usize::MAX,
             capture_results: false,
             parallel: ParallelCtx::serial(),
+            fault: FaultPlan::disabled(),
+            retry: RetryPolicy::default(),
         }
     }
 }
@@ -85,6 +92,18 @@ impl RunnerConfig {
     /// Run the hot kernels with the given parallelism context.
     pub fn with_parallel(mut self, parallel: ParallelCtx) -> Self {
         self.parallel = parallel;
+        self
+    }
+
+    /// Inject faults from `plan` during the measured run.
+    pub fn with_fault_plan(mut self, plan: FaultPlan) -> Self {
+        self.fault = plan;
+        self
+    }
+
+    /// Recover transient transfer faults under `retry`.
+    pub fn with_retry(mut self, retry: RetryPolicy) -> Self {
+        self.retry = retry;
         self
     }
 }
@@ -252,6 +271,8 @@ impl<'a> WorkloadRunner<'a> {
             max_concurrent_queries: cfg.max_concurrent_queries,
             preload: Vec::new(),
             parallel: cfg.parallel,
+            fault: FaultPlan::disabled(),
+            retry: cfg.retry,
         };
         for _ in 0..cfg.warmup_runs {
             executor.run_with_cache(
@@ -273,6 +294,8 @@ impl<'a> WorkloadRunner<'a> {
             max_concurrent_queries: cfg.max_concurrent_queries,
             preload,
             parallel: cfg.parallel,
+            fault: cfg.fault.clone(),
+            retry: cfg.retry,
         };
         let out = executor.run_with_cache(
             Self::sessions(queries, cfg.users),
@@ -363,6 +386,7 @@ mod tests {
             latency: VirtualTime::from_millis(ms),
             rows: 0,
             checksum: 0,
+            faults: Default::default(),
             result: None,
         };
         let report = RunReport {

@@ -6,10 +6,13 @@
 //! (Some highly selective queries return zero rows at this test scale —
 //! a documented artifact of the linear downscale, not of the queries.)
 
+use robustq::core::Strategy;
 use robustq::engine::ops;
+use robustq::engine::ParallelCtx;
+use robustq::sim::{FaultPlan, FaultSpec, SimConfig, VirtualTime};
 use robustq::storage::gen::ssb::SsbGenerator;
 use robustq::storage::gen::tpch::TpchGenerator;
-use robustq::workloads::{SsbQuery, TpchQuery};
+use robustq::workloads::{ssb, RunnerConfig, SsbQuery, TpchQuery, WorkloadRunner};
 
 #[test]
 fn ssb_results_are_stable() {
@@ -54,6 +57,48 @@ fn tpch_results_are_stable() {
         assert_eq!(out.num_rows(), rows, "{name}: row count drifted");
         assert_eq!(out.checksum(), checksum, "{name}: result drifted");
     }
+}
+
+/// Identical seeds produce *byte-identical* runner metrics — across
+/// repeated invocations and across kernel worker counts (real-CPU
+/// parallelism must never leak into virtual time), with fault
+/// injection active so the fault path is covered by the guarantee.
+#[test]
+fn seeded_runs_are_byte_identical_across_invocations_and_workers() {
+    let db = SsbGenerator::new(1).with_rows_per_sf(1_500).generate();
+    let queries = ssb::workload(&db).expect("SSB plans");
+    let sim = SimConfig::default().with_gpu_memory(512 * 1024).with_gpu_cache(256 * 1024);
+    let runner = WorkloadRunner::new(&db, sim);
+
+    let spec = FaultSpec {
+        alloc_fail_prob: 0.05,
+        transfer_transient_prob: 0.05,
+        transfer_spike_prob: 0.05,
+        transfer_spike_factor: 3.0,
+        kernel_abort_prob: 0.05,
+        random_stalls: 2,
+        stall_horizon: VirtualTime::from_millis(10),
+        stall_len: (VirtualTime::from_micros(10), VirtualTime::from_micros(500)),
+        ..FaultSpec::default()
+    };
+    let cfg = |workers: usize| {
+        RunnerConfig::default()
+            .with_users(4)
+            .with_fault_plan(FaultPlan::new(7, spec.clone()))
+            .with_parallel(ParallelCtx::serial().with_workers(workers))
+    };
+
+    let fingerprint = |cfg: &RunnerConfig| {
+        let report =
+            runner.run(&queries, Strategy::GpuPreferred, cfg).expect("workload runs");
+        format!("{:?}\n{:?}", report.metrics, report.outcomes)
+    };
+
+    let first = fingerprint(&cfg(1));
+    let again = fingerprint(&cfg(1));
+    assert_eq!(first, again, "same seed, same config: metrics drifted between runs");
+    let parallel8 = fingerprint(&cfg(8));
+    assert_eq!(first, parallel8, "worker count leaked into virtual-time metrics");
 }
 
 #[test]

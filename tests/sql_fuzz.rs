@@ -3,10 +3,13 @@
 //! and execute against the generated schema.
 
 use proptest::prelude::*;
+use robustq::core::Strategy as PlacementStrategy;
 use robustq::engine::ops;
+use robustq::sim::SimConfig;
 use robustq::sql::{plan_sql, SqlError};
 use robustq::storage::gen::ssb::SsbGenerator;
 use robustq::storage::Database;
+use robustq::workloads::{RunnerConfig, WorkloadRunner};
 use std::sync::OnceLock;
 
 fn db() -> &'static Database {
@@ -79,6 +82,31 @@ proptest! {
         // Either an aggregate (>=0 groups) or a top-7.
         prop_assert!(out.num_rows() <= 300);
         prop_assert!(out.num_columns() >= 2);
+    }
+
+    /// Differential fuzz: the simulated executor (device placement, heap
+    /// pressure, transfers, aborts and all) returns exactly the rows and
+    /// checksum of direct host execution for every generated query.
+    #[test]
+    fn executor_matches_direct_execution(sql in well_formed_query()) {
+        let db = db();
+        let plan = plan_sql(&sql, db).expect("well-formed query plans");
+        let direct = ops::execute_plan(&plan, db).expect("direct execution");
+
+        // A tight machine so placement decisions and aborts actually
+        // happen; warm-up off to keep each case cheap.
+        let sim = SimConfig::default()
+            .with_gpu_memory(256 * 1024)
+            .with_gpu_cache(128 * 1024);
+        let runner = WorkloadRunner::new(db, sim);
+        let cfg = RunnerConfig::default().cold_cache();
+        let report = runner
+            .run(std::slice::from_ref(&plan), PlacementStrategy::GpuPreferred, &cfg)
+            .expect("executor runs");
+        prop_assert_eq!(report.outcomes.len(), 1);
+        let outcome = &report.outcomes[0];
+        prop_assert_eq!(outcome.rows, direct.num_rows(), "row count diverged");
+        prop_assert_eq!(outcome.checksum, direct.checksum(), "checksum diverged");
     }
 }
 
