@@ -1,17 +1,28 @@
 //! `cargo bench --bench kernels` — wall-clock throughput of the hot CPU
-//! kernels, serial vs morsel-parallel, at 1M and 10M rows.
+//! kernels at 1M and 10M rows, swept across worker counts.
 //!
 //! A custom harness (not Criterion — the build is offline): each kernel
 //! runs a warm-up pass plus `ITERS` timed passes and reports the best
-//! pass as rows/sec. Parallel outputs are verified bit-identical to
-//! serial before timing. Results are printed as a table and written to
-//! `BENCH_kernels.json` at the repository root so the perf trajectory is
-//! tracked across commits.
+//! pass as rows/sec. Every variant is verified bit-identical to its
+//! serial baseline before timing. Results are printed as a table and
+//! written to `BENCH_kernels.json` at the repository root so the perf
+//! trajectory is tracked across commits.
 //!
-//! Worker count comes from `ROBUSTQ_WORKERS` (default: all hardware
-//! threads). On a single-core host the parallel path degenerates to one
-//! worker and speedups hover around 1×; the ≥2× target applies on
-//! multi-core hosts with ≥4 workers.
+//! Two kernel families are measured:
+//!
+//! * `select` / `join_probe` / `aggregate` — the morsel-parallel kernels
+//!   against their serial counterparts, one entry per worker count in
+//!   `ROBUSTQ_WORKERS ∈ {1, 2, 4, 8}` (or just the value of
+//!   `ROBUSTQ_WORKERS` when set);
+//! * `fused_select_aggregate` / `fused_select_probe` — the fused
+//!   selection-vector pipelines against the pre-selection-vector
+//!   *materializing* baseline (mask select + gather, then the downstream
+//!   kernel), so the fused speedup is algorithmic, not thread scaling.
+//!
+//! `ROBUSTQ_BENCH_ROWS` overrides the row counts (CI smoke runs a small
+//! size; the JSON is only written at the default sizes). On a single-core
+//! host the parallel speedups hover around 1×; the thread-scaling targets
+//! apply on multi-core hosts.
 
 use robustq_bench::table::json_str;
 use robustq_engine::expr::Expr;
@@ -19,7 +30,7 @@ use robustq_engine::ops;
 use robustq_engine::parallel;
 use robustq_engine::plan::{AggSpec, JoinKind};
 use robustq_engine::predicate::Predicate;
-use robustq_engine::Chunk;
+use robustq_engine::{Chunk, ParallelCtx};
 use robustq_storage::{ColumnData, DataType, Field};
 use std::hint::black_box;
 use std::time::Instant;
@@ -94,6 +105,7 @@ fn aggregation_chunk(rows: usize) -> Chunk {
     )
 }
 
+
 /// Best-of-`ITERS` wall-clock seconds for `f` (after one warm-up pass).
 fn time_best(mut f: impl FnMut() -> Chunk) -> (Chunk, f64) {
     let out = f();
@@ -109,115 +121,215 @@ fn time_best(mut f: impl FnMut() -> Chunk) -> (Chunk, f64) {
 struct Measurement {
     kernel: &'static str,
     rows: usize,
-    serial_rows_per_sec: f64,
-    parallel_rows_per_sec: f64,
+    baseline_rows_per_sec: f64,
+    variant_rows_per_sec: f64,
 }
 
 impl Measurement {
     fn speedup(&self) -> f64 {
-        self.parallel_rows_per_sec / self.serial_rows_per_sec
+        self.variant_rows_per_sec / self.baseline_rows_per_sec
     }
 }
 
-fn measure(
-    kernel: &'static str,
-    rows: usize,
-    serial: impl FnMut() -> Chunk,
-    parallel: impl FnMut() -> Chunk,
-) -> Measurement {
-    let (serial_out, serial_best) = time_best(serial);
-    let (parallel_out, parallel_best) = time_best(parallel);
-    assert_eq!(
-        serial_out, parallel_out,
-        "{kernel}/{rows}: parallel result diverged from serial"
-    );
-    Measurement {
-        kernel,
-        rows,
-        serial_rows_per_sec: rows as f64 / serial_best,
-        parallel_rows_per_sec: rows as f64 / parallel_best,
+/// Serial baselines for one input size, timed once and shared across the
+/// worker sweep (they do not depend on the worker count).
+struct Baselines {
+    select: (Chunk, f64),
+    join: (Chunk, f64),
+    agg: (Chunk, f64),
+    fused_agg: (Chunk, f64),
+    fused_probe: (Chunk, f64),
+}
+
+fn worker_sweep() -> Vec<usize> {
+    match std::env::var("ROBUSTQ_WORKERS").ok().and_then(|v| v.parse().ok()) {
+        Some(w) => vec![w],
+        None => vec![1, 2, 4, 8],
+    }
+}
+
+/// Row counts to measure and whether results should be persisted
+/// (`ROBUSTQ_BENCH_ROWS` selects a smoke run: measured and verified, not
+/// written to the JSON).
+fn bench_sizes() -> (Vec<usize>, bool) {
+    match std::env::var("ROBUSTQ_BENCH_ROWS").ok().and_then(|v| v.parse().ok()) {
+        Some(rows) => (vec![rows], false),
+        None => (SIZES.to_vec(), true),
     }
 }
 
 fn main() {
-    let ctx = robustq_bench::machine::parallel_ctx();
+    let sweep = worker_sweep();
+    let (sizes, write_json) = bench_sizes();
     let started = Instant::now();
-    let mut results = Vec::new();
+    // results[i] collects the measurements for sweep[i].
+    let mut results: Vec<Vec<Measurement>> = sweep.iter().map(|_| Vec::new()).collect();
 
-    for rows in SIZES {
-        let chunk = selection_chunk(rows);
-        let pred = Predicate::and([
+    for &rows in &sizes {
+        let sel_chunk = selection_chunk(rows);
+        let sel_pred = Predicate::and([
             Predicate::between("discount", 4, 6),
             Predicate::between("quantity", 26, 35),
         ]);
-        results.push(measure(
-            "select",
-            rows,
-            || ops::select::select(&chunk, &pred).unwrap(),
-            || parallel::select(&chunk, &pred, ctx).unwrap(),
-        ));
-
         let (build, probe) = join_sides(rows);
-        results.push(measure(
-            "join_probe",
-            rows,
-            || ops::join::hash_join(&build, &probe, "pk", "fk", JoinKind::Inner).unwrap(),
-            || {
-                parallel::hash_join(&build, &probe, "pk", "fk", JoinKind::Inner, ctx)
-                    .unwrap()
-            },
-        ));
-
+        let v_pred = Predicate::between("v", 0, 499);
         let agg_chunk = aggregation_chunk(rows);
         let group_by = vec!["g".to_string()];
-        let aggs = vec![
-            AggSpec::sum(Expr::col("v"), "sum"),
-            AggSpec::count("cnt"),
-        ];
-        results.push(measure(
-            "aggregate",
-            rows,
-            || ops::agg::aggregate(&agg_chunk, &group_by, &aggs).unwrap(),
-            || parallel::aggregate(&agg_chunk, &group_by, &aggs, ctx).unwrap(),
-        ));
+        let aggs = vec![AggSpec::sum(Expr::col("v"), "sum"), AggSpec::count("cnt")];
+
+        let base = Baselines {
+            select: time_best(|| ops::select::select(&sel_chunk, &sel_pred).unwrap()),
+            join: time_best(|| {
+                ops::join::hash_join(&build, &probe, "pk", "fk", JoinKind::Inner)
+                    .unwrap()
+            }),
+            agg: time_best(|| {
+                ops::agg::aggregate(&agg_chunk, &group_by, &aggs).unwrap()
+            }),
+            // The fused baselines are the pre-selection-vector pipelines:
+            // mask select + gather, then the downstream kernel on the
+            // materialized intermediate.
+            fused_agg: time_best(|| {
+                let filtered =
+                    ops::select::select_via_mask(&agg_chunk, &v_pred).unwrap();
+                ops::agg::aggregate(&filtered, &group_by, &aggs).unwrap()
+            }),
+            fused_probe: time_best(|| {
+                let filtered =
+                    ops::select::select_via_mask(&probe, &v_pred).unwrap();
+                ops::join::hash_join(&build, &filtered, "pk", "fk", JoinKind::Inner)
+                    .unwrap()
+            }),
+        };
+
+        for (i, &workers) in sweep.iter().enumerate() {
+            let ctx = ParallelCtx::serial().with_workers(workers);
+            let mut push = |kernel: &'static str,
+                            baseline: &(Chunk, f64),
+                            variant: (Chunk, f64)| {
+                assert_eq!(
+                    baseline.0, variant.0,
+                    "{kernel}/{rows}@{workers}w: variant diverged from baseline \
+                     (checksums {:#x} vs {:#x})",
+                    baseline.0.checksum(),
+                    variant.0.checksum(),
+                );
+                results[i].push(Measurement {
+                    kernel,
+                    rows,
+                    baseline_rows_per_sec: rows as f64 / baseline.1,
+                    variant_rows_per_sec: rows as f64 / variant.1,
+                });
+            };
+
+            push(
+                "select",
+                &base.select,
+                time_best(|| parallel::select(&sel_chunk, &sel_pred, ctx).unwrap()),
+            );
+            push(
+                "join_probe",
+                &base.join,
+                time_best(|| {
+                    parallel::hash_join(&build, &probe, "pk", "fk", JoinKind::Inner, ctx)
+                        .unwrap()
+                }),
+            );
+            push(
+                "aggregate",
+                &base.agg,
+                time_best(|| {
+                    parallel::aggregate(&agg_chunk, &group_by, &aggs, ctx).unwrap()
+                }),
+            );
+            push(
+                "fused_select_aggregate",
+                &base.fused_agg,
+                time_best(|| {
+                    parallel::fused_filter_aggregate(
+                        &agg_chunk, &v_pred, &group_by, &aggs, ctx,
+                    )
+                    .unwrap()
+                }),
+            );
+            push(
+                "fused_select_probe",
+                &base.fused_probe,
+                time_best(|| {
+                    parallel::fused_filter_probe(
+                        &build,
+                        &probe,
+                        &v_pred,
+                        "pk",
+                        "fk",
+                        JoinKind::Inner,
+                        ctx,
+                    )
+                    .unwrap()
+                }),
+            );
+        }
     }
 
     println!(
-        "{:<12} {:>10} {:>16} {:>16} {:>9}",
-        "kernel", "rows", "serial rows/s", "parallel rows/s", "speedup"
+        "{:<24} {:>10} {:>8} {:>16} {:>16} {:>9}",
+        "kernel", "rows", "workers", "baseline rows/s", "variant rows/s", "speedup"
     );
-    for m in &results {
-        println!(
-            "{:<12} {:>10} {:>16.0} {:>16.0} {:>8.2}x",
-            m.kernel, m.rows, m.serial_rows_per_sec, m.parallel_rows_per_sec,
-            m.speedup()
-        );
+    for (i, &workers) in sweep.iter().enumerate() {
+        for m in &results[i] {
+            println!(
+                "{:<24} {:>10} {:>8} {:>16.0} {:>16.0} {:>8.2}x",
+                m.kernel,
+                m.rows,
+                workers,
+                m.baseline_rows_per_sec,
+                m.variant_rows_per_sec,
+                m.speedup()
+            );
+        }
     }
 
-    let mut json = String::from("{\n");
-    json.push_str(&format!("  \"workers\": {},\n", ctx.workers));
-    json.push_str(&format!("  \"morsel_rows\": {},\n", ctx.morsel_rows));
-    json.push_str("  \"results\": [");
-    for (i, m) in results.iter().enumerate() {
+    let mut json = String::from("{\n  \"entries\": [");
+    for (i, &workers) in sweep.iter().enumerate() {
+        let ctx = ParallelCtx::serial().with_workers(workers);
         json.push_str(if i == 0 { "\n    " } else { ",\n    " });
         json.push_str(&format!(
-            "{{\"kernel\": {}, \"rows\": {}, \"serial_rows_per_sec\": {:.0}, \
-             \"parallel_rows_per_sec\": {:.0}, \"speedup\": {:.3}}}",
-            json_str(m.kernel),
-            m.rows,
-            m.serial_rows_per_sec,
-            m.parallel_rows_per_sec,
-            m.speedup()
+            "{{\"workers\": {}, \"morsel_rows\": {}, \"min_rows_per_worker\": {}, \
+             \"results\": [",
+            workers, ctx.morsel_rows, ctx.min_rows_per_worker
         ));
+        for (j, m) in results[i].iter().enumerate() {
+            json.push_str(if j == 0 { "\n      " } else { ",\n      " });
+            json.push_str(&format!(
+                "{{\"kernel\": {}, \"rows\": {}, \"baseline_rows_per_sec\": {:.0}, \
+                 \"variant_rows_per_sec\": {:.0}, \"speedup\": {:.3}}}",
+                json_str(m.kernel),
+                m.rows,
+                m.baseline_rows_per_sec,
+                m.variant_rows_per_sec,
+                m.speedup()
+            ));
+        }
+        json.push_str("\n    ]}");
     }
     json.push_str("\n  ]\n}\n");
 
-    // crates/bench/ -> repository root.
-    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_kernels.json");
-    std::fs::write(path, &json).expect("write BENCH_kernels.json");
-    eprintln!(
-        "kernel benches done in {:.1}s ({} workers); wrote BENCH_kernels.json",
-        started.elapsed().as_secs_f64(),
-        ctx.workers
-    );
+    if write_json {
+        // crates/bench/ -> repository root.
+        let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_kernels.json");
+        std::fs::write(path, &json).expect("write BENCH_kernels.json");
+        eprintln!(
+            "kernel benches done in {:.1}s (workers {:?}); wrote BENCH_kernels.json",
+            started.elapsed().as_secs_f64(),
+            sweep
+        );
+    } else {
+        eprintln!(
+            "kernel bench smoke done in {:.1}s (workers {:?}, sizes {:?}); \
+             all variants bit-identical to baselines",
+            started.elapsed().as_secs_f64(),
+            sweep,
+            sizes
+        );
+    }
 }

@@ -1,11 +1,154 @@
-//! Materialized intermediate results.
+//! Materialized intermediate results and selection vectors.
 //!
 //! A [`Chunk`] is what flows between operators: a set of named, typed,
-//! equal-length columns. Operator-at-a-time processing means every
-//! operator consumes whole chunks and materializes whole chunks — there is
-//! no pipelining, exactly like the paper's evaluation engine.
+//! equal-length columns. The original operator-at-a-time engine
+//! materialized every intermediate; since the selection-vector rework the
+//! kernels can instead pass a `(Chunk, Option<&SelVec>)` pair — the base
+//! columns untouched plus a [`SelVec`] of qualifying row positions — and
+//! only pipeline breakers (join build sides, sort, final output)
+//! materialize. [`LazyChunk`] is the operator-output form carrying either
+//! representation.
 
 use robustq_storage::{ColumnData, DataType, Field, Table, Value};
+use std::sync::Arc;
+
+/// A selection vector: qualifying row positions of a base [`Chunk`], as
+/// `u32`, strictly increasing.
+///
+/// Passing positions instead of copied rows is the MonetDB/X100-style
+/// late-materialization device: a filter produces a `SelVec`, downstream
+/// operators read the base columns *through* it, and row order (hence
+/// bit-identical results) is preserved because positions stay sorted.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SelVec(Vec<u32>);
+
+impl SelVec {
+    /// Wrap a position list. Positions must be strictly increasing (this
+    /// is what preserves row order); checked in debug builds.
+    pub fn new(positions: Vec<u32>) -> Self {
+        debug_assert!(
+            positions.windows(2).all(|w| w[0] < w[1]),
+            "selection vector positions must be strictly increasing"
+        );
+        SelVec(positions)
+    }
+
+    /// The identity selection `0..n` (used when a dense input enters a
+    /// position-based kernel).
+    pub fn all(n: usize) -> Self {
+        SelVec((0..n as u32).collect())
+    }
+
+    /// An empty selection.
+    pub fn empty() -> Self {
+        SelVec(Vec::new())
+    }
+
+    /// Number of selected rows.
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    /// True if no rows are selected.
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+
+    /// The positions, in increasing order.
+    pub fn positions(&self) -> &[u32] {
+        &self.0
+    }
+
+    /// The underlying position vector.
+    pub fn into_positions(self) -> Vec<u32> {
+        self.0
+    }
+}
+
+impl From<Vec<u32>> for SelVec {
+    fn from(positions: Vec<u32>) -> Self {
+        SelVec::new(positions)
+    }
+}
+
+/// An operator output that may still be unmaterialized.
+///
+/// `Filtered` is a base chunk plus a selection vector: logically it *is*
+/// the gathered chunk (same rows, same order, same logical byte size), but
+/// no column data has been copied yet. Consumers that understand selection
+/// vectors (selection refinement, join probe, aggregation, projection)
+/// read through it; everything else calls [`LazyChunk::chunk`] /
+/// [`LazyChunk::materialize`] at a pipeline breaker.
+#[derive(Debug, Clone)]
+pub enum LazyChunk {
+    /// A fully materialized chunk.
+    Materialized(Chunk),
+    /// A base chunk viewed through a selection vector.
+    Filtered {
+        /// The unfiltered base columns (shared, never copied).
+        base: Arc<Chunk>,
+        /// Qualifying positions into `base`.
+        sel: SelVec,
+    },
+}
+
+impl LazyChunk {
+    /// Logical number of rows (selected rows for `Filtered`).
+    pub fn num_rows(&self) -> usize {
+        match self {
+            LazyChunk::Materialized(c) => c.num_rows(),
+            LazyChunk::Filtered { sel, .. } => sel.len(),
+        }
+    }
+
+    /// Logical payload bytes: exactly what the materialized equivalent
+    /// would report, so the simulator's transfer/footprint accounting is
+    /// unchanged by late materialization.
+    pub fn byte_size(&self) -> u64 {
+        match self {
+            LazyChunk::Materialized(c) => c.byte_size(),
+            LazyChunk::Filtered { base, sel } => {
+                let row_width: u64 = base
+                    .fields()
+                    .iter()
+                    .map(|f| f.data_type.byte_width() as u64)
+                    .sum();
+                sel.len() as u64 * row_width
+            }
+        }
+    }
+
+    /// The base chunk and optional selection vector, for kernels that
+    /// accept `(Chunk, Option<&SelVec>)`.
+    pub fn parts(&self) -> (&Chunk, Option<&SelVec>) {
+        match self {
+            LazyChunk::Materialized(c) => (c, None),
+            LazyChunk::Filtered { base, sel } => (base, Some(sel)),
+        }
+    }
+
+    /// Materialize into an owned chunk (one gather for `Filtered`).
+    pub fn materialize(self) -> Chunk {
+        match self {
+            LazyChunk::Materialized(c) => c,
+            LazyChunk::Filtered { base, sel } => base.gather(sel.positions()),
+        }
+    }
+
+    /// Materialized view without consuming (clones `Materialized`).
+    pub fn chunk(&self) -> Chunk {
+        match self {
+            LazyChunk::Materialized(c) => c.clone(),
+            LazyChunk::Filtered { base, sel } => base.gather(sel.positions()),
+        }
+    }
+}
+
+impl From<Chunk> for LazyChunk {
+    fn from(c: Chunk) -> Self {
+        LazyChunk::Materialized(c)
+    }
+}
 
 /// A fully materialized intermediate result.
 #[derive(Debug, Clone, PartialEq)]
@@ -105,8 +248,9 @@ impl Chunk {
         self.index_of(name).map(|i| self.fields[i].data_type)
     }
 
-    /// Gather the given row positions from every column.
-    pub fn gather(&self, positions: &[usize]) -> Chunk {
+    /// Gather the given row positions (`u32`, selection-vector form) from
+    /// every column.
+    pub fn gather(&self, positions: &[u32]) -> Chunk {
         Chunk {
             fields: self.fields.clone(),
             columns: self.columns.iter().map(|c| c.gather(positions)).collect(),

@@ -15,7 +15,7 @@
 //! * abort handling: the failed operator restarts on the CPU; whether its
 //!   successors follow depends on the placement strategy (Figure 8).
 
-use crate::batch::Chunk;
+use crate::batch::LazyChunk;
 use crate::estimate;
 use crate::exec::metrics::{FaultCounters, QueryOutcome, RunMetrics};
 use crate::exec::policy::{PlacementPolicy, PolicyCtx, TaskInfo};
@@ -122,7 +122,11 @@ struct TaskState {
     /// Bytes allocated per remaining stage.
     stage_bytes: u64,
     base_columns: Vec<ColumnId>,
-    output: Option<Chunk>,
+    /// The kernel result, kept lazy (base + selection vector) until a
+    /// pipeline breaker or the query root forces materialization. Logical
+    /// `num_rows`/`byte_size` are identical either way, so all simulated
+    /// timing below is unaffected.
+    output: Option<LazyChunk>,
     output_bytes: u64,
     output_rows: u64,
     output_device: Option<DeviceId>,
@@ -716,7 +720,7 @@ impl Sim<'_, '_> {
         // Compute the kernel result eagerly (host side); reuse a result
         // computed before an abort.
         if self.tasks[task].output.is_none() {
-            let children_chunks: Vec<Chunk> = self.tasks[task]
+            let children_chunks: Vec<LazyChunk> = self.tasks[task]
                 .children
                 .iter()
                 .map(|&c| {
@@ -726,7 +730,7 @@ impl Sim<'_, '_> {
                         .ok_or_else(|| "child output missing".to_string())
                 })
                 .collect::<Result<_, _>>()?;
-            let out = self.tasks[task].node.op.execute_ctx(
+            let out = self.tasks[task].node.op.execute_lazy(
                 &children_chunks,
                 self.db,
                 self.opts.parallel,
@@ -1078,7 +1082,8 @@ impl Sim<'_, '_> {
         let seq = q.seq;
         let latency = self.now - q.submit_time;
         self.metrics.makespan = self.metrics.makespan.max(self.now);
-        let output = self.tasks[root].output.take().expect("root output present");
+        let output =
+            self.tasks[root].output.take().expect("root output present").materialize();
         self.outcomes.push(QueryOutcome {
             session,
             seq,

@@ -5,6 +5,9 @@
 //!   strategies implement,
 //! * [`metrics`] — run metrics (makespan, transfer times, aborts, wasted
 //!   time),
+//! * [`pipeline`] — the pipeline-fusion pass: filter→aggregate and
+//!   filter→probe chains in the flattened task list run as one fused
+//!   morsel loop, materializing only at pipeline breakers,
 //! * [`executor`] — the event loop: per-device ready queues and worker
 //!   slots, input transfers over the simulated link, staged heap
 //!   allocation with operator aborts and CPU fallback, closed-loop
@@ -12,5 +15,6 @@
 
 pub mod executor;
 pub mod metrics;
+pub mod pipeline;
 pub mod policy;
 pub mod task;

@@ -6,7 +6,7 @@
 //! have no dependencies and enter the operator stream immediately; every
 //! other task enters when its last child finishes.
 
-use crate::batch::Chunk;
+use crate::batch::{Chunk, LazyChunk};
 use crate::expr::Expr;
 use crate::ops;
 use crate::parallel::{self, ParallelCtx};
@@ -14,6 +14,7 @@ use crate::plan::{AggSpec, JoinKind, PlanNode, SortKey};
 use crate::predicate::Predicate;
 use robustq_sim::OpClass;
 use robustq_storage::Database;
+use std::sync::Arc;
 
 /// The operator payload of one task (a plan node without its children).
 #[derive(Debug, Clone, PartialEq)]
@@ -135,6 +136,91 @@ impl TaskOp {
                 parallel::aggregate(&children[0], group_by, aggs, ctx)
             }
             TaskOp::Sort { keys, limit } => ops::sort::sort(&children[0], keys, *limit),
+        }
+    }
+
+    /// Execute the kernel over lazily-filtered inputs, producing a lazy
+    /// output — the executor's late-materialization path.
+    ///
+    /// A `Select` never materializes: it emits (or refines, for an already
+    /// filtered input) a selection vector over the child's base chunk.
+    /// Downstream operators consume `(base, selvec)` directly — joins probe
+    /// through the selection, aggregations accumulate at selected positions,
+    /// projections evaluate at selected positions only — and materialize at
+    /// pipeline breakers (join build sides, sort, projection output, final
+    /// results). Every output is bit-identical to the materializing
+    /// [`TaskOp::execute_ctx`] on materialized children, and reports the
+    /// same logical `num_rows`/`byte_size`, so simulated timing and golden
+    /// figures are unchanged.
+    pub fn execute_lazy(
+        &self,
+        children: &[LazyChunk],
+        db: &Database,
+        ctx: ParallelCtx,
+    ) -> Result<LazyChunk, String> {
+        match self {
+            TaskOp::Scan { .. } => {
+                Ok(LazyChunk::Materialized(self.execute_ctx(&[], db, ctx)?))
+            }
+            TaskOp::Select { predicate } => match children[0].clone() {
+                LazyChunk::Materialized(c) => {
+                    let sel = parallel::select_positions(&c, predicate, ctx)?;
+                    Ok(LazyChunk::Filtered { base: Arc::new(c), sel })
+                }
+                LazyChunk::Filtered { base, sel } => {
+                    // AND short-circuit: refine the incoming selection in
+                    // place instead of rescanning the base chunk.
+                    let sel = predicate.evaluate_selvec(&base, Some(&sel))?;
+                    Ok(LazyChunk::Filtered { base, sel })
+                }
+            },
+            TaskOp::HashJoin { build_key, probe_key, kind } => {
+                // The build side is a pipeline breaker: the hash table
+                // needs every build row, so materialize it.
+                let build = children[0].chunk();
+                let out = match children[1].parts() {
+                    (base, Some(sel)) => ops::join::hash_join_sel(
+                        &build,
+                        base,
+                        build_key,
+                        probe_key,
+                        *kind,
+                        Some(sel),
+                    )?,
+                    (base, None) => parallel::hash_join(
+                        &build,
+                        base,
+                        build_key,
+                        probe_key,
+                        *kind,
+                        ctx,
+                    )?,
+                };
+                Ok(LazyChunk::Materialized(out))
+            }
+            TaskOp::Project { exprs } => {
+                let out = match children[0].parts() {
+                    (base, Some(sel)) => {
+                        ops::project::project_at(base, exprs, sel.positions())?
+                    }
+                    (base, None) => ops::project::project(base, exprs)?,
+                };
+                Ok(LazyChunk::Materialized(out))
+            }
+            TaskOp::Aggregate { group_by, aggs } => {
+                let out = match children[0].parts() {
+                    (base, Some(sel)) => {
+                        ops::agg::aggregate_sel(base, Some(sel), group_by, aggs)?
+                    }
+                    (base, None) => parallel::aggregate(base, group_by, aggs, ctx)?,
+                };
+                Ok(LazyChunk::Materialized(out))
+            }
+            TaskOp::Sort { keys, limit } => {
+                // Sort is a pipeline breaker; materialize its input.
+                let out = ops::sort::sort(&children[0].chunk(), keys, *limit)?;
+                Ok(LazyChunk::Materialized(out))
+            }
         }
     }
 

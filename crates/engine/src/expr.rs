@@ -129,6 +129,59 @@ impl Expr {
             }
         }
     }
+
+    /// Evaluate at the given row positions only, producing one value per
+    /// position (in position order).
+    ///
+    /// Expressions are row-wise pure, so this equals gathering the chunk
+    /// at `positions` and evaluating densely — without materializing the
+    /// gathered input columns. Selection-vector aggregation uses it to
+    /// compute inputs for qualifying rows only.
+    pub fn evaluate_f64_at(
+        &self,
+        chunk: &Chunk,
+        positions: &[u32],
+    ) -> Result<Vec<f64>, String> {
+        match self {
+            Expr::Col(name) => {
+                let col = chunk.require_column(name)?;
+                if col.data_type() == DataType::Str {
+                    return Err(format!("column {name} is not numeric"));
+                }
+                Ok(positions.iter().map(|&p| col.get_f64(p as usize)).collect())
+            }
+            Expr::Lit(v) => Ok(vec![*v; positions.len()]),
+            Expr::Add(a, b) => binary_at(a, b, chunk, positions, |x, y| x + y),
+            Expr::Sub(a, b) => binary_at(a, b, chunk, positions, |x, y| x - y),
+            Expr::Mul(a, b) => binary_at(a, b, chunk, positions, |x, y| x * y),
+            Expr::Div(a, b) => binary_at(a, b, chunk, positions, |x, y| x / y),
+            Expr::IntDiv(a, d) => {
+                let vals = a.evaluate_f64_at(chunk, positions)?;
+                Ok(vals.into_iter().map(|v| (v / *d).trunc()).collect())
+            }
+        }
+    }
+
+    /// Positional form of [`Expr::evaluate`]: the result column holds one
+    /// row per entry of `positions`, identical to evaluating over the
+    /// gathered chunk.
+    pub fn evaluate_at(
+        &self,
+        chunk: &Chunk,
+        positions: &[u32],
+    ) -> Result<ColumnData, String> {
+        match self {
+            Expr::Col(n) => Ok(chunk.require_column(n)?.gather(positions)),
+            Expr::Lit(v) => Ok(ColumnData::Float64(vec![*v; positions.len()])),
+            Expr::IntDiv(a, d) => {
+                let vals = a.evaluate_f64_at(chunk, positions)?;
+                Ok(ColumnData::Int64(
+                    vals.into_iter().map(|v| (v / *d).trunc() as i64).collect(),
+                ))
+            }
+            _ => Ok(ColumnData::Float64(self.evaluate_f64_at(chunk, positions)?)),
+        }
+    }
 }
 
 impl std::ops::Add for Expr {
@@ -167,6 +220,21 @@ fn binary(
 ) -> Result<Vec<f64>, String> {
     let mut x = a.evaluate_f64(chunk)?;
     let y = b.evaluate_f64(chunk)?;
+    for (xi, yi) in x.iter_mut().zip(y) {
+        *xi = f(*xi, yi);
+    }
+    Ok(x)
+}
+
+fn binary_at(
+    a: &Expr,
+    b: &Expr,
+    chunk: &Chunk,
+    positions: &[u32],
+    f: impl Fn(f64, f64) -> f64,
+) -> Result<Vec<f64>, String> {
+    let mut x = a.evaluate_f64_at(chunk, positions)?;
+    let y = b.evaluate_f64_at(chunk, positions)?;
     for (xi, yi) in x.iter_mut().zip(y) {
         *xi = f(*xi, yi);
     }

@@ -38,9 +38,10 @@ pub mod plan;
 pub mod predicate;
 pub mod vectorized;
 
-pub use batch::Chunk;
+pub use batch::{Chunk, LazyChunk, SelVec};
 pub use parallel::ParallelCtx;
 pub use exec::executor::{ExecOptions, Executor, RunOutcome};
 pub use exec::metrics::RunMetrics;
+pub use exec::pipeline::{execute_plan_fused, fusion_sites, FusedKind};
 pub use exec::policy::{PlacementPolicy, PolicyCtx, TaskInfo};
 pub use plan::{AggFunc, AggSpec, JoinKind, PlanNode, SortKey, SortOrder};

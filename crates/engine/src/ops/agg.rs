@@ -1,6 +1,12 @@
 //! Group-by aggregation kernel.
+//!
+//! [`aggregate`] consumes a materialized chunk; [`aggregate_sel`] consumes
+//! `(chunk, selection vector)` so a filter→aggregate pipeline never
+//! materializes the filtered intermediate — aggregate inputs are evaluated
+//! at the selected positions only and group keys are read straight from
+//! the base columns.
 
-use crate::batch::Chunk;
+use crate::batch::{Chunk, SelVec};
 use crate::plan::{AggFunc, AggSpec};
 use robustq_storage::{ColumnData, DataType, Field};
 use std::collections::HashMap;
@@ -56,73 +62,58 @@ pub fn aggregate(
     group_by: &[String],
     aggs: &[AggSpec],
 ) -> Result<Chunk, String> {
-    let n = chunk.num_rows();
+    aggregate_sel(chunk, None, group_by, aggs)
+}
+
+/// [`aggregate`] over `(chunk, selection vector)`: only positions in `sel`
+/// (all rows when `None`) contribute.
+///
+/// Aggregate input expressions are evaluated at the selected positions
+/// only, group keys are read from the base columns at those positions, and
+/// group representatives are *global* row indices — so the output is
+/// bit-identical to `aggregate(&chunk.gather(sel), …)` (groups appear in
+/// first-occurrence order over the selection, accumulation runs in
+/// selection order) without ever materializing the filtered chunk.
+pub fn aggregate_sel(
+    chunk: &Chunk,
+    sel: Option<&SelVec>,
+    group_by: &[String],
+    aggs: &[AggSpec],
+) -> Result<Chunk, String> {
     let key_cols: Vec<&ColumnData> = group_by
         .iter()
         .map(|name| chunk.require_column(name))
         .collect::<Result<_, _>>()?;
-    let agg_inputs: Vec<Vec<f64>> = aggs
-        .iter()
-        .map(|a| a.input.evaluate_f64(chunk))
-        .collect::<Result<_, _>>()?;
+    let agg_inputs: Vec<Vec<f64>> = match sel {
+        None => aggs
+            .iter()
+            .map(|a| a.input.evaluate_f64(chunk))
+            .collect::<Result<_, _>>()?,
+        Some(s) => aggs
+            .iter()
+            .map(|a| a.input.evaluate_f64_at(chunk, s.positions()))
+            .collect::<Result<_, _>>()?,
+    };
 
-    // Group index: composite key -> dense group id. The common one- and
-    // two-key cases avoid the per-row Vec allocation.
-    let mut representative: Vec<usize> = Vec::new();
+    let mut representative: Vec<u32> = Vec::new();
     let mut states: Vec<Vec<AggState>> = Vec::new();
-    {
-        let mut new_group = |row: usize, states: &mut Vec<Vec<AggState>>| {
-            representative.push(row);
-            states.push(vec![AggState::new(); aggs.len()]);
-            states.len() - 1
-        };
-        match key_cols.as_slice() {
-            [] => {
-                if n > 0 {
-                    let gid = new_group(0, &mut states);
-                    for row in 0..n {
-                        for (s, input) in states[gid].iter_mut().zip(&agg_inputs) {
-                            s.update(input[row]);
-                        }
-                    }
-                }
-            }
-            [k0] => {
-                let mut groups: HashMap<u64, usize> = HashMap::new();
-                for row in 0..n {
-                    let gid = *groups
-                        .entry(k0.key_at(row))
-                        .or_insert_with(|| new_group(row, &mut states));
-                    for (s, input) in states[gid].iter_mut().zip(&agg_inputs) {
-                        s.update(input[row]);
-                    }
-                }
-            }
-            [k0, k1] => {
-                let mut groups: HashMap<(u64, u64), usize> = HashMap::new();
-                for row in 0..n {
-                    let gid = *groups
-                        .entry((k0.key_at(row), k1.key_at(row)))
-                        .or_insert_with(|| new_group(row, &mut states));
-                    for (s, input) in states[gid].iter_mut().zip(&agg_inputs) {
-                        s.update(input[row]);
-                    }
-                }
-            }
-            _ => {
-                let mut groups: HashMap<Vec<u64>, usize> = HashMap::new();
-                for row in 0..n {
-                    let key: Vec<u64> =
-                        key_cols.iter().map(|c| c.key_at(row)).collect();
-                    let gid = *groups
-                        .entry(key)
-                        .or_insert_with(|| new_group(row, &mut states));
-                    for (s, input) in states[gid].iter_mut().zip(&agg_inputs) {
-                        s.update(input[row]);
-                    }
-                }
-            }
-        }
+    match sel {
+        None => group_rows(
+            &key_cols,
+            &agg_inputs,
+            aggs.len(),
+            (0..chunk.num_rows()).map(|r| r as u32),
+            &mut representative,
+            &mut states,
+        ),
+        Some(s) => group_rows(
+            &key_cols,
+            &agg_inputs,
+            aggs.len(),
+            s.positions().iter().copied(),
+            &mut representative,
+            &mut states,
+        ),
     }
 
     // Global aggregate over empty groups: one row of neutral values.
@@ -134,6 +125,74 @@ pub fn aggregate(
     Ok(finalize(group_by, &key_cols, aggs, &representative, &states))
 }
 
+/// Core grouping loop: consume rows (global indices, in accumulation
+/// order), assigning dense group ids in first-occurrence order.
+///
+/// `agg_inputs` are indexed by *dense* position in the iteration (`j`),
+/// not by global row — the caller aligned them with the row stream. The
+/// common one- and two-key cases avoid the per-row `Vec` allocation of the
+/// general composite key.
+fn group_rows(
+    key_cols: &[&ColumnData],
+    agg_inputs: &[Vec<f64>],
+    naggs: usize,
+    rows: impl Iterator<Item = u32>,
+    representative: &mut Vec<u32>,
+    states: &mut Vec<Vec<AggState>>,
+) {
+    let mut new_group = |row: u32, states: &mut Vec<Vec<AggState>>| {
+        representative.push(row);
+        states.push(vec![AggState::new(); naggs]);
+        states.len() - 1
+    };
+    match key_cols {
+        [] => {
+            for (j, row) in rows.enumerate() {
+                if states.is_empty() {
+                    new_group(row, states);
+                }
+                for (s, input) in states[0].iter_mut().zip(agg_inputs) {
+                    s.update(input[j]);
+                }
+            }
+        }
+        [k0] => {
+            let mut groups: HashMap<u64, usize> = HashMap::new();
+            for (j, row) in rows.enumerate() {
+                let gid = *groups
+                    .entry(k0.key_at(row as usize))
+                    .or_insert_with(|| new_group(row, states));
+                for (s, input) in states[gid].iter_mut().zip(agg_inputs) {
+                    s.update(input[j]);
+                }
+            }
+        }
+        [k0, k1] => {
+            let mut groups: HashMap<(u64, u64), usize> = HashMap::new();
+            for (j, row) in rows.enumerate() {
+                let gid = *groups
+                    .entry((k0.key_at(row as usize), k1.key_at(row as usize)))
+                    .or_insert_with(|| new_group(row, states));
+                for (s, input) in states[gid].iter_mut().zip(agg_inputs) {
+                    s.update(input[j]);
+                }
+            }
+        }
+        _ => {
+            let mut groups: HashMap<Vec<u64>, usize> = HashMap::new();
+            for (j, row) in rows.enumerate() {
+                let key: Vec<u64> =
+                    key_cols.iter().map(|c| c.key_at(row as usize)).collect();
+                let gid =
+                    *groups.entry(key).or_insert_with(|| new_group(row, states));
+                for (s, input) in states[gid].iter_mut().zip(agg_inputs) {
+                    s.update(input[j]);
+                }
+            }
+        }
+    }
+}
+
 /// Build the output chunk from finished group states: one row per group,
 /// group-key columns (gathered at each group's representative row) followed
 /// by one column per aggregate. Shared by the serial and parallel kernels
@@ -142,7 +201,7 @@ pub(crate) fn finalize(
     group_by: &[String],
     key_cols: &[&ColumnData],
     aggs: &[AggSpec],
-    representative: &[usize],
+    representative: &[u32],
     states: &[Vec<AggState>],
 ) -> Chunk {
     let mut fields = Vec::with_capacity(group_by.len() + aggs.len());

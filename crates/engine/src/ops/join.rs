@@ -1,6 +1,12 @@
 //! Hash join kernel (inner, semi, anti).
+//!
+//! [`hash_join`] consumes materialized sides. [`hash_join_sel`] probes the
+//! base probe chunk *through* a selection vector: only selected rows have
+//! keys extracted (via the per-row [`ProbeKeys`] extractor) and position
+//! pairs are emitted directly, so a filtered probe side is never gathered
+//! before the join.
 
-use crate::batch::Chunk;
+use crate::batch::{Chunk, SelVec};
 use crate::plan::JoinKind;
 use robustq_storage::{ColumnData, DataType};
 use std::cell::RefCell;
@@ -96,6 +102,198 @@ pub(crate) fn join_keys_into(
     }
 }
 
+/// Per-row probe key extraction, mirroring [`join_keys_into`] exactly.
+///
+/// Where `join_keys_into` materializes a dense `Vec<u64>` of probe keys,
+/// this resolves the column once and computes each key on demand — the
+/// form selection-vector probing needs, since only selected rows ever get
+/// a key. Key values are bit-identical to the dense path: shared-dict
+/// codes pass through, reconciled dictionaries translate through the same
+/// table (with the same `u64::MAX` never-matches sentinel), floats compare
+/// by bit pattern and integers by value.
+pub(crate) enum ProbeKeys<'a> {
+    /// String column: dictionary codes, optionally translated into the
+    /// build dictionary's code space.
+    Codes {
+        /// Per-row probe codes.
+        codes: &'a [u32],
+        /// `map[probe_code] -> build key`; `None` when the dictionaries
+        /// are the same `Arc` and codes are directly comparable.
+        map: Option<Vec<u64>>,
+    },
+    /// Numeric column keyed by `f64` bit pattern.
+    F64(&'a ColumnData),
+    /// Integer column keyed by value.
+    Int(&'a ColumnData),
+}
+
+impl ProbeKeys<'_> {
+    /// The join key of probe row `row`.
+    #[inline]
+    pub(crate) fn key(&self, row: usize) -> u64 {
+        match self {
+            ProbeKeys::Codes { codes, map: None } => codes[row] as u64,
+            ProbeKeys::Codes { codes, map: Some(m) } => m[codes[row] as usize],
+            ProbeKeys::F64(c) => c.get_f64(row).to_bits(),
+            ProbeKeys::Int(c) => match c {
+                ColumnData::Int32(v) => v[row] as i64 as u64,
+                ColumnData::Int64(v) => v[row] as u64,
+                _ => unreachable!("integer types checked"),
+            },
+        }
+    }
+}
+
+/// Fill `bkeys` with dense build keys and return the probe-side per-row
+/// extractor. Type checking and error messages match [`join_keys_into`].
+pub(crate) fn probe_key_extractor<'a>(
+    build: &ColumnData,
+    probe: &'a ColumnData,
+    bkeys: &mut Vec<u64>,
+) -> Result<ProbeKeys<'a>, String> {
+    use DataType::*;
+    let (bt, pt) = (build.data_type(), probe.data_type());
+    match (bt, pt) {
+        (Str, Str) => {
+            let (b, p) = match (build, probe) {
+                (ColumnData::Str(b), ColumnData::Str(p)) => (b, p),
+                _ => unreachable!("types checked"),
+            };
+            bkeys.extend(b.codes().iter().map(|&c| c as u64));
+            let map = if Arc::ptr_eq(b.dict(), p.dict()) {
+                None
+            } else {
+                let intern: HashMap<&str, u64> = b
+                    .dict()
+                    .iter()
+                    .enumerate()
+                    .map(|(i, s)| (s.as_str(), i as u64))
+                    .collect();
+                Some(
+                    p.dict()
+                        .iter()
+                        .map(|s| intern.get(s.as_str()).copied().unwrap_or(u64::MAX))
+                        .collect(),
+                )
+            };
+            Ok(ProbeKeys::Codes { codes: p.codes(), map })
+        }
+        (Str, _) | (_, Str) => {
+            Err("cannot join a string column with a numeric column".into())
+        }
+        (Float64, _) | (_, Float64) => {
+            bkeys.extend((0..build.len()).map(|i| build.get_f64(i).to_bits()));
+            Ok(ProbeKeys::F64(probe))
+        }
+        _ => {
+            match build {
+                ColumnData::Int32(v) => bkeys.extend(v.iter().map(|&x| x as i64 as u64)),
+                ColumnData::Int64(v) => bkeys.extend(v.iter().map(|&x| x as u64)),
+                _ => unreachable!("integer types checked"),
+            }
+            Ok(ProbeKeys::Int(probe))
+        }
+    }
+}
+
+/// Probe the given global probe positions against `table`, appending
+/// qualifying positions.
+///
+/// `Inner` appends matching `(probe, build)` position pairs; `Semi`/`Anti`
+/// append surviving probe positions only (and never touch `build_pos`).
+/// Positions come out in input order, so per-morsel outputs concatenate
+/// into exactly the serial result.
+pub(crate) fn probe_into(
+    keys: &ProbeKeys<'_>,
+    table: &HashMap<u64, Vec<u32>>,
+    kind: JoinKind,
+    positions: impl Iterator<Item = u32>,
+    probe_pos: &mut Vec<u32>,
+    build_pos: &mut Vec<u32>,
+) {
+    match kind {
+        JoinKind::Inner => {
+            for p in positions {
+                let k = keys.key(p as usize);
+                if k == u64::MAX {
+                    continue; // probe-only string, cannot match
+                }
+                if let Some(matches) = table.get(&k) {
+                    for &b in matches {
+                        probe_pos.push(p);
+                        build_pos.push(b);
+                    }
+                }
+            }
+        }
+        JoinKind::Semi => {
+            for p in positions {
+                let k = keys.key(p as usize);
+                if k != u64::MAX && table.contains_key(&k) {
+                    probe_pos.push(p);
+                }
+            }
+        }
+        JoinKind::Anti => {
+            for p in positions {
+                let k = keys.key(p as usize);
+                if k == u64::MAX || !table.contains_key(&k) {
+                    probe_pos.push(p);
+                }
+            }
+        }
+    }
+}
+
+/// Hash join where the probe side is `(chunk, selection vector)`.
+///
+/// Only positions in `sel` (all rows when `None`) are probed; keys are
+/// extracted per selected row and matching position pairs gathered
+/// straight from the *base* probe chunk — the filtered probe side is
+/// never materialized. Output is bit-identical to
+/// [`hash_join`]`(build, &probe.gather(sel), …)`.
+pub fn hash_join_sel(
+    build: &Chunk,
+    probe: &Chunk,
+    build_key: &str,
+    probe_key: &str,
+    kind: JoinKind,
+    sel: Option<&SelVec>,
+) -> Result<Chunk, String> {
+    let bcol = build.require_column(build_key)?;
+    let pcol = probe.require_column(probe_key)?;
+    with_key_buffers(|bkeys, _| {
+        let keys = probe_key_extractor(bcol, pcol, bkeys)?;
+        let table = build_table(bkeys);
+        let mut probe_pos = Vec::new();
+        let mut build_pos = Vec::new();
+        match sel {
+            Some(s) => probe_into(
+                &keys,
+                &table,
+                kind,
+                s.positions().iter().copied(),
+                &mut probe_pos,
+                &mut build_pos,
+            ),
+            None => probe_into(
+                &keys,
+                &table,
+                kind,
+                0..probe.num_rows() as u32,
+                &mut probe_pos,
+                &mut build_pos,
+            ),
+        }
+        match kind {
+            JoinKind::Inner => {
+                Ok(probe.gather(&probe_pos).zip(build.gather(&build_pos)))
+            }
+            JoinKind::Semi | JoinKind::Anti => Ok(probe.gather(&probe_pos)),
+        }
+    })
+}
+
 /// Hash the build keys into `key -> build row positions`.
 pub(crate) fn build_table(bkeys: &[u64]) -> HashMap<u64, Vec<u32>> {
     let mut table: HashMap<u64, Vec<u32>> = HashMap::with_capacity(bkeys.len());
@@ -137,36 +335,36 @@ fn join_with_table(
 ) -> Result<Chunk, String> {
     match kind {
         JoinKind::Inner => {
-            let mut probe_pos = Vec::new();
-            let mut build_pos = Vec::new();
+            let mut probe_pos: Vec<u32> = Vec::new();
+            let mut build_pos: Vec<u32> = Vec::new();
             for (i, &k) in pkeys.iter().enumerate() {
                 if k == u64::MAX {
                     continue; // probe-only string, cannot match
                 }
                 if let Some(matches) = table.get(&k) {
                     for &b in matches {
-                        probe_pos.push(i);
-                        build_pos.push(b as usize);
+                        probe_pos.push(i as u32);
+                        build_pos.push(b);
                     }
                 }
             }
             Ok(probe.gather(&probe_pos).zip(build.gather(&build_pos)))
         }
         JoinKind::Semi => {
-            let pos: Vec<usize> = pkeys
+            let pos: Vec<u32> = pkeys
                 .iter()
                 .enumerate()
                 .filter(|&(_, k)| *k != u64::MAX && table.contains_key(k))
-                .map(|(i, _)| i)
+                .map(|(i, _)| i as u32)
                 .collect();
             Ok(probe.gather(&pos))
         }
         JoinKind::Anti => {
-            let pos: Vec<usize> = pkeys
+            let pos: Vec<u32> = pkeys
                 .iter()
                 .enumerate()
                 .filter(|&(_, k)| *k == u64::MAX || !table.contains_key(k))
-                .map(|(i, _)| i)
+                .map(|(i, _)| i as u32)
                 .collect();
             Ok(probe.gather(&pos))
         }

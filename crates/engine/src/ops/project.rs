@@ -17,6 +17,26 @@ pub fn project(chunk: &Chunk, exprs: &[(String, Expr)]) -> Result<Chunk, String>
     Ok(Chunk::new(fields, columns))
 }
 
+/// Compute named expressions at the given row positions only — the
+/// selection-vector form of [`project`]. Output rows are the selected rows
+/// in position order, bit-identical to projecting the gathered chunk, but
+/// only the columns each expression reads are ever touched.
+pub fn project_at(
+    chunk: &Chunk,
+    exprs: &[(String, Expr)],
+    positions: &[u32],
+) -> Result<Chunk, String> {
+    let mut fields = Vec::with_capacity(exprs.len());
+    let mut columns = Vec::with_capacity(exprs.len());
+    for (name, expr) in exprs {
+        let ty = expr.result_type(chunk)?;
+        let col = expr.evaluate_at(chunk, positions)?;
+        fields.push(Field::new(name.clone(), ty));
+        columns.push(col);
+    }
+    Ok(Chunk::new(fields, columns))
+}
+
 /// Keep only the named columns, in the given order.
 pub fn keep_columns(chunk: &Chunk, names: &[String]) -> Result<Chunk, String> {
     let mut fields = Vec::with_capacity(names.len());

@@ -1,13 +1,41 @@
 //! Selection kernel.
+//!
+//! [`select`] runs on selection vectors: the predicate emits qualifying
+//! positions directly and a single gather materializes them.
+//! [`select_via_mask`] is the original mask-then-gather implementation,
+//! kept as the differential baseline for benches and property tests.
 
-use crate::batch::Chunk;
+use crate::batch::{Chunk, SelVec};
 use crate::predicate::Predicate;
 
 /// Filter `chunk` by `predicate`, materializing qualifying rows.
 pub fn select(chunk: &Chunk, predicate: &Predicate) -> Result<Chunk, String> {
+    let sel = predicate.evaluate_selvec(chunk, None)?;
+    Ok(chunk.gather(sel.positions()))
+}
+
+/// Filter `chunk` by `predicate`, restricted to the positions in `sel`
+/// when given, returning the surviving selection vector (no
+/// materialization).
+pub fn select_sel(
+    chunk: &Chunk,
+    predicate: &Predicate,
+    sel: Option<&SelVec>,
+) -> Result<SelVec, String> {
+    predicate.evaluate_selvec(chunk, sel)
+}
+
+/// Mask-based reference implementation of [`select`]: evaluate one `bool`
+/// per row, convert to positions, gather. Produces bit-identical output;
+/// exists so the selection-vector path always has an in-tree baseline to
+/// be compared (and benchmarked) against.
+pub fn select_via_mask(chunk: &Chunk, predicate: &Predicate) -> Result<Chunk, String> {
     let mask = predicate.evaluate(chunk)?;
-    let positions: Vec<usize> =
-        mask.iter().enumerate().filter_map(|(i, &m)| m.then_some(i)).collect();
+    let positions: Vec<u32> = mask
+        .iter()
+        .enumerate()
+        .filter_map(|(i, &m)| m.then_some(i as u32))
+        .collect();
     Ok(chunk.gather(&positions))
 }
 

@@ -34,8 +34,9 @@ pub fn sort(chunk: &Chunk, keys: &[SortKey], limit: Option<usize>) -> Result<Chu
         .iter()
         .map(|k| Ok((order_keys(chunk.require_column(&k.column)?), k.order)))
         .collect::<Result<_, String>>()?;
-    let mut idx: Vec<usize> = (0..chunk.num_rows()).collect();
+    let mut idx: Vec<u32> = (0..chunk.num_rows() as u32).collect();
     idx.sort_by(|&a, &b| {
+        let (a, b) = (a as usize, b as usize);
         for (vals, order) in &cols {
             let ord = vals[a].partial_cmp(&vals[b]).unwrap_or(Ordering::Equal);
             let ord = match order {

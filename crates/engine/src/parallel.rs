@@ -32,10 +32,10 @@
 //! (`robustq-sim`) is computed from the cost model and is unaffected, and
 //! because results are bit-identical, checksums and figures are too.
 
-use crate::batch::Chunk;
+use crate::batch::{Chunk, SelVec};
 use crate::ops;
 use crate::plan::{AggSpec, JoinKind};
-use crate::predicate::Predicate;
+use crate::predicate::{CompiledPred, Predicate};
 use robustq_storage::ColumnData;
 use std::collections::hash_map::Entry;
 use std::collections::HashMap;
@@ -49,18 +49,31 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 /// splits into ~16 units for load balancing.
 pub const DEFAULT_MORSEL_ROWS: usize = 65_536;
 
+/// Default minimum rows each worker must have before fan-out pays off.
+///
+/// Below `2 ×` this, kernels run serially: thread spawn/join plus
+/// per-morsel bookkeeping cost more than the parallel speedup on
+/// memory-bound kernels (the PR-1 benchmarks measured a net *slowdown*,
+/// 0.97×, at 1M rows).
+pub const DEFAULT_MIN_ROWS_PER_WORKER: usize = 524_288;
+
 /// How kernel work is spread across CPU worker threads.
 ///
 /// `workers == 1` (the [`Default`]) means strictly serial execution on the
 /// calling thread — the `ops/` reference kernels run unchanged, which is
-/// what tests use. Any result is bit-identical across all `workers` and
-/// `morsel_rows` settings.
+/// what tests use. Any result is bit-identical across all `workers`,
+/// `morsel_rows` and `min_rows_per_worker` settings.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct ParallelCtx {
     /// Number of worker threads to fan kernel work across (≥ 1).
     pub workers: usize,
     /// Rows per morsel (≥ 1).
     pub morsel_rows: usize,
+    /// Minimum rows of input per effective worker; inputs smaller than
+    /// `2 × min_rows_per_worker` run serially. `0` disables the threshold
+    /// (always fan out), which tests use to exercise parallel paths on
+    /// tiny chunks.
+    pub min_rows_per_worker: usize,
 }
 
 impl Default for ParallelCtx {
@@ -72,14 +85,18 @@ impl Default for ParallelCtx {
 impl ParallelCtx {
     /// Strictly serial execution (the reference path).
     pub fn serial() -> Self {
-        ParallelCtx { workers: 1, morsel_rows: DEFAULT_MORSEL_ROWS }
+        ParallelCtx {
+            workers: 1,
+            morsel_rows: DEFAULT_MORSEL_ROWS,
+            min_rows_per_worker: DEFAULT_MIN_ROWS_PER_WORKER,
+        }
     }
 
     /// One worker per available hardware thread.
     pub fn auto() -> Self {
         let workers =
             std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
-        ParallelCtx { workers, morsel_rows: DEFAULT_MORSEL_ROWS }
+        ParallelCtx::serial().with_workers(workers)
     }
 
     /// Set the worker count (clamped to ≥ 1).
@@ -94,9 +111,22 @@ impl ParallelCtx {
         self
     }
 
+    /// Set the serial-fallback threshold (`0` disables it).
+    pub fn with_min_rows_per_worker(mut self, rows: usize) -> Self {
+        self.min_rows_per_worker = rows;
+        self
+    }
+
     /// True if kernels run on the calling thread only.
     pub fn is_serial(&self) -> bool {
         self.workers <= 1
+    }
+
+    /// True if an input of `rows` rows is worth fanning out: at least two
+    /// workers would each get [`ParallelCtx::min_rows_per_worker`] rows.
+    /// Kernels fall back to the serial reference path otherwise.
+    pub fn should_parallelize(&self, rows: usize) -> bool {
+        !self.is_serial() && rows >= self.min_rows_per_worker.saturating_mul(2)
     }
 
     /// Split `rows` into morsels, apply `f` to every morsel range across
@@ -104,6 +134,11 @@ impl ParallelCtx {
     /// order** (deterministic regardless of scheduling). The first error in
     /// morsel order is returned, matching what a serial left-to-right scan
     /// would report.
+    ///
+    /// The effective worker count is capped so each thread has at least
+    /// [`ParallelCtx::min_rows_per_worker`] rows (and never exceeds the
+    /// morsel count); with one effective worker the loop runs on the
+    /// calling thread with no pool at all.
     pub fn run_morsels<T, F>(&self, rows: usize, f: F) -> Result<Vec<T>, String>
     where
         T: Send,
@@ -115,7 +150,11 @@ impl ParallelCtx {
             let start = i * morsel;
             start..(start + morsel).min(rows)
         };
-        let workers = self.workers.clamp(1, num_morsels.max(1));
+        let cap = match self.min_rows_per_worker {
+            0 => self.workers,
+            min => (rows / min).max(1),
+        };
+        let workers = self.workers.min(cap).clamp(1, num_morsels.max(1));
         if workers == 1 {
             return (0..num_morsels).map(|i| f(range_of(i))).collect();
         }
@@ -162,26 +201,39 @@ pub fn select(
     predicate: &Predicate,
     ctx: ParallelCtx,
 ) -> Result<Chunk, String> {
-    if ctx.is_serial() {
+    if ctx.is_serial() || !ctx.should_parallelize(chunk.num_rows()) {
         return ops::select::select(chunk, predicate);
     }
+    let sel = select_positions(chunk, predicate, ctx)?;
+    // One global gather, like the serial path: gathered string columns
+    // share the input's dictionary Arc (a per-morsel gather + concat would
+    // rebuild dictionaries and change code assignments).
+    Ok(chunk.gather(sel.positions()))
+}
+
+/// Compute the selection vector for `predicate` over `chunk` without
+/// materializing anything: each worker emits its morsel's qualifying
+/// positions and the per-worker lists are concatenated **once**, in morsel
+/// order — so the result equals the serial
+/// [`Predicate::evaluate_selvec`]`(chunk, None)` exactly.
+pub fn select_positions(
+    chunk: &Chunk,
+    predicate: &Predicate,
+    ctx: ParallelCtx,
+) -> Result<SelVec, String> {
+    if ctx.is_serial() || !ctx.should_parallelize(chunk.num_rows()) {
+        return predicate.evaluate_selvec(chunk, None);
+    }
     let parts = ctx.run_morsels(chunk.num_rows(), |rows| {
-        let start = rows.start;
-        let mask = predicate.evaluate_range(chunk, rows)?;
-        Ok(mask
-            .iter()
-            .enumerate()
-            .filter_map(|(i, &m)| m.then_some(start + i))
-            .collect::<Vec<usize>>())
+        let mut out = Vec::new();
+        predicate.evaluate_positions_range(chunk, rows, &mut out)?;
+        Ok(out)
     })?;
     let mut positions = Vec::with_capacity(parts.iter().map(Vec::len).sum());
     for part in &parts {
         positions.extend_from_slice(part);
     }
-    // One global gather, like the serial path: gathered string columns
-    // share the input's dictionary Arc (a per-morsel gather + concat would
-    // rebuild dictionaries and change code assignments).
-    Ok(chunk.gather(&positions))
+    Ok(SelVec::new(positions))
 }
 
 /// Parallel hash join: bit-identical to [`ops::join::hash_join`].
@@ -196,7 +248,7 @@ pub fn hash_join(
     kind: JoinKind,
     ctx: ParallelCtx,
 ) -> Result<Chunk, String> {
-    if ctx.is_serial() {
+    if ctx.is_serial() || !ctx.should_parallelize(probe.num_rows()) {
         return ops::join::hash_join(build, probe, build_key, probe_key, kind);
     }
     let bcol = build.require_column(build_key)?;
@@ -208,8 +260,8 @@ pub fn hash_join(
         match kind {
             JoinKind::Inner => {
                 let parts = ctx.run_morsels(pkeys.len(), |rows| {
-                    let mut probe_pos = Vec::new();
-                    let mut build_pos = Vec::new();
+                    let mut probe_pos: Vec<u32> = Vec::new();
+                    let mut build_pos: Vec<u32> = Vec::new();
                     for i in rows {
                         let k = pkeys[i];
                         if k == u64::MAX {
@@ -217,8 +269,8 @@ pub fn hash_join(
                         }
                         if let Some(matches) = table.get(&k) {
                             for &b in matches {
-                                probe_pos.push(i);
-                                build_pos.push(b as usize);
+                                probe_pos.push(i as u32);
+                                build_pos.push(b);
                             }
                         }
                     }
@@ -242,7 +294,8 @@ pub fn hash_join(
                             let found = k != u64::MAX && table.contains_key(&k);
                             found == keep_matches
                         })
-                        .collect::<Vec<usize>>())
+                        .map(|i| i as u32)
+                        .collect::<Vec<u32>>())
                 })?;
                 let mut pos = Vec::with_capacity(parts.iter().map(Vec::len).sum());
                 for part in &parts {
@@ -275,7 +328,7 @@ struct LocalGroups {
     /// Distinct keys, in local first-occurrence order.
     keys: Vec<GroupKey>,
     /// Global row index of each key's first occurrence in this morsel.
-    reps: Vec<usize>,
+    reps: Vec<u32>,
     /// Local group id of every row of the morsel, in row order.
     row_gids: Vec<u32>,
 }
@@ -298,7 +351,10 @@ pub fn aggregate(
     aggs: &[AggSpec],
     ctx: ParallelCtx,
 ) -> Result<Chunk, String> {
-    if ctx.is_serial() || group_by.is_empty() {
+    if ctx.is_serial()
+        || group_by.is_empty()
+        || !ctx.should_parallelize(chunk.num_rows())
+    {
         return ops::agg::aggregate(chunk, group_by, aggs);
     }
     let n = chunk.num_rows();
@@ -323,7 +379,7 @@ pub fn aggregate(
                 Entry::Vacant(e) => {
                     let g = keys.len() as u32;
                     keys.push(e.key().clone());
-                    reps.push(row);
+                    reps.push(row as u32);
                     e.insert(g);
                     g
                 }
@@ -335,7 +391,7 @@ pub fn aggregate(
 
     // Merge (serial, morsel order): global ids in first-occurrence order.
     let mut global: HashMap<GroupKey, u32> = HashMap::new();
-    let mut representative: Vec<usize> = Vec::new();
+    let mut representative: Vec<u32> = Vec::new();
     let mut gids: Vec<u32> = Vec::with_capacity(n);
     for local in &locals {
         let translate: Vec<u32> = local
@@ -366,6 +422,181 @@ pub fn aggregate(
     Ok(ops::agg::finalize(group_by, &key_cols, aggs, &representative, &states))
 }
 
+/// Per-morsel result of a fused filter→aggregate loop: the selected
+/// positions plus their local grouping, produced in one pass.
+struct FusedLocal {
+    /// Qualifying global positions of the morsel, in row order.
+    positions: Vec<u32>,
+    /// Distinct keys, in local first-occurrence order over the selection.
+    keys: Vec<GroupKey>,
+    /// Global row of each key's first occurrence in this morsel.
+    reps: Vec<u32>,
+    /// Local group id of every *selected* row, in selection order.
+    row_gids: Vec<u32>,
+}
+
+/// Fused filter→aggregate: one morsel loop filters **and** groups, so the
+/// filtered intermediate chunk is never materialized.
+///
+/// Each worker compiles nothing and copies nothing per row: the shared
+/// compiled predicate emits a morsel's qualifying positions, which are
+/// immediately grouped against the *base* columns. The merge and phase-2
+/// accumulation mirror [`aggregate`] — morsel-order group numbering,
+/// selection-order `f64` folds, aggregate inputs evaluated at selected
+/// positions only — so the result is bit-identical to
+/// `select(chunk, pred)` followed by `aggregate(...)`.
+pub fn fused_filter_aggregate(
+    chunk: &Chunk,
+    predicate: &Predicate,
+    group_by: &[String],
+    aggs: &[AggSpec],
+    ctx: ParallelCtx,
+) -> Result<Chunk, String> {
+    if ctx.is_serial() || !ctx.should_parallelize(chunk.num_rows()) {
+        let sel = predicate.evaluate_selvec(chunk, None)?;
+        return ops::agg::aggregate_sel(chunk, Some(&sel), group_by, aggs);
+    }
+    let pred = CompiledPred::compile(predicate, chunk)?;
+    let key_cols: Vec<&ColumnData> = group_by
+        .iter()
+        .map(|name| chunk.require_column(name))
+        .collect::<Result<_, _>>()?;
+
+    // Phase 1 (parallel): filter + local grouping in one pass per morsel.
+    let locals = ctx.run_morsels(chunk.num_rows(), |rows| {
+        let mut positions = Vec::new();
+        pred.append_range(rows, &mut positions)?;
+        let mut map: HashMap<GroupKey, u32> = HashMap::new();
+        let mut keys = Vec::new();
+        let mut reps = Vec::new();
+        let mut row_gids = Vec::with_capacity(positions.len());
+        for &p in &positions {
+            let gid = match map.entry(group_key(&key_cols, p as usize)) {
+                Entry::Occupied(e) => *e.get(),
+                Entry::Vacant(e) => {
+                    let g = keys.len() as u32;
+                    keys.push(e.key().clone());
+                    reps.push(p);
+                    e.insert(g);
+                    g
+                }
+            };
+            row_gids.push(gid);
+        }
+        Ok(FusedLocal { positions, keys, reps, row_gids })
+    })?;
+
+    // Merge (serial, morsel order): global ids in first-occurrence order
+    // over the concatenated selection.
+    let total: usize = locals.iter().map(|l| l.positions.len()).sum();
+    let mut global: HashMap<GroupKey, u32> = HashMap::new();
+    let mut representative: Vec<u32> = Vec::new();
+    let mut positions: Vec<u32> = Vec::with_capacity(total);
+    let mut gids: Vec<u32> = Vec::with_capacity(total);
+    for local in &locals {
+        let translate: Vec<u32> = local
+            .keys
+            .iter()
+            .zip(&local.reps)
+            .map(|(key, &rep)| match global.entry(key.clone()) {
+                Entry::Occupied(e) => *e.get(),
+                Entry::Vacant(e) => {
+                    let g = representative.len() as u32;
+                    representative.push(rep);
+                    e.insert(g);
+                    g
+                }
+            })
+            .collect();
+        gids.extend(local.row_gids.iter().map(|&l| translate[l as usize]));
+        positions.extend_from_slice(&local.positions);
+    }
+
+    // Phase 2 (serial, selection order): inputs at selected rows only.
+    let agg_inputs: Vec<Vec<f64>> = aggs
+        .iter()
+        .map(|a| a.input.evaluate_f64_at(chunk, &positions))
+        .collect::<Result<_, _>>()?;
+    let mut states =
+        vec![vec![ops::agg::AggState::new(); aggs.len()]; representative.len()];
+    for (j, &gid) in gids.iter().enumerate() {
+        for (state, input) in states[gid as usize].iter_mut().zip(&agg_inputs) {
+            state.update(input[j]);
+        }
+    }
+    // Global aggregate over an empty selection: one row of neutral values.
+    if group_by.is_empty() && states.is_empty() {
+        representative.push(0);
+        states.push(vec![ops::agg::AggState::new(); aggs.len()]);
+    }
+    Ok(ops::agg::finalize(group_by, &key_cols, aggs, &representative, &states))
+}
+
+/// Fused filter→probe: each worker filters its morsel of the probe side
+/// and immediately probes the surviving positions against the (shared,
+/// prebuilt) hash table, emitting global position pairs — the filtered
+/// probe side is never materialized.
+///
+/// The concatenation runs in morsel order and the output is gathered once
+/// from the *base* probe chunk, so the result is bit-identical to
+/// `select(probe, pred)` followed by `hash_join(build, ..., kind)`.
+pub fn fused_filter_probe(
+    build: &Chunk,
+    probe: &Chunk,
+    predicate: &Predicate,
+    build_key: &str,
+    probe_key: &str,
+    kind: JoinKind,
+    ctx: ParallelCtx,
+) -> Result<Chunk, String> {
+    if ctx.is_serial() || !ctx.should_parallelize(probe.num_rows()) {
+        let sel = predicate.evaluate_selvec(probe, None)?;
+        return ops::join::hash_join_sel(
+            build,
+            probe,
+            build_key,
+            probe_key,
+            kind,
+            Some(&sel),
+        );
+    }
+    let pred = CompiledPred::compile(predicate, probe)?;
+    let bcol = build.require_column(build_key)?;
+    let pcol = probe.require_column(probe_key)?;
+    ops::join::with_key_buffers(|bkeys, _pkeys| {
+        let keys = ops::join::probe_key_extractor(bcol, pcol, bkeys)?;
+        let table = ops::join::build_table(bkeys);
+        let parts = ctx.run_morsels(probe.num_rows(), |rows| {
+            let mut positions = Vec::new();
+            pred.append_range(rows, &mut positions)?;
+            let mut probe_pos = Vec::new();
+            let mut build_pos = Vec::new();
+            ops::join::probe_into(
+                &keys,
+                &table,
+                kind,
+                positions.into_iter(),
+                &mut probe_pos,
+                &mut build_pos,
+            );
+            Ok((probe_pos, build_pos))
+        })?;
+        let total: usize = parts.iter().map(|(p, _)| p.len()).sum();
+        let mut probe_pos = Vec::with_capacity(total);
+        let mut build_pos = Vec::with_capacity(total);
+        for (p, b) in &parts {
+            probe_pos.extend_from_slice(p);
+            build_pos.extend_from_slice(b);
+        }
+        match kind {
+            JoinKind::Inner => {
+                Ok(probe.gather(&probe_pos).zip(build.gather(&build_pos)))
+            }
+            JoinKind::Semi | JoinKind::Anti => Ok(probe.gather(&probe_pos)),
+        }
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -393,7 +624,9 @@ mod tests {
     }
 
     fn ctx(workers: usize, morsel: usize) -> ParallelCtx {
-        ParallelCtx { workers, morsel_rows: morsel }
+        // Threshold disabled so tiny test chunks still exercise the
+        // parallel paths.
+        ParallelCtx { workers, morsel_rows: morsel, min_rows_per_worker: 0 }
     }
 
     #[test]
@@ -496,5 +729,146 @@ mod tests {
         assert!(ParallelCtx::serial().is_serial());
         assert!(!ParallelCtx::serial().with_workers(4).is_serial());
         assert!(ParallelCtx::auto().workers >= 1);
+    }
+
+    #[test]
+    fn min_rows_threshold_forces_serial_on_small_inputs() {
+        let c = ParallelCtx::serial().with_workers(8);
+        assert!(!c.should_parallelize(1_000_000)); // 1M < 2 × 524_288
+        assert!(c.should_parallelize(10_000_000));
+        assert!(!ParallelCtx::serial().should_parallelize(10_000_000));
+        // Threshold disabled: any multi-worker input fans out.
+        assert!(c.with_min_rows_per_worker(0).should_parallelize(10));
+        // run_morsels caps effective workers by rows/threshold.
+        let parts = c
+            .with_morsel_rows(100)
+            .run_morsels(1_000, |r| Ok(r.len()))
+            .unwrap();
+        assert_eq!(parts.iter().sum::<usize>(), 1_000);
+    }
+
+    #[test]
+    fn select_positions_matches_serial_selvec() {
+        let chunk = wide_chunk(1_000);
+        let pred = Predicate::between("a", -5, 5);
+        let serial = pred.evaluate_selvec(&chunk, None).unwrap();
+        for workers in [2, 8] {
+            for morsel in [1, 7, 64] {
+                let par =
+                    select_positions(&chunk, &pred, ctx(workers, morsel)).unwrap();
+                assert_eq!(
+                    par.positions(),
+                    serial.positions(),
+                    "workers={workers} morsel={morsel}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn fused_filter_aggregate_matches_select_then_aggregate() {
+        let chunk = wide_chunk(2_000);
+        let pred = Predicate::between("a", -7, 7);
+        let aggs = vec![
+            AggSpec::sum(Expr::col("f"), "s"),
+            AggSpec::count("c"),
+            AggSpec::new(crate::plan::AggFunc::Avg, Expr::col("f"), "m"),
+        ];
+        for group_by in [vec![], vec!["s".to_string()], vec!["s".to_string(), "a".into()]] {
+            let filtered = ops::select::select(&chunk, &pred).unwrap();
+            let serial = ops::agg::aggregate(&filtered, &group_by, &aggs).unwrap();
+            for workers in [1, 2, 8] {
+                let fused = fused_filter_aggregate(
+                    &chunk,
+                    &pred,
+                    &group_by,
+                    &aggs,
+                    ctx(workers, 111),
+                )
+                .unwrap();
+                assert_eq!(fused, serial, "workers={workers} group_by={group_by:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn fused_filter_aggregate_empty_selection_global_agg() {
+        let chunk = wide_chunk(500);
+        let pred = Predicate::eq("a", 9_999); // matches nothing
+        let out = fused_filter_aggregate(
+            &chunk,
+            &pred,
+            &[],
+            &[AggSpec::count("c")],
+            ctx(4, 64),
+        )
+        .unwrap();
+        assert_eq!(out.num_rows(), 1);
+        assert_eq!(out.row(0)[0].as_i64(), Some(0));
+    }
+
+    #[test]
+    fn fused_filter_probe_matches_select_then_join() {
+        let build = wide_chunk(50);
+        let probe = wide_chunk(777);
+        let pred = Predicate::between("a", -8, 4);
+        for kind in [JoinKind::Inner, JoinKind::Semi, JoinKind::Anti] {
+            let filtered = ops::select::select(&probe, &pred).unwrap();
+            let serial =
+                ops::join::hash_join(&build, &filtered, "a", "a", kind).unwrap();
+            for workers in [1, 3, 8] {
+                let fused = fused_filter_probe(
+                    &build,
+                    &probe,
+                    &pred,
+                    "a",
+                    "a",
+                    kind,
+                    ctx(workers, 13),
+                )
+                .unwrap();
+                assert_eq!(fused, serial, "{kind:?} workers={workers}");
+            }
+        }
+    }
+
+    #[test]
+    fn fused_string_key_probe_shares_dictionaries() {
+        // String keys across distinct dictionaries exercise the probe-key
+        // translation table inside the fused loop.
+        let build = wide_chunk(40);
+        let probe = wide_chunk(333);
+        let pred = Predicate::True;
+        let filtered = ops::select::select(&probe, &pred).unwrap();
+        let serial =
+            ops::join::hash_join(&build, &filtered, "s", "s", JoinKind::Inner)
+                .unwrap();
+        let fused =
+            fused_filter_probe(&build, &probe, &pred, "s", "s", JoinKind::Inner, ctx(4, 17))
+                .unwrap();
+        assert_eq!(fused, serial);
+    }
+
+    #[test]
+    fn fused_errors_match_serial() {
+        let chunk = wide_chunk(100);
+        assert!(fused_filter_aggregate(
+            &chunk,
+            &Predicate::eq("zz", 1),
+            &[],
+            &[AggSpec::count("c")],
+            ctx(2, 8)
+        )
+        .is_err());
+        assert!(fused_filter_probe(
+            &chunk,
+            &chunk,
+            &Predicate::True,
+            "zz",
+            "a",
+            JoinKind::Inner,
+            ctx(2, 8)
+        )
+        .is_err());
     }
 }

@@ -39,7 +39,7 @@ pub fn partition(db: &Database, fact_table: &str, n: usize) -> Result<Vec<Databa
     for p in 0..n {
         let lo = rows * p / n;
         let hi = rows * (p + 1) / n;
-        let positions: Vec<usize> = (lo..hi).collect();
+        let positions: Vec<u32> = (lo as u32..hi as u32).collect();
         let mut part_db = Database::new();
         for t in db.tables() {
             let table = if t.name() == fact_table {

@@ -85,7 +85,9 @@ fn seeded_runs_are_byte_identical_across_invocations_and_workers() {
         RunnerConfig::default()
             .with_users(4)
             .with_fault_plan(FaultPlan::new(7, spec.clone()))
-            .with_parallel(ParallelCtx::serial().with_workers(workers))
+            .with_parallel(
+                ParallelCtx::serial().with_workers(workers).with_min_rows_per_worker(0),
+            )
     };
 
     let fingerprint = |cfg: &RunnerConfig| {

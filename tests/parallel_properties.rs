@@ -84,7 +84,8 @@ fn assert_grid(serial: &Chunk, run: impl Fn(ParallelCtx) -> Chunk) {
         for morsel in MORSEL_GRID {
             let ctx = ParallelCtx::serial()
                 .with_workers(workers)
-                .with_morsel_rows(morsel);
+                .with_morsel_rows(morsel)
+                .with_min_rows_per_worker(0); // fan out even tiny chunks
             assert_eq!(
                 &run(ctx),
                 serial,
@@ -158,8 +159,8 @@ proptest! {
         // code-reuse fast path of the string-key join.
         let base = chunk_of(&base_rows);
         let n = base.num_rows();
-        let build = base.gather(&(0..n / 2).collect::<Vec<_>>());
-        let probe = base.gather(&(n / 4..n).collect::<Vec<_>>());
+        let build = base.gather(&(0..(n / 2) as u32).collect::<Vec<u32>>());
+        let probe = base.gather(&((n / 4) as u32..n as u32).collect::<Vec<u32>>());
         let kind = join_kind(kind);
         let serial =
             ops::join::hash_join(&build, &probe, "str", "str", kind).unwrap();
@@ -216,7 +217,10 @@ fn full_ssb_plans_are_identical_serial_vs_parallel() {
     use robustq::workloads::SsbQuery;
 
     let db = SsbGenerator::new(1).with_rows_per_sf(1_000).generate();
-    let ctx = ParallelCtx::serial().with_workers(4).with_morsel_rows(128);
+    let ctx = ParallelCtx::serial()
+        .with_workers(4)
+        .with_morsel_rows(128)
+        .with_min_rows_per_worker(0);
     for q in SsbQuery::ALL {
         let plan = q.plan(&db).expect("plans");
         let serial = ops::execute_plan(&plan, &db).expect("serial runs");
