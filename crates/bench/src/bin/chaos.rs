@@ -8,12 +8,19 @@
 //! cargo run -p robustq-bench --release --bin chaos
 //! cargo run -p robustq-bench --release --bin chaos -- --seeds 200 --base-seed 0
 //! cargo run -p robustq-bench --release --bin chaos -- --workload micro --users 4
+//! cargo run -p robustq-bench --release --bin chaos -- --trace chaos-trace.json
 //! ```
+//!
+//! `--trace PATH` traces the first faulted seed's run, cross-checks the
+//! trace-derived metrics against the legacy counters (the debug-build
+//! invariant, enforced here in release too), and writes the Chrome
+//! `trace_event` JSON to PATH.
 
 use std::collections::BTreeMap;
 
 use robustq_core::Strategy;
 use robustq_engine::plan::PlanNode;
+use robustq_engine::RunMetrics;
 use robustq_sim::{FaultPlan, FaultSpec, SimConfig, VirtualTime};
 use robustq_storage::gen::ssb::SsbGenerator;
 use robustq_storage::Database;
@@ -24,11 +31,17 @@ struct Args {
     base_seed: u64,
     workload: String,
     users: usize,
+    trace: Option<String>,
 }
 
 fn parse_args() -> Result<Args, String> {
-    let mut args =
-        Args { seeds: 100, base_seed: 0, workload: "ssb".to_string(), users: 2 };
+    let mut args = Args {
+        seeds: 100,
+        base_seed: 0,
+        workload: "ssb".to_string(),
+        users: 2,
+        trace: None,
+    };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
         let mut value = |name: &str| {
@@ -42,6 +55,7 @@ fn parse_args() -> Result<Args, String> {
             }
             "--workload" => args.workload = value("--workload")?,
             "--users" => args.users = value("--users")?.parse().map_err(|e| format!("--users: {e}"))?,
+            "--trace" => args.trace = Some(value("--trace")?),
             other => return Err(format!("unknown flag {other:?}")),
         }
     }
@@ -185,8 +199,13 @@ fn main() {
         let seed = args.base_seed + i;
         let shape = (seed % 5) as usize;
         let plan = FaultPlan::new(seed, spec_for(seed, horizon));
-        let cfg =
+        let mut cfg =
             RunnerConfig::default().with_users(args.users).with_fault_plan(plan);
+        // Trace the first faulted seed when asked.
+        let trace_this = args.trace.is_some() && i == 0;
+        if trace_this {
+            cfg = cfg.with_trace();
+        }
         let report = match runner.run(&queries, Strategy::GpuPreferred, &cfg) {
             Ok(r) => r,
             Err(e) => {
@@ -198,6 +217,27 @@ fn main() {
         for msg in check(&report, &map) {
             println!("seed {seed}: VIOLATION: {msg}");
             violations += 1;
+        }
+        if trace_this {
+            let path = args.trace.as_deref().expect("trace path present");
+            let trace = report.trace.as_ref().expect("traced run records events");
+            // The §10 reconciliation invariant, enforced in release builds.
+            if RunMetrics::from_events(&trace.events) != report.metrics {
+                println!("seed {seed}: VIOLATION: trace-derived metrics diverge");
+                violations += 1;
+            }
+            let chrome = report.chrome_trace().expect("traced run exports");
+            match std::fs::write(path, &chrome) {
+                Ok(()) => println!(
+                    "seed {seed}: wrote {} events ({} dropped) to {path}",
+                    trace.events.len(),
+                    trace.dropped
+                ),
+                Err(e) => {
+                    println!("seed {seed}: cannot write {path}: {e}");
+                    violations += 1;
+                }
+            }
         }
         runs[shape] += 1;
         injected[shape] += report.metrics.faults.injected;

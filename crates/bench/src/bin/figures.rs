@@ -4,10 +4,17 @@
 //! cargo run -p robustq-bench --release --bin figures            # all figures
 //! cargo run -p robustq-bench --release --bin figures -- fig14   # one figure
 //! cargo run -p robustq-bench --release --bin figures -- --json fig14
+//! cargo run -p robustq-bench --release --bin figures -- --trace out.json fig14
 //! ROBUSTQ_EFFORT=full cargo run -p robustq-bench --release --bin figures
 //! ```
+//!
+//! `--trace PATH` additionally performs one traced SSB reference run and
+//! writes its Chrome `trace_event` JSON to PATH (load it in Perfetto, or
+//! validate it with the `trace-lint` binary).
 
-use robustq_bench::{all_figures, figure_by_id, Effort, FigTable, FIGURE_IDS};
+use robustq_bench::{
+    all_figures, figure_by_id, traced_reference_run, Effort, FigTable, FIGURE_IDS,
+};
 
 fn emit(table: &FigTable, json: bool) {
     if json {
@@ -20,32 +27,53 @@ fn emit(table: &FigTable, json: bool) {
 fn main() {
     let effort = Effort::from_env();
     let mut json = false;
-    let args: Vec<String> = std::env::args()
-        .skip(1)
-        .filter(|a| {
-            if a == "--json" {
-                json = true;
-                false
-            } else {
-                true
-            }
-        })
-        .collect();
-    if args.is_empty() {
+    let mut trace_path: Option<String> = None;
+    let mut ids: Vec<String> = Vec::new();
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--json" => json = true,
+            "--trace" => match it.next() {
+                Some(p) => trace_path = Some(p),
+                None => {
+                    eprintln!("--trace needs an output path");
+                    std::process::exit(2);
+                }
+            },
+            _ => ids.push(arg),
+        }
+    }
+
+    let mut failed = false;
+    if ids.is_empty() && trace_path.is_none() {
         for table in all_figures(effort) {
             emit(&table, json);
         }
-        return;
-    }
-    let mut failed = false;
-    for id in &args {
-        match figure_by_id(id, effort) {
-            Some(table) => emit(&table, json),
-            None => {
-                eprintln!("unknown figure {id:?}; known: {}", FIGURE_IDS.join(", "));
-                failed = true;
+    } else {
+        for id in &ids {
+            match figure_by_id(id, effort) {
+                Some(table) => emit(&table, json),
+                None => {
+                    eprintln!("unknown figure {id:?}; known: {}", FIGURE_IDS.join(", "));
+                    failed = true;
+                }
             }
         }
+    }
+
+    if let Some(path) = trace_path {
+        let report = traced_reference_run(effort);
+        let trace = report.trace.as_ref().expect("traced run records events");
+        let chrome = report.chrome_trace().expect("traced run exports");
+        if let Err(e) = std::fs::write(&path, &chrome) {
+            eprintln!("cannot write {path}: {e}");
+            std::process::exit(1);
+        }
+        eprintln!(
+            "wrote {} events ({} dropped) to {path}",
+            trace.events.len(),
+            trace.dropped
+        );
     }
     if failed {
         std::process::exit(2);

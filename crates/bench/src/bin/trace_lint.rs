@@ -1,0 +1,43 @@
+//! Validate Chrome `trace_event` JSON emitted by the tracing subsystem.
+//!
+//! Checks each file for well-formed JSON, monotone timestamps per lane,
+//! and balanced `B`/`E` span nesting (see `robustq_trace::lint_chrome_trace`).
+//! Exit status 1 on any failure.
+//!
+//! ```text
+//! cargo run -p robustq-bench --release --bin trace-lint -- out.json
+//! ```
+
+use robustq_trace::lint_chrome_trace;
+
+fn main() {
+    let paths: Vec<String> = std::env::args().skip(1).collect();
+    if paths.is_empty() {
+        eprintln!("usage: trace-lint FILE...");
+        std::process::exit(2);
+    }
+    let mut failed = false;
+    for path in &paths {
+        let src = match std::fs::read_to_string(path) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("{path}: {e}");
+                failed = true;
+                continue;
+            }
+        };
+        match lint_chrome_trace(&src) {
+            Ok(rep) => println!(
+                "{path}: ok — {} events, {} lanes, {} complete spans, {} span pairs",
+                rep.events, rep.lanes, rep.complete_spans, rep.span_pairs
+            ),
+            Err(e) => {
+                eprintln!("{path}: FAIL: {e}");
+                failed = true;
+            }
+        }
+    }
+    if failed {
+        std::process::exit(1);
+    }
+}

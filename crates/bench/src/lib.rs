@@ -22,6 +22,24 @@ pub mod table;
 pub use machine::{Effort, MicroSetup, WorkloadKind, WorkloadSetup};
 pub use table::FigTable;
 
+/// One traced reference run: the SSB workload at SF 10 on the
+/// full-workload machine under Data-Driven Chopping, with structured
+/// tracing enabled. This is the run the `figures` binary exports with
+/// `--trace` and CI pipes through `trace-lint`.
+pub fn traced_reference_run(effort: Effort) -> robustq_workloads::RunReport {
+    let setup = WorkloadSetup::new(WorkloadKind::Ssb, effort);
+    let db = setup.db(10);
+    let queries = setup.queries(&db);
+    let runner = robustq_workloads::WorkloadRunner::new(&db, setup.sim());
+    let cfg = robustq_workloads::RunnerConfig::default()
+        .with_users(2)
+        .with_parallel(machine::parallel_ctx())
+        .with_trace();
+    runner
+        .run(&queries, robustq_core::Strategy::DataDrivenChopping, &cfg)
+        .expect("traced reference run")
+}
+
 /// Run every figure at the given effort, in paper order.
 pub fn all_figures(effort: Effort) -> Vec<FigTable> {
     vec![

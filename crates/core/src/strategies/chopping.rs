@@ -10,7 +10,7 @@
 //! concurrency bound.
 
 use crate::strategies::runtime::RuntimePlacer;
-use robustq_engine::{PlacementPolicy, PolicyCtx, TaskInfo};
+use robustq_engine::{Placement, PlacementPolicy, PolicyCtx, TaskInfo};
 use robustq_sim::{DeviceId, OpClass, VirtualTime};
 
 /// Query chopping with operator-driven data placement.
@@ -51,7 +51,7 @@ impl PlacementPolicy for Chopping {
         "Chopping"
     }
 
-    fn place_ready(&mut self, task: &TaskInfo, ctx: &PolicyCtx) -> DeviceId {
+    fn place_ready(&mut self, task: &TaskInfo, ctx: &PolicyCtx) -> Placement {
         self.placer.choose(task, ctx)
     }
 
@@ -96,7 +96,7 @@ mod tests {
         assert_eq!(p.plan_query(&infos, &ctx), vec![None, None]);
         // Placement happens per ready task.
         let d = p.place_ready(&task(1_000_000), &ctx);
-        assert!(matches!(d, DeviceId::Cpu | DeviceId::Gpu));
+        assert!(matches!(d.device, DeviceId::Cpu | DeviceId::Gpu));
     }
 
     #[test]

@@ -13,8 +13,8 @@
 //! leaves, with a fixed iteration cap for very wide plans.
 
 use crate::hype::HypeEstimator;
-use robustq_engine::{PlacementPolicy, PolicyCtx, TaskInfo};
-use robustq_sim::{CacheKey, DeviceId, OpClass, VirtualTime};
+use robustq_engine::{Placement, PlacementPolicy, PolicyCtx, TaskInfo};
+use robustq_sim::{CacheKey, DeviceId, OpClass, PerDevice, VirtualTime};
 
 /// The Critical Path strategy.
 #[derive(Debug, Clone)]
@@ -128,7 +128,7 @@ impl PlacementPolicy for CriticalPath {
         "Critical Path"
     }
 
-    fn plan_query(&mut self, tasks: &[TaskInfo], ctx: &PolicyCtx) -> Vec<Option<DeviceId>> {
+    fn plan_query(&mut self, tasks: &[TaskInfo], ctx: &PolicyCtx) -> Vec<Option<Placement>> {
         if tasks.is_empty() {
             return Vec::new();
         }
@@ -172,7 +172,19 @@ impl PlacementPolicy for CriticalPath {
                 best_devices = devices;
             }
         }
-        best_devices.into_iter().map(Some).collect()
+        // Annotate each pick with its per-device kernel estimates so the
+        // trace records what the search believed about either side.
+        best_devices
+            .into_iter()
+            .zip(tasks)
+            .map(|(d, t)| {
+                let est = PerDevice::new(
+                    self.hype.estimate(t.op_class, DeviceId::Cpu, t.bytes_in, t.bytes_out_estimate),
+                    self.hype.estimate(t.op_class, DeviceId::Gpu, t.bytes_in, t.bytes_out_estimate),
+                );
+                Some(Placement::modeled(d, est))
+            })
+            .collect()
     }
 
     fn observe(
@@ -270,7 +282,8 @@ mod tests {
         let ctx = ctx(&db, &c);
         let mut cp = trained();
         let out = cp.plan_query(&plan_tasks(8_000_000), &ctx);
-        assert_eq!(out, vec![Some(DeviceId::Cpu); 4]);
+        assert_eq!(out.len(), 4);
+        assert!(out.iter().all(|p| p.unwrap().device == DeviceId::Cpu));
     }
 
     #[test]
@@ -282,9 +295,11 @@ mod tests {
         let mut cp = trained();
         let out = cp.plan_query(&plan_tasks(8_000_000), &ctx);
         // Both scans cached: everything chains onto the co-processor.
-        assert_eq!(out[0], Some(DeviceId::Gpu));
-        assert_eq!(out[1], Some(DeviceId::Gpu));
-        assert_eq!(out[2], Some(DeviceId::Gpu), "binary op follows both children");
+        assert_eq!(out[0].unwrap().device, DeviceId::Gpu);
+        assert_eq!(out[1].unwrap().device, DeviceId::Gpu);
+        assert_eq!(out[2].unwrap().device, DeviceId::Gpu, "binary op follows both children");
+        // Modeled estimates ride along for the trace.
+        assert!(out[0].unwrap().est[DeviceId::Cpu] > VirtualTime::ZERO);
     }
 
     #[test]
@@ -296,8 +311,8 @@ mod tests {
         let mut cp = trained();
         let out = cp.plan_query(&plan_tasks(8_000_000), &ctx);
         // The cold side stays on the CPU, so the join cannot chain.
-        assert_eq!(out[1], Some(DeviceId::Cpu));
-        assert_eq!(out[2], Some(DeviceId::Cpu));
+        assert_eq!(out[1].unwrap().device, DeviceId::Cpu);
+        assert_eq!(out[2].unwrap().device, DeviceId::Cpu);
     }
 
     #[test]

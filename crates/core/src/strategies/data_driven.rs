@@ -12,7 +12,7 @@
 
 use crate::placement_mgr::{DataPlacementManager, PlacementPolicyKind};
 use crate::strategies::runtime::RuntimePlacer;
-use robustq_engine::{PlacementPolicy, PolicyCtx, TaskInfo};
+use robustq_engine::{Placement, PlacementPolicy, PlaceReason, PolicyCtx, TaskInfo};
 use robustq_sim::{CacheKey, DataCache, DeviceId, OpClass, VirtualTime};
 use robustq_storage::Database;
 
@@ -65,7 +65,7 @@ impl PlacementPolicy for DataDriven {
         "Data-Driven"
     }
 
-    fn plan_query(&mut self, tasks: &[TaskInfo], ctx: &PolicyCtx) -> Vec<Option<DeviceId>> {
+    fn plan_query(&mut self, tasks: &[TaskInfo], ctx: &PolicyCtx) -> Vec<Option<Placement>> {
         let base = tasks.first().map_or(0, |t| t.task);
         let mut devices: Vec<DeviceId> = Vec::with_capacity(tasks.len());
         for t in tasks {
@@ -76,7 +76,10 @@ impl PlacementPolicy for DataDriven {
             let cached = ctx.all_cached(&resolved.base_columns);
             devices.push(data_driven_device(&resolved, cached));
         }
-        devices.into_iter().map(Some).collect()
+        devices
+            .into_iter()
+            .map(|d| Some(Placement::fixed(d).because(PlaceReason::DataResidency)))
+            .collect()
     }
 
     fn caches_on_miss(&self) -> bool {
@@ -135,9 +138,10 @@ impl PlacementPolicy for DataDrivenChopping {
         "Data-Driven Chopping"
     }
 
-    fn place_ready(&mut self, task: &TaskInfo, ctx: &PolicyCtx) -> DeviceId {
+    fn place_ready(&mut self, task: &TaskInfo, ctx: &PolicyCtx) -> Placement {
         let cached = ctx.all_cached(&task.base_columns);
-        data_driven_device(task, cached)
+        Placement::fixed(data_driven_device(task, cached))
+            .because(PlaceReason::DataResidency)
     }
 
     fn worker_slots(&self, _device: DeviceId, spec_slots: usize) -> usize {
@@ -187,10 +191,10 @@ mod tests {
         let mut p = DataDrivenChopping::new(PlacementPolicyKind::Lfu);
         // Both columns resident -> GPU.
         let t = scan_task(vec![ColumnId(1), ColumnId(2)]);
-        assert_eq!(p.place_ready(&t, &ctx), DeviceId::Gpu);
+        assert_eq!(p.place_ready(&t, &ctx).device, DeviceId::Gpu);
         // One missing -> CPU.
         let t = scan_task(vec![ColumnId(1), ColumnId(3)]);
-        assert_eq!(p.place_ready(&t, &ctx), DeviceId::Cpu);
+        assert_eq!(p.place_ready(&t, &ctx).device, DeviceId::Cpu);
     }
 
     #[test]
@@ -203,9 +207,9 @@ mod tests {
         t.children_tasks = vec![0, 1];
         t.children_devices = vec![DeviceId::Gpu, DeviceId::Gpu];
         t.children_bytes = vec![10, 10];
-        assert_eq!(p.place_ready(&t, &ctx), DeviceId::Gpu);
+        assert_eq!(p.place_ready(&t, &ctx).device, DeviceId::Gpu);
         t.children_devices = vec![DeviceId::Gpu, DeviceId::Cpu];
-        assert_eq!(p.place_ready(&t, &ctx), DeviceId::Cpu);
+        assert_eq!(p.place_ready(&t, &ctx).device, DeviceId::Cpu);
     }
 
     #[test]
@@ -225,17 +229,19 @@ mod tests {
         join.task = 42;
         join.children_tasks = vec![40, 41];
         let out = p.plan_query(&[scan_hot.clone(), scan_cold, join.clone()], &ctx);
+        let devices: Vec<DeviceId> = out.iter().map(|p| p.unwrap().device).collect();
         assert_eq!(
-            out,
-            vec![Some(DeviceId::Gpu), Some(DeviceId::Cpu), Some(DeviceId::Cpu)],
+            devices,
+            vec![DeviceId::Gpu, DeviceId::Cpu, DeviceId::Cpu],
             "join chains to CPU because one input scan is cold"
         );
+        assert!(out.iter().all(|p| p.unwrap().reason == PlaceReason::DataResidency));
 
         // If both scans are hot the whole chain goes to the co-processor.
         let mut scan_hot2 = scan_task(vec![ColumnId(7)]);
         scan_hot2.task = 41;
         let out = p.plan_query(&[scan_hot, scan_hot2, join], &ctx);
-        assert_eq!(out, vec![Some(DeviceId::Gpu); 3]);
+        assert!(out.iter().all(|p| p.unwrap().device == DeviceId::Gpu));
     }
 
     #[test]
@@ -282,6 +288,6 @@ mod tests {
         let c = cache(0);
         let ctx = ctx(&db, &c);
         let mut p = DataDrivenChopping::new(PlacementPolicyKind::Lfu);
-        assert_eq!(p.place_ready(&task(100), &ctx), DeviceId::Cpu);
+        assert_eq!(p.place_ready(&task(100), &ctx).device, DeviceId::Cpu);
     }
 }

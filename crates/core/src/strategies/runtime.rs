@@ -7,8 +7,8 @@
 //! tracking per ready queue steers the choice.
 
 use crate::hype::HypeEstimator;
-use robustq_engine::{PlacementPolicy, PolicyCtx, TaskInfo};
-use robustq_sim::{CacheKey, DeviceId, OpClass, VirtualTime};
+use robustq_engine::{Placement, PlacementPolicy, PlaceReason, PolicyCtx, TaskInfo};
+use robustq_sim::{CacheKey, DeviceId, OpClass, PerDevice, VirtualTime};
 
 /// The shared run-time placement logic: estimated-completion-time
 /// minimization over both devices, using learned kernel models plus
@@ -69,11 +69,13 @@ impl RuntimePlacer {
             DeviceId::Gpu => self.hype.estimate_transfer(self.h2d_bytes(task, ctx)),
             DeviceId::Cpu => self.hype.estimate_transfer(self.d2h_bytes(task)),
         };
-        ctx.queued_work[device.index()] + transfer + kernel
+        ctx.queued_work[device] + transfer + kernel
     }
 
     /// Pick the device with the smaller estimated completion time
-    /// (ties go to the CPU — the risk-free side).
+    /// (ties go to the CPU — the risk-free side). The returned
+    /// [`Placement`] carries both estimates so the decision is auditable
+    /// from the trace.
     ///
     /// One advantage of placing at run time (Section 4): current heap
     /// usage and co-processor occupancy are observable. The admission
@@ -82,19 +84,18 @@ impl RuntimePlacer {
     /// 3.25× selection footprint) — so heterogeneous workloads still
     /// cause aborts, just fewer than blind compile-time placement
     /// (Figure 13's middle curve).
-    pub fn choose(&self, task: &TaskInfo, ctx: &PolicyCtx) -> DeviceId {
-        let projected = (1 + ctx.running[DeviceId::Gpu.index()] as u64)
-            .saturating_mul(task.bytes_in.saturating_mul(2));
-        if ctx.gpu_heap_free < projected {
-            return DeviceId::Cpu;
-        }
+    pub fn choose(&self, task: &TaskInfo, ctx: &PolicyCtx) -> Placement {
         let cpu = self.completion_estimate(task, DeviceId::Cpu, ctx);
         let gpu = self.completion_estimate(task, DeviceId::Gpu, ctx);
-        if gpu < cpu {
-            DeviceId::Gpu
-        } else {
-            DeviceId::Cpu
+        let est = PerDevice::new(cpu, gpu);
+        let projected = (1 + ctx.running[DeviceId::Gpu] as u64)
+            .saturating_mul(task.bytes_in.saturating_mul(2));
+        if ctx.gpu_heap_free < projected {
+            return Placement::modeled(DeviceId::Cpu, est)
+                .because(PlaceReason::HeapPressure);
         }
+        let device = if gpu < cpu { DeviceId::Gpu } else { DeviceId::Cpu };
+        Placement::modeled(device, est)
     }
 
     /// Feed one completed-operator observation to the models.
@@ -134,7 +135,7 @@ impl PlacementPolicy for RuntimePlacement {
         "Run-Time Placement"
     }
 
-    fn place_ready(&mut self, task: &TaskInfo, ctx: &PolicyCtx) -> DeviceId {
+    fn place_ready(&mut self, task: &TaskInfo, ctx: &PolicyCtx) -> Placement {
         self.placer.choose(task, ctx)
     }
 
@@ -168,8 +169,8 @@ pub(crate) mod test_support {
         PolicyCtx {
             db,
             cache,
-            queued_work: [VirtualTime::ZERO; 2],
-            running: [0; 2],
+            queued_work: PerDevice::splat(VirtualTime::ZERO),
+            running: PerDevice::splat(0),
             gpu_heap_free: u64::MAX,
             now: VirtualTime::ZERO,
         }
@@ -230,7 +231,7 @@ mod tests {
         let mut t = task(8_000_000);
         t.children_devices = vec![DeviceId::Gpu];
         t.children_bytes = vec![8_000_000];
-        assert_eq!(placer.choose(&t, &ctx), DeviceId::Gpu);
+        assert_eq!(placer.choose(&t, &ctx).device, DeviceId::Gpu);
     }
 
     #[test]
@@ -244,7 +245,7 @@ mod tests {
         let mut t = task(8_000_000);
         t.children_devices = vec![DeviceId::Cpu];
         t.children_bytes = vec![8_000_000];
-        assert_eq!(placer.choose(&t, &ctx), DeviceId::Cpu);
+        assert_eq!(placer.choose(&t, &ctx).device, DeviceId::Cpu);
     }
 
     #[test]
@@ -256,10 +257,10 @@ mod tests {
         let mut t = task(8_000_000);
         t.children_devices = vec![DeviceId::Gpu];
         t.children_bytes = vec![8_000_000];
-        assert_eq!(placer.choose(&t, &ctx), DeviceId::Gpu);
+        assert_eq!(placer.choose(&t, &ctx).device, DeviceId::Gpu);
         // Pile an hour of queued work on the GPU: go CPU despite transfer.
-        ctx.queued_work[DeviceId::Gpu.index()] = VirtualTime::from_secs_f64(3_600.0);
-        assert_eq!(placer.choose(&t, &ctx), DeviceId::Cpu);
+        ctx.queued_work[DeviceId::Gpu] = VirtualTime::from_secs_f64(3_600.0);
+        assert_eq!(placer.choose(&t, &ctx).device, DeviceId::Cpu);
     }
 
     #[test]
@@ -271,7 +272,7 @@ mod tests {
         let t = task(1_000_000);
         // With the default priors (GPU 3× faster, no transfers needed)
         // the GPU wins.
-        assert_eq!(placer.choose(&t, &ctx), DeviceId::Gpu);
+        assert_eq!(placer.choose(&t, &ctx).device, DeviceId::Gpu);
     }
 
     #[test]
@@ -283,9 +284,10 @@ mod tests {
         assert_eq!(p.name(), "Run-Time Placement");
         assert_eq!(p.worker_slots(DeviceId::Gpu, 4), usize::MAX, "no chopping");
         let t = task(1_000_000);
-        let d = p.place_ready(&t, &ctx);
-        assert_eq!(d, DeviceId::Gpu);
-        p.observe(OpClass::Selection, d, 1, 1, VirtualTime::from_micros(1));
+        let placed = p.place_ready(&t, &ctx);
+        assert_eq!(placed.device, DeviceId::Gpu);
+        assert!(placed.est[DeviceId::Cpu] > placed.est[DeviceId::Gpu]);
+        p.observe(OpClass::Selection, placed.device, 1, 1, VirtualTime::from_micros(1));
         assert_eq!(p.placer().hype.total_observations(), 1);
     }
 }

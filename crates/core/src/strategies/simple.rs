@@ -1,6 +1,6 @@
 //! Single-device reference strategies.
 
-use robustq_engine::{PlacementPolicy, PolicyCtx, TaskInfo};
+use robustq_engine::{Placement, PlacementPolicy, PolicyCtx, TaskInfo};
 use robustq_sim::DeviceId;
 
 /// Execute everything on the CPU (the paper's CPU-Only reference).
@@ -12,8 +12,8 @@ impl PlacementPolicy for CpuOnly {
         "CPU Only"
     }
 
-    fn plan_query(&mut self, tasks: &[TaskInfo], _ctx: &PolicyCtx) -> Vec<Option<DeviceId>> {
-        vec![Some(DeviceId::Cpu); tasks.len()]
+    fn plan_query(&mut self, tasks: &[TaskInfo], _ctx: &PolicyCtx) -> Vec<Option<Placement>> {
+        vec![Some(Placement::fixed(DeviceId::Cpu)); tasks.len()]
     }
 }
 
@@ -30,23 +30,23 @@ impl PlacementPolicy for GpuPreferred {
         "GPU Only"
     }
 
-    fn plan_query(&mut self, tasks: &[TaskInfo], _ctx: &PolicyCtx) -> Vec<Option<DeviceId>> {
-        vec![Some(DeviceId::Gpu); tasks.len()]
+    fn plan_query(&mut self, tasks: &[TaskInfo], _ctx: &PolicyCtx) -> Vec<Option<Placement>> {
+        vec![Some(Placement::fixed(DeviceId::Gpu)); tasks.len()]
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use robustq_sim::{CachePolicy, DataCache, OpClass, VirtualTime};
+    use robustq_sim::{CachePolicy, DataCache, OpClass, PerDevice, VirtualTime};
     use robustq_storage::Database;
 
     fn ctx_fixture<'a>(db: &'a Database, cache: &'a DataCache) -> PolicyCtx<'a> {
         PolicyCtx {
             db,
             cache,
-            queued_work: [VirtualTime::ZERO; 2],
-            running: [0; 2],
+            queued_work: PerDevice::splat(VirtualTime::ZERO),
+            running: PerDevice::splat(0),
             gpu_heap_free: 0,
             now: VirtualTime::ZERO,
         }
@@ -74,7 +74,7 @@ mod tests {
         let mut p = CpuOnly;
         assert_eq!(
             p.plan_query(&[info(), info()], &ctx_fixture(&db, &cache)),
-            vec![Some(DeviceId::Cpu); 2]
+            vec![Some(Placement::fixed(DeviceId::Cpu)); 2]
         );
     }
 
@@ -85,7 +85,7 @@ mod tests {
         let mut p = GpuPreferred;
         assert_eq!(
             p.plan_query(&[info()], &ctx_fixture(&db, &cache)),
-            vec![Some(DeviceId::Gpu)]
+            vec![Some(Placement::fixed(DeviceId::Gpu))]
         );
         assert!(p.caches_on_miss());
         assert_eq!(p.worker_slots(DeviceId::Gpu, 4), usize::MAX);

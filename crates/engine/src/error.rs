@@ -1,0 +1,73 @@
+//! Typed executor errors.
+//!
+//! `Executor::run*` and the workload runners used to return
+//! `Result<_, String>`; callers could only grep the message. The
+//! [`EngineError`] enum classifies every failure the execution layer can
+//! produce so harnesses can match on the *kind* (e.g. treat
+//! [`EngineError::Stalled`] as a scheduler bug but surface
+//! [`EngineError::Storage`] as a workload configuration problem).
+//!
+//! `From<EngineError> for String` keeps pre-existing `Result<_, String>`
+//! call sites (examples, ad-hoc tools) compiling with `?`.
+
+use std::error::Error;
+use std::fmt;
+
+/// An execution-layer failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EngineError {
+    /// The physical plan was malformed (unknown column, bad tree shape).
+    Plan(String),
+    /// A referenced table or column does not exist in the database.
+    Storage(String),
+    /// A host-side kernel failed while materializing an operator.
+    Kernel(String),
+    /// The event loop drained with queries still outstanding — a
+    /// scheduler invariant violation, not a workload problem.
+    Stalled {
+        /// Queries that did complete.
+        completed: usize,
+        /// Queries submitted.
+        total: usize,
+    },
+    /// An internal invariant broke (e.g. a child output went missing).
+    Internal(String),
+}
+
+impl fmt::Display for EngineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EngineError::Plan(msg) => write!(f, "plan error: {msg}"),
+            EngineError::Storage(msg) => write!(f, "storage error: {msg}"),
+            EngineError::Kernel(msg) => write!(f, "kernel error: {msg}"),
+            EngineError::Stalled { completed, total } => write!(
+                f,
+                "executor stalled: {completed}/{total} queries completed"
+            ),
+            EngineError::Internal(msg) => write!(f, "internal error: {msg}"),
+        }
+    }
+}
+
+impl Error for EngineError {}
+
+impl From<EngineError> for String {
+    fn from(e: EngineError) -> String {
+        e.to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_and_converts() {
+        let e = EngineError::Stalled { completed: 3, total: 5 };
+        assert_eq!(e.to_string(), "executor stalled: 3/5 queries completed");
+        let s: String = EngineError::Plan("bad".into()).into();
+        assert_eq!(s, "plan error: bad");
+        fn takes_err(_: &dyn Error) {}
+        takes_err(&e);
+    }
+}

@@ -16,6 +16,7 @@
 //!   successors follow depends on the placement strategy (Figure 8).
 
 use crate::batch::LazyChunk;
+use crate::error::EngineError;
 use crate::estimate;
 use crate::exec::metrics::{FaultCounters, QueryOutcome, RunMetrics};
 use crate::exec::policy::{PlacementPolicy, PolicyCtx, TaskInfo};
@@ -24,9 +25,12 @@ use crate::parallel::ParallelCtx;
 use crate::plan::PlanNode;
 use robustq_sim::{
     CacheKey, CostModel, DataCache, DeviceId, DeviceKind, Direction, EventQueue, FaultPlan,
-    HeapAllocator, Interconnect, RetryPolicy, SimConfig, TransferFault, VirtualTime,
+    HeapAllocator, Interconnect, PerDevice, RetryPolicy, SimConfig, TransferFault, VirtualTime,
 };
 use robustq_storage::{ColumnId, Database};
+use robustq_trace::{
+    FaultKind, OpOutcome, PlacePhase, PlaceReason, TraceEvent, Tracer, TransferKind,
+};
 use std::collections::VecDeque;
 
 /// Options controlling one workload run.
@@ -58,6 +62,10 @@ pub struct ExecOptions {
     /// Recovery policy for transient transfer faults: bounded
     /// retry-with-backoff in virtual time.
     pub retry: RetryPolicy,
+    /// Structured tracing (DESIGN.md §10). The default disabled tracer is
+    /// a single-branch no-op: no allocations, byte-identical runs. Enable
+    /// with [`Tracer::new`] and keep a clone to read the events back.
+    pub tracer: Tracer,
 }
 
 impl Default for ExecOptions {
@@ -70,6 +78,7 @@ impl Default for ExecOptions {
             parallel: ParallelCtx::serial(),
             fault: FaultPlan::disabled(),
             retry: RetryPolicy::default(),
+            tracer: Tracer::disabled(),
         }
     }
 }
@@ -109,6 +118,8 @@ struct TaskState {
     epoch: u32,
     status: Status,
     device: Option<DeviceId>,
+    /// When the task last entered a ready queue (trace queue-wait).
+    queued_at: VirtualTime,
     start_time: VirtualTime,
     kernel_duration: VirtualTime,
     bytes_in: u64,
@@ -168,8 +179,8 @@ struct Sim<'a, 'p> {
     tasks: Vec<TaskState>,
     queries: Vec<QueryState>,
     queues: [VecDeque<usize>; 2],
-    running: [usize; 2],
-    load: [VirtualTime; 2],
+    running: PerDevice<usize>,
+    load: PerDevice<VirtualTime>,
     /// Tasks currently *computing* per device (slot holders doing
     /// transfers are not in here yet). Concurrent tasks share the device:
     /// each progresses at rate 1/n.
@@ -183,6 +194,7 @@ struct Sim<'a, 'p> {
     metrics: RunMetrics,
     outcomes: Vec<QueryOutcome>,
     now: VirtualTime,
+    tracer: Tracer,
 }
 
 impl<'a> Executor<'a> {
@@ -208,7 +220,7 @@ impl<'a> Executor<'a> {
         sessions: Vec<Vec<PlanNode>>,
         policy: &mut dyn PlacementPolicy,
         opts: &ExecOptions,
-    ) -> Result<RunOutcome, String> {
+    ) -> Result<RunOutcome, EngineError> {
         let mut cache =
             DataCache::new(self.config.gpu.cache_bytes, self.config.cache_policy);
         self.run_with_cache(sessions, policy, opts, &mut cache)
@@ -224,7 +236,7 @@ impl<'a> Executor<'a> {
         policy: &mut dyn PlacementPolicy,
         opts: &ExecOptions,
         cache: &mut DataCache,
-    ) -> Result<RunOutcome, String> {
+    ) -> Result<RunOutcome, EngineError> {
         if !opts.preload.is_empty() {
             let mut budget = cache.capacity();
             let mut pins = Vec::new();
@@ -253,8 +265,8 @@ impl<'a> Executor<'a> {
             tasks: Vec::new(),
             queries: Vec::new(),
             queues: [VecDeque::new(), VecDeque::new()],
-            running: [0, 0],
-            load: [VirtualTime::ZERO, VirtualTime::ZERO],
+            running: PerDevice::splat(0),
+            load: PerDevice::splat(VirtualTime::ZERO),
             compute: [Vec::new(), Vec::new()],
             last_update: [VirtualTime::ZERO, VirtualTime::ZERO],
             tick_version: [0, 0],
@@ -265,13 +277,18 @@ impl<'a> Executor<'a> {
             metrics: RunMetrics::default(),
             outcomes: Vec::new(),
             now: VirtualTime::ZERO,
+            tracer: opts.tracer.clone(),
         };
         sim.run(total_queries)
     }
 }
 
 impl Sim<'_, '_> {
-    fn run(&mut self, total_queries: usize) -> Result<RunOutcome, String> {
+    fn run(&mut self, total_queries: usize) -> Result<RunOutcome, EngineError> {
+        // The cache may be warm from a previous run on the same handle;
+        // metrics report this run's probes only (matching the trace).
+        let (base_hits, base_misses) = self.cache.hit_miss();
+        let trace_mark = self.tracer.mark();
         // Initial data placement from whatever statistics already exist
         // (the paper pre-loads access structures before each benchmark,
         // Section 6.1) — free of charge, like `ExecOptions::preload`.
@@ -299,15 +316,15 @@ impl Sim<'_, '_> {
         }
 
         if self.outcomes.len() != total_queries {
-            return Err(format!(
-                "executor stalled: {} of {total_queries} queries completed",
-                self.outcomes.len()
-            ));
+            return Err(EngineError::Stalled {
+                completed: self.outcomes.len(),
+                total: total_queries,
+            });
         }
         self.metrics.queries = total_queries;
         let (hits, misses) = self.cache.hit_miss();
-        self.metrics.cache_hits = hits;
-        self.metrics.cache_misses = misses;
+        self.metrics.cache_hits = hits - base_hits;
+        self.metrics.cache_misses = misses - base_misses;
         self.metrics.gpu_heap_peak = self.gpu_heap.peak();
         self.metrics.gpu_heap_leaked = self.gpu_heap.used();
         self.metrics.fault_stats = *self.fault.stats();
@@ -318,6 +335,19 @@ impl Sim<'_, '_> {
             0,
             "device heap must drain once every query completed"
         );
+        // Cross-check: the metrics re-derived from this run's event
+        // stream must match the incrementally maintained counters. Only
+        // possible with tracing enabled and no dropped events.
+        #[cfg(debug_assertions)]
+        if let Some(events) = self.tracer.events_since(trace_mark) {
+            debug_assert_eq!(
+                RunMetrics::from_events(&events),
+                self.metrics,
+                "trace-derived metrics diverge from legacy counters"
+            );
+        }
+        #[cfg(not(debug_assertions))]
+        let _ = trace_mark;
         Ok(RunOutcome {
             metrics: self.metrics.clone(),
             outcomes: std::mem::take(&mut self.outcomes),
@@ -359,7 +389,7 @@ impl Sim<'_, '_> {
         }
     }
 
-    fn process_admissions(&mut self) -> Result<(), String> {
+    fn process_admissions(&mut self) -> Result<(), EngineError> {
         while self.active_queries < self.opts.max_concurrent_queries {
             let Some((session, plan, submit_time)) = self.admission_queue.pop_front()
             else {
@@ -375,7 +405,7 @@ impl Sim<'_, '_> {
         session: usize,
         plan: PlanNode,
         submit_time: VirtualTime,
-    ) -> Result<(), String> {
+    ) -> Result<(), EngineError> {
         let query = self.queries.len();
         let seq = self.queries.iter().filter(|q| q.session == session).count();
         let base = self.tasks.len();
@@ -387,7 +417,11 @@ impl Sim<'_, '_> {
             let base_columns = match node.op.scan_access() {
                 Some((table, cols)) => cols
                     .iter()
-                    .map(|c| self.db.require_column_id(table, c).map_err(|e| e.to_string()))
+                    .map(|c| {
+                        self.db
+                            .require_column_id(table, c)
+                            .map_err(|e| EngineError::Storage(e.to_string()))
+                    })
                     .collect::<Result<Vec<_>, _>>()?,
                 None => Vec::new(),
             };
@@ -405,6 +439,7 @@ impl Sim<'_, '_> {
                 epoch: 0,
                 status: Status::Pending,
                 device: None,
+                queued_at: VirtualTime::ZERO,
                 start_time: VirtualTime::ZERO,
                 kernel_duration: VirtualTime::ZERO,
                 bytes_in: 0,
@@ -425,6 +460,12 @@ impl Sim<'_, '_> {
         self.queries.push(QueryState { session, seq, root, submit_time });
         self.query_faults.push(FaultCounters::default());
         self.active_queries += 1;
+        self.tracer.emit(TraceEvent::QuerySubmit {
+            query: query as u32,
+            session: session as u32,
+            seq: seq as u32,
+            at: submit_time,
+        });
 
         // Compile-time placement pass.
         let infos: Vec<TaskInfo> =
@@ -440,7 +481,19 @@ impl Sim<'_, '_> {
         let annotations = self.policy.plan_query(&infos, &ctx);
         debug_assert_eq!(annotations.len(), infos.len());
         for (t, a) in (base..=root).zip(annotations) {
-            self.tasks[t].annotation = a;
+            if let Some(p) = a {
+                self.tracer.emit(TraceEvent::Placement {
+                    query: query as u32,
+                    task: t as u32,
+                    op: self.tasks[t].node.op.op_class(),
+                    phase: PlacePhase::Compile,
+                    est: p.est,
+                    chosen: p.device,
+                    reason: p.reason,
+                    at: self.now,
+                });
+                self.tasks[t].annotation = Some(p.device);
+            }
         }
 
         // Leaves enter the operator stream immediately.
@@ -461,7 +514,7 @@ impl Sim<'_, '_> {
         }
     }
 
-    fn make_ready(&mut self, task: usize) -> Result<(), String> {
+    fn make_ready(&mut self, task: usize) -> Result<(), EngineError> {
         self.tasks[task].bytes_in = self.exact_bytes_in(task);
         let device = if self.tasks[task].forced_cpu {
             DeviceId::Cpu
@@ -477,7 +530,18 @@ impl Sim<'_, '_> {
                 gpu_heap_free: self.gpu_heap.free_bytes(),
                 now: self.now,
             };
-            self.policy.place_ready(&info, &ctx)
+            let placed = self.policy.place_ready(&info, &ctx);
+            self.tracer.emit(TraceEvent::Placement {
+                query: self.tasks[task].query as u32,
+                task: task as u32,
+                op: self.tasks[task].node.op.op_class(),
+                phase: PlacePhase::Ready,
+                est: placed.est,
+                chosen: placed.device,
+                reason: placed.reason,
+                at: self.now,
+            });
+            placed.device
         };
         self.enqueue(task, device);
         self.dispatch(device)?;
@@ -485,9 +549,11 @@ impl Sim<'_, '_> {
     }
 
     fn enqueue(&mut self, task: usize, device: DeviceId) {
+        let now = self.now;
         let t = &mut self.tasks[task];
         t.device = Some(device);
         t.status = Status::Queued;
+        t.queued_at = now;
         let est = self.cost.duration(
             t.node.op.op_class(),
             device.kind(),
@@ -495,7 +561,7 @@ impl Sim<'_, '_> {
             t.est_bytes_out,
         );
         t.load_contribution = est;
-        self.load[device.index()] += est;
+        self.load[device] += est;
         self.queues[device.index()].push_back(task);
     }
 
@@ -507,13 +573,14 @@ impl Sim<'_, '_> {
         self.policy.worker_slots(device, spec.worker_slots)
     }
 
-    fn dispatch(&mut self, device: DeviceId) -> Result<(), String> {
+    fn dispatch(&mut self, device: DeviceId) -> Result<(), EngineError> {
         let di = device.index();
-        while self.running[di] < self.slots(device) {
+        while self.running[device] < self.slots(device) {
             let Some(task) = self.queues[di].pop_front() else {
                 break;
             };
-            self.load[di] = self.load[di].saturating_sub(self.tasks[task].load_contribution);
+            self.load[device] =
+                self.load[device].saturating_sub(self.tasks[task].load_contribution);
             self.start_task(task, device)?;
         }
         Ok(())
@@ -544,20 +611,29 @@ impl Sim<'_, '_> {
         (task as u64) * 2 + 1
     }
 
+    /// The trace id of an optionally attributable query.
+    fn qid(query: Option<usize>) -> u32 {
+        query.map_or(TraceEvent::NO_QUERY, |q| q as u32)
+    }
+
     /// Record one fired injection, attributed to `query` when known.
-    fn note_injected(&mut self, query: Option<usize>) {
+    /// Emitted fault kinds mirror the plan's own `FaultStats` accounting
+    /// one-to-one, so trace-derived stats reconcile exactly.
+    fn note_injected(&mut self, query: Option<usize>, kind: FaultKind, at: VirtualTime) {
         self.metrics.faults.injected += 1;
         if let Some(q) = query {
             self.query_faults[q].injected += 1;
         }
+        self.tracer.emit(TraceEvent::Fault { kind, query: Self::qid(query), at });
     }
 
     /// Record one scheduled transfer retry.
-    fn note_retry(&mut self, query: Option<usize>) {
+    fn note_retry(&mut self, query: Option<usize>, backoff: VirtualTime, at: VirtualTime) {
         self.metrics.faults.retries += 1;
         if let Some(q) = query {
             self.query_faults[q].retries += 1;
         }
+        self.tracer.emit(TraceEvent::Retry { query: Self::qid(query), backoff, at });
     }
 
     /// Record virtual time lost to injections.
@@ -582,6 +658,32 @@ impl Sim<'_, '_> {
         }
     }
 
+    /// A traced co-processor heap allocation attempt.
+    fn heap_alloc(&mut self, tag: u64, bytes: u64) -> bool {
+        let ok = self.gpu_heap.try_alloc(tag, bytes);
+        self.tracer.emit(TraceEvent::HeapAlloc {
+            tag,
+            bytes,
+            used: self.gpu_heap.used(),
+            ok,
+            at: self.now,
+        });
+        ok
+    }
+
+    /// A traced co-processor heap release (no event for empty tags).
+    fn heap_free(&mut self, tag: u64) {
+        let bytes = self.gpu_heap.free_tag(tag);
+        if bytes > 0 {
+            self.tracer.emit(TraceEvent::HeapFree {
+                tag,
+                bytes,
+                used: self.gpu_heap.used(),
+                at: self.now,
+            });
+        }
+    }
+
     /// A co-processor heap allocation attempt that the fault layer may
     /// fail. `stage` is the staged-allocation step (0 = upfront slice,
     /// 1..=3 = mid-execution growth); on an injected failure `injected`
@@ -595,11 +697,11 @@ impl Sim<'_, '_> {
         injected: &mut bool,
     ) -> bool {
         if self.fault.fail_alloc(stage) {
-            self.note_injected(Some(query));
+            self.note_injected(Some(query), FaultKind::AllocFail { stage }, self.now);
             *injected = true;
             return false;
         }
-        self.gpu_heap.try_alloc(tag, bytes)
+        self.heap_alloc(tag, bytes)
     }
 
     /// One logical transfer over the link, with fault injection and
@@ -618,55 +720,114 @@ impl Sim<'_, '_> {
         &mut self,
         now: VirtualTime,
         dir: Direction,
+        kind: TransferKind,
         bytes: u64,
         query: Option<usize>,
         abortable: bool,
     ) -> Option<VirtualTime> {
+        let qid = Self::qid(query);
         let mut at = now;
         let mut failures: u32 = 0;
         loop {
-            let decision = if failures > self.opts.retry.max_retries {
-                None // budget spent: durable transfers complete clean
+            // Capture the raw draw before the degradation below: the plan
+            // already counted a permanent in its stats, and the trace
+            // reports the same kind so the two always reconcile.
+            let (decision, raw_kind) = if failures > self.opts.retry.max_retries {
+                (None, None) // budget spent: durable transfers complete clean
             } else {
-                match self.fault.transfer_fault(dir) {
+                let raw = self.fault.transfer_fault(dir);
+                let raw_kind = raw.map(|f| match f {
+                    TransferFault::Transient => FaultKind::TransferTransient,
+                    TransferFault::Permanent => FaultKind::TransferPermanent,
+                    TransferFault::Spike(_) => FaultKind::TransferSpike,
+                });
+                let d = match raw {
                     Some(TransferFault::Permanent) if !abortable => {
                         Some(TransferFault::Transient)
                     }
                     d => d,
-                }
+                };
+                (d, raw_kind)
             };
             match decision {
                 None => {
                     let tr = self.link.transfer(at, dir, bytes);
                     self.charge_transfer(dir, tr.service, bytes);
+                    self.tracer.emit(TraceEvent::Transfer {
+                        dir,
+                        kind,
+                        query: qid,
+                        bytes,
+                        start: tr.start,
+                        end: tr.end,
+                        service: tr.service,
+                        faulted: false,
+                        waste: VirtualTime::ZERO,
+                    });
                     return Some(tr.end);
                 }
                 Some(TransferFault::Spike(f)) => {
                     let tr = self.link.transfer_scaled(at, dir, bytes, f);
                     self.charge_transfer(dir, tr.service, bytes);
                     let clean = self.link.params().service_time(bytes);
-                    self.note_injected(query);
-                    self.note_injected_wasted(query, tr.service.saturating_sub(clean));
+                    let waste = tr.service.saturating_sub(clean);
+                    self.note_injected(query, FaultKind::TransferSpike, at);
+                    self.note_injected_wasted(query, waste);
+                    self.tracer.emit(TraceEvent::Transfer {
+                        dir,
+                        kind,
+                        query: qid,
+                        bytes,
+                        start: tr.start,
+                        end: tr.end,
+                        service: tr.service,
+                        faulted: true,
+                        waste,
+                    });
                     return Some(tr.end);
                 }
                 Some(TransferFault::Permanent) => {
                     // The link errors out before the payload moves.
-                    self.note_injected(query);
+                    self.note_injected(query, FaultKind::TransferPermanent, at);
                     return None;
                 }
                 Some(TransferFault::Transient) => {
                     // The failed attempt still occupied the bus.
                     let tr = self.link.transfer(at, dir, bytes);
                     self.charge_transfer(dir, tr.service, bytes);
-                    self.note_injected(query);
+                    let fault_kind =
+                        raw_kind.expect("a transient decision implies a fault draw");
+                    self.note_injected(query, fault_kind, at);
                     failures += 1;
                     if abortable && failures > self.opts.retry.max_retries {
                         self.note_injected_wasted(query, tr.service);
+                        self.tracer.emit(TraceEvent::Transfer {
+                            dir,
+                            kind,
+                            query: qid,
+                            bytes,
+                            start: tr.start,
+                            end: tr.end,
+                            service: tr.service,
+                            faulted: true,
+                            waste: tr.service,
+                        });
                         return None;
                     }
                     let backoff = self.opts.retry.backoff(failures);
-                    self.note_retry(query);
+                    self.note_retry(query, backoff, tr.end);
                     self.note_injected_wasted(query, tr.service + backoff);
+                    self.tracer.emit(TraceEvent::Transfer {
+                        dir,
+                        kind,
+                        query: qid,
+                        bytes,
+                        start: tr.start,
+                        end: tr.end,
+                        service: tr.service,
+                        faulted: true,
+                        waste: tr.service + backoff,
+                    });
                     at = tr.end + backoff;
                 }
             }
@@ -707,9 +868,9 @@ impl Sim<'_, '_> {
         }
     }
 
-    fn start_task(&mut self, task: usize, device: DeviceId) -> Result<(), String> {
+    fn start_task(&mut self, task: usize, device: DeviceId) -> Result<(), EngineError> {
         let now = self.now;
-        self.running[device.index()] += 1;
+        self.running[device] += 1;
         {
             let t = &mut self.tasks[task];
             t.status = Status::Running;
@@ -724,17 +885,17 @@ impl Sim<'_, '_> {
                 .children
                 .iter()
                 .map(|&c| {
-                    self.tasks[c]
-                        .output
-                        .clone()
-                        .ok_or_else(|| "child output missing".to_string())
+                    self.tasks[c].output.clone().ok_or_else(|| {
+                        EngineError::Internal("child output missing".to_string())
+                    })
                 })
                 .collect::<Result<_, _>>()?;
-            let out = self.tasks[task].node.op.execute_lazy(
-                &children_chunks,
-                self.db,
-                self.opts.parallel,
-            )?;
+            let out = self
+                .tasks[task]
+                .node
+                .op
+                .execute_lazy(&children_chunks, self.db, self.opts.parallel)
+                .map_err(EngineError::Kernel)?;
             self.tasks[task].output_bytes = out.byte_size();
             self.tasks[task].output_rows = out.num_rows() as u64;
             self.tasks[task].output = Some(out);
@@ -782,9 +943,17 @@ impl Sim<'_, '_> {
             for &col in &self.tasks[task].base_columns.clone() {
                 let key = CacheKey(col.0 as u64);
                 let bytes = self.db.column_size(col);
-                if !self.cache.probe(key) {
-                    match self.xfer(now, Direction::HostToDevice, bytes, Some(query), true)
-                    {
+                let hit = self.cache.probe(key);
+                self.tracer.emit(TraceEvent::CacheProbe { key, bytes, hit, at: now });
+                if !hit {
+                    match self.xfer(
+                        now,
+                        Direction::HostToDevice,
+                        TransferKind::Input,
+                        bytes,
+                        Some(query),
+                        true,
+                    ) {
                         Some(end) => ready_at = ready_at.max(end),
                         None => {
                             self.abort_task(task, true)?;
@@ -792,7 +961,21 @@ impl Sim<'_, '_> {
                         }
                     }
                     if caches_on_miss {
-                        self.cache.insert(key, bytes);
+                        let outcome = self.cache.insert(key, bytes);
+                        for &(k, b) in &outcome.evicted {
+                            self.tracer.emit(TraceEvent::CacheEvict {
+                                key: k,
+                                bytes: b,
+                                at: now,
+                            });
+                        }
+                        if outcome.inserted {
+                            self.tracer.emit(TraceEvent::CacheInsert {
+                                key,
+                                bytes,
+                                at: now,
+                            });
+                        }
                     }
                 }
             }
@@ -801,6 +984,7 @@ impl Sim<'_, '_> {
                 match self.xfer(
                     now,
                     Direction::HostToDevice,
+                    TransferKind::Input,
                     input_transfer_bytes,
                     Some(query),
                     true,
@@ -834,10 +1018,17 @@ impl Sim<'_, '_> {
                 if self.tasks[c].output_device == Some(DeviceId::Gpu) {
                     let bytes = self.d2h_consume_bytes(c);
                     let end = self
-                        .xfer(now, Direction::DeviceToHost, bytes, Some(query), false)
+                        .xfer(
+                            now,
+                            Direction::DeviceToHost,
+                            TransferKind::Input,
+                            bytes,
+                            Some(query),
+                            false,
+                        )
                         .expect("non-abortable transfers always complete");
                     ready_at = ready_at.max(end);
-                    self.gpu_heap.free_tag(Self::result_tag(c));
+                    self.heap_free(Self::result_tag(c));
                     self.tasks[c].output_device = Some(DeviceId::Cpu);
                 }
             }
@@ -856,7 +1047,7 @@ impl Sim<'_, '_> {
     /// Tolerance for floating-point progress comparisons (nanoseconds).
     const EPS_NS: f64 = 1.0;
 
-    fn on_compute_start(&mut self, task: usize, epoch: u32) -> Result<(), String> {
+    fn on_compute_start(&mut self, task: usize, epoch: u32) -> Result<(), EngineError> {
         if self.tasks[task].epoch != epoch || self.tasks[task].status != Status::Running {
             return Ok(());
         }
@@ -865,15 +1056,16 @@ impl Sim<'_, '_> {
         let class = self.tasks[task].node.op.op_class();
         if self.fault.abort_kernel(class, device) {
             // Injected kernel fault: surfaces as an ordinary abort.
-            self.note_injected(Some(query));
+            self.note_injected(Some(query), FaultKind::KernelAbort, self.now);
             self.abort_task(task, true)?;
             return Ok(());
         }
         if let Some(until) = self.fault.stall_until(device, self.now) {
             // The worker slot is stalled: the kernel launch is deferred
             // to the end of the window, in virtual time.
-            self.note_injected(Some(query));
-            self.note_injected_wasted(Some(query), until - self.now);
+            let wait = until - self.now;
+            self.note_injected(Some(query), FaultKind::Stall { wait }, self.now);
+            self.note_injected_wasted(Some(query), wait);
             self.events.push(until, Ev::ComputeStart { task, epoch });
             return Ok(());
         }
@@ -883,7 +1075,7 @@ impl Sim<'_, '_> {
         Ok(())
     }
 
-    fn on_device_tick(&mut self, device: DeviceId, version: u64) -> Result<(), String> {
+    fn on_device_tick(&mut self, device: DeviceId, version: u64) -> Result<(), EngineError> {
         if self.tick_version[device.index()] != version {
             return Ok(());
         }
@@ -910,7 +1102,7 @@ impl Sim<'_, '_> {
     }
 
     /// Process every due allocation stage and completion on `device`.
-    fn settle(&mut self, device: DeviceId) -> Result<(), String> {
+    fn settle(&mut self, device: DeviceId) -> Result<(), EngineError> {
         let di = device.index();
         loop {
             // Next due action in deterministic compute-set order.
@@ -983,7 +1175,7 @@ impl Sim<'_, '_> {
     /// already computing. `injected` marks aborts forced by the fault
     /// plan: the recovery path is identical (injected faults must be
     /// indistinguishable downstream), only the accounting differs.
-    fn abort_task(&mut self, task: usize, injected: bool) -> Result<(), String> {
+    fn abort_task(&mut self, task: usize, injected: bool) -> Result<(), EngineError> {
         let device = self.tasks[task].device.expect("aborting a placed task");
         debug_assert_eq!(device, DeviceId::Gpu, "only co-processor operators abort");
         self.metrics.aborts += 1;
@@ -995,8 +1187,35 @@ impl Sim<'_, '_> {
         if injected {
             self.note_injected_wasted(Some(query), wasted);
         }
-        self.gpu_heap.free_tag(Self::working_tag(task));
-        self.running[device.index()] -= 1;
+        {
+            let t = &self.tasks[task];
+            self.tracer.emit(TraceEvent::OpSpan {
+                query: query as u32,
+                task: task as u32,
+                op: t.node.op.op_class(),
+                device,
+                queued_at: t.queued_at,
+                start: t.start_time,
+                end: self.now,
+                bytes_in: t.bytes_in,
+                bytes_out: t.output_bytes,
+                rows_out: t.output_rows,
+                outcome: OpOutcome::Aborted { injected },
+            });
+            // The forced CPU restart is itself a placement decision.
+            self.tracer.emit(TraceEvent::Placement {
+                query: query as u32,
+                task: task as u32,
+                op: t.node.op.op_class(),
+                phase: PlacePhase::Fallback,
+                est: PerDevice::splat(VirtualTime::ZERO),
+                chosen: DeviceId::Cpu,
+                reason: PlaceReason::AbortFallback,
+                at: self.now,
+            });
+        }
+        self.heap_free(Self::working_tag(task));
+        self.running[device] -= 1;
         let t = &mut self.tasks[task];
         t.epoch += 1;
         t.forced_cpu = true;
@@ -1009,20 +1228,20 @@ impl Sim<'_, '_> {
 
     /// Bookkeeping for a completed operator (called from `settle` once the
     /// task's remaining work reached zero and it left the compute set).
-    fn complete_task(&mut self, task: usize) -> Result<(), String> {
+    fn complete_task(&mut self, task: usize) -> Result<(), EngineError> {
         let device = self.tasks[task].device.expect("finishing a placed task");
-        self.running[device.index()] -= 1;
+        self.running[device] -= 1;
 
         if device == DeviceId::Gpu {
             // Release working memory, retain the result on the heap.
-            self.gpu_heap.free_tag(Self::working_tag(task));
+            self.heap_free(Self::working_tag(task));
             let out_bytes = self.tasks[task].output_bytes;
-            let ok = self.gpu_heap.try_alloc(Self::result_tag(task), out_bytes);
+            let ok = self.heap_alloc(Self::result_tag(task), out_bytes);
             debug_assert!(ok, "result reservation was covered by the working footprint");
             // Inputs held on the device are consumed now.
             for &c in &self.tasks[task].children.clone() {
                 if self.tasks[c].output_device == Some(DeviceId::Gpu) {
-                    self.gpu_heap.free_tag(Self::result_tag(c));
+                    self.heap_free(Self::result_tag(c));
                 }
             }
         }
@@ -1033,6 +1252,22 @@ impl Sim<'_, '_> {
 
         let busy = self.now - self.tasks[task].start_time;
         self.metrics.record_op(device, busy);
+        {
+            let t = &self.tasks[task];
+            self.tracer.emit(TraceEvent::OpSpan {
+                query: t.query as u32,
+                task: task as u32,
+                op: t.node.op.op_class(),
+                device,
+                queued_at: t.queued_at,
+                start: t.start_time,
+                end: self.now,
+                bytes_in: t.bytes_in,
+                bytes_out: t.output_bytes,
+                rows_out: t.output_rows,
+                outcome: OpOutcome::Completed,
+            });
+        }
         let t = &self.tasks[task];
         self.policy.observe(
             t.node.op.op_class(),
@@ -1061,9 +1296,16 @@ impl Sim<'_, '_> {
                     // Result transfers are durable: the fault layer only
                     // delays them, never loses them.
                     let end = self
-                        .xfer(self.now, Direction::DeviceToHost, bytes, Some(query), false)
+                        .xfer(
+                            self.now,
+                            Direction::DeviceToHost,
+                            TransferKind::Result,
+                            bytes,
+                            Some(query),
+                            false,
+                        )
                         .expect("non-abortable transfers always complete");
-                    self.gpu_heap.free_tag(Self::result_tag(task));
+                    self.heap_free(Self::result_tag(task));
                     self.tasks[task].output_device = Some(DeviceId::Cpu);
                     done_at = end;
                 }
@@ -1075,15 +1317,24 @@ impl Sim<'_, '_> {
         Ok(())
     }
 
-    fn on_query_done(&mut self, query: usize) -> Result<(), String> {
+    fn on_query_done(&mut self, query: usize) -> Result<(), EngineError> {
         let q = &self.queries[query];
         let root = q.root;
         let session = q.session;
         let seq = q.seq;
-        let latency = self.now - q.submit_time;
+        let submit_time = q.submit_time;
+        let latency = self.now - submit_time;
         self.metrics.makespan = self.metrics.makespan.max(self.now);
         let output =
             self.tasks[root].output.take().expect("root output present").materialize();
+        self.tracer.emit(TraceEvent::QueryDone {
+            query: query as u32,
+            session: session as u32,
+            seq: seq as u32,
+            submit: submit_time,
+            end: self.now,
+            rows: output.num_rows() as u64,
+        });
         self.outcomes.push(QueryOutcome {
             session,
             seq,
@@ -1106,7 +1357,15 @@ impl Sim<'_, '_> {
                 let bytes = self.db.column_size(ColumnId(key.0 as u32));
                 // Background placement transfers are durable and not
                 // attributed to any one query.
-                self.xfer(self.now, Direction::HostToDevice, bytes, None, false);
+                self.xfer(
+                    self.now,
+                    Direction::HostToDevice,
+                    TransferKind::Placement,
+                    bytes,
+                    None,
+                    false,
+                );
+                self.tracer.emit(TraceEvent::CacheInsert { key, bytes, at: self.now });
             }
         }
 
@@ -1137,7 +1396,7 @@ fn postorder_estimates(plan: &PlanNode, db: &Database) -> Vec<(f64, f64)> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::exec::policy::CpuOnlyPolicy;
+    use crate::exec::policy::{CpuOnlyPolicy, Placement};
     use crate::expr::Expr;
     use crate::ops;
     use crate::plan::AggSpec;
@@ -1180,8 +1439,8 @@ mod tests {
             &mut self,
             tasks: &[TaskInfo],
             _ctx: &PolicyCtx,
-        ) -> Vec<Option<DeviceId>> {
-            vec![Some(DeviceId::Gpu); tasks.len()]
+        ) -> Vec<Option<Placement>> {
+            vec![Some(Placement::fixed(DeviceId::Gpu)); tasks.len()]
         }
     }
 
@@ -1201,7 +1460,7 @@ mod tests {
         assert!(out.metrics.makespan > VirtualTime::ZERO);
         assert_eq!(out.metrics.h2d_bytes, 0, "CPU-only must not touch the bus");
         assert_eq!(out.metrics.aborts, 0);
-        assert_eq!(out.metrics.ops_completed[DeviceId::Gpu.index()], 0);
+        assert_eq!(out.metrics.ops_completed[DeviceId::Gpu], 0);
     }
 
     #[test]
@@ -1218,7 +1477,7 @@ mod tests {
         assert_eq!(res.checksum(), expected.checksum());
         assert!(out.metrics.h2d_bytes > 0, "cold GPU run must transfer inputs");
         assert!(out.metrics.d2h_bytes > 0, "result must return to host");
-        assert!(out.metrics.ops_completed[DeviceId::Gpu.index()] > 0);
+        assert!(out.metrics.ops_completed[DeviceId::Gpu] > 0);
     }
 
     #[test]
@@ -1274,7 +1533,7 @@ mod tests {
         let res = out.outcomes[0].result.as_ref().unwrap();
         assert_eq!(res.checksum(), expected.checksum());
         // The heavy operators fell back to the CPU (tiny ones may fit).
-        assert!(out.metrics.ops_completed[DeviceId::Cpu.index()] >= out.metrics.aborts);
+        assert!(out.metrics.ops_completed[DeviceId::Cpu] >= out.metrics.aborts);
     }
 
     #[test]
@@ -1417,5 +1676,36 @@ mod tests {
         assert_eq!(a.metrics.makespan, b.metrics.makespan);
         assert_eq!(a.metrics.h2d_bytes, b.metrics.h2d_bytes);
         assert_eq!(a.metrics.aborts, b.metrics.aborts);
+    }
+
+    #[test]
+    fn tracing_does_not_change_metrics_and_reconciles() {
+        let db = db();
+        let exec = Executor::new(&db, SimConfig::default());
+        let sessions: Vec<Vec<PlanNode>> = (0..2).map(|_| vec![q11_like()]).collect();
+
+        let untraced = exec
+            .run(sessions.clone(), &mut GpuAll, &ExecOptions::default())
+            .unwrap();
+
+        let tracer = Tracer::new();
+        let opts = ExecOptions { tracer: tracer.clone(), ..Default::default() };
+        let traced = exec.run(sessions, &mut GpuAll, &opts).unwrap();
+
+        // Observing the run must not perturb it.
+        assert_eq!(traced.metrics, untraced.metrics);
+
+        let data = tracer.snapshot();
+        assert_eq!(data.dropped, 0, "default ring must not overflow here");
+        assert!(!data.events.is_empty());
+        // The full metrics struct re-derives from the event stream alone.
+        assert_eq!(RunMetrics::from_events(&data.events), traced.metrics);
+        // Every placed operator produced a placement-decision record.
+        let placements = data
+            .events
+            .iter()
+            .filter(|e| matches!(e, TraceEvent::Placement { .. }))
+            .count();
+        assert!(placements > 0, "compile-time placements must be traced");
     }
 }

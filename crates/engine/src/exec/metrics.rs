@@ -4,8 +4,14 @@
 //! (makespan), per-query latencies, CPU→GPU and GPU→CPU transfer time and
 //! bytes, aborted-operator counts and the *wasted time* metric of
 //! Figure 20 (total time from operator begin to abort).
+//!
+//! When tracing is enabled the same numbers are independently derivable
+//! from the event stream via [`RunMetrics::from_events`]; debug builds
+//! cross-check the two at the end of every run, so the legacy counters
+//! and the trace can never drift apart silently.
 
-use robustq_sim::{DeviceId, FaultStats, LinkStats, VirtualTime};
+use robustq_sim::{DeviceId, Direction, FaultStats, LinkStats, PerDevice, VirtualTime};
+use robustq_trace::{FaultKind, OpOutcome, TraceEvent};
 
 /// Fault-recovery counters, kept per query and aggregated per run.
 ///
@@ -58,7 +64,7 @@ pub struct QueryOutcome {
 }
 
 /// Aggregated metrics of one workload run.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct RunMetrics {
     /// Virtual time from start to the last query's completion.
     pub makespan: VirtualTime,
@@ -74,15 +80,15 @@ pub struct RunMetrics {
     pub aborts: u64,
     /// Total time from operator begin to abort (Figure 20's metric).
     pub wasted_time: VirtualTime,
-    /// Busy time per device (indexed by [`DeviceId::index`]).
-    pub device_busy: [VirtualTime; 2],
+    /// Busy time per device.
+    pub device_busy: PerDevice<VirtualTime>,
     /// Operators completed per device.
-    pub ops_completed: [u64; 2],
+    pub ops_completed: PerDevice<u64>,
     /// Co-processor heap high-water mark in bytes.
     pub gpu_heap_peak: u64,
-    /// Co-processor cache hits / misses.
+    /// Co-processor cache hits during this run.
     pub cache_hits: u64,
-    /// Co-processor cache misses.
+    /// Co-processor cache misses during this run.
     pub cache_misses: u64,
     /// Number of queries executed.
     pub queries: usize,
@@ -107,8 +113,8 @@ pub struct RunMetrics {
 impl RunMetrics {
     /// Record one completed operator.
     pub(crate) fn record_op(&mut self, device: DeviceId, busy: VirtualTime) {
-        self.device_busy[device.index()] += busy;
-        self.ops_completed[device.index()] += 1;
+        self.device_busy[device] += busy;
+        self.ops_completed[device] += 1;
     }
 
     /// Total transfer service time in both directions.
@@ -120,7 +126,7 @@ impl RunMetrics {
     /// By construction `wasted_time <= total_device_time()` — the
     /// metrics-consistency invariant the chaos harness checks.
     pub fn total_device_time(&self) -> VirtualTime {
-        self.device_busy[0] + self.device_busy[1] + self.wasted_time
+        self.device_busy[DeviceId::Cpu] + self.device_busy[DeviceId::Gpu] + self.wasted_time
     }
 
     /// Mean query latency over `outcomes`.
@@ -130,6 +136,90 @@ impl RunMetrics {
         }
         let total: u64 = outcomes.iter().map(|o| o.latency.as_nanos()).sum();
         VirtualTime::from_nanos(total / outcomes.len() as u64)
+    }
+
+    /// Re-derive run metrics from one run's trace-event stream.
+    ///
+    /// With tracing enabled the executor emits an event at every
+    /// accounting site, so this reconstruction matches the incrementally
+    /// maintained counters *exactly* — the invariant behind the
+    /// debug-build cross-check in `Executor::run` and the chaos
+    /// differential suite.
+    pub fn from_events(events: &[TraceEvent]) -> RunMetrics {
+        let mut m = RunMetrics::default();
+        let mut last_heap_used = None;
+        for ev in events {
+            match *ev {
+                TraceEvent::QueryDone { end, .. } => {
+                    m.queries += 1;
+                    m.makespan = m.makespan.max(end);
+                }
+                TraceEvent::OpSpan { device, start, end, outcome, .. } => match outcome {
+                    OpOutcome::Completed => m.record_op(device, end.saturating_sub(start)),
+                    OpOutcome::Aborted { injected } => {
+                        let wasted = end.saturating_sub(start);
+                        m.aborts += 1;
+                        m.wasted_time += wasted;
+                        m.faults.fallbacks += 1;
+                        if injected {
+                            m.faults.injected_wasted += wasted;
+                        }
+                    }
+                },
+                TraceEvent::Transfer { dir, bytes, service, waste, .. } => {
+                    let (time, total, link) = match dir {
+                        Direction::HostToDevice => {
+                            (&mut m.h2d_time, &mut m.h2d_bytes, &mut m.link_h2d)
+                        }
+                        Direction::DeviceToHost => {
+                            (&mut m.d2h_time, &mut m.d2h_bytes, &mut m.link_d2h)
+                        }
+                    };
+                    *time += service;
+                    *total += bytes;
+                    link.bytes += bytes;
+                    link.transfers += 1;
+                    link.busy_time += service;
+                    m.faults.injected_wasted += waste;
+                }
+                TraceEvent::CacheProbe { hit, .. } => {
+                    if hit {
+                        m.cache_hits += 1;
+                    } else {
+                        m.cache_misses += 1;
+                    }
+                }
+                TraceEvent::HeapAlloc { ok, used, .. } => {
+                    if ok {
+                        m.gpu_heap_peak = m.gpu_heap_peak.max(used);
+                        last_heap_used = Some(used);
+                    }
+                }
+                TraceEvent::HeapFree { used, .. } => last_heap_used = Some(used),
+                TraceEvent::Fault { kind, .. } => {
+                    m.faults.injected += 1;
+                    m.fault_stats.injected += 1;
+                    match kind {
+                        FaultKind::AllocFail { .. } => m.fault_stats.alloc_failures += 1,
+                        FaultKind::TransferTransient => m.fault_stats.transfer_transient += 1,
+                        FaultKind::TransferPermanent => m.fault_stats.transfer_permanent += 1,
+                        FaultKind::TransferSpike => m.fault_stats.transfer_spikes += 1,
+                        FaultKind::KernelAbort => m.fault_stats.kernel_aborts += 1,
+                        FaultKind::Stall { wait } => {
+                            m.fault_stats.stall_time += wait;
+                            m.faults.injected_wasted += wait;
+                        }
+                    }
+                }
+                TraceEvent::Retry { .. } => m.faults.retries += 1,
+                TraceEvent::QuerySubmit { .. }
+                | TraceEvent::CacheInsert { .. }
+                | TraceEvent::CacheEvict { .. }
+                | TraceEvent::Placement { .. } => {}
+            }
+        }
+        m.gpu_heap_leaked = last_heap_used.unwrap_or(0);
+        m
     }
 }
 
@@ -143,9 +233,9 @@ mod tests {
         m.record_op(DeviceId::Cpu, VirtualTime::from_millis(2));
         m.record_op(DeviceId::Cpu, VirtualTime::from_millis(3));
         m.record_op(DeviceId::Gpu, VirtualTime::from_millis(1));
-        assert_eq!(m.device_busy[0], VirtualTime::from_millis(5));
-        assert_eq!(m.ops_completed[0], 2);
-        assert_eq!(m.ops_completed[1], 1);
+        assert_eq!(m.device_busy[DeviceId::Cpu], VirtualTime::from_millis(5));
+        assert_eq!(m.ops_completed[DeviceId::Cpu], 2);
+        assert_eq!(m.ops_completed[DeviceId::Gpu], 1);
     }
 
     #[test]
@@ -174,5 +264,71 @@ mod tests {
             VirtualTime::from_millis(15)
         );
         assert_eq!(RunMetrics::mean_latency(&[]), VirtualTime::ZERO);
+    }
+
+    #[test]
+    fn from_events_rebuilds_counters() {
+        use robustq_sim::OpClass;
+        let t = VirtualTime::from_micros;
+        let events = vec![
+            TraceEvent::OpSpan {
+                query: 0,
+                task: 0,
+                op: OpClass::Selection,
+                device: DeviceId::Gpu,
+                queued_at: t(0),
+                start: t(0),
+                end: t(5),
+                bytes_in: 64,
+                bytes_out: 32,
+                rows_out: 8,
+                outcome: OpOutcome::Completed,
+            },
+            TraceEvent::OpSpan {
+                query: 0,
+                task: 1,
+                op: OpClass::HashJoin,
+                device: DeviceId::Gpu,
+                queued_at: t(0),
+                start: t(2),
+                end: t(4),
+                bytes_in: 64,
+                bytes_out: 0,
+                rows_out: 0,
+                outcome: OpOutcome::Aborted { injected: true },
+            },
+            TraceEvent::Transfer {
+                dir: Direction::HostToDevice,
+                kind: robustq_trace::TransferKind::Input,
+                query: 0,
+                bytes: 64,
+                start: t(0),
+                end: t(1),
+                service: t(1),
+                faulted: false,
+                waste: VirtualTime::ZERO,
+            },
+            TraceEvent::HeapAlloc { tag: 0, bytes: 64, used: 64, ok: true, at: t(0) },
+            TraceEvent::HeapFree { tag: 0, bytes: 64, used: 0, at: t(5) },
+            TraceEvent::Fault { kind: FaultKind::KernelAbort, query: 0, at: t(4) },
+            TraceEvent::QueryDone { query: 0, session: 0, seq: 0, submit: t(0), end: t(6), rows: 8 },
+        ];
+        let m = RunMetrics::from_events(&events);
+        assert_eq!(m.queries, 1);
+        assert_eq!(m.makespan, t(6));
+        assert_eq!(m.ops_completed[DeviceId::Gpu], 1);
+        assert_eq!(m.device_busy[DeviceId::Gpu], t(5));
+        assert_eq!(m.aborts, 1);
+        assert_eq!(m.wasted_time, t(2));
+        assert_eq!(m.faults.fallbacks, 1);
+        assert_eq!(m.faults.injected, 1);
+        assert_eq!(m.faults.injected_wasted, t(2));
+        assert_eq!(m.h2d_bytes, 64);
+        assert_eq!(m.h2d_time, t(1));
+        assert_eq!(m.link_h2d.transfers, 1);
+        assert_eq!(m.gpu_heap_peak, 64);
+        assert_eq!(m.gpu_heap_leaked, 0);
+        assert_eq!(m.fault_stats.kernel_aborts, 1);
+        assert_eq!(m.fault_stats.injected, 1);
     }
 }

@@ -13,9 +13,50 @@
 //!    learned cost models, and periodically
 //!    [`PlacementPolicy::update_data_placement`] lets a data-driven
 //!    strategy re-pin the co-processor cache (Section 3.2, Algorithm 1).
+//!
+//! Policies return [`Placement`] records — the chosen device *plus* the
+//! per-device cost estimates and the reason behind the pick — so the
+//! tracer can emit a placement-decision event for every placed operator
+//! without re-deriving the policy's internal state.
 
-use robustq_sim::{CacheKey, DataCache, DeviceId, OpClass, VirtualTime};
+use robustq_sim::{CacheKey, DataCache, DeviceId, OpClass, PerDevice, VirtualTime};
 use robustq_storage::{ColumnId, Database};
+pub use robustq_trace::PlaceReason;
+
+/// A placement decision: the chosen device annotated with the evidence
+/// behind it (estimated per-device cost and a categorical reason).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Placement {
+    /// The device the operator should run on.
+    pub device: DeviceId,
+    /// Estimated runtime per device. Strategies without a cost model
+    /// report [`VirtualTime::ZERO`] for both.
+    pub est: PerDevice<VirtualTime>,
+    /// Why this device was picked.
+    pub reason: PlaceReason,
+}
+
+impl Placement {
+    /// A placement fixed by strategy structure, not a cost comparison.
+    pub fn fixed(device: DeviceId) -> Self {
+        Placement {
+            device,
+            est: PerDevice::splat(VirtualTime::ZERO),
+            reason: PlaceReason::Static,
+        }
+    }
+
+    /// A placement backed by a cost-model comparison.
+    pub fn modeled(device: DeviceId, est: PerDevice<VirtualTime>) -> Self {
+        Placement { device, est, reason: PlaceReason::CostModel }
+    }
+
+    /// Override the reason, keeping device and estimates.
+    pub fn because(mut self, reason: PlaceReason) -> Self {
+        self.reason = reason;
+        self
+    }
+}
 
 /// Everything a policy may inspect when placing one task.
 #[derive(Debug, Clone)]
@@ -53,11 +94,11 @@ pub struct PolicyCtx<'a> {
     pub db: &'a Database,
     /// The co-processor column cache (residency checks).
     pub cache: &'a DataCache,
-    /// Estimated outstanding work queued per device, indexed by
-    /// [`DeviceId::index`] — HyPE's load tracking signal (Section 5.2).
-    pub queued_work: [VirtualTime; 2],
+    /// Estimated outstanding work queued per device — HyPE's load
+    /// tracking signal (Section 5.2).
+    pub queued_work: PerDevice<VirtualTime>,
     /// Operators currently running per device.
-    pub running: [usize; 2],
+    pub running: PerDevice<usize>,
     /// Free bytes of the co-processor heap.
     pub gpu_heap_free: u64,
     /// Current virtual time.
@@ -81,17 +122,17 @@ pub trait PlacementPolicy {
     fn name(&self) -> &'static str;
 
     /// Compile-time placement for a whole query. One entry per task (same
-    /// order as `tasks`): `Some(device)` fixes the placement, `None`
+    /// order as `tasks`): `Some(placement)` fixes the placement, `None`
     /// defers to [`PlacementPolicy::place_ready`].
-    fn plan_query(&mut self, tasks: &[TaskInfo], ctx: &PolicyCtx) -> Vec<Option<DeviceId>> {
+    fn plan_query(&mut self, tasks: &[TaskInfo], ctx: &PolicyCtx) -> Vec<Option<Placement>> {
         let _ = ctx;
         vec![None; tasks.len()]
     }
 
     /// Run-time placement of one ready task.
-    fn place_ready(&mut self, task: &TaskInfo, ctx: &PolicyCtx) -> DeviceId {
+    fn place_ready(&mut self, task: &TaskInfo, ctx: &PolicyCtx) -> Placement {
         let _ = (task, ctx);
-        DeviceId::Cpu
+        Placement::fixed(DeviceId::Cpu)
     }
 
     /// Worker-slot bound for `device`; `spec_slots` is the device's
@@ -144,8 +185,8 @@ impl PlacementPolicy for CpuOnlyPolicy {
         "cpu-only"
     }
 
-    fn plan_query(&mut self, tasks: &[TaskInfo], _ctx: &PolicyCtx) -> Vec<Option<DeviceId>> {
-        vec![Some(DeviceId::Cpu); tasks.len()]
+    fn plan_query(&mut self, tasks: &[TaskInfo], _ctx: &PolicyCtx) -> Vec<Option<Placement>> {
+        vec![Some(Placement::fixed(DeviceId::Cpu)); tasks.len()]
     }
 }
 
@@ -168,8 +209,8 @@ mod tests {
         let ctx = PolicyCtx {
             db: &db,
             cache: &cache,
-            queued_work: [VirtualTime::ZERO; 2],
-            running: [0; 2],
+            queued_work: PerDevice::splat(VirtualTime::ZERO),
+            running: PerDevice::splat(0),
             gpu_heap_free: 0,
             now: VirtualTime::ZERO,
         };
@@ -186,9 +227,27 @@ mod tests {
             was_aborted: false,
         };
         assert_eq!(p.plan_query(std::slice::from_ref(&info), &ctx), vec![None]);
-        assert_eq!(p.place_ready(&info, &ctx), DeviceId::Cpu);
+        let placed = p.place_ready(&info, &ctx);
+        assert_eq!(placed.device, DeviceId::Cpu);
+        assert_eq!(placed.reason, PlaceReason::Static);
         assert_eq!(p.worker_slots(DeviceId::Gpu, 4), usize::MAX);
         assert!(p.caches_on_miss());
+    }
+
+    #[test]
+    fn placement_constructors() {
+        let est = PerDevice::new(VirtualTime::from_micros(10), VirtualTime::from_micros(2));
+        let p = Placement::modeled(DeviceId::Gpu, est);
+        assert_eq!(p.device, DeviceId::Gpu);
+        assert_eq!(p.est[DeviceId::Cpu], VirtualTime::from_micros(10));
+        assert_eq!(p.reason, PlaceReason::CostModel);
+        let q = p.because(PlaceReason::HeapPressure);
+        assert_eq!(q.reason, PlaceReason::HeapPressure);
+        assert_eq!(q.est, p.est);
+        assert_eq!(
+            Placement::fixed(DeviceId::Cpu).est,
+            PerDevice::splat(VirtualTime::ZERO)
+        );
     }
 
     #[test]
@@ -199,8 +258,8 @@ mod tests {
         let ctx = PolicyCtx {
             db: &db,
             cache: &cache,
-            queued_work: [VirtualTime::ZERO; 2],
-            running: [0; 2],
+            queued_work: PerDevice::splat(VirtualTime::ZERO),
+            running: PerDevice::splat(0),
             gpu_heap_free: 0,
             now: VirtualTime::ZERO,
         };
@@ -217,8 +276,8 @@ mod tests {
         let ctx = PolicyCtx {
             db: &db,
             cache: &cache,
-            queued_work: [VirtualTime::ZERO; 2],
-            running: [0; 2],
+            queued_work: PerDevice::splat(VirtualTime::ZERO),
+            running: PerDevice::splat(0),
             gpu_heap_free: 0,
             now: VirtualTime::ZERO,
         };
@@ -236,7 +295,7 @@ mod tests {
         };
         assert_eq!(
             p.plan_query(&[info.clone(), info], &ctx),
-            vec![Some(DeviceId::Cpu); 2]
+            vec![Some(Placement::fixed(DeviceId::Cpu)); 2]
         );
         assert_eq!(p.name(), "cpu-only");
     }

@@ -29,6 +29,7 @@
 //!   the MonetDB/Ocelot comparison of Appendix A; see DESIGN.md).
 
 pub mod batch;
+pub mod error;
 pub mod estimate;
 pub mod exec;
 pub mod expr;
@@ -39,9 +40,10 @@ pub mod predicate;
 pub mod vectorized;
 
 pub use batch::{Chunk, LazyChunk, SelVec};
+pub use error::EngineError;
 pub use parallel::ParallelCtx;
 pub use exec::executor::{ExecOptions, Executor, RunOutcome};
 pub use exec::metrics::RunMetrics;
 pub use exec::pipeline::{execute_plan_fused, fusion_sites, FusedKind};
-pub use exec::policy::{PlacementPolicy, PolicyCtx, TaskInfo};
+pub use exec::policy::{Placement, PlacementPolicy, PlaceReason, PolicyCtx, TaskInfo};
 pub use plan::{AggFunc, AggSpec, JoinKind, PlanNode, SortKey, SortOrder};

@@ -1,6 +1,7 @@
 //! Device descriptions.
 
 use std::fmt;
+use std::ops::{Index, IndexMut};
 
 /// Identifier of a (co-)processor in the simulated machine.
 ///
@@ -56,6 +57,69 @@ impl fmt::Display for DeviceId {
             DeviceId::Cpu => f.write_str("CPU"),
             DeviceId::Gpu => f.write_str("GPU"),
         }
+    }
+}
+
+/// One value per device, indexable by [`DeviceId`].
+///
+/// Replaces bare `[T; 2]` fields plus `.index()` arithmetic at call
+/// sites: `busy[DeviceId::Gpu]` instead of `busy[DeviceId::Gpu.index()]`.
+/// The layout stays a plain fixed-size array, so the newtype is free.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash)]
+pub struct PerDevice<T>([T; 2]);
+
+impl<T> PerDevice<T> {
+    /// Construct from explicit CPU and co-processor values.
+    pub const fn new(cpu: T, gpu: T) -> Self {
+        PerDevice([cpu, gpu])
+    }
+
+    /// The same value for every device.
+    pub fn splat(value: T) -> Self
+    where
+        T: Clone,
+    {
+        PerDevice([value.clone(), value])
+    }
+
+    /// The host CPU's value.
+    pub fn cpu(&self) -> &T {
+        &self.0[0]
+    }
+
+    /// The co-processor's value.
+    pub fn gpu(&self) -> &T {
+        &self.0[1]
+    }
+
+    /// `(device, value)` pairs in [`DeviceId::ALL`] order.
+    pub fn iter(&self) -> impl Iterator<Item = (DeviceId, &T)> {
+        DeviceId::ALL.into_iter().zip(self.0.iter())
+    }
+
+    /// Apply `f` per device, preserving the association.
+    pub fn map<U>(self, mut f: impl FnMut(T) -> U) -> PerDevice<U> {
+        let [cpu, gpu] = self.0;
+        PerDevice([f(cpu), f(gpu)])
+    }
+}
+
+impl<T> Index<DeviceId> for PerDevice<T> {
+    type Output = T;
+    fn index(&self, device: DeviceId) -> &T {
+        &self.0[device.index()]
+    }
+}
+
+impl<T> IndexMut<DeviceId> for PerDevice<T> {
+    fn index_mut(&mut self, device: DeviceId) -> &mut T {
+        &mut self.0[device.index()]
+    }
+}
+
+impl<T> From<[T; 2]> for PerDevice<T> {
+    fn from(values: [T; 2]) -> Self {
+        PerDevice(values)
     }
 }
 
@@ -148,5 +212,21 @@ mod tests {
     fn display_names() {
         assert_eq!(DeviceId::Cpu.to_string(), "CPU");
         assert_eq!(DeviceId::Gpu.to_string(), "GPU");
+    }
+
+    #[test]
+    fn per_device_indexing_and_iter() {
+        let mut v: PerDevice<u64> = PerDevice::default();
+        v[DeviceId::Gpu] = 7;
+        v[DeviceId::Cpu] += 3;
+        assert_eq!(v[DeviceId::Cpu], 3);
+        assert_eq!(*v.gpu(), 7);
+        assert_eq!(
+            v.iter().collect::<Vec<_>>(),
+            vec![(DeviceId::Cpu, &3), (DeviceId::Gpu, &7)]
+        );
+        let doubled = v.map(|x| x * 2);
+        assert_eq!(doubled, PerDevice::new(6, 14));
+        assert_eq!(PerDevice::splat(5u32), PerDevice::from([5, 5]));
     }
 }

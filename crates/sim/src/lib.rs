@@ -40,7 +40,7 @@ pub mod time;
 pub use cache::{CacheKey, CachePolicy, DataCache};
 pub use config::SimConfig;
 pub use costmodel::{CostModel, CostParams, OpClass};
-pub use device::{DeviceId, DeviceKind, DeviceSpec};
+pub use device::{DeviceId, DeviceKind, DeviceSpec, PerDevice};
 pub use events::EventQueue;
 pub use fault::{FaultPlan, FaultSpec, FaultStats, RetryPolicy, StallWindow, TransferFault};
 pub use heap::HeapAllocator;

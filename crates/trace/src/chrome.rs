@@ -1,0 +1,441 @@
+//! Chrome `trace_event` JSON export (Perfetto-loadable).
+//!
+//! One process (`pid` 1) with one lane (`tid`) per device for operator
+//! spans, one per transfer direction, auxiliary lanes for heap, cache,
+//! fault and placement events, and one lane per session carrying `B`/`E`
+//! query spans. Timestamps are virtual-time microseconds with
+//! nanosecond-resolution fractions.
+//!
+//! Device lanes use `X` (complete) events; concurrent kernels *overlap*
+//! within a lane, which is the processor-sharing model rendered
+//! faithfully rather than a bug. Transfer lanes never overlap (the link
+//! is FIFO per direction). Session lanes are strictly nested: queries of
+//! one session run closed-loop, so every `B` closes before the next
+//! opens — the balance property `trace-lint` checks.
+
+use crate::event::{OpOutcome, TraceEvent, TransferKind};
+use crate::json::write_escaped;
+use std::fmt::Write as _;
+
+/// Lane (`tid`) assignments within the single trace process.
+mod lane {
+    pub const CPU_OPS: u64 = 1;
+    pub const GPU_OPS: u64 = 2;
+    pub const H2D: u64 = 3;
+    pub const D2H: u64 = 4;
+    pub const HEAP: u64 = 5;
+    pub const CACHE: u64 = 6;
+    pub const FAULTS: u64 = 7;
+    pub const PLACEMENT: u64 = 8;
+    /// Session lanes start here: `tid = SESSIONS + session`.
+    pub const SESSIONS: u64 = 100;
+}
+
+/// Sort key preserving lane-local ordering requirements at equal
+/// timestamps: metadata first, then `E` before anything that may open or
+/// occupy the lane, `B` last.
+fn phase_rank(ph: char) -> u8 {
+    match ph {
+        'M' => 0,
+        'E' => 1,
+        'X' => 2,
+        'C' => 3,
+        'i' => 4,
+        'B' => 5,
+        _ => 6,
+    }
+}
+
+struct Emitted {
+    ts_ns: u64,
+    ph: char,
+    seq: usize,
+    json: String,
+}
+
+fn us(ns: u64) -> String {
+    format!("{}.{:03}", ns / 1_000, ns % 1_000)
+}
+
+fn push(out: &mut Vec<Emitted>, ts_ns: u64, ph: char, json: String) {
+    let seq = out.len();
+    out.push(Emitted { ts_ns, ph, seq, json });
+}
+
+fn complete_event(
+    name: &str,
+    cat: &str,
+    tid: u64,
+    start_ns: u64,
+    end_ns: u64,
+    args: &str,
+) -> String {
+    let mut s = String::new();
+    s.push_str("{\"name\":");
+    write_escaped(&mut s, name);
+    let _ = write!(
+        s,
+        ",\"cat\":\"{cat}\",\"ph\":\"X\",\"ts\":{},\"dur\":{},\"pid\":1,\"tid\":{tid},\"args\":{{{args}}}}}",
+        us(start_ns),
+        us(end_ns.saturating_sub(start_ns)),
+    );
+    s
+}
+
+fn instant_event(name: &str, cat: &str, tid: u64, ts_ns: u64, args: &str) -> String {
+    let mut s = String::new();
+    s.push_str("{\"name\":");
+    write_escaped(&mut s, name);
+    let _ = write!(
+        s,
+        ",\"cat\":\"{cat}\",\"ph\":\"i\",\"s\":\"t\",\"ts\":{},\"pid\":1,\"tid\":{tid},\"args\":{{{args}}}}}",
+        us(ts_ns),
+    );
+    s
+}
+
+fn thread_name(tid: u64, name: &str) -> String {
+    let mut s = String::new();
+    let _ = write!(
+        s,
+        "{{\"name\":\"thread_name\",\"ph\":\"M\",\"ts\":0.000,\"pid\":1,\"tid\":{tid},\"args\":{{\"name\":"
+    );
+    write_escaped(&mut s, name);
+    s.push_str("}}");
+    s
+}
+
+/// Render `events` as a Chrome `trace_event` JSON document.
+pub fn chrome_trace_json(events: &[TraceEvent]) -> String {
+    let mut out: Vec<Emitted> = Vec::with_capacity(events.len() + 16);
+
+    // Lane labels.
+    push(&mut out, 0, 'M', thread_name(lane::CPU_OPS, "CPU kernels"));
+    push(&mut out, 0, 'M', thread_name(lane::GPU_OPS, "GPU kernels"));
+    push(&mut out, 0, 'M', thread_name(lane::H2D, "link host→device"));
+    push(&mut out, 0, 'M', thread_name(lane::D2H, "link device→host"));
+    push(&mut out, 0, 'M', thread_name(lane::HEAP, "GPU heap"));
+    push(&mut out, 0, 'M', thread_name(lane::CACHE, "GPU column cache"));
+    push(&mut out, 0, 'M', thread_name(lane::FAULTS, "fault injections"));
+    push(&mut out, 0, 'M', thread_name(lane::PLACEMENT, "placement decisions"));
+    let mut sessions_seen: Vec<u32> = Vec::new();
+
+    for ev in events {
+        match *ev {
+            TraceEvent::QuerySubmit { .. } => {
+                // Latency is visible as the B/E span; submissions add an
+                // instant on the session lane only once the lane exists
+                // (QueryDone names it), so skip — spans carry `submit`.
+            }
+            TraceEvent::QueryDone { query, session, seq, submit, end, rows } => {
+                if !sessions_seen.contains(&session) {
+                    sessions_seen.push(session);
+                    push(
+                        &mut out,
+                        0,
+                        'M',
+                        thread_name(
+                            lane::SESSIONS + session as u64,
+                            &format!("session {session}"),
+                        ),
+                    );
+                }
+                let tid = lane::SESSIONS + session as u64;
+                let name = format!("query {query} (seq {seq})");
+                let mut b = String::new();
+                b.push_str("{\"name\":");
+                write_escaped(&mut b, &name);
+                let _ = write!(
+                    b,
+                    ",\"cat\":\"query\",\"ph\":\"B\",\"ts\":{},\"pid\":1,\"tid\":{tid},\"args\":{{\"query\":{query}}}}}",
+                    us(submit.as_nanos()),
+                );
+                push(&mut out, submit.as_nanos(), 'B', b);
+                let mut e = String::new();
+                e.push_str("{\"name\":");
+                write_escaped(&mut e, &name);
+                let _ = write!(
+                    e,
+                    ",\"cat\":\"query\",\"ph\":\"E\",\"ts\":{},\"pid\":1,\"tid\":{tid},\"args\":{{\"rows\":{rows}}}}}",
+                    us(end.as_nanos()),
+                );
+                push(&mut out, end.as_nanos(), 'E', e);
+            }
+            TraceEvent::OpSpan {
+                query,
+                task,
+                op,
+                device,
+                start,
+                end,
+                bytes_in,
+                bytes_out,
+                rows_out,
+                outcome,
+                queued_at,
+            } => {
+                let tid = match device {
+                    robustq_sim::DeviceId::Cpu => lane::CPU_OPS,
+                    robustq_sim::DeviceId::Gpu => lane::GPU_OPS,
+                };
+                let (name, outcome_s) = match outcome {
+                    OpOutcome::Completed => (format!("{op:?}"), "completed"),
+                    OpOutcome::Aborted { injected: true } => {
+                        (format!("{op:?} ✗ (injected abort)"), "aborted-injected")
+                    }
+                    OpOutcome::Aborted { injected: false } => {
+                        (format!("{op:?} ✗ (abort)"), "aborted")
+                    }
+                };
+                let args = format!(
+                    "\"query\":{query},\"task\":{task},\"bytes_in\":{bytes_in},\"bytes_out\":{bytes_out},\"rows_out\":{rows_out},\"queue_wait_us\":{},\"outcome\":\"{outcome_s}\"",
+                    us(start.as_nanos().saturating_sub(queued_at.as_nanos())),
+                );
+                push(
+                    &mut out,
+                    start.as_nanos(),
+                    'X',
+                    complete_event(&name, "op", tid, start.as_nanos(), end.as_nanos(), &args),
+                );
+            }
+            TraceEvent::Transfer { dir, kind, query, bytes, start, end, service, faulted, .. } => {
+                let tid = match dir {
+                    robustq_sim::Direction::HostToDevice => lane::H2D,
+                    robustq_sim::Direction::DeviceToHost => lane::D2H,
+                };
+                let kind_s = match kind {
+                    TransferKind::Input => "input",
+                    TransferKind::Result => "result",
+                    TransferKind::Placement => "placement",
+                };
+                let name = if faulted {
+                    format!("{kind_s} ✗ ({bytes} B)")
+                } else {
+                    format!("{kind_s} ({bytes} B)")
+                };
+                let queued_ns = end.as_nanos().saturating_sub(service.as_nanos());
+                let mut args = format!(
+                    "\"bytes\":{bytes},\"kind\":\"{kind_s}\",\"faulted\":{faulted},\"requested_us\":{}",
+                    us(start.as_nanos()),
+                );
+                if query != TraceEvent::NO_QUERY {
+                    let _ = write!(args, ",\"query\":{query}");
+                }
+                // Render the slot actually occupying the FIFO (queueing
+                // behind earlier transfers excluded), so lane spans never
+                // overlap.
+                push(
+                    &mut out,
+                    queued_ns,
+                    'X',
+                    complete_event(&name, "xfer", tid, queued_ns, end.as_nanos(), &args),
+                );
+            }
+            TraceEvent::CacheProbe { key, bytes, hit, at } => {
+                let name = if hit { "hit" } else { "miss" };
+                let args = format!("\"key\":{},\"bytes\":{bytes}", key.0);
+                push(
+                    &mut out,
+                    at.as_nanos(),
+                    'i',
+                    instant_event(name, "cache", lane::CACHE, at.as_nanos(), &args),
+                );
+            }
+            TraceEvent::CacheInsert { key, bytes, at } => {
+                let args = format!("\"key\":{},\"bytes\":{bytes}", key.0);
+                push(
+                    &mut out,
+                    at.as_nanos(),
+                    'i',
+                    instant_event("insert", "cache", lane::CACHE, at.as_nanos(), &args),
+                );
+            }
+            TraceEvent::CacheEvict { key, bytes, at } => {
+                let args = format!("\"key\":{},\"bytes\":{bytes}", key.0);
+                push(
+                    &mut out,
+                    at.as_nanos(),
+                    'i',
+                    instant_event("evict", "cache", lane::CACHE, at.as_nanos(), &args),
+                );
+            }
+            TraceEvent::HeapAlloc { used, at, .. } | TraceEvent::HeapFree { used, at, .. } => {
+                let mut s = String::new();
+                let _ = write!(
+                    s,
+                    "{{\"name\":\"gpu_heap_used\",\"cat\":\"heap\",\"ph\":\"C\",\"ts\":{},\"pid\":1,\"tid\":{},\"args\":{{\"bytes\":{used}}}}}",
+                    us(at.as_nanos()),
+                    lane::HEAP,
+                );
+                push(&mut out, at.as_nanos(), 'C', s);
+            }
+            TraceEvent::Fault { kind, query, at } => {
+                let mut args = format!("\"kind\":\"{kind:?}\"");
+                if query != TraceEvent::NO_QUERY {
+                    let _ = write!(args, ",\"query\":{query}");
+                }
+                push(
+                    &mut out,
+                    at.as_nanos(),
+                    'i',
+                    instant_event(
+                        &format!("{kind:?}"),
+                        "fault",
+                        lane::FAULTS,
+                        at.as_nanos(),
+                        &args,
+                    ),
+                );
+            }
+            TraceEvent::Retry { query, backoff, at } => {
+                let mut args = format!("\"backoff_us\":{}", us(backoff.as_nanos()));
+                if query != TraceEvent::NO_QUERY {
+                    let _ = write!(args, ",\"query\":{query}");
+                }
+                push(
+                    &mut out,
+                    at.as_nanos(),
+                    'i',
+                    instant_event("retry", "fault", lane::FAULTS, at.as_nanos(), &args),
+                );
+            }
+            TraceEvent::Placement { query, task, op, phase, est, chosen, reason, at } => {
+                let args = format!(
+                    "\"query\":{query},\"task\":{task},\"phase\":\"{phase:?}\",\"est_cpu_us\":{},\"est_gpu_us\":{},\"chosen\":\"{chosen}\",\"reason\":\"{reason:?}\"",
+                    us(est[robustq_sim::DeviceId::Cpu].as_nanos()),
+                    us(est[robustq_sim::DeviceId::Gpu].as_nanos()),
+                );
+                push(
+                    &mut out,
+                    at.as_nanos(),
+                    'i',
+                    instant_event(
+                        &format!("{op:?} → {chosen}"),
+                        "placement",
+                        lane::PLACEMENT,
+                        at.as_nanos(),
+                        &args,
+                    ),
+                );
+            }
+        }
+    }
+
+    out.sort_by(|a, b| {
+        a.ts_ns
+            .cmp(&b.ts_ns)
+            .then(phase_rank(a.ph).cmp(&phase_rank(b.ph)))
+            .then(a.seq.cmp(&b.seq))
+    });
+
+    let mut doc = String::new();
+    doc.push_str("{\"traceEvents\":[\n");
+    for (i, e) in out.iter().enumerate() {
+        if i > 0 {
+            doc.push_str(",\n");
+        }
+        doc.push_str(&e.json);
+    }
+    doc.push_str(
+        "\n],\"displayTimeUnit\":\"ms\",\"otherData\":{\"generator\":\"robustq-trace\",\"clock\":\"virtual\"}}",
+    );
+    doc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json::parse;
+    use robustq_sim::{DeviceId, Direction, OpClass, PerDevice, VirtualTime};
+
+    fn sample() -> Vec<TraceEvent> {
+        let t = VirtualTime::from_micros;
+        vec![
+            TraceEvent::QuerySubmit { query: 0, session: 0, seq: 0, at: t(0) },
+            TraceEvent::OpSpan {
+                query: 0,
+                task: 0,
+                op: OpClass::Selection,
+                device: DeviceId::Gpu,
+                queued_at: t(0),
+                start: t(1),
+                end: t(5),
+                bytes_in: 100,
+                bytes_out: 10,
+                rows_out: 2,
+                outcome: crate::event::OpOutcome::Completed,
+            },
+            TraceEvent::Transfer {
+                dir: Direction::HostToDevice,
+                kind: TransferKind::Input,
+                query: 0,
+                bytes: 100,
+                start: t(1),
+                end: t(2),
+                service: VirtualTime::from_nanos(800),
+                faulted: false,
+                waste: VirtualTime::ZERO,
+            },
+            TraceEvent::QueryDone {
+                query: 0,
+                session: 0,
+                seq: 0,
+                submit: t(0),
+                end: t(6),
+                rows: 2,
+            },
+        ]
+    }
+
+    #[test]
+    fn export_is_valid_json() {
+        let doc = chrome_trace_json(&sample());
+        let v = parse(&doc).expect("valid JSON");
+        let events = v.get("traceEvents").unwrap().as_arr().unwrap();
+        assert!(events.len() >= 4 + 8, "spans + metadata present");
+        for e in events {
+            assert!(e.get("ph").is_some() && e.get("ts").is_some());
+        }
+    }
+
+    #[test]
+    fn query_spans_are_balanced_b_e_pairs() {
+        let doc = chrome_trace_json(&sample());
+        let v = parse(&doc).unwrap();
+        let events = v.get("traceEvents").unwrap().as_arr().unwrap();
+        let phases: Vec<&str> = events
+            .iter()
+            .filter(|e| e.get("cat").and_then(|c| c.as_str()) == Some("query"))
+            .map(|e| e.get("ph").unwrap().as_str().unwrap())
+            .collect();
+        assert_eq!(phases, vec!["B", "E"]);
+    }
+
+    #[test]
+    fn placement_records_both_estimates() {
+        let ev = TraceEvent::Placement {
+            query: 1,
+            task: 2,
+            op: OpClass::HashJoin,
+            phase: crate::event::PlacePhase::Ready,
+            est: PerDevice::new(VirtualTime::from_micros(10), VirtualTime::from_micros(4)),
+            chosen: DeviceId::Gpu,
+            reason: crate::event::PlaceReason::CostModel,
+            at: VirtualTime::from_micros(3),
+        };
+        let doc = chrome_trace_json(&[ev]);
+        let v = parse(&doc).unwrap();
+        let e = v
+            .get("traceEvents")
+            .unwrap()
+            .as_arr()
+            .unwrap()
+            .iter()
+            .find(|e| e.get("cat").and_then(|c| c.as_str()) == Some("placement"))
+            .unwrap();
+        let args = e.get("args").unwrap();
+        assert_eq!(args.get("est_cpu_us").unwrap().as_num(), Some(10.0));
+        assert_eq!(args.get("est_gpu_us").unwrap().as_num(), Some(4.0));
+        assert_eq!(args.get("chosen").unwrap().as_str(), Some("GPU"));
+    }
+}

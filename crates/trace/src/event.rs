@@ -1,0 +1,323 @@
+//! The typed event model.
+//!
+//! Every event is a small `Copy` struct stamped with deterministic
+//! virtual time, so event streams are byte-identical across repeated
+//! runs, kernel worker counts and replayed fault plans. Events carry the
+//! *why* behind the aggregates in `RunMetrics`: which operator ran where
+//! and for how long, what crossed the bus, what the cache and heap did,
+//! which faults fired, and — the paper's Section 3/5 decisions made
+//! auditable — what each placement policy estimated and chose.
+
+use robustq_sim::{CacheKey, DeviceId, Direction, OpClass, PerDevice, VirtualTime};
+
+/// How an operator span ended.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum OpOutcome {
+    /// The kernel ran to completion on its device.
+    Completed,
+    /// The co-processor operator aborted mid-flight and will restart on
+    /// the CPU; `injected` marks aborts forced by the fault plan.
+    Aborted {
+        /// True when the fault layer forced the abort.
+        injected: bool,
+    },
+}
+
+/// What a transfer was moving.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TransferKind {
+    /// Operator inputs: base columns or intermediate results.
+    Input,
+    /// A query result returning to the host.
+    Result,
+    /// Background data-placement traffic (Section 3.2's manager).
+    Placement,
+}
+
+/// The fault-plan decision behind a [`TraceEvent::Fault`] record.
+///
+/// Kinds mirror the plan's own `FaultStats` accounting (a device→host
+/// "permanent" draw is counted — and reported here — as transient,
+/// exactly as the plan degrades it).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FaultKind {
+    /// A co-processor heap allocation was failed at `stage`.
+    AllocFail {
+        /// Staged-allocation step (0 = upfront, 1..=3 = growth).
+        stage: u32,
+    },
+    /// A transfer attempt failed transiently (retryable).
+    TransferTransient,
+    /// A host→device transfer failed permanently (aborts the operator).
+    TransferPermanent,
+    /// A transfer was slowed by a latency spike.
+    TransferSpike,
+    /// A co-processor kernel aborted right before computing.
+    KernelAbort,
+    /// A kernel launch was deferred by a device stall window.
+    Stall {
+        /// Virtual time the launch waited for the window to close.
+        wait: VirtualTime,
+    },
+}
+
+/// When a placement decision was taken.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PlacePhase {
+    /// At query admission (compile-time annotation, Section 2.5.2).
+    Compile,
+    /// When the task became ready (run-time placement, Section 4).
+    Ready,
+    /// Forced to the CPU after a co-processor abort (Section 2.5.1).
+    Fallback,
+}
+
+/// Why a placement policy chose its device.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PlaceReason {
+    /// A fixed rule (CPU-only, GPU-preferred, …) — no cost model.
+    Static,
+    /// A learned/analytical cost model compared per-device estimates.
+    CostModel,
+    /// Input-data residency decided (data-driven placement, Section 3).
+    DataResidency,
+    /// Device heap pressure vetoed the co-processor.
+    HeapPressure,
+    /// The executor's abort recovery forced the CPU.
+    AbortFallback,
+}
+
+/// One structured trace event, stamped in virtual time.
+///
+/// All payloads are scalar (`Copy`), so constructing an event never
+/// allocates — the zero-overhead-when-disabled contract of the tracer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TraceEvent {
+    /// A session submitted a query (admission waiting counts toward its
+    /// latency, so `at` is the submission instant).
+    QuerySubmit {
+        /// Executor-wide query id.
+        query: u32,
+        /// Issuing session.
+        session: u32,
+        /// Position within the session's queue.
+        seq: u32,
+        /// Submission instant.
+        at: VirtualTime,
+    },
+    /// A query's result reached the host.
+    QueryDone {
+        /// Executor-wide query id.
+        query: u32,
+        /// Issuing session.
+        session: u32,
+        /// Position within the session's queue.
+        seq: u32,
+        /// Submission instant (latency = `end - submit`).
+        submit: VirtualTime,
+        /// Completion instant.
+        end: VirtualTime,
+        /// Result row count.
+        rows: u64,
+    },
+    /// One operator execution attempt on one device, from worker-slot
+    /// acquisition (`start`) to completion or abort (`end`).
+    OpSpan {
+        /// Query the operator belongs to.
+        query: u32,
+        /// Executor-wide task id.
+        task: u32,
+        /// Cost-model class of the operator.
+        op: OpClass,
+        /// Device the attempt ran on.
+        device: DeviceId,
+        /// When the task entered the device's ready queue.
+        queued_at: VirtualTime,
+        /// Worker-slot acquisition (transfers and allocation included).
+        start: VirtualTime,
+        /// Completion or abort instant.
+        end: VirtualTime,
+        /// Exact input payload bytes.
+        bytes_in: u64,
+        /// Output payload bytes.
+        bytes_out: u64,
+        /// Output rows.
+        rows_out: u64,
+        /// How the span ended.
+        outcome: OpOutcome,
+    },
+    /// One transfer attempt that occupied the link (clean, spiked, or a
+    /// failed transient attempt; permanently failed attempts never move
+    /// bytes and appear only as [`TraceEvent::Fault`]).
+    Transfer {
+        /// Direction over the link.
+        dir: Direction,
+        /// What the payload was.
+        kind: TransferKind,
+        /// Query charged, when attributable (`u32::MAX` encodes "none",
+        /// see [`TraceEvent::NO_QUERY`] — keeps the event `Copy`+compact).
+        query: u32,
+        /// Payload bytes.
+        bytes: u64,
+        /// When the transfer was requested.
+        start: VirtualTime,
+        /// When the payload (or failure) cleared the link.
+        end: VirtualTime,
+        /// Service time occupying the FIFO.
+        service: VirtualTime,
+        /// True for spiked or failed attempts.
+        faulted: bool,
+        /// Virtual time lost to the injection (spike excess, or a failed
+        /// attempt's service plus its backoff).
+        waste: VirtualTime,
+    },
+    /// A cache lookup by a co-processor operator.
+    CacheProbe {
+        /// Base-column key.
+        key: CacheKey,
+        /// Column bytes.
+        bytes: u64,
+        /// Hit or miss.
+        hit: bool,
+        /// Lookup instant.
+        at: VirtualTime,
+    },
+    /// A column entered the cache.
+    CacheInsert {
+        /// Base-column key.
+        key: CacheKey,
+        /// Column bytes.
+        bytes: u64,
+        /// Insertion instant.
+        at: VirtualTime,
+    },
+    /// A column was evicted to make room.
+    CacheEvict {
+        /// Base-column key.
+        key: CacheKey,
+        /// Column bytes.
+        bytes: u64,
+        /// Eviction instant.
+        at: VirtualTime,
+    },
+    /// A co-processor heap allocation attempt.
+    HeapAlloc {
+        /// Engine-chosen allocation tag.
+        tag: u64,
+        /// Bytes requested.
+        bytes: u64,
+        /// Heap bytes in use after the attempt.
+        used: u64,
+        /// False when the heap could not satisfy the request.
+        ok: bool,
+        /// Attempt instant.
+        at: VirtualTime,
+    },
+    /// A heap tag was released.
+    HeapFree {
+        /// Engine-chosen allocation tag.
+        tag: u64,
+        /// Bytes freed.
+        bytes: u64,
+        /// Heap bytes in use after the release.
+        used: u64,
+        /// Release instant.
+        at: VirtualTime,
+    },
+    /// A fault-plan decision fired.
+    Fault {
+        /// What the plan injected.
+        kind: FaultKind,
+        /// Query charged (`u32::MAX` = not attributable).
+        query: u32,
+        /// Injection instant.
+        at: VirtualTime,
+    },
+    /// A transfer retry was scheduled after a transient fault.
+    Retry {
+        /// Query charged (`u32::MAX` = not attributable).
+        query: u32,
+        /// Backoff waited before the retry.
+        backoff: VirtualTime,
+        /// Scheduling instant.
+        at: VirtualTime,
+    },
+    /// A placement decision: the policy's per-device completion
+    /// estimates and the device it chose.
+    Placement {
+        /// Query the operator belongs to.
+        query: u32,
+        /// Executor-wide task id.
+        task: u32,
+        /// Cost-model class of the operator.
+        op: OpClass,
+        /// When the decision was taken.
+        phase: PlacePhase,
+        /// Estimated completion per device (`ZERO` when the policy does
+        /// not model costs).
+        est: PerDevice<VirtualTime>,
+        /// The chosen device.
+        chosen: DeviceId,
+        /// Why it was chosen.
+        reason: PlaceReason,
+        /// Decision instant.
+        at: VirtualTime,
+    },
+}
+
+impl TraceEvent {
+    /// Sentinel `query` value for events not attributable to one query
+    /// (background placement traffic and its faults).
+    pub const NO_QUERY: u32 = u32::MAX;
+
+    /// The virtual-time stamp of the event (spans report their end).
+    pub fn at(&self) -> VirtualTime {
+        match *self {
+            TraceEvent::QuerySubmit { at, .. }
+            | TraceEvent::CacheProbe { at, .. }
+            | TraceEvent::CacheInsert { at, .. }
+            | TraceEvent::CacheEvict { at, .. }
+            | TraceEvent::HeapAlloc { at, .. }
+            | TraceEvent::HeapFree { at, .. }
+            | TraceEvent::Fault { at, .. }
+            | TraceEvent::Retry { at, .. }
+            | TraceEvent::Placement { at, .. } => at,
+            TraceEvent::QueryDone { end, .. }
+            | TraceEvent::OpSpan { end, .. }
+            | TraceEvent::Transfer { end, .. } => end,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn events_are_copy_and_comparable() {
+        let e = TraceEvent::Fault {
+            kind: FaultKind::KernelAbort,
+            query: 3,
+            at: VirtualTime::from_micros(5),
+        };
+        let f = e; // Copy
+        assert_eq!(e, f);
+        assert_eq!(e.at(), VirtualTime::from_micros(5));
+    }
+
+    #[test]
+    fn span_events_stamp_their_end() {
+        let e = TraceEvent::Transfer {
+            dir: Direction::HostToDevice,
+            kind: TransferKind::Input,
+            query: 0,
+            bytes: 10,
+            start: VirtualTime::from_micros(1),
+            end: VirtualTime::from_micros(4),
+            service: VirtualTime::from_micros(3),
+            faulted: false,
+            waste: VirtualTime::ZERO,
+        };
+        assert_eq!(e.at(), VirtualTime::from_micros(4));
+    }
+}

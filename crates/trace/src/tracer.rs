@@ -1,0 +1,218 @@
+//! The tracer handle and its ring-buffer sink.
+//!
+//! A [`Tracer`] is a cheap cloneable handle — `None` when disabled, an
+//! `Arc<Mutex<ring buffer>>` when enabled. The disabled path is one
+//! branch on an `Option` and never allocates ([`TraceEvent`]s are `Copy`
+//! stacks of scalars), so threading a disabled tracer through the
+//! executor is free and runs stay byte-identical to an untraced build.
+
+use crate::event::TraceEvent;
+use std::collections::VecDeque;
+use std::fmt;
+use std::sync::{Arc, Mutex};
+
+/// Default ring-buffer capacity (events retained before dropping the
+/// oldest). Roughly a hundred megabytes at the event size — far above
+/// any workload in the repository, but bounded so a runaway loop cannot
+/// exhaust memory.
+pub const DEFAULT_CAPACITY: usize = 1 << 20;
+
+#[derive(Debug)]
+struct Ring {
+    events: VecDeque<TraceEvent>,
+    capacity: usize,
+    /// Events ever emitted (monotone; `dropped = emitted - events.len()`).
+    emitted: u64,
+    dropped: u64,
+}
+
+/// A drained snapshot of the ring buffer.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct TraceData {
+    /// Retained events, in emission order.
+    pub events: Vec<TraceEvent>,
+    /// Events dropped because the ring buffer was full.
+    pub dropped: u64,
+}
+
+/// Cloneable tracing handle, no-op when disabled.
+#[derive(Clone, Default)]
+pub struct Tracer {
+    inner: Option<Arc<Mutex<Ring>>>,
+}
+
+impl fmt::Debug for Tracer {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.inner.is_some() {
+            f.write_str("Tracer(enabled)")
+        } else {
+            f.write_str("Tracer(disabled)")
+        }
+    }
+}
+
+impl Tracer {
+    /// A disabled tracer: every emit is a no-op (the default).
+    pub fn disabled() -> Self {
+        Tracer { inner: None }
+    }
+
+    /// An enabled tracer with the default ring capacity.
+    pub fn new() -> Self {
+        Self::with_capacity(DEFAULT_CAPACITY)
+    }
+
+    /// An enabled tracer retaining at most `capacity` events.
+    pub fn with_capacity(capacity: usize) -> Self {
+        Tracer {
+            inner: Some(Arc::new(Mutex::new(Ring {
+                events: VecDeque::new(),
+                capacity: capacity.max(1),
+                emitted: 0,
+                dropped: 0,
+            }))),
+        }
+    }
+
+    /// Whether events are recorded. Callers may guard non-trivial event
+    /// construction behind this; plain scalar events can be passed to
+    /// [`Tracer::emit`] unconditionally.
+    #[inline]
+    pub fn is_enabled(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// Record `event`. No-op (a single branch) when disabled.
+    #[inline]
+    pub fn emit(&self, event: TraceEvent) {
+        let Some(inner) = &self.inner else {
+            return;
+        };
+        let mut ring = inner.lock().expect("tracer ring poisoned");
+        ring.emitted += 1;
+        if ring.events.len() == ring.capacity {
+            ring.events.pop_front();
+            ring.dropped += 1;
+        }
+        ring.events.push_back(event);
+    }
+
+    /// Events emitted so far (including dropped ones); a *mark* for
+    /// [`Tracer::events_since`]. Zero when disabled.
+    pub fn mark(&self) -> u64 {
+        match &self.inner {
+            Some(inner) => inner.lock().expect("tracer ring poisoned").emitted,
+            None => 0,
+        }
+    }
+
+    /// Events retained in the buffer.
+    pub fn len(&self) -> usize {
+        match &self.inner {
+            Some(inner) => inner.lock().expect("tracer ring poisoned").events.len(),
+            None => 0,
+        }
+    }
+
+    /// True when no events are retained (or the tracer is disabled).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The events emitted since `mark`, or `None` when the tracer is
+    /// disabled or any of them were dropped from the ring (so callers
+    /// never reconcile against a truncated stream).
+    pub fn events_since(&self, mark: u64) -> Option<Vec<TraceEvent>> {
+        let inner = self.inner.as_ref()?;
+        let ring = inner.lock().expect("tracer ring poisoned");
+        let oldest = ring.emitted - ring.events.len() as u64;
+        if mark < oldest {
+            return None;
+        }
+        Some(ring.events.iter().skip((mark - oldest) as usize).copied().collect())
+    }
+
+    /// Snapshot the buffer without draining it.
+    pub fn snapshot(&self) -> TraceData {
+        match &self.inner {
+            Some(inner) => {
+                let ring = inner.lock().expect("tracer ring poisoned");
+                TraceData {
+                    events: ring.events.iter().copied().collect(),
+                    dropped: ring.dropped,
+                }
+            }
+            None => TraceData::default(),
+        }
+    }
+
+    /// Drain the buffer, returning everything retained so far.
+    pub fn take(&self) -> TraceData {
+        match &self.inner {
+            Some(inner) => {
+                let mut ring = inner.lock().expect("tracer ring poisoned");
+                let dropped = ring.dropped;
+                TraceData { events: ring.events.drain(..).collect(), dropped }
+            }
+            None => TraceData::default(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use robustq_sim::VirtualTime;
+
+    fn ev(q: u32) -> TraceEvent {
+        TraceEvent::QuerySubmit { query: q, session: 0, seq: 0, at: VirtualTime::ZERO }
+    }
+
+    #[test]
+    fn disabled_tracer_is_a_noop() {
+        let t = Tracer::disabled();
+        assert!(!t.is_enabled());
+        t.emit(ev(1));
+        assert_eq!(t.len(), 0);
+        assert_eq!(t.mark(), 0);
+        assert_eq!(t.take(), TraceData::default());
+        assert!(t.events_since(0).is_none());
+    }
+
+    #[test]
+    fn clones_share_the_buffer() {
+        let t = Tracer::new();
+        let u = t.clone();
+        t.emit(ev(1));
+        u.emit(ev(2));
+        assert_eq!(t.len(), 2);
+        let data = t.take();
+        assert_eq!(data.events, vec![ev(1), ev(2)]);
+        assert_eq!(data.dropped, 0);
+        assert_eq!(u.len(), 0, "take drains the shared buffer");
+    }
+
+    #[test]
+    fn ring_drops_oldest_and_reports_it() {
+        let t = Tracer::with_capacity(2);
+        for q in 0..5 {
+            t.emit(ev(q));
+        }
+        let data = t.snapshot();
+        assert_eq!(data.events, vec![ev(3), ev(4)]);
+        assert_eq!(data.dropped, 3);
+        assert!(t.events_since(0).is_none(), "dropped events invalidate the mark");
+        assert_eq!(t.events_since(3), Some(vec![ev(3), ev(4)]));
+    }
+
+    #[test]
+    fn events_since_slices_from_a_mark() {
+        let t = Tracer::new();
+        t.emit(ev(0));
+        let mark = t.mark();
+        t.emit(ev(1));
+        t.emit(ev(2));
+        assert_eq!(t.events_since(mark), Some(vec![ev(1), ev(2)]));
+        assert_eq!(t.events_since(t.mark()), Some(vec![]));
+    }
+}

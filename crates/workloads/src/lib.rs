@@ -22,6 +22,6 @@ pub mod runner;
 pub mod ssb;
 pub mod tpch;
 
-pub use runner::{RunReport, RunnerConfig, WorkloadRunner};
+pub use runner::{RunPhase, RunReport, RunnerConfig, WorkloadRunner};
 pub use ssb::SsbQuery;
 pub use tpch::TpchQuery;

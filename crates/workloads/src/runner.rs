@@ -9,9 +9,10 @@
 use robustq_core::Strategy;
 use robustq_engine::exec::metrics::QueryOutcome;
 use robustq_engine::plan::PlanNode;
-use robustq_engine::{ExecOptions, Executor, ParallelCtx, RunMetrics};
+use robustq_engine::{EngineError, ExecOptions, Executor, ParallelCtx, RunMetrics};
 use robustq_sim::{FaultPlan, RetryPolicy, SimConfig, VirtualTime};
 use robustq_storage::{ColumnId, Database};
+use robustq_trace::{chrome_trace_json, MetricsRegistry, TraceData, Tracer};
 
 /// Runner options.
 #[derive(Debug, Clone)]
@@ -39,6 +40,19 @@ pub struct RunnerConfig {
     pub fault: FaultPlan,
     /// Recovery policy for transient transfer faults.
     pub retry: RetryPolicy,
+    /// Record a structured trace of the *measured* run (warm-up runs are
+    /// never traced). Read it back from [`RunReport::trace`].
+    pub trace: bool,
+}
+
+/// Which phase of the Section 6.1 run procedure an [`ExecOptions`] set
+/// is built for.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RunPhase {
+    /// Warm-up executions: fault-free, untraced, results dropped.
+    Warmup,
+    /// The measured run: faults, tracing and result capture apply.
+    Measured,
 }
 
 impl Default for RunnerConfig {
@@ -53,6 +67,7 @@ impl Default for RunnerConfig {
             parallel: ParallelCtx::serial(),
             fault: FaultPlan::disabled(),
             retry: RetryPolicy::default(),
+            trace: false,
         }
     }
 }
@@ -106,6 +121,34 @@ impl RunnerConfig {
         self.retry = retry;
         self
     }
+
+    /// Record a structured trace of the measured run.
+    pub fn with_trace(mut self) -> Self {
+        self.trace = true;
+        self
+    }
+
+    /// The executor options for one phase of the run procedure — the
+    /// single place runner configuration maps onto [`ExecOptions`].
+    /// `preload` stays empty here; the runner fills it for the measured
+    /// run once it has ranked the hot columns.
+    pub fn exec_options(&self, phase: RunPhase) -> ExecOptions {
+        let measured = phase == RunPhase::Measured;
+        ExecOptions {
+            capture_results: measured && self.capture_results,
+            placement_update_period: self.placement_update_period,
+            max_concurrent_queries: self.max_concurrent_queries,
+            preload: Vec::new(),
+            parallel: self.parallel,
+            fault: if measured { self.fault.clone() } else { FaultPlan::disabled() },
+            retry: self.retry,
+            tracer: if measured && self.trace {
+                Tracer::new()
+            } else {
+                Tracer::disabled()
+            },
+        }
+    }
 }
 
 /// Result of one measured workload run.
@@ -119,9 +162,24 @@ pub struct RunReport {
     pub metrics: RunMetrics,
     /// Per-query outcomes, in completion order.
     pub outcomes: Vec<QueryOutcome>,
+    /// The measured run's event stream, when [`RunnerConfig::trace`] was
+    /// set (`None` otherwise).
+    pub trace: Option<TraceData>,
 }
 
 impl RunReport {
+    /// The Chrome `trace_event` JSON for the measured run (load it in
+    /// Perfetto or `chrome://tracing`). `None` when the run was untraced.
+    pub fn chrome_trace(&self) -> Option<String> {
+        self.trace.as_ref().map(|t| chrome_trace_json(&t.events))
+    }
+
+    /// Counters and histograms derived from the measured run's event
+    /// stream. `None` when the run was untraced.
+    pub fn metrics_registry(&self) -> Option<MetricsRegistry> {
+        self.trace.as_ref().map(|t| MetricsRegistry::from_events(&t.events))
+    }
+
     /// Mean query latency.
     pub fn mean_latency(&self) -> VirtualTime {
         RunMetrics::mean_latency(&self.outcomes)
@@ -242,7 +300,7 @@ impl<'a> WorkloadRunner<'a> {
         queries: &[PlanNode],
         strategy: Strategy,
         cfg: &RunnerConfig,
-    ) -> Result<RunReport, String> {
+    ) -> Result<RunReport, EngineError> {
         let mut policy = strategy.build();
         self.run_with_policy(queries, policy.as_mut(), strategy.name(), cfg)
     }
@@ -255,7 +313,7 @@ impl<'a> WorkloadRunner<'a> {
         policy: &mut dyn robustq_engine::PlacementPolicy,
         label: &'static str,
         cfg: &RunnerConfig,
-    ) -> Result<RunReport, String> {
+    ) -> Result<RunReport, EngineError> {
         self.db.stats().reset();
         let executor = Executor::new(self.db, self.config.clone());
         // The cache persists across warm-up and measured runs, exactly
@@ -265,15 +323,7 @@ impl<'a> WorkloadRunner<'a> {
             self.config.cache_policy,
         );
 
-        let warm_opts = ExecOptions {
-            capture_results: false,
-            placement_update_period: cfg.placement_update_period,
-            max_concurrent_queries: cfg.max_concurrent_queries,
-            preload: Vec::new(),
-            parallel: cfg.parallel,
-            fault: FaultPlan::disabled(),
-            retry: cfg.retry,
-        };
+        let warm_opts = cfg.exec_options(RunPhase::Warmup);
         for _ in 0..cfg.warmup_runs {
             executor.run_with_cache(
                 Self::sessions(queries, cfg.users),
@@ -283,20 +333,11 @@ impl<'a> WorkloadRunner<'a> {
             )?;
         }
 
-        let preload = if cfg.preload_hot_columns {
-            Self::hot_columns(self.db, self.config.gpu.cache_bytes)
-        } else {
-            Vec::new()
-        };
-        let opts = ExecOptions {
-            capture_results: cfg.capture_results,
-            placement_update_period: cfg.placement_update_period,
-            max_concurrent_queries: cfg.max_concurrent_queries,
-            preload,
-            parallel: cfg.parallel,
-            fault: cfg.fault.clone(),
-            retry: cfg.retry,
-        };
+        let mut opts = cfg.exec_options(RunPhase::Measured);
+        if cfg.preload_hot_columns {
+            opts.preload = Self::hot_columns(self.db, self.config.gpu.cache_bytes);
+        }
+        let tracer = opts.tracer.clone();
         let out = executor.run_with_cache(
             Self::sessions(queries, cfg.users),
             policy,
@@ -308,6 +349,7 @@ impl<'a> WorkloadRunner<'a> {
             users: cfg.users,
             metrics: out.metrics,
             outcomes: out.outcomes,
+            trace: tracer.is_enabled().then(|| tracer.take()),
         })
     }
 }
@@ -372,7 +414,7 @@ mod tests {
         // After warmup the filter columns are pinned, so the measured run
         // executes selections on the GPU.
         assert!(
-            report.metrics.ops_completed[robustq_sim::DeviceId::Gpu.index()] > 0,
+            report.metrics.ops_completed[robustq_sim::DeviceId::Gpu] > 0,
             "expected co-processor work after warmup"
         );
     }
@@ -394,6 +436,7 @@ mod tests {
             users: 1,
             metrics: RunMetrics::default(),
             outcomes: (1..=100).map(mk).collect(),
+            trace: None,
         };
         assert_eq!(report.median_latency(), VirtualTime::from_millis(50));
         assert_eq!(report.p95_latency(), VirtualTime::from_millis(95));
@@ -405,6 +448,7 @@ mod tests {
             users: 1,
             metrics: RunMetrics::default(),
             outcomes: vec![],
+            trace: None,
         };
         assert_eq!(empty.p95_latency(), VirtualTime::ZERO);
     }

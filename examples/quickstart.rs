@@ -51,8 +51,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
          CPU→GPU transfer: {})",
         report.strategy,
         report.metrics.makespan,
-        report.metrics.ops_completed[0],
-        report.metrics.ops_completed[1],
+        report.metrics.ops_completed[robustq_sim::DeviceId::Cpu],
+        report.metrics.ops_completed[robustq_sim::DeviceId::Gpu],
         report.metrics.h2d_time,
     );
     Ok(())

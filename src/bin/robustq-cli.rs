@@ -196,8 +196,8 @@ impl Session {
             if result.num_rows() == 1 { "1 row" } else { "rows" },
             self.policy.name(),
             outcome.latency,
-            out.metrics.ops_completed[0],
-            out.metrics.ops_completed[1],
+            out.metrics.ops_completed[robustq_sim::DeviceId::Cpu],
+            out.metrics.ops_completed[robustq_sim::DeviceId::Gpu],
             out.metrics.h2d_time,
             out.metrics.aborts,
         ));
