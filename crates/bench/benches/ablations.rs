@@ -129,8 +129,9 @@ fn link_bandwidth(effort: Effort) -> FigTable {
     .with_columns(["bandwidth scale", "CPU [ms]", "GPU cold [ms]", "GPU hot [ms]"]);
     for scale in [0.5, 1.0, 2.0, 4.0] {
         let mut sim = setup.sim();
-        sim.link.bus_bandwidth *= scale;
-        sim.link.staging_bandwidth *= scale;
+        let link = sim.topology.link_mut(robustq_sim::DeviceId::Gpu);
+        link.bus_bandwidth *= scale;
+        link.staging_bandwidth *= scale;
         let runner = WorkloadRunner::new(&db, sim);
         let cpu = runner
             .run(std::slice::from_ref(&query), Strategy::CpuOnly, &RunnerConfig::default())

@@ -1,0 +1,233 @@
+//! Multi-GPU sweep: the same workload at K ∈ {1, 2, 4} co-processors.
+//!
+//! The paper evaluates one CPU and one GPU; its conclusion names
+//! multiple co-processors as the natural extension. With the N-device
+//! topology the co-processor count is a configuration axis
+//! ([`SimConfig::with_coprocessors`]): this sweep runs an SSB and a
+//! TPC-H workload at each K under a static and a learned placement
+//! strategy, prints the per-device utilisation, and writes
+//! `BENCH_multigpu.json` at the repository root so the scaling
+//! trajectory is tracked across commits.
+//!
+//! Every run's query results are checked against the K = 1 baseline —
+//! adding co-processors must never change *what* a query returns, only
+//! where its operators run.
+//!
+//! ```text
+//! cargo run -p robustq-bench --release --bin multigpu
+//! cargo run -p robustq-bench --release --bin multigpu -- --users 8 --ks 1,2,4
+//! cargo run -p robustq-bench --release --bin multigpu -- --ks 2 --trace multigpu-trace.json
+//! ```
+//!
+//! `--trace PATH` traces the largest-K SSB run under the learned
+//! strategy, asserts the Chrome export carries one kernel lane per
+//! device, and writes the JSON to PATH (CI feeds it to `trace-lint`).
+
+use std::collections::BTreeMap;
+
+use robustq_bench::table::FigTable;
+use robustq_core::Strategy;
+use robustq_engine::plan::PlanNode;
+use robustq_engine::RunMetrics;
+use robustq_sim::{SimConfig, VirtualTime};
+use robustq_storage::gen::ssb::SsbGenerator;
+use robustq_storage::gen::tpch::TpchGenerator;
+use robustq_storage::Database;
+use robustq_workloads::{ssb, tpch, RunReport, RunnerConfig, WorkloadRunner};
+
+struct Args {
+    users: usize,
+    rows: usize,
+    ks: Vec<usize>,
+    out: String,
+    trace: Option<String>,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        users: 4,
+        rows: 1_000,
+        ks: vec![1, 2, 4],
+        out: "BENCH_multigpu.json".to_string(),
+        trace: None,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| {
+            it.next().ok_or_else(|| format!("{name} needs a value"))
+        };
+        match flag.as_str() {
+            "--users" => {
+                args.users = value("--users")?.parse().map_err(|e| format!("--users: {e}"))?
+            }
+            "--rows" => {
+                args.rows = value("--rows")?.parse().map_err(|e| format!("--rows: {e}"))?
+            }
+            "--ks" => {
+                args.ks = value("--ks")?
+                    .split(',')
+                    .map(|k| k.parse().map_err(|e| format!("--ks: {e}")))
+                    .collect::<Result<_, _>>()?;
+                if args.ks.is_empty() || args.ks.contains(&0) {
+                    return Err("--ks needs a comma list of counts ≥ 1".into());
+                }
+            }
+            "--out" => args.out = value("--out")?,
+            "--trace" => args.trace = Some(value("--trace")?),
+            other => return Err(format!("unknown flag {other:?}")),
+        }
+    }
+    Ok(args)
+}
+
+fn ms(t: VirtualTime) -> String {
+    format!("{:.3}", t.as_secs_f64() * 1e3)
+}
+
+/// Per-device busy times as one readable cell: `CPU 1.2 | GPU 3.4 | …`.
+fn busy_cell(m: &RunMetrics) -> String {
+    m.device_busy
+        .iter()
+        .map(|(d, t)| format!("{d} {}", ms(*t)))
+        .collect::<Vec<_>>()
+        .join(" | ")
+}
+
+/// `(session, seq) -> (rows, checksum)` — the result fingerprint a sweep
+/// point must reproduce regardless of K.
+fn result_map(report: &RunReport) -> BTreeMap<(usize, usize), (usize, u64)> {
+    report
+        .outcomes
+        .iter()
+        .map(|o| ((o.session, o.seq), (o.rows, o.checksum)))
+        .collect()
+}
+
+fn main() {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("multigpu: {e}");
+            std::process::exit(2);
+        }
+    };
+    let max_k = *args.ks.iter().max().expect("ks non-empty");
+
+    let ssb_db: Database = SsbGenerator::new(1).with_rows_per_sf(args.rows).generate();
+    let tpch_db: Database = TpchGenerator::new(1).with_rows_per_sf(args.rows).generate();
+    let workloads: [(&str, &Database, Vec<PlanNode>); 2] = [
+        ("ssb", &ssb_db, ssb::workload(&ssb_db).expect("SSB plans")),
+        ("tpch", &tpch_db, tpch::workload()),
+    ];
+    // Tight device memory (as in the chaos sweep) so placement has real
+    // cache/heap pressure to trade off across the fleet.
+    let base_sim =
+        SimConfig::default().with_gpu_memory(512 * 1024).with_gpu_cache(256 * 1024);
+    let strategies = [Strategy::GpuPreferred, Strategy::Chopping, Strategy::DataDrivenChopping];
+
+    let mut tables = Vec::new();
+    let mut failures = 0u64;
+    for (name, db, queries) in &workloads {
+        let mut table = FigTable::new(
+            format!("multigpu-{name}"),
+            format!("{name} workload swept over K co-processors (shared-queue executor)"),
+        )
+        .with_columns([
+            "K",
+            "Strategy",
+            "Makespan [ms]",
+            "Mean latency [ms]",
+            "Aborts",
+            "Cache hit %",
+            "Busy per device [ms]",
+        ]);
+        let mut baseline: Option<BTreeMap<(usize, usize), (usize, u64)>> = None;
+        for &k in &args.ks {
+            let sim = base_sim.clone().with_coprocessors(k);
+            let runner = WorkloadRunner::new(db, sim);
+            for strategy in strategies {
+                let trace_this = args.trace.is_some()
+                    && *name == "ssb"
+                    && k == max_k
+                    && strategy == Strategy::DataDrivenChopping;
+                let mut cfg = RunnerConfig::default().with_users(args.users);
+                if trace_this {
+                    cfg = cfg.with_trace();
+                }
+                let report = runner.run(queries, strategy, &cfg).expect("sweep run");
+                let results = result_map(&report);
+                match &baseline {
+                    None => baseline = Some(results),
+                    Some(want) => {
+                        if *want != results {
+                            eprintln!(
+                                "multigpu: FAIL: {name} K={k} {} drifted from the \
+                                 K={} baseline results",
+                                strategy.name(),
+                                args.ks[0],
+                            );
+                            failures += 1;
+                        }
+                    }
+                }
+                let m = &report.metrics;
+                let probes = m.cache_hits + m.cache_misses;
+                table.push_row([
+                    k.to_string(),
+                    strategy.name().to_string(),
+                    ms(m.makespan),
+                    ms(RunMetrics::mean_latency(&report.outcomes)),
+                    m.aborts.to_string(),
+                    if probes == 0 {
+                        "-".to_string()
+                    } else {
+                        format!("{:.1}", 100.0 * m.cache_hits as f64 / probes as f64)
+                    },
+                    busy_cell(m),
+                ]);
+                if trace_this {
+                    let path = args.trace.as_deref().expect("trace path");
+                    let chrome = report.chrome_trace().expect("traced run exports");
+                    for (d, _) in m.device_busy.iter() {
+                        let lane = format!("{d} kernels");
+                        if !chrome.contains(&lane) {
+                            eprintln!("multigpu: FAIL: trace has no lane {lane:?}");
+                            failures += 1;
+                        }
+                    }
+                    if let Err(e) = std::fs::write(path, &chrome) {
+                        eprintln!("multigpu: cannot write {path}: {e}");
+                        failures += 1;
+                    } else {
+                        println!("trace: {path} (K={k}, {} lanes expected)", m.device_busy.len());
+                    }
+                }
+            }
+        }
+        println!("{table}");
+        tables.push(table);
+    }
+
+    let mut json = String::from("{\n  \"tables\": [");
+    for (i, t) in tables.iter().enumerate() {
+        json.push_str(if i == 0 { "\n" } else { ",\n" });
+        for line in t.to_json().lines() {
+            json.push_str("    ");
+            json.push_str(line);
+            json.push('\n');
+        }
+        json.pop(); // keep the closing brace on its own indented line
+    }
+    json.push_str("\n  ]\n}\n");
+    if let Err(e) = std::fs::write(&args.out, &json) {
+        eprintln!("multigpu: cannot write {}: {e}", args.out);
+        failures += 1;
+    } else {
+        println!("wrote {}", args.out);
+    }
+
+    if failures > 0 {
+        eprintln!("multigpu: {failures} failure(s)");
+        std::process::exit(1);
+    }
+}

@@ -23,7 +23,7 @@ pub fn run(effort: Effort) -> FigTable {
     )
     .with_columns(["cache budget [%]", "LFU [ms]", "LRU [ms]"]);
     for pct in [0u64, 25, 50, 75, 100] {
-        let budget = sim.gpu.cache_bytes * pct / 100;
+        let budget = sim.gpu().cache_bytes * pct / 100;
         let mut lfu = DataDrivenChopping::with_manager(
             DataPlacementManager::new(PlacementPolicyKind::Lfu).with_budget(budget),
         );

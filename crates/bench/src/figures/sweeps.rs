@@ -179,7 +179,7 @@ pub fn workload_sweep(kind: WorkloadKind, effort: Effort) -> Arc<Vec<SfPoint>> {
                         report: runner.run(&queries, s, &cfg).expect("sf sweep run"),
                     })
                     .collect();
-                SfPoint { sf, footprint, cache_bytes: sim.gpu.cache_bytes, entries }
+                SfPoint { sf, footprint, cache_bytes: sim.gpu().cache_bytes, entries }
             })
             .collect()
     })

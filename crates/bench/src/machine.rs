@@ -306,8 +306,8 @@ mod tests {
     fn micro_setup_ratios() {
         let s = MicroSetup::new(Effort::Quick);
         let sim = s.sim(s.working_set / 2);
-        assert_eq!(sim.gpu.cache_bytes, s.working_set / 2);
-        assert!(sim.gpu.heap_bytes() >= 6 * s.working_set);
+        assert_eq!(sim.gpu().cache_bytes, s.working_set / 2);
+        assert!(sim.gpu().heap_bytes() >= 6 * s.working_set);
     }
 
     #[test]
@@ -315,7 +315,7 @@ mod tests {
         let s = ParallelSetup::new(Effort::Quick);
         let sim = s.sim();
         let per_op = (3.45 * s.column_bytes as f64) as u64;
-        let fit = sim.gpu.heap_bytes() / per_op;
+        let fit = sim.gpu().heap_bytes() / per_op;
         assert!((6..=8).contains(&fit), "heap fits {fit} ops, want ~7");
     }
 
@@ -327,8 +327,8 @@ mod tests {
         let db20 = s.db(20);
         let ws10 = workload_footprint(&db10, &s.queries(&db10));
         let ws20 = workload_footprint(&db20, &s.queries(&db20));
-        assert!(ws10 <= sim.gpu.cache_bytes, "SF10 fits the cache");
-        assert!(ws20 > sim.gpu.cache_bytes, "SF20 exceeds the cache");
+        assert!(ws10 <= sim.gpu().cache_bytes, "SF10 fits the cache");
+        assert!(ws20 > sim.gpu().cache_bytes, "SF20 exceeds the cache");
     }
 
     #[test]

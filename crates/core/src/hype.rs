@@ -64,10 +64,12 @@ impl LinearModel {
     }
 }
 
-/// The learned estimator: one model per (class, device).
+/// The learned estimator: one model per (class, device). The model
+/// table grows on demand, so one estimator serves any topology size —
+/// a device never observed simply stays on its cold-start prior.
 #[derive(Debug, Clone)]
 pub struct HypeEstimator {
-    models: [[LinearModel; 5]; 2],
+    models: Vec<[LinearModel; 5]>,
     /// Prior throughputs (bytes/s) used before models are fitted.
     prior_cpu: f64,
     prior_gpu: f64,
@@ -79,8 +81,8 @@ pub struct HypeEstimator {
 impl Default for HypeEstimator {
     fn default() -> Self {
         HypeEstimator {
-            models: Default::default(),
-            // Rough cold-start priors: the GPU is assumed ~3× faster.
+            models: Vec::new(),
+            // Rough cold-start priors: a co-processor is assumed ~3× faster.
             prior_cpu: 5.0e9,
             prior_gpu: 15.0e9,
             copy_bandwidth: 1.2e9,
@@ -94,12 +96,16 @@ impl HypeEstimator {
         Self::default()
     }
 
-    fn model(&self, class: OpClass, device: DeviceId) -> &LinearModel {
-        &self.models[device.index()][class.index()]
+    fn model(&self, class: OpClass, device: DeviceId) -> Option<&LinearModel> {
+        self.models.get(device.index()).map(|per_dev| &per_dev[class.index()])
     }
 
     fn model_mut(&mut self, class: OpClass, device: DeviceId) -> &mut LinearModel {
-        &mut self.models[device.index()][class.index()]
+        let idx = device.index();
+        if self.models.len() <= idx {
+            self.models.resize_with(idx + 1, Default::default);
+        }
+        &mut self.models[idx][class.index()]
     }
 
     /// Work measure fed to the per-class regressions (mirrors the shape,
@@ -131,12 +137,13 @@ impl HypeEstimator {
         bytes_out: u64,
     ) -> VirtualTime {
         let work = Self::work(bytes_in, bytes_out);
-        match self.model(class, device).predict(work) {
+        match self.model(class, device).and_then(|m| m.predict(work)) {
             Some(secs) => VirtualTime::from_secs_f64(secs),
             None => {
-                let prior = match device {
-                    DeviceId::Cpu => self.prior_cpu,
-                    DeviceId::Gpu => self.prior_gpu,
+                let prior = if device.is_coprocessor() {
+                    self.prior_gpu
+                } else {
+                    self.prior_cpu
                 };
                 VirtualTime::from_secs_f64(work / prior)
             }
@@ -223,6 +230,30 @@ mod tests {
         // Selection/CPU is untouched and still on priors.
         let est = e.estimate(OpClass::Selection, DeviceId::Cpu, 5_000_000_000, 0);
         assert_eq!(est, VirtualTime::from_secs_f64(1.0));
+    }
+
+    #[test]
+    fn extra_coprocessors_get_their_own_models_and_gpu_prior() {
+        let mut e = HypeEstimator::new();
+        let g2 = DeviceId::coprocessor(2);
+        // Cold: any co-processor falls back to the GPU prior (15 GB/s).
+        let cold = e.estimate(OpClass::Selection, g2, 15_000_000_000, 0);
+        assert_eq!(cold, VirtualTime::from_secs_f64(1.0));
+        // Teach GPU2 a 5 GB/s rate; GPU1 stays on its prior.
+        for mb in [1u64, 10, 100] {
+            let bytes = mb * 1_000_000;
+            e.observe(
+                OpClass::Selection,
+                g2,
+                bytes,
+                0,
+                VirtualTime::from_secs_f64(bytes as f64 / 5.0e9),
+            );
+        }
+        let warm = e.estimate(OpClass::Selection, g2, 15_000_000_000, 0);
+        assert!((warm.as_secs_f64() - 3.0).abs() < 0.05, "learned 5 GB/s");
+        let g1 = e.estimate(OpClass::Selection, DeviceId::Gpu, 15_000_000_000, 0);
+        assert_eq!(g1, VirtualTime::from_secs_f64(1.0), "GPU1 unaffected");
     }
 
     #[test]

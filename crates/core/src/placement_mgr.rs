@@ -7,7 +7,7 @@
 //! the top of the ranking is pinned until the cache budget is exhausted —
 //! exactly Algorithm 1: evict `old \ new`, cache `new \ old`.
 
-use robustq_sim::{CacheKey, DataCache};
+use robustq_sim::{CacheKey, CacheSet, DataCache, DeviceId};
 use robustq_storage::{ColumnId, Database};
 
 /// Ranking criterion for the pinned set.
@@ -91,6 +91,58 @@ impl DataPlacementManager {
         let (newly_cached, _evicted) = cache.set_pinned(&pins);
         newly_cached
     }
+
+    /// Algorithm 1 over a fleet of co-processor caches. Each *table* is
+    /// homed on one device — tables ranked by summed column score and
+    /// dealt round-robin across the K caches — and every cache is then
+    /// filled in global ranking order from its home tables' columns.
+    /// Homing whole tables (rather than striping single columns) keeps a
+    /// scan's inputs co-resident, so the data-driven chain rule still
+    /// fires at K > 1; the pinned working set scales with the fleet one
+    /// table at a time. With K = 1 this degenerates to
+    /// [`DataPlacementManager::update`]. Returns `(device, key)` pairs
+    /// newly cached so the caller can charge each device's host link.
+    pub fn update_set(&self, db: &Database, caches: &mut CacheSet) -> Vec<(DeviceId, CacheKey)> {
+        let k = caches.len();
+        if k == 0 {
+            return Vec::new();
+        }
+        let ranking = self.ranking(db);
+        // Home each accessed table: hottest table first, ties broken by
+        // registration index for determinism.
+        let mut table_scores: std::collections::BTreeMap<usize, u64> = Default::default();
+        for &(id, score) in &ranking {
+            *table_scores.entry(db.table_of(id)).or_default() += score;
+        }
+        let mut tables: Vec<(usize, u64)> = table_scores.into_iter().collect();
+        tables.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+        let home: std::collections::BTreeMap<usize, usize> = tables
+            .iter()
+            .enumerate()
+            .map(|(rank, &(table, _))| (table, rank % k))
+            .collect();
+        let budgets: Vec<u64> = caches
+            .iter()
+            .map(|(_, cache)| self.budget.unwrap_or(u64::MAX).min(cache.capacity()))
+            .collect();
+        let mut used = vec![0u64; k];
+        let mut pins: Vec<Vec<(CacheKey, u64)>> = vec![Vec::new(); k];
+        for (id, _) in ranking {
+            let slot = home[&db.table_of(id)];
+            let bytes = db.column_size(id);
+            if used[slot] + bytes <= budgets[slot] {
+                used[slot] += bytes;
+                pins[slot].push((CacheKey(id.0 as u64), bytes));
+            }
+        }
+        let mut newly = Vec::new();
+        for (slot, pin) in pins.iter().enumerate() {
+            let device = DeviceId::from_index(slot + 1);
+            let (newly_cached, _evicted) = caches.device_mut(device).set_pinned(pin);
+            newly.extend(newly_cached.into_iter().map(|key| (device, key)));
+        }
+        newly
+    }
 }
 
 #[cfg(test)]
@@ -172,6 +224,73 @@ mod tests {
         let b = db.column_id("t", "b").unwrap();
         assert_eq!(second, vec![CacheKey(c.0 as u64)], "only c is newly cached");
         assert!(!cache.contains(CacheKey(b.0 as u64)));
+    }
+
+    #[test]
+    fn update_set_homes_whole_tables_across_the_fleet() {
+        use robustq_sim::{DeviceSpec, LinkParams, Topology};
+        let mut db = db();
+        db.add_table(
+            Table::new(
+                "dim",
+                Schema::new(vec![Field::new("d", DataType::Int32)]),
+                vec![ColumnData::Int32(vec![1, 2, 3])],
+            )
+            .unwrap(),
+        )
+        .unwrap();
+        touch(&db, "a", 5);
+        touch(&db, "c", 10);
+        let dim_d = db.column_id("dim", "d").unwrap();
+        for _ in 0..4 {
+            db.stats().record_access(dim_d.index());
+        }
+        let topo = Topology::cpu_gpu(
+            DeviceSpec::cpu(4),
+            DeviceSpec::coprocessor(4, 1_000, 24),
+            LinkParams::default(),
+        )
+        .with_coprocessor(DeviceSpec::coprocessor(4, 1_000, 24), LinkParams::default());
+        let mut caches = CacheSet::for_topology(&topo, CachePolicy::Lru);
+        let newly = DataPlacementManager::lfu().update_set(&db, &mut caches);
+        assert_eq!(newly.len(), 3, "all three accessed columns fit somewhere");
+        let c = db.column_id("t", "c").unwrap();
+        let a = db.column_id("t", "a").unwrap();
+        let g1 = DeviceId::Gpu;
+        let g2 = DeviceId::coprocessor(2);
+        // Table scores: t = 15 → home g1, dim = 4 → home g2. Both of
+        // t's hot columns stay co-resident on g1 (a scan of t still
+        // places on one device); dim lives on g2.
+        assert!(caches.device(g1).contains(CacheKey(c.0 as u64)));
+        assert!(caches.device(g1).contains(CacheKey(a.0 as u64)));
+        assert!(caches.device(g2).contains(CacheKey(dim_d.0 as u64)));
+        assert!(!caches.device(g2).contains(CacheKey(c.0 as u64)), "one home per table");
+    }
+
+    #[test]
+    fn update_set_with_one_device_matches_update() {
+        use robustq_sim::{DeviceSpec, LinkParams, Topology};
+        let db = db();
+        touch(&db, "a", 5);
+        touch(&db, "b", 3);
+        touch(&db, "c", 10);
+        let topo = Topology::cpu_gpu(
+            DeviceSpec::cpu(4),
+            DeviceSpec::coprocessor(4, 1_000, 24),
+            LinkParams::default(),
+        );
+        let mut caches = CacheSet::for_topology(&topo, CachePolicy::Lru);
+        let mut single = DataCache::new(24, CachePolicy::Lru);
+        let mgr = DataPlacementManager::lfu();
+        let newly_set = mgr.update_set(&db, &mut caches);
+        let newly_one = mgr.update(&db, &mut single);
+        assert_eq!(
+            newly_set.iter().map(|&(_, k)| k).collect::<Vec<_>>(),
+            newly_one
+        );
+        for key in newly_one {
+            assert!(caches.device(DeviceId::Gpu).contains(key));
+        }
     }
 
     #[test]

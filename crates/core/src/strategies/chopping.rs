@@ -74,7 +74,7 @@ impl PlacementPolicy for Chopping {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::strategies::runtime::test_support::{cache, ctx, empty_db, task};
+    use crate::strategies::runtime::test_support::{empty_db, fixture, task};
 
     #[test]
     fn chopping_bounds_worker_slots() {
@@ -88,8 +88,8 @@ mod tests {
     #[test]
     fn chopping_places_at_runtime() {
         let db = empty_db();
-        let c = cache(0);
-        let ctx = ctx(&db, &c);
+        let fx = fixture(0);
+        let ctx = fx.ctx(&db);
         let mut p = Chopping::new();
         // No compile-time annotations.
         let infos = vec![task(1_000), task(2_000)];

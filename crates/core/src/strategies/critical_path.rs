@@ -49,23 +49,26 @@ impl CriticalPath {
     }
 
     /// Resolve placements from a set of co-processor leaves: leaves in the
-    /// set go to the co-processor, and every operator whose children all
-    /// run there follows (chaining; binary operators require both sides).
-    fn closure(gpu_leaves: &[bool], tasks: &[TaskInfo], base: usize) -> Vec<DeviceId> {
+    /// set go to `target`, and every operator whose children all run there
+    /// follows (chaining; binary operators require both sides). The search
+    /// considers one co-processor per query — chains never span devices,
+    /// for the same reason they never span the bus.
+    fn closure(
+        gpu_leaves: &[bool],
+        tasks: &[TaskInfo],
+        base: usize,
+        target: DeviceId,
+    ) -> Vec<DeviceId> {
         let mut devices = Vec::with_capacity(tasks.len());
         for (i, t) in tasks.iter().enumerate() {
             let d = if t.children_tasks.is_empty() {
                 if gpu_leaves[i] {
-                    DeviceId::Gpu
+                    target
                 } else {
                     DeviceId::Cpu
                 }
-            } else if t
-                .children_tasks
-                .iter()
-                .all(|&c| devices[c - base] == DeviceId::Gpu)
-            {
-                DeviceId::Gpu
+            } else if t.children_tasks.iter().all(|&c| devices[c - base] == target) {
+                target
             } else {
                 DeviceId::Cpu
             };
@@ -94,9 +97,9 @@ impl CriticalPath {
             // Transfers: base columns for co-processor scans, child
             // results crossing a device boundary otherwise.
             let mut move_bytes = 0u64;
-            if device == DeviceId::Gpu {
+            if device.is_coprocessor() {
                 for &col in &t.base_columns {
-                    if !ctx.cache.contains(CacheKey(col.0 as u64)) {
+                    if !ctx.cache(device).contains(CacheKey(col.0 as u64)) {
                         move_bytes += ctx.db.column_size(col);
                     }
                 }
@@ -114,7 +117,7 @@ impl CriticalPath {
         }
         let root = *completion.last().expect("non-empty plan");
         // The result must end on the host.
-        if *devices.last().expect("non-empty plan") == DeviceId::Gpu {
+        if devices.last().expect("non-empty plan").is_coprocessor() {
             let out = tasks.last().expect("non-empty plan").bytes_out_estimate;
             root + self.hype.estimate_transfer(out)
         } else {
@@ -132,6 +135,15 @@ impl PlacementPolicy for CriticalPath {
         if tasks.is_empty() {
             return Vec::new();
         }
+        // One co-processor hosts this query's chains: the least-loaded one
+        // at plan time (lowest index on ties — the single co-processor on
+        // a classic machine). CPU-only topologies skip the search.
+        let Some(target) = ctx.least_loaded_coprocessor() else {
+            return tasks
+                .iter()
+                .map(|_| Some(Placement::fixed(DeviceId::Cpu)))
+                .collect();
+        };
         let base = tasks[0].task;
         let leaves: Vec<usize> = tasks
             .iter()
@@ -146,7 +158,7 @@ impl PlacementPolicy for CriticalPath {
         // non-improving round — the binary-join benefit only appears once
         // both sides moved). The best assignment seen anywhere wins.
         let mut chosen = vec![false; tasks.len()];
-        let mut best_devices = Self::closure(&chosen, tasks, base);
+        let mut best_devices = Self::closure(&chosen, tasks, base, target);
         let mut best_cost = self.response_time(&best_devices, tasks, base, ctx);
 
         for _round in 0..self.max_iterations.min(leaves.len()) {
@@ -157,7 +169,7 @@ impl PlacementPolicy for CriticalPath {
                 }
                 let mut cand = chosen.clone();
                 cand[leaf] = true;
-                let devices = Self::closure(&cand, tasks, base);
+                let devices = Self::closure(&cand, tasks, base, target);
                 let cost = self.response_time(&devices, tasks, base, ctx);
                 if round_best.as_ref().is_none_or(|(_, c, _)| cost < *c) {
                     round_best = Some((leaf, cost, devices));
@@ -174,14 +186,14 @@ impl PlacementPolicy for CriticalPath {
         }
         // Annotate each pick with its per-device kernel estimates so the
         // trace records what the search believed about either side.
+        let device_count = ctx.topology.device_count();
         best_devices
             .into_iter()
             .zip(tasks)
             .map(|(d, t)| {
-                let est = PerDevice::new(
-                    self.hype.estimate(t.op_class, DeviceId::Cpu, t.bytes_in, t.bytes_out_estimate),
-                    self.hype.estimate(t.op_class, DeviceId::Gpu, t.bytes_in, t.bytes_out_estimate),
-                );
+                let est = PerDevice::from_fn(device_count, |dev| {
+                    self.hype.estimate(t.op_class, dev, t.bytes_in, t.bytes_out_estimate)
+                });
                 Some(Placement::modeled(d, est))
             })
             .collect()
@@ -202,8 +214,7 @@ impl PlacementPolicy for CriticalPath {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::strategies::runtime::test_support::{cache, ctx, empty_db, task};
-    use robustq_sim::DataCache;
+    use crate::strategies::runtime::test_support::{empty_db, fixture, fixture_k, task};
     use robustq_storage::{ColumnData, DataType, Database, Field, Schema, Table};
 
     /// Build a tiny 4-task plan: two scans (ids 0,1) joined (2), then
@@ -278,50 +289,86 @@ mod tests {
     fn cold_cache_with_big_columns_stays_on_cpu() {
         // 8 MB per column over a ~1.2 GB/s link dwarfs the kernel gain.
         let db = db_with_two_columns(1_000_000);
-        let c = cache(0);
-        let ctx = ctx(&db, &c);
+        let fx = fixture(0);
+        let ctx = fx.ctx(&db);
         let mut cp = trained();
         let out = cp.plan_query(&plan_tasks(8_000_000), &ctx);
         assert_eq!(out.len(), 4);
-        assert!(out.iter().all(|p| p.unwrap().device == DeviceId::Cpu));
+        assert!(out.iter().all(|p| p.as_ref().unwrap().device == DeviceId::Cpu));
     }
 
     #[test]
     fn hot_cache_moves_chains_to_gpu() {
         let db = db_with_two_columns(1_000_000);
-        let mut c: DataCache = cache(1 << 30);
-        c.set_pinned(&[(CacheKey(0), 8_000_000), (CacheKey(1), 8_000_000)]);
-        let ctx = ctx(&db, &c);
+        let mut fx = fixture(1 << 30);
+        fx.cache_mut(DeviceId::Gpu)
+            .set_pinned(&[(CacheKey(0), 8_000_000), (CacheKey(1), 8_000_000)]);
+        let ctx = fx.ctx(&db);
         let mut cp = trained();
         let out = cp.plan_query(&plan_tasks(8_000_000), &ctx);
         // Both scans cached: everything chains onto the co-processor.
-        assert_eq!(out[0].unwrap().device, DeviceId::Gpu);
-        assert_eq!(out[1].unwrap().device, DeviceId::Gpu);
-        assert_eq!(out[2].unwrap().device, DeviceId::Gpu, "binary op follows both children");
+        assert_eq!(out[0].as_ref().unwrap().device, DeviceId::Gpu);
+        assert_eq!(out[1].as_ref().unwrap().device, DeviceId::Gpu);
+        assert_eq!(
+            out[2].as_ref().unwrap().device,
+            DeviceId::Gpu,
+            "binary op follows both children"
+        );
         // Modeled estimates ride along for the trace.
-        assert!(out[0].unwrap().est[DeviceId::Cpu] > VirtualTime::ZERO);
+        assert!(out[0].as_ref().unwrap().est[DeviceId::Cpu] > VirtualTime::ZERO);
     }
 
     #[test]
     fn single_cached_side_keeps_binary_on_cpu() {
         let db = db_with_two_columns(1_000_000);
-        let mut c: DataCache = cache(1 << 30);
-        c.set_pinned(&[(CacheKey(0), 8_000_000)]);
-        let ctx = ctx(&db, &c);
+        let mut fx = fixture(1 << 30);
+        fx.cache_mut(DeviceId::Gpu).set_pinned(&[(CacheKey(0), 8_000_000)]);
+        let ctx = fx.ctx(&db);
         let mut cp = trained();
         let out = cp.plan_query(&plan_tasks(8_000_000), &ctx);
         // The cold side stays on the CPU, so the join cannot chain.
-        assert_eq!(out[1].unwrap().device, DeviceId::Cpu);
-        assert_eq!(out[2].unwrap().device, DeviceId::Cpu);
+        assert_eq!(out[1].as_ref().unwrap().device, DeviceId::Cpu);
+        assert_eq!(out[2].as_ref().unwrap().device, DeviceId::Cpu);
+    }
+
+    #[test]
+    fn chains_land_on_the_least_loaded_coprocessor() {
+        let db = db_with_two_columns(1_000_000);
+        let g2 = DeviceId::coprocessor(2);
+        let mut fx = fixture_k(2, 1 << 30);
+        // Pin the scans' columns on *both* devices so residency is equal.
+        for d in [DeviceId::Gpu, g2] {
+            fx.cache_mut(d)
+                .set_pinned(&[(CacheKey(0), 8_000_000), (CacheKey(1), 8_000_000)]);
+        }
+        let mut ctx = fx.ctx(&db);
+        ctx.queued_work[DeviceId::Gpu] = VirtualTime::from_secs_f64(10.0);
+        let mut cp = trained();
+        // Teach the second device too, so its estimates are fitted.
+        for mb in [1u64, 8, 64] {
+            let b = mb * 1_000_000;
+            for class in robustq_sim::OpClass::ALL {
+                cp.observe(class, g2, b, 0, VirtualTime::from_secs_f64(b as f64 / 24.0e9));
+            }
+        }
+        let out = cp.plan_query(&plan_tasks(8_000_000), &ctx);
+        assert!(
+            out.iter()
+                .take(3)
+                .all(|p| p.as_ref().unwrap().device == g2),
+            "busy GPU1 is skipped; the whole chain targets GPU2"
+        );
     }
 
     #[test]
     fn closure_respects_binary_rule() {
         let tasks = plan_tasks(1_000);
-        let devices = CriticalPath::closure(&[true, false, false, false], &tasks, 0);
+        let devices =
+            CriticalPath::closure(&[true, false, false, false], &tasks, 0, DeviceId::Gpu);
         assert_eq!(devices[0], DeviceId::Gpu);
         assert_eq!(devices[2], DeviceId::Cpu, "join needs both children on GPU");
-        let devices = CriticalPath::closure(&[true, true, false, false], &tasks, 0);
+        let devices =
+            CriticalPath::closure(&[true, true, false, false], &tasks, 0, DeviceId::Gpu);
         assert_eq!(devices[2], DeviceId::Gpu);
         assert_eq!(devices[3], DeviceId::Gpu, "unary chain continues");
     }
@@ -329,8 +376,8 @@ mod tests {
     #[test]
     fn empty_plan_is_handled() {
         let db = empty_db();
-        let c = cache(0);
-        let ctx = ctx(&db, &c);
+        let fx = fixture(0);
+        let ctx = fx.ctx(&db);
         let mut cp = CriticalPath::new();
         assert!(cp.plan_query(&[], &ctx).is_empty());
     }
@@ -338,9 +385,9 @@ mod tests {
     #[test]
     fn iteration_cap_limits_rounds() {
         let db = db_with_two_columns(10);
-        let mut c: DataCache = cache(1 << 20);
-        c.set_pinned(&[(CacheKey(0), 80), (CacheKey(1), 80)]);
-        let ctx = ctx(&db, &c);
+        let mut fx = fixture(1 << 20);
+        fx.cache_mut(DeviceId::Gpu).set_pinned(&[(CacheKey(0), 80), (CacheKey(1), 80)]);
+        let ctx = fx.ctx(&db);
         let mut cp = trained().with_max_iterations(1);
         let out = cp.plan_query(&plan_tasks(80), &ctx);
         // With tiny data the launch overheads decide; we only check the

@@ -2,38 +2,43 @@
 //! query chopping (Section 5.4).
 //!
 //! The storage adviser (our [`DataPlacementManager`]) pins the most
-//! frequently used columns into the co-processor cache; the query
-//! processor places an operator on the co-processor *if and only if* its
-//! input is resident there. Scans check the pinned cache; downstream
-//! operators chain — they run on the co-processor exactly when all their
-//! children did, so the chain breaks at the first operator with a
-//! non-resident input and the rest of the query stays on the CPU
-//! (Section 3.3).
+//! frequently used columns into the co-processor caches; the query
+//! processor places an operator on a co-processor *if and only if* its
+//! input is resident there. Scans check the pinned caches; downstream
+//! operators chain — they run on a co-processor exactly when all their
+//! children ran on that same device, so the chain breaks at the first
+//! operator with a non-resident input and the rest of the query stays on
+//! the CPU (Section 3.3). With K co-processors, each column has one home
+//! device and the chain follows whichever device holds the data.
 
 use crate::placement_mgr::{DataPlacementManager, PlacementPolicyKind};
 use crate::strategies::runtime::RuntimePlacer;
 use robustq_engine::{Placement, PlacementPolicy, PlaceReason, PolicyCtx, TaskInfo};
-use robustq_sim::{CacheKey, DataCache, DeviceId, OpClass, VirtualTime};
+use robustq_sim::{CacheKey, CacheSet, DeviceId, OpClass, VirtualTime};
 use robustq_storage::Database;
 
-/// Shared chaining rule: co-processor iff every input is resident.
-fn data_driven_device(task: &TaskInfo, all_cached: bool) -> DeviceId {
+/// Shared chaining rule: a co-processor iff every input is resident on
+/// that one device. `cached_device` is the (first) co-processor whose
+/// cache holds all of the task's base columns, if any.
+fn data_driven_device(task: &TaskInfo, cached_device: Option<DeviceId>) -> DeviceId {
     if task.children_devices.is_empty() && task.children_tasks.is_empty() {
-        // Leaf scan: follow the pinned data.
-        if all_cached && !task.base_columns.is_empty() {
-            DeviceId::Gpu
+        // Leaf scan: follow the pinned data (no columns → no signal → CPU).
+        if !task.base_columns.is_empty() {
+            cached_device.unwrap_or(DeviceId::Cpu)
         } else {
             DeviceId::Cpu
         }
-    } else if task
-        .children_devices
-        .iter()
-        .all(|&d| d == DeviceId::Gpu)
-        && !task.children_devices.is_empty()
-    {
-        DeviceId::Gpu
     } else {
-        DeviceId::Cpu
+        // Chain: all children on the same co-processor → stay there.
+        match task.children_devices.first() {
+            Some(&first)
+                if first.is_coprocessor()
+                    && task.children_devices.iter().all(|&d| d == first) =>
+            {
+                first
+            }
+            _ => DeviceId::Cpu,
+        }
     }
 }
 
@@ -73,7 +78,7 @@ impl PlacementPolicy for DataDriven {
             let children: Vec<DeviceId> =
                 t.children_tasks.iter().map(|&c| devices[c - base]).collect();
             let resolved = TaskInfo { children_devices: children, ..t.clone() };
-            let cached = ctx.all_cached(&resolved.base_columns);
+            let cached = ctx.cached_device(&resolved.base_columns);
             devices.push(data_driven_device(&resolved, cached));
         }
         devices
@@ -89,9 +94,9 @@ impl PlacementPolicy for DataDriven {
     fn update_data_placement(
         &mut self,
         db: &Database,
-        cache: &mut DataCache,
-    ) -> Vec<CacheKey> {
-        self.manager.update(db, cache)
+        caches: &mut CacheSet,
+    ) -> Vec<(DeviceId, CacheKey)> {
+        self.manager.update_set(db, caches)
     }
 }
 
@@ -126,7 +131,7 @@ impl DataDrivenChopping {
         }
     }
 
-    /// Fix the worker-slot bound on both devices (ablations).
+    /// Fix the worker-slot bound on all devices (ablations).
     pub fn with_slots(mut self, slots: usize) -> Self {
         self.slot_override = Some(slots);
         self
@@ -139,7 +144,7 @@ impl PlacementPolicy for DataDrivenChopping {
     }
 
     fn place_ready(&mut self, task: &TaskInfo, ctx: &PolicyCtx) -> Placement {
-        let cached = ctx.all_cached(&task.base_columns);
+        let cached = ctx.cached_device(&task.base_columns);
         Placement::fixed(data_driven_device(task, cached))
             .because(PlaceReason::DataResidency)
     }
@@ -166,16 +171,16 @@ impl PlacementPolicy for DataDrivenChopping {
     fn update_data_placement(
         &mut self,
         db: &Database,
-        cache: &mut DataCache,
-    ) -> Vec<CacheKey> {
-        self.manager.update(db, cache)
+        caches: &mut CacheSet,
+    ) -> Vec<(DeviceId, CacheKey)> {
+        self.manager.update_set(db, caches)
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::strategies::runtime::test_support::{cache, ctx, empty_db, task};
+    use crate::strategies::runtime::test_support::{empty_db, fixture, fixture_k, task};
     use robustq_storage::ColumnId;
 
     fn scan_task(cols: Vec<ColumnId>) -> TaskInfo {
@@ -185,9 +190,10 @@ mod tests {
     #[test]
     fn scan_follows_pinned_data() {
         let db = empty_db();
-        let mut c = cache(1_000);
-        c.set_pinned(&[(CacheKey(1), 10), (CacheKey(2), 10)]);
-        let ctx = ctx(&db, &c);
+        let mut fx = fixture(1_000);
+        fx.cache_mut(DeviceId::Gpu)
+            .set_pinned(&[(CacheKey(1), 10), (CacheKey(2), 10)]);
+        let ctx = fx.ctx(&db);
         let mut p = DataDrivenChopping::new(PlacementPolicyKind::Lfu);
         // Both columns resident -> GPU.
         let t = scan_task(vec![ColumnId(1), ColumnId(2)]);
@@ -198,10 +204,30 @@ mod tests {
     }
 
     #[test]
+    fn scan_follows_data_to_the_sibling_coprocessor() {
+        let db = empty_db();
+        let mut fx = fixture_k(2, 1_000);
+        let g2 = DeviceId::coprocessor(2);
+        fx.cache_mut(g2).set_pinned(&[(CacheKey(1), 10)]);
+        let ctx = fx.ctx(&db);
+        let mut p = DataDrivenChopping::new(PlacementPolicyKind::Lfu);
+        let t = scan_task(vec![ColumnId(1)]);
+        assert_eq!(p.place_ready(&t, &ctx).device, g2, "data lives on GPU2");
+        // A chain over GPU2 children stays on GPU2; mixed homes break it.
+        let mut join = task(2_000);
+        join.children_tasks = vec![0, 1];
+        join.children_devices = vec![g2, g2];
+        join.children_bytes = vec![10, 10];
+        assert_eq!(p.place_ready(&join, &ctx).device, g2);
+        join.children_devices = vec![DeviceId::Gpu, g2];
+        assert_eq!(p.place_ready(&join, &ctx).device, DeviceId::Cpu);
+    }
+
+    #[test]
     fn chain_breaks_at_first_cpu_child() {
         let db = empty_db();
-        let c = cache(0);
-        let ctx = ctx(&db, &c);
+        let fx = fixture(0);
+        let ctx = fx.ctx(&db);
         let mut p = DataDrivenChopping::new(PlacementPolicyKind::Lfu);
         let mut t = task(1_000);
         t.children_tasks = vec![0, 1];
@@ -215,9 +241,9 @@ mod tests {
     #[test]
     fn compile_time_data_driven_chains_through_plan() {
         let db = empty_db();
-        let mut c = cache(1_000);
-        c.set_pinned(&[(CacheKey(7), 10)]);
-        let ctx = ctx(&db, &c);
+        let mut fx = fixture(1_000);
+        fx.cache_mut(DeviceId::Gpu).set_pinned(&[(CacheKey(7), 10)]);
+        let ctx = fx.ctx(&db);
         let mut p = DataDriven::new(PlacementPolicyKind::Lfu);
 
         // Tasks 0,1 are scans; 2 joins them (postorder, ids offset by 40).
@@ -229,19 +255,22 @@ mod tests {
         join.task = 42;
         join.children_tasks = vec![40, 41];
         let out = p.plan_query(&[scan_hot.clone(), scan_cold, join.clone()], &ctx);
-        let devices: Vec<DeviceId> = out.iter().map(|p| p.unwrap().device).collect();
+        let devices: Vec<DeviceId> =
+            out.iter().map(|p| p.as_ref().unwrap().device).collect();
         assert_eq!(
             devices,
             vec![DeviceId::Gpu, DeviceId::Cpu, DeviceId::Cpu],
             "join chains to CPU because one input scan is cold"
         );
-        assert!(out.iter().all(|p| p.unwrap().reason == PlaceReason::DataResidency));
+        assert!(out
+            .iter()
+            .all(|p| p.as_ref().unwrap().reason == PlaceReason::DataResidency));
 
         // If both scans are hot the whole chain goes to the co-processor.
         let mut scan_hot2 = scan_task(vec![ColumnId(7)]);
         scan_hot2.task = 41;
         let out = p.plan_query(&[scan_hot, scan_hot2, join], &ctx);
-        assert!(out.iter().all(|p| p.unwrap().device == DeviceId::Gpu));
+        assert!(out.iter().all(|p| p.as_ref().unwrap().device == DeviceId::Gpu));
     }
 
     #[test]
@@ -264,11 +293,11 @@ mod tests {
         )
         .unwrap();
         db.stats().record_access(0);
-        let mut c = cache(1_000);
+        let mut fx = fixture(1_000);
         let mut p = DataDrivenChopping::new(PlacementPolicyKind::Lfu);
-        let newly = p.update_data_placement(&db, &mut c);
-        assert_eq!(newly.len(), 1);
-        assert!(c.contains(CacheKey(0)));
+        let newly = p.update_data_placement(&db, &mut fx.caches);
+        assert_eq!(newly, vec![(DeviceId::Gpu, CacheKey(0))]);
+        assert!(fx.caches.device(DeviceId::Gpu).contains(CacheKey(0)));
     }
 
     #[test]
@@ -285,8 +314,8 @@ mod tests {
     #[test]
     fn scan_with_no_base_columns_stays_on_cpu() {
         let db = empty_db();
-        let c = cache(0);
-        let ctx = ctx(&db, &c);
+        let fx = fixture(0);
+        let ctx = fx.ctx(&db);
         let mut p = DataDrivenChopping::new(PlacementPolicyKind::Lfu);
         assert_eq!(p.place_ready(&task(100), &ctx).device, DeviceId::Cpu);
     }

@@ -4,14 +4,16 @@
 //! input cardinalities are exact, faults have already been observed (an
 //! aborted child's output resides on the CPU, so the successor naturally
 //! follows it there — avoiding the Figure 8 pathology), and HyPE's load
-//! tracking per ready queue steers the choice.
+//! tracking per ready queue steers the choice. Every device in the
+//! topology is a candidate: the placer ranks the CPU and all K
+//! co-processors by estimated completion time.
 
 use crate::hype::HypeEstimator;
 use robustq_engine::{Placement, PlacementPolicy, PlaceReason, PolicyCtx, TaskInfo};
 use robustq_sim::{CacheKey, DeviceId, OpClass, PerDevice, VirtualTime};
 
 /// The shared run-time placement logic: estimated-completion-time
-/// minimization over both devices, using learned kernel models plus
+/// minimization over all devices, using learned kernel models plus
 /// measured transfer bandwidth.
 #[derive(Debug, Clone, Default)]
 pub struct RuntimePlacer {
@@ -25,29 +27,33 @@ impl RuntimePlacer {
         Self::default()
     }
 
-    /// Bytes that would have to cross the bus host→device for `task`.
-    fn h2d_bytes(&self, task: &TaskInfo, ctx: &PolicyCtx) -> u64 {
+    /// Bytes that would have to cross `device`'s host link host→device
+    /// for `task` to run there. A child resident on *another*
+    /// co-processor has no direct link, so its output crosses twice
+    /// (device→host, then host→device).
+    fn h2d_bytes(&self, task: &TaskInfo, device: DeviceId, ctx: &PolicyCtx) -> u64 {
         let mut bytes = 0;
         for &col in &task.base_columns {
-            if !ctx.cache.contains(CacheKey(col.0 as u64)) {
+            if !ctx.cache(device).contains(CacheKey(col.0 as u64)) {
                 bytes += ctx.db.column_size(col);
             }
         }
-        for (dev, b) in task.children_devices.iter().zip(&task.children_bytes) {
-            if *dev == DeviceId::Cpu {
-                bytes += b;
+        for (&dev, &b) in task.children_devices.iter().zip(&task.children_bytes) {
+            if dev == device {
+                continue;
             }
+            bytes += if dev.is_coprocessor() { 2 * b } else { b };
         }
         bytes
     }
 
-    /// Bytes that would have to cross the bus device→host if the task ran
-    /// on the CPU.
+    /// Bytes that would have to cross back device→host if the task ran
+    /// on the CPU (every child resident on a co-processor).
     fn d2h_bytes(&self, task: &TaskInfo) -> u64 {
         task.children_devices
             .iter()
             .zip(&task.children_bytes)
-            .filter(|(dev, _)| **dev == DeviceId::Gpu)
+            .filter(|(dev, _)| dev.is_coprocessor())
             .map(|(_, b)| b)
             .sum()
     }
@@ -65,17 +71,18 @@ impl RuntimePlacer {
             task.bytes_in,
             task.bytes_out_estimate,
         );
-        let transfer = match device {
-            DeviceId::Gpu => self.hype.estimate_transfer(self.h2d_bytes(task, ctx)),
-            DeviceId::Cpu => self.hype.estimate_transfer(self.d2h_bytes(task)),
+        let transfer = if device.is_coprocessor() {
+            self.hype.estimate_transfer(self.h2d_bytes(task, device, ctx))
+        } else {
+            self.hype.estimate_transfer(self.d2h_bytes(task))
         };
-        ctx.queued_work[device] + transfer + kernel
+        ctx.queued_work.get_padded(device) + transfer + kernel
     }
 
-    /// Pick the device with the smaller estimated completion time
-    /// (ties go to the CPU — the risk-free side). The returned
-    /// [`Placement`] carries both estimates so the decision is auditable
-    /// from the trace.
+    /// Pick the device with the smallest estimated completion time (ties
+    /// go to the lower device index, so the CPU — the risk-free side —
+    /// wins exact draws). The returned [`Placement`] carries all
+    /// estimates so the decision is auditable from the trace.
     ///
     /// One advantage of placing at run time (Section 4): current heap
     /// usage and co-processor occupancy are observable. The admission
@@ -83,18 +90,32 @@ impl RuntimePlacer {
     /// onto the already-running operators (2× input each, below the real
     /// 3.25× selection footprint) — so heterogeneous workloads still
     /// cause aborts, just fewer than blind compile-time placement
-    /// (Figure 13's middle curve).
+    /// (Figure 13's middle curve). Each co-processor is vetoed
+    /// independently; when every co-processor is under heap pressure the
+    /// task falls back to the CPU with [`PlaceReason::HeapPressure`].
     pub fn choose(&self, task: &TaskInfo, ctx: &PolicyCtx) -> Placement {
-        let cpu = self.completion_estimate(task, DeviceId::Cpu, ctx);
-        let gpu = self.completion_estimate(task, DeviceId::Gpu, ctx);
-        let est = PerDevice::new(cpu, gpu);
-        let projected = (1 + ctx.running[DeviceId::Gpu] as u64)
-            .saturating_mul(task.bytes_in.saturating_mul(2));
-        if ctx.gpu_heap_free < projected {
+        let est = PerDevice::from_fn(ctx.topology.device_count(), |d| {
+            self.completion_estimate(task, d, ctx)
+        });
+        let coproc_count = ctx.topology.coprocessor_count();
+        let eligible: Vec<DeviceId> = ctx
+            .coprocessors()
+            .filter(|&d| {
+                let projected = (1 + ctx.running.get_padded(d) as u64)
+                    .saturating_mul(task.bytes_in.saturating_mul(2));
+                ctx.heap_free.get_padded(d) >= projected
+            })
+            .collect();
+        if coproc_count > 0 && eligible.is_empty() {
             return Placement::modeled(DeviceId::Cpu, est)
                 .because(PlaceReason::HeapPressure);
         }
-        let device = if gpu < cpu { DeviceId::Gpu } else { DeviceId::Cpu };
+        let mut device = DeviceId::Cpu;
+        for &d in &eligible {
+            if est[d] < est[device] {
+                device = d;
+            }
+        }
         Placement::modeled(device, est)
     }
 
@@ -154,25 +175,58 @@ impl PlacementPolicy for RuntimePlacement {
 #[cfg(test)]
 pub(crate) mod test_support {
     use super::*;
-    use robustq_sim::{CachePolicy, DataCache};
+    use robustq_sim::{CachePolicy, CacheSet, DataCache, DeviceSpec, LinkParams, Topology};
     use robustq_storage::Database;
 
     pub fn empty_db() -> Database {
         Database::new()
     }
 
-    pub fn cache(capacity: u64) -> DataCache {
-        DataCache::new(capacity, CachePolicy::Lru)
+    /// Owns the topology + caches a [`PolicyCtx`] borrows from.
+    pub struct Fixture {
+        pub topology: Topology,
+        pub caches: CacheSet,
     }
 
-    pub fn ctx<'a>(db: &'a Database, cache: &'a DataCache) -> PolicyCtx<'a> {
-        PolicyCtx {
-            db,
-            cache,
-            queued_work: PerDevice::splat(VirtualTime::ZERO),
-            running: PerDevice::splat(0),
-            gpu_heap_free: u64::MAX,
-            now: VirtualTime::ZERO,
+    /// A 1-CPU + `k`-co-processor fixture; every co-processor cache has
+    /// `cache_capacity` bytes.
+    pub fn fixture_k(k: usize, cache_capacity: u64) -> Fixture {
+        let mut topology = Topology::cpu_gpu(
+            DeviceSpec::cpu(4),
+            DeviceSpec::coprocessor(4, 1 << 30, cache_capacity),
+            LinkParams::default(),
+        );
+        for _ in 1..k {
+            topology = topology.with_coprocessor(
+                DeviceSpec::coprocessor(4, 1 << 30, cache_capacity),
+                LinkParams::default(),
+            );
+        }
+        let caches = CacheSet::for_topology(&topology, CachePolicy::Lru);
+        Fixture { topology, caches }
+    }
+
+    /// The classic single-GPU fixture.
+    pub fn fixture(cache_capacity: u64) -> Fixture {
+        fixture_k(1, cache_capacity)
+    }
+
+    impl Fixture {
+        pub fn ctx<'a>(&'a self, db: &'a Database) -> PolicyCtx<'a> {
+            let n = self.topology.device_count();
+            PolicyCtx {
+                db,
+                topology: &self.topology,
+                caches: &self.caches,
+                queued_work: PerDevice::splat(VirtualTime::ZERO, n),
+                running: PerDevice::splat(0, n),
+                heap_free: PerDevice::splat(u64::MAX, n),
+                now: VirtualTime::ZERO,
+            }
+        }
+
+        pub fn cache_mut(&mut self, device: DeviceId) -> &mut DataCache {
+            self.caches.device_mut(device)
         }
     }
 
@@ -197,25 +251,21 @@ mod tests {
     use super::test_support::*;
     use super::*;
 
-    /// Teach the estimator that the GPU is much faster.
-    fn trained_placer() -> RuntimePlacer {
+    /// Teach the estimator that a co-processor is much faster.
+    fn trained_placer(devices: &[DeviceId]) -> RuntimePlacer {
         let mut p = RuntimePlacer::new();
         for mb in [1u64, 4, 16, 64] {
             let b = mb * 1_000_000;
-            p.observe(
-                OpClass::Selection,
-                DeviceId::Cpu,
-                b,
-                0,
-                VirtualTime::from_secs_f64(b as f64 / 10.0e9),
-            );
-            p.observe(
-                OpClass::Selection,
-                DeviceId::Gpu,
-                b,
-                0,
-                VirtualTime::from_secs_f64(b as f64 / 30.0e9),
-            );
+            for &d in devices {
+                let rate = if d.is_coprocessor() { 30.0e9 } else { 10.0e9 };
+                p.observe(
+                    OpClass::Selection,
+                    d,
+                    b,
+                    0,
+                    VirtualTime::from_secs_f64(b as f64 / rate),
+                );
+            }
         }
         p
     }
@@ -223,9 +273,9 @@ mod tests {
     #[test]
     fn prefers_gpu_when_data_is_resident() {
         let db = empty_db();
-        let cache = cache(0);
-        let ctx = ctx(&db, &cache);
-        let placer = trained_placer();
+        let fx = fixture(0);
+        let ctx = fx.ctx(&db);
+        let placer = trained_placer(&[DeviceId::Cpu, DeviceId::Gpu]);
         // No base columns, children on GPU: zero transfer either way in
         // h2d, but CPU placement would pull the child back.
         let mut t = task(8_000_000);
@@ -237,9 +287,9 @@ mod tests {
     #[test]
     fn prefers_cpu_when_transfer_dominates() {
         let db = empty_db();
-        let cache = cache(0);
-        let ctx = ctx(&db, &cache);
-        let placer = trained_placer();
+        let fx = fixture(0);
+        let ctx = fx.ctx(&db);
+        let placer = trained_placer(&[DeviceId::Cpu, DeviceId::Gpu]);
         // Child output is on the CPU: the GPU pays a 1.2 GB/s copy that
         // dwarfs the kernel speedup.
         let mut t = task(8_000_000);
@@ -251,9 +301,9 @@ mod tests {
     #[test]
     fn load_balancing_diverts_from_busy_device() {
         let db = empty_db();
-        let cache = cache(0);
-        let mut ctx = ctx(&db, &cache);
-        let placer = trained_placer();
+        let fx = fixture(0);
+        let mut ctx = fx.ctx(&db);
+        let placer = trained_placer(&[DeviceId::Cpu, DeviceId::Gpu]);
         let mut t = task(8_000_000);
         t.children_devices = vec![DeviceId::Gpu];
         t.children_bytes = vec![8_000_000];
@@ -264,10 +314,62 @@ mod tests {
     }
 
     #[test]
+    fn spreads_across_coprocessors_by_load() {
+        let db = empty_db();
+        let fx = fixture_k(2, 0);
+        let mut ctx = fx.ctx(&db);
+        let g2 = DeviceId::coprocessor(2);
+        let placer = trained_placer(&[DeviceId::Cpu, DeviceId::Gpu, g2]);
+        let t = task(8_000_000);
+        // Identical estimates: ties go to the lower index — GPU1.
+        assert_eq!(placer.choose(&t, &ctx).device, DeviceId::Gpu);
+        // Load up GPU1: the second co-processor takes over.
+        ctx.queued_work[DeviceId::Gpu] = VirtualTime::from_secs_f64(3_600.0);
+        assert_eq!(placer.choose(&t, &ctx).device, g2);
+    }
+
+    #[test]
+    fn sibling_coprocessor_residency_pays_two_hops() {
+        let db = empty_db();
+        let fx = fixture_k(2, 0);
+        let ctx = fx.ctx(&db);
+        let g2 = DeviceId::coprocessor(2);
+        let placer = trained_placer(&[DeviceId::Cpu, DeviceId::Gpu, g2]);
+        // Child output lives on GPU2: running on GPU2 is free of
+        // transfers, running on GPU1 pays two bus crossings.
+        let mut t = task(8_000_000);
+        t.children_devices = vec![g2];
+        t.children_bytes = vec![8_000_000];
+        let placed = placer.choose(&t, &ctx);
+        assert_eq!(placed.device, g2);
+        assert!(placed.est[DeviceId::Gpu] > placed.est[DeviceId::Cpu]);
+    }
+
+    #[test]
+    fn per_device_heap_veto_falls_back() {
+        let db = empty_db();
+        let fx = fixture_k(2, 0);
+        let mut ctx = fx.ctx(&db);
+        let g2 = DeviceId::coprocessor(2);
+        let placer = trained_placer(&[DeviceId::Cpu, DeviceId::Gpu, g2]);
+        let t = task(8_000_000);
+        // GPU1 has no heap room: the fleet still absorbs the task on GPU2.
+        ctx.heap_free[DeviceId::Gpu] = 0;
+        let placed = placer.choose(&t, &ctx);
+        assert_eq!(placed.device, g2);
+        assert_eq!(placed.reason, PlaceReason::CostModel);
+        // All co-processors under pressure: CPU with an explicit reason.
+        ctx.heap_free[g2] = 0;
+        let placed = placer.choose(&t, &ctx);
+        assert_eq!(placed.device, DeviceId::Cpu);
+        assert_eq!(placed.reason, PlaceReason::HeapPressure);
+    }
+
+    #[test]
     fn untrained_placer_uses_priors_and_still_decides() {
         let db = empty_db();
-        let cache = cache(0);
-        let ctx = ctx(&db, &cache);
+        let fx = fixture(0);
+        let ctx = fx.ctx(&db);
         let placer = RuntimePlacer::new();
         let t = task(1_000_000);
         // With the default priors (GPU 3× faster, no transfers needed)
@@ -278,8 +380,8 @@ mod tests {
     #[test]
     fn runtime_placement_policy_delegates() {
         let db = empty_db();
-        let c = cache(0);
-        let ctx = ctx(&db, &c);
+        let fx = fixture(0);
+        let ctx = fx.ctx(&db);
         let mut p = RuntimePlacement::new();
         assert_eq!(p.name(), "Run-Time Placement");
         assert_eq!(p.worker_slots(DeviceId::Gpu, 4), usize::MAX, "no chopping");

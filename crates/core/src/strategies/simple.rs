@@ -17,11 +17,16 @@ impl PlacementPolicy for CpuOnly {
     }
 }
 
-/// Execute everything on the co-processor, falling back to the CPU only
+/// Execute everything on a co-processor, falling back to the CPU only
 /// when an operator aborts (the paper's *GPU Preferred* / GPU-Only
 /// reference, Section 6.2). Operator-driven data placement at compile
 /// time: columns are cached on access, and successors of an aborted
 /// operator stay on the GPU — the Figure 8 pathology.
+///
+/// On a multi-co-processor topology each query is pinned whole to the
+/// least-loaded co-processor at admission (ties to the lowest index, so
+/// a single-GPU machine behaves exactly as before); the strategy still
+/// never places anything on the CPU deliberately.
 #[derive(Debug, Default, Clone)]
 pub struct GpuPreferred;
 
@@ -30,64 +35,59 @@ impl PlacementPolicy for GpuPreferred {
         "GPU Only"
     }
 
-    fn plan_query(&mut self, tasks: &[TaskInfo], _ctx: &PolicyCtx) -> Vec<Option<Placement>> {
-        vec![Some(Placement::fixed(DeviceId::Gpu)); tasks.len()]
+    fn plan_query(&mut self, tasks: &[TaskInfo], ctx: &PolicyCtx) -> Vec<Option<Placement>> {
+        let device = ctx.least_loaded_coprocessor().unwrap_or(DeviceId::Cpu);
+        vec![Some(Placement::fixed(device)); tasks.len()]
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use robustq_sim::{CachePolicy, DataCache, OpClass, PerDevice, VirtualTime};
-    use robustq_storage::Database;
-
-    fn ctx_fixture<'a>(db: &'a Database, cache: &'a DataCache) -> PolicyCtx<'a> {
-        PolicyCtx {
-            db,
-            cache,
-            queued_work: PerDevice::splat(VirtualTime::ZERO),
-            running: PerDevice::splat(0),
-            gpu_heap_free: 0,
-            now: VirtualTime::ZERO,
-        }
-    }
-
-    fn info() -> TaskInfo {
-        TaskInfo {
-            query: 0,
-            task: 0,
-            op_class: OpClass::Selection,
-            base_columns: vec![],
-            bytes_in: 100,
-            bytes_out_estimate: 10,
-            children_devices: vec![],
-            children_bytes: vec![],
-            children_tasks: vec![],
-            was_aborted: false,
-        }
-    }
+    use crate::strategies::runtime::test_support::{empty_db, fixture, fixture_k, task};
+    use robustq_sim::VirtualTime;
 
     #[test]
     fn cpu_only_annotates_cpu() {
-        let db = Database::new();
-        let cache = DataCache::new(0, CachePolicy::Lru);
+        let db = empty_db();
+        let fx = fixture(0);
         let mut p = CpuOnly;
         assert_eq!(
-            p.plan_query(&[info(), info()], &ctx_fixture(&db, &cache)),
+            p.plan_query(&[task(100), task(100)], &fx.ctx(&db)),
             vec![Some(Placement::fixed(DeviceId::Cpu)); 2]
         );
     }
 
     #[test]
     fn gpu_preferred_annotates_gpu_and_caches_on_miss() {
-        let db = Database::new();
-        let cache = DataCache::new(0, CachePolicy::Lru);
+        let db = empty_db();
+        let fx = fixture(0);
         let mut p = GpuPreferred;
         assert_eq!(
-            p.plan_query(&[info()], &ctx_fixture(&db, &cache)),
+            p.plan_query(&[task(100)], &fx.ctx(&db)),
             vec![Some(Placement::fixed(DeviceId::Gpu))]
         );
         assert!(p.caches_on_miss());
         assert_eq!(p.worker_slots(DeviceId::Gpu, 4), usize::MAX);
+    }
+
+    #[test]
+    fn gpu_preferred_spreads_queries_across_the_fleet() {
+        let db = empty_db();
+        let fx = fixture_k(2, 0);
+        let mut ctx = fx.ctx(&db);
+        let mut p = GpuPreferred;
+        let g2 = DeviceId::coprocessor(2);
+        // Idle fleet: ties to the lowest index (GPU1).
+        assert_eq!(
+            p.plan_query(&[task(100)], &ctx),
+            vec![Some(Placement::fixed(DeviceId::Gpu))]
+        );
+        // GPU1 busy: the next query lands whole on GPU2.
+        ctx.queued_work[DeviceId::Gpu] = VirtualTime::from_micros(50);
+        assert_eq!(
+            p.plan_query(&[task(100), task(100)], &ctx),
+            vec![Some(Placement::fixed(g2)); 2]
+        );
     }
 }

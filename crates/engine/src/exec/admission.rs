@@ -1,0 +1,234 @@
+//! Session lifecycle and admission control.
+//!
+//! Sessions run closed-loop: each submits its next query when the
+//! previous one completes. Admission control (the reference mechanism of
+//! Section 6.2.2) bounds how many queries execute concurrently; queries
+//! waiting for admission accrue latency from their submission instant.
+//! Admission is also where the placement policy speaks: a compile-time
+//! `plan_query` pass at admission, and `place_ready` for every task the
+//! pass left unannotated.
+
+use crate::error::EngineError;
+use crate::exec::event_loop::{policy_ctx, QueryState, Sim, Status, TaskState};
+use crate::exec::metrics::{FaultCounters, QueryOutcome};
+use crate::exec::policy::{PolicyCtx, TaskInfo};
+use crate::exec::task::flatten;
+use crate::plan::PlanNode;
+use robustq_sim::{DeviceId, Direction, PerDevice, VirtualTime};
+use robustq_storage::ColumnId;
+use robustq_trace::{EstVec, PlacePhase, TraceEvent, TransferKind};
+
+impl Sim<'_, '_> {
+    pub(crate) fn process_admissions(&mut self) -> Result<(), EngineError> {
+        while self.active_queries < self.opts.max_concurrent_queries {
+            let Some((session, plan, submit_time)) = self.admission_queue.pop_front()
+            else {
+                break;
+            };
+            self.admit_query(session, plan, submit_time)?;
+        }
+        Ok(())
+    }
+
+    pub(crate) fn admit_query(
+        &mut self,
+        session: usize,
+        plan: PlanNode,
+        submit_time: VirtualTime,
+    ) -> Result<(), EngineError> {
+        let query = self.queries.len();
+        let seq = self.queries.iter().filter(|q| q.session == session).count();
+        let base = self.tasks.len();
+        let nodes = flatten(&plan);
+        let estimates = crate::exec::executor::postorder_estimates(&plan, self.db);
+        debug_assert_eq!(nodes.len(), estimates.len());
+
+        for (node, est) in nodes.into_iter().zip(estimates) {
+            let base_columns = match node.op.scan_access() {
+                Some((table, cols)) => cols
+                    .iter()
+                    .map(|c| {
+                        self.db
+                            .require_column_id(table, c)
+                            .map_err(|e| EngineError::Storage(e.to_string()))
+                    })
+                    .collect::<Result<Vec<_>, _>>()?,
+                None => Vec::new(),
+            };
+            let children: Vec<usize> = node.children.iter().map(|&c| base + c).collect();
+            let parent = node.parent.map(|p| base + p);
+            let pending = children.len();
+            self.tasks.push(TaskState {
+                node,
+                query,
+                children,
+                parent,
+                pending_children: pending,
+                annotation: None,
+                forced_cpu: false,
+                epoch: 0,
+                status: Status::Pending,
+                device: None,
+                queued_at: VirtualTime::ZERO,
+                start_time: VirtualTime::ZERO,
+                kernel_duration: VirtualTime::ZERO,
+                bytes_in: 0,
+                est_bytes_in: est.0 as u64,
+                est_bytes_out: est.1 as u64,
+                remaining_ns: 0.0,
+                milestones: Vec::new(),
+                stage_bytes: 0,
+                base_columns,
+                output: None,
+                output_bytes: 0,
+                output_rows: 0,
+                output_device: None,
+                load_contribution: VirtualTime::ZERO,
+            });
+        }
+        let root = self.tasks.len() - 1;
+        self.queries.push(QueryState { session, seq, root, submit_time });
+        self.query_faults.push(FaultCounters::default());
+        self.active_queries += 1;
+        self.tracer.emit(TraceEvent::QuerySubmit {
+            query: query as u32,
+            session: session as u32,
+            seq: seq as u32,
+            at: submit_time,
+        });
+
+        // Compile-time placement pass.
+        let infos: Vec<TaskInfo> =
+            (base..=root).map(|t| self.task_info(t, true)).collect();
+        let ctx = policy_ctx!(self);
+        let annotations = self.policy.plan_query(&infos, &ctx);
+        debug_assert_eq!(annotations.len(), infos.len());
+        for (t, a) in (base..=root).zip(annotations) {
+            if let Some(p) = a {
+                self.tracer.emit(TraceEvent::Placement {
+                    query: query as u32,
+                    task: t as u32,
+                    op: self.tasks[t].node.op.op_class(),
+                    phase: PlacePhase::Compile,
+                    est: EstVec::from_per_device(&p.est),
+                    chosen: p.device,
+                    reason: p.reason,
+                    at: self.now,
+                });
+                self.tasks[t].annotation = Some(p.device);
+            }
+        }
+
+        // Leaves enter the operator stream immediately.
+        for t in base..=root {
+            if self.tasks[t].children.is_empty() {
+                self.make_ready(t)?;
+            }
+        }
+        Ok(())
+    }
+
+    pub(crate) fn exact_bytes_in(&self, task: usize) -> u64 {
+        let t = &self.tasks[task];
+        if t.children.is_empty() {
+            t.base_columns.iter().map(|&c| self.db.column_size(c)).sum()
+        } else {
+            t.children.iter().map(|&c| self.tasks[c].output_bytes).sum()
+        }
+    }
+
+    pub(crate) fn make_ready(&mut self, task: usize) -> Result<(), EngineError> {
+        self.tasks[task].bytes_in = self.exact_bytes_in(task);
+        let device = if self.tasks[task].forced_cpu {
+            DeviceId::Cpu
+        } else if let Some(d) = self.tasks[task].annotation {
+            d
+        } else {
+            let info = self.task_info(task, false);
+            let ctx = policy_ctx!(self);
+            let placed = self.policy.place_ready(&info, &ctx);
+            self.tracer.emit(TraceEvent::Placement {
+                query: self.tasks[task].query as u32,
+                task: task as u32,
+                op: self.tasks[task].node.op.op_class(),
+                phase: PlacePhase::Ready,
+                est: EstVec::from_per_device(&placed.est),
+                chosen: placed.device,
+                reason: placed.reason,
+                at: self.now,
+            });
+            placed.device
+        };
+        self.enqueue(task, device);
+        self.dispatch(device)?;
+        Ok(())
+    }
+
+    pub(crate) fn on_query_done(&mut self, query: usize) -> Result<(), EngineError> {
+        let q = &self.queries[query];
+        let root = q.root;
+        let session = q.session;
+        let seq = q.seq;
+        let submit_time = q.submit_time;
+        let latency = self.now - submit_time;
+        self.metrics.makespan = self.metrics.makespan.max(self.now);
+        let output =
+            self.tasks[root].output.take().expect("root output present").materialize();
+        self.tracer.emit(TraceEvent::QueryDone {
+            query: query as u32,
+            session: session as u32,
+            seq: seq as u32,
+            submit: submit_time,
+            end: self.now,
+            rows: output.num_rows() as u64,
+        });
+        self.outcomes.push(QueryOutcome {
+            session,
+            seq,
+            latency,
+            rows: output.num_rows(),
+            checksum: output.checksum(),
+            faults: self.query_faults[query],
+            result: self.opts.capture_results.then_some(output),
+        });
+        self.active_queries -= 1;
+
+        // Periodic data-placement background job (Section 3.2). The
+        // policy may re-pin any co-processor cache; each newly cached
+        // column crosses that device's host link.
+        self.completed_since_update += 1;
+        if self.opts.placement_update_period > 0
+            && self.completed_since_update >= self.opts.placement_update_period
+        {
+            self.completed_since_update = 0;
+            let new_keys = self.policy.update_data_placement(self.db, self.caches);
+            for (device, key) in new_keys {
+                let bytes = self.db.column_size(ColumnId(key.0 as u32));
+                // Background placement transfers are durable and not
+                // attributed to any one query.
+                self.xfer(
+                    self.now,
+                    device,
+                    Direction::HostToDevice,
+                    TransferKind::Placement,
+                    bytes,
+                    None,
+                    false,
+                );
+                self.tracer.emit(TraceEvent::CacheInsert {
+                    device,
+                    key,
+                    bytes,
+                    at: self.now,
+                });
+            }
+        }
+
+        // Closed loop: the session submits its next query.
+        if let Some(plan) = self.sessions[session].pop_front() {
+            self.admission_queue.push_back((session, plan, self.now));
+        }
+        self.process_admissions()?;
+        Ok(())
+    }
+}

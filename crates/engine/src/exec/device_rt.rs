@@ -1,0 +1,383 @@
+//! Per-device runtime state: ready queues, worker slots and the
+//! processor-sharing compute sets.
+//!
+//! Each device of the topology gets one [`DeviceRt`]; the executor's
+//! dispatch/advance/settle/reschedule cycle below is what turns the
+//! discrete-event queue into per-device operator streams. `n` operators
+//! computing concurrently on one device each progress at rate `1/n`
+//! (processor sharing), which is how worker-slot contention stretches
+//! kernel times without simulating schedulers.
+
+use crate::error::EngineError;
+use crate::exec::event_loop::{Ev, Sim, Status};
+use robustq_sim::{DeviceId, DeviceKind, PerDevice, VirtualTime};
+use robustq_trace::TransferKind;
+use std::collections::VecDeque;
+
+/// One device's scheduling state.
+#[derive(Debug, Default)]
+pub(crate) struct DeviceRt {
+    /// FIFO ready queue of task ids waiting for a worker slot.
+    pub(crate) queue: VecDeque<usize>,
+    /// Operators holding a worker slot (transferring or computing).
+    pub(crate) running: usize,
+    /// Estimated outstanding work (the policy's load signal).
+    pub(crate) load: VirtualTime,
+    /// Tasks currently *computing* (slot holders doing transfers are not
+    /// in here yet); all of them share the device.
+    pub(crate) compute: Vec<usize>,
+    /// When `compute` progress was last applied.
+    pub(crate) last_update: VirtualTime,
+    /// Invalidates stale `DeviceTick` events.
+    pub(crate) tick_version: u64,
+}
+
+/// The per-device runtime table, one entry per topology device.
+#[derive(Debug)]
+pub(crate) struct DeviceSet {
+    rts: Vec<DeviceRt>,
+}
+
+impl DeviceSet {
+    pub(crate) fn new(devices: usize) -> Self {
+        DeviceSet { rts: (0..devices).map(|_| DeviceRt::default()).collect() }
+    }
+
+    pub(crate) fn rt(&self, device: DeviceId) -> &DeviceRt {
+        &self.rts[device.index()]
+    }
+
+    pub(crate) fn rt_mut(&mut self, device: DeviceId) -> &mut DeviceRt {
+        &mut self.rts[device.index()]
+    }
+
+    /// Snapshot of per-device queued work for the policy context.
+    pub(crate) fn load_table(&self) -> PerDevice<VirtualTime> {
+        PerDevice::from_fn(self.rts.len(), |d| self.rts[d.index()].load)
+    }
+
+    /// Snapshot of per-device running operators for the policy context.
+    pub(crate) fn running_table(&self) -> PerDevice<usize> {
+        PerDevice::from_fn(self.rts.len(), |d| self.rts[d.index()].running)
+    }
+}
+
+impl Sim<'_, '_> {
+    pub(crate) fn enqueue(&mut self, task: usize, device: DeviceId) {
+        let now = self.now;
+        let t = &mut self.tasks[task];
+        t.device = Some(device);
+        t.status = Status::Queued;
+        t.queued_at = now;
+        let est = self.cost.duration(
+            t.node.op.op_class(),
+            device.kind(),
+            t.bytes_in,
+            t.est_bytes_out,
+        );
+        t.load_contribution = est;
+        let rt = self.devices.rt_mut(device);
+        rt.load += est;
+        rt.queue.push_back(task);
+    }
+
+    pub(crate) fn slots(&self, device: DeviceId) -> usize {
+        self.policy
+            .worker_slots(device, self.config.spec(device).worker_slots)
+    }
+
+    pub(crate) fn dispatch(&mut self, device: DeviceId) -> Result<(), EngineError> {
+        while self.devices.rt(device).running < self.slots(device) {
+            let Some(task) = self.devices.rt_mut(device).queue.pop_front() else {
+                break;
+            };
+            let contribution = self.tasks[task].load_contribution;
+            let rt = self.devices.rt_mut(device);
+            rt.load = rt.load.saturating_sub(contribution);
+            self.start_task(task, device)?;
+        }
+        Ok(())
+    }
+
+    pub(crate) fn start_task(&mut self, task: usize, device: DeviceId) -> Result<(), EngineError> {
+        let now = self.now;
+        self.devices.rt_mut(device).running += 1;
+        {
+            let t = &mut self.tasks[task];
+            t.status = Status::Running;
+            t.start_time = now;
+            t.device = Some(device);
+        }
+
+        // Compute the kernel result eagerly (host side); reuse a result
+        // computed before an abort.
+        if self.tasks[task].output.is_none() {
+            let children_chunks: Vec<crate::batch::LazyChunk> = self.tasks[task]
+                .children
+                .iter()
+                .map(|&c| {
+                    self.tasks[c].output.clone().ok_or_else(|| {
+                        EngineError::Internal("child output missing".to_string())
+                    })
+                })
+                .collect::<Result<_, _>>()?;
+            let out = self
+                .tasks[task]
+                .node
+                .op
+                .execute_lazy(&children_chunks, self.db, self.opts.parallel)
+                .map_err(EngineError::Kernel)?;
+            self.tasks[task].output_bytes = out.byte_size();
+            self.tasks[task].output_rows = out.num_rows() as u64;
+            self.tasks[task].output = Some(out);
+        }
+        let bytes_in = self.tasks[task].bytes_in;
+        let bytes_out = self.tasks[task].output_bytes;
+        let class = self.tasks[task].node.op.op_class();
+
+        // Record base-column accesses (the counters driving LFU placement).
+        for &col in &self.tasks[task].base_columns.clone() {
+            self.db.stats().record_access(col.index());
+        }
+
+        let mut ready_at = now;
+        if device.is_coprocessor() {
+            let query = self.tasks[task].query;
+            // Inputs resident on a *sibling* co-processor first return to
+            // the host over that device's link; they then transfer in with
+            // the other host-resident inputs below (there is no
+            // peer-to-peer path in the simulated machine).
+            for &c in &self.tasks[task].children.clone() {
+                if self.tasks[c]
+                    .output_device
+                    .is_some_and(|d| d.is_coprocessor() && d != device)
+                {
+                    let end = self.pull_child_to_host(c, query, now);
+                    ready_at = ready_at.max(end);
+                }
+            }
+            // Working memory: staged allocation of footprint + retained
+            // result, plus any host-resident inputs copied in.
+            let mut input_transfer_bytes = 0u64;
+            for &c in &self.tasks[task].children.clone() {
+                if self.tasks[c].output_device == Some(DeviceId::Cpu) {
+                    input_transfer_bytes += self.tasks[c].output_bytes;
+                }
+            }
+            let footprint = self.cost.gpu_working_footprint(class, bytes_in, bytes_out)
+                + bytes_out;
+            // Operators allocate incrementally (Section 2.5.1): a small
+            // upfront slice (input buffers), then three growth stages
+            // mid-execution — which is what makes mid-flight aborts, and
+            // the wasted time of Figure 20, possible.
+            let stage = footprint * 3 / 10;
+            let tag = Self::working_tag(task);
+            let mut injected = false;
+            let ok = self
+                .alloc_or_inject(device, tag, input_transfer_bytes, 0, query, &mut injected)
+                && self.alloc_or_inject(
+                    device,
+                    tag,
+                    footprint - 3 * stage,
+                    0,
+                    query,
+                    &mut injected,
+                );
+            if !ok {
+                self.abort_task(task, injected)?;
+                return Ok(());
+            }
+
+            // Base columns: probe the device's cache, transfer on miss. A
+            // permanent transfer fault aborts the operator to the CPU,
+            // exactly like a failed allocation.
+            match self.stage_base_columns(task, device, now)? {
+                Some(end) => ready_at = ready_at.max(end),
+                None => return Ok(()), // aborted inside
+            }
+            // Host-resident intermediate inputs cross the bus.
+            if input_transfer_bytes > 0 {
+                match self.xfer(
+                    now,
+                    device,
+                    robustq_sim::Direction::HostToDevice,
+                    TransferKind::Input,
+                    input_transfer_bytes,
+                    Some(query),
+                    true,
+                ) {
+                    Some(end) => ready_at = ready_at.max(end),
+                    None => {
+                        self.abort_task(task, true)?;
+                        return Ok(());
+                    }
+                }
+            }
+
+            let duration =
+                self.cost.duration(class, DeviceKind::CoProcessor, bytes_in, bytes_out);
+            let solo = duration.as_nanos() as f64;
+            let t = &mut self.tasks[task];
+            t.kernel_duration = duration;
+            t.remaining_ns = solo;
+            // Remaining-time thresholds for the three later allocation
+            // stages, ascending so the largest is popped first.
+            t.milestones = vec![0.25 * solo, 0.5 * solo, 0.75 * solo];
+            t.stage_bytes = stage;
+            let epoch = t.epoch;
+            self.events.push(ready_at, Ev::ComputeStart { task, epoch });
+        } else {
+            // CPU: pull any co-processor-resident inputs back to the
+            // host. These transfers are durable — the CPU is the fallback
+            // device, so its inputs must always arrive.
+            let query = self.tasks[task].query;
+            for &c in &self.tasks[task].children.clone() {
+                if self.tasks[c].output_device.is_some_and(DeviceId::is_coprocessor) {
+                    let end = self.pull_child_to_host(c, query, now);
+                    ready_at = ready_at.max(end);
+                }
+            }
+            let duration = self.cost.duration(class, DeviceKind::Cpu, bytes_in, bytes_out);
+            let t = &mut self.tasks[task];
+            t.kernel_duration = duration;
+            t.remaining_ns = duration.as_nanos() as f64;
+            t.milestones = Vec::new();
+            t.stage_bytes = 0;
+            let epoch = t.epoch;
+            self.events.push(ready_at, Ev::ComputeStart { task, epoch });
+        }
+        Ok(())
+    }
+
+    pub(crate) fn on_compute_start(&mut self, task: usize, epoch: u32) -> Result<(), EngineError> {
+        if self.tasks[task].epoch != epoch || self.tasks[task].status != Status::Running {
+            return Ok(());
+        }
+        let device = self.tasks[task].device.expect("computing task is placed");
+        let query = self.tasks[task].query;
+        let class = self.tasks[task].node.op.op_class();
+        if self.fault.abort_kernel(class, device) {
+            // Injected kernel fault: surfaces as an ordinary abort.
+            self.note_injected(Some(query), robustq_trace::FaultKind::KernelAbort, self.now);
+            self.abort_task(task, true)?;
+            return Ok(());
+        }
+        if let Some(until) = self.fault.stall_until(device, self.now) {
+            // The worker slot is stalled: the kernel launch is deferred
+            // to the end of the window, in virtual time.
+            let wait = until - self.now;
+            self.note_injected(
+                Some(query),
+                robustq_trace::FaultKind::Stall { wait },
+                self.now,
+            );
+            self.note_injected_wasted(Some(query), wait);
+            self.events.push(until, Ev::ComputeStart { task, epoch });
+            return Ok(());
+        }
+        self.advance(device);
+        self.devices.rt_mut(device).compute.push(task);
+        self.reschedule(device);
+        Ok(())
+    }
+
+    pub(crate) fn on_device_tick(
+        &mut self,
+        device: DeviceId,
+        version: u64,
+    ) -> Result<(), EngineError> {
+        if self.devices.rt(device).tick_version != version {
+            return Ok(());
+        }
+        self.advance(device);
+        self.settle(device)?;
+        self.reschedule(device);
+        Ok(())
+    }
+
+    /// Progress every computing task on `device` up to `self.now`:
+    /// `n` concurrent tasks each run at rate `1/n` (processor sharing).
+    pub(crate) fn advance(&mut self, device: DeviceId) {
+        let rt = self.devices.rt_mut(device);
+        let dt = self.now.saturating_sub(rt.last_update);
+        rt.last_update = self.now;
+        let n = rt.compute.len();
+        if n == 0 || dt == VirtualTime::ZERO {
+            return;
+        }
+        let dec = dt.as_nanos() as f64 / n as f64;
+        for &t in &self.devices.rt(device).compute {
+            self.tasks[t].remaining_ns -= dec;
+        }
+    }
+
+    /// Process every due allocation stage and completion on `device`.
+    pub(crate) fn settle(&mut self, device: DeviceId) -> Result<(), EngineError> {
+        loop {
+            // Next due action in deterministic compute-set order.
+            let mut action: Option<(usize, bool)> = None; // (task, is_completion)
+            for &t in &self.devices.rt(device).compute {
+                let rem = self.tasks[t].remaining_ns;
+                if rem <= Self::EPS_NS {
+                    action = Some((t, true));
+                    break;
+                }
+                if let Some(&thr) = self.tasks[t].milestones.last() {
+                    if rem <= thr + Self::EPS_NS {
+                        action = Some((t, false));
+                        break;
+                    }
+                }
+            }
+            let Some((t, done)) = action else {
+                return Ok(());
+            };
+            if done {
+                self.devices.rt_mut(device).compute.retain(|&x| x != t);
+                self.complete_task(t)?;
+            } else {
+                self.tasks[t].milestones.pop();
+                let bytes = self.tasks[t].stage_bytes;
+                // Growth stages are numbered 1..=3 after the pop.
+                let stage = (3 - self.tasks[t].milestones.len()) as u32;
+                let query = self.tasks[t].query;
+                let mut injected = false;
+                if !self.alloc_or_inject(
+                    device,
+                    Self::working_tag(t),
+                    bytes,
+                    stage,
+                    query,
+                    &mut injected,
+                ) {
+                    // Mid-flight out-of-memory: the heap-contention abort.
+                    self.devices.rt_mut(device).compute.retain(|&x| x != t);
+                    self.abort_task(t, injected)?;
+                }
+            }
+        }
+    }
+
+    /// Re-arm the device's next tick: the earliest completion or
+    /// allocation-stage crossing under the current sharing factor.
+    pub(crate) fn reschedule(&mut self, device: DeviceId) {
+        self.devices.rt_mut(device).tick_version += 1;
+        let rt = self.devices.rt(device);
+        let n = rt.compute.len();
+        if n == 0 {
+            return;
+        }
+        let mut min_dt = f64::INFINITY;
+        for &t in &rt.compute {
+            let rem = self.tasks[t].remaining_ns;
+            let target = self.tasks[t].milestones.last().copied().unwrap_or(0.0);
+            min_dt = min_dt.min((rem - target).max(0.0));
+        }
+        let dt = (min_dt * n as f64).ceil().max(1.0) as u64;
+        let version = rt.tick_version;
+        self.events.push(
+            self.now + VirtualTime::from_nanos(dt),
+            Ev::DeviceTick { device, version },
+        );
+    }
+}

@@ -1,36 +1,41 @@
-//! The discrete-event workload executor.
+//! The workload executor facade.
 //!
 //! Executes closed-loop multi-session workloads against the simulated
-//! machine. Operators run for real on the host (results are correct); all
-//! timing, transfer, contention and memory behaviour is simulated:
+//! machine — 1 host CPU plus K co-processors, each with its own column
+//! cache, operator heap and host link. Operators run for real on the
+//! host (results are correct); all timing, transfer, contention and
+//! memory behaviour is simulated:
 //!
 //! * per-device FIFO ready queues with worker slots (bounded only when
 //!   the policy chops — Section 5),
-//! * input transfers over the FIFO interconnect, with the column cache
-//!   consulted for base columns,
+//! * input transfers over the per-device FIFO interconnect, with each
+//!   co-processor's column cache consulted for base columns,
 //! * staged co-processor heap allocation (Section 2.5.1: operators cannot
 //!   pre-declare their footprint and allocate in several steps), so an
 //!   operator can abort mid-flight, wasting the time it already spent
 //!   (Figure 20's metric),
 //! * abort handling: the failed operator restarts on the CPU; whether its
 //!   successors follow depends on the placement strategy (Figure 8).
+//!
+//! This module is the thin public surface; the runtime itself is layered
+//! (see `event_loop`, `device_rt`, `transfer`, `memory`, `admission` and
+//! DESIGN.md §11 for the module map).
 
-use crate::batch::LazyChunk;
 use crate::error::EngineError;
 use crate::estimate;
-use crate::exec::metrics::{FaultCounters, QueryOutcome, RunMetrics};
-use crate::exec::policy::{PlacementPolicy, PolicyCtx, TaskInfo};
-use crate::exec::task::{flatten, TaskNode};
+use crate::exec::device_rt::DeviceSet;
+use crate::exec::event_loop::Sim;
+use crate::exec::memory::HeapSet;
+use crate::exec::metrics::{QueryOutcome, RunMetrics};
+use crate::exec::policy::PlacementPolicy;
 use crate::parallel::ParallelCtx;
 use crate::plan::PlanNode;
 use robustq_sim::{
-    CacheKey, CostModel, DataCache, DeviceId, DeviceKind, Direction, EventQueue, FaultPlan,
-    HeapAllocator, Interconnect, PerDevice, RetryPolicy, SimConfig, TransferFault, VirtualTime,
+    CacheKey, CacheSet, CostModel, EventQueue, FaultPlan, Interconnect, PerDevice, RetryPolicy,
+    SimConfig, VirtualTime,
 };
 use robustq_storage::{ColumnId, Database};
-use robustq_trace::{
-    FaultKind, OpOutcome, PlacePhase, PlaceReason, TraceEvent, Tracer, TransferKind,
-};
+use robustq_trace::Tracer;
 use std::collections::VecDeque;
 
 /// Options controlling one workload run.
@@ -45,9 +50,9 @@ pub struct ExecOptions {
     /// Maximum queries admitted concurrently (admission control — the
     /// reference mechanism of Section 6.2.2). `usize::MAX` = unbounded.
     pub max_concurrent_queries: usize,
-    /// Columns pinned into the co-processor cache before the run starts,
-    /// free of charge (the paper pre-loads access structures before
-    /// benchmarks — Section 6.1).
+    /// Columns pinned into every co-processor cache before the run
+    /// starts, free of charge (the paper pre-loads access structures
+    /// before benchmarks — Section 6.1).
     pub preload: Vec<ColumnId>,
     /// Real-CPU parallelism for the hot kernels (selection, join probe,
     /// aggregation). Affects wall-clock only: parallel results are
@@ -98,105 +103,6 @@ pub struct Executor<'a> {
     config: SimConfig,
 }
 
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum Status {
-    Pending,
-    Queued,
-    Running,
-    Done,
-}
-
-struct TaskState {
-    node: TaskNode,
-    query: usize,
-    /// Children / parent as *global* task indices.
-    children: Vec<usize>,
-    parent: Option<usize>,
-    pending_children: usize,
-    annotation: Option<DeviceId>,
-    forced_cpu: bool,
-    epoch: u32,
-    status: Status,
-    device: Option<DeviceId>,
-    /// When the task last entered a ready queue (trace queue-wait).
-    queued_at: VirtualTime,
-    start_time: VirtualTime,
-    kernel_duration: VirtualTime,
-    bytes_in: u64,
-    est_bytes_in: u64,
-    est_bytes_out: u64,
-    /// Remaining solo-execution nanoseconds (processor sharing).
-    remaining_ns: f64,
-    /// Pending allocation-stage thresholds, ascending: a stage fires when
-    /// `remaining_ns` drops to the popped (largest) threshold.
-    milestones: Vec<f64>,
-    /// Bytes allocated per remaining stage.
-    stage_bytes: u64,
-    base_columns: Vec<ColumnId>,
-    /// The kernel result, kept lazy (base + selection vector) until a
-    /// pipeline breaker or the query root forces materialization. Logical
-    /// `num_rows`/`byte_size` are identical either way, so all simulated
-    /// timing below is unaffected.
-    output: Option<LazyChunk>,
-    output_bytes: u64,
-    output_rows: u64,
-    output_device: Option<DeviceId>,
-    load_contribution: VirtualTime,
-}
-
-struct QueryState {
-    session: usize,
-    seq: usize,
-    root: usize,
-    /// When the session issued the query (queueing for admission counts
-    /// toward latency — the paper's admission-control comparison measures
-    /// response time from submission).
-    submit_time: VirtualTime,
-}
-
-enum Ev {
-    /// Transfers finished; the operator joins its device's compute set.
-    ComputeStart { task: usize, epoch: u32 },
-    /// Re-evaluate a device's compute set (next completion or
-    /// allocation-stage crossing under processor sharing).
-    DeviceTick { device: DeviceId, version: u64 },
-    QueryDone { query: usize },
-}
-
-struct Sim<'a, 'p> {
-    db: &'a Database,
-    config: &'a SimConfig,
-    policy: &'p mut dyn PlacementPolicy,
-    opts: &'a ExecOptions,
-    cost: CostModel,
-    cache: &'a mut DataCache,
-    gpu_heap: HeapAllocator,
-    link: Interconnect,
-    fault: FaultPlan,
-    /// Per-query fault counters, indexed by query id.
-    query_faults: Vec<FaultCounters>,
-    events: EventQueue<Ev>,
-    tasks: Vec<TaskState>,
-    queries: Vec<QueryState>,
-    queues: [VecDeque<usize>; 2],
-    running: PerDevice<usize>,
-    load: PerDevice<VirtualTime>,
-    /// Tasks currently *computing* per device (slot holders doing
-    /// transfers are not in here yet). Concurrent tasks share the device:
-    /// each progresses at rate 1/n.
-    compute: [Vec<usize>; 2],
-    last_update: [VirtualTime; 2],
-    tick_version: [u64; 2],
-    sessions: Vec<VecDeque<PlanNode>>,
-    admission_queue: VecDeque<(usize, PlanNode, VirtualTime)>,
-    active_queries: usize,
-    completed_since_update: usize,
-    metrics: RunMetrics,
-    outcomes: Vec<QueryOutcome>,
-    now: VirtualTime,
-    tracer: Tracer,
-}
-
 impl<'a> Executor<'a> {
     /// An executor over `db` and the given machine.
     pub fn new(db: &'a Database, config: SimConfig) -> Self {
@@ -214,67 +120,71 @@ impl<'a> Executor<'a> {
     }
 
     /// Execute `sessions` (each a queue of queries, run closed-loop) under
-    /// `policy`, starting from a cold co-processor cache.
+    /// `policy`, starting from cold co-processor caches.
     pub fn run(
         &self,
         sessions: Vec<Vec<PlanNode>>,
         policy: &mut dyn PlacementPolicy,
         opts: &ExecOptions,
     ) -> Result<RunOutcome, EngineError> {
-        let mut cache =
-            DataCache::new(self.config.gpu.cache_bytes, self.config.cache_policy);
-        self.run_with_cache(sessions, policy, opts, &mut cache)
+        let mut caches =
+            CacheSet::for_topology(&self.config.topology, self.config.cache_policy);
+        self.run_with_cache(sessions, policy, opts, &mut caches)
     }
 
-    /// Like [`Executor::run`] but continuing from (and updating) an
-    /// existing cache — this is how warm-up runs leave the column cache
-    /// warm for the measured run, matching the paper's procedure of
-    /// running each workload twice before measuring (Section 6.1).
+    /// Like [`Executor::run`] but continuing from (and updating) existing
+    /// caches — this is how warm-up runs leave the column caches warm for
+    /// the measured run, matching the paper's procedure of running each
+    /// workload twice before measuring (Section 6.1).
     pub fn run_with_cache(
         &self,
         sessions: Vec<Vec<PlanNode>>,
         policy: &mut dyn PlacementPolicy,
         opts: &ExecOptions,
-        cache: &mut DataCache,
+        caches: &mut CacheSet,
     ) -> Result<RunOutcome, EngineError> {
         if !opts.preload.is_empty() {
-            let mut budget = cache.capacity();
-            let mut pins = Vec::new();
-            for &col in &opts.preload {
-                let bytes = self.db.column_size(col);
-                if bytes <= budget {
-                    budget -= bytes;
-                    pins.push((CacheKey(col.0 as u64), bytes));
+            for (_, cache) in caches.iter_mut() {
+                let mut budget = cache.capacity();
+                let mut pins = Vec::new();
+                for &col in &opts.preload {
+                    let bytes = self.db.column_size(col);
+                    if bytes <= budget {
+                        budget -= bytes;
+                        pins.push((CacheKey(col.0 as u64), bytes));
+                    }
                 }
+                cache.set_pinned(&pins);
             }
-            cache.set_pinned(&pins);
         }
         let total_queries: usize = sessions.iter().map(Vec::len).sum();
+        let device_count = self.config.topology.device_count();
         let mut sim = Sim {
             db: self.db,
             config: &self.config,
             policy,
             opts,
             cost: CostModel::new(self.config.cost.clone()),
-            cache,
-            gpu_heap: HeapAllocator::new(self.config.gpu.heap_bytes()),
-            link: Interconnect::new(self.config.link),
+            caches,
+            heaps: HeapSet::for_topology(&self.config.topology),
+            link: Interconnect::for_topology(&self.config.topology),
             fault: opts.fault.clone(),
             query_faults: Vec::new(),
             events: EventQueue::new(),
             tasks: Vec::new(),
             queries: Vec::new(),
-            queues: [VecDeque::new(), VecDeque::new()],
-            running: PerDevice::splat(0),
-            load: PerDevice::splat(VirtualTime::ZERO),
-            compute: [Vec::new(), Vec::new()],
-            last_update: [VirtualTime::ZERO, VirtualTime::ZERO],
-            tick_version: [0, 0],
+            devices: DeviceSet::new(device_count),
             sessions: sessions.into_iter().map(VecDeque::from).collect(),
             admission_queue: VecDeque::new(),
             active_queries: 0,
             completed_since_update: 0,
-            metrics: RunMetrics::default(),
+            metrics: RunMetrics {
+                // Topology-sized so reports always print every device,
+                // busy or not (and K = 1 output keeps its exact shape).
+                device_busy: PerDevice::splat(VirtualTime::ZERO, device_count),
+                ops_completed: PerDevice::splat(0, device_count),
+                ..RunMetrics::default()
+            },
             outcomes: Vec::new(),
             now: VirtualTime::ZERO,
             tracer: opts.tracer.clone(),
@@ -283,1104 +193,9 @@ impl<'a> Executor<'a> {
     }
 }
 
-impl Sim<'_, '_> {
-    fn run(&mut self, total_queries: usize) -> Result<RunOutcome, EngineError> {
-        // The cache may be warm from a previous run on the same handle;
-        // metrics report this run's probes only (matching the trace).
-        let (base_hits, base_misses) = self.cache.hit_miss();
-        let trace_mark = self.tracer.mark();
-        // Initial data placement from whatever statistics already exist
-        // (the paper pre-loads access structures before each benchmark,
-        // Section 6.1) — free of charge, like `ExecOptions::preload`.
-        let _ = self.policy.update_data_placement(self.db, self.cache);
-
-        // Kick off: the first query of every session is a candidate.
-        for s in 0..self.sessions.len() {
-            if let Some(plan) = self.sessions[s].pop_front() {
-                self.admission_queue.push_back((s, plan, self.now));
-            }
-        }
-        self.process_admissions()?;
-
-        while let Some((t, ev)) = self.events.pop() {
-            self.now = t;
-            match ev {
-                Ev::ComputeStart { task, epoch } => self.on_compute_start(task, epoch)?,
-                Ev::DeviceTick { device, version } => {
-                    self.on_device_tick(device, version)?
-                }
-                Ev::QueryDone { query } => self.on_query_done(query)?,
-            }
-            #[cfg(debug_assertions)]
-            self.audit();
-        }
-
-        if self.outcomes.len() != total_queries {
-            return Err(EngineError::Stalled {
-                completed: self.outcomes.len(),
-                total: total_queries,
-            });
-        }
-        self.metrics.queries = total_queries;
-        let (hits, misses) = self.cache.hit_miss();
-        self.metrics.cache_hits = hits - base_hits;
-        self.metrics.cache_misses = misses - base_misses;
-        self.metrics.gpu_heap_peak = self.gpu_heap.peak();
-        self.metrics.gpu_heap_leaked = self.gpu_heap.used();
-        self.metrics.fault_stats = *self.fault.stats();
-        self.metrics.link_h2d = self.link.stats(Direction::HostToDevice);
-        self.metrics.link_d2h = self.link.stats(Direction::DeviceToHost);
-        debug_assert_eq!(
-            self.gpu_heap.used(),
-            0,
-            "device heap must drain once every query completed"
-        );
-        // Cross-check: the metrics re-derived from this run's event
-        // stream must match the incrementally maintained counters. Only
-        // possible with tracing enabled and no dropped events.
-        #[cfg(debug_assertions)]
-        if let Some(events) = self.tracer.events_since(trace_mark) {
-            debug_assert_eq!(
-                RunMetrics::from_events(&events),
-                self.metrics,
-                "trace-derived metrics diverge from legacy counters"
-            );
-        }
-        #[cfg(not(debug_assertions))]
-        let _ = trace_mark;
-        Ok(RunOutcome {
-            metrics: self.metrics.clone(),
-            outcomes: std::mem::take(&mut self.outcomes),
-        })
-    }
-
-    fn task_info(&self, task: usize, compile_time: bool) -> TaskInfo {
-        let t = &self.tasks[task];
-        let children_devices = if compile_time {
-            Vec::new()
-        } else {
-            t.children
-                .iter()
-                .filter_map(|&c| self.tasks[c].output_device)
-                .collect()
-        };
-        let children_bytes = t
-            .children
-            .iter()
-            .map(|&c| {
-                if compile_time {
-                    self.tasks[c].est_bytes_out
-                } else {
-                    self.tasks[c].output_bytes
-                }
-            })
-            .collect();
-        TaskInfo {
-            query: t.query,
-            task,
-            op_class: t.node.op.op_class(),
-            base_columns: t.base_columns.clone(),
-            bytes_in: if compile_time { t.est_bytes_in } else { t.bytes_in },
-            bytes_out_estimate: t.est_bytes_out,
-            children_devices,
-            children_bytes,
-            children_tasks: t.children.clone(),
-            was_aborted: t.forced_cpu,
-        }
-    }
-
-    fn process_admissions(&mut self) -> Result<(), EngineError> {
-        while self.active_queries < self.opts.max_concurrent_queries {
-            let Some((session, plan, submit_time)) = self.admission_queue.pop_front()
-            else {
-                break;
-            };
-            self.admit_query(session, plan, submit_time)?;
-        }
-        Ok(())
-    }
-
-    fn admit_query(
-        &mut self,
-        session: usize,
-        plan: PlanNode,
-        submit_time: VirtualTime,
-    ) -> Result<(), EngineError> {
-        let query = self.queries.len();
-        let seq = self.queries.iter().filter(|q| q.session == session).count();
-        let base = self.tasks.len();
-        let nodes = flatten(&plan);
-        let estimates = postorder_estimates(&plan, self.db);
-        debug_assert_eq!(nodes.len(), estimates.len());
-
-        for (node, est) in nodes.into_iter().zip(estimates) {
-            let base_columns = match node.op.scan_access() {
-                Some((table, cols)) => cols
-                    .iter()
-                    .map(|c| {
-                        self.db
-                            .require_column_id(table, c)
-                            .map_err(|e| EngineError::Storage(e.to_string()))
-                    })
-                    .collect::<Result<Vec<_>, _>>()?,
-                None => Vec::new(),
-            };
-            let children: Vec<usize> = node.children.iter().map(|&c| base + c).collect();
-            let parent = node.parent.map(|p| base + p);
-            let pending = children.len();
-            self.tasks.push(TaskState {
-                node,
-                query,
-                children,
-                parent,
-                pending_children: pending,
-                annotation: None,
-                forced_cpu: false,
-                epoch: 0,
-                status: Status::Pending,
-                device: None,
-                queued_at: VirtualTime::ZERO,
-                start_time: VirtualTime::ZERO,
-                kernel_duration: VirtualTime::ZERO,
-                bytes_in: 0,
-                est_bytes_in: est.0 as u64,
-                est_bytes_out: est.1 as u64,
-                remaining_ns: 0.0,
-                milestones: Vec::new(),
-                stage_bytes: 0,
-                base_columns,
-                output: None,
-                output_bytes: 0,
-                output_rows: 0,
-                output_device: None,
-                load_contribution: VirtualTime::ZERO,
-            });
-        }
-        let root = self.tasks.len() - 1;
-        self.queries.push(QueryState { session, seq, root, submit_time });
-        self.query_faults.push(FaultCounters::default());
-        self.active_queries += 1;
-        self.tracer.emit(TraceEvent::QuerySubmit {
-            query: query as u32,
-            session: session as u32,
-            seq: seq as u32,
-            at: submit_time,
-        });
-
-        // Compile-time placement pass.
-        let infos: Vec<TaskInfo> =
-            (base..=root).map(|t| self.task_info(t, true)).collect();
-        let ctx = PolicyCtx {
-            db: self.db,
-            cache: &*self.cache,
-            queued_work: self.load,
-            running: self.running,
-            gpu_heap_free: self.gpu_heap.free_bytes(),
-            now: self.now,
-        };
-        let annotations = self.policy.plan_query(&infos, &ctx);
-        debug_assert_eq!(annotations.len(), infos.len());
-        for (t, a) in (base..=root).zip(annotations) {
-            if let Some(p) = a {
-                self.tracer.emit(TraceEvent::Placement {
-                    query: query as u32,
-                    task: t as u32,
-                    op: self.tasks[t].node.op.op_class(),
-                    phase: PlacePhase::Compile,
-                    est: p.est,
-                    chosen: p.device,
-                    reason: p.reason,
-                    at: self.now,
-                });
-                self.tasks[t].annotation = Some(p.device);
-            }
-        }
-
-        // Leaves enter the operator stream immediately.
-        for t in base..=root {
-            if self.tasks[t].children.is_empty() {
-                self.make_ready(t)?;
-            }
-        }
-        Ok(())
-    }
-
-    fn exact_bytes_in(&self, task: usize) -> u64 {
-        let t = &self.tasks[task];
-        if t.children.is_empty() {
-            t.base_columns.iter().map(|&c| self.db.column_size(c)).sum()
-        } else {
-            t.children.iter().map(|&c| self.tasks[c].output_bytes).sum()
-        }
-    }
-
-    fn make_ready(&mut self, task: usize) -> Result<(), EngineError> {
-        self.tasks[task].bytes_in = self.exact_bytes_in(task);
-        let device = if self.tasks[task].forced_cpu {
-            DeviceId::Cpu
-        } else if let Some(d) = self.tasks[task].annotation {
-            d
-        } else {
-            let info = self.task_info(task, false);
-            let ctx = PolicyCtx {
-                db: self.db,
-                cache: &*self.cache,
-                queued_work: self.load,
-                running: self.running,
-                gpu_heap_free: self.gpu_heap.free_bytes(),
-                now: self.now,
-            };
-            let placed = self.policy.place_ready(&info, &ctx);
-            self.tracer.emit(TraceEvent::Placement {
-                query: self.tasks[task].query as u32,
-                task: task as u32,
-                op: self.tasks[task].node.op.op_class(),
-                phase: PlacePhase::Ready,
-                est: placed.est,
-                chosen: placed.device,
-                reason: placed.reason,
-                at: self.now,
-            });
-            placed.device
-        };
-        self.enqueue(task, device);
-        self.dispatch(device)?;
-        Ok(())
-    }
-
-    fn enqueue(&mut self, task: usize, device: DeviceId) {
-        let now = self.now;
-        let t = &mut self.tasks[task];
-        t.device = Some(device);
-        t.status = Status::Queued;
-        t.queued_at = now;
-        let est = self.cost.duration(
-            t.node.op.op_class(),
-            device.kind(),
-            t.bytes_in,
-            t.est_bytes_out,
-        );
-        t.load_contribution = est;
-        self.load[device] += est;
-        self.queues[device.index()].push_back(task);
-    }
-
-    fn slots(&self, device: DeviceId) -> usize {
-        let spec = match device {
-            DeviceId::Cpu => &self.config.cpu,
-            DeviceId::Gpu => &self.config.gpu,
-        };
-        self.policy.worker_slots(device, spec.worker_slots)
-    }
-
-    fn dispatch(&mut self, device: DeviceId) -> Result<(), EngineError> {
-        let di = device.index();
-        while self.running[device] < self.slots(device) {
-            let Some(task) = self.queues[di].pop_front() else {
-                break;
-            };
-            self.load[device] =
-                self.load[device].saturating_sub(self.tasks[task].load_contribution);
-            self.start_task(task, device)?;
-        }
-        Ok(())
-    }
-
-    /// Bytes that cross the bus when the host consumes a device-resident
-    /// output. Scan outputs travel as *position lists* (4 bytes/row): the
-    /// host already holds every base column, so only the qualifying
-    /// positions matter — CoGaDB's positional processing model. All other
-    /// operators materialize payloads that must move in full.
-    fn d2h_consume_bytes(&self, task: usize) -> u64 {
-        let t = &self.tasks[task];
-        match t.node.op {
-            crate::exec::task::TaskOp::Scan { .. } => {
-                (t.output_rows * 4).min(t.output_bytes)
-            }
-            _ => t.output_bytes,
-        }
-    }
-
-    /// Heap tag for an operator's working allocations.
-    fn working_tag(task: usize) -> u64 {
-        (task as u64) * 2
-    }
-
-    /// Heap tag for an operator's retained result.
-    fn result_tag(task: usize) -> u64 {
-        (task as u64) * 2 + 1
-    }
-
-    /// The trace id of an optionally attributable query.
-    fn qid(query: Option<usize>) -> u32 {
-        query.map_or(TraceEvent::NO_QUERY, |q| q as u32)
-    }
-
-    /// Record one fired injection, attributed to `query` when known.
-    /// Emitted fault kinds mirror the plan's own `FaultStats` accounting
-    /// one-to-one, so trace-derived stats reconcile exactly.
-    fn note_injected(&mut self, query: Option<usize>, kind: FaultKind, at: VirtualTime) {
-        self.metrics.faults.injected += 1;
-        if let Some(q) = query {
-            self.query_faults[q].injected += 1;
-        }
-        self.tracer.emit(TraceEvent::Fault { kind, query: Self::qid(query), at });
-    }
-
-    /// Record one scheduled transfer retry.
-    fn note_retry(&mut self, query: Option<usize>, backoff: VirtualTime, at: VirtualTime) {
-        self.metrics.faults.retries += 1;
-        if let Some(q) = query {
-            self.query_faults[q].retries += 1;
-        }
-        self.tracer.emit(TraceEvent::Retry { query: Self::qid(query), backoff, at });
-    }
-
-    /// Record virtual time lost to injections.
-    fn note_injected_wasted(&mut self, query: Option<usize>, t: VirtualTime) {
-        self.metrics.faults.injected_wasted += t;
-        if let Some(q) = query {
-            self.query_faults[q].injected_wasted += t;
-        }
-    }
-
-    /// Charge one transfer attempt to the run metrics.
-    fn charge_transfer(&mut self, dir: Direction, service: VirtualTime, bytes: u64) {
-        match dir {
-            Direction::HostToDevice => {
-                self.metrics.h2d_time += service;
-                self.metrics.h2d_bytes += bytes;
-            }
-            Direction::DeviceToHost => {
-                self.metrics.d2h_time += service;
-                self.metrics.d2h_bytes += bytes;
-            }
-        }
-    }
-
-    /// A traced co-processor heap allocation attempt.
-    fn heap_alloc(&mut self, tag: u64, bytes: u64) -> bool {
-        let ok = self.gpu_heap.try_alloc(tag, bytes);
-        self.tracer.emit(TraceEvent::HeapAlloc {
-            tag,
-            bytes,
-            used: self.gpu_heap.used(),
-            ok,
-            at: self.now,
-        });
-        ok
-    }
-
-    /// A traced co-processor heap release (no event for empty tags).
-    fn heap_free(&mut self, tag: u64) {
-        let bytes = self.gpu_heap.free_tag(tag);
-        if bytes > 0 {
-            self.tracer.emit(TraceEvent::HeapFree {
-                tag,
-                bytes,
-                used: self.gpu_heap.used(),
-                at: self.now,
-            });
-        }
-    }
-
-    /// A co-processor heap allocation attempt that the fault layer may
-    /// fail. `stage` is the staged-allocation step (0 = upfront slice,
-    /// 1..=3 = mid-execution growth); on an injected failure `injected`
-    /// is set so the abort's waste can be attributed to the injection.
-    fn alloc_or_inject(
-        &mut self,
-        tag: u64,
-        bytes: u64,
-        stage: u32,
-        query: usize,
-        injected: &mut bool,
-    ) -> bool {
-        if self.fault.fail_alloc(stage) {
-            self.note_injected(Some(query), FaultKind::AllocFail { stage }, self.now);
-            *injected = true;
-            return false;
-        }
-        self.heap_alloc(tag, bytes)
-    }
-
-    /// One logical transfer over the link, with fault injection and
-    /// bounded retry-with-backoff in *virtual* time (every failed
-    /// attempt occupies the FIFO for its full service window, then the
-    /// retry waits out an exponential backoff).
-    ///
-    /// Returns `Some(end)` when the payload arrived. Returns `None` —
-    /// only possible when `abortable` — for a permanent fault or for
-    /// transient faults exhausting the retry budget; the caller then
-    /// aborts the operator to the CPU. Non-abortable transfers (results
-    /// returning to the host, background placement traffic) always
-    /// complete: permanent faults degrade to transient and the fault
-    /// layer stops injecting once the budget is spent.
-    fn xfer(
-        &mut self,
-        now: VirtualTime,
-        dir: Direction,
-        kind: TransferKind,
-        bytes: u64,
-        query: Option<usize>,
-        abortable: bool,
-    ) -> Option<VirtualTime> {
-        let qid = Self::qid(query);
-        let mut at = now;
-        let mut failures: u32 = 0;
-        loop {
-            // Capture the raw draw before the degradation below: the plan
-            // already counted a permanent in its stats, and the trace
-            // reports the same kind so the two always reconcile.
-            let (decision, raw_kind) = if failures > self.opts.retry.max_retries {
-                (None, None) // budget spent: durable transfers complete clean
-            } else {
-                let raw = self.fault.transfer_fault(dir);
-                let raw_kind = raw.map(|f| match f {
-                    TransferFault::Transient => FaultKind::TransferTransient,
-                    TransferFault::Permanent => FaultKind::TransferPermanent,
-                    TransferFault::Spike(_) => FaultKind::TransferSpike,
-                });
-                let d = match raw {
-                    Some(TransferFault::Permanent) if !abortable => {
-                        Some(TransferFault::Transient)
-                    }
-                    d => d,
-                };
-                (d, raw_kind)
-            };
-            match decision {
-                None => {
-                    let tr = self.link.transfer(at, dir, bytes);
-                    self.charge_transfer(dir, tr.service, bytes);
-                    self.tracer.emit(TraceEvent::Transfer {
-                        dir,
-                        kind,
-                        query: qid,
-                        bytes,
-                        start: tr.start,
-                        end: tr.end,
-                        service: tr.service,
-                        faulted: false,
-                        waste: VirtualTime::ZERO,
-                    });
-                    return Some(tr.end);
-                }
-                Some(TransferFault::Spike(f)) => {
-                    let tr = self.link.transfer_scaled(at, dir, bytes, f);
-                    self.charge_transfer(dir, tr.service, bytes);
-                    let clean = self.link.params().service_time(bytes);
-                    let waste = tr.service.saturating_sub(clean);
-                    self.note_injected(query, FaultKind::TransferSpike, at);
-                    self.note_injected_wasted(query, waste);
-                    self.tracer.emit(TraceEvent::Transfer {
-                        dir,
-                        kind,
-                        query: qid,
-                        bytes,
-                        start: tr.start,
-                        end: tr.end,
-                        service: tr.service,
-                        faulted: true,
-                        waste,
-                    });
-                    return Some(tr.end);
-                }
-                Some(TransferFault::Permanent) => {
-                    // The link errors out before the payload moves.
-                    self.note_injected(query, FaultKind::TransferPermanent, at);
-                    return None;
-                }
-                Some(TransferFault::Transient) => {
-                    // The failed attempt still occupied the bus.
-                    let tr = self.link.transfer(at, dir, bytes);
-                    self.charge_transfer(dir, tr.service, bytes);
-                    let fault_kind =
-                        raw_kind.expect("a transient decision implies a fault draw");
-                    self.note_injected(query, fault_kind, at);
-                    failures += 1;
-                    if abortable && failures > self.opts.retry.max_retries {
-                        self.note_injected_wasted(query, tr.service);
-                        self.tracer.emit(TraceEvent::Transfer {
-                            dir,
-                            kind,
-                            query: qid,
-                            bytes,
-                            start: tr.start,
-                            end: tr.end,
-                            service: tr.service,
-                            faulted: true,
-                            waste: tr.service,
-                        });
-                        return None;
-                    }
-                    let backoff = self.opts.retry.backoff(failures);
-                    self.note_retry(query, backoff, tr.end);
-                    self.note_injected_wasted(query, tr.service + backoff);
-                    self.tracer.emit(TraceEvent::Transfer {
-                        dir,
-                        kind,
-                        query: qid,
-                        bytes,
-                        start: tr.start,
-                        end: tr.end,
-                        service: tr.service,
-                        faulted: true,
-                        waste: tr.service + backoff,
-                    });
-                    at = tr.end + backoff;
-                }
-            }
-        }
-    }
-
-    /// Heap, cache and link accounting invariants, re-checked after
-    /// every simulation event in debug builds (tests and chaos runs).
-    #[cfg(debug_assertions)]
-    fn audit(&self) {
-        assert_eq!(
-            self.gpu_heap.used(),
-            self.gpu_heap.accounted_bytes(),
-            "heap conservation: used must equal the sum of live tags"
-        );
-        assert!(
-            self.gpu_heap.used() <= self.gpu_heap.capacity(),
-            "heap overcommitted"
-        );
-        assert_eq!(
-            self.cache.used(),
-            self.cache.accounted_bytes(),
-            "cache accounting: used must equal the sum of resident entries"
-        );
-        assert!(self.cache.used() <= self.cache.capacity(), "cache overcommitted");
-        for dir in [Direction::HostToDevice, Direction::DeviceToHost] {
-            let s = self.link.stats(dir);
-            assert!(
-                s.transfers > 0 || (s.bytes == 0 && s.busy_time == VirtualTime::ZERO),
-                "link stats: traffic without transfers"
-            );
-            // Each transfer advances busy_until by at least its service
-            // time, so the FIFO horizon dominates accumulated service.
-            assert!(
-                self.link.busy_until(dir) >= s.busy_time,
-                "link busy_until fell behind accumulated service time"
-            );
-        }
-    }
-
-    fn start_task(&mut self, task: usize, device: DeviceId) -> Result<(), EngineError> {
-        let now = self.now;
-        self.running[device] += 1;
-        {
-            let t = &mut self.tasks[task];
-            t.status = Status::Running;
-            t.start_time = now;
-            t.device = Some(device);
-        }
-
-        // Compute the kernel result eagerly (host side); reuse a result
-        // computed before an abort.
-        if self.tasks[task].output.is_none() {
-            let children_chunks: Vec<LazyChunk> = self.tasks[task]
-                .children
-                .iter()
-                .map(|&c| {
-                    self.tasks[c].output.clone().ok_or_else(|| {
-                        EngineError::Internal("child output missing".to_string())
-                    })
-                })
-                .collect::<Result<_, _>>()?;
-            let out = self
-                .tasks[task]
-                .node
-                .op
-                .execute_lazy(&children_chunks, self.db, self.opts.parallel)
-                .map_err(EngineError::Kernel)?;
-            self.tasks[task].output_bytes = out.byte_size();
-            self.tasks[task].output_rows = out.num_rows() as u64;
-            self.tasks[task].output = Some(out);
-        }
-        let bytes_in = self.tasks[task].bytes_in;
-        let bytes_out = self.tasks[task].output_bytes;
-        let class = self.tasks[task].node.op.op_class();
-
-        // Record base-column accesses (the counters driving LFU placement).
-        for &col in &self.tasks[task].base_columns.clone() {
-            self.db.stats().record_access(col.index());
-        }
-
-        let mut ready_at = now;
-        if device == DeviceId::Gpu {
-            // Working memory: staged allocation of footprint + retained
-            // result, plus any host-resident inputs copied in.
-            let mut input_transfer_bytes = 0u64;
-            for &c in &self.tasks[task].children.clone() {
-                if self.tasks[c].output_device == Some(DeviceId::Cpu) {
-                    input_transfer_bytes += self.tasks[c].output_bytes;
-                }
-            }
-            let footprint = self.cost.gpu_working_footprint(class, bytes_in, bytes_out)
-                + bytes_out;
-            // Operators allocate incrementally (Section 2.5.1): a small
-            // upfront slice (input buffers), then three growth stages
-            // mid-execution — which is what makes mid-flight aborts, and
-            // the wasted time of Figure 20, possible.
-            let stage = footprint * 3 / 10;
-            let tag = Self::working_tag(task);
-            let query = self.tasks[task].query;
-            let mut injected = false;
-            let ok = self.alloc_or_inject(tag, input_transfer_bytes, 0, query, &mut injected)
-                && self.alloc_or_inject(tag, footprint - 3 * stage, 0, query, &mut injected);
-            if !ok {
-                self.abort_task(task, injected)?;
-                return Ok(());
-            }
-
-            // Base columns: probe the cache, transfer on miss. A
-            // permanent transfer fault aborts the operator to the CPU,
-            // exactly like a failed allocation.
-            let caches_on_miss = self.policy.caches_on_miss();
-            for &col in &self.tasks[task].base_columns.clone() {
-                let key = CacheKey(col.0 as u64);
-                let bytes = self.db.column_size(col);
-                let hit = self.cache.probe(key);
-                self.tracer.emit(TraceEvent::CacheProbe { key, bytes, hit, at: now });
-                if !hit {
-                    match self.xfer(
-                        now,
-                        Direction::HostToDevice,
-                        TransferKind::Input,
-                        bytes,
-                        Some(query),
-                        true,
-                    ) {
-                        Some(end) => ready_at = ready_at.max(end),
-                        None => {
-                            self.abort_task(task, true)?;
-                            return Ok(());
-                        }
-                    }
-                    if caches_on_miss {
-                        let outcome = self.cache.insert(key, bytes);
-                        for &(k, b) in &outcome.evicted {
-                            self.tracer.emit(TraceEvent::CacheEvict {
-                                key: k,
-                                bytes: b,
-                                at: now,
-                            });
-                        }
-                        if outcome.inserted {
-                            self.tracer.emit(TraceEvent::CacheInsert {
-                                key,
-                                bytes,
-                                at: now,
-                            });
-                        }
-                    }
-                }
-            }
-            // Host-resident intermediate inputs cross the bus.
-            if input_transfer_bytes > 0 {
-                match self.xfer(
-                    now,
-                    Direction::HostToDevice,
-                    TransferKind::Input,
-                    input_transfer_bytes,
-                    Some(query),
-                    true,
-                ) {
-                    Some(end) => ready_at = ready_at.max(end),
-                    None => {
-                        self.abort_task(task, true)?;
-                        return Ok(());
-                    }
-                }
-            }
-
-            let duration =
-                self.cost.duration(class, DeviceKind::CoProcessor, bytes_in, bytes_out);
-            let solo = duration.as_nanos() as f64;
-            let t = &mut self.tasks[task];
-            t.kernel_duration = duration;
-            t.remaining_ns = solo;
-            // Remaining-time thresholds for the three later allocation
-            // stages, ascending so the largest is popped first.
-            t.milestones = vec![0.25 * solo, 0.5 * solo, 0.75 * solo];
-            t.stage_bytes = stage;
-            let epoch = t.epoch;
-            self.events.push(ready_at, Ev::ComputeStart { task, epoch });
-        } else {
-            // CPU: pull any co-processor-resident inputs back to the
-            // host. These transfers are durable — the CPU is the fallback
-            // device, so its inputs must always arrive.
-            let query = self.tasks[task].query;
-            for &c in &self.tasks[task].children.clone() {
-                if self.tasks[c].output_device == Some(DeviceId::Gpu) {
-                    let bytes = self.d2h_consume_bytes(c);
-                    let end = self
-                        .xfer(
-                            now,
-                            Direction::DeviceToHost,
-                            TransferKind::Input,
-                            bytes,
-                            Some(query),
-                            false,
-                        )
-                        .expect("non-abortable transfers always complete");
-                    ready_at = ready_at.max(end);
-                    self.heap_free(Self::result_tag(c));
-                    self.tasks[c].output_device = Some(DeviceId::Cpu);
-                }
-            }
-            let duration = self.cost.duration(class, DeviceKind::Cpu, bytes_in, bytes_out);
-            let t = &mut self.tasks[task];
-            t.kernel_duration = duration;
-            t.remaining_ns = duration.as_nanos() as f64;
-            t.milestones = Vec::new();
-            t.stage_bytes = 0;
-            let epoch = t.epoch;
-            self.events.push(ready_at, Ev::ComputeStart { task, epoch });
-        }
-        Ok(())
-    }
-
-    /// Tolerance for floating-point progress comparisons (nanoseconds).
-    const EPS_NS: f64 = 1.0;
-
-    fn on_compute_start(&mut self, task: usize, epoch: u32) -> Result<(), EngineError> {
-        if self.tasks[task].epoch != epoch || self.tasks[task].status != Status::Running {
-            return Ok(());
-        }
-        let device = self.tasks[task].device.expect("computing task is placed");
-        let query = self.tasks[task].query;
-        let class = self.tasks[task].node.op.op_class();
-        if self.fault.abort_kernel(class, device) {
-            // Injected kernel fault: surfaces as an ordinary abort.
-            self.note_injected(Some(query), FaultKind::KernelAbort, self.now);
-            self.abort_task(task, true)?;
-            return Ok(());
-        }
-        if let Some(until) = self.fault.stall_until(device, self.now) {
-            // The worker slot is stalled: the kernel launch is deferred
-            // to the end of the window, in virtual time.
-            let wait = until - self.now;
-            self.note_injected(Some(query), FaultKind::Stall { wait }, self.now);
-            self.note_injected_wasted(Some(query), wait);
-            self.events.push(until, Ev::ComputeStart { task, epoch });
-            return Ok(());
-        }
-        self.advance(device);
-        self.compute[device.index()].push(task);
-        self.reschedule(device);
-        Ok(())
-    }
-
-    fn on_device_tick(&mut self, device: DeviceId, version: u64) -> Result<(), EngineError> {
-        if self.tick_version[device.index()] != version {
-            return Ok(());
-        }
-        self.advance(device);
-        self.settle(device)?;
-        self.reschedule(device);
-        Ok(())
-    }
-
-    /// Progress every computing task on `device` up to `self.now`:
-    /// `n` concurrent tasks each run at rate `1/n` (processor sharing).
-    fn advance(&mut self, device: DeviceId) {
-        let di = device.index();
-        let dt = self.now.saturating_sub(self.last_update[di]);
-        self.last_update[di] = self.now;
-        let n = self.compute[di].len();
-        if n == 0 || dt == VirtualTime::ZERO {
-            return;
-        }
-        let dec = dt.as_nanos() as f64 / n as f64;
-        for &t in &self.compute[di] {
-            self.tasks[t].remaining_ns -= dec;
-        }
-    }
-
-    /// Process every due allocation stage and completion on `device`.
-    fn settle(&mut self, device: DeviceId) -> Result<(), EngineError> {
-        let di = device.index();
-        loop {
-            // Next due action in deterministic compute-set order.
-            let mut action: Option<(usize, bool)> = None; // (task, is_completion)
-            for &t in &self.compute[di] {
-                let rem = self.tasks[t].remaining_ns;
-                if rem <= Self::EPS_NS {
-                    action = Some((t, true));
-                    break;
-                }
-                if let Some(&thr) = self.tasks[t].milestones.last() {
-                    if rem <= thr + Self::EPS_NS {
-                        action = Some((t, false));
-                        break;
-                    }
-                }
-            }
-            let Some((t, done)) = action else {
-                return Ok(());
-            };
-            if done {
-                self.compute[di].retain(|&x| x != t);
-                self.complete_task(t)?;
-            } else {
-                self.tasks[t].milestones.pop();
-                let bytes = self.tasks[t].stage_bytes;
-                // Growth stages are numbered 1..=3 after the pop.
-                let stage = (3 - self.tasks[t].milestones.len()) as u32;
-                let query = self.tasks[t].query;
-                let mut injected = false;
-                if !self.alloc_or_inject(
-                    Self::working_tag(t),
-                    bytes,
-                    stage,
-                    query,
-                    &mut injected,
-                ) {
-                    // Mid-flight out-of-memory: the heap-contention abort.
-                    self.compute[di].retain(|&x| x != t);
-                    self.abort_task(t, injected)?;
-                }
-            }
-        }
-    }
-
-    /// Re-arm the device's next tick: the earliest completion or
-    /// allocation-stage crossing under the current sharing factor.
-    fn reschedule(&mut self, device: DeviceId) {
-        let di = device.index();
-        self.tick_version[di] += 1;
-        let n = self.compute[di].len();
-        if n == 0 {
-            return;
-        }
-        let mut min_dt = f64::INFINITY;
-        for &t in &self.compute[di] {
-            let rem = self.tasks[t].remaining_ns;
-            let target = self.tasks[t].milestones.last().copied().unwrap_or(0.0);
-            min_dt = min_dt.min((rem - target).max(0.0));
-        }
-        let dt = (min_dt * n as f64).ceil().max(1.0) as u64;
-        self.events.push(
-            self.now + VirtualTime::from_nanos(dt),
-            Ev::DeviceTick { device, version: self.tick_version[di] },
-        );
-    }
-
-    /// Abort a co-processor operator and restart it on the CPU. The
-    /// caller removes the task from the device's compute set when it was
-    /// already computing. `injected` marks aborts forced by the fault
-    /// plan: the recovery path is identical (injected faults must be
-    /// indistinguishable downstream), only the accounting differs.
-    fn abort_task(&mut self, task: usize, injected: bool) -> Result<(), EngineError> {
-        let device = self.tasks[task].device.expect("aborting a placed task");
-        debug_assert_eq!(device, DeviceId::Gpu, "only co-processor operators abort");
-        self.metrics.aborts += 1;
-        let wasted = self.now - self.tasks[task].start_time;
-        self.metrics.wasted_time += wasted;
-        let query = self.tasks[task].query;
-        self.metrics.faults.fallbacks += 1;
-        self.query_faults[query].fallbacks += 1;
-        if injected {
-            self.note_injected_wasted(Some(query), wasted);
-        }
-        {
-            let t = &self.tasks[task];
-            self.tracer.emit(TraceEvent::OpSpan {
-                query: query as u32,
-                task: task as u32,
-                op: t.node.op.op_class(),
-                device,
-                queued_at: t.queued_at,
-                start: t.start_time,
-                end: self.now,
-                bytes_in: t.bytes_in,
-                bytes_out: t.output_bytes,
-                rows_out: t.output_rows,
-                outcome: OpOutcome::Aborted { injected },
-            });
-            // The forced CPU restart is itself a placement decision.
-            self.tracer.emit(TraceEvent::Placement {
-                query: query as u32,
-                task: task as u32,
-                op: t.node.op.op_class(),
-                phase: PlacePhase::Fallback,
-                est: PerDevice::splat(VirtualTime::ZERO),
-                chosen: DeviceId::Cpu,
-                reason: PlaceReason::AbortFallback,
-                at: self.now,
-            });
-        }
-        self.heap_free(Self::working_tag(task));
-        self.running[device] -= 1;
-        let t = &mut self.tasks[task];
-        t.epoch += 1;
-        t.forced_cpu = true;
-        // Restart on the CPU (CoGaDB's per-operator fallback, Section 2.5.1).
-        self.enqueue(task, DeviceId::Cpu);
-        self.dispatch(DeviceId::Cpu)?;
-        self.dispatch(DeviceId::Gpu)?;
-        Ok(())
-    }
-
-    /// Bookkeeping for a completed operator (called from `settle` once the
-    /// task's remaining work reached zero and it left the compute set).
-    fn complete_task(&mut self, task: usize) -> Result<(), EngineError> {
-        let device = self.tasks[task].device.expect("finishing a placed task");
-        self.running[device] -= 1;
-
-        if device == DeviceId::Gpu {
-            // Release working memory, retain the result on the heap.
-            self.heap_free(Self::working_tag(task));
-            let out_bytes = self.tasks[task].output_bytes;
-            let ok = self.heap_alloc(Self::result_tag(task), out_bytes);
-            debug_assert!(ok, "result reservation was covered by the working footprint");
-            // Inputs held on the device are consumed now.
-            for &c in &self.tasks[task].children.clone() {
-                if self.tasks[c].output_device == Some(DeviceId::Gpu) {
-                    self.heap_free(Self::result_tag(c));
-                }
-            }
-        }
-        // Drop children chunks — they are fully consumed.
-        for &c in &self.tasks[task].children.clone() {
-            self.tasks[c].output = None;
-        }
-
-        let busy = self.now - self.tasks[task].start_time;
-        self.metrics.record_op(device, busy);
-        {
-            let t = &self.tasks[task];
-            self.tracer.emit(TraceEvent::OpSpan {
-                query: t.query as u32,
-                task: task as u32,
-                op: t.node.op.op_class(),
-                device,
-                queued_at: t.queued_at,
-                start: t.start_time,
-                end: self.now,
-                bytes_in: t.bytes_in,
-                bytes_out: t.output_bytes,
-                rows_out: t.output_rows,
-                outcome: OpOutcome::Completed,
-            });
-        }
-        let t = &self.tasks[task];
-        self.policy.observe(
-            t.node.op.op_class(),
-            device,
-            t.bytes_in,
-            t.output_bytes,
-            t.kernel_duration,
-        );
-
-        self.tasks[task].status = Status::Done;
-        self.tasks[task].output_device = Some(device);
-
-        match self.tasks[task].parent {
-            Some(p) => {
-                self.tasks[p].pending_children -= 1;
-                if self.tasks[p].pending_children == 0 {
-                    self.make_ready(p)?;
-                }
-            }
-            None => {
-                // Root: return the result to the host.
-                let query = self.tasks[task].query;
-                let mut done_at = self.now;
-                if device == DeviceId::Gpu {
-                    let bytes = self.d2h_consume_bytes(task);
-                    // Result transfers are durable: the fault layer only
-                    // delays them, never loses them.
-                    let end = self
-                        .xfer(
-                            self.now,
-                            Direction::DeviceToHost,
-                            TransferKind::Result,
-                            bytes,
-                            Some(query),
-                            false,
-                        )
-                        .expect("non-abortable transfers always complete");
-                    self.heap_free(Self::result_tag(task));
-                    self.tasks[task].output_device = Some(DeviceId::Cpu);
-                    done_at = end;
-                }
-                self.events.push(done_at, Ev::QueryDone { query });
-            }
-        }
-        // A freed worker slot may unblock the queue.
-        self.dispatch(device)?;
-        Ok(())
-    }
-
-    fn on_query_done(&mut self, query: usize) -> Result<(), EngineError> {
-        let q = &self.queries[query];
-        let root = q.root;
-        let session = q.session;
-        let seq = q.seq;
-        let submit_time = q.submit_time;
-        let latency = self.now - submit_time;
-        self.metrics.makespan = self.metrics.makespan.max(self.now);
-        let output =
-            self.tasks[root].output.take().expect("root output present").materialize();
-        self.tracer.emit(TraceEvent::QueryDone {
-            query: query as u32,
-            session: session as u32,
-            seq: seq as u32,
-            submit: submit_time,
-            end: self.now,
-            rows: output.num_rows() as u64,
-        });
-        self.outcomes.push(QueryOutcome {
-            session,
-            seq,
-            latency,
-            rows: output.num_rows(),
-            checksum: output.checksum(),
-            faults: self.query_faults[query],
-            result: self.opts.capture_results.then_some(output),
-        });
-        self.active_queries -= 1;
-
-        // Periodic data-placement background job (Section 3.2).
-        self.completed_since_update += 1;
-        if self.opts.placement_update_period > 0
-            && self.completed_since_update >= self.opts.placement_update_period
-        {
-            self.completed_since_update = 0;
-            let new_keys = self.policy.update_data_placement(self.db, self.cache);
-            for key in new_keys {
-                let bytes = self.db.column_size(ColumnId(key.0 as u32));
-                // Background placement transfers are durable and not
-                // attributed to any one query.
-                self.xfer(
-                    self.now,
-                    Direction::HostToDevice,
-                    TransferKind::Placement,
-                    bytes,
-                    None,
-                    false,
-                );
-                self.tracer.emit(TraceEvent::CacheInsert { key, bytes, at: self.now });
-            }
-        }
-
-        // Closed loop: the session submits its next query.
-        if let Some(plan) = self.sessions[session].pop_front() {
-            self.admission_queue.push_back((session, plan, self.now));
-        }
-        self.process_admissions()?;
-        Ok(())
-    }
-}
-
 /// Postorder `(input_bytes, output_bytes)` estimates aligned with
-/// [`flatten`]'s task order.
-fn postorder_estimates(plan: &PlanNode, db: &Database) -> Vec<(f64, f64)> {
+/// [`crate::exec::task::flatten`]'s task order.
+pub(crate) fn postorder_estimates(plan: &PlanNode, db: &Database) -> Vec<(f64, f64)> {
     fn rec(node: &PlanNode, db: &Database, out: &mut Vec<(f64, f64)>) {
         for c in node.children() {
             rec(c, db, out);
@@ -1391,321 +206,4 @@ fn postorder_estimates(plan: &PlanNode, db: &Database) -> Vec<(f64, f64)> {
     let mut out = Vec::new();
     rec(plan, db, &mut out);
     out
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-    use crate::exec::policy::{CpuOnlyPolicy, Placement};
-    use crate::expr::Expr;
-    use crate::ops;
-    use crate::plan::AggSpec;
-    use crate::predicate::Predicate;
-    use robustq_storage::gen::ssb::SsbGenerator;
-
-    fn db() -> Database {
-        SsbGenerator::new(1).with_rows_per_sf(2_000).generate()
-    }
-
-    fn q11_like() -> PlanNode {
-        PlanNode::scan("lineorder", ["lo_orderdate", "lo_extendedprice", "lo_discount"])
-            .filter(Predicate::and([
-                Predicate::between("lo_discount", 1, 3),
-                Predicate::cmp("lo_quantity", crate::predicate::CmpOp::Lt, 25),
-            ]))
-            .join(
-                PlanNode::scan("date", ["d_datekey"])
-                    .filter(Predicate::eq("d_year", 1993)),
-                "lo_orderdate",
-                "d_datekey",
-            )
-            .aggregate(
-                [] as [&str; 0],
-                vec![AggSpec::sum(
-                    Expr::col("lo_extendedprice") * Expr::col("lo_discount"),
-                    "revenue",
-                )],
-            )
-    }
-
-    /// A policy that pins everything to the GPU (compile time), like the
-    /// paper's GPU-Only reference heuristic.
-    struct GpuAll;
-    impl PlacementPolicy for GpuAll {
-        fn name(&self) -> &'static str {
-            "gpu-all"
-        }
-        fn plan_query(
-            &mut self,
-            tasks: &[TaskInfo],
-            _ctx: &PolicyCtx,
-        ) -> Vec<Option<Placement>> {
-            vec![Some(Placement::fixed(DeviceId::Gpu)); tasks.len()]
-        }
-    }
-
-    #[test]
-    fn cpu_only_run_produces_correct_result() {
-        let db = db();
-        let plan = q11_like();
-        let expected = ops::execute_plan(&plan, &db).unwrap();
-
-        let exec = Executor::new(&db, SimConfig::default());
-        let mut policy = CpuOnlyPolicy;
-        let opts = ExecOptions { capture_results: true, ..Default::default() };
-        let out = exec.run(vec![vec![plan]], &mut policy, &opts).unwrap();
-        assert_eq!(out.outcomes.len(), 1);
-        let res = out.outcomes[0].result.as_ref().unwrap();
-        assert_eq!(res.checksum(), expected.checksum());
-        assert!(out.metrics.makespan > VirtualTime::ZERO);
-        assert_eq!(out.metrics.h2d_bytes, 0, "CPU-only must not touch the bus");
-        assert_eq!(out.metrics.aborts, 0);
-        assert_eq!(out.metrics.ops_completed[DeviceId::Gpu], 0);
-    }
-
-    #[test]
-    fn gpu_run_same_result_and_pays_transfers() {
-        let db = db();
-        let plan = q11_like();
-        let expected = ops::execute_plan(&plan, &db).unwrap();
-
-        let exec = Executor::new(&db, SimConfig::default());
-        let mut policy = GpuAll;
-        let opts = ExecOptions { capture_results: true, ..Default::default() };
-        let out = exec.run(vec![vec![plan]], &mut policy, &opts).unwrap();
-        let res = out.outcomes[0].result.as_ref().unwrap();
-        assert_eq!(res.checksum(), expected.checksum());
-        assert!(out.metrics.h2d_bytes > 0, "cold GPU run must transfer inputs");
-        assert!(out.metrics.d2h_bytes > 0, "result must return to host");
-        assert!(out.metrics.ops_completed[DeviceId::Gpu] > 0);
-    }
-
-    #[test]
-    fn hot_cache_is_faster_than_cold() {
-        let db = db();
-        let plan = q11_like();
-        let exec = Executor::new(&db, SimConfig::default());
-
-        let cold = exec
-            .run(vec![vec![plan.clone()]], &mut GpuAll, &ExecOptions::default())
-            .unwrap();
-
-        // Preload every base column the query touches.
-        let preload: Vec<ColumnId> = [
-            ("lineorder", "lo_orderdate"),
-            ("lineorder", "lo_extendedprice"),
-            ("lineorder", "lo_discount"),
-            ("lineorder", "lo_quantity"),
-            ("date", "d_datekey"),
-            ("date", "d_year"),
-        ]
-        .iter()
-        .map(|(t, c)| db.column_id(t, c).unwrap())
-        .collect();
-        let hot = exec
-            .run(
-                vec![vec![plan]],
-                &mut GpuAll,
-                &ExecOptions { preload, ..Default::default() },
-            )
-            .unwrap();
-        assert!(
-            hot.metrics.makespan < cold.metrics.makespan,
-            "hot {} !< cold {}",
-            hot.metrics.makespan,
-            cold.metrics.makespan
-        );
-    }
-
-    #[test]
-    fn tiny_gpu_heap_forces_cpu_fallback_with_correct_results() {
-        let db = db();
-        let plan = q11_like();
-        let expected = ops::execute_plan(&plan, &db).unwrap();
-
-        // Heap too small for any operator: everything aborts to the CPU.
-        let config = SimConfig::default().with_gpu_memory(64 * 1024).with_gpu_cache(0);
-        let exec = Executor::new(&db, config);
-        let opts = ExecOptions { capture_results: true, ..Default::default() };
-        let out = exec.run(vec![vec![plan]], &mut GpuAll, &opts).unwrap();
-        assert!(out.metrics.aborts > 0);
-        assert!(out.metrics.wasted_time >= VirtualTime::ZERO);
-        let res = out.outcomes[0].result.as_ref().unwrap();
-        assert_eq!(res.checksum(), expected.checksum());
-        // The heavy operators fell back to the CPU (tiny ones may fit).
-        assert!(out.metrics.ops_completed[DeviceId::Cpu] >= out.metrics.aborts);
-    }
-
-    #[test]
-    fn multi_session_closed_loop_runs_all_queries() {
-        let db = db();
-        let sessions: Vec<Vec<PlanNode>> =
-            (0..3).map(|_| vec![q11_like(), q11_like()]).collect();
-        let exec = Executor::new(&db, SimConfig::default());
-        let out = exec
-            .run(sessions, &mut CpuOnlyPolicy, &ExecOptions::default())
-            .unwrap();
-        assert_eq!(out.outcomes.len(), 6);
-        assert_eq!(out.metrics.queries, 6);
-        // All six results identical (same query).
-        let first = out.outcomes[0].checksum;
-        assert!(out.outcomes.iter().all(|o| o.checksum == first));
-    }
-
-    #[test]
-    fn admission_control_serializes_queries() {
-        let db = db();
-        let sessions: Vec<Vec<PlanNode>> = (0..4).map(|_| vec![q11_like()]).collect();
-        let exec = Executor::new(&db, SimConfig::default());
-
-        let free = exec
-            .run(sessions.clone(), &mut GpuAll, &ExecOptions::default())
-            .unwrap();
-        let gated = exec
-            .run(
-                sessions,
-                &mut GpuAll,
-                &ExecOptions { max_concurrent_queries: 1, ..Default::default() },
-            )
-            .unwrap();
-        assert_eq!(gated.outcomes.len(), 4);
-        // Serialized execution cannot be faster than concurrent admission
-        // when no contention exists at this scale.
-        assert!(gated.metrics.makespan >= free.metrics.makespan);
-    }
-
-    #[test]
-    fn zero_queries_complete_immediately() {
-        let db = db();
-        let exec = Executor::new(&db, SimConfig::default());
-        let out = exec
-            .run(vec![], &mut CpuOnlyPolicy, &ExecOptions::default())
-            .unwrap();
-        assert!(out.outcomes.is_empty());
-        assert_eq!(out.metrics.makespan, VirtualTime::ZERO);
-        // Sessions that exist but hold no queries behave the same.
-        let out = exec
-            .run(vec![vec![], vec![]], &mut CpuOnlyPolicy, &ExecOptions::default())
-            .unwrap();
-        assert!(out.outcomes.is_empty());
-    }
-
-    #[test]
-    fn single_operator_plan_runs() {
-        let db = db();
-        let plan = PlanNode::scan("date", ["d_year"]);
-        let exec = Executor::new(&db, SimConfig::default());
-        let opts = ExecOptions { capture_results: true, ..Default::default() };
-        let out = exec.run(vec![vec![plan]], &mut GpuAll, &opts).unwrap();
-        assert_eq!(out.outcomes[0].rows, 7 * 365);
-        assert!(out.metrics.d2h_bytes > 0, "root result returns to host");
-    }
-
-    #[test]
-    fn deep_select_chain_executes_in_order() {
-        let db = db();
-        // Ten stacked range filters that progressively narrow.
-        let mut plan = PlanNode::scan("lineorder", ["lo_quantity"]);
-        for hi in (25..35).rev() {
-            plan = plan.filter(Predicate::cmp(
-                "lo_quantity",
-                crate::predicate::CmpOp::Lt,
-                hi,
-            ));
-        }
-        let expected = ops::execute_plan(&plan, &db).unwrap();
-        let exec = Executor::new(&db, SimConfig::default());
-        let opts = ExecOptions { capture_results: true, ..Default::default() };
-        let out = exec.run(vec![vec![plan]], &mut GpuAll, &opts).unwrap();
-        let res = out.outcomes[0].result.as_ref().unwrap();
-        assert_eq!(res.checksum(), expected.checksum());
-    }
-
-    #[test]
-    fn results_not_captured_by_default() {
-        let db = db();
-        let exec = Executor::new(&db, SimConfig::default());
-        let out = exec
-            .run(vec![vec![q11_like()]], &mut CpuOnlyPolicy, &ExecOptions::default())
-            .unwrap();
-        assert!(out.outcomes[0].result.is_none());
-        assert!(out.outcomes[0].rows > 0 || out.outcomes[0].checksum == 0);
-    }
-
-    #[test]
-    fn placement_period_zero_never_updates() {
-        // A data-driven-style policy that would pin on update must never
-        // be invoked with period 0.
-        struct CountingPolicy(u32);
-        impl PlacementPolicy for CountingPolicy {
-            fn name(&self) -> &'static str {
-                "counting"
-            }
-            fn update_data_placement(
-                &mut self,
-                _db: &Database,
-                _cache: &mut robustq_sim::DataCache,
-            ) -> Vec<CacheKey> {
-                self.0 += 1;
-                Vec::new()
-            }
-        }
-        let db = db();
-        let exec = Executor::new(&db, SimConfig::default());
-        let mut policy = CountingPolicy(0);
-        let opts = ExecOptions { placement_update_period: 0, ..Default::default() };
-        exec.run(
-            vec![vec![q11_like(), q11_like()]],
-            &mut policy,
-            &opts,
-        )
-        .unwrap();
-        // Only the free run-start call, no periodic invocations.
-        assert_eq!(policy.0, 1);
-    }
-
-    #[test]
-    fn deterministic_runs() {
-        let db = db();
-        let exec = Executor::new(&db, SimConfig::default());
-        let sessions: Vec<Vec<PlanNode>> = (0..2).map(|_| vec![q11_like()]).collect();
-        let a = exec
-            .run(sessions.clone(), &mut GpuAll, &ExecOptions::default())
-            .unwrap();
-        let b = exec.run(sessions, &mut GpuAll, &ExecOptions::default()).unwrap();
-        assert_eq!(a.metrics.makespan, b.metrics.makespan);
-        assert_eq!(a.metrics.h2d_bytes, b.metrics.h2d_bytes);
-        assert_eq!(a.metrics.aborts, b.metrics.aborts);
-    }
-
-    #[test]
-    fn tracing_does_not_change_metrics_and_reconciles() {
-        let db = db();
-        let exec = Executor::new(&db, SimConfig::default());
-        let sessions: Vec<Vec<PlanNode>> = (0..2).map(|_| vec![q11_like()]).collect();
-
-        let untraced = exec
-            .run(sessions.clone(), &mut GpuAll, &ExecOptions::default())
-            .unwrap();
-
-        let tracer = Tracer::new();
-        let opts = ExecOptions { tracer: tracer.clone(), ..Default::default() };
-        let traced = exec.run(sessions, &mut GpuAll, &opts).unwrap();
-
-        // Observing the run must not perturb it.
-        assert_eq!(traced.metrics, untraced.metrics);
-
-        let data = tracer.snapshot();
-        assert_eq!(data.dropped, 0, "default ring must not overflow here");
-        assert!(!data.events.is_empty());
-        // The full metrics struct re-derives from the event stream alone.
-        assert_eq!(RunMetrics::from_events(&data.events), traced.metrics);
-        // Every placed operator produced a placement-decision record.
-        let placements = data
-            .events
-            .iter()
-            .filter(|e| matches!(e, TraceEvent::Placement { .. }))
-            .count();
-        assert!(placements > 0, "compile-time placements must be traced");
-    }
 }

@@ -111,10 +111,13 @@ pub struct RunMetrics {
 }
 
 impl RunMetrics {
-    /// Record one completed operator.
+    /// Record one completed operator. The per-device tables grow on
+    /// demand so the same path serves the executor (topology-sized
+    /// tables) and event-stream re-derivation (tables learned from the
+    /// data); padded equality makes the two comparable.
     pub(crate) fn record_op(&mut self, device: DeviceId, busy: VirtualTime) {
-        self.device_busy[device] += busy;
-        self.ops_completed[device] += 1;
+        *self.device_busy.get_mut_or_grow(device) += busy;
+        *self.ops_completed.get_mut_or_grow(device) += 1;
     }
 
     /// Total transfer service time in both directions.
@@ -126,7 +129,9 @@ impl RunMetrics {
     /// By construction `wasted_time <= total_device_time()` — the
     /// metrics-consistency invariant the chaos harness checks.
     pub fn total_device_time(&self) -> VirtualTime {
-        self.device_busy[DeviceId::Cpu] + self.device_busy[DeviceId::Gpu] + self.wasted_time
+        self.device_busy
+            .values()
+            .fold(self.wasted_time, |acc, &t| acc + t)
     }
 
     /// Mean query latency over `outcomes`.
@@ -147,7 +152,10 @@ impl RunMetrics {
     /// differential suite.
     pub fn from_events(events: &[TraceEvent]) -> RunMetrics {
         let mut m = RunMetrics::default();
-        let mut last_heap_used = None;
+        // Last reported heap occupancy per co-processor: the leak figure
+        // sums them, the peak is the largest single-device occupancy seen
+        // (each device has its own heap).
+        let mut last_heap_used: PerDevice<u64> = PerDevice::empty();
         for ev in events {
             match *ev {
                 TraceEvent::QueryDone { end, .. } => {
@@ -189,13 +197,15 @@ impl RunMetrics {
                         m.cache_misses += 1;
                     }
                 }
-                TraceEvent::HeapAlloc { ok, used, .. } => {
+                TraceEvent::HeapAlloc { device, ok, used, .. } => {
                     if ok {
                         m.gpu_heap_peak = m.gpu_heap_peak.max(used);
-                        last_heap_used = Some(used);
+                        *last_heap_used.get_mut_or_grow(device) = used;
                     }
                 }
-                TraceEvent::HeapFree { used, .. } => last_heap_used = Some(used),
+                TraceEvent::HeapFree { device, used, .. } => {
+                    *last_heap_used.get_mut_or_grow(device) = used;
+                }
                 TraceEvent::Fault { kind, .. } => {
                     m.faults.injected += 1;
                     m.fault_stats.injected += 1;
@@ -218,7 +228,7 @@ impl RunMetrics {
                 | TraceEvent::Placement { .. } => {}
             }
         }
-        m.gpu_heap_leaked = last_heap_used.unwrap_or(0);
+        m.gpu_heap_leaked = last_heap_used.values().sum();
         m
     }
 }
@@ -298,6 +308,7 @@ mod tests {
                 outcome: OpOutcome::Aborted { injected: true },
             },
             TraceEvent::Transfer {
+                device: DeviceId::Gpu,
                 dir: Direction::HostToDevice,
                 kind: robustq_trace::TransferKind::Input,
                 query: 0,
@@ -308,8 +319,15 @@ mod tests {
                 faulted: false,
                 waste: VirtualTime::ZERO,
             },
-            TraceEvent::HeapAlloc { tag: 0, bytes: 64, used: 64, ok: true, at: t(0) },
-            TraceEvent::HeapFree { tag: 0, bytes: 64, used: 0, at: t(5) },
+            TraceEvent::HeapAlloc {
+                device: DeviceId::Gpu,
+                tag: 0,
+                bytes: 64,
+                used: 64,
+                ok: true,
+                at: t(0),
+            },
+            TraceEvent::HeapFree { device: DeviceId::Gpu, tag: 0, bytes: 64, used: 0, at: t(5) },
             TraceEvent::Fault { kind: FaultKind::KernelAbort, query: 0, at: t(4) },
             TraceEvent::QueryDone { query: 0, session: 0, seq: 0, submit: t(0), end: t(6), rows: 8 },
         ];
@@ -330,5 +348,28 @@ mod tests {
         assert_eq!(m.gpu_heap_leaked, 0);
         assert_eq!(m.fault_stats.kernel_aborts, 1);
         assert_eq!(m.fault_stats.injected, 1);
+    }
+
+    #[test]
+    fn from_events_tracks_heaps_per_device() {
+        let t = VirtualTime::from_micros;
+        let g2 = DeviceId::coprocessor(2);
+        let events = vec![
+            TraceEvent::HeapAlloc {
+                device: DeviceId::Gpu,
+                tag: 0,
+                bytes: 100,
+                used: 100,
+                ok: true,
+                at: t(0),
+            },
+            TraceEvent::HeapAlloc { device: g2, tag: 2, bytes: 70, used: 70, ok: true, at: t(1) },
+            TraceEvent::HeapFree { device: DeviceId::Gpu, tag: 0, bytes: 60, used: 40, at: t(2) },
+        ];
+        let m = RunMetrics::from_events(&events);
+        // Peak is the largest single-device occupancy, not the fleet sum.
+        assert_eq!(m.gpu_heap_peak, 100);
+        // Leaked bytes sum across every device's heap: 40 + 70.
+        assert_eq!(m.gpu_heap_leaked, 110);
     }
 }

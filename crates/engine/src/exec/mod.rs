@@ -8,13 +8,22 @@
 //! * [`pipeline`] — the pipeline-fusion pass: filter→aggregate and
 //!   filter→probe chains in the flattened task list run as one fused
 //!   morsel loop, materializing only at pipeline breakers,
-//! * [`executor`] — the event loop: per-device ready queues and worker
-//!   slots, input transfers over the simulated link, staged heap
-//!   allocation with operator aborts and CPU fallback, closed-loop
-//!   multi-session workloads, and optional query admission control.
+//! * [`executor`] — the thin public facade ([`executor::Executor`],
+//!   [`executor::ExecOptions`]) over the layered runtime:
+//!   * [`event_loop`] — the discrete-event core driving virtual time,
+//!   * [`device_rt`] — per-device worker slots and FIFO ready queues,
+//!   * [`transfer`] — interconnect staging and column-cache consults,
+//!   * [`memory`] — staged heap allocation, operator aborts, restarts,
+//!   * [`admission`] — session lifecycle and query admission control.
 
+pub mod admission;
+pub mod device_rt;
+#[path = "loop.rs"]
+pub mod event_loop;
 pub mod executor;
+pub mod memory;
 pub mod metrics;
 pub mod pipeline;
 pub mod policy;
 pub mod task;
+pub mod transfer;

@@ -12,25 +12,33 @@
 //! 3. **operator completion** — [`PlacementPolicy::observe`] feeds the
 //!    learned cost models, and periodically
 //!    [`PlacementPolicy::update_data_placement`] lets a data-driven
-//!    strategy re-pin the co-processor cache (Section 3.2, Algorithm 1).
+//!    strategy re-pin the co-processor caches (Section 3.2, Algorithm 1).
 //!
 //! Policies return [`Placement`] records — the chosen device *plus* the
 //! per-device cost estimates and the reason behind the pick — so the
 //! tracer can emit a placement-decision event for every placed operator
 //! without re-deriving the policy's internal state.
+//!
+//! Policies see the whole machine through [`PolicyCtx`]: the
+//! [`Topology`] (1 CPU + K co-processors), one column cache and one
+//! heap-free figure per co-processor, and per-device load signals.
+//! Nothing in the interface assumes K = 1; strategies rank candidate
+//! devices by iterating [`PolicyCtx::devices`].
 
-use robustq_sim::{CacheKey, DataCache, DeviceId, OpClass, PerDevice, VirtualTime};
+use robustq_sim::{
+    CacheKey, CacheSet, DataCache, DeviceId, OpClass, PerDevice, Topology, VirtualTime,
+};
 use robustq_storage::{ColumnId, Database};
 pub use robustq_trace::PlaceReason;
 
 /// A placement decision: the chosen device annotated with the evidence
 /// behind it (estimated per-device cost and a categorical reason).
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Placement {
     /// The device the operator should run on.
     pub device: DeviceId,
-    /// Estimated runtime per device. Strategies without a cost model
-    /// report [`VirtualTime::ZERO`] for both.
+    /// Estimated runtime per device, in dense device order. Strategies
+    /// without a cost model leave this empty (read back as `ZERO`).
     pub est: PerDevice<VirtualTime>,
     /// Why this device was picked.
     pub reason: PlaceReason,
@@ -41,7 +49,7 @@ impl Placement {
     pub fn fixed(device: DeviceId) -> Self {
         Placement {
             device,
-            est: PerDevice::splat(VirtualTime::ZERO),
+            est: PerDevice::empty(),
             reason: PlaceReason::Static,
         }
     }
@@ -92,24 +100,59 @@ pub struct TaskInfo {
 pub struct PolicyCtx<'a> {
     /// The database being queried.
     pub db: &'a Database,
-    /// The co-processor column cache (residency checks).
-    pub cache: &'a DataCache,
+    /// The machine's device and link tables.
+    pub topology: &'a Topology,
+    /// One column cache per co-processor (residency checks).
+    pub caches: &'a CacheSet,
     /// Estimated outstanding work queued per device — HyPE's load
     /// tracking signal (Section 5.2).
     pub queued_work: PerDevice<VirtualTime>,
     /// Operators currently running per device.
     pub running: PerDevice<usize>,
-    /// Free bytes of the co-processor heap.
-    pub gpu_heap_free: u64,
+    /// Free heap bytes per device (`u64::MAX` for the CPU's unbounded
+    /// host memory).
+    pub heap_free: PerDevice<u64>,
     /// Current virtual time.
     pub now: VirtualTime,
 }
 
 impl PolicyCtx<'_> {
-    /// True if every base column in `cols` is resident in the
-    /// co-processor cache.
-    pub fn all_cached(&self, cols: &[ColumnId]) -> bool {
-        cols.iter().all(|c| self.cache.contains(CacheKey(c.0 as u64)))
+    /// All device ids, CPU first.
+    pub fn devices(&self) -> impl Iterator<Item = DeviceId> + '_ {
+        self.topology.devices()
+    }
+
+    /// The co-processor ids, in dense order.
+    pub fn coprocessors(&self) -> impl Iterator<Item = DeviceId> + '_ {
+        self.topology.coprocessors()
+    }
+
+    /// The column cache of co-processor `device`.
+    pub fn cache(&self, device: DeviceId) -> &DataCache {
+        self.caches.device(device)
+    }
+
+    /// True if every base column in `cols` is resident in `device`'s
+    /// cache (vacuously true for an empty list).
+    pub fn all_cached_on(&self, device: DeviceId, cols: &[ColumnId]) -> bool {
+        cols.iter().all(|c| self.caches.device(device).contains(CacheKey(c.0 as u64)))
+    }
+
+    /// The first co-processor whose cache holds *all* of `cols`, or
+    /// `None` when no device does (or `cols` is empty — an empty input
+    /// set carries no residency signal).
+    pub fn cached_device(&self, cols: &[ColumnId]) -> Option<DeviceId> {
+        if cols.is_empty() {
+            return None;
+        }
+        self.coprocessors().find(|&d| self.all_cached_on(d, cols))
+    }
+
+    /// The co-processor with the least queued work (ties: lowest
+    /// index), or `None` on a CPU-only topology.
+    pub fn least_loaded_coprocessor(&self) -> Option<DeviceId> {
+        self.coprocessors()
+            .min_by_key(|&d| (self.queued_work.get_padded(d), d))
     }
 }
 
@@ -145,7 +188,7 @@ pub trait PlacementPolicy {
 
     /// Whether a co-processor scan inserts missing columns into the cache
     /// (operator-driven data placement). Data-driven strategies return
-    /// `false`: only the placement manager writes the cache.
+    /// `false`: only the placement manager writes the caches.
     fn caches_on_miss(&self) -> bool {
         true
     }
@@ -164,14 +207,14 @@ pub trait PlacementPolicy {
     }
 
     /// Periodic data-placement update (the background job of Section 3.2).
-    /// May re-pin the cache; returns the keys newly cached so the executor
-    /// can charge their transfer time.
+    /// May re-pin any co-processor cache; returns `(device, key)` pairs
+    /// newly cached so the executor can charge each link's transfer time.
     fn update_data_placement(
         &mut self,
         db: &Database,
-        cache: &mut DataCache,
-    ) -> Vec<CacheKey> {
-        let _ = (db, cache);
+        caches: &mut CacheSet,
+    ) -> Vec<(DeviceId, CacheKey)> {
+        let _ = (db, caches);
         Vec::new()
     }
 }
@@ -193,7 +236,42 @@ impl PlacementPolicy for CpuOnlyPolicy {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use robustq_sim::CachePolicy;
+    use robustq_sim::{CachePolicy, DeviceSpec, LinkParams};
+
+    fn topology() -> Topology {
+        Topology::cpu_gpu(
+            DeviceSpec::cpu(4),
+            DeviceSpec::coprocessor(4, 1_000, 500),
+            LinkParams::default(),
+        )
+    }
+
+    fn ctx<'a>(db: &'a Database, topology: &'a Topology, caches: &'a CacheSet) -> PolicyCtx<'a> {
+        PolicyCtx {
+            db,
+            topology,
+            caches,
+            queued_work: PerDevice::splat(VirtualTime::ZERO, topology.device_count()),
+            running: PerDevice::splat(0, topology.device_count()),
+            heap_free: PerDevice::splat(0, topology.device_count()),
+            now: VirtualTime::ZERO,
+        }
+    }
+
+    fn info() -> TaskInfo {
+        TaskInfo {
+            query: 0,
+            task: 0,
+            op_class: OpClass::Selection,
+            base_columns: vec![],
+            bytes_in: 0,
+            bytes_out_estimate: 0,
+            children_devices: vec![],
+            children_bytes: vec![],
+            children_tasks: vec![],
+            was_aborted: false,
+        }
+    }
 
     #[test]
     fn default_trait_methods() {
@@ -205,33 +283,18 @@ mod tests {
         }
         let mut p = Noop;
         let db = Database::new();
-        let cache = DataCache::new(0, CachePolicy::Lru);
-        let ctx = PolicyCtx {
-            db: &db,
-            cache: &cache,
-            queued_work: PerDevice::splat(VirtualTime::ZERO),
-            running: PerDevice::splat(0),
-            gpu_heap_free: 0,
-            now: VirtualTime::ZERO,
-        };
-        let info = TaskInfo {
-            query: 0,
-            task: 0,
-            op_class: OpClass::Selection,
-            base_columns: vec![],
-            bytes_in: 0,
-            bytes_out_estimate: 0,
-            children_devices: vec![],
-            children_bytes: vec![],
-            children_tasks: vec![],
-            was_aborted: false,
-        };
+        let t = topology();
+        let caches = CacheSet::for_topology(&t, CachePolicy::Lru);
+        let ctx = ctx(&db, &t, &caches);
+        let info = info();
         assert_eq!(p.plan_query(std::slice::from_ref(&info), &ctx), vec![None]);
         let placed = p.place_ready(&info, &ctx);
         assert_eq!(placed.device, DeviceId::Cpu);
         assert_eq!(placed.reason, PlaceReason::Static);
         assert_eq!(p.worker_slots(DeviceId::Gpu, 4), usize::MAX);
         assert!(p.caches_on_miss());
+        let mut caches2 = CacheSet::for_topology(&t, CachePolicy::Lru);
+        assert!(p.update_data_placement(&db, &mut caches2).is_empty());
     }
 
     #[test]
@@ -241,58 +304,58 @@ mod tests {
         assert_eq!(p.device, DeviceId::Gpu);
         assert_eq!(p.est[DeviceId::Cpu], VirtualTime::from_micros(10));
         assert_eq!(p.reason, PlaceReason::CostModel);
-        let q = p.because(PlaceReason::HeapPressure);
+        let q = p.clone().because(PlaceReason::HeapPressure);
         assert_eq!(q.reason, PlaceReason::HeapPressure);
         assert_eq!(q.est, p.est);
+        // The empty estimate table equals an all-zero one (padded
+        // equality), so "no cost model" placements compare stable.
         assert_eq!(
             Placement::fixed(DeviceId::Cpu).est,
-            PerDevice::splat(VirtualTime::ZERO)
+            PerDevice::splat(VirtualTime::ZERO, 2)
         );
     }
 
     #[test]
-    fn all_cached_checks_every_column() {
+    fn residency_helpers_are_per_device() {
         let db = Database::new();
-        let mut cache = DataCache::new(100, CachePolicy::Lru);
-        cache.insert(CacheKey(1), 10);
-        let ctx = PolicyCtx {
-            db: &db,
-            cache: &cache,
-            queued_work: PerDevice::splat(VirtualTime::ZERO),
-            running: PerDevice::splat(0),
-            gpu_heap_free: 0,
-            now: VirtualTime::ZERO,
-        };
-        assert!(ctx.all_cached(&[ColumnId(1)]));
-        assert!(!ctx.all_cached(&[ColumnId(1), ColumnId(2)]));
-        assert!(ctx.all_cached(&[]));
+        let t = topology().with_coprocessor(
+            DeviceSpec::coprocessor(4, 1_000, 500),
+            LinkParams::default(),
+        );
+        let mut caches = CacheSet::for_topology(&t, CachePolicy::Lru);
+        let g2 = DeviceId::coprocessor(2);
+        caches.device_mut(g2).insert(CacheKey(1), 10);
+        let ctx = ctx(&db, &t, &caches);
+        assert!(!ctx.all_cached_on(DeviceId::Gpu, &[ColumnId(1)]));
+        assert!(ctx.all_cached_on(g2, &[ColumnId(1)]));
+        assert_eq!(ctx.cached_device(&[ColumnId(1)]), Some(g2));
+        assert_eq!(ctx.cached_device(&[ColumnId(1), ColumnId(2)]), None);
+        assert_eq!(ctx.cached_device(&[]), None, "empty set has no residency signal");
+        assert!(ctx.all_cached_on(DeviceId::Gpu, &[]));
+    }
+
+    #[test]
+    fn least_loaded_coprocessor_breaks_ties_low() {
+        let db = Database::new();
+        let t = topology().with_coprocessor(
+            DeviceSpec::coprocessor(4, 1_000, 500),
+            LinkParams::default(),
+        );
+        let caches = CacheSet::for_topology(&t, CachePolicy::Lru);
+        let mut c = ctx(&db, &t, &caches);
+        assert_eq!(c.least_loaded_coprocessor(), Some(DeviceId::Gpu));
+        c.queued_work[DeviceId::Gpu] = VirtualTime::from_micros(10);
+        assert_eq!(c.least_loaded_coprocessor(), Some(DeviceId::coprocessor(2)));
     }
 
     #[test]
     fn cpu_only_pins_everything_to_cpu() {
         let mut p = CpuOnlyPolicy;
         let db = Database::new();
-        let cache = DataCache::new(0, CachePolicy::Lru);
-        let ctx = PolicyCtx {
-            db: &db,
-            cache: &cache,
-            queued_work: PerDevice::splat(VirtualTime::ZERO),
-            running: PerDevice::splat(0),
-            gpu_heap_free: 0,
-            now: VirtualTime::ZERO,
-        };
-        let info = TaskInfo {
-            query: 0,
-            task: 0,
-            op_class: OpClass::HashJoin,
-            base_columns: vec![],
-            bytes_in: 100,
-            bytes_out_estimate: 10,
-            children_devices: vec![],
-            children_bytes: vec![],
-            children_tasks: vec![],
-            was_aborted: false,
-        };
+        let t = topology();
+        let caches = CacheSet::for_topology(&t, CachePolicy::Lru);
+        let ctx = ctx(&db, &t, &caches);
+        let info = info();
         assert_eq!(
             p.plan_query(&[info.clone(), info], &ctx),
             vec![Some(Placement::fixed(DeviceId::Cpu)); 2]

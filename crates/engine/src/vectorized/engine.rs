@@ -100,19 +100,18 @@ impl<'a> VectorizedEngine<'a> {
             base_bytes += s.base_bytes;
         }
 
-        let (time, transfer_time) = match device {
-            DeviceId::Cpu => (compute, VirtualTime::ZERO),
-            DeviceId::Gpu => {
-                let transfer = if cached {
-                    VirtualTime::ZERO
-                } else {
-                    self.config.link.service_time(base_bytes)
-                };
-                let result_back =
-                    self.config.link.service_time(result.byte_size());
-                // Streamed vectors overlap transfer and compute.
-                (compute.max(transfer) + result_back, transfer + result_back)
-            }
+        let (time, transfer_time) = if device == DeviceId::Cpu {
+            (compute, VirtualTime::ZERO)
+        } else {
+            let link = self.config.topology.link(device);
+            let transfer = if cached {
+                VirtualTime::ZERO
+            } else {
+                link.service_time(base_bytes)
+            };
+            let result_back = link.service_time(result.byte_size());
+            // Streamed vectors overlap transfer and compute.
+            (compute.max(transfer) + result_back, transfer + result_back)
         };
         Ok(VectorizedReport { time, transfer_time, result })
     }

@@ -275,6 +275,73 @@ impl DataCache {
     }
 }
 
+/// One [`DataCache`] per co-processor of a topology.
+///
+/// Callers that persist cache state across runs (the data-driven
+/// strategies warm their pins once per workload) hold a `CacheSet` and
+/// hand it to the executor, which routes every probe/insert to the
+/// cache of the device the operator landed on.
+#[derive(Debug, Clone)]
+pub struct CacheSet {
+    /// `caches[k]` belongs to co-processor `k + 1`.
+    caches: Vec<DataCache>,
+}
+
+impl CacheSet {
+    /// Empty caches sized from each co-processor's `cache_bytes`.
+    pub fn for_topology(topology: &crate::topology::Topology, policy: CachePolicy) -> Self {
+        CacheSet {
+            caches: topology
+                .coprocessors()
+                .map(|d| DataCache::new(topology.spec(d).cache_bytes, policy))
+                .collect(),
+        }
+    }
+
+    /// Number of caches (= co-processors).
+    pub fn len(&self) -> usize {
+        self.caches.len()
+    }
+
+    /// Whether the set holds no caches (CPU-only topology).
+    pub fn is_empty(&self) -> bool {
+        self.caches.is_empty()
+    }
+
+    /// The cache of co-processor `device`.
+    ///
+    /// # Panics
+    /// Panics for the CPU (it has no column cache) or an unknown device.
+    pub fn device(&self, device: crate::device::DeviceId) -> &DataCache {
+        assert!(device.is_coprocessor(), "the CPU has no column cache");
+        &self.caches[device.index() - 1]
+    }
+
+    /// Mutable access to co-processor `device`'s cache.
+    pub fn device_mut(&mut self, device: crate::device::DeviceId) -> &mut DataCache {
+        assert!(device.is_coprocessor(), "the CPU has no column cache");
+        &mut self.caches[device.index() - 1]
+    }
+
+    /// `(device, cache)` pairs in dense device order.
+    pub fn iter(&self) -> impl Iterator<Item = (crate::device::DeviceId, &DataCache)> {
+        self.caches
+            .iter()
+            .enumerate()
+            .map(|(i, c)| (crate::device::DeviceId::from_index(i + 1), c))
+    }
+
+    /// Mutable `(device, cache)` pairs in dense device order.
+    pub fn iter_mut(
+        &mut self,
+    ) -> impl Iterator<Item = (crate::device::DeviceId, &mut DataCache)> {
+        self.caches
+            .iter_mut()
+            .enumerate()
+            .map(|(i, c)| (crate::device::DeviceId::from_index(i + 1), c))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -396,5 +463,47 @@ mod tests {
         c.clear();
         assert!(c.is_empty());
         assert_eq!(c.used(), 0);
+    }
+
+    #[test]
+    fn cache_set_is_per_coprocessor() {
+        use crate::device::{DeviceId, DeviceSpec};
+        use crate::link::LinkParams;
+        use crate::topology::Topology;
+
+        let t = Topology::cpu_gpu(
+            DeviceSpec::cpu(4),
+            DeviceSpec::coprocessor(4, 1_000, 600),
+            LinkParams::default(),
+        )
+        .with_coprocessor(DeviceSpec::coprocessor(4, 1_000, 300), LinkParams::default());
+        let mut set = CacheSet::for_topology(&t, CachePolicy::Lru);
+        assert_eq!(set.len(), 2);
+        assert_eq!(set.device(DeviceId::Gpu).capacity(), 600);
+        assert_eq!(set.device(DeviceId::coprocessor(2)).capacity(), 300);
+
+        set.device_mut(DeviceId::Gpu).insert(k(1), 100);
+        assert!(set.device(DeviceId::Gpu).contains(k(1)));
+        assert!(!set.device(DeviceId::coprocessor(2)).contains(k(1)));
+        assert_eq!(
+            set.iter().map(|(d, _)| d).collect::<Vec<_>>(),
+            vec![DeviceId::Gpu, DeviceId::coprocessor(2)]
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "no column cache")]
+    fn cache_set_rejects_cpu() {
+        use crate::device::{DeviceId, DeviceSpec};
+        use crate::link::LinkParams;
+        use crate::topology::Topology;
+
+        let t = Topology::cpu_gpu(
+            DeviceSpec::cpu(1),
+            DeviceSpec::coprocessor(1, 100, 50),
+            LinkParams::default(),
+        );
+        let set = CacheSet::for_topology(&t, CachePolicy::Lru);
+        let _ = set.device(DeviceId::Cpu);
     }
 }

@@ -1,61 +1,73 @@
 //! Device descriptions.
+//!
+//! Since the N-device topology refactor the device count is *data*, not
+//! a type: [`DeviceId`] is a dense index into the machine's
+//! [`crate::topology::Topology`] (device 0 is always the host CPU,
+//! devices 1.. are co-processors), and [`PerDevice`] is a boxed slice
+//! sized by the topology rather than a fixed pair. The paper's testbed
+//! — one CPU, one GPU — is simply the K = 1 configuration and remains
+//! the default.
 
 use std::fmt;
 use std::ops::{Index, IndexMut};
 
-/// Identifier of a (co-)processor in the simulated machine.
+/// Identifier of a (co-)processor in the simulated machine: a dense
+/// index into the topology's device table.
 ///
-/// The machine layout mirrors the paper's testbed: one CPU and one
-/// co-processor, so a two-variant enum is both faithful and cheap. The
-/// placement strategies and the executor treat the set of devices
-/// generically through [`DeviceId::ALL`].
+/// Device 0 is always the host CPU (the fallback device for aborted
+/// co-processor operators); devices 1.. are co-processors. The named
+/// constants [`DeviceId::Cpu`] and [`DeviceId::Gpu`] denote the CPU and
+/// the *first* co-processor — the only two devices that exist in the
+/// default one-GPU machine.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
-pub enum DeviceId {
-    /// The host CPU.
-    Cpu,
-    /// The co-processor (the paper's GPU).
-    Gpu,
-}
+pub struct DeviceId(u16);
 
+#[allow(non_upper_case_globals)]
 impl DeviceId {
-    /// All devices in the simulated machine.
-    pub const ALL: [DeviceId; 2] = [DeviceId::Cpu, DeviceId::Gpu];
+    /// The host CPU (device 0).
+    pub const Cpu: DeviceId = DeviceId(0);
+    /// The first co-processor (device 1) — *the* GPU in the default
+    /// one-co-processor machine.
+    pub const Gpu: DeviceId = DeviceId(1);
 
-    /// The other device.
-    pub fn other(self) -> DeviceId {
-        match self {
-            DeviceId::Cpu => DeviceId::Gpu,
-            DeviceId::Gpu => DeviceId::Cpu,
-        }
+    /// The device at dense index `index` (0 = CPU, 1.. = co-processors).
+    pub fn from_index(index: usize) -> DeviceId {
+        DeviceId(u16::try_from(index).expect("device index fits u16"))
     }
 
-    /// Dense index (for per-device arrays).
+    /// The `ordinal`-th co-processor, 1-based: `coprocessor(1)` is
+    /// [`DeviceId::Gpu`].
+    pub fn coprocessor(ordinal: u16) -> DeviceId {
+        assert!(ordinal >= 1, "co-processor ordinals are 1-based");
+        DeviceId(ordinal)
+    }
+
+    /// Dense index (for per-device tables).
     pub fn index(self) -> usize {
-        match self {
-            DeviceId::Cpu => 0,
-            DeviceId::Gpu => 1,
-        }
+        self.0 as usize
     }
 
     /// The device's processor family.
     pub fn kind(self) -> DeviceKind {
-        match self {
-            DeviceId::Cpu => DeviceKind::Cpu,
-            DeviceId::Gpu => DeviceKind::CoProcessor,
+        if self.0 == 0 {
+            DeviceKind::Cpu
+        } else {
+            DeviceKind::CoProcessor
         }
     }
 
-    /// True for the co-processor.
+    /// True for co-processors (every device except the host CPU).
     pub fn is_coprocessor(self) -> bool {
-        matches!(self, DeviceId::Gpu)
+        self.0 != 0
     }
 }
 
 impl fmt::Display for DeviceId {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        match self {
-            DeviceId::Cpu => f.write_str("CPU"),
-            DeviceId::Gpu => f.write_str("GPU"),
+        match self.0 {
+            0 => f.write_str("CPU"),
+            1 => f.write_str("GPU"),
+            n => write!(f, "GPU{n}"),
         }
     }
 }
@@ -63,23 +75,56 @@ impl fmt::Display for DeviceId {
 /// One value per device, indexable by [`DeviceId`].
 ///
 /// Replaces bare `[T; 2]` fields plus `.index()` arithmetic at call
-/// sites: `busy[DeviceId::Gpu]` instead of `busy[DeviceId::Gpu.index()]`.
-/// The layout stays a plain fixed-size array, so the newtype is free.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash)]
-pub struct PerDevice<T>([T; 2]);
+/// sites: `busy[DeviceId::Gpu]` instead of `busy[1]`. Backed by a boxed
+/// slice sized by the topology, so the same code runs at any device
+/// count; an empty table stands for "no per-device values recorded".
+///
+/// Equality pads the shorter side with `T::default()`: a table grown
+/// lazily from an event stream compares equal to one sized eagerly by
+/// the topology as long as the untouched tail is all default.
+#[derive(Debug, Clone)]
+pub struct PerDevice<T>(Box<[T]>);
+
+impl<T> Default for PerDevice<T> {
+    fn default() -> Self {
+        PerDevice(Box::from([]))
+    }
+}
 
 impl<T> PerDevice<T> {
-    /// Construct from explicit CPU and co-processor values.
-    pub const fn new(cpu: T, gpu: T) -> Self {
-        PerDevice([cpu, gpu])
+    /// A table with no per-device values (grows on demand via
+    /// [`PerDevice::get_mut_or_grow`]).
+    pub fn empty() -> Self {
+        Self::default()
     }
 
-    /// The same value for every device.
-    pub fn splat(value: T) -> Self
+    /// Construct the default two-device table from explicit CPU and
+    /// (first) co-processor values.
+    pub fn new(cpu: T, gpu: T) -> Self {
+        PerDevice(Box::from([cpu, gpu]))
+    }
+
+    /// The same value for each of `devices` devices.
+    pub fn splat(value: T, devices: usize) -> Self
     where
         T: Clone,
     {
-        PerDevice([value.clone(), value])
+        PerDevice(vec![value; devices].into_boxed_slice())
+    }
+
+    /// Build a table of `devices` entries from a per-device function.
+    pub fn from_fn(devices: usize, mut f: impl FnMut(DeviceId) -> T) -> Self {
+        PerDevice((0..devices).map(|i| f(DeviceId::from_index(i))).collect())
+    }
+
+    /// Number of devices the table holds values for.
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    /// True if no per-device values are recorded.
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
     }
 
     /// The host CPU's value.
@@ -87,22 +132,68 @@ impl<T> PerDevice<T> {
         &self.0[0]
     }
 
-    /// The co-processor's value.
+    /// The first co-processor's value.
     pub fn gpu(&self) -> &T {
         &self.0[1]
     }
 
-    /// `(device, value)` pairs in [`DeviceId::ALL`] order.
+    /// The value for `device`, if the table extends that far.
+    pub fn get(&self, device: DeviceId) -> Option<&T> {
+        self.0.get(device.index())
+    }
+
+    /// The value for `device`, defaulting for devices past the end —
+    /// the read-side counterpart of [`PerDevice::get_mut_or_grow`].
+    pub fn get_padded(&self, device: DeviceId) -> T
+    where
+        T: Copy + Default,
+    {
+        self.0.get(device.index()).copied().unwrap_or_default()
+    }
+
+    /// Mutable access to `device`'s value, growing the table with
+    /// defaults as needed (for consumers that learn the device count
+    /// from the data, e.g. metric re-derivation from an event stream).
+    pub fn get_mut_or_grow(&mut self, device: DeviceId) -> &mut T
+    where
+        T: Default,
+    {
+        let i = device.index();
+        if i >= self.0.len() {
+            let mut v = std::mem::take(&mut self.0).into_vec();
+            v.resize_with(i + 1, T::default);
+            self.0 = v.into_boxed_slice();
+        }
+        &mut self.0[i]
+    }
+
+    /// `(device, value)` pairs in dense-index order.
     pub fn iter(&self) -> impl Iterator<Item = (DeviceId, &T)> {
-        DeviceId::ALL.into_iter().zip(self.0.iter())
+        self.0.iter().enumerate().map(|(i, v)| (DeviceId::from_index(i), v))
+    }
+
+    /// The values alone, in dense-index order.
+    pub fn values(&self) -> impl Iterator<Item = &T> {
+        self.0.iter()
     }
 
     /// Apply `f` per device, preserving the association.
-    pub fn map<U>(self, mut f: impl FnMut(T) -> U) -> PerDevice<U> {
-        let [cpu, gpu] = self.0;
-        PerDevice([f(cpu), f(gpu)])
+    pub fn map<U>(self, f: impl FnMut(T) -> U) -> PerDevice<U> {
+        PerDevice(self.0.into_vec().into_iter().map(f).collect())
     }
 }
+
+impl<T: PartialEq + Default> PartialEq for PerDevice<T> {
+    fn eq(&self, other: &Self) -> bool {
+        let n = self.0.len().max(other.0.len());
+        let pad = T::default();
+        (0..n).all(|i| {
+            self.0.get(i).unwrap_or(&pad) == other.0.get(i).unwrap_or(&pad)
+        })
+    }
+}
+
+impl<T: Eq + Default> Eq for PerDevice<T> {}
 
 impl<T> Index<DeviceId> for PerDevice<T> {
     type Output = T;
@@ -117,12 +208,6 @@ impl<T> IndexMut<DeviceId> for PerDevice<T> {
     }
 }
 
-impl<T> From<[T; 2]> for PerDevice<T> {
-    fn from(values: [T; 2]) -> Self {
-        PerDevice(values)
-    }
-}
-
 /// Processor family, used by the cost model.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum DeviceKind {
@@ -132,11 +217,10 @@ pub enum DeviceKind {
     CoProcessor,
 }
 
-/// Static description of one device.
+/// Static description of one device. Its identity is positional: the
+/// topology assigns ids by the order specs are registered.
 #[derive(Debug, Clone)]
 pub struct DeviceSpec {
-    /// Which device this describes.
-    pub id: DeviceId,
     /// Number of operators that may run concurrently on this device.
     ///
     /// This is the thread-pool bound of Section 5 ("query chopping");
@@ -148,16 +232,18 @@ pub struct DeviceSpec {
     /// Portion of `memory_bytes` reserved as the column cache; the rest is
     /// the operator heap (Section 2.1).
     pub cache_bytes: u64,
+    /// The processor family (decides which cost-model table applies).
+    pub kind: DeviceKind,
 }
 
 impl DeviceSpec {
     /// The host CPU: no device cache, unbounded memory.
     pub fn cpu(worker_slots: usize) -> Self {
         DeviceSpec {
-            id: DeviceId::Cpu,
             worker_slots,
             memory_bytes: u64::MAX,
             cache_bytes: 0,
+            kind: DeviceKind::Cpu,
         }
     }
 
@@ -171,7 +257,12 @@ impl DeviceSpec {
             cache_bytes <= memory_bytes,
             "cache ({cache_bytes}) larger than device memory ({memory_bytes})"
         );
-        DeviceSpec { id: DeviceId::Gpu, worker_slots, memory_bytes, cache_bytes }
+        DeviceSpec {
+            worker_slots,
+            memory_bytes,
+            cache_bytes,
+            kind: DeviceKind::CoProcessor,
+        }
     }
 
     /// Bytes available as operator heap.
@@ -185,13 +276,17 @@ mod tests {
     use super::*;
 
     #[test]
-    fn other_and_index() {
-        assert_eq!(DeviceId::Cpu.other(), DeviceId::Gpu);
-        assert_eq!(DeviceId::Gpu.other(), DeviceId::Cpu);
+    fn indices_and_kinds() {
         assert_eq!(DeviceId::Cpu.index(), 0);
         assert_eq!(DeviceId::Gpu.index(), 1);
+        assert_eq!(DeviceId::coprocessor(1), DeviceId::Gpu);
+        assert_eq!(DeviceId::coprocessor(3).index(), 3);
+        assert_eq!(DeviceId::from_index(2), DeviceId::coprocessor(2));
         assert!(DeviceId::Gpu.is_coprocessor());
+        assert!(DeviceId::coprocessor(4).is_coprocessor());
         assert!(!DeviceId::Cpu.is_coprocessor());
+        assert_eq!(DeviceId::Cpu.kind(), DeviceKind::Cpu);
+        assert_eq!(DeviceId::coprocessor(2).kind(), DeviceKind::CoProcessor);
     }
 
     #[test]
@@ -212,11 +307,13 @@ mod tests {
     fn display_names() {
         assert_eq!(DeviceId::Cpu.to_string(), "CPU");
         assert_eq!(DeviceId::Gpu.to_string(), "GPU");
+        assert_eq!(DeviceId::coprocessor(2).to_string(), "GPU2");
+        assert_eq!(DeviceId::coprocessor(4).to_string(), "GPU4");
     }
 
     #[test]
     fn per_device_indexing_and_iter() {
-        let mut v: PerDevice<u64> = PerDevice::default();
+        let mut v: PerDevice<u64> = PerDevice::splat(0, 2);
         v[DeviceId::Gpu] = 7;
         v[DeviceId::Cpu] += 3;
         assert_eq!(v[DeviceId::Cpu], 3);
@@ -225,8 +322,48 @@ mod tests {
             v.iter().collect::<Vec<_>>(),
             vec![(DeviceId::Cpu, &3), (DeviceId::Gpu, &7)]
         );
-        let doubled = v.map(|x| x * 2);
+        let doubled = v.clone().map(|x| x * 2);
         assert_eq!(doubled, PerDevice::new(6, 14));
-        assert_eq!(PerDevice::splat(5u32), PerDevice::from([5, 5]));
+        assert_eq!(PerDevice::splat(5u32, 2), PerDevice::new(5, 5));
+    }
+
+    #[test]
+    fn per_device_grows_and_pads() {
+        let mut v: PerDevice<u64> = PerDevice::empty();
+        assert!(v.is_empty());
+        assert_eq!(v.get_padded(DeviceId::coprocessor(2)), 0);
+        *v.get_mut_or_grow(DeviceId::coprocessor(2)) = 9;
+        assert_eq!(v.len(), 3);
+        assert_eq!(v.get_padded(DeviceId::coprocessor(2)), 9);
+        assert_eq!(v.get_padded(DeviceId::Gpu), 0);
+        assert_eq!(v.get(DeviceId::coprocessor(5)), None);
+    }
+
+    #[test]
+    fn equality_pads_with_defaults() {
+        let a: PerDevice<u64> = PerDevice::new(3, 7);
+        let mut b: PerDevice<u64> = PerDevice::splat(0, 4);
+        b[DeviceId::Cpu] = 3;
+        b[DeviceId::Gpu] = 7;
+        assert_eq!(a, b);
+        b[DeviceId::coprocessor(3)] = 1;
+        assert_ne!(a, b);
+        assert_eq!(PerDevice::<u64>::empty(), PerDevice::splat(0, 3));
+    }
+
+    #[test]
+    fn debug_format_matches_pair_layout() {
+        // The golden trace/metrics fingerprints print `PerDevice([..])`;
+        // the boxed-slice representation must keep that shape.
+        let v: PerDevice<u64> = PerDevice::new(1, 2);
+        assert_eq!(format!("{v:?}"), "PerDevice([1, 2])");
+    }
+
+    #[test]
+    fn from_fn_builds_dense_tables() {
+        let v = PerDevice::from_fn(3, |d| d.index() * 10);
+        assert_eq!(v[DeviceId::Cpu], 0);
+        assert_eq!(v[DeviceId::Gpu], 10);
+        assert_eq!(v[DeviceId::coprocessor(2)], 20);
     }
 }

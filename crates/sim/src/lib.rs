@@ -8,8 +8,10 @@
 //!
 //! * [`time::VirtualTime`] — a nanosecond-resolution virtual clock,
 //! * [`events::EventQueue`] — a deterministic discrete-event queue,
-//! * [`device`] — device descriptions (a CPU and a co-processor) with
-//!   worker slots,
+//! * [`device`] — device descriptions with worker slots, and the dense
+//!   [`device::PerDevice`] table,
+//! * [`topology::Topology`] — the machine shape: 1 host CPU + K
+//!   co-processors, each behind its own host link,
 //! * [`heap::HeapAllocator`] — a byte-accurate device heap whose
 //!   allocations *fail* when capacity is exceeded (the paper's
 //!   out-of-memory aborts),
@@ -36,13 +38,15 @@ pub mod fault;
 pub mod heap;
 pub mod link;
 pub mod time;
+pub mod topology;
 
-pub use cache::{CacheKey, CachePolicy, DataCache};
+pub use cache::{CacheKey, CachePolicy, CacheSet, DataCache};
 pub use config::SimConfig;
 pub use costmodel::{CostModel, CostParams, OpClass};
 pub use device::{DeviceId, DeviceKind, DeviceSpec, PerDevice};
 pub use events::EventQueue;
 pub use fault::{FaultPlan, FaultSpec, FaultStats, RetryPolicy, StallWindow, TransferFault};
 pub use heap::HeapAllocator;
-pub use link::{Direction, Interconnect, LinkStats, Transfer};
+pub use link::{Direction, Interconnect, LinkParams, LinkStats, Transfer};
 pub use time::VirtualTime;
+pub use topology::Topology;

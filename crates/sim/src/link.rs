@@ -2,14 +2,22 @@
 //!
 //! Transfers pay a fixed latency, a staging copy into page-locked host
 //! memory (Section 2.5.3: asynchronous CUDA transfers require a pinned
-//! staging area) and the bus itself. Each direction is a FIFO resource:
-//! concurrent requests queue behind each other, which is how multi-user
-//! workloads amplify transfer cost in the simulator just as they congest
-//! the real bus.
+//! staging area) and the bus itself. Each direction of each host link is
+//! a FIFO resource: concurrent requests queue behind each other, which
+//! is how multi-user workloads amplify transfer cost in the simulator
+//! just as they congest the real bus.
+//!
+//! With the N-device topology the interconnect is a *set* of host links
+//! — one FIFO pair per co-processor, with its own [`LinkParams`] from
+//! the topology's link table. Links are independent: traffic to one
+//! co-processor never queues behind traffic to another, but the two
+//! directions of a single link still serialize per direction.
 
+use crate::device::DeviceId;
 use crate::time::VirtualTime;
+use crate::topology::Topology;
 
-/// Transfer direction over the link.
+/// Transfer direction over a host link.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Direction {
     /// Host (CPU) to device (co-processor).
@@ -19,7 +27,8 @@ pub enum Direction {
 }
 
 impl Direction {
-    /// Dense index (for per-direction arrays).
+    /// Dense index (for per-direction tables; a link has exactly two
+    /// directions, so this is not a device-count assumption).
     pub fn index(self) -> usize {
         match self {
             Direction::HostToDevice => 0,
@@ -77,7 +86,7 @@ impl LinkParams {
     }
 }
 
-/// Accumulated traffic statistics for one direction.
+/// Accumulated traffic statistics for one direction of one link.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct LinkStats {
     /// Total bytes moved.
@@ -88,33 +97,88 @@ pub struct LinkStats {
     pub busy_time: VirtualTime,
 }
 
-/// The bidirectional link with FIFO contention per direction.
+impl LinkStats {
+    /// Fold `other` into `self` (aggregating across links).
+    pub fn absorb(&mut self, other: &LinkStats) {
+        self.bytes += other.bytes;
+        self.transfers += other.transfers;
+        self.busy_time += other.busy_time;
+    }
+}
+
+/// One bidirectional host link with FIFO contention per direction.
 #[derive(Debug, Clone)]
-pub struct Interconnect {
+struct LinkState {
     params: LinkParams,
     busy_until: [VirtualTime; 2],
     stats: [LinkStats; 2],
 }
 
-impl Interconnect {
-    /// An idle link with the given parameters.
-    pub fn new(params: LinkParams) -> Self {
-        Interconnect {
+impl LinkState {
+    fn new(params: LinkParams) -> Self {
+        LinkState {
             params,
             busy_until: [VirtualTime::ZERO; 2],
             stats: [LinkStats::default(); 2],
         }
     }
+}
 
-    /// The link parameters.
-    pub fn params(&self) -> &LinkParams {
-        &self.params
+/// The machine's host links: one FIFO pair per co-processor.
+#[derive(Debug, Clone)]
+pub struct Interconnect {
+    /// `links[k]` serves co-processor `k + 1`.
+    links: Vec<LinkState>,
+}
+
+impl Interconnect {
+    /// A single idle link with the given parameters (the default
+    /// one-co-processor machine).
+    pub fn new(params: LinkParams) -> Self {
+        Interconnect { links: vec![LinkState::new(params)] }
     }
 
-    /// Enqueue a transfer of `bytes` in `dir` at time `now`; returns the
-    /// scheduled window.
-    pub fn transfer(&mut self, now: VirtualTime, dir: Direction, bytes: u64) -> Transfer {
-        self.transfer_scaled(now, dir, bytes, 1.0)
+    /// One idle link per co-processor of `topology`, with that link's
+    /// parameters from the topology's link table.
+    pub fn for_topology(topology: &Topology) -> Self {
+        Interconnect {
+            links: topology
+                .coprocessors()
+                .map(|d| LinkState::new(*topology.link(d)))
+                .collect(),
+        }
+    }
+
+    /// Number of host links (= co-processors).
+    pub fn link_count(&self) -> usize {
+        self.links.len()
+    }
+
+    fn state(&self, device: DeviceId) -> &LinkState {
+        assert!(device.is_coprocessor(), "the CPU has no host link");
+        &self.links[device.index() - 1]
+    }
+
+    fn state_mut(&mut self, device: DeviceId) -> &mut LinkState {
+        assert!(device.is_coprocessor(), "the CPU has no host link");
+        &mut self.links[device.index() - 1]
+    }
+
+    /// The parameters of `device`'s host link.
+    pub fn params(&self, device: DeviceId) -> &LinkParams {
+        &self.state(device).params
+    }
+
+    /// Enqueue a transfer of `bytes` in `dir` over `device`'s host link
+    /// at time `now`; returns the scheduled window.
+    pub fn transfer(
+        &mut self,
+        now: VirtualTime,
+        device: DeviceId,
+        dir: Direction,
+        bytes: u64,
+    ) -> Transfer {
+        self.transfer_scaled(now, device, dir, bytes, 1.0)
     }
 
     /// Like [`Interconnect::transfer`] but with the service time
@@ -124,45 +188,61 @@ impl Interconnect {
     pub fn transfer_scaled(
         &mut self,
         now: VirtualTime,
+        device: DeviceId,
         dir: Direction,
         bytes: u64,
         factor: f64,
     ) -> Transfer {
         debug_assert!(factor >= 1.0, "spike factor must not speed the link up");
-        let mut service = self.params.service_time(bytes);
+        let link = self.state_mut(device);
+        let mut service = link.params.service_time(bytes);
         if factor != 1.0 {
             service = service.scale(factor);
         }
-        let start = now.max(self.busy_until[dir.index()]);
+        let start = now.max(link.busy_until[dir.index()]);
         let end = start + service;
-        self.busy_until[dir.index()] = end;
-        let s = &mut self.stats[dir.index()];
+        link.busy_until[dir.index()] = end;
+        let s = &mut link.stats[dir.index()];
         s.bytes += bytes;
         s.transfers += 1;
         s.busy_time += service;
         Transfer { start, end, service, bytes }
     }
 
-    /// Traffic statistics for `dir`.
-    pub fn stats(&self, dir: Direction) -> LinkStats {
-        self.stats[dir.index()]
+    /// Traffic statistics for `dir` on `device`'s host link.
+    pub fn stats(&self, device: DeviceId, dir: Direction) -> LinkStats {
+        self.state(device).stats[dir.index()]
     }
 
-    /// When the link in `dir` becomes idle.
-    pub fn busy_until(&self, dir: Direction) -> VirtualTime {
-        self.busy_until[dir.index()]
+    /// Traffic statistics for `dir` summed over every host link.
+    pub fn total_stats(&self, dir: Direction) -> LinkStats {
+        let mut total = LinkStats::default();
+        for link in &self.links {
+            total.absorb(&link.stats[dir.index()]);
+        }
+        total
+    }
+
+    /// When `device`'s link in `dir` becomes idle.
+    pub fn busy_until(&self, device: DeviceId, dir: Direction) -> VirtualTime {
+        self.state(device).busy_until[dir.index()]
     }
 
     /// Reset queues and statistics (used between experiment runs).
     pub fn reset(&mut self) {
-        self.busy_until = [VirtualTime::ZERO; 2];
-        self.stats = [LinkStats::default(); 2];
+        for link in &mut self.links {
+            link.busy_until = [VirtualTime::ZERO; 2];
+            link.stats = [LinkStats::default(); 2];
+        }
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::device::DeviceSpec;
+
+    const GPU: DeviceId = DeviceId::Gpu;
 
     fn link() -> Interconnect {
         Interconnect::new(LinkParams {
@@ -176,15 +256,15 @@ mod tests {
     fn service_time_components() {
         let l = link();
         // 1e9 bytes at 1 GB/s staging + 1 GB/s bus = 2 s + 1 us.
-        let t = l.params().service_time(1_000_000_000);
+        let t = l.params(GPU).service_time(1_000_000_000);
         assert_eq!(t.as_nanos(), 2_000_000_000 + 1_000);
     }
 
     #[test]
     fn fifo_contention_queues_transfers() {
         let mut l = link();
-        let t0 = l.transfer(VirtualTime::ZERO, Direction::HostToDevice, 500_000_000);
-        let t1 = l.transfer(VirtualTime::ZERO, Direction::HostToDevice, 500_000_000);
+        let t0 = l.transfer(VirtualTime::ZERO, GPU, Direction::HostToDevice, 500_000_000);
+        let t1 = l.transfer(VirtualTime::ZERO, GPU, Direction::HostToDevice, 500_000_000);
         assert_eq!(t0.start, VirtualTime::ZERO);
         assert_eq!(t1.start, t0.end);
         assert!(t1.end > t0.end);
@@ -193,37 +273,67 @@ mod tests {
     #[test]
     fn directions_are_independent() {
         let mut l = link();
-        let down = l.transfer(VirtualTime::ZERO, Direction::HostToDevice, 1_000_000);
-        let up = l.transfer(VirtualTime::ZERO, Direction::DeviceToHost, 1_000_000);
+        let down = l.transfer(VirtualTime::ZERO, GPU, Direction::HostToDevice, 1_000_000);
+        let up = l.transfer(VirtualTime::ZERO, GPU, Direction::DeviceToHost, 1_000_000);
         assert_eq!(down.start, VirtualTime::ZERO);
         assert_eq!(up.start, VirtualTime::ZERO);
     }
 
     #[test]
+    fn links_are_independent_per_coprocessor() {
+        let t = Topology::cpu_gpu(
+            DeviceSpec::cpu(4),
+            DeviceSpec::coprocessor(4, 1_000, 0),
+            LinkParams::default(),
+        )
+        .with_coprocessor(DeviceSpec::coprocessor(4, 1_000, 0), LinkParams::default());
+        let mut l = Interconnect::for_topology(&t);
+        assert_eq!(l.link_count(), 2);
+        let g2 = DeviceId::coprocessor(2);
+        let a = l.transfer(VirtualTime::ZERO, GPU, Direction::HostToDevice, 500_000_000);
+        let b = l.transfer(VirtualTime::ZERO, g2, Direction::HostToDevice, 500_000_000);
+        // No cross-link queueing.
+        assert_eq!(a.start, VirtualTime::ZERO);
+        assert_eq!(b.start, VirtualTime::ZERO);
+        // Stats are per link; the totals aggregate.
+        assert_eq!(l.stats(GPU, Direction::HostToDevice).transfers, 1);
+        assert_eq!(l.stats(g2, Direction::HostToDevice).transfers, 1);
+        assert_eq!(l.total_stats(Direction::HostToDevice).transfers, 2);
+        assert_eq!(l.total_stats(Direction::HostToDevice).bytes, 1_000_000_000);
+    }
+
+    #[test]
     fn stats_accumulate() {
         let mut l = link();
-        l.transfer(VirtualTime::ZERO, Direction::HostToDevice, 100);
-        l.transfer(VirtualTime::ZERO, Direction::HostToDevice, 200);
-        let s = l.stats(Direction::HostToDevice);
+        l.transfer(VirtualTime::ZERO, GPU, Direction::HostToDevice, 100);
+        l.transfer(VirtualTime::ZERO, GPU, Direction::HostToDevice, 200);
+        let s = l.stats(GPU, Direction::HostToDevice);
         assert_eq!(s.bytes, 300);
         assert_eq!(s.transfers, 2);
         assert!(s.busy_time > VirtualTime::ZERO);
-        assert_eq!(l.stats(Direction::DeviceToHost), LinkStats::default());
+        assert_eq!(l.stats(GPU, Direction::DeviceToHost), LinkStats::default());
     }
 
     #[test]
     fn later_requests_start_at_request_time_when_idle() {
         let mut l = link();
-        let t = l.transfer(VirtualTime::from_millis(5), Direction::DeviceToHost, 10);
+        let t = l.transfer(VirtualTime::from_millis(5), GPU, Direction::DeviceToHost, 10);
         assert_eq!(t.start, VirtualTime::from_millis(5));
     }
 
     #[test]
     fn reset_clears_queues() {
         let mut l = link();
-        l.transfer(VirtualTime::ZERO, Direction::HostToDevice, 1_000_000_000);
+        l.transfer(VirtualTime::ZERO, GPU, Direction::HostToDevice, 1_000_000_000);
         l.reset();
-        assert_eq!(l.busy_until(Direction::HostToDevice), VirtualTime::ZERO);
-        assert_eq!(l.stats(Direction::HostToDevice).transfers, 0);
+        assert_eq!(l.busy_until(GPU, Direction::HostToDevice), VirtualTime::ZERO);
+        assert_eq!(l.stats(GPU, Direction::HostToDevice).transfers, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "no host link")]
+    fn cpu_transfers_are_rejected() {
+        let mut l = link();
+        let _ = l.transfer(VirtualTime::ZERO, DeviceId::Cpu, Direction::HostToDevice, 1);
     }
 }

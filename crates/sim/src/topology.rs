@@ -1,0 +1,204 @@
+//! Machine topology: 1 CPU + K co-processors.
+//!
+//! The paper evaluates one CPU and one GPU; its conclusion names
+//! multiple co-processors as the natural extension. This module makes
+//! the device count data: a [`Topology`] is an ordered device table —
+//! device 0 is always the host CPU, devices 1.. are co-processors —
+//! plus a per-link interconnect table giving the [`LinkParams`]
+//! (latency + bytes/bandwidth) for every (src, dst) pair. There is no
+//! peer-to-peer fabric in the model: every link has the CPU on one
+//! side, and inter-co-processor data routes through host memory, as on
+//! a PCIe tree without NVLink.
+
+use crate::device::{DeviceId, DeviceKind, DeviceSpec};
+use crate::link::LinkParams;
+
+/// The simulated machine's device table and interconnect table.
+#[derive(Debug, Clone)]
+pub struct Topology {
+    /// Device specs; index = [`DeviceId::index`]. `devices[0]` is the CPU.
+    devices: Vec<DeviceSpec>,
+    /// `links[k]` connects the CPU and co-processor `k + 1` (both
+    /// directions; the [`crate::link::Direction`] disambiguates).
+    links: Vec<LinkParams>,
+}
+
+impl Topology {
+    /// A topology holding only the host CPU; co-processors are attached
+    /// with [`Topology::with_coprocessor`].
+    pub fn cpu_only(cpu: DeviceSpec) -> Self {
+        assert!(cpu.kind == DeviceKind::Cpu, "device 0 must be the host CPU");
+        Topology { devices: vec![cpu], links: Vec::new() }
+    }
+
+    /// The paper's testbed shape: one CPU and one co-processor behind
+    /// one link.
+    pub fn cpu_gpu(cpu: DeviceSpec, gpu: DeviceSpec, link: LinkParams) -> Self {
+        Topology::cpu_only(cpu).with_coprocessor(gpu, link)
+    }
+
+    /// Attach one more co-processor behind its own host link. Returns
+    /// the extended topology (builder style).
+    pub fn with_coprocessor(mut self, spec: DeviceSpec, link: LinkParams) -> Self {
+        assert!(
+            spec.kind == DeviceKind::CoProcessor,
+            "devices 1.. must be co-processors"
+        );
+        self.devices.push(spec);
+        self.links.push(link);
+        self
+    }
+
+    /// Total number of devices (CPU included).
+    pub fn device_count(&self) -> usize {
+        self.devices.len()
+    }
+
+    /// Number of co-processors (K).
+    pub fn coprocessor_count(&self) -> usize {
+        self.devices.len() - 1
+    }
+
+    /// All device ids, CPU first.
+    pub fn devices(&self) -> impl Iterator<Item = DeviceId> + '_ {
+        (0..self.devices.len()).map(DeviceId::from_index)
+    }
+
+    /// The co-processor ids, in dense order.
+    pub fn coprocessors(&self) -> impl Iterator<Item = DeviceId> + '_ {
+        (1..self.devices.len()).map(DeviceId::from_index)
+    }
+
+    /// The spec of `device`.
+    ///
+    /// # Panics
+    /// Panics if `device` is not part of the topology.
+    pub fn spec(&self, device: DeviceId) -> &DeviceSpec {
+        &self.devices[device.index()]
+    }
+
+    /// The host CPU's spec.
+    pub fn cpu(&self) -> &DeviceSpec {
+        &self.devices[0]
+    }
+
+    /// The first co-processor's spec (the default machine's GPU).
+    ///
+    /// # Panics
+    /// Panics on a CPU-only topology.
+    pub fn gpu(&self) -> &DeviceSpec {
+        &self.devices[1]
+    }
+
+    /// Mutable spec access (configuration builders).
+    pub fn spec_mut(&mut self, device: DeviceId) -> &mut DeviceSpec {
+        &mut self.devices[device.index()]
+    }
+
+    /// Whether `device` exists in this topology.
+    pub fn contains(&self, device: DeviceId) -> bool {
+        device.index() < self.devices.len()
+    }
+
+    /// The host link of co-processor `device`.
+    ///
+    /// # Panics
+    /// Panics for the CPU (it is on the host side of every link) or an
+    /// unknown device.
+    pub fn link(&self, device: DeviceId) -> &LinkParams {
+        assert!(device.is_coprocessor(), "the CPU has no host link");
+        &self.links[device.index() - 1]
+    }
+
+    /// Mutable link access (configuration builders).
+    pub fn link_mut(&mut self, device: DeviceId) -> &mut LinkParams {
+        assert!(device.is_coprocessor(), "the CPU has no host link");
+        &mut self.links[device.index() - 1]
+    }
+
+    /// The link carrying traffic from `src` to `dst`, or `None` when the
+    /// pair is not directly connected. Exactly the pairs with the CPU on
+    /// one side are connected; co-processor-to-co-processor traffic must
+    /// be routed through the host (two transfers).
+    pub fn link_between(&self, src: DeviceId, dst: DeviceId) -> Option<&LinkParams> {
+        match (src.is_coprocessor(), dst.is_coprocessor()) {
+            (false, true) => Some(self.link(dst)),
+            (true, false) => Some(self.link(src)),
+            _ => None,
+        }
+    }
+
+    /// The device aborted co-processor operators restart on. The CPU is
+    /// always the abort-restart target: it has unbounded memory and its
+    /// kernels never abort, so progress is guaranteed.
+    pub fn fallback_device(&self) -> DeviceId {
+        DeviceId::Cpu
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn two_gpu() -> Topology {
+        Topology::cpu_gpu(
+            DeviceSpec::cpu(4),
+            DeviceSpec::coprocessor(4, 1_000, 600),
+            LinkParams::default(),
+        )
+        .with_coprocessor(DeviceSpec::coprocessor(2, 2_000, 500), LinkParams::default())
+    }
+
+    #[test]
+    fn counts_and_iteration() {
+        let t = two_gpu();
+        assert_eq!(t.device_count(), 3);
+        assert_eq!(t.coprocessor_count(), 2);
+        assert_eq!(
+            t.devices().collect::<Vec<_>>(),
+            vec![DeviceId::Cpu, DeviceId::Gpu, DeviceId::coprocessor(2)]
+        );
+        assert_eq!(
+            t.coprocessors().collect::<Vec<_>>(),
+            vec![DeviceId::Gpu, DeviceId::coprocessor(2)]
+        );
+        assert!(t.contains(DeviceId::coprocessor(2)));
+        assert!(!t.contains(DeviceId::coprocessor(3)));
+    }
+
+    #[test]
+    fn specs_are_positional() {
+        let t = two_gpu();
+        assert_eq!(t.cpu().worker_slots, 4);
+        assert_eq!(t.gpu().memory_bytes, 1_000);
+        assert_eq!(t.spec(DeviceId::coprocessor(2)).worker_slots, 2);
+    }
+
+    #[test]
+    fn links_connect_host_pairs_only() {
+        let t = two_gpu();
+        assert!(t.link_between(DeviceId::Cpu, DeviceId::Gpu).is_some());
+        assert!(t.link_between(DeviceId::coprocessor(2), DeviceId::Cpu).is_some());
+        assert!(t.link_between(DeviceId::Gpu, DeviceId::coprocessor(2)).is_none());
+        assert!(t.link_between(DeviceId::Cpu, DeviceId::Cpu).is_none());
+    }
+
+    #[test]
+    fn fallback_is_the_cpu() {
+        assert_eq!(two_gpu().fallback_device(), DeviceId::Cpu);
+    }
+
+    #[test]
+    #[should_panic(expected = "must be co-processors")]
+    fn cpu_cannot_be_attached_as_coprocessor() {
+        let _ = Topology::cpu_only(DeviceSpec::cpu(1))
+            .with_coprocessor(DeviceSpec::cpu(1), LinkParams::default());
+    }
+
+    #[test]
+    #[should_panic(expected = "no host link")]
+    fn cpu_has_no_host_link() {
+        let t = two_gpu();
+        let _ = t.link(DeviceId::Cpu);
+    }
+}

@@ -163,6 +163,13 @@ impl Database {
         self.effective_sizes.is_some()
     }
 
+    /// Registration index of the table owning `id` (the data placement
+    /// manager groups columns by table so a scan's inputs stay
+    /// co-resident on one device).
+    pub fn table_of(&self, id: ColumnId) -> usize {
+        self.column_locs[id.index()].0
+    }
+
     /// Human-readable `table.column` name of `id`.
     pub fn column_name(&self, id: ColumnId) -> String {
         let (t, c) = self.column_locs[id.index()];

@@ -15,9 +15,16 @@
 
 use crate::event::{OpOutcome, TraceEvent, TransferKind};
 use crate::json::write_escaped;
+use robustq_sim::DeviceId;
 use std::fmt::Write as _;
 
 /// Lane (`tid`) assignments within the single trace process.
+///
+/// The first co-processor keeps the historical lane numbers (2..=6), so
+/// a K = 1 trace is byte-identical to the pre-topology exporter. Each
+/// further co-processor gets its own block of five lanes starting at
+/// [`lane::EXTRA_DEVICES`]; the shared fault/placement lanes and the
+/// session lanes keep their fixed slots.
 mod lane {
     pub const CPU_OPS: u64 = 1;
     pub const GPU_OPS: u64 = 2;
@@ -27,8 +34,64 @@ mod lane {
     pub const CACHE: u64 = 6;
     pub const FAULTS: u64 = 7;
     pub const PLACEMENT: u64 = 8;
+    /// Lane blocks of co-processors 2.. start here, [`BLOCK`] lanes
+    /// each (co-processor ordinal `o ≥ 2` occupies
+    /// `EXTRA_DEVICES + (o-2)*BLOCK ..`, staying below [`SESSIONS`]
+    /// for any realistic fleet).
+    pub const EXTRA_DEVICES: u64 = 10;
+    /// Lanes per co-processor block: ops, h2d, d2h, heap, cache.
+    pub const BLOCK: u64 = 5;
     /// Session lanes start here: `tid = SESSIONS + session`.
     pub const SESSIONS: u64 = 100;
+}
+
+/// Per-device lane roles within a co-processor's block.
+#[derive(Clone, Copy)]
+enum Role {
+    Ops,
+    H2d,
+    D2h,
+    Heap,
+    Cache,
+}
+
+impl Role {
+    fn offset(self) -> u64 {
+        match self {
+            Role::Ops => 0,
+            Role::H2d => 1,
+            Role::D2h => 2,
+            Role::Heap => 3,
+            Role::Cache => 4,
+        }
+    }
+
+    fn lane_name(self, device: DeviceId) -> String {
+        match self {
+            Role::Ops => format!("{device} kernels"),
+            Role::H2d => format!("link host→{device}"),
+            Role::D2h => format!("link {device}→host"),
+            Role::Heap => format!("{device} heap"),
+            Role::Cache => format!("{device} column cache"),
+        }
+    }
+}
+
+/// The lane of `role` for co-processor `device`.
+fn device_lane(device: DeviceId, role: Role) -> u64 {
+    debug_assert!(device.is_coprocessor());
+    let ordinal = device.index() as u64; // 1-based among co-processors
+    if ordinal == 1 {
+        match role {
+            Role::Ops => lane::GPU_OPS,
+            Role::H2d => lane::H2D,
+            Role::D2h => lane::D2H,
+            Role::Heap => lane::HEAP,
+            Role::Cache => lane::CACHE,
+        }
+    } else {
+        lane::EXTRA_DEVICES + (ordinal - 2) * lane::BLOCK + role.offset()
+    }
 }
 
 /// Sort key preserving lane-local ordering requirements at equal
@@ -105,6 +168,24 @@ fn thread_name(tid: u64, name: &str) -> String {
     s
 }
 
+/// Push the five lane labels of a ≥ 2nd co-processor on first sight
+/// (the first co-processor's labels are emitted upfront with the
+/// historical wording, keeping K = 1 exports byte-identical).
+fn ensure_device_lanes(out: &mut Vec<Emitted>, seen: &mut Vec<DeviceId>, device: DeviceId) {
+    if device.index() <= 1 || seen.contains(&device) {
+        return;
+    }
+    seen.push(device);
+    for role in [Role::Ops, Role::H2d, Role::D2h, Role::Heap, Role::Cache] {
+        push(
+            out,
+            0,
+            'M',
+            thread_name(device_lane(device, role), &role.lane_name(device)),
+        );
+    }
+}
+
 /// Render `events` as a Chrome `trace_event` JSON document.
 pub fn chrome_trace_json(events: &[TraceEvent]) -> String {
     let mut out: Vec<Emitted> = Vec::with_capacity(events.len() + 16);
@@ -119,6 +200,7 @@ pub fn chrome_trace_json(events: &[TraceEvent]) -> String {
     push(&mut out, 0, 'M', thread_name(lane::FAULTS, "fault injections"));
     push(&mut out, 0, 'M', thread_name(lane::PLACEMENT, "placement decisions"));
     let mut sessions_seen: Vec<u32> = Vec::new();
+    let mut devices_seen: Vec<DeviceId> = Vec::new();
 
     for ev in events {
         match *ev {
@@ -174,9 +256,11 @@ pub fn chrome_trace_json(events: &[TraceEvent]) -> String {
                 outcome,
                 queued_at,
             } => {
-                let tid = match device {
-                    robustq_sim::DeviceId::Cpu => lane::CPU_OPS,
-                    robustq_sim::DeviceId::Gpu => lane::GPU_OPS,
+                let tid = if device == DeviceId::Cpu {
+                    lane::CPU_OPS
+                } else {
+                    ensure_device_lanes(&mut out, &mut devices_seen, device);
+                    device_lane(device, Role::Ops)
                 };
                 let (name, outcome_s) = match outcome {
                     OpOutcome::Completed => (format!("{op:?}"), "completed"),
@@ -198,10 +282,13 @@ pub fn chrome_trace_json(events: &[TraceEvent]) -> String {
                     complete_event(&name, "op", tid, start.as_nanos(), end.as_nanos(), &args),
                 );
             }
-            TraceEvent::Transfer { dir, kind, query, bytes, start, end, service, faulted, .. } => {
+            TraceEvent::Transfer {
+                device, dir, kind, query, bytes, start, end, service, faulted, ..
+            } => {
+                ensure_device_lanes(&mut out, &mut devices_seen, device);
                 let tid = match dir {
-                    robustq_sim::Direction::HostToDevice => lane::H2D,
-                    robustq_sim::Direction::DeviceToHost => lane::D2H,
+                    robustq_sim::Direction::HostToDevice => device_lane(device, Role::H2d),
+                    robustq_sim::Direction::DeviceToHost => device_lane(device, Role::D2h),
                 };
                 let kind_s = match kind {
                     TransferKind::Input => "input",
@@ -231,41 +318,71 @@ pub fn chrome_trace_json(events: &[TraceEvent]) -> String {
                     complete_event(&name, "xfer", tid, queued_ns, end.as_nanos(), &args),
                 );
             }
-            TraceEvent::CacheProbe { key, bytes, hit, at } => {
+            TraceEvent::CacheProbe { device, key, bytes, hit, at } => {
+                ensure_device_lanes(&mut out, &mut devices_seen, device);
                 let name = if hit { "hit" } else { "miss" };
                 let args = format!("\"key\":{},\"bytes\":{bytes}", key.0);
                 push(
                     &mut out,
                     at.as_nanos(),
                     'i',
-                    instant_event(name, "cache", lane::CACHE, at.as_nanos(), &args),
+                    instant_event(
+                        name,
+                        "cache",
+                        device_lane(device, Role::Cache),
+                        at.as_nanos(),
+                        &args,
+                    ),
                 );
             }
-            TraceEvent::CacheInsert { key, bytes, at } => {
+            TraceEvent::CacheInsert { device, key, bytes, at } => {
+                ensure_device_lanes(&mut out, &mut devices_seen, device);
                 let args = format!("\"key\":{},\"bytes\":{bytes}", key.0);
                 push(
                     &mut out,
                     at.as_nanos(),
                     'i',
-                    instant_event("insert", "cache", lane::CACHE, at.as_nanos(), &args),
+                    instant_event(
+                        "insert",
+                        "cache",
+                        device_lane(device, Role::Cache),
+                        at.as_nanos(),
+                        &args,
+                    ),
                 );
             }
-            TraceEvent::CacheEvict { key, bytes, at } => {
+            TraceEvent::CacheEvict { device, key, bytes, at } => {
+                ensure_device_lanes(&mut out, &mut devices_seen, device);
                 let args = format!("\"key\":{},\"bytes\":{bytes}", key.0);
                 push(
                     &mut out,
                     at.as_nanos(),
                     'i',
-                    instant_event("evict", "cache", lane::CACHE, at.as_nanos(), &args),
+                    instant_event(
+                        "evict",
+                        "cache",
+                        device_lane(device, Role::Cache),
+                        at.as_nanos(),
+                        &args,
+                    ),
                 );
             }
-            TraceEvent::HeapAlloc { used, at, .. } | TraceEvent::HeapFree { used, at, .. } => {
+            TraceEvent::HeapAlloc { device, used, at, .. }
+            | TraceEvent::HeapFree { device, used, at, .. } => {
+                ensure_device_lanes(&mut out, &mut devices_seen, device);
+                // The first co-processor keeps the historical counter
+                // name; further devices get their ordinal in the name.
+                let name = if device.index() == 1 {
+                    "gpu_heap_used".to_string()
+                } else {
+                    format!("gpu{}_heap_used", device.index())
+                };
                 let mut s = String::new();
                 let _ = write!(
                     s,
-                    "{{\"name\":\"gpu_heap_used\",\"cat\":\"heap\",\"ph\":\"C\",\"ts\":{},\"pid\":1,\"tid\":{},\"args\":{{\"bytes\":{used}}}}}",
+                    "{{\"name\":\"{name}\",\"cat\":\"heap\",\"ph\":\"C\",\"ts\":{},\"pid\":1,\"tid\":{},\"args\":{{\"bytes\":{used}}}}}",
                     us(at.as_nanos()),
-                    lane::HEAP,
+                    device_lane(device, Role::Heap),
                 );
                 push(&mut out, at.as_nanos(), 'C', s);
             }
@@ -300,11 +417,17 @@ pub fn chrome_trace_json(events: &[TraceEvent]) -> String {
                 );
             }
             TraceEvent::Placement { query, task, op, phase, est, chosen, reason, at } => {
-                let args = format!(
-                    "\"query\":{query},\"task\":{task},\"phase\":\"{phase:?}\",\"est_cpu_us\":{},\"est_gpu_us\":{},\"chosen\":\"{chosen}\",\"reason\":\"{reason:?}\"",
-                    us(est[robustq_sim::DeviceId::Cpu].as_nanos()),
-                    us(est[robustq_sim::DeviceId::Gpu].as_nanos()),
+                let mut args = format!(
+                    "\"query\":{query},\"task\":{task},\"phase\":\"{phase:?}\",\"est_cpu_us\":{},\"est_gpu_us\":{}",
+                    us(est.get(DeviceId::Cpu).as_nanos()),
+                    us(est.get(DeviceId::Gpu).as_nanos()),
                 );
+                // Devices past the classic pair only appear when the
+                // policy actually estimated them (K = 1 stays identical).
+                for (d, t) in est.iter().skip(2) {
+                    let _ = write!(args, ",\"est_gpu{}_us\":{}", d.index(), us(t.as_nanos()));
+                }
+                let _ = write!(args, ",\"chosen\":\"{chosen}\",\"reason\":\"{reason:?}\"");
                 push(
                     &mut out,
                     at.as_nanos(),
@@ -345,8 +468,9 @@ pub fn chrome_trace_json(events: &[TraceEvent]) -> String {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::event::EstVec;
     use crate::json::parse;
-    use robustq_sim::{DeviceId, Direction, OpClass, PerDevice, VirtualTime};
+    use robustq_sim::{DeviceId, Direction, OpClass, VirtualTime};
 
     fn sample() -> Vec<TraceEvent> {
         let t = VirtualTime::from_micros;
@@ -366,6 +490,7 @@ mod tests {
                 outcome: crate::event::OpOutcome::Completed,
             },
             TraceEvent::Transfer {
+                device: DeviceId::Gpu,
                 dir: Direction::HostToDevice,
                 kind: TransferKind::Input,
                 query: 0,
@@ -418,7 +543,7 @@ mod tests {
             task: 2,
             op: OpClass::HashJoin,
             phase: crate::event::PlacePhase::Ready,
-            est: PerDevice::new(VirtualTime::from_micros(10), VirtualTime::from_micros(4)),
+            est: EstVec::pair(VirtualTime::from_micros(10), VirtualTime::from_micros(4)),
             chosen: DeviceId::Gpu,
             reason: crate::event::PlaceReason::CostModel,
             at: VirtualTime::from_micros(3),
@@ -437,5 +562,72 @@ mod tests {
         assert_eq!(args.get("est_cpu_us").unwrap().as_num(), Some(10.0));
         assert_eq!(args.get("est_gpu_us").unwrap().as_num(), Some(4.0));
         assert_eq!(args.get("chosen").unwrap().as_str(), Some("GPU"));
+    }
+
+    #[test]
+    fn second_coprocessor_gets_its_own_lane_block() {
+        let t = VirtualTime::from_micros;
+        let g2 = DeviceId::coprocessor(2);
+        let events = vec![
+            TraceEvent::OpSpan {
+                query: 0,
+                task: 0,
+                op: OpClass::Selection,
+                device: g2,
+                queued_at: t(0),
+                start: t(1),
+                end: t(5),
+                bytes_in: 100,
+                bytes_out: 10,
+                rows_out: 2,
+                outcome: crate::event::OpOutcome::Completed,
+            },
+            TraceEvent::Transfer {
+                device: g2,
+                dir: Direction::HostToDevice,
+                kind: TransferKind::Input,
+                query: 0,
+                bytes: 100,
+                start: t(0),
+                end: t(1),
+                service: VirtualTime::from_nanos(500),
+                faulted: false,
+                waste: VirtualTime::ZERO,
+            },
+        ];
+        let doc = chrome_trace_json(&events);
+        let v = parse(&doc).unwrap();
+        let parsed = v.get("traceEvents").unwrap().as_arr().unwrap();
+        // The GPU2 block's lane labels were emitted.
+        let names: Vec<String> = parsed
+            .iter()
+            .filter(|e| e.get("ph").and_then(|p| p.as_str()) == Some("M"))
+            .filter_map(|e| {
+                e.get("args")
+                    .and_then(|a| a.get("name"))
+                    .and_then(|n| n.as_str())
+                    .map(str::to_string)
+            })
+            .collect();
+        assert!(names.iter().any(|n| n == "GPU2 kernels"));
+        assert!(names.iter().any(|n| n == "link host→GPU2"));
+        assert!(names.iter().any(|n| n == "GPU2 column cache"));
+        // The op span landed on the block's ops lane, not the GPU1 lane.
+        let op = parsed
+            .iter()
+            .find(|e| e.get("cat").and_then(|c| c.as_str()) == Some("op"))
+            .unwrap();
+        assert_eq!(
+            op.get("tid").unwrap().as_num(),
+            Some(lane::EXTRA_DEVICES as f64)
+        );
+        let xfer = parsed
+            .iter()
+            .find(|e| e.get("cat").and_then(|c| c.as_str()) == Some("xfer"))
+            .unwrap();
+        assert_eq!(
+            xfer.get("tid").unwrap().as_num(),
+            Some((lane::EXTRA_DEVICES + 1) as f64)
+        );
     }
 }

@@ -10,6 +10,80 @@
 
 use robustq_sim::{CacheKey, DeviceId, Direction, OpClass, PerDevice, VirtualTime};
 
+/// A compact, `Copy` per-device estimate vector for [`TraceEvent::Placement`].
+///
+/// [`PerDevice`] is heap-backed (topology-sized), so trace events can no
+/// longer embed it without allocating. `EstVec` inlines up to
+/// [`EstVec::MAX`] device estimates — plenty for the simulated fleets —
+/// and silently drops estimates beyond that (the trace records the
+/// decision; the policy still used every estimate).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EstVec {
+    len: u8,
+    vals: [VirtualTime; EstVec::MAX],
+}
+
+impl EstVec {
+    /// Inline capacity (device 0 = CPU, 1.. = co-processors).
+    pub const MAX: usize = 8;
+
+    /// No estimates recorded (policies without a cost model).
+    pub const EMPTY: EstVec = EstVec { len: 0, vals: [VirtualTime::ZERO; EstVec::MAX] };
+
+    /// The classic CPU/GPU pair.
+    pub fn pair(cpu: VirtualTime, gpu: VirtualTime) -> Self {
+        let mut v = EstVec::EMPTY;
+        v.push(cpu);
+        v.push(gpu);
+        v
+    }
+
+    /// Capture a topology-sized estimate table (entries past
+    /// [`EstVec::MAX`] are dropped).
+    pub fn from_per_device(est: &PerDevice<VirtualTime>) -> Self {
+        let mut v = EstVec::EMPTY;
+        for (_, &t) in est.iter() {
+            v.push(t);
+        }
+        v
+    }
+
+    /// Append one device's estimate (dense device order); saturates at
+    /// [`EstVec::MAX`].
+    pub fn push(&mut self, t: VirtualTime) {
+        if (self.len as usize) < EstVec::MAX {
+            self.vals[self.len as usize] = t;
+            self.len += 1;
+        }
+    }
+
+    /// Number of recorded estimates.
+    pub fn len(&self) -> usize {
+        self.len as usize
+    }
+
+    /// True when no estimates were recorded.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The estimate for `device` (`ZERO` when absent — exporters print
+    /// missing CPU/GPU estimates as zero, matching cost-model-free
+    /// policies).
+    pub fn get(&self, device: DeviceId) -> VirtualTime {
+        if device.index() < self.len as usize {
+            self.vals[device.index()]
+        } else {
+            VirtualTime::ZERO
+        }
+    }
+
+    /// `(device, estimate)` pairs in dense device order.
+    pub fn iter(&self) -> impl Iterator<Item = (DeviceId, VirtualTime)> + '_ {
+        (0..self.len as usize).map(|i| (DeviceId::from_index(i), self.vals[i]))
+    }
+}
+
 /// How an operator span ended.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum OpOutcome {
@@ -150,6 +224,8 @@ pub enum TraceEvent {
     /// failed transient attempt; permanently failed attempts never move
     /// bytes and appear only as [`TraceEvent::Fault`]).
     Transfer {
+        /// Co-processor whose host link carried the payload.
+        device: DeviceId,
         /// Direction over the link.
         dir: Direction,
         /// What the payload was.
@@ -173,6 +249,8 @@ pub enum TraceEvent {
     },
     /// A cache lookup by a co-processor operator.
     CacheProbe {
+        /// Co-processor whose cache was probed.
+        device: DeviceId,
         /// Base-column key.
         key: CacheKey,
         /// Column bytes.
@@ -184,6 +262,8 @@ pub enum TraceEvent {
     },
     /// A column entered the cache.
     CacheInsert {
+        /// Co-processor whose cache admitted the column.
+        device: DeviceId,
         /// Base-column key.
         key: CacheKey,
         /// Column bytes.
@@ -193,6 +273,8 @@ pub enum TraceEvent {
     },
     /// A column was evicted to make room.
     CacheEvict {
+        /// Co-processor whose cache evicted the column.
+        device: DeviceId,
         /// Base-column key.
         key: CacheKey,
         /// Column bytes.
@@ -202,6 +284,8 @@ pub enum TraceEvent {
     },
     /// A co-processor heap allocation attempt.
     HeapAlloc {
+        /// Co-processor whose heap served the attempt.
+        device: DeviceId,
         /// Engine-chosen allocation tag.
         tag: u64,
         /// Bytes requested.
@@ -215,6 +299,8 @@ pub enum TraceEvent {
     },
     /// A heap tag was released.
     HeapFree {
+        /// Co-processor whose heap released the tag.
+        device: DeviceId,
         /// Engine-chosen allocation tag.
         tag: u64,
         /// Bytes freed.
@@ -253,9 +339,9 @@ pub enum TraceEvent {
         op: OpClass,
         /// When the decision was taken.
         phase: PlacePhase,
-        /// Estimated completion per device (`ZERO` when the policy does
-        /// not model costs).
-        est: PerDevice<VirtualTime>,
+        /// Estimated completion per device in dense device order
+        /// (empty when the policy does not model costs).
+        est: EstVec,
         /// The chosen device.
         chosen: DeviceId,
         /// Why it was chosen.
@@ -306,8 +392,27 @@ mod tests {
     }
 
     #[test]
+    fn est_vec_pads_with_zero_and_saturates() {
+        let mut v = EstVec::pair(VirtualTime::from_micros(10), VirtualTime::from_micros(4));
+        assert_eq!(v.len(), 2);
+        assert_eq!(v.get(DeviceId::Cpu), VirtualTime::from_micros(10));
+        assert_eq!(v.get(DeviceId::Gpu), VirtualTime::from_micros(4));
+        assert_eq!(v.get(DeviceId::coprocessor(2)), VirtualTime::ZERO);
+        for _ in 0..20 {
+            v.push(VirtualTime::from_micros(1));
+        }
+        assert_eq!(v.len(), EstVec::MAX);
+        let pd = PerDevice::new(VirtualTime::from_micros(1), VirtualTime::from_micros(2));
+        let w = EstVec::from_per_device(&pd);
+        assert_eq!(w.iter().count(), 2);
+        assert_eq!(w.get(DeviceId::Gpu), VirtualTime::from_micros(2));
+        assert!(EstVec::EMPTY.is_empty());
+    }
+
+    #[test]
     fn span_events_stamp_their_end() {
         let e = TraceEvent::Transfer {
+            device: DeviceId::Gpu,
             dir: Direction::HostToDevice,
             kind: TransferKind::Input,
             query: 0,

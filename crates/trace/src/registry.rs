@@ -88,9 +88,13 @@ impl Histogram {
 }
 
 /// Counters and histograms derived from one run's event stream.
+///
+/// Counter names are owned strings because per-device counters
+/// (`ops_completed_gpu2`, …) are minted from the device ordinal; the
+/// classic `ops_completed_cpu`/`ops_completed_gpu` names are stable.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct MetricsRegistry {
-    counters: BTreeMap<&'static str, u64>,
+    counters: BTreeMap<String, u64>,
     histograms: BTreeMap<&'static str, Histogram>,
 }
 
@@ -110,13 +114,16 @@ impl MetricsRegistry {
                         .record(start.saturating_sub(queued_at).as_nanos());
                     match outcome {
                         OpOutcome::Completed => {
-                            reg.bump(
-                                match device {
-                                    DeviceId::Cpu => "ops_completed_cpu",
-                                    DeviceId::Gpu => "ops_completed_gpu",
-                                },
-                                1,
-                            );
+                            if device == DeviceId::Cpu {
+                                reg.bump("ops_completed_cpu", 1);
+                            } else if device == DeviceId::Gpu {
+                                reg.bump("ops_completed_gpu", 1);
+                            } else {
+                                reg.bump_owned(
+                                    format!("ops_completed_gpu{}", device.index()),
+                                    1,
+                                );
+                            }
                             reg.histogram("op_span_ns")
                                 .record(end.saturating_sub(start).as_nanos());
                         }
@@ -147,7 +154,15 @@ impl MetricsRegistry {
         reg
     }
 
-    fn bump(&mut self, name: &'static str, by: u64) {
+    fn bump(&mut self, name: &str, by: u64) {
+        if let Some(v) = self.counters.get_mut(name) {
+            *v += by;
+        } else {
+            self.counters.insert(name.to_string(), by);
+        }
+    }
+
+    fn bump_owned(&mut self, name: String, by: u64) {
         *self.counters.entry(name).or_insert(0) += by;
     }
 
@@ -166,8 +181,8 @@ impl MetricsRegistry {
     }
 
     /// All counters, sorted by name.
-    pub fn counters(&self) -> impl Iterator<Item = (&'static str, u64)> + '_ {
-        self.counters.iter().map(|(&k, &v)| (k, v))
+    pub fn counters(&self) -> impl Iterator<Item = (&str, u64)> + '_ {
+        self.counters.iter().map(|(k, &v)| (k.as_str(), v))
     }
 
     /// All histograms, sorted by name.
@@ -223,8 +238,8 @@ mod tests {
     fn registry_counts_by_kind() {
         let t = VirtualTime::from_micros;
         let events = vec![
-            TraceEvent::CacheProbe { key: CacheKey(1), bytes: 8, hit: false, at: t(0) },
-            TraceEvent::CacheProbe { key: CacheKey(1), bytes: 8, hit: true, at: t(1) },
+            TraceEvent::CacheProbe { device: DeviceId::Gpu, key: CacheKey(1), bytes: 8, hit: false, at: t(0) },
+            TraceEvent::CacheProbe { device: DeviceId::Gpu, key: CacheKey(1), bytes: 8, hit: true, at: t(1) },
             TraceEvent::OpSpan {
                 query: 0,
                 task: 0,

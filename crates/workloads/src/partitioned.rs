@@ -24,7 +24,7 @@ use robustq_engine::expr::Expr;
 use robustq_engine::ops;
 use robustq_engine::plan::{AggFunc, AggSpec, PlanNode};
 use robustq_engine::{Chunk, RunMetrics};
-use robustq_sim::{DeviceId, SimConfig, VirtualTime};
+use robustq_sim::{SimConfig, VirtualTime};
 use robustq_storage::{ColumnData, Database, Table};
 
 /// Split `db`'s `fact_table` row-wise into `n` partitions, replicating
@@ -201,9 +201,11 @@ pub fn run_partitioned(
         total.aborts += r.metrics.aborts;
         total.wasted_time += r.metrics.wasted_time;
         total.queries += r.metrics.queries;
-        for d in DeviceId::ALL {
-            total.device_busy[d] += r.metrics.device_busy[d];
-            total.ops_completed[d] += r.metrics.ops_completed[d];
+        for (d, busy) in r.metrics.device_busy.iter() {
+            *total.device_busy.get_mut_or_grow(d) += *busy;
+        }
+        for (d, ops) in r.metrics.ops_completed.iter() {
+            *total.ops_completed.get_mut_or_grow(d) += *ops;
         }
     }
     total.makespan = makespan;

@@ -316,10 +316,10 @@ impl<'a> WorkloadRunner<'a> {
     ) -> Result<RunReport, EngineError> {
         self.db.stats().reset();
         let executor = Executor::new(self.db, self.config.clone());
-        // The cache persists across warm-up and measured runs, exactly
+        // The caches persist across warm-up and measured runs, exactly
         // like device memory across the paper's warm-up executions.
-        let mut cache = robustq_sim::DataCache::new(
-            self.config.gpu.cache_bytes,
+        let mut cache = robustq_sim::CacheSet::for_topology(
+            &self.config.topology,
             self.config.cache_policy,
         );
 
@@ -335,7 +335,7 @@ impl<'a> WorkloadRunner<'a> {
 
         let mut opts = cfg.exec_options(RunPhase::Measured);
         if cfg.preload_hot_columns {
-            opts.preload = Self::hot_columns(self.db, self.config.gpu.cache_bytes);
+            opts.preload = Self::hot_columns(self.db, self.config.gpu().cache_bytes);
         }
         let tracer = opts.tracer.clone();
         let out = executor.run_with_cache(

@@ -17,7 +17,7 @@
 
 use robustq::core::Strategy;
 use robustq::engine::{ExecOptions, Executor, PlacementPolicy};
-use robustq::sim::{DataCache, SimConfig};
+use robustq::sim::{CacheSet, SimConfig};
 use robustq::sql::plan_sql;
 use robustq::storage::gen::ssb::SsbGenerator;
 use robustq::storage::gen::tpch::TpchGenerator;
@@ -29,14 +29,14 @@ struct Session {
     sim: SimConfig,
     strategy: Strategy,
     policy: Box<dyn PlacementPolicy>,
-    cache: DataCache,
+    cache: CacheSet,
     queries_run: usize,
 }
 
 impl Session {
     fn new() -> Self {
         let sim = SimConfig::default();
-        let cache = DataCache::new(sim.gpu.cache_bytes, sim.cache_policy);
+        let cache = CacheSet::for_topology(&sim.topology, sim.cache_policy);
         Session {
             db: None,
             sim,
@@ -49,7 +49,7 @@ impl Session {
 
     fn reset_machine(&mut self) {
         self.policy = self.strategy.build();
-        self.cache = DataCache::new(self.sim.gpu.cache_bytes, self.sim.cache_policy);
+        self.cache = CacheSet::for_topology(&self.sim.topology, self.sim.cache_policy);
     }
 
     fn command(&mut self, line: &str) -> Result<String, String> {

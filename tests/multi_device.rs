@@ -1,0 +1,194 @@
+//! Multi-device (1 CPU + K co-processor) invariants, swept over
+//! K ∈ {1, 2, 4}.
+//!
+//! The N-device topology generalises the paper's {CPU, GPU} pair; these
+//! tests pin what that generalisation must preserve:
+//!
+//!  1. **Result invariance** — adding co-processors changes where
+//!     operators run, never what a query returns, under every strategy;
+//!  2. **Conservation** — per-fleet heap bytes drain, and the executor's
+//!     transfer metrics agree with the interconnect's own per-link
+//!     statistics summed over the fleet, at every K;
+//!  3. **Determinism** — virtual time is independent of real-CPU worker
+//!     counts: the same run at workers ∈ {1, 2, 8} is byte-identical;
+//!  4. **Chaos differential** — seeded fault plans at K > 1 still yield
+//!     bit-identical results to that K's fault-free baseline;
+//!  5. **Tracing** — a traced K-device run exports one kernel lane per
+//!     device in the Chrome trace.
+//!
+//! (Byte-identity of the K = 1 default against the pre-topology executor
+//! is pinned separately by `tests/topology_golden.rs`.)
+
+use std::collections::BTreeMap;
+
+use robustq::core::Strategy;
+use robustq::engine::parallel::ParallelCtx;
+use robustq::sim::{FaultPlan, FaultSpec, SimConfig, VirtualTime};
+use robustq::storage::gen::ssb::SsbGenerator;
+use robustq::storage::Database;
+use robustq::workloads::{ssb, RunReport, RunnerConfig, WorkloadRunner};
+
+const KS: [usize; 3] = [1, 2, 4];
+
+fn db() -> Database {
+    SsbGenerator::new(1).with_rows_per_sf(1_000).generate()
+}
+
+/// A tight machine so placement has real heap/cache pressure, scaled out
+/// to `k` identical co-processors.
+fn sim_k(k: usize) -> SimConfig {
+    SimConfig::default()
+        .with_gpu_memory(512 * 1024)
+        .with_gpu_cache(256 * 1024)
+        .with_coprocessors(k)
+}
+
+type ResultMap = BTreeMap<(usize, usize), (usize, u64)>;
+
+fn result_map(report: &RunReport) -> ResultMap {
+    report
+        .outcomes
+        .iter()
+        .map(|o| ((o.session, o.seq), (o.rows, o.checksum)))
+        .collect()
+}
+
+/// Heap/link conservation at any K: the fleet heap drained and the
+/// executor's transfer accounting matches the interconnect's totals.
+fn assert_conservation(report: &RunReport, k: usize, label: &str) {
+    let m = &report.metrics;
+    assert_eq!(m.gpu_heap_leaked, 0, "{label}: fleet heap leaked bytes");
+    assert_eq!(m.h2d_bytes, m.link_h2d.bytes, "{label}: H2D byte accounting split");
+    assert_eq!(m.d2h_bytes, m.link_d2h.bytes, "{label}: D2H byte accounting split");
+    assert_eq!(m.h2d_time, m.link_h2d.busy_time, "{label}: H2D time accounting split");
+    assert_eq!(m.d2h_time, m.link_d2h.busy_time, "{label}: D2H time accounting split");
+    assert_eq!(m.device_busy.len(), k + 1, "{label}: device table is not CPU + K");
+    assert_eq!(m.ops_completed.len(), k + 1, "{label}: op table is not CPU + K");
+    let total_ops: u64 = m.ops_completed.iter().map(|(_, n)| *n).sum();
+    assert!(total_ops > 0, "{label}: no operator ever completed");
+}
+
+/// (1) + (2): every strategy returns identical results at every K, and
+/// every run conserves heap and link bytes.
+#[test]
+fn results_are_invariant_in_the_coprocessor_count() {
+    let db = db();
+    let queries = ssb::workload(&db).expect("SSB plans");
+    let cfg = RunnerConfig::default().with_users(2);
+    for strategy in Strategy::ALL {
+        let mut baseline: Option<ResultMap> = None;
+        for k in KS {
+            let runner = WorkloadRunner::new(&db, sim_k(k));
+            let report = runner.run(&queries, strategy, &cfg).expect("sweep run");
+            let label = format!("{} K={k}", strategy.name());
+            assert_conservation(&report, k, &label);
+            match &baseline {
+                None => baseline = Some(result_map(&report)),
+                Some(want) => assert_eq!(
+                    want,
+                    &result_map(&report),
+                    "{label}: results drifted from the K=1 baseline"
+                ),
+            }
+        }
+    }
+}
+
+/// (3): virtual-time behaviour is independent of real-CPU parallelism —
+/// the whole run (metrics and outcomes, down to the debug repr) is
+/// byte-identical at workers ∈ {1, 2, 8}, for every K.
+#[test]
+fn runs_are_deterministic_across_worker_counts() {
+    let db = db();
+    let queries = ssb::workload(&db).expect("SSB plans");
+    for k in KS {
+        let runner = WorkloadRunner::new(&db, sim_k(k));
+        let mut baseline: Option<(String, String)> = None;
+        for workers in [1usize, 2, 8] {
+            let cfg = RunnerConfig::default()
+                .with_users(2)
+                .with_parallel(ParallelCtx::serial().with_workers(workers));
+            let report =
+                runner.run(&queries, Strategy::DataDrivenChopping, &cfg).expect("runs");
+            let snap =
+                (format!("{:?}", report.metrics), format!("{:?}", report.outcomes));
+            match &baseline {
+                None => baseline = Some(snap),
+                Some(want) => assert_eq!(
+                    want, &snap,
+                    "K={k}: run not byte-identical at workers={workers}"
+                ),
+            }
+        }
+    }
+}
+
+/// (4): the chaos differential holds on a fleet — seeded fault plans at
+/// every K keep results bit-identical to that K's fault-free baseline,
+/// with conservation intact. At least one sweep point must actually
+/// inject (vacuity guard).
+#[test]
+fn chaos_differential_holds_on_a_fleet() {
+    let db = db();
+    let queries = ssb::workload(&db).expect("SSB plans");
+    let mut injected_total = 0;
+    for k in KS {
+        let runner = WorkloadRunner::new(&db, sim_k(k));
+        let cfg = RunnerConfig::default().with_users(2);
+        let baseline = runner
+            .run(&queries, Strategy::Chopping, &cfg)
+            .expect("fault-free baseline");
+        let want = result_map(&baseline);
+        let horizon = baseline.metrics.makespan.max(VirtualTime::from_micros(1));
+        for seed in 0..10u64 {
+            let spec = FaultSpec {
+                alloc_fail_prob: 0.10,
+                transfer_transient_prob: 0.10,
+                transfer_spike_prob: 0.05,
+                transfer_spike_factor: 3.0,
+                kernel_abort_prob: 0.10,
+                random_stalls: 1,
+                stall_horizon: horizon,
+                stall_len: (
+                    VirtualTime::from_nanos(1 + horizon.as_nanos() / 20),
+                    VirtualTime::ZERO,
+                ),
+                ..Default::default()
+            };
+            let plan = FaultPlan::new(seed, spec);
+            let cfg = RunnerConfig::default().with_users(2).with_fault_plan(plan);
+            let report = runner
+                .run(&queries, Strategy::Chopping, &cfg)
+                .unwrap_or_else(|e| panic!("K={k} seed {seed} failed: {e}"));
+            let label = format!("K={k} seed {seed}");
+            assert_conservation(&report, k, &label);
+            assert_eq!(
+                want,
+                result_map(&report),
+                "{label}: results drifted under faults"
+            );
+            injected_total += report.metrics.faults.injected;
+        }
+    }
+    assert!(injected_total > 0, "the fleet chaos sweep never injected — vacuous");
+}
+
+/// (5): a traced fleet run exports one kernel lane per device, and the
+/// extra co-processors actually appear in the busy table.
+#[test]
+fn traced_fleet_run_has_one_lane_per_device() {
+    let db = db();
+    let queries = ssb::workload(&db).expect("SSB plans");
+    for k in [2usize, 4] {
+        let runner = WorkloadRunner::new(&db, sim_k(k));
+        let cfg = RunnerConfig::default().with_users(2).with_trace();
+        let report =
+            runner.run(&queries, Strategy::Chopping, &cfg).expect("traced run");
+        let chrome = report.chrome_trace().expect("traced run exports chrome JSON");
+        assert_eq!(report.metrics.device_busy.len(), k + 1);
+        for (d, _) in report.metrics.device_busy.iter() {
+            let lane = format!("{d} kernels");
+            assert!(chrome.contains(&lane), "K={k}: trace missing lane {lane:?}");
+        }
+    }
+}

@@ -1,0 +1,73 @@
+//! Golden pin of the default 1-CPU/1-GPU topology.
+//!
+//! The N-device topology refactor must be behavior-preserving at K = 1:
+//! the default configuration has to reproduce the pre-refactor metrics,
+//! query outcomes and Chrome trace stream *byte-identically*. This test
+//! fingerprints a traced reference run (metrics debug representation,
+//! outcome debug representation, event count and an FNV-1a hash of the
+//! exported Chrome JSON) against a fixture captured on the pre-refactor
+//! tree.
+//!
+//! Re-bless (only for an intentional behavior change):
+//! `ROBUSTQ_BLESS=1 cargo test --test topology_golden`
+
+use robustq::core::Strategy;
+use robustq::sim::SimConfig;
+use robustq::storage::gen::ssb::SsbGenerator;
+use robustq::workloads::{ssb, RunnerConfig, WorkloadRunner};
+
+const FIXTURE: &str = concat!(
+    env!("CARGO_MANIFEST_DIR"),
+    "/tests/fixtures/golden_k1.txt"
+);
+
+/// FNV-1a over the raw bytes: any byte-level drift in the exported
+/// trace document changes the fingerprint.
+fn fnv64(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    h
+}
+
+fn fingerprint() -> String {
+    let db = SsbGenerator::new(1).with_rows_per_sf(1_000).generate();
+    let queries = ssb::workload(&db).expect("SSB plans");
+    let sim = SimConfig::default().with_gpu_memory(512 * 1024).with_gpu_cache(256 * 1024);
+    let runner = WorkloadRunner::new(&db, sim);
+
+    let mut out = String::new();
+    for strategy in [Strategy::GpuPreferred, Strategy::DataDrivenChopping] {
+        let cfg = RunnerConfig::default().with_users(2).with_trace();
+        let report = runner.run(&queries, strategy, &cfg).expect("golden run");
+        let trace = report.trace.as_ref().expect("traced run records events");
+        let chrome = report.chrome_trace().expect("traced run exports");
+        out.push_str(&format!("strategy: {}\n", strategy.name()));
+        out.push_str(&format!("metrics: {:?}\n", report.metrics));
+        out.push_str(&format!("outcomes: {:#018x}\n", fnv64(format!("{:?}", report.outcomes).as_bytes())));
+        out.push_str(&format!("events: {}\n", trace.events.len()));
+        out.push_str(&format!("chrome_fnv64: {:#018x}\n", fnv64(chrome.as_bytes())));
+    }
+    out
+}
+
+#[test]
+fn default_topology_is_byte_identical_to_prerefactor_baseline() {
+    let got = fingerprint();
+    if std::env::var("ROBUSTQ_BLESS").is_ok() {
+        std::fs::create_dir_all(
+            std::path::Path::new(FIXTURE).parent().expect("fixture dir"),
+        )
+        .expect("create fixture dir");
+        std::fs::write(FIXTURE, &got).expect("write fixture");
+        return;
+    }
+    let want = std::fs::read_to_string(FIXTURE)
+        .expect("golden fixture missing — run with ROBUSTQ_BLESS=1 to capture");
+    assert_eq!(
+        got, want,
+        "default 1-CPU/1-GPU run drifted from the pre-refactor baseline"
+    );
+}
