@@ -21,8 +21,10 @@
 //!
 //! `ROBUSTQ_BENCH_ROWS` overrides the row counts (CI smoke runs a small
 //! size; the JSON is only written at the default sizes). On a single-core
-//! host the parallel speedups hover around 1×; the thread-scaling targets
-//! apply on multi-core hosts.
+//! host the parallel kernels fall back to their serial references
+//! (`ParallelCtx::fans_out`), so speedups hover around 1× and reflect
+//! timer noise only; the thread-scaling targets apply on multi-core
+//! hosts.
 
 use robustq_bench::table::json_str;
 use robustq_engine::expr::Expr;
@@ -36,7 +38,7 @@ use std::hint::black_box;
 use std::time::Instant;
 
 const SIZES: [usize; 2] = [1_000_000, 10_000_000];
-const ITERS: usize = 3;
+const ITERS: usize = 5;
 
 /// Deterministic pseudo-random stream (SplitMix64) for bench data.
 fn mix(seed: u64) -> impl FnMut() -> u64 {
@@ -131,8 +133,11 @@ impl Measurement {
     }
 }
 
-/// Serial baselines for one input size, timed once and shared across the
-/// worker sweep (they do not depend on the worker count).
+/// Serial baselines for one input size. Re-timed inside every worker
+/// sweep entry, adjacent to the variants they are compared against: a
+/// baseline timed once up front sees a different allocator/page-cache
+/// state than variants timed minutes later, which showed up as a
+/// systematic ~15% bias on identical code paths.
 struct Baselines {
     select: (Chunk, f64),
     join: (Chunk, f64),
@@ -177,32 +182,33 @@ fn main() {
         let group_by = vec!["g".to_string()];
         let aggs = vec![AggSpec::sum(Expr::col("v"), "sum"), AggSpec::count("cnt")];
 
-        let base = Baselines {
-            select: time_best(|| ops::select::select(&sel_chunk, &sel_pred).unwrap()),
-            join: time_best(|| {
-                ops::join::hash_join(&build, &probe, "pk", "fk", JoinKind::Inner)
-                    .unwrap()
-            }),
-            agg: time_best(|| {
-                ops::agg::aggregate(&agg_chunk, &group_by, &aggs).unwrap()
-            }),
-            // The fused baselines are the pre-selection-vector pipelines:
-            // mask select + gather, then the downstream kernel on the
-            // materialized intermediate.
-            fused_agg: time_best(|| {
-                let filtered =
-                    ops::select::select_via_mask(&agg_chunk, &v_pred).unwrap();
-                ops::agg::aggregate(&filtered, &group_by, &aggs).unwrap()
-            }),
-            fused_probe: time_best(|| {
-                let filtered =
-                    ops::select::select_via_mask(&probe, &v_pred).unwrap();
-                ops::join::hash_join(&build, &filtered, "pk", "fk", JoinKind::Inner)
-                    .unwrap()
-            }),
-        };
-
         for (i, &workers) in sweep.iter().enumerate() {
+            let base = Baselines {
+                select: time_best(|| {
+                    ops::select::select(&sel_chunk, &sel_pred).unwrap()
+                }),
+                join: time_best(|| {
+                    ops::join::hash_join(&build, &probe, "pk", "fk", JoinKind::Inner)
+                        .unwrap()
+                }),
+                agg: time_best(|| {
+                    ops::agg::aggregate(&agg_chunk, &group_by, &aggs).unwrap()
+                }),
+                // The fused baselines are the pre-selection-vector pipelines:
+                // mask select + gather, then the downstream kernel on the
+                // materialized intermediate.
+                fused_agg: time_best(|| {
+                    let filtered =
+                        ops::select::select_via_mask(&agg_chunk, &v_pred).unwrap();
+                    ops::agg::aggregate(&filtered, &group_by, &aggs).unwrap()
+                }),
+                fused_probe: time_best(|| {
+                    let filtered =
+                        ops::select::select_via_mask(&probe, &v_pred).unwrap();
+                    ops::join::hash_join(&build, &filtered, "pk", "fk", JoinKind::Inner)
+                        .unwrap()
+                }),
+            };
             let ctx = ParallelCtx::serial().with_workers(workers);
             let mut push = |kernel: &'static str,
                             baseline: &(Chunk, f64),

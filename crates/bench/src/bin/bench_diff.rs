@@ -1,0 +1,183 @@
+//! Gate the multi-GPU scaling claim on `BENCH_multigpu.json`.
+//!
+//! DESIGN.md §12's success criterion: on the SSB sweep, at least one
+//! sharding-enabled strategy must bring the K = 4 (more generally,
+//! max-K) makespan *below* its own K = 1 baseline — adding
+//! co-processors has to pay. This check parses the JSON the `multigpu`
+//! bin writes and fails (exit 1) if no sharded strategy scales within
+//! the tolerance; every ratio is printed either way so regressions show
+//! up in CI logs before they cross the line.
+//!
+//! ```text
+//! cargo run -p robustq-bench --release --bin bench-diff -- BENCH_multigpu.json
+//! cargo run -p robustq-bench --release --bin bench-diff -- --max-ratio 0.9 BENCH_multigpu.json
+//! ```
+//!
+//! `--max-ratio R` (default 0.95): a strategy scales when
+//! `makespan(max K) <= R × makespan(K = 1)`. The sim is deterministic,
+//! so the margin guards against cost-model tweaks eroding the win, not
+//! against noise.
+
+use std::collections::BTreeMap;
+
+use robustq_trace::json::{parse, Json};
+
+struct Args {
+    path: String,
+    max_ratio: f64,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args { path: "BENCH_multigpu.json".to_string(), max_ratio: 0.95 };
+    let mut it = std::env::args().skip(1);
+    let mut saw_path = false;
+    while let Some(flag) = it.next() {
+        match flag.as_str() {
+            "--max-ratio" => {
+                let v = it.next().ok_or("--max-ratio needs a value")?;
+                args.max_ratio =
+                    v.parse().map_err(|e| format!("--max-ratio: {e}"))?;
+                if !(0.0..=1.0).contains(&args.max_ratio) {
+                    return Err("--max-ratio must be in (0, 1]".into());
+                }
+            }
+            other if !other.starts_with('-') && !saw_path => {
+                args.path = other.to_string();
+                saw_path = true;
+            }
+            other => return Err(format!("unknown flag {other:?}")),
+        }
+    }
+    Ok(args)
+}
+
+/// One table row we care about: `(strategy label, K) -> makespan ms`.
+type Makespans = BTreeMap<(String, u64), f64>;
+
+/// Extract strategy/K/makespan from the FigTable named `id`.
+fn makespans(doc: &Json, id: &str) -> Result<Makespans, String> {
+    let tables = doc
+        .get("tables")
+        .and_then(Json::as_arr)
+        .ok_or("document has no 'tables' array")?;
+    let table = tables
+        .iter()
+        .find(|t| t.get("id").and_then(Json::as_str) == Some(id))
+        .ok_or_else(|| format!("no table with id {id:?}"))?;
+    let columns = table
+        .get("columns")
+        .and_then(Json::as_arr)
+        .ok_or_else(|| format!("table {id:?} has no 'columns'"))?;
+    let col = |name: &str| {
+        columns
+            .iter()
+            .position(|c| c.as_str() == Some(name))
+            .ok_or_else(|| format!("table {id:?} has no column {name:?}"))
+    };
+    let (k_col, strat_col, ms_col) =
+        (col("K")?, col("Strategy")?, col("Makespan [ms]")?);
+    let rows = table
+        .get("rows")
+        .and_then(Json::as_arr)
+        .ok_or_else(|| format!("table {id:?} has no 'rows'"))?;
+    let mut out = Makespans::new();
+    for (i, row) in rows.iter().enumerate() {
+        let row = row
+            .as_arr()
+            .ok_or_else(|| format!("table {id:?} row {i} is not an array"))?;
+        let cell = |c: usize| {
+            row.get(c)
+                .and_then(Json::as_str)
+                .ok_or_else(|| format!("table {id:?} row {i} col {c} missing"))
+        };
+        let k: u64 = cell(k_col)?
+            .parse()
+            .map_err(|e| format!("table {id:?} row {i}: bad K: {e}"))?;
+        let ms: f64 = cell(ms_col)?
+            .parse()
+            .map_err(|e| format!("table {id:?} row {i}: bad makespan: {e}"))?;
+        out.insert((cell(strat_col)?.to_string(), k), ms);
+    }
+    Ok(out)
+}
+
+/// Check one workload table; returns whether any sharded strategy
+/// scales to max K within `max_ratio`, printing every ratio.
+fn check_table(doc: &Json, id: &str, max_ratio: f64) -> Result<bool, String> {
+    let spans = makespans(doc, id)?;
+    let min_k = spans.keys().map(|(_, k)| *k).min().ok_or("empty table")?;
+    let max_k = spans.keys().map(|(_, k)| *k).max().unwrap_or(min_k);
+    if max_k <= min_k {
+        return Err(format!(
+            "table {id:?} has a single K={min_k} — nothing to diff (run the \
+             sweep with --ks 1,2,4)"
+        ));
+    }
+    let mut any_scales = false;
+    let mut saw_sharded = false;
+    for ((label, _), base) in spans.iter().filter(|((_, k), _)| *k == min_k) {
+        let Some(at_max) = spans.get(&(label.clone(), max_k)) else {
+            continue;
+        };
+        let ratio = at_max / base;
+        let sharded = label.ends_with("+ Shard");
+        let scales = sharded && ratio <= max_ratio;
+        saw_sharded |= sharded;
+        any_scales |= scales;
+        println!(
+            "{id}: {label:<30} K={min_k} {base:.3}ms -> K={max_k} {at_max:.3}ms \
+             (ratio {ratio:.3}){}",
+            if scales { "  SCALES" } else { "" },
+        );
+    }
+    if !saw_sharded {
+        return Err(format!(
+            "table {id:?} has no sharded rows — run the sweep with --shard"
+        ));
+    }
+    Ok(any_scales)
+}
+
+fn main() {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("bench-diff: {e}");
+            std::process::exit(2);
+        }
+    };
+    let src = match std::fs::read_to_string(&args.path) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("bench-diff: {}: {e}", args.path);
+            std::process::exit(2);
+        }
+    };
+    let doc = match parse(&src) {
+        Ok(d) => d,
+        Err(e) => {
+            eprintln!("bench-diff: {}: malformed JSON: {e}", args.path);
+            std::process::exit(1);
+        }
+    };
+    // SSB carries the success criterion; TPC-H is reported for context.
+    match check_table(&doc, "multigpu-ssb", args.max_ratio) {
+        Ok(true) => {}
+        Ok(false) => {
+            eprintln!(
+                "bench-diff: FAIL: no sharded strategy reaches max-K makespan \
+                 <= {} x its K=1 baseline on SSB",
+                args.max_ratio
+            );
+            std::process::exit(1);
+        }
+        Err(e) => {
+            eprintln!("bench-diff: {}: {e}", args.path);
+            std::process::exit(1);
+        }
+    }
+    if let Err(e) = check_table(&doc, "multigpu-tpch", args.max_ratio) {
+        eprintln!("bench-diff: note: tpch table skipped: {e}");
+    }
+    println!("bench-diff: ok — sharded scaling criterion holds");
+}

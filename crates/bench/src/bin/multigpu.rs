@@ -17,11 +17,19 @@
 //! cargo run -p robustq-bench --release --bin multigpu
 //! cargo run -p robustq-bench --release --bin multigpu -- --users 8 --ks 1,2,4
 //! cargo run -p robustq-bench --release --bin multigpu -- --ks 2 --trace multigpu-trace.json
+//! cargo run -p robustq-bench --release --bin multigpu -- --shard --replicate-max-bytes 65536
 //! ```
 //!
 //! `--trace PATH` traces the largest-K SSB run under the learned
 //! strategy, asserts the Chrome export carries one kernel lane per
 //! device, and writes the JSON to PATH (CI feeds it to `trace-lint`).
+//!
+//! `--shard` adds intra-operator sharding rows (DESIGN.md §12): each K
+//! is additionally swept with `K`-way sharded leaf scans under the two
+//! shard-aware strategies, and `--replicate-max-bytes` bounds how large
+//! a table the data placement manager replicates into every cache
+//! instead of partitioning. Sharded rows must reproduce the unsharded
+//! K = 1 result fingerprints bit for bit.
 
 use std::collections::BTreeMap;
 
@@ -41,15 +49,19 @@ struct Args {
     ks: Vec<usize>,
     out: String,
     trace: Option<String>,
+    shard: bool,
+    replicate_max_bytes: u64,
 }
 
 fn parse_args() -> Result<Args, String> {
     let mut args = Args {
         users: 4,
-        rows: 1_000,
+        rows: 8_000,
         ks: vec![1, 2, 4],
         out: "BENCH_multigpu.json".to_string(),
         trace: None,
+        shard: false,
+        replicate_max_bytes: 64 * 1024,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -74,6 +86,12 @@ fn parse_args() -> Result<Args, String> {
             }
             "--out" => args.out = value("--out")?,
             "--trace" => args.trace = Some(value("--trace")?),
+            "--shard" => args.shard = true,
+            "--replicate-max-bytes" => {
+                args.replicate_max_bytes = value("--replicate-max-bytes")?
+                    .parse()
+                    .map_err(|e| format!("--replicate-max-bytes: {e}"))?
+            }
             other => return Err(format!("unknown flag {other:?}")),
         }
     }
@@ -103,6 +121,71 @@ fn result_map(report: &RunReport) -> BTreeMap<(usize, usize), (usize, u64)> {
         .collect()
 }
 
+/// One workload's sweep state: the result table, the K = 1 baseline
+/// fingerprints every later point must reproduce, and failure count.
+struct Sweep {
+    name: &'static str,
+    base_k: usize,
+    table: FigTable,
+    baseline: Option<BTreeMap<(usize, usize), (usize, u64)>>,
+    failures: u64,
+}
+
+impl Sweep {
+    /// Check the result fingerprints and append one table row.
+    fn record(&mut self, k: usize, label: &str, report: &RunReport) {
+        let results = result_map(report);
+        match &self.baseline {
+            None => self.baseline = Some(results),
+            Some(want) => {
+                if *want != results {
+                    eprintln!(
+                        "multigpu: FAIL: {} K={k} {label} drifted from the \
+                         K={} baseline results",
+                        self.name, self.base_k,
+                    );
+                    self.failures += 1;
+                }
+            }
+        }
+        let m = &report.metrics;
+        let probes = m.cache_hits + m.cache_misses;
+        self.table.push_row([
+            k.to_string(),
+            label.to_string(),
+            ms(m.makespan),
+            ms(RunMetrics::mean_latency(&report.outcomes)),
+            m.aborts.to_string(),
+            if probes == 0 {
+                "-".to_string()
+            } else {
+                format!("{:.1}", 100.0 * m.cache_hits as f64 / probes as f64)
+            },
+            busy_cell(m),
+        ]);
+    }
+
+    /// Write the traced run's Chrome export, asserting one kernel lane
+    /// per device first.
+    fn export_trace(&mut self, path: &str, report: &RunReport, k: usize) {
+        let m = &report.metrics;
+        let chrome = report.chrome_trace().expect("traced run exports");
+        for (d, _) in m.device_busy.iter() {
+            let lane = format!("{d} kernels");
+            if !chrome.contains(&lane) {
+                eprintln!("multigpu: FAIL: trace has no lane {lane:?}");
+                self.failures += 1;
+            }
+        }
+        if let Err(e) = std::fs::write(path, &chrome) {
+            eprintln!("multigpu: cannot write {path}: {e}");
+            self.failures += 1;
+        } else {
+            println!("trace: {path} (K={k}, {} lanes expected)", m.device_busy.len());
+        }
+    }
+}
+
 fn main() {
     let args = match parse_args() {
         Ok(a) => a,
@@ -119,16 +202,19 @@ fn main() {
         ("ssb", &ssb_db, ssb::workload(&ssb_db).expect("SSB plans")),
         ("tpch", &tpch_db, tpch::workload()),
     ];
-    // Tight device memory (as in the chaos sweep) so placement has real
-    // cache/heap pressure to trade off across the fleet.
+    // Tight caches, roomy heaps: at the default row count one fact table
+    // overflows a single 256 KiB cache (so K = 1 degrades to the CPU or
+    // thrashes) while its K-way partitions fit across the fleet — the
+    // regime where intra-operator sharding pays. The 2 MiB heap keeps
+    // downstream joins from aborting once they follow the data out.
     let base_sim =
-        SimConfig::default().with_gpu_memory(512 * 1024).with_gpu_cache(256 * 1024);
+        SimConfig::default().with_gpu_memory(2 * 1024 * 1024).with_gpu_cache(256 * 1024);
     let strategies = [Strategy::GpuPreferred, Strategy::Chopping, Strategy::DataDrivenChopping];
 
     let mut tables = Vec::new();
     let mut failures = 0u64;
     for (name, db, queries) in &workloads {
-        let mut table = FigTable::new(
+        let table = FigTable::new(
             format!("multigpu-{name}"),
             format!("{name} workload swept over K co-processors (shared-queue executor)"),
         )
@@ -141,12 +227,16 @@ fn main() {
             "Cache hit %",
             "Busy per device [ms]",
         ]);
-        let mut baseline: Option<BTreeMap<(usize, usize), (usize, u64)>> = None;
+        let mut sweep =
+            Sweep { name, base_k: args.ks[0], table, baseline: None, failures: 0 };
         for &k in &args.ks {
             let sim = base_sim.clone().with_coprocessors(k);
             let runner = WorkloadRunner::new(db, sim);
             for strategy in strategies {
+                // With --shard the traced run is the sharded one below,
+                // so the shard lanes reach trace-lint.
                 let trace_this = args.trace.is_some()
+                    && !args.shard
                     && *name == "ssb"
                     && k == max_k
                     && strategy == Strategy::DataDrivenChopping;
@@ -155,57 +245,51 @@ fn main() {
                     cfg = cfg.with_trace();
                 }
                 let report = runner.run(queries, strategy, &cfg).expect("sweep run");
-                let results = result_map(&report);
-                match &baseline {
-                    None => baseline = Some(results),
-                    Some(want) => {
-                        if *want != results {
-                            eprintln!(
-                                "multigpu: FAIL: {name} K={k} {} drifted from the \
-                                 K={} baseline results",
-                                strategy.name(),
-                                args.ks[0],
-                            );
-                            failures += 1;
-                        }
-                    }
-                }
-                let m = &report.metrics;
-                let probes = m.cache_hits + m.cache_misses;
-                table.push_row([
-                    k.to_string(),
-                    strategy.name().to_string(),
-                    ms(m.makespan),
-                    ms(RunMetrics::mean_latency(&report.outcomes)),
-                    m.aborts.to_string(),
-                    if probes == 0 {
-                        "-".to_string()
-                    } else {
-                        format!("{:.1}", 100.0 * m.cache_hits as f64 / probes as f64)
-                    },
-                    busy_cell(m),
-                ]);
+                sweep.record(k, strategy.name(), &report);
                 if trace_this {
                     let path = args.trace.as_deref().expect("trace path");
-                    let chrome = report.chrome_trace().expect("traced run exports");
-                    for (d, _) in m.device_busy.iter() {
-                        let lane = format!("{d} kernels");
-                        if !chrome.contains(&lane) {
-                            eprintln!("multigpu: FAIL: trace has no lane {lane:?}");
-                            failures += 1;
-                        }
+                    sweep.export_trace(path, &report, k);
+                }
+            }
+            if args.shard {
+                // K-way sharded leaf scans under the shard-aware
+                // strategies. The data-placement manager partitions large
+                // tables with the same `ways` so shards find their slice.
+                let sharded: [(&'static str, Box<dyn robustq_engine::PlacementPolicy>); 2] = [
+                    ("Chopping + Shard", Box::new(robustq_core::Chopping::new())),
+                    (
+                        "Data-Driven Chopping + Shard",
+                        Box::new(robustq_core::DataDrivenChopping::with_manager(
+                            robustq_core::DataPlacementManager::lfu()
+                                .with_sharding(k, args.replicate_max_bytes),
+                        )),
+                    ),
+                ];
+                for (label, mut policy) in sharded {
+                    let trace_this = args.trace.is_some()
+                        && *name == "ssb"
+                        && k == max_k
+                        && label == "Data-Driven Chopping + Shard";
+                    let mut cfg = RunnerConfig::default()
+                        .with_users(args.users)
+                        .with_sharding(k, 0.0);
+                    if trace_this {
+                        cfg = cfg.with_trace();
                     }
-                    if let Err(e) = std::fs::write(path, &chrome) {
-                        eprintln!("multigpu: cannot write {path}: {e}");
-                        failures += 1;
-                    } else {
-                        println!("trace: {path} (K={k}, {} lanes expected)", m.device_busy.len());
+                    let report = runner
+                        .run_with_policy(queries, policy.as_mut(), label, &cfg)
+                        .expect("sharded sweep run");
+                    sweep.record(k, label, &report);
+                    if trace_this {
+                        let path = args.trace.as_deref().expect("trace path");
+                        sweep.export_trace(path, &report, k);
                     }
                 }
             }
         }
-        println!("{table}");
-        tables.push(table);
+        println!("{}", sweep.table);
+        failures += sweep.failures;
+        tables.push(sweep.table);
     }
 
     let mut json = String::from("{\n  \"tables\": [");

@@ -28,8 +28,8 @@ fn main() {
         };
         match lint_chrome_trace(&src) {
             Ok(rep) => println!(
-                "{path}: ok — {} events, {} lanes, {} complete spans, {} span pairs",
-                rep.events, rep.lanes, rep.complete_spans, rep.span_pairs
+                "{path}: ok — {} events, {} lanes, {} complete spans, {} span pairs, {} shard spans",
+                rep.events, rep.lanes, rep.complete_spans, rep.span_pairs, rep.shard_spans
             ),
             Err(e) => {
                 eprintln!("{path}: FAIL: {e}");

@@ -7,8 +7,9 @@
 //! the top of the ranking is pinned until the cache budget is exhausted —
 //! exactly Algorithm 1: evict `old \ new`, cache `new \ old`.
 
-use robustq_sim::{CacheKey, CacheSet, DataCache, DeviceId};
+use robustq_sim::{partition_bytes, CacheKey, CacheSet, DataCache, DeviceId};
 use robustq_storage::{ColumnId, Database};
+use std::collections::BTreeMap;
 
 /// Ranking criterion for the pinned set.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -25,12 +26,31 @@ pub struct DataPlacementManager {
     kind: PlacementPolicyKind,
     /// Optional cap on cache bytes used (defaults to the full cache).
     budget: Option<u64>,
+    /// Intra-operator sharding (DESIGN.md §12): partition large tables'
+    /// columns across the fleet and replicate small tables everywhere.
+    /// `0` disables sharding (the classic one-home-per-table layout).
+    shard_ways: usize,
+    /// Tables whose accessed columns total at most this many bytes are
+    /// replicated into *every* cache instead of partitioned (small build
+    /// sides each device can hold outright).
+    replicate_max_bytes: u64,
+    /// Sticky table→cache homes. Once a table is homed, later updates
+    /// keep it there even when the ranking reshuffles — re-homing a hot
+    /// table evicts and re-transfers its whole pinned set, which is how
+    /// K > 1 fleets lose cache hits without any change in the workload.
+    homes: BTreeMap<usize, usize>,
 }
 
 impl DataPlacementManager {
     /// A manager with the given ranking criterion and no byte cap.
     pub fn new(kind: PlacementPolicyKind) -> Self {
-        DataPlacementManager { kind, budget: None }
+        DataPlacementManager {
+            kind,
+            budget: None,
+            shard_ways: 0,
+            replicate_max_bytes: 0,
+            homes: BTreeMap::new(),
+        }
     }
 
     /// LFU ranking (the paper's default).
@@ -49,9 +69,26 @@ impl DataPlacementManager {
         self
     }
 
+    /// Enable shard-aware placement: large tables' columns are pinned as
+    /// `ways`-way *partitions* dealt across the fleet (partition `p` of a
+    /// table homed on slot `h` lands on cache `(h + p) % K`), while
+    /// tables totalling at most `replicate_max_bytes` accessed bytes are
+    /// replicated into every cache. `ways` should match the executor's
+    /// `shard_ways` so a shard's partition key probe finds its slice.
+    pub fn with_sharding(mut self, ways: usize, replicate_max_bytes: u64) -> Self {
+        self.shard_ways = ways;
+        self.replicate_max_bytes = replicate_max_bytes;
+        self
+    }
+
     /// The configured ranking criterion.
     pub fn kind(&self) -> PlacementPolicyKind {
         self.kind
+    }
+
+    /// The sharding degree this manager partitions for (0 = off).
+    pub fn shard_ways(&self) -> usize {
+        self.shard_ways
     }
 
     /// Rank all base columns by the configured criterion, best first.
@@ -102,37 +139,76 @@ impl DataPlacementManager {
     /// table at a time. With K = 1 this degenerates to
     /// [`DataPlacementManager::update`]. Returns `(device, key)` pairs
     /// newly cached so the caller can charge each device's host link.
-    pub fn update_set(&self, db: &Database, caches: &mut CacheSet) -> Vec<(DeviceId, CacheKey)> {
+    ///
+    /// Homes are *sticky*: a table keeps its cache across updates even
+    /// when the ranking reshuffles, so background placement never evicts
+    /// one device's pinned set just to rebuild it on a sibling.
+    ///
+    /// With [`DataPlacementManager::with_sharding`], large tables are
+    /// instead pinned as per-device *partitions* (shard `p` homed on
+    /// cache `(home + p) % K`) and small tables replicated everywhere.
+    pub fn update_set(
+        &mut self,
+        db: &Database,
+        caches: &mut CacheSet,
+    ) -> Vec<(DeviceId, CacheKey)> {
         let k = caches.len();
         if k == 0 {
             return Vec::new();
         }
         let ranking = self.ranking(db);
         // Home each accessed table: hottest table first, ties broken by
-        // registration index for determinism.
-        let mut table_scores: std::collections::BTreeMap<usize, u64> = Default::default();
+        // registration index for determinism. Previously homed tables
+        // keep their slot; only newcomers consume new round-robin slots.
+        let mut table_scores: BTreeMap<usize, u64> = Default::default();
+        let mut table_bytes: BTreeMap<usize, u64> = Default::default();
         for &(id, score) in &ranking {
-            *table_scores.entry(db.table_of(id)).or_default() += score;
+            let table = db.table_of(id);
+            *table_scores.entry(table).or_default() += score;
+            *table_bytes.entry(table).or_default() += db.column_size(id);
         }
         let mut tables: Vec<(usize, u64)> = table_scores.into_iter().collect();
         tables.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
-        let home: std::collections::BTreeMap<usize, usize> = tables
-            .iter()
-            .enumerate()
-            .map(|(rank, &(table, _))| (table, rank % k))
-            .collect();
+        for (rank, &(table, _)) in tables.iter().enumerate() {
+            self.homes.entry(table).or_insert(rank % k);
+        }
         let budgets: Vec<u64> = caches
             .iter()
             .map(|(_, cache)| self.budget.unwrap_or(u64::MAX).min(cache.capacity()))
             .collect();
         let mut used = vec![0u64; k];
         let mut pins: Vec<Vec<(CacheKey, u64)>> = vec![Vec::new(); k];
+        let ways = self.shard_ways.min(k);
         for (id, _) in ranking {
-            let slot = home[&db.table_of(id)];
+            let table = db.table_of(id);
+            let home = self.homes[&table];
             let bytes = db.column_size(id);
-            if used[slot] + bytes <= budgets[slot] {
-                used[slot] += bytes;
-                pins[slot].push((CacheKey(id.0 as u64), bytes));
+            if ways >= 2 && k >= 2 {
+                if table_bytes[&table] <= self.replicate_max_bytes {
+                    // Small build side: replicate into every cache that
+                    // has room, so any shard's probe/join runs locally.
+                    for (slot, u) in used.iter_mut().enumerate() {
+                        if *u + bytes <= budgets[slot] {
+                            *u += bytes;
+                            pins[slot].push((CacheKey::column(id.0), bytes));
+                        }
+                    }
+                } else {
+                    // Large table: deal its partitions across the fleet
+                    // starting at the table's home.
+                    for p in 0..ways as u32 {
+                        let slot = (home + p as usize) % k;
+                        let part = partition_bytes(bytes, p, ways as u32);
+                        if used[slot] + part <= budgets[slot] {
+                            used[slot] += part;
+                            pins[slot]
+                                .push((CacheKey::partition(id.0, p, ways as u32), part));
+                        }
+                    }
+                }
+            } else if used[home] + bytes <= budgets[home] {
+                used[home] += bytes;
+                pins[home].push((CacheKey::column(id.0), bytes));
             }
         }
         let mut newly = Vec::new();
@@ -281,7 +357,7 @@ mod tests {
         );
         let mut caches = CacheSet::for_topology(&topo, CachePolicy::Lru);
         let mut single = DataCache::new(24, CachePolicy::Lru);
-        let mgr = DataPlacementManager::lfu();
+        let mut mgr = DataPlacementManager::lfu();
         let newly_set = mgr.update_set(&db, &mut caches);
         let newly_one = mgr.update(&db, &mut single);
         assert_eq!(
@@ -291,6 +367,92 @@ mod tests {
         for key in newly_one {
             assert!(caches.device(DeviceId::Gpu).contains(key));
         }
+    }
+
+    #[test]
+    fn sticky_homes_survive_ranking_reshuffles() {
+        use robustq_sim::{DeviceSpec, LinkParams, Topology};
+        let mut db = db();
+        db.add_table(
+            Table::new(
+                "dim",
+                Schema::new(vec![Field::new("d", DataType::Int32)]),
+                vec![ColumnData::Int32(vec![1, 2, 3])],
+            )
+            .unwrap(),
+        )
+        .unwrap();
+        touch(&db, "a", 10);
+        let dim_d = db.column_id("dim", "d").unwrap();
+        db.stats().record_access(dim_d.index());
+        let topo = Topology::cpu_gpu(
+            DeviceSpec::cpu(4),
+            DeviceSpec::coprocessor(4, 1_000, 1_000),
+            LinkParams::default(),
+        )
+        .with_coprocessor(DeviceSpec::coprocessor(4, 1_000, 1_000), LinkParams::default());
+        let mut caches = CacheSet::for_topology(&topo, CachePolicy::Lru);
+        let mut mgr = DataPlacementManager::lfu();
+        mgr.update_set(&db, &mut caches);
+        let a = db.column_id("t", "a").unwrap();
+        assert!(caches.device(DeviceId::Gpu).contains(CacheKey(a.0 as u64)));
+        // Flip the ranking: dim becomes far hotter than t. Without sticky
+        // homes the tables would swap devices, evicting both pinned sets.
+        for _ in 0..100 {
+            db.stats().record_access(dim_d.index());
+        }
+        let newly = mgr.update_set(&db, &mut caches);
+        assert_eq!(newly, vec![], "a reshuffle must not re-home pinned tables");
+        assert!(caches.device(DeviceId::Gpu).contains(CacheKey(a.0 as u64)));
+        let g2 = DeviceId::coprocessor(2);
+        assert!(caches.device(g2).contains(CacheKey(dim_d.0 as u64)));
+    }
+
+    #[test]
+    fn sharding_partitions_large_tables_and_replicates_small_ones() {
+        use robustq_sim::{DeviceSpec, LinkParams, Topology};
+        let mut db = db();
+        db.add_table(
+            Table::new(
+                "dim",
+                Schema::new(vec![Field::new("d", DataType::Int32)]),
+                vec![ColumnData::Int32(vec![1, 2, 3])], // 12 bytes
+            )
+            .unwrap(),
+        )
+        .unwrap();
+        touch(&db, "a", 10);
+        touch(&db, "b", 9);
+        let dim_d = db.column_id("dim", "d").unwrap();
+        for _ in 0..5 {
+            db.stats().record_access(dim_d.index());
+        }
+        let topo = Topology::cpu_gpu(
+            DeviceSpec::cpu(4),
+            DeviceSpec::coprocessor(4, 1_000, 1_000),
+            LinkParams::default(),
+        )
+        .with_coprocessor(DeviceSpec::coprocessor(4, 1_000, 1_000), LinkParams::default());
+        let mut caches = CacheSet::for_topology(&topo, CachePolicy::Lru);
+        // t's accessed columns total 24 B (> 12), dim totals 12 B (≤ 12):
+        // t is partitioned 2-ways, dim replicated everywhere.
+        let mut mgr = DataPlacementManager::lfu().with_sharding(2, 12);
+        mgr.update_set(&db, &mut caches);
+        let a = db.column_id("t", "a").unwrap();
+        let b = db.column_id("t", "b").unwrap();
+        let g1 = DeviceId::Gpu;
+        let g2 = DeviceId::coprocessor(2);
+        for col in [a, b] {
+            assert!(caches.device(g1).contains(CacheKey::partition(col.0, 0, 2)));
+            assert!(caches.device(g2).contains(CacheKey::partition(col.0, 1, 2)));
+            assert!(!caches.device(g1).contains(CacheKey::column(col.0)));
+        }
+        for dev in [g1, g2] {
+            assert!(caches.device(dev).contains(CacheKey::column(dim_d.0)));
+        }
+        // Partition sizes tile the column exactly.
+        assert_eq!(caches.device(g1).used(), 6 + 6 + 12);
+        assert_eq!(caches.device(g2).used(), 6 + 6 + 12);
     }
 
     #[test]

@@ -17,6 +17,56 @@ use robustq_engine::{Placement, PlacementPolicy, PlaceReason, PolicyCtx, TaskInf
 use robustq_sim::{CacheKey, CacheSet, DeviceId, OpClass, VirtualTime};
 use robustq_storage::Database;
 
+/// Where `task`'s base columns are resident. A shard follows its own
+/// *partition*: the device holding either its row-slice partition keys or
+/// the whole columns counts, so the placement manager can home different
+/// partitions of one table on different co-processors and the shards
+/// fan out after the data.
+fn resident_device(task: &TaskInfo, ctx: &PolicyCtx) -> Option<DeviceId> {
+    match task.shard {
+        Some(s) => ctx.shard_cached_device(&task.base_columns, s),
+        None => ctx.cached_device(&task.base_columns),
+    }
+}
+
+/// Per-query home co-processor under shard-aware placement, or `None`
+/// when the classic chaining rule should decide.
+///
+/// Sharded leaf scans fan out after their partitions, but that leaves
+/// every merge with children on *different* co-processors — the classic
+/// chain rule would break there and drag the whole rest of the query
+/// onto the CPU, erasing the fan-out's win. Instead each query gets a
+/// home co-processor (`query % K`): merges (shard fan-ins) land on the
+/// home, and a leaf scan whose columns are resident on the home (the
+/// manager replicates small tables into every cache) starts the chain
+/// there too, so different queries' post-merge pipelines spread across
+/// the fleet instead of serialising on one device.
+fn query_home(task: &TaskInfo, ctx: &PolicyCtx) -> Option<DeviceId> {
+    let homes: Vec<DeviceId> = ctx.devices().collect();
+    if homes.is_empty() {
+        return None;
+    }
+    let home = homes[task.query % homes.len()];
+    if task.children_tasks.is_empty() {
+        // Leaf scan: the home only attracts it when its data is there
+        // (the CPU reads host memory directly, so it never attracts one).
+        (home.is_coprocessor()
+            && !task.base_columns.is_empty()
+            && ctx.all_cached_on(home, &task.base_columns))
+        .then_some(home)
+    } else {
+        // Shard fan-in: children spread over several co-processors.
+        let mut coprocs: Vec<DeviceId> = task
+            .children_devices
+            .iter()
+            .copied()
+            .filter(|d| d.is_coprocessor())
+            .collect();
+        coprocs.dedup();
+        (coprocs.len() >= 2).then_some(home)
+    }
+}
+
 /// Shared chaining rule: a co-processor iff every input is resident on
 /// that one device. `cached_device` is the (first) co-processor whose
 /// cache holds all of the task's base columns, if any.
@@ -78,7 +128,7 @@ impl PlacementPolicy for DataDriven {
             let children: Vec<DeviceId> =
                 t.children_tasks.iter().map(|&c| devices[c - base]).collect();
             let resolved = TaskInfo { children_devices: children, ..t.clone() };
-            let cached = ctx.cached_device(&resolved.base_columns);
+            let cached = resident_device(&resolved, ctx);
             devices.push(data_driven_device(&resolved, cached));
         }
         devices
@@ -144,7 +194,12 @@ impl PlacementPolicy for DataDrivenChopping {
     }
 
     fn place_ready(&mut self, task: &TaskInfo, ctx: &PolicyCtx) -> Placement {
-        let cached = ctx.cached_device(&task.base_columns);
+        if self.manager.shard_ways() >= 2 && task.shard.is_none() {
+            if let Some(home) = query_home(task, ctx) {
+                return Placement::fixed(home).because(PlaceReason::ShardSpread);
+            }
+        }
+        let cached = resident_device(task, ctx);
         Placement::fixed(data_driven_device(task, cached))
             .because(PlaceReason::DataResidency)
     }
@@ -221,6 +276,45 @@ mod tests {
         assert_eq!(p.place_ready(&join, &ctx).device, g2);
         join.children_devices = vec![DeviceId::Gpu, g2];
         assert_eq!(p.place_ready(&join, &ctx).device, DeviceId::Cpu);
+    }
+
+    #[test]
+    fn query_home_spreads_shard_merges_across_the_fleet() {
+        let db = empty_db();
+        let fx = fixture_k(2, 1_000);
+        let g2 = DeviceId::coprocessor(2);
+        let ctx = fx.ctx(&db);
+        let mut p = DataDrivenChopping::with_manager(
+            crate::DataPlacementManager::lfu().with_sharding(2, 0),
+        );
+        // A shard fan-in: children spread over both co-processors. The
+        // classic chain rule would send it to the CPU; with sharding on,
+        // it lands on the query's home device instead, and consecutive
+        // queries get different homes.
+        let mut merge = task(2_000);
+        merge.children_tasks = vec![0, 1];
+        merge.children_devices = vec![DeviceId::Gpu, g2];
+        merge.children_bytes = vec![10, 10];
+        let homes: Vec<DeviceId> = (0..3)
+            .map(|q| {
+                let mut m = merge.clone();
+                m.query = q;
+                p.place_ready(&m, &ctx).device
+            })
+            .collect();
+        assert_eq!(homes.len(), 3);
+        assert_eq!(
+            homes.iter().collect::<std::collections::BTreeSet<_>>().len(),
+            3,
+            "three consecutive queries must get three distinct homes, got {homes:?}"
+        );
+        // Shard tasks themselves are exempt (the placer deals them), and
+        // so is the whole rule when sharding is off.
+        let mut shard = merge.clone();
+        shard.shard = Some(robustq_engine::ShardSpec { index: 0, of: 2 });
+        assert_eq!(p.place_ready(&shard, &ctx).device, DeviceId::Cpu);
+        let mut off = DataDrivenChopping::new(PlacementPolicyKind::Lfu);
+        assert_eq!(off.place_ready(&merge, &ctx).device, DeviceId::Cpu);
     }
 
     #[test]

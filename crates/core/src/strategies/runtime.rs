@@ -10,7 +10,7 @@
 
 use crate::hype::HypeEstimator;
 use robustq_engine::{Placement, PlacementPolicy, PlaceReason, PolicyCtx, TaskInfo};
-use robustq_sim::{CacheKey, DeviceId, OpClass, PerDevice, VirtualTime};
+use robustq_sim::{partition_bytes, CacheKey, DeviceId, OpClass, PerDevice, VirtualTime};
 
 /// The shared run-time placement logic: estimated-completion-time
 /// minimization over all devices, using learned kernel models plus
@@ -34,8 +34,23 @@ impl RuntimePlacer {
     fn h2d_bytes(&self, task: &TaskInfo, device: DeviceId, ctx: &PolicyCtx) -> u64 {
         let mut bytes = 0;
         for &col in &task.base_columns {
-            if !ctx.cache(device).contains(CacheKey(col.0 as u64)) {
-                bytes += ctx.db.column_size(col);
+            let full = ctx.db.column_size(col);
+            match task.shard {
+                // A shard stages only its slice, resident under either
+                // the matching partition key or the whole column.
+                Some(s) => {
+                    let cache = ctx.cache(device);
+                    if !cache.contains(CacheKey::partition(col.0, s.index, s.of))
+                        && !cache.contains(CacheKey::column(col.0))
+                    {
+                        bytes += partition_bytes(full, s.index, s.of);
+                    }
+                }
+                None => {
+                    if !ctx.cache(device).contains(CacheKey::column(col.0)) {
+                        bytes += full;
+                    }
+                }
             }
         }
         for (&dev, &b) in task.children_devices.iter().zip(&task.children_bytes) {
@@ -109,6 +124,22 @@ impl RuntimePlacer {
         if coproc_count > 0 && eligible.is_empty() {
             return Placement::modeled(DeviceId::Cpu, est)
                 .because(PlaceReason::HeapPressure);
+        }
+        // Intra-operator sharding: sibling shards all become ready at
+        // once with near-identical estimates, so argmin would pile every
+        // one onto the same winner. Rank the eligible co-processors by
+        // estimate and deal shard `i` to the `i`-th best (mod fleet),
+        // spreading the pieces so the operator's makespan scales with K.
+        if let Some(s) = task.shard {
+            if !eligible.is_empty() {
+                let mut ranked = eligible.clone();
+                ranked.sort_by(|&a, &b| {
+                    est[a].cmp(&est[b]).then(a.index().cmp(&b.index()))
+                });
+                let device = ranked[s.index as usize % ranked.len()];
+                return Placement::modeled(device, est)
+                    .because(PlaceReason::ShardSpread);
+            }
         }
         let mut device = DeviceId::Cpu;
         for &d in &eligible {
@@ -242,6 +273,7 @@ pub(crate) mod test_support {
             children_bytes: vec![],
             children_tasks: vec![],
             was_aborted: false,
+            shard: None,
         }
     }
 }
@@ -363,6 +395,26 @@ mod tests {
         let placed = placer.choose(&t, &ctx);
         assert_eq!(placed.device, DeviceId::Cpu);
         assert_eq!(placed.reason, PlaceReason::HeapPressure);
+    }
+
+    #[test]
+    fn shards_deal_across_the_fleet_instead_of_argmin() {
+        let db = empty_db();
+        let fx = fixture_k(2, 0);
+        let ctx = fx.ctx(&db);
+        let g2 = DeviceId::coprocessor(2);
+        let placer = trained_placer(&[DeviceId::Cpu, DeviceId::Gpu, g2]);
+        // Two sibling shards with identical estimates: argmin would put
+        // both on GPU1; the dealer hands shard 1 to GPU2.
+        let mut devices = Vec::new();
+        for index in 0..2u32 {
+            let mut t = task(8_000_000);
+            t.shard = Some(robustq_engine::ShardSpec { index, of: 2 });
+            let placed = placer.choose(&t, &ctx);
+            assert_eq!(placed.reason, PlaceReason::ShardSpread);
+            devices.push(placed.device);
+        }
+        assert_eq!(devices, vec![DeviceId::Gpu, g2]);
     }
 
     #[test]

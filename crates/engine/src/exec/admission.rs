@@ -12,11 +12,85 @@ use crate::error::EngineError;
 use crate::exec::event_loop::{policy_ctx, QueryState, Sim, Status, TaskState};
 use crate::exec::metrics::{FaultCounters, QueryOutcome};
 use crate::exec::policy::{PolicyCtx, TaskInfo};
-use crate::exec::task::flatten;
+use crate::exec::task::{flatten, ShardSpec, TaskNode, TaskOp};
 use crate::plan::PlanNode;
 use robustq_sim::{DeviceId, Direction, PerDevice, VirtualTime};
 use robustq_storage::ColumnId;
 use robustq_trace::{EstVec, PlacePhase, TraceEvent, TransferKind};
+
+/// Rewrite a flattened task graph for intra-operator sharding: every leaf
+/// scan whose estimated input is at least `min_bytes` becomes `ways`
+/// [`TaskOp::ScanShard`] tasks plus one [`TaskOp::MergeShards`] barrier
+/// that takes the scan's place in the graph. The rewrite preserves the
+/// postorder invariants (children before parents, root last) and leaves
+/// estimates aligned: shards get `1/ways` of the scan's input estimate,
+/// the merge consumes and reproduces the scan's output estimate.
+pub(crate) fn expand_shards(
+    nodes: Vec<TaskNode>,
+    estimates: Vec<(f64, f64)>,
+    ways: usize,
+    min_bytes: f64,
+) -> (Vec<TaskNode>, Vec<(f64, f64)>) {
+    if ways < 2 {
+        return (nodes, estimates);
+    }
+    let mut out: Vec<TaskNode> = Vec::with_capacity(nodes.len());
+    let mut est: Vec<(f64, f64)> = Vec::with_capacity(nodes.len());
+    // New index of each old node (the merge barrier stands in for a
+    // sharded scan).
+    let mut remap: Vec<usize> = Vec::with_capacity(nodes.len());
+    for (i, node) in nodes.iter().enumerate() {
+        let e = estimates[i];
+        let shardable = node.children.is_empty()
+            && matches!(node.op, TaskOp::Scan { .. })
+            && e.0 >= min_bytes;
+        if !shardable {
+            remap.push(out.len());
+            out.push(node.clone());
+            est.push(e);
+            continue;
+        }
+        let TaskOp::Scan { table, columns, predicate } = node.op.clone() else {
+            unreachable!("shardable implies scan");
+        };
+        let first = out.len();
+        for index in 0..ways {
+            out.push(TaskNode {
+                op: TaskOp::ScanShard {
+                    table: table.clone(),
+                    columns: columns.clone(),
+                    predicate: predicate.clone(),
+                    shard: ShardSpec { index: index as u32, of: ways as u32 },
+                },
+                children: Vec::new(),
+                parent: None, // set just below
+            });
+            est.push((e.0 / ways as f64, e.1 / ways as f64));
+        }
+        let merge = out.len();
+        out.push(TaskNode {
+            op: TaskOp::MergeShards { columns },
+            children: (first..merge).collect(),
+            parent: node.parent, // remapped in the fix-up pass
+        });
+        for shard in &mut out[first..merge] {
+            shard.parent = Some(merge);
+        }
+        est.push((e.1, e.1));
+        remap.push(merge);
+    }
+    // Fix up edges that still point into the old graph. Shard nodes and
+    // merge children are already final; everything else goes through
+    // `remap`.
+    for (i, node) in nodes.iter().enumerate() {
+        let n = remap[i];
+        if !matches!(out[n].op, TaskOp::MergeShards { .. }) {
+            out[n].children = node.children.iter().map(|&c| remap[c]).collect();
+        }
+        out[n].parent = node.parent.map(|p| remap[p]);
+    }
+    (out, est)
+}
 
 impl Sim<'_, '_> {
     pub(crate) fn process_admissions(&mut self) -> Result<(), EngineError> {
@@ -42,6 +116,22 @@ impl Sim<'_, '_> {
         let nodes = flatten(&plan);
         let estimates = crate::exec::executor::postorder_estimates(&plan, self.db);
         debug_assert_eq!(nodes.len(), estimates.len());
+        // Intra-operator sharding (DESIGN.md §12): qualifying leaf scans
+        // fan out across the co-processor fleet. One shard per
+        // co-processor at most — with fewer than two there is nothing to
+        // spread, and the graph stays byte-identical to sharding off.
+        let ways = self
+            .opts
+            .shard_ways
+            .min(self.config.topology.device_count().saturating_sub(1));
+        let (nodes, estimates) =
+            expand_shards(nodes, estimates, ways, self.opts.shard_min_bytes);
+        let shard_fanouts: Vec<(usize, u32)> = nodes
+            .iter()
+            .enumerate()
+            .filter(|(_, n)| matches!(n.op, TaskOp::MergeShards { .. }))
+            .map(|(i, n)| (base + i, n.children.len() as u32))
+            .collect();
 
         for (node, est) in nodes.into_iter().zip(estimates) {
             let base_columns = match node.op.scan_access() {
@@ -96,6 +186,14 @@ impl Sim<'_, '_> {
             seq: seq as u32,
             at: submit_time,
         });
+        for (merge, shards) in shard_fanouts {
+            self.tracer.emit(TraceEvent::ShardFanout {
+                query: query as u32,
+                task: merge as u32,
+                shards,
+                at: submit_time,
+            });
+        }
 
         // Compile-time placement pass.
         let infos: Vec<TaskInfo> =
@@ -131,7 +229,13 @@ impl Sim<'_, '_> {
     pub(crate) fn exact_bytes_in(&self, task: usize) -> u64 {
         let t = &self.tasks[task];
         if t.children.is_empty() {
-            t.base_columns.iter().map(|&c| self.db.column_size(c)).sum()
+            let full: u64 =
+                t.base_columns.iter().map(|&c| self.db.column_size(c)).sum();
+            // A shard reads only its row-range slice of each base column.
+            match t.node.op.shard_spec() {
+                Some(s) => (full as f64 * s.fraction()) as u64,
+                None => full,
+            }
         } else {
             t.children.iter().map(|&c| self.tasks[c].output_bytes).sum()
         }
@@ -203,7 +307,13 @@ impl Sim<'_, '_> {
             self.completed_since_update = 0;
             let new_keys = self.policy.update_data_placement(self.db, self.caches);
             for (device, key) in new_keys {
-                let bytes = self.db.column_size(ColumnId(key.0 as u32));
+                // Partition keys home a byte-range slice of the column;
+                // whole-column keys move it in full.
+                let full = self.db.column_size(ColumnId(key.column_id()));
+                let bytes = match key.partition_of() {
+                    Some((index, of)) => robustq_sim::partition_bytes(full, index, of),
+                    None => full,
+                };
                 // Background placement transfers are durable and not
                 // attributed to any one query.
                 self.xfer(

@@ -63,17 +63,36 @@ impl DeviceSet {
 }
 
 impl Sim<'_, '_> {
+    /// Positional byte volume of a shard merge, if `task` is one.
+    ///
+    /// Shards hand the merge selection vectors (~4 B/row — the same rule
+    /// `d2h_consume_bytes` applies to scan outputs), and the merge
+    /// concatenates positions without touching payload bytes. Its kernel
+    /// cost is therefore charged on positions; `bytes_in`/`output_bytes`
+    /// keep reporting the logical payload for downstream accounting.
+    pub(crate) fn merge_positional_bytes(&self, task: usize) -> Option<u64> {
+        let t = &self.tasks[task];
+        matches!(t.node.op, crate::exec::task::TaskOp::MergeShards { .. }).then(|| {
+            t.children.iter().map(|&c| self.tasks[c].output_rows * 4).sum()
+        })
+    }
+
     pub(crate) fn enqueue(&mut self, task: usize, device: DeviceId) {
         let now = self.now;
+        let pos = self.merge_positional_bytes(task);
         let t = &mut self.tasks[task];
         t.device = Some(device);
         t.status = Status::Queued;
         t.queued_at = now;
+        let (cost_in, cost_out) = match pos {
+            Some(p) => (p.min(t.bytes_in), p.min(t.est_bytes_out)),
+            None => (t.bytes_in, t.est_bytes_out),
+        };
         let est = self.cost.duration(
             t.node.op.op_class(),
             device.kind(),
-            t.bytes_in,
-            t.est_bytes_out,
+            cost_in,
+            cost_out,
         );
         t.load_contribution = est;
         let rt = self.devices.rt_mut(device);
@@ -134,6 +153,11 @@ impl Sim<'_, '_> {
         let bytes_in = self.tasks[task].bytes_in;
         let bytes_out = self.tasks[task].output_bytes;
         let class = self.tasks[task].node.op.op_class();
+        // Kernel-cost volume: positional for shard merges, payload else.
+        let (cost_in, cost_out) = match self.merge_positional_bytes(task) {
+            Some(p) => (p.min(bytes_in), p.min(bytes_out)),
+            None => (bytes_in, bytes_out),
+        };
 
         // Record base-column accesses (the counters driving LFU placement).
         for &col in &self.tasks[task].base_columns.clone() {
@@ -159,12 +183,18 @@ impl Sim<'_, '_> {
             // Working memory: staged allocation of footprint + retained
             // result, plus any host-resident inputs copied in.
             let mut input_transfer_bytes = 0u64;
+            // A merge consumes its shards' position lists, not payloads,
+            // so its h2d input transfers are positional too.
+            let positional =
+                matches!(self.tasks[task].node.op, crate::exec::task::TaskOp::MergeShards { .. });
             for &c in &self.tasks[task].children.clone() {
                 if self.tasks[c].output_device == Some(DeviceId::Cpu) {
-                    input_transfer_bytes += self.tasks[c].output_bytes;
+                    let b = self.tasks[c].output_bytes;
+                    input_transfer_bytes +=
+                        if positional { (self.tasks[c].output_rows * 4).min(b) } else { b };
                 }
             }
-            let footprint = self.cost.gpu_working_footprint(class, bytes_in, bytes_out)
+            let footprint = self.cost.gpu_working_footprint(class, cost_in, cost_out)
                 + bytes_out;
             // Operators allocate incrementally (Section 2.5.1): a small
             // upfront slice (input buffers), then three growth stages
@@ -215,7 +245,7 @@ impl Sim<'_, '_> {
             }
 
             let duration =
-                self.cost.duration(class, DeviceKind::CoProcessor, bytes_in, bytes_out);
+                self.cost.duration(class, DeviceKind::CoProcessor, cost_in, cost_out);
             let solo = duration.as_nanos() as f64;
             let t = &mut self.tasks[task];
             t.kernel_duration = duration;
@@ -237,7 +267,7 @@ impl Sim<'_, '_> {
                     ready_at = ready_at.max(end);
                 }
             }
-            let duration = self.cost.duration(class, DeviceKind::Cpu, bytes_in, bytes_out);
+            let duration = self.cost.duration(class, DeviceKind::Cpu, cost_in, cost_out);
             let t = &mut self.tasks[task];
             t.kernel_duration = duration;
             t.remaining_ns = duration.as_nanos() as f64;

@@ -71,6 +71,16 @@ pub struct ExecOptions {
     /// a single-branch no-op: no allocations, byte-identical runs. Enable
     /// with [`Tracer::new`] and keep a clone to read the events back.
     pub tracer: Tracer,
+    /// Intra-operator sharding (DESIGN.md §12): split qualifying leaf
+    /// scans into this many device-shards at admission, merged by a
+    /// CPU-side barrier task. `0` disables sharding (the default — task
+    /// graphs are byte-identical to earlier releases). Values are clamped
+    /// to the co-processor count at admission, so `usize::MAX` means
+    /// "one shard per co-processor".
+    pub shard_ways: usize,
+    /// Minimum estimated input bytes before a scan is worth sharding;
+    /// smaller scans stay whole (fan-out overhead would dominate).
+    pub shard_min_bytes: f64,
 }
 
 impl Default for ExecOptions {
@@ -84,6 +94,8 @@ impl Default for ExecOptions {
             fault: FaultPlan::disabled(),
             retry: RetryPolicy::default(),
             tracer: Tracer::disabled(),
+            shard_ways: 0,
+            shard_min_bytes: 0.0,
         }
     }
 }

@@ -241,6 +241,7 @@ impl Sim<'_, '_> {
             children_bytes,
             children_tasks: t.children.clone(),
             was_aborted: t.forced_cpu,
+            shard: t.node.op.shard_spec(),
         }
     }
 

@@ -212,6 +212,19 @@ impl Sim<'_, '_> {
                 rows_out: t.output_rows,
                 outcome: OpOutcome::Completed,
             });
+            // A completed shard merge closes its fan-out's trace window
+            // (the lint pairs this with the admission-time ShardFanout).
+            if matches!(t.node.op, crate::exec::task::TaskOp::MergeShards { .. }) {
+                self.tracer.emit(TraceEvent::ShardMerge {
+                    query: t.query as u32,
+                    task: task as u32,
+                    shards: t.children.len() as u32,
+                    rows: t.output_rows,
+                    bytes: t.output_bytes,
+                    start: t.start_time,
+                    end: self.now,
+                });
+            }
         }
         let t = &self.tasks[task];
         self.policy.observe(

@@ -225,7 +225,9 @@ impl RunMetrics {
                 TraceEvent::QuerySubmit { .. }
                 | TraceEvent::CacheInsert { .. }
                 | TraceEvent::CacheEvict { .. }
-                | TraceEvent::Placement { .. } => {}
+                | TraceEvent::Placement { .. }
+                | TraceEvent::ShardFanout { .. }
+                | TraceEvent::ShardMerge { .. } => {}
             }
         }
         m.gpu_heap_leaked = last_heap_used.values().sum();

@@ -94,6 +94,10 @@ pub struct TaskInfo {
     pub children_tasks: Vec<usize>,
     /// True if this task was already aborted on the co-processor once.
     pub was_aborted: bool,
+    /// For sharded scans: which piece of the partitioned operator this
+    /// is. Shard-aware strategies spread shards across the fleet instead
+    /// of argmin-ing a single winner (DESIGN.md §12).
+    pub shard: Option<crate::exec::task::ShardSpec>,
 }
 
 /// Read-only snapshot of execution state exposed to policies.
@@ -153,6 +157,57 @@ impl PolicyCtx<'_> {
     pub fn least_loaded_coprocessor(&self) -> Option<DeviceId> {
         self.coprocessors()
             .min_by_key(|&d| (self.queued_work.get_padded(d), d))
+    }
+
+    /// Like [`PolicyCtx::all_cached_on`] for one shard of a partitioned
+    /// scan: a column counts as resident when either its matching
+    /// partition entry or the whole column is cached on `device`.
+    pub fn shard_cached_on(
+        &self,
+        device: DeviceId,
+        cols: &[ColumnId],
+        shard: crate::exec::task::ShardSpec,
+    ) -> bool {
+        let cache = self.caches.device(device);
+        cols.iter().all(|c| {
+            cache.contains(CacheKey::partition(c.0, shard.index, shard.of))
+                || cache.contains(CacheKey::column(c.0))
+        })
+    }
+
+    /// The co-processor holding all of `cols` for `shard`, or `None`.
+    ///
+    /// A device caching the matching *partition* entries is the shard's
+    /// home and wins outright. When only whole-column replicas exist
+    /// (the placement manager replicated a small table into every
+    /// cache), the candidates are interchangeable — sibling shards deal
+    /// themselves round-robin by shard index so the fan-out actually
+    /// spreads instead of every shard picking the first replica.
+    pub fn shard_cached_device(
+        &self,
+        cols: &[ColumnId],
+        shard: crate::exec::task::ShardSpec,
+    ) -> Option<DeviceId> {
+        if cols.is_empty() {
+            return None;
+        }
+        let partition_home = self.coprocessors().find(|&d| {
+            let cache = self.caches.device(d);
+            cols.iter()
+                .all(|c| cache.contains(CacheKey::partition(c.0, shard.index, shard.of)))
+        });
+        if partition_home.is_some() {
+            return partition_home;
+        }
+        let replicas: Vec<DeviceId> = self
+            .coprocessors()
+            .filter(|&d| self.shard_cached_on(d, cols, shard))
+            .collect();
+        if replicas.is_empty() {
+            None
+        } else {
+            Some(replicas[shard.index as usize % replicas.len()])
+        }
     }
 }
 
@@ -270,6 +325,7 @@ mod tests {
             children_bytes: vec![],
             children_tasks: vec![],
             was_aborted: false,
+            shard: None,
         }
     }
 

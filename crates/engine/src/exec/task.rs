@@ -6,7 +6,7 @@
 //! have no dependencies and enter the operator stream immediately; every
 //! other task enters when its last child finishes.
 
-use crate::batch::{Chunk, LazyChunk};
+use crate::batch::{Chunk, LazyChunk, SelVec};
 use crate::expr::Expr;
 use crate::ops;
 use crate::parallel::{self, ParallelCtx};
@@ -14,7 +14,34 @@ use crate::plan::{AggSpec, JoinKind, PlanNode, SortKey};
 use crate::predicate::Predicate;
 use robustq_sim::OpClass;
 use robustq_storage::Database;
+use std::ops::Range;
 use std::sync::Arc;
+
+/// Which piece of a sharded scan a task covers: shard `index` of `of`
+/// equal row-range partitions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShardSpec {
+    /// Zero-based shard index.
+    pub index: u32,
+    /// Total number of shards the operator was split into.
+    pub of: u32,
+}
+
+impl ShardSpec {
+    /// The half-open row range this shard covers out of `rows` total rows.
+    /// Ranges of consecutive shards are disjoint, ordered and exhaustive.
+    pub fn row_range(&self, rows: usize) -> Range<usize> {
+        let of = self.of.max(1) as usize;
+        let lo = rows * self.index as usize / of;
+        let hi = rows * (self.index as usize + 1) / of;
+        lo..hi
+    }
+
+    /// Fraction of the operator's rows this shard covers.
+    pub fn fraction(&self) -> f64 {
+        1.0 / f64::from(self.of.max(1))
+    }
+}
 
 /// The operator payload of one task (a plan node without its children).
 #[derive(Debug, Clone, PartialEq)]
@@ -61,24 +88,51 @@ pub enum TaskOp {
         /// Keep only the first `limit` rows, if set.
         limit: Option<usize>,
     },
+    /// One device-shard of a partitioned table scan: evaluates the pushed
+    /// predicate over its [`ShardSpec::row_range`] only and emits the
+    /// qualifying positions as a selection vector over the shared base
+    /// chunk. Produced by shard expansion at admission, never by planning.
+    ScanShard {
+        /// Table to read.
+        table: String,
+        /// Columns the merged scan outputs.
+        columns: Vec<String>,
+        /// Pushed-down filter, if any.
+        predicate: Option<Predicate>,
+        /// Which row-range partition this shard covers.
+        shard: ShardSpec,
+    },
+    /// Merge barrier for a sharded scan: concatenates its children's
+    /// (disjoint, ordered) shard selection vectors and gathers **once**
+    /// from the shared base chunk, so the union is byte-identical to the
+    /// unsharded [`TaskOp::Scan`] output — same rows, same order, same
+    /// string dictionaries.
+    MergeShards {
+        /// Columns the merged scan outputs.
+        columns: Vec<String>,
+    },
 }
 
 impl TaskOp {
     /// Cost-model class.
     pub fn op_class(&self) -> OpClass {
         match self {
-            TaskOp::Scan { .. } | TaskOp::Select { .. } => OpClass::Selection,
+            TaskOp::Scan { .. } | TaskOp::Select { .. } | TaskOp::ScanShard { .. } => {
+                OpClass::Selection
+            }
             TaskOp::HashJoin { .. } => OpClass::HashJoin,
-            TaskOp::Project { .. } => OpClass::Projection,
+            TaskOp::Project { .. } | TaskOp::MergeShards { .. } => OpClass::Projection,
             TaskOp::Aggregate { .. } => OpClass::Aggregation,
             TaskOp::Sort { .. } => OpClass::Sort,
         }
     }
 
-    /// For scans: table and the full set of base columns read.
+    /// For scans (whole or sharded): table and the full set of base
+    /// columns read.
     pub fn scan_access(&self) -> Option<(&str, Vec<String>)> {
         match self {
-            TaskOp::Scan { table, columns, predicate } => {
+            TaskOp::Scan { table, columns, predicate }
+            | TaskOp::ScanShard { table, columns, predicate, .. } => {
                 let mut cols = columns.clone();
                 if let Some(p) = predicate {
                     for c in p.referenced_columns() {
@@ -89,6 +143,14 @@ impl TaskOp {
                 }
                 Some((table.as_str(), cols))
             }
+            _ => None,
+        }
+    }
+
+    /// For shard tasks: which partition of the operator this is.
+    pub fn shard_spec(&self) -> Option<ShardSpec> {
+        match self {
+            TaskOp::ScanShard { shard, .. } => Some(*shard),
             _ => None,
         }
     }
@@ -136,6 +198,17 @@ impl TaskOp {
                 parallel::aggregate(&children[0], group_by, aggs, ctx)
             }
             TaskOp::Sort { keys, limit } => ops::sort::sort(&children[0], keys, *limit),
+            TaskOp::ScanShard { table, columns, shard, .. } => {
+                let t = db.table(table).ok_or_else(|| format!("no table {table}"))?;
+                let (_, read_cols) = self.scan_access().expect("scan op");
+                let chunk = Chunk::from_table(t, &read_cols)?;
+                let sel = shard_positions(&chunk, self.shard_predicate(), *shard)?;
+                ops::project::keep_columns(&chunk.gather(sel.positions()), columns)
+            }
+            TaskOp::MergeShards { columns } => {
+                let merged = Chunk::concat(children)?;
+                ops::project::keep_columns(&merged, columns)
+            }
         }
     }
 
@@ -221,6 +294,44 @@ impl TaskOp {
                 let out = ops::sort::sort(&children[0].chunk(), keys, *limit)?;
                 Ok(LazyChunk::Materialized(out))
             }
+            TaskOp::ScanShard { table, shard, .. } => {
+                // Never materializes: the shard's qualifying positions ride
+                // as a selection vector over the full base chunk so the
+                // merge can gather once, exactly like the unsharded path.
+                let t = db.table(table).ok_or_else(|| format!("no table {table}"))?;
+                let (_, read_cols) = self.scan_access().expect("scan op");
+                let chunk = Chunk::from_table(t, &read_cols)?;
+                let sel = shard_positions(&chunk, self.shard_predicate(), *shard)?;
+                Ok(LazyChunk::Filtered { base: Arc::new(chunk), sel })
+            }
+            TaskOp::MergeShards { columns } => {
+                // Children are ScanShard outputs in shard order: disjoint,
+                // ordered selections over identical base chunks. Their
+                // concatenation is strictly increasing, so one gather from
+                // the first child's base reproduces the unsharded
+                // Scan output bit for bit (shared dictionaries included).
+                let mut positions: Vec<u32> = Vec::with_capacity(
+                    children.iter().map(LazyChunk::num_rows).sum(),
+                );
+                let mut base: Option<&Chunk> = None;
+                for child in children {
+                    match child.parts() {
+                        (b, Some(sel)) => {
+                            debug_assert!(base.is_none_or(|f| f.num_rows() == b.num_rows()));
+                            base.get_or_insert(b);
+                            positions.extend_from_slice(sel.positions());
+                        }
+                        (_, None) => {
+                            return Err("merge expects shard selection vectors".into())
+                        }
+                    }
+                }
+                let base = base.ok_or("merge of zero shards")?;
+                let merged = base.gather(&positions);
+                Ok(LazyChunk::Materialized(ops::project::keep_columns(
+                    &merged, columns,
+                )?))
+            }
         }
     }
 
@@ -233,7 +344,35 @@ impl TaskOp {
             TaskOp::Project { .. } => "project",
             TaskOp::Aggregate { .. } => "aggregate",
             TaskOp::Sort { .. } => "sort",
+            TaskOp::ScanShard { .. } => "scan-shard",
+            TaskOp::MergeShards { .. } => "merge",
         }
+    }
+
+    /// The pushed-down predicate of a (sharded) scan, if any.
+    fn shard_predicate(&self) -> Option<&Predicate> {
+        match self {
+            TaskOp::Scan { predicate, .. }
+            | TaskOp::ScanShard { predicate, .. } => predicate.as_ref(),
+            _ => None,
+        }
+    }
+}
+
+/// Qualifying positions of `shard`'s row range of `chunk`: the range
+/// identity when there is no predicate, otherwise the predicate refined
+/// over exactly that range. Concatenating consecutive shards' outputs
+/// equals the unsharded full-chunk selection vector.
+fn shard_positions(
+    chunk: &Chunk,
+    predicate: Option<&Predicate>,
+    shard: ShardSpec,
+) -> Result<SelVec, String> {
+    let range = shard.row_range(chunk.num_rows());
+    let identity = SelVec::new(range.map(|i| i as u32).collect());
+    match predicate {
+        Some(p) => p.evaluate_selvec(chunk, Some(&identity)),
+        None => Ok(identity),
     }
 }
 
@@ -365,6 +504,56 @@ mod tests {
         let via_tasks = outputs.last().unwrap().clone().unwrap();
         assert_eq!(direct.checksum(), via_tasks.checksum());
         assert_eq!(direct.num_rows(), via_tasks.num_rows());
+    }
+
+    #[test]
+    fn sharded_scan_merges_byte_identical_to_unsharded() {
+        use robustq_storage::gen::ssb::SsbGenerator;
+        let db = SsbGenerator::new(1).with_rows_per_sf(500).generate();
+        let cols = vec!["lo_orderdate".to_string(), "lo_revenue".into()];
+        let ctx = ParallelCtx::serial();
+        for predicate in [None, Some(Predicate::between("lo_discount", 1, 3))] {
+            let scan = TaskOp::Scan {
+                table: "lineorder".into(),
+                columns: cols.clone(),
+                predicate: predicate.clone(),
+            };
+            let whole = scan.execute_lazy(&[], &db, ctx).unwrap().materialize();
+            for of in [1u32, 2, 3, 5] {
+                let shards: Vec<LazyChunk> = (0..of)
+                    .map(|index| {
+                        TaskOp::ScanShard {
+                            table: "lineorder".into(),
+                            columns: cols.clone(),
+                            predicate: predicate.clone(),
+                            shard: ShardSpec { index, of },
+                        }
+                        .execute_lazy(&[], &db, ctx)
+                        .unwrap()
+                    })
+                    .collect();
+                let merged = TaskOp::MergeShards { columns: cols.clone() }
+                    .execute_lazy(&shards, &db, ctx)
+                    .unwrap()
+                    .materialize();
+                assert_eq!(merged, whole, "of={of} predicate={predicate:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn shard_ranges_partition_the_rows() {
+        for rows in [0usize, 1, 7, 100] {
+            for of in [1u32, 2, 3, 4, 7] {
+                let mut covered = 0;
+                for index in 0..of {
+                    let r = ShardSpec { index, of }.row_range(rows);
+                    assert_eq!(r.start, covered);
+                    covered = r.end;
+                }
+                assert_eq!(covered, rows, "rows={rows} of={of}");
+            }
+        }
     }
 
     #[test]

@@ -11,7 +11,9 @@
 
 use crate::error::EngineError;
 use crate::exec::event_loop::Sim;
-use robustq_sim::{CacheKey, DeviceId, Direction, TransferFault, VirtualTime};
+use robustq_sim::{
+    partition_bytes, CacheKey, DeviceId, Direction, TransferFault, VirtualTime,
+};
 use robustq_trace::{FaultKind, TraceEvent, TransferKind};
 
 impl Sim<'_, '_> {
@@ -23,7 +25,8 @@ impl Sim<'_, '_> {
     pub(crate) fn d2h_consume_bytes(&self, task: usize) -> u64 {
         let t = &self.tasks[task];
         match t.node.op {
-            crate::exec::task::TaskOp::Scan { .. } => {
+            crate::exec::task::TaskOp::Scan { .. }
+            | crate::exec::task::TaskOp::ScanShard { .. } => {
                 (t.output_rows * 4).min(t.output_bytes)
             }
             _ => t.output_bytes,
@@ -228,6 +231,11 @@ impl Sim<'_, '_> {
     /// transferring misses over its host link (and caching them when the
     /// policy uses operator-driven placement).
     ///
+    /// A sharded task only touches its row slice, so it probes the
+    /// matching *partition* key first (a placement manager may have homed
+    /// exactly that slice here), falls back to the whole-column key, and
+    /// on a full miss transfers and caches just the partition's bytes.
+    ///
     /// Returns `Ok(Some(ready_at))` once every column is resident,
     /// `Ok(None)` when a permanent transfer fault aborted the operator
     /// (the abort is already handled inside).
@@ -238,11 +246,28 @@ impl Sim<'_, '_> {
         now: VirtualTime,
     ) -> Result<Option<VirtualTime>, EngineError> {
         let query = self.tasks[task].query;
+        let shard = self.tasks[task].node.op.shard_spec();
         let caches_on_miss = self.policy.caches_on_miss();
         let mut ready_at = now;
         for &col in &self.tasks[task].base_columns.clone() {
-            let key = CacheKey(col.0 as u64);
-            let bytes = self.db.column_size(col);
+            let full = self.db.column_size(col);
+            let (key, bytes) = match shard {
+                Some(s) => {
+                    let pkey = CacheKey::partition(col.0, s.index, s.of);
+                    let ckey = CacheKey::column(col.0);
+                    // Prefer whichever key is resident (peeked without
+                    // touching stats) so the single counted probe below
+                    // records exactly one hit or miss per staged column.
+                    if !self.caches.device(device).contains(pkey)
+                        && self.caches.device(device).contains(ckey)
+                    {
+                        (ckey, full)
+                    } else {
+                        (pkey, partition_bytes(full, s.index, s.of))
+                    }
+                }
+                None => (CacheKey::column(col.0), full),
+            };
             let hit = self.caches.device_mut(device).probe(key);
             self.tracer.emit(TraceEvent::CacheProbe { device, key, bytes, hit, at: now });
             if !hit {

@@ -46,4 +46,5 @@ pub use exec::executor::{ExecOptions, Executor, RunOutcome};
 pub use exec::metrics::RunMetrics;
 pub use exec::pipeline::{execute_plan_fused, fusion_sites, FusedKind};
 pub use exec::policy::{Placement, PlacementPolicy, PlaceReason, PolicyCtx, TaskInfo};
+pub use exec::task::ShardSpec;
 pub use plan::{AggFunc, AggSpec, JoinKind, PlanNode, SortKey, SortOrder};

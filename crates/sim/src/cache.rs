@@ -13,9 +13,52 @@
 
 use std::collections::HashMap;
 
-/// Opaque cache key; the engine uses the base-column id.
+/// Opaque cache key; the engine uses the base-column id, or a
+/// column-partition id for sharded scans (see [`CacheKey::partition`]).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct CacheKey(pub u64);
+
+/// Bit layout of partition keys: flag | of | index | column id.
+const PARTITION_FLAG: u64 = 1 << 63;
+
+impl CacheKey {
+    /// Key of a whole base column.
+    pub fn column(id: u32) -> CacheKey {
+        CacheKey(id as u64)
+    }
+
+    /// Key of row-range partition `index` of `of` of a base column. The
+    /// encoding keeps partition keys disjoint from whole-column keys, so
+    /// a partitioned and a fully cached copy of the same column can
+    /// coexist without colliding.
+    pub fn partition(id: u32, index: u32, of: u32) -> CacheKey {
+        debug_assert!(index < of, "partition index out of range");
+        debug_assert!(of <= u8::MAX as u32 + 1, "at most 256 partitions");
+        CacheKey(PARTITION_FLAG | ((of as u64) << 40) | ((index as u64) << 32) | id as u64)
+    }
+
+    /// The base-column id this key caches (whole or partitioned).
+    pub fn column_id(self) -> u32 {
+        self.0 as u32
+    }
+
+    /// `(index, of)` if this is a partition key, `None` for whole columns.
+    pub fn partition_of(self) -> Option<(u32, u32)> {
+        if self.0 & PARTITION_FLAG == 0 {
+            return None;
+        }
+        Some(((self.0 >> 32) as u8 as u32, (self.0 >> 40) as u32 & 0x7f_ffff))
+    }
+}
+
+/// Bytes of partition `index` of `of` of a `full`-byte column: the exact
+/// slice sizes sum back to `full` across all partitions.
+pub fn partition_bytes(full: u64, index: u32, of: u32) -> u64 {
+    let of = of.max(1) as u64;
+    let lo = full * index as u64 / of;
+    let hi = full * (index as u64 + 1) / of;
+    hi - lo
+}
 
 /// Eviction policy for unpinned entries.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -43,6 +86,26 @@ pub struct InsertOutcome {
     pub evicted: Vec<(CacheKey, u64)>,
 }
 
+/// Why entries left the cache, cumulative over its lifetime. Separating
+/// the two pressures shows *who* is thrashing: operator-driven inserts
+/// displacing each other, or the placement manager's re-pins churning
+/// the resident set.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct EvictionReasons {
+    /// Evicted to make room for an operator-driven [`DataCache::insert`].
+    pub for_insert: u64,
+    /// Dropped or displaced by a [`DataCache::set_pinned`] re-pin
+    /// (stale pins, resized pins, and room made for new pins).
+    pub for_pin: u64,
+}
+
+impl EvictionReasons {
+    /// Total evictions for any reason.
+    pub fn total(&self) -> u64 {
+        self.for_insert + self.for_pin
+    }
+}
+
 /// The device column cache.
 #[derive(Debug, Clone)]
 pub struct DataCache {
@@ -53,6 +116,7 @@ pub struct DataCache {
     tick: u64,
     hits: u64,
     misses: u64,
+    evictions: EvictionReasons,
 }
 
 impl DataCache {
@@ -66,6 +130,7 @@ impl DataCache {
             tick: 0,
             hits: 0,
             misses: 0,
+            evictions: EvictionReasons::default(),
         }
     }
 
@@ -97,6 +162,11 @@ impl DataCache {
     /// Total cache hits/misses recorded through [`DataCache::probe`].
     pub fn hit_miss(&self) -> (u64, u64) {
         (self.hits, self.misses)
+    }
+
+    /// Cumulative eviction counts broken down by reason.
+    pub fn eviction_reasons(&self) -> EvictionReasons {
+        self.evictions
     }
 
     /// Whether `key` is resident.
@@ -142,6 +212,7 @@ impl DataCache {
                 .expect("unpinned bytes were sufficient, so a victim exists");
             let e = self.entries.remove(&victim).expect("victim is resident");
             self.used -= e.bytes;
+            self.evictions.for_insert += 1;
             evicted.push((victim, e.bytes));
         }
         self.tick += 1;
@@ -196,6 +267,7 @@ impl DataCache {
         for k in stale {
             let e = self.entries.remove(&k).expect("stale key is resident");
             self.used -= e.bytes;
+            self.evictions.for_pin += 1;
             evicted.push(k);
         }
         // Pin already-resident entries in place. An entry resident at a
@@ -209,6 +281,7 @@ impl DataCache {
                 Some(_) => {
                     let e = self.entries.remove(&k).expect("entry is resident");
                     self.used -= e.bytes;
+                    self.evictions.for_pin += 1;
                     evicted.push(k);
                 }
                 None => {}
@@ -226,6 +299,7 @@ impl DataCache {
                     .expect("pinned set fits capacity, so unpinned victims suffice");
                 let e = self.entries.remove(&victim).expect("victim is resident");
                 self.used -= e.bytes;
+                self.evictions.for_pin += 1;
                 evicted.push(victim);
             }
             self.tick += 1;
@@ -339,6 +413,17 @@ impl CacheSet {
             .iter_mut()
             .enumerate()
             .map(|(i, c)| (crate::device::DeviceId::from_index(i + 1), c))
+    }
+
+    /// Fleet-wide eviction counts broken down by reason.
+    pub fn eviction_reasons(&self) -> EvictionReasons {
+        self.caches.iter().fold(EvictionReasons::default(), |a, c| {
+            let e = c.eviction_reasons();
+            EvictionReasons {
+                for_insert: a.for_insert + e.for_insert,
+                for_pin: a.for_pin + e.for_pin,
+            }
+        })
     }
 }
 
@@ -454,6 +539,50 @@ mod tests {
     fn oversized_pin_set_panics() {
         let mut c = DataCache::new(50, CachePolicy::Lfu);
         c.set_pinned(&[(k(1), 60)]);
+    }
+
+    #[test]
+    fn eviction_reasons_distinguish_insert_from_pin_pressure() {
+        let mut c = DataCache::new(100, CachePolicy::Lru);
+        c.insert(k(1), 60);
+        c.insert(k(2), 60); // evicts 1 for the insert
+        assert_eq!(c.eviction_reasons(), EvictionReasons { for_insert: 1, for_pin: 0 });
+        c.set_pinned(&[(k(3), 90)]); // evicts 2 to make room for the pin
+        assert_eq!(c.eviction_reasons(), EvictionReasons { for_insert: 1, for_pin: 1 });
+        c.set_pinned(&[(k(4), 50)]); // drops stale pin 3
+        let reasons = c.eviction_reasons();
+        assert_eq!(reasons, EvictionReasons { for_insert: 1, for_pin: 2 });
+        assert_eq!(reasons.total(), 3);
+    }
+
+    #[test]
+    fn partition_keys_round_trip_and_never_collide_with_columns() {
+        let whole = CacheKey::column(7);
+        assert_eq!(whole.column_id(), 7);
+        assert_eq!(whole.partition_of(), None);
+        for of in [1u32, 2, 4, 8] {
+            for index in 0..of {
+                let p = CacheKey::partition(7, index, of);
+                assert_eq!(p.column_id(), 7);
+                assert_eq!(p.partition_of(), Some((index, of)));
+                assert_ne!(p, whole);
+                assert_ne!(p, CacheKey::partition(8, index, of));
+            }
+        }
+        // Distinct (index, of) pairs are distinct keys.
+        assert_ne!(CacheKey::partition(7, 0, 2), CacheKey::partition(7, 0, 4));
+        assert_ne!(CacheKey::partition(7, 0, 4), CacheKey::partition(7, 1, 4));
+    }
+
+    #[test]
+    fn partition_bytes_sum_to_the_whole() {
+        for full in [0u64, 1, 7, 1_000, 65_537] {
+            for of in [1u32, 2, 3, 4, 7] {
+                let total: u64 =
+                    (0..of).map(|i| partition_bytes(full, i, of)).sum();
+                assert_eq!(total, full, "full={full} of={of}");
+            }
+        }
     }
 
     #[test]

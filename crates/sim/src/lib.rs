@@ -40,7 +40,7 @@ pub mod link;
 pub mod time;
 pub mod topology;
 
-pub use cache::{CacheKey, CachePolicy, CacheSet, DataCache};
+pub use cache::{partition_bytes, CacheKey, CachePolicy, CacheSet, DataCache, EvictionReasons};
 pub use config::SimConfig;
 pub use costmodel::{CostModel, CostParams, OpClass};
 pub use device::{DeviceId, DeviceKind, DeviceSpec, PerDevice};

@@ -34,6 +34,10 @@ mod lane {
     pub const CACHE: u64 = 6;
     pub const FAULTS: u64 = 7;
     pub const PLACEMENT: u64 = 8;
+    /// Shard fan-out/merge spans (DESIGN.md §12). The label is emitted
+    /// lazily on the first shard event, so unsharded exports stay
+    /// byte-identical to earlier releases.
+    pub const SHARDS: u64 = 9;
     /// Lane blocks of co-processors 2.. start here, [`BLOCK`] lanes
     /// each (co-processor ordinal `o ≥ 2` occupies
     /// `EXTRA_DEVICES + (o-2)*BLOCK ..`, staying below [`SESSIONS`]
@@ -201,6 +205,10 @@ pub fn chrome_trace_json(events: &[TraceEvent]) -> String {
     push(&mut out, 0, 'M', thread_name(lane::PLACEMENT, "placement decisions"));
     let mut sessions_seen: Vec<u32> = Vec::new();
     let mut devices_seen: Vec<DeviceId> = Vec::new();
+    let mut shard_lane_named = false;
+    // Fan-out instants by (query, merge task), so the merge can emit the
+    // full shard span (fan-out → merge completion) as one `X` event.
+    let mut fanouts: Vec<((u32, u32), u64)> = Vec::new();
 
     for ev in events {
         match *ev {
@@ -414,6 +422,69 @@ pub fn chrome_trace_json(events: &[TraceEvent]) -> String {
                     at.as_nanos(),
                     'i',
                     instant_event("retry", "fault", lane::FAULTS, at.as_nanos(), &args),
+                );
+            }
+            TraceEvent::ShardFanout { query, task, shards, at } => {
+                if !shard_lane_named {
+                    shard_lane_named = true;
+                    push(&mut out, 0, 'M', thread_name(lane::SHARDS, "shard fan-out"));
+                }
+                fanouts.push(((query, task), at.as_nanos()));
+                let args = format!("\"query\":{query},\"task\":{task},\"shards\":{shards}");
+                push(
+                    &mut out,
+                    at.as_nanos(),
+                    'i',
+                    instant_event(
+                        &format!("fanout q{query} t{task}"),
+                        "shard",
+                        lane::SHARDS,
+                        at.as_nanos(),
+                        &args,
+                    ),
+                );
+            }
+            TraceEvent::ShardMerge { query, task, shards, rows, bytes, start, end } => {
+                if !shard_lane_named {
+                    shard_lane_named = true;
+                    push(&mut out, 0, 'M', thread_name(lane::SHARDS, "shard fan-out"));
+                }
+                // The outer span runs from fan-out (falling back to the
+                // merge start for truncated streams) to merge completion;
+                // the nested span is the merge kernel itself.
+                let open = fanouts
+                    .iter()
+                    .find(|(k, _)| *k == (query, task))
+                    .map_or(start.as_nanos(), |&(_, ts)| ts);
+                let args = format!("\"query\":{query},\"task\":{task},\"shards\":{shards}");
+                push(
+                    &mut out,
+                    open,
+                    'X',
+                    complete_event(
+                        &format!("shard q{query} t{task}"),
+                        "shard",
+                        lane::SHARDS,
+                        open,
+                        end.as_nanos(),
+                        &args,
+                    ),
+                );
+                let margs = format!(
+                    "\"query\":{query},\"task\":{task},\"shards\":{shards},\"rows\":{rows},\"bytes\":{bytes}"
+                );
+                push(
+                    &mut out,
+                    start.as_nanos(),
+                    'X',
+                    complete_event(
+                        &format!("merge q{query} t{task}"),
+                        "shard",
+                        lane::SHARDS,
+                        start.as_nanos(),
+                        end.as_nanos(),
+                        &margs,
+                    ),
                 );
             }
             TraceEvent::Placement { query, task, op, phase, est, chosen, reason, at } => {

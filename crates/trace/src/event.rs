@@ -157,6 +157,9 @@ pub enum PlaceReason {
     DataResidency,
     /// Device heap pressure vetoed the co-processor.
     HeapPressure,
+    /// A shard of a partitioned operator, spread across the fleet by
+    /// shard index rather than argmin (intra-operator sharding, §12).
+    ShardSpread,
     /// The executor's abort recovery forced the CPU.
     AbortFallback,
 }
@@ -328,6 +331,36 @@ pub enum TraceEvent {
         /// Scheduling instant.
         at: VirtualTime,
     },
+    /// A sharded scan fanned out at admission: `shards` ScanShard tasks
+    /// were created under merge-barrier task `task` (DESIGN.md §12).
+    ShardFanout {
+        /// Query the sharded operator belongs to.
+        query: u32,
+        /// Executor-wide task id of the merge barrier.
+        task: u32,
+        /// Number of shards the operator was split into.
+        shards: u32,
+        /// Fan-out instant (query admission).
+        at: VirtualTime,
+    },
+    /// A merge barrier combined its shards' partial results back into the
+    /// unsharded operator output.
+    ShardMerge {
+        /// Query the sharded operator belongs to.
+        query: u32,
+        /// Executor-wide task id of the merge barrier.
+        task: u32,
+        /// Number of shards merged.
+        shards: u32,
+        /// Merged output rows.
+        rows: u64,
+        /// Merged output bytes.
+        bytes: u64,
+        /// When the last shard's result was available.
+        start: VirtualTime,
+        /// Merge completion instant.
+        end: VirtualTime,
+    },
     /// A placement decision: the policy's per-device completion
     /// estimates and the device it chose.
     Placement {
@@ -367,10 +400,12 @@ impl TraceEvent {
             | TraceEvent::HeapFree { at, .. }
             | TraceEvent::Fault { at, .. }
             | TraceEvent::Retry { at, .. }
-            | TraceEvent::Placement { at, .. } => at,
+            | TraceEvent::Placement { at, .. }
+            | TraceEvent::ShardFanout { at, .. } => at,
             TraceEvent::QueryDone { end, .. }
             | TraceEvent::OpSpan { end, .. }
-            | TraceEvent::Transfer { end, .. } => end,
+            | TraceEvent::Transfer { end, .. }
+            | TraceEvent::ShardMerge { end, .. } => end,
         }
     }
 }

@@ -8,7 +8,11 @@
 //!    types (and `dur >= 0` for `X` events),
 //! 3. timestamps are monotone non-decreasing per `(pid, tid)` lane,
 //! 4. `B`/`E` span nesting is balanced per lane (every `E` matches the
-//!    most recent open `B`, nothing left open at the end).
+//!    most recent open `B`, nothing left open at the end),
+//! 5. shard spans are well-formed (DESIGN.md §12): every `X` span named
+//!    `shard q<q> t<t>` — one sharded operator's fan-out → merge window —
+//!    contains, on the same lane, a matching `merge q<q> t<t>` span, and
+//!    every merge span lies inside its fan-out span (no orphan merges).
 
 use crate::json::{parse, Json};
 use std::collections::BTreeMap;
@@ -24,6 +28,8 @@ pub struct LintReport {
     pub complete_spans: usize,
     /// Matched `B`/`E` pairs.
     pub span_pairs: usize,
+    /// Shard fan-out spans validated against their merges.
+    pub shard_spans: usize,
 }
 
 fn field_num(e: &Json, key: &str) -> Result<f64, String> {
@@ -50,6 +56,15 @@ pub fn lint_chrome_trace(src: &str) -> Result<LintReport, String> {
     let mut open_spans: BTreeMap<(u64, u64), Vec<String>> = BTreeMap::new();
     let mut complete_spans = 0usize;
     let mut span_pairs = 0usize;
+    // Shard/merge `X` spans keyed by (lane, "q<q> t<t>" id) with their
+    // [start, end] intervals, cross-checked after the pass. Endpoints are
+    // held in integer nanoseconds — the exporter emits exact
+    // µs-with-3-decimals timestamps, and summing `ts + dur` in f64 can
+    // put two spans sharing a real endpoint one ULP apart, which exact
+    // containment checks would misread as an overhang.
+    let mut shard_x: Vec<((u64, u64), String, i64, i64)> = Vec::new();
+    let mut merge_x: Vec<((u64, u64), String, i64, i64)> = Vec::new();
+    let ns = |us: f64| (us * 1_000.0).round() as i64;
 
     for (i, e) in events.iter().enumerate() {
         let name = field_str(e, "name").map_err(|err| format!("event {i}: {err}"))?;
@@ -77,6 +92,11 @@ pub fn lint_chrome_trace(src: &str) -> Result<LintReport, String> {
                 let dur = field_num(e, "dur").map_err(|err| format!("event {i}: {err}"))?;
                 if !dur.is_finite() || dur < 0.0 {
                     return Err(format!("event {i} ('{name}'): bad dur {dur}"));
+                }
+                if let Some(id) = name.strip_prefix("shard q") {
+                    shard_x.push((lane, id.to_string(), ns(ts), ns(ts) + ns(dur)));
+                } else if let Some(id) = name.strip_prefix("merge q") {
+                    merge_x.push((lane, id.to_string(), ns(ts), ns(ts) + ns(dur)));
                 }
                 complete_spans += 1;
             }
@@ -112,11 +132,37 @@ pub fn lint_chrome_trace(src: &str) -> Result<LintReport, String> {
         }
     }
 
+    // Shard-span rules: every fan-out span contains a matching merge on
+    // its lane, and every merge nests inside its fan-out span.
+    for (lane, id, lo, hi) in &shard_x {
+        let matched = merge_x.iter().any(|(ml, mid, mlo, mhi)| {
+            ml == lane && mid == id && *mlo >= *lo && *mhi <= *hi
+        });
+        if !matched {
+            return Err(format!(
+                "shard span 'shard q{id}' has no nested 'merge q{id}' on lane (pid {}, tid {})",
+                lane.0, lane.1
+            ));
+        }
+    }
+    for (lane, id, lo, hi) in &merge_x {
+        let contained = shard_x.iter().any(|(sl, sid, slo, shi)| {
+            sl == lane && sid == id && *lo >= *slo && *hi <= *shi
+        });
+        if !contained {
+            return Err(format!(
+                "merge span 'merge q{id}' has no enclosing 'shard q{id}' span on lane (pid {}, tid {})",
+                lane.0, lane.1
+            ));
+        }
+    }
+
     Ok(LintReport {
         events: events.len(),
         lanes: last_ts.len(),
         complete_spans,
         span_pairs,
+        shard_spans: shard_x.len(),
     })
 }
 
@@ -187,6 +233,51 @@ mod tests {
             {"name":"q","ph":"E","ts":1.0,"pid":1,"tid":7,"args":{}}
         ]}"#;
         assert!(lint_chrome_trace(orphan).unwrap_err().contains("no open span"));
+    }
+
+    #[test]
+    fn lints_shard_spans_from_the_exporter() {
+        let t = VirtualTime::from_micros;
+        let events = vec![
+            TraceEvent::ShardFanout { query: 0, task: 4, shards: 2, at: t(0) },
+            TraceEvent::ShardMerge {
+                query: 0,
+                task: 4,
+                shards: 2,
+                rows: 10,
+                bytes: 80,
+                start: t(3),
+                end: t(5),
+            },
+        ];
+        let report = lint_chrome_trace(&chrome_trace_json(&events)).expect("clean lint");
+        assert_eq!(report.shard_spans, 1);
+        assert_eq!(report.complete_spans, 2);
+    }
+
+    #[test]
+    fn rejects_shard_span_without_merge() {
+        let doc = r#"{"traceEvents":[
+            {"name":"shard q0 t4","ph":"X","ts":1.0,"dur":5.0,"pid":1,"tid":9,"args":{}}
+        ]}"#;
+        let err = lint_chrome_trace(doc).unwrap_err();
+        assert!(err.contains("no nested 'merge"), "{err}");
+    }
+
+    #[test]
+    fn rejects_merge_outside_its_shard_span() {
+        let escaped = r#"{"traceEvents":[
+            {"name":"shard q0 t4","ph":"X","ts":1.0,"dur":2.0,"pid":1,"tid":9,"args":{}},
+            {"name":"merge q0 t4","ph":"X","ts":2.0,"dur":4.0,"pid":1,"tid":9,"args":{}}
+        ]}"#;
+        let err = lint_chrome_trace(escaped).unwrap_err();
+        assert!(err.contains("no nested 'merge"), "{err}");
+
+        let orphan = r#"{"traceEvents":[
+            {"name":"merge q0 t4","ph":"X","ts":2.0,"dur":1.0,"pid":1,"tid":9,"args":{}}
+        ]}"#;
+        let err = lint_chrome_trace(orphan).unwrap_err();
+        assert!(err.contains("no enclosing 'shard"), "{err}");
     }
 
     #[test]

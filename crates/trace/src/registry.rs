@@ -145,6 +145,15 @@ impl MetricsRegistry {
                 TraceEvent::Fault { .. } => reg.bump("faults_injected", 1),
                 TraceEvent::Retry { .. } => reg.bump("transfer_retries", 1),
                 TraceEvent::Placement { .. } => reg.bump("placement_decisions", 1),
+                TraceEvent::ShardFanout { shards, .. } => {
+                    reg.bump("shard_fanouts", 1);
+                    reg.bump("shards_spawned", shards as u64);
+                }
+                TraceEvent::ShardMerge { start, end, .. } => {
+                    reg.bump("shard_merges", 1);
+                    reg.histogram("shard_merge_ns")
+                        .record(end.saturating_sub(start).as_nanos());
+                }
                 TraceEvent::QuerySubmit { .. }
                 | TraceEvent::CacheInsert { .. }
                 | TraceEvent::HeapAlloc { .. }

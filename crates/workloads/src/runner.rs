@@ -43,6 +43,13 @@ pub struct RunnerConfig {
     /// Record a structured trace of the *measured* run (warm-up runs are
     /// never traced). Read it back from [`RunReport::trace`].
     pub trace: bool,
+    /// Intra-operator sharding: split qualifying leaf scans into up to
+    /// this many device-shards (0 disables; clamped to the co-processor
+    /// count at admission, so `usize::MAX` means one shard per device).
+    pub shard_ways: usize,
+    /// Only scans whose estimated input is at least this many bytes are
+    /// sharded (tiny scans gain nothing from a merge barrier).
+    pub shard_min_bytes: f64,
 }
 
 /// Which phase of the Section 6.1 run procedure an [`ExecOptions`] set
@@ -68,6 +75,8 @@ impl Default for RunnerConfig {
             fault: FaultPlan::disabled(),
             retry: RetryPolicy::default(),
             trace: false,
+            shard_ways: 0,
+            shard_min_bytes: 0.0,
         }
     }
 }
@@ -128,6 +137,14 @@ impl RunnerConfig {
         self
     }
 
+    /// Shard qualifying leaf scans `ways` ways across the co-processor
+    /// fleet; only scans of at least `min_bytes` estimated input qualify.
+    pub fn with_sharding(mut self, ways: usize, min_bytes: f64) -> Self {
+        self.shard_ways = ways;
+        self.shard_min_bytes = min_bytes;
+        self
+    }
+
     /// The executor options for one phase of the run procedure — the
     /// single place runner configuration maps onto [`ExecOptions`].
     /// `preload` stays empty here; the runner fills it for the measured
@@ -142,6 +159,8 @@ impl RunnerConfig {
             parallel: self.parallel,
             fault: if measured { self.fault.clone() } else { FaultPlan::disabled() },
             retry: self.retry,
+            shard_ways: self.shard_ways,
+            shard_min_bytes: self.shard_min_bytes,
             tracer: if measured && self.trace {
                 Tracer::new()
             } else {

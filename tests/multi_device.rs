@@ -14,7 +14,12 @@
 //!  4. **Chaos differential** — seeded fault plans at K > 1 still yield
 //!     bit-identical results to that K's fault-free baseline;
 //!  5. **Tracing** — a traced K-device run exports one kernel lane per
-//!     device in the Chrome trace.
+//!     device in the Chrome trace;
+//!  6. **Sharding** — intra-operator sharding (DESIGN.md §12) is purely
+//!     a placement concern: sharded runs reproduce the unsharded result
+//!     fingerprints byte for byte under every strategy and K, conserve
+//!     heap and link bytes across the shard transfers, and stay
+//!     bit-identical under seeded faults on the shards' devices.
 //!
 //! (Byte-identity of the K = 1 default against the pre-topology executor
 //! is pinned separately by `tests/topology_golden.rs`.)
@@ -171,6 +176,125 @@ fn chaos_differential_holds_on_a_fleet() {
         }
     }
     assert!(injected_total > 0, "the fleet chaos sweep never injected — vacuous");
+}
+
+/// (6), invariance: sharded runs return byte-identical results to the
+/// unsharded K = 1 reference, per query, for every strategy and every K
+/// — and conserve heap/link bytes across the extra shard transfers.
+#[test]
+fn sharded_results_are_byte_identical_to_unsharded() {
+    let db = db();
+    let queries = ssb::workload(&db).expect("SSB plans");
+    for strategy in Strategy::ALL {
+        let want = result_map(
+            &WorkloadRunner::new(&db, sim_k(1))
+                .run(&queries, strategy, &RunnerConfig::default().with_users(2))
+                .expect("unsharded baseline"),
+        );
+        for k in KS {
+            let runner = WorkloadRunner::new(&db, sim_k(k));
+            let cfg = RunnerConfig::default().with_users(2).with_sharding(k, 0.0);
+            let report = runner.run(&queries, strategy, &cfg).expect("sharded run");
+            let label = format!("{} K={k} sharded", strategy.name());
+            assert_conservation(&report, k, &label);
+            assert_eq!(
+                want,
+                result_map(&report),
+                "{label}: drifted from the unsharded results"
+            );
+        }
+    }
+}
+
+/// (6), invariance under the learned shard-aware policy: the data
+/// placement manager that partitions/replicates tables across the fleet
+/// must not change results either. A traced K = 4 run must actually
+/// contain shard spans (vacuity guard: `with_sharding` did shard).
+#[test]
+fn sharded_placement_manager_matches_unsharded() {
+    use robustq::core::{DataDrivenChopping, DataPlacementManager};
+    let db = db();
+    let queries = ssb::workload(&db).expect("SSB plans");
+    let want = result_map(
+        &WorkloadRunner::new(&db, sim_k(1))
+            .run(&queries, Strategy::DataDrivenChopping, &RunnerConfig::default().with_users(2))
+            .expect("unsharded baseline"),
+    );
+    for k in KS {
+        let runner = WorkloadRunner::new(&db, sim_k(k));
+        let mut policy = DataDrivenChopping::with_manager(
+            DataPlacementManager::lfu().with_sharding(k, 64 * 1024),
+        );
+        let cfg = RunnerConfig::default()
+            .with_users(2)
+            .with_sharding(k, 0.0)
+            .with_trace();
+        let report = runner
+            .run_with_policy(&queries, &mut policy, "Data-Driven Chopping + Shard", &cfg)
+            .expect("sharded managed run");
+        let label = format!("managed K={k} sharded");
+        assert_conservation(&report, k, &label);
+        assert_eq!(want, result_map(&report), "{label}: drifted from unsharded");
+        if k >= 2 {
+            let chrome = report.chrome_trace().expect("traced run exports");
+            assert!(
+                chrome.contains("shard"),
+                "{label}: no shard spans in the trace — sharding never engaged"
+            );
+        }
+    }
+}
+
+/// (6), chaos: seeded faults on a sharded fleet — allocation failures,
+/// transfer faults and kernel aborts landing on individual shards'
+/// devices — must recover without corrupting the merge: results stay
+/// bit-identical to the sharded fault-free baseline at the same K.
+#[test]
+fn chaos_differential_holds_under_sharding() {
+    let db = db();
+    let queries = ssb::workload(&db).expect("SSB plans");
+    let mut injected_total = 0;
+    for k in [2usize, 4] {
+        let runner = WorkloadRunner::new(&db, sim_k(k));
+        let cfg = RunnerConfig::default().with_users(2).with_sharding(k, 0.0);
+        let baseline = runner
+            .run(&queries, Strategy::Chopping, &cfg)
+            .expect("sharded fault-free baseline");
+        let want = result_map(&baseline);
+        let horizon = baseline.metrics.makespan.max(VirtualTime::from_micros(1));
+        for seed in 0..6u64 {
+            let spec = FaultSpec {
+                alloc_fail_prob: 0.10,
+                transfer_transient_prob: 0.10,
+                transfer_spike_prob: 0.05,
+                transfer_spike_factor: 3.0,
+                kernel_abort_prob: 0.10,
+                random_stalls: 1,
+                stall_horizon: horizon,
+                stall_len: (
+                    VirtualTime::from_nanos(1 + horizon.as_nanos() / 20),
+                    VirtualTime::ZERO,
+                ),
+                ..Default::default()
+            };
+            let cfg = RunnerConfig::default()
+                .with_users(2)
+                .with_sharding(k, 0.0)
+                .with_fault_plan(FaultPlan::new(seed, spec));
+            let report = runner
+                .run(&queries, Strategy::Chopping, &cfg)
+                .unwrap_or_else(|e| panic!("sharded K={k} seed {seed} failed: {e}"));
+            let label = format!("sharded K={k} seed {seed}");
+            assert_conservation(&report, k, &label);
+            assert_eq!(
+                want,
+                result_map(&report),
+                "{label}: faults corrupted the shard merge"
+            );
+            injected_total += report.metrics.faults.injected;
+        }
+    }
+    assert!(injected_total > 0, "the sharded chaos sweep never injected — vacuous");
 }
 
 /// (5): a traced fleet run exports one kernel lane per device, and the

@@ -144,6 +144,51 @@ fn registry_counters_match_run_metrics() {
     assert!(reg.counter("placement_decisions") > 0);
 }
 
+/// A sharded fleet run (DESIGN.md §12) exercises the shard-span lint
+/// rule for real: the Chrome export must lint clean with a nonzero
+/// `shard_spans` count, the registry's fan-out/merge counters must be
+/// consistent, and metric re-derivation must survive the shard events.
+#[test]
+fn sharded_chrome_export_passes_shard_span_lint() {
+    let db = db();
+    let queries = ssb::workload(&db).expect("SSB plans");
+    let k = 4;
+    let runner = WorkloadRunner::new(&db, tight_sim().with_coprocessors(k));
+    let cfg = RunnerConfig::default()
+        .with_users(2)
+        .with_sharding(k, 0.0)
+        .with_trace();
+    let report =
+        runner.run(&queries, Strategy::Chopping, &cfg).expect("sharded traced run");
+    let trace = report.trace.as_ref().unwrap();
+    assert_eq!(trace.dropped, 0);
+    assert_eq!(RunMetrics::from_events(&trace.events), report.metrics);
+
+    let json = report.chrome_trace().expect("traced run exports");
+    let rep = lint_chrome_trace(&json).expect("sharded trace must lint clean");
+    assert!(
+        rep.shard_spans > 0,
+        "sharded run produced no shard spans — the lint rule never engaged"
+    );
+
+    let reg = report.metrics_registry().expect("traced run has a registry");
+    let fanouts = reg.counter("shard_fanouts");
+    assert!(fanouts > 0, "no shard fan-outs counted");
+    assert_eq!(
+        reg.counter("shard_merges"),
+        fanouts,
+        "every fan-out must be closed by exactly one merge"
+    );
+    assert!(
+        reg.counter("shards_spawned") >= 2 * fanouts,
+        "a fan-out spawns at least two shards"
+    );
+    assert_eq!(
+        rep.shard_spans as u64, fanouts,
+        "lint's span count must agree with the registry's fan-out count"
+    );
+}
+
 #[test]
 fn untraced_report_has_no_trace_artifacts() {
     let report = ssb_run(1, false, None);
