@@ -1,22 +1,25 @@
-//! Gate the multi-GPU scaling claim on `BENCH_multigpu.json`.
+//! Gate benchmark claims on the JSON the sweep bins write.
 //!
-//! DESIGN.md §12's success criterion: on the SSB sweep, at least one
-//! sharding-enabled strategy must bring the K = 4 (more generally,
-//! max-K) makespan *below* its own K = 1 baseline — adding
-//! co-processors has to pay. This check parses the JSON the `multigpu`
-//! bin writes and fails (exit 1) if no sharded strategy scales within
-//! the tolerance; every ratio is printed either way so regressions show
-//! up in CI logs before they cross the line.
+//! Two modes, both deterministic (the sim has no noise, so the margins
+//! guard against cost-model tweaks eroding a win, not against jitter):
+//!
+//! * **Default** — the multi-GPU scaling claim on `BENCH_multigpu.json`
+//!   (DESIGN.md §12): on the SSB sweep, at least one sharding-enabled
+//!   strategy must bring the max-K makespan *below* its own K = 1
+//!   baseline within `--max-ratio` (default 0.95) — adding
+//!   co-processors has to pay.
+//! * **`--serving`** — the open-loop robustness claim on
+//!   `BENCH_serving.json` (DESIGN.md §13): at the *highest tested
+//!   arrival rate*, Data-Driven Chopping's p99 latency must not exceed
+//!   GPU Only's at any K (`--max-ratio` defaults to 1.0 here) — the
+//!   learned strategy has to hold the tail precisely when the system
+//!   is saturated.
 //!
 //! ```text
 //! cargo run -p robustq-bench --release --bin bench-diff -- BENCH_multigpu.json
 //! cargo run -p robustq-bench --release --bin bench-diff -- --max-ratio 0.9 BENCH_multigpu.json
+//! cargo run -p robustq-bench --release --bin bench-diff -- --serving BENCH_serving.json
 //! ```
-//!
-//! `--max-ratio R` (default 0.95): a strategy scales when
-//! `makespan(max K) <= R × makespan(K = 1)`. The sim is deterministic,
-//! so the margin guards against cost-model tweaks eroding the win, not
-//! against noise.
 
 use std::collections::BTreeMap;
 
@@ -25,14 +28,17 @@ use robustq_trace::json::{parse, Json};
 struct Args {
     path: String,
     max_ratio: f64,
+    serving: bool,
 }
 
 fn parse_args() -> Result<Args, String> {
-    let mut args = Args { path: "BENCH_multigpu.json".to_string(), max_ratio: 0.95 };
+    let mut args =
+        Args { path: String::new(), max_ratio: f64::NAN, serving: false };
     let mut it = std::env::args().skip(1);
     let mut saw_path = false;
     while let Some(flag) = it.next() {
         match flag.as_str() {
+            "--serving" => args.serving = true,
             "--max-ratio" => {
                 let v = it.next().ok_or("--max-ratio needs a value")?;
                 args.max_ratio =
@@ -47,6 +53,13 @@ fn parse_args() -> Result<Args, String> {
             }
             other => return Err(format!("unknown flag {other:?}")),
         }
+    }
+    if args.path.is_empty() {
+        args.path = if args.serving { "BENCH_serving.json" } else { "BENCH_multigpu.json" }
+            .to_string();
+    }
+    if args.max_ratio.is_nan() {
+        args.max_ratio = if args.serving { 1.0 } else { 0.95 };
     }
     Ok(args)
 }
@@ -138,6 +151,96 @@ fn check_table(doc: &Json, id: &str, max_ratio: f64) -> Result<bool, String> {
     Ok(any_scales)
 }
 
+/// `(K, strategy, rate qps) -> p99 ms` from the serving FigTable.
+type ServingP99s = BTreeMap<(u64, String), BTreeMap<u64, f64>>;
+
+/// Extract K/strategy/rate/p99 from the FigTable named `id`.
+fn serving_p99s(doc: &Json, id: &str) -> Result<ServingP99s, String> {
+    let tables = doc
+        .get("tables")
+        .and_then(Json::as_arr)
+        .ok_or("document has no 'tables' array")?;
+    let table = tables
+        .iter()
+        .find(|t| t.get("id").and_then(Json::as_str) == Some(id))
+        .ok_or_else(|| format!("no table with id {id:?}"))?;
+    let columns = table
+        .get("columns")
+        .and_then(Json::as_arr)
+        .ok_or_else(|| format!("table {id:?} has no 'columns'"))?;
+    let col = |name: &str| {
+        columns
+            .iter()
+            .position(|c| c.as_str() == Some(name))
+            .ok_or_else(|| format!("table {id:?} has no column {name:?}"))
+    };
+    let (k_col, strat_col, rate_col, p99_col) =
+        (col("K")?, col("Strategy")?, col("Rate [qps]")?, col("p99 [ms]")?);
+    let rows = table
+        .get("rows")
+        .and_then(Json::as_arr)
+        .ok_or_else(|| format!("table {id:?} has no 'rows'"))?;
+    let mut out = ServingP99s::new();
+    for (i, row) in rows.iter().enumerate() {
+        let row = row
+            .as_arr()
+            .ok_or_else(|| format!("table {id:?} row {i} is not an array"))?;
+        let cell = |c: usize| {
+            row.get(c)
+                .and_then(Json::as_str)
+                .ok_or_else(|| format!("table {id:?} row {i} col {c} missing"))
+        };
+        let k: u64 = cell(k_col)?
+            .parse()
+            .map_err(|e| format!("table {id:?} row {i}: bad K: {e}"))?;
+        let rate: f64 = cell(rate_col)?
+            .parse()
+            .map_err(|e| format!("table {id:?} row {i}: bad rate: {e}"))?;
+        let p99: f64 = cell(p99_col)?
+            .parse()
+            .map_err(|e| format!("table {id:?} row {i}: bad p99: {e}"))?;
+        out.entry((k, cell(strat_col)?.to_string()))
+            .or_default()
+            .insert(rate as u64, p99);
+    }
+    Ok(out)
+}
+
+/// The serving gate: at the highest tested rate, for every K,
+/// `p99(Data-Driven Chopping) <= max_ratio × p99(GPU Only)`.
+fn check_serving(doc: &Json, id: &str, max_ratio: f64) -> Result<bool, String> {
+    let p99s = serving_p99s(doc, id)?;
+    let max_rate = p99s
+        .values()
+        .flat_map(|by_rate| by_rate.keys().copied())
+        .max()
+        .ok_or("empty table")?;
+    let ks: std::collections::BTreeSet<u64> =
+        p99s.keys().map(|(k, _)| *k).collect();
+    let mut ok = true;
+    for k in ks {
+        let at = |strategy: &str| {
+            p99s.get(&(k, strategy.to_string()))
+                .and_then(|by_rate| by_rate.get(&max_rate))
+                .copied()
+                .ok_or_else(|| {
+                    format!("no {strategy:?} row at K={k} rate={max_rate}")
+                })
+        };
+        let dd = at("Data-Driven Chopping")?;
+        let gpu = at("GPU Only")?;
+        let holds = dd <= max_ratio * gpu;
+        ok &= holds;
+        println!(
+            "{id}: K={k} rate={max_rate}: Data-Driven Chopping p99 {dd:.3}ms vs \
+             GPU Only p99 {gpu:.3}ms (ratio {:.3}){}",
+            dd / gpu,
+            if holds { "  HOLDS" } else { "  FAIL" },
+        );
+    }
+    Ok(ok)
+}
+
 fn main() {
     let args = match parse_args() {
         Ok(a) => a,
@@ -160,6 +263,29 @@ fn main() {
             std::process::exit(1);
         }
     };
+    if args.serving {
+        match check_serving(&doc, "serving-ssb", args.max_ratio) {
+            Ok(true) => {
+                println!(
+                    "bench-diff: ok — serving robustness criterion holds at the \
+                     highest tested rate"
+                );
+                return;
+            }
+            Ok(false) => {
+                eprintln!(
+                    "bench-diff: FAIL: Data-Driven Chopping p99 exceeds {} x GPU \
+                     Only p99 at the highest tested arrival rate",
+                    args.max_ratio
+                );
+                std::process::exit(1);
+            }
+            Err(e) => {
+                eprintln!("bench-diff: {}: {e}", args.path);
+                std::process::exit(1);
+            }
+        }
+    }
     // SSB carries the success criterion; TPC-H is reported for context.
     match check_table(&doc, "multigpu-ssb", args.max_ratio) {
         Ok(true) => {}

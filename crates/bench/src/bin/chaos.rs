@@ -221,6 +221,16 @@ fn main() {
         if trace_this {
             let path = args.trace.as_deref().expect("trace path present");
             let trace = report.trace.as_ref().expect("traced run records events");
+            // Re-deriving metrics from a truncated stream would compare
+            // garbage: a ring overflow is itself a violation.
+            if trace.dropped > 0 {
+                println!(
+                    "seed {seed}: VIOLATION: trace ring overflowed ({} events \
+                     dropped)",
+                    trace.dropped
+                );
+                violations += 1;
+            }
             // The §10 reconciliation invariant, enforced in release builds.
             if RunMetrics::from_events(&trace.events) != report.metrics {
                 println!("seed {seed}: VIOLATION: trace-derived metrics diverge");

@@ -1,0 +1,260 @@
+//! Open-loop serving sweep: arrival rate × strategy × K co-processors.
+//!
+//! The closed-loop sweeps (`figures`, `multigpu`) measure makespan on a
+//! fixed query count; this sweep measures what a *serving* deployment
+//! cares about — latency percentiles and goodput as the offered arrival
+//! rate approaches and passes capacity (DESIGN.md §13). Each sweep
+//! point runs a Poisson arrival schedule over a Zipf-skewed SSB query
+//! mix through [`ServingRunner`], with admission control plus a finite
+//! admission-queue cap so overload sheds instead of queueing without
+//! bound. Results land in `BENCH_serving.json`; `bench-diff --serving`
+//! then gates the robustness claim (Data-Driven Chopping's p99 must not
+//! exceed GPU Only's at the highest tested rate).
+//!
+//! ```text
+//! cargo run -p robustq-bench --release --bin loadgen
+//! cargo run -p robustq-bench --release --bin loadgen -- --rates 200,800,3200 --ks 1,2
+//! cargo run -p robustq-bench --release --bin loadgen -- --trace serving-trace.json
+//! ```
+//!
+//! `--trace PATH` traces the highest-rate max-K Data-Driven Chopping
+//! run and writes its Chrome export to PATH (CI feeds it to
+//! `trace-lint` — the open-loop exporter degrades overlapping session
+//! spans to complete events, which must stay lint-clean).
+
+use robustq_core::Strategy;
+use robustq_sim::{SimConfig, VirtualTime};
+use robustq_storage::gen::ssb::SsbGenerator;
+use robustq_storage::Database;
+use robustq_bench::table::FigTable;
+use robustq_serve::{ArrivalProcess, QueryMix, ServeConfig, ServingReport, ServingRunner};
+use robustq_workloads::ssb;
+
+struct Args {
+    rows: usize,
+    rates: Vec<f64>,
+    ks: Vec<usize>,
+    horizon_ms: u64,
+    sessions: usize,
+    seed: u64,
+    max_concurrent: usize,
+    queue_cap: usize,
+    theta: f64,
+    out: String,
+    trace: Option<String>,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        rows: 8_000,
+        rates: vec![25_000.0, 100_000.0, 400_000.0],
+        ks: vec![1, 2],
+        horizon_ms: 50,
+        sessions: 100_000,
+        seed: 42,
+        max_concurrent: 4,
+        queue_cap: 32,
+        theta: 0.8,
+        out: "BENCH_serving.json".to_string(),
+        trace: None,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| {
+            it.next().ok_or_else(|| format!("{name} needs a value"))
+        };
+        match flag.as_str() {
+            "--rows" => {
+                args.rows = value("--rows")?.parse().map_err(|e| format!("--rows: {e}"))?
+            }
+            "--rates" => {
+                args.rates = value("--rates")?
+                    .split(',')
+                    .map(|r| r.parse().map_err(|e| format!("--rates: {e}")))
+                    .collect::<Result<_, _>>()?;
+                if args.rates.is_empty() || args.rates.iter().any(|&r| r <= 0.0) {
+                    return Err("--rates needs a comma list of rates > 0".into());
+                }
+            }
+            "--ks" => {
+                args.ks = value("--ks")?
+                    .split(',')
+                    .map(|k| k.parse().map_err(|e| format!("--ks: {e}")))
+                    .collect::<Result<_, _>>()?;
+                if args.ks.is_empty() || args.ks.contains(&0) {
+                    return Err("--ks needs a comma list of counts ≥ 1".into());
+                }
+            }
+            "--horizon-ms" => {
+                args.horizon_ms = value("--horizon-ms")?
+                    .parse()
+                    .map_err(|e| format!("--horizon-ms: {e}"))?
+            }
+            "--sessions" => {
+                args.sessions = value("--sessions")?
+                    .parse()
+                    .map_err(|e| format!("--sessions: {e}"))?
+            }
+            "--seed" => {
+                args.seed = value("--seed")?.parse().map_err(|e| format!("--seed: {e}"))?
+            }
+            "--max-concurrent" => {
+                args.max_concurrent = value("--max-concurrent")?
+                    .parse()
+                    .map_err(|e| format!("--max-concurrent: {e}"))?
+            }
+            "--queue-cap" => {
+                args.queue_cap = value("--queue-cap")?
+                    .parse()
+                    .map_err(|e| format!("--queue-cap: {e}"))?
+            }
+            "--theta" => {
+                args.theta =
+                    value("--theta")?.parse().map_err(|e| format!("--theta: {e}"))?
+            }
+            "--out" => args.out = value("--out")?,
+            "--trace" => args.trace = Some(value("--trace")?),
+            other => return Err(format!("unknown flag {other:?}")),
+        }
+    }
+    Ok(args)
+}
+
+fn ms(t: VirtualTime) -> String {
+    format!("{:.3}", t.as_secs_f64() * 1e3)
+}
+
+fn push_row(table: &mut FigTable, k: usize, rate: f64, report: &ServingReport) {
+    table.push_row([
+        k.to_string(),
+        report.strategy.to_string(),
+        format!("{rate:.0}"),
+        report.offered.to_string(),
+        report.completed().to_string(),
+        report.shed.to_string(),
+        ms(report.p50()),
+        ms(report.p95()),
+        ms(report.p99()),
+        ms(report.p999()),
+        format!("{:.1}", report.qps()),
+    ]);
+}
+
+fn main() {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("loadgen: {e}");
+            std::process::exit(2);
+        }
+    };
+    let max_k = *args.ks.iter().max().expect("ks non-empty");
+    let max_rate = args.rates.iter().cloned().fold(0.0f64, f64::max);
+
+    let db: Database = SsbGenerator::new(1).with_rows_per_sf(args.rows).generate();
+    let mix = QueryMix::zipf(ssb::workload(&db).expect("SSB plans"), args.theta);
+    // Same tight-cache regime as the multigpu sweep: the fact table
+    // stresses a single co-processor cache, so placement quality — not
+    // raw device count — decides how the tail behaves under load.
+    let base_sim =
+        SimConfig::default().with_gpu_memory(2 * 1024 * 1024).with_gpu_cache(256 * 1024);
+    let strategies = [Strategy::GpuPreferred, Strategy::Chopping, Strategy::DataDrivenChopping];
+
+    let mut table = FigTable::new(
+        "serving-ssb",
+        "Open-loop SSB serving: latency percentiles vs Poisson arrival rate",
+    )
+    .with_columns([
+        "K",
+        "Strategy",
+        "Rate [qps]",
+        "Offered",
+        "Completed",
+        "Shed",
+        "p50 [ms]",
+        "p95 [ms]",
+        "p99 [ms]",
+        "p999 [ms]",
+        "Goodput [qps]",
+    ]);
+    let mut failures = 0u64;
+
+    for &k in &args.ks {
+        let sim = base_sim.clone().with_coprocessors(k);
+        let runner = ServingRunner::new(&db, sim);
+        for &rate in &args.rates {
+            for strategy in strategies {
+                let trace_this = args.trace.is_some()
+                    && k == max_k
+                    && rate == max_rate
+                    && strategy == Strategy::DataDrivenChopping;
+                let mut cfg = ServeConfig::new(
+                    ArrivalProcess::Poisson { rate_qps: rate },
+                    VirtualTime::from_millis(args.horizon_ms),
+                )
+                .with_sessions(args.sessions)
+                .with_seed(args.seed)
+                .with_admission_limit(args.max_concurrent)
+                .with_queue_cap(args.queue_cap);
+                if trace_this {
+                    cfg = cfg.with_trace();
+                }
+                let report = runner.run(&mix, strategy, &cfg).expect("sweep run");
+                if report.offered != report.completed() + report.shed as usize {
+                    eprintln!(
+                        "loadgen: FAIL: K={k} rate={rate} {}: offered {} != \
+                         completed {} + shed {}",
+                        report.strategy,
+                        report.offered,
+                        report.completed(),
+                        report.shed,
+                    );
+                    failures += 1;
+                }
+                push_row(&mut table, k, rate, &report);
+                if trace_this {
+                    let path = args.trace.as_deref().expect("trace path");
+                    let data = report.trace.as_ref().expect("traced run records");
+                    if data.dropped > 0 {
+                        eprintln!(
+                            "loadgen: FAIL: trace ring overflowed ({} dropped)",
+                            data.dropped
+                        );
+                        failures += 1;
+                    }
+                    let chrome = report.chrome_trace().expect("traced run exports");
+                    if let Err(e) = std::fs::write(path, &chrome) {
+                        eprintln!("loadgen: cannot write {path}: {e}");
+                        failures += 1;
+                    } else {
+                        println!(
+                            "trace: {path} (K={k}, rate={rate}, {} events)",
+                            data.events.len()
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    println!("{table}");
+    let mut json = String::from("{\n  \"tables\": [\n");
+    for line in table.to_json().lines() {
+        json.push_str("    ");
+        json.push_str(line);
+        json.push('\n');
+    }
+    json.pop();
+    json.push_str("\n  ]\n}\n");
+    if let Err(e) = std::fs::write(&args.out, &json) {
+        eprintln!("loadgen: cannot write {}: {e}", args.out);
+        failures += 1;
+    } else {
+        println!("wrote {}", args.out);
+    }
+
+    if failures > 0 {
+        eprintln!("loadgen: {failures} failure(s)");
+        std::process::exit(1);
+    }
+}

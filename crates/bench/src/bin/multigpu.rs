@@ -169,6 +169,16 @@ impl Sweep {
     /// per device first.
     fn export_trace(&mut self, path: &str, report: &RunReport, k: usize) {
         let m = &report.metrics;
+        let data = report.trace.as_ref().expect("traced run records events");
+        // A truncated ring means the export (and anything re-derived from
+        // it) silently under-reports — fail loudly instead.
+        if data.dropped > 0 {
+            eprintln!(
+                "multigpu: FAIL: trace ring overflowed ({} events dropped)",
+                data.dropped
+            );
+            self.failures += 1;
+        }
         let chrome = report.chrome_trace().expect("traced run exports");
         for (d, _) in m.device_busy.iter() {
             let lane = format!("{d} kernels");

@@ -1,22 +1,25 @@
 //! Session lifecycle and admission control.
 //!
-//! Sessions run closed-loop: each submits its next query when the
-//! previous one completes. Admission control (the reference mechanism of
-//! Section 6.2.2) bounds how many queries execute concurrently; queries
-//! waiting for admission accrue latency from their submission instant.
-//! Admission is also where the placement policy speaks: a compile-time
-//! `plan_query` pass at admission, and `place_ready` for every task the
-//! pass left unannotated.
+//! Sessions run closed-loop — each submits its next query when the
+//! previous one completes — or open-loop, where a pre-computed arrival
+//! schedule submits queries at fixed virtual-time instants regardless of
+//! progress (DESIGN.md §13). Admission control (the reference mechanism
+//! of Section 6.2.2) bounds how many queries execute concurrently;
+//! queries waiting for admission accrue latency from their submission
+//! instant. Under overload the queue-depth cap and admission timeout
+//! shed submissions instead of queueing unboundedly. Admission is also
+//! where the placement policy speaks: a compile-time `plan_query` pass
+//! at admission, and `place_ready` for every task the pass left
+//! unannotated.
 
 use crate::error::EngineError;
-use crate::exec::event_loop::{policy_ctx, QueryState, Sim, Status, TaskState};
+use crate::exec::event_loop::{policy_ctx, QueryState, Sim, Status, Submission, TaskState};
 use crate::exec::metrics::{FaultCounters, QueryOutcome};
 use crate::exec::policy::{PolicyCtx, TaskInfo};
 use crate::exec::task::{flatten, ShardSpec, TaskNode, TaskOp};
-use crate::plan::PlanNode;
 use robustq_sim::{DeviceId, Direction, PerDevice, VirtualTime};
 use robustq_storage::ColumnId;
-use robustq_trace::{EstVec, PlacePhase, TraceEvent, TransferKind};
+use robustq_trace::{EstVec, PlacePhase, ShedReason, TraceEvent, TransferKind};
 
 /// Rewrite a flattened task graph for intra-operator sharding: every leaf
 /// scan whose estimated input is at least `min_bytes` becomes `ways`
@@ -93,25 +96,75 @@ pub(crate) fn expand_shards(
 }
 
 impl Sim<'_, '_> {
+    /// Offer a submission to the admission queue, shedding it on the spot
+    /// when the queue is at its depth cap (open-loop overload protection,
+    /// DESIGN.md §13). Default options (`queue_cap == usize::MAX`) never
+    /// shed, keeping closed-loop runs byte-identical to earlier releases.
+    pub(crate) fn submit_query(&mut self, sub: Submission) {
+        if self.admission_queue.len() >= self.opts.queue_cap {
+            self.shed(sub, ShedReason::QueueFull);
+        } else {
+            self.admission_queue.push_back(sub);
+        }
+    }
+
+    /// Drop a submission: count it, trace it, and — closed loop only —
+    /// let the issuing session offer its next query anyway, so a shed
+    /// never deadlocks a session's remaining stream.
+    fn shed(&mut self, sub: Submission, reason: ShedReason) {
+        self.metrics.shed += 1;
+        self.tracer.emit(TraceEvent::QueryShed {
+            session: sub.session as u32,
+            seq: sub.seq as u32,
+            submit: sub.submit,
+            reason,
+            at: self.now,
+        });
+        if let Some(plan) =
+            self.sessions.get_mut(sub.session).and_then(|s| s.pop_front())
+        {
+            let seq = self.session_seq[sub.session];
+            self.session_seq[sub.session] += 1;
+            self.submit_query(Submission {
+                session: sub.session,
+                seq,
+                plan,
+                submit: self.now,
+            });
+        }
+    }
+
+    /// An open-loop arrival fires: take the scheduled submission and
+    /// offer it for admission.
+    pub(crate) fn on_arrive(&mut self, arrival: usize) -> Result<(), EngineError> {
+        let sub = self.arrivals[arrival].take().expect("arrival fires once");
+        debug_assert_eq!(sub.submit, self.now);
+        self.submit_query(sub);
+        self.process_admissions()
+    }
+
     pub(crate) fn process_admissions(&mut self) -> Result<(), EngineError> {
         while self.active_queries < self.opts.max_concurrent_queries {
-            let Some((session, plan, submit_time)) = self.admission_queue.pop_front()
-            else {
+            let Some(sub) = self.admission_queue.pop_front() else {
                 break;
             };
-            self.admit_query(session, plan, submit_time)?;
+            // Lazy admission timeout: a query that waited too long is
+            // shed the moment it reaches the head of the queue — its
+            // client would have given up on the response anyway.
+            if self.opts.admission_timeout > VirtualTime::ZERO
+                && self.now.saturating_sub(sub.submit) >= self.opts.admission_timeout
+            {
+                self.shed(sub, ShedReason::Timeout);
+                continue;
+            }
+            self.admit_query(sub)?;
         }
         Ok(())
     }
 
-    pub(crate) fn admit_query(
-        &mut self,
-        session: usize,
-        plan: PlanNode,
-        submit_time: VirtualTime,
-    ) -> Result<(), EngineError> {
+    pub(crate) fn admit_query(&mut self, sub: Submission) -> Result<(), EngineError> {
+        let Submission { session, seq, plan, submit: submit_time } = sub;
         let query = self.queries.len();
-        let seq = self.queries.iter().filter(|q| q.session == session).count();
         let base = self.tasks.len();
         let nodes = flatten(&plan);
         let estimates = crate::exec::executor::postorder_estimates(&plan, self.db);
@@ -177,7 +230,13 @@ impl Sim<'_, '_> {
             });
         }
         let root = self.tasks.len() - 1;
-        self.queries.push(QueryState { session, seq, root, submit_time });
+        self.queries.push(QueryState {
+            session,
+            seq,
+            root,
+            submit_time,
+            admit_time: self.now,
+        });
         self.query_faults.push(FaultCounters::default());
         self.active_queries += 1;
         self.tracer.emit(TraceEvent::QuerySubmit {
@@ -274,6 +333,7 @@ impl Sim<'_, '_> {
         let session = q.session;
         let seq = q.seq;
         let submit_time = q.submit_time;
+        let admit_time = q.admit_time;
         let latency = self.now - submit_time;
         self.metrics.makespan = self.metrics.makespan.max(self.now);
         let output =
@@ -283,6 +343,7 @@ impl Sim<'_, '_> {
             session: session as u32,
             seq: seq as u32,
             submit: submit_time,
+            admit: admit_time,
             end: self.now,
             rows: output.num_rows() as u64,
         });
@@ -290,6 +351,7 @@ impl Sim<'_, '_> {
             session,
             seq,
             latency,
+            admit_wait: admit_time.saturating_sub(submit_time),
             rows: output.num_rows(),
             checksum: output.checksum(),
             faults: self.query_faults[query],
@@ -334,9 +396,12 @@ impl Sim<'_, '_> {
             }
         }
 
-        // Closed loop: the session submits its next query.
-        if let Some(plan) = self.sessions[session].pop_front() {
-            self.admission_queue.push_back((session, plan, self.now));
+        // Closed loop: the session submits its next query. Open-loop
+        // sessions are virtual (no queue) — `get_mut` is a no-op there.
+        if let Some(plan) = self.sessions.get_mut(session).and_then(|s| s.pop_front()) {
+            let seq = self.session_seq[session];
+            self.session_seq[session] += 1;
+            self.submit_query(Submission { session, seq, plan, submit: self.now });
         }
         self.process_admissions()?;
         Ok(())

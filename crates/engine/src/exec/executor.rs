@@ -24,7 +24,7 @@
 use crate::error::EngineError;
 use crate::estimate;
 use crate::exec::device_rt::DeviceSet;
-use crate::exec::event_loop::Sim;
+use crate::exec::event_loop::{Sim, Submission};
 use crate::exec::memory::HeapSet;
 use crate::exec::metrics::{QueryOutcome, RunMetrics};
 use crate::exec::policy::PlacementPolicy;
@@ -81,6 +81,16 @@ pub struct ExecOptions {
     /// Minimum estimated input bytes before a scan is worth sharding;
     /// smaller scans stay whole (fan-out overhead would dominate).
     pub shard_min_bytes: f64,
+    /// Admission-queue depth cap (open-loop overload protection,
+    /// DESIGN.md §13): a query arriving while the queue holds this many
+    /// waiters is shed immediately. `usize::MAX` (the default) never
+    /// sheds.
+    pub queue_cap: usize,
+    /// Admission timeout: a query that waited in the admission queue at
+    /// least this long is shed when it reaches the queue head instead of
+    /// executing. [`VirtualTime::ZERO`] (the default) disables the
+    /// timeout.
+    pub admission_timeout: VirtualTime,
 }
 
 impl Default for ExecOptions {
@@ -96,8 +106,26 @@ impl Default for ExecOptions {
             tracer: Tracer::disabled(),
             shard_ways: 0,
             shard_min_bytes: 0.0,
+            queue_cap: usize::MAX,
+            admission_timeout: VirtualTime::ZERO,
         }
     }
+}
+
+/// One scheduled open-loop submission: at virtual-time `at`, virtual
+/// session `session` submits `plan` as its `seq`-th query. Build
+/// schedules with the `robustq-serve` arrival generators, or by hand.
+#[derive(Debug, Clone)]
+pub struct Arrival {
+    /// Submission instant.
+    pub at: VirtualTime,
+    /// Issuing virtual session (a label — open-loop sessions hold no
+    /// state, so pools of 10⁵⁻⁶ sessions cost nothing).
+    pub session: u32,
+    /// Position within the session's stream.
+    pub seq: u32,
+    /// The query plan.
+    pub plan: PlanNode,
 }
 
 /// Result of a workload run.
@@ -155,6 +183,55 @@ impl<'a> Executor<'a> {
         opts: &ExecOptions,
         caches: &mut CacheSet,
     ) -> Result<RunOutcome, EngineError> {
+        self.run_inner(sessions, Vec::new(), policy, opts, caches)
+    }
+
+    /// Execute an open-loop arrival schedule (DESIGN.md §13): each
+    /// [`Arrival`] submits its plan at its virtual-time instant,
+    /// independent of how earlier queries are progressing. Overload is
+    /// handled by [`ExecOptions::queue_cap`] /
+    /// [`ExecOptions::admission_timeout`] shedding; the run completes
+    /// when every arrival either finished or was shed. Starts from cold
+    /// co-processor caches.
+    pub fn run_open_loop(
+        &self,
+        arrivals: Vec<Arrival>,
+        policy: &mut dyn PlacementPolicy,
+        opts: &ExecOptions,
+    ) -> Result<RunOutcome, EngineError> {
+        let mut caches =
+            CacheSet::for_topology(&self.config.topology, self.config.cache_policy);
+        self.run_open_loop_with_cache(arrivals, policy, opts, &mut caches)
+    }
+
+    /// Like [`Executor::run_open_loop`] but continuing from (and
+    /// updating) existing caches, so warm-up runs carry over — mirroring
+    /// [`Executor::run_with_cache`].
+    ///
+    /// Arrivals must be sorted by `at`; same-instant arrivals submit in
+    /// schedule order.
+    pub fn run_open_loop_with_cache(
+        &self,
+        arrivals: Vec<Arrival>,
+        policy: &mut dyn PlacementPolicy,
+        opts: &ExecOptions,
+        caches: &mut CacheSet,
+    ) -> Result<RunOutcome, EngineError> {
+        debug_assert!(
+            arrivals.windows(2).all(|w| w[0].at <= w[1].at),
+            "arrival schedule must be sorted by time"
+        );
+        self.run_inner(Vec::new(), arrivals, policy, opts, caches)
+    }
+
+    fn run_inner(
+        &self,
+        sessions: Vec<Vec<PlanNode>>,
+        arrivals: Vec<Arrival>,
+        policy: &mut dyn PlacementPolicy,
+        opts: &ExecOptions,
+        caches: &mut CacheSet,
+    ) -> Result<RunOutcome, EngineError> {
         if !opts.preload.is_empty() {
             for (_, cache) in caches.iter_mut() {
                 let mut budget = cache.capacity();
@@ -169,7 +246,9 @@ impl<'a> Executor<'a> {
                 cache.set_pinned(&pins);
             }
         }
-        let total_queries: usize = sessions.iter().map(Vec::len).sum();
+        let total_queries: usize =
+            sessions.iter().map(Vec::len).sum::<usize>() + arrivals.len();
+        let session_count = sessions.len();
         let device_count = self.config.topology.device_count();
         let mut sim = Sim {
             db: self.db,
@@ -187,6 +266,18 @@ impl<'a> Executor<'a> {
             queries: Vec::new(),
             devices: DeviceSet::new(device_count),
             sessions: sessions.into_iter().map(VecDeque::from).collect(),
+            session_seq: vec![0; session_count],
+            arrivals: arrivals
+                .into_iter()
+                .map(|a| {
+                    Some(Submission {
+                        session: a.session as usize,
+                        seq: a.seq as usize,
+                        plan: a.plan,
+                        submit: a.at,
+                    })
+                })
+                .collect(),
             admission_queue: VecDeque::new(),
             active_queries: 0,
             completed_since_update: 0,

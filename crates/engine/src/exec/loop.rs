@@ -82,6 +82,18 @@ pub(crate) struct QueryState {
     /// toward latency — the paper's admission-control comparison measures
     /// response time from submission).
     pub(crate) submit_time: VirtualTime,
+    /// When admission control let the query start executing
+    /// (`admit_time - submit_time` is the admission wait).
+    pub(crate) admit_time: VirtualTime,
+}
+
+/// One query waiting for admission: who submitted it, its position in
+/// that session's stream, the plan and the submission instant.
+pub(crate) struct Submission {
+    pub(crate) session: usize,
+    pub(crate) seq: usize,
+    pub(crate) plan: PlanNode,
+    pub(crate) submit: VirtualTime,
 }
 
 pub(crate) enum Ev {
@@ -91,6 +103,9 @@ pub(crate) enum Ev {
     /// allocation-stage crossing under processor sharing).
     DeviceTick { device: DeviceId, version: u64 },
     QueryDone { query: usize },
+    /// An open-loop arrival fires: the indexed entry of `Sim::arrivals`
+    /// is submitted for admission (DESIGN.md §13).
+    Arrive { arrival: usize },
 }
 
 pub(crate) struct Sim<'a, 'p> {
@@ -114,7 +129,13 @@ pub(crate) struct Sim<'a, 'p> {
     /// Per-device ready queues, worker slots and compute sets.
     pub(crate) devices: DeviceSet,
     pub(crate) sessions: Vec<VecDeque<PlanNode>>,
-    pub(crate) admission_queue: VecDeque<(usize, PlanNode, VirtualTime)>,
+    /// Next per-session sequence number (submission order within the
+    /// session, closed- and open-loop alike).
+    pub(crate) session_seq: Vec<usize>,
+    /// Open-loop arrival schedule, indexed by [`Ev::Arrive`]; entries are
+    /// taken when their event fires. Empty in closed-loop runs.
+    pub(crate) arrivals: Vec<Option<Submission>>,
+    pub(crate) admission_queue: VecDeque<Submission>,
     pub(crate) active_queries: usize,
     pub(crate) completed_since_update: usize,
     pub(crate) metrics: RunMetrics,
@@ -137,10 +158,20 @@ impl Sim<'_, '_> {
         // Section 6.1) — free of charge, like `ExecOptions::preload`.
         let _ = self.policy.update_data_placement(self.db, self.caches);
 
-        // Kick off: the first query of every session is a candidate.
+        // Kick off. Closed loop: the first query of every session is a
+        // candidate. Open loop: every arrival is scheduled at its instant
+        // (the heap keeps insertion order at equal timestamps, so
+        // same-instant arrivals submit in schedule order).
         for s in 0..self.sessions.len() {
             if let Some(plan) = self.sessions[s].pop_front() {
-                self.admission_queue.push_back((s, plan, self.now));
+                let seq = self.session_seq[s];
+                self.session_seq[s] += 1;
+                self.submit_query(Submission { session: s, seq, plan, submit: self.now });
+            }
+        }
+        for (i, slot) in self.arrivals.iter().enumerate() {
+            if let Some(sub) = slot {
+                self.events.push(sub.submit, Ev::Arrive { arrival: i });
             }
         }
         self.process_admissions()?;
@@ -153,18 +184,19 @@ impl Sim<'_, '_> {
                     self.on_device_tick(device, version)?
                 }
                 Ev::QueryDone { query } => self.on_query_done(query)?,
+                Ev::Arrive { arrival } => self.on_arrive(arrival)?,
             }
             #[cfg(debug_assertions)]
             self.audit();
         }
 
-        if self.outcomes.len() != total_queries {
+        if self.outcomes.len() + self.metrics.shed as usize != total_queries {
             return Err(EngineError::Stalled {
                 completed: self.outcomes.len(),
                 total: total_queries,
             });
         }
-        self.metrics.queries = total_queries;
+        self.metrics.queries = self.outcomes.len();
         let (hits, misses) = self.cache_hit_miss();
         self.metrics.cache_hits = hits - base_hits;
         self.metrics.cache_misses = misses - base_misses;

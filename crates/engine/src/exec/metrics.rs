@@ -51,8 +51,12 @@ pub struct QueryOutcome {
     pub session: usize,
     /// Position within the session's queue.
     pub seq: usize,
-    /// Time from admission to result on the host.
+    /// Time from submission to result on the host (admission waiting
+    /// included).
     pub latency: VirtualTime,
+    /// The admission-waiting share of `latency` (zero when the query was
+    /// admitted the instant it was submitted).
+    pub admit_wait: VirtualTime,
     /// Result row count.
     pub rows: usize,
     /// Order-insensitive result checksum.
@@ -92,6 +96,10 @@ pub struct RunMetrics {
     pub cache_misses: u64,
     /// Number of queries executed.
     pub queries: usize,
+    /// Queries shed by admission control instead of executed (open-loop
+    /// overload protection, DESIGN.md §13). Always zero in closed-loop
+    /// runs with default options.
+    pub shed: u64,
     /// Aggregated fault-recovery counters (sum of per-query counters
     /// plus injections not attributable to one query, e.g. on
     /// placement-update transfers).
@@ -162,6 +170,7 @@ impl RunMetrics {
                     m.queries += 1;
                     m.makespan = m.makespan.max(end);
                 }
+                TraceEvent::QueryShed { .. } => m.shed += 1,
                 TraceEvent::OpSpan { device, start, end, outcome, .. } => match outcome {
                     OpOutcome::Completed => m.record_op(device, end.saturating_sub(start)),
                     OpOutcome::Aborted { injected } => {
@@ -266,6 +275,7 @@ mod tests {
             session: 0,
             seq: 0,
             latency: VirtualTime::from_millis(l),
+            admit_wait: VirtualTime::ZERO,
             rows: 0,
             checksum: 0,
             faults: FaultCounters::default(),
@@ -331,10 +341,18 @@ mod tests {
             },
             TraceEvent::HeapFree { device: DeviceId::Gpu, tag: 0, bytes: 64, used: 0, at: t(5) },
             TraceEvent::Fault { kind: FaultKind::KernelAbort, query: 0, at: t(4) },
-            TraceEvent::QueryDone { query: 0, session: 0, seq: 0, submit: t(0), end: t(6), rows: 8 },
+            TraceEvent::QueryDone { query: 0, session: 0, seq: 0, submit: t(0), admit: t(0), end: t(6), rows: 8 },
+            TraceEvent::QueryShed {
+                session: 1,
+                seq: 0,
+                submit: t(1),
+                reason: robustq_trace::ShedReason::Timeout,
+                at: t(6),
+            },
         ];
         let m = RunMetrics::from_events(&events);
         assert_eq!(m.queries, 1);
+        assert_eq!(m.shed, 1);
         assert_eq!(m.makespan, t(6));
         assert_eq!(m.ops_completed[DeviceId::Gpu], 1);
         assert_eq!(m.device_busy[DeviceId::Gpu], t(5));

@@ -42,7 +42,7 @@ pub mod vectorized;
 pub use batch::{Chunk, LazyChunk, SelVec};
 pub use error::EngineError;
 pub use parallel::ParallelCtx;
-pub use exec::executor::{ExecOptions, Executor, RunOutcome};
+pub use exec::executor::{Arrival, ExecOptions, Executor, RunOutcome};
 pub use exec::metrics::RunMetrics;
 pub use exec::pipeline::{execute_plan_fused, fusion_sites, FusedKind};
 pub use exec::policy::{Placement, PlacementPolicy, PlaceReason, PolicyCtx, TaskInfo};

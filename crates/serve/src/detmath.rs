@@ -1,0 +1,138 @@
+//! Portable deterministic `ln`/`exp`.
+//!
+//! Arrival-gap sampling needs `-ln(u)/λ`, and Zipf mix weights need
+//! `n^(-θ) = exp(-θ·ln n)`. `f64::ln`/`exp` go through the platform's
+//! libm, whose last-ulp rounding differs across libc versions — enough
+//! to shift a golden percentile fingerprint between a developer machine
+//! and CI. These implementations use only IEEE-exact operations
+//! (`+ - * /`, bit manipulation) with fixed iteration counts, so the
+//! same input yields the same bits on every platform. Accuracy is a few
+//! ulp — far below the nanosecond quantisation of virtual time.
+
+use std::f64::consts::LN_2;
+
+/// Natural logarithm of `x`, deterministic across platforms.
+///
+/// Requires `x` finite and `> 0` (arrival sampling feeds it uniform
+/// draws from `(0, 1]`); debug-asserts otherwise.
+pub fn det_ln(x: f64) -> f64 {
+    debug_assert!(x.is_finite() && x > 0.0, "det_ln domain: {x}");
+    let bits = x.to_bits();
+    let mut exp = ((bits >> 52) & 0x7ff) as i64 - 1023;
+    let mut mant = f64::from_bits((bits & 0x000f_ffff_ffff_ffff) | (1023u64 << 52));
+    if exp == -1023 {
+        // Subnormal: renormalise through a 2^64 scale.
+        let scaled = x * (2f64).powi(64);
+        let sbits = scaled.to_bits();
+        exp = ((sbits >> 52) & 0x7ff) as i64 - 1023 - 64;
+        mant = f64::from_bits((sbits & 0x000f_ffff_ffff_ffff) | (1023u64 << 52));
+    }
+    // Fold the mantissa into [√½, √2) so the atanh argument stays small.
+    if mant > std::f64::consts::SQRT_2 {
+        mant *= 0.5;
+        exp += 1;
+    }
+    // ln(m) = 2·atanh(z) with z = (m−1)/(m+1); |z| < 0.172, so the odd
+    // series gains > 5 bits per term — 13 terms exceed f64 precision.
+    let z = (mant - 1.0) / (mant + 1.0);
+    let z2 = z * z;
+    let mut term = z;
+    let mut sum = z;
+    for k in 1..13u32 {
+        term *= z2;
+        sum += term / (2 * k + 1) as f64;
+    }
+    exp as f64 * LN_2 + 2.0 * sum
+}
+
+/// `e^x`, deterministic across platforms.
+///
+/// Accurate for the moderate arguments mix weighting produces; saturates
+/// to `0`/`+inf` outside the representable exponent range.
+pub fn det_exp(x: f64) -> f64 {
+    debug_assert!(x.is_finite(), "det_exp domain: {x}");
+    if x > 709.8 {
+        return f64::INFINITY;
+    }
+    if x < -745.0 {
+        return 0.0;
+    }
+    // Range-reduce: x = n·ln2 + r with |r| ≤ ln2/2.
+    let n = (x / LN_2 + if x >= 0.0 { 0.5 } else { -0.5 }) as i64;
+    let r = x - n as f64 * LN_2;
+    // Taylor with fixed term count; |r| ≤ 0.347 so 18 terms exceed f64
+    // precision (0.347^18/18! ≈ 1e-24).
+    let mut term = 1.0;
+    let mut sum = 1.0;
+    for k in 1..18u32 {
+        term *= r / k as f64;
+        sum += term;
+    }
+    sum * pow2i(n)
+}
+
+/// `x^y` for `x > 0`, deterministic across platforms.
+pub fn det_pow(x: f64, y: f64) -> f64 {
+    det_exp(y * det_ln(x))
+}
+
+/// Exact `2^n` via exponent-field construction (split for `n` outside
+/// the normal range).
+fn pow2i(n: i64) -> f64 {
+    if (-1022..=1023).contains(&n) {
+        f64::from_bits(((n + 1023) as u64) << 52)
+    } else if n > 1023 {
+        f64::INFINITY
+    } else {
+        // Subnormal or zero: go through a normal power and one exact
+        // scale step.
+        f64::from_bits(1u64) * pow2i(n + 1074).min(f64::MAX)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ln_matches_std_to_a_few_ulp() {
+        for &x in &[1e-12, 1e-6, 0.1, 0.5, 0.9999, 1.0, 1.5, 2.0, 10.0, 1e6, 1e300] {
+            let got = det_ln(x);
+            let want = x.ln();
+            let tol = want.abs().max(1.0) * 1e-14;
+            assert!((got - want).abs() <= tol, "ln({x}): {got} vs {want}");
+        }
+        assert_eq!(det_ln(1.0), 0.0);
+    }
+
+    #[test]
+    fn exp_matches_std_to_a_few_ulp() {
+        for &x in &[-700.0, -10.0, -1.0, -0.1, 0.0, 0.1, 1.0, 10.0, 700.0] {
+            let got = det_exp(x);
+            let want = x.exp();
+            let tol = want.abs().max(f64::MIN_POSITIVE) * 1e-13;
+            assert!((got - want).abs() <= tol, "exp({x}): {got} vs {want}");
+        }
+        assert_eq!(det_exp(0.0), 1.0);
+        assert_eq!(det_exp(800.0), f64::INFINITY);
+        assert_eq!(det_exp(-800.0), 0.0);
+    }
+
+    #[test]
+    fn pow_supports_zipf_weights() {
+        for i in 1..50u32 {
+            let got = det_pow(i as f64, -1.1);
+            let want = (i as f64).powf(-1.1);
+            assert!((got - want).abs() <= want * 1e-13, "{i}: {got} vs {want}");
+        }
+        assert_eq!(det_pow(7.0, 0.0), 1.0);
+    }
+
+    #[test]
+    fn round_trip_ln_exp() {
+        for &x in &[1e-9, 0.3, 1.0, 3.7, 123.456] {
+            let rt = det_exp(det_ln(x));
+            assert!((rt - x).abs() <= x * 1e-13, "{x} → {rt}");
+        }
+    }
+}

@@ -1,0 +1,513 @@
+//! The open-loop serving runner.
+//!
+//! [`ServingRunner`] mirrors the closed-loop
+//! [`WorkloadRunner`](robustq_workloads::WorkloadRunner) procedure
+//! (Section 6.1: reset statistics → warm-up runs on persistent caches →
+//! measured run), but the measured run feeds the executor an *arrival
+//! schedule* instead of per-session query queues: an
+//! [`ArrivalProcess`] decides *when* queries arrive, a [`QueryMix`]
+//! decides *what* arrives, and a virtual session pool decides *who*
+//! submits it. Latency under open-loop load includes queueing delay, so
+//! tail percentiles (p99/p999) expose robustness differences that
+//! closed-loop makespans hide (DESIGN.md §13).
+//!
+//! [`ArrivalProcess::Closed`] is the degenerate case: the runner routes
+//! it through the closed-loop [`WorkloadRunner`](robustq_workloads::WorkloadRunner)
+//! itself, so a `Closed { users }` serving run is *bit-identical* to the
+//! classic runner (pinned by `tests/serving.rs`).
+
+use crate::arrival::ArrivalProcess;
+use crate::mix::QueryMix;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use robustq_core::Strategy;
+use robustq_engine::exec::metrics::QueryOutcome;
+use robustq_engine::{
+    Arrival, EngineError, ExecOptions, Executor, ParallelCtx, PlacementPolicy, RunMetrics,
+};
+use robustq_sim::{FaultPlan, RetryPolicy, SimConfig, VirtualTime};
+use robustq_storage::Database;
+use robustq_trace::{chrome_trace_json, MetricsRegistry, TraceData, Tracer};
+use robustq_workloads::{RunnerConfig, WorkloadRunner};
+
+/// Serving-run options: the arrival process, the load window, and the
+/// admission/overload knobs.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// When queries arrive.
+    pub process: ArrivalProcess,
+    /// Arrival-generation window `[0, horizon)` in virtual time. Ignored
+    /// by [`ArrivalProcess::Closed`] (closed-loop load is
+    /// feedback-driven, not time-driven).
+    pub horizon: VirtualTime,
+    /// Virtual session pool size. Each arrival is attributed to a
+    /// uniformly drawn session; sessions are labels, so pools of
+    /// 10⁵–10⁶ cost one counter each.
+    pub sessions: usize,
+    /// Seed for arrival times, session assignment and mix sampling. A
+    /// `(process, horizon, seed)` triple fully determines the schedule.
+    pub seed: u64,
+    /// Warm-up executions of the template list before measuring
+    /// (closed-loop, single session, fault-free, untraced).
+    pub warmup_runs: usize,
+    /// Queries between data-placement background-job runs (0 = never).
+    pub placement_update_period: usize,
+    /// Admission control: maximum concurrently admitted queries.
+    pub max_concurrent_queries: usize,
+    /// Overload shedding: admission-queue depth cap — arrivals beyond it
+    /// are shed immediately (`usize::MAX` disables).
+    pub queue_cap: usize,
+    /// Overload shedding: queries that waited this long unadmitted are
+    /// shed instead of admitted (`ZERO` disables).
+    pub admission_timeout: VirtualTime,
+    /// Real-CPU parallelism for the hot kernels. Results and virtual-time
+    /// figures are bit-identical across settings; only wall-clock changes.
+    pub parallel: ParallelCtx,
+    /// Record a structured trace of the measured run.
+    pub trace: bool,
+    /// Intra-operator sharding ways (0 disables).
+    pub shard_ways: usize,
+    /// Minimum estimated scan bytes to qualify for sharding.
+    pub shard_min_bytes: f64,
+}
+
+impl ServeConfig {
+    /// Serving options for `process` over `[0, horizon)` with the same
+    /// defaults as the closed-loop [`RunnerConfig`].
+    pub fn new(process: ArrivalProcess, horizon: VirtualTime) -> Self {
+        ServeConfig {
+            process,
+            horizon,
+            sessions: 1_000,
+            seed: 0,
+            warmup_runs: 1,
+            placement_update_period: 1,
+            max_concurrent_queries: usize::MAX,
+            queue_cap: usize::MAX,
+            admission_timeout: VirtualTime::ZERO,
+            parallel: ParallelCtx::serial(),
+            trace: false,
+            shard_ways: 0,
+            shard_min_bytes: 0.0,
+        }
+    }
+
+    /// Set the virtual session pool size.
+    pub fn with_sessions(mut self, sessions: usize) -> Self {
+        self.sessions = sessions.max(1);
+        self
+    }
+
+    /// Set the schedule seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Set the number of warm-up runs (0 = cold start).
+    pub fn with_warmup(mut self, runs: usize) -> Self {
+        self.warmup_runs = runs;
+        self
+    }
+
+    /// Admit at most `n` queries concurrently.
+    pub fn with_admission_limit(mut self, n: usize) -> Self {
+        self.max_concurrent_queries = n.max(1);
+        self
+    }
+
+    /// Shed arrivals once the admission queue holds `cap` queries.
+    pub fn with_queue_cap(mut self, cap: usize) -> Self {
+        self.queue_cap = cap;
+        self
+    }
+
+    /// Shed queries that wait longer than `timeout` unadmitted.
+    pub fn with_admission_timeout(mut self, timeout: VirtualTime) -> Self {
+        self.admission_timeout = timeout;
+        self
+    }
+
+    /// Run the hot kernels with the given parallelism context.
+    pub fn with_parallel(mut self, parallel: ParallelCtx) -> Self {
+        self.parallel = parallel;
+        self
+    }
+
+    /// Record a structured trace of the measured run.
+    pub fn with_trace(mut self) -> Self {
+        self.trace = true;
+        self
+    }
+
+    /// Shard qualifying leaf scans `ways` ways; only scans of at least
+    /// `min_bytes` estimated input qualify.
+    pub fn with_sharding(mut self, ways: usize, min_bytes: f64) -> Self {
+        self.shard_ways = ways;
+        self.shard_min_bytes = min_bytes;
+        self
+    }
+
+    /// The executor options for the measured serving run.
+    fn exec_options(&self, measured: bool) -> ExecOptions {
+        ExecOptions {
+            capture_results: false,
+            placement_update_period: self.placement_update_period,
+            max_concurrent_queries: self.max_concurrent_queries,
+            preload: Vec::new(),
+            parallel: self.parallel,
+            fault: FaultPlan::disabled(),
+            retry: RetryPolicy::default(),
+            shard_ways: self.shard_ways,
+            shard_min_bytes: self.shard_min_bytes,
+            queue_cap: if measured { self.queue_cap } else { usize::MAX },
+            admission_timeout: if measured {
+                self.admission_timeout
+            } else {
+                VirtualTime::ZERO
+            },
+            tracer: if measured && self.trace { Tracer::new() } else { Tracer::disabled() },
+        }
+    }
+
+    /// The closed-loop [`RunnerConfig`] equivalent of this serving
+    /// configuration, used for the [`ArrivalProcess::Closed`] route.
+    /// Overload knobs don't apply — closed-loop sessions wait instead of
+    /// shedding.
+    fn closed_loop(&self, users: usize) -> RunnerConfig {
+        let mut cfg = RunnerConfig::default().with_users(users);
+        cfg.warmup_runs = self.warmup_runs;
+        cfg.placement_update_period = self.placement_update_period;
+        cfg.max_concurrent_queries = self.max_concurrent_queries;
+        cfg.parallel = self.parallel;
+        cfg.trace = self.trace;
+        cfg.shard_ways = self.shard_ways;
+        cfg.shard_min_bytes = self.shard_min_bytes;
+        cfg
+    }
+}
+
+/// Result of one measured serving run.
+#[derive(Debug, Clone)]
+pub struct ServingReport {
+    /// Display name of the strategy that ran.
+    pub strategy: &'static str,
+    /// Queries offered: scheduled arrivals (open loop) or the workload
+    /// length (closed loop).
+    pub offered: usize,
+    /// Queries shed by queue-cap or admission-timeout overload
+    /// protection. `offered == completed + shed` always holds.
+    pub shed: u64,
+    /// The configured arrival window (zero-relevance for closed loop).
+    pub horizon: VirtualTime,
+    /// Aggregated run metrics.
+    pub metrics: RunMetrics,
+    /// Per-query outcomes, in completion order. Latency spans
+    /// *submission* to completion, so it includes admission queueing
+    /// ([`QueryOutcome::admit_wait`] is the queueing share).
+    pub outcomes: Vec<QueryOutcome>,
+    /// The measured run's event stream, when [`ServeConfig::trace`] was
+    /// set (`None` otherwise).
+    pub trace: Option<TraceData>,
+}
+
+impl ServingReport {
+    /// Queries that completed.
+    pub fn completed(&self) -> usize {
+        self.outcomes.len()
+    }
+
+    /// The Chrome `trace_event` JSON for the measured run. `None` when
+    /// the run was untraced.
+    pub fn chrome_trace(&self) -> Option<String> {
+        self.trace.as_ref().map(|t| chrome_trace_json(&t.events))
+    }
+
+    /// Counters and histograms derived from the measured run's event
+    /// stream. `None` when the run was untraced.
+    pub fn metrics_registry(&self) -> Option<MetricsRegistry> {
+        self.trace.as_ref().map(|t| MetricsRegistry::from_events(&t.events))
+    }
+
+    /// Mean query latency (completed queries only).
+    pub fn mean_latency(&self) -> VirtualTime {
+        RunMetrics::mean_latency(&self.outcomes)
+    }
+
+    /// The `p`-th latency percentile (nearest-rank), `0.0 < p <= 100.0`.
+    /// Returns zero for an empty outcome set.
+    pub fn latency_percentile(&self, p: f64) -> VirtualTime {
+        percentile(self.outcomes.iter().map(|o| o.latency), p)
+    }
+
+    /// The `p`-th admission-wait percentile (nearest-rank) — the
+    /// queueing share of latency.
+    pub fn admit_wait_percentile(&self, p: f64) -> VirtualTime {
+        percentile(self.outcomes.iter().map(|o| o.admit_wait), p)
+    }
+
+    /// Median latency.
+    pub fn p50(&self) -> VirtualTime {
+        self.latency_percentile(50.0)
+    }
+
+    /// 95th-percentile latency.
+    pub fn p95(&self) -> VirtualTime {
+        self.latency_percentile(95.0)
+    }
+
+    /// 99th-percentile latency — the serving-SLO headline number.
+    pub fn p99(&self) -> VirtualTime {
+        self.latency_percentile(99.0)
+    }
+
+    /// 99.9th-percentile latency.
+    pub fn p999(&self) -> VirtualTime {
+        self.latency_percentile(99.9)
+    }
+
+    /// Completed queries per virtual second (goodput), over the run's
+    /// makespan.
+    pub fn qps(&self) -> f64 {
+        let secs = self.metrics.makespan.as_nanos() as f64 / 1e9;
+        if secs > 0.0 {
+            self.outcomes.len() as f64 / secs
+        } else {
+            0.0
+        }
+    }
+}
+
+/// Nearest-rank percentile over an unsorted latency iterator.
+fn percentile(values: impl Iterator<Item = VirtualTime>, p: f64) -> VirtualTime {
+    let mut v: Vec<VirtualTime> = values.collect();
+    if v.is_empty() {
+        return VirtualTime::ZERO;
+    }
+    v.sort();
+    let p = p.clamp(f64::MIN_POSITIVE, 100.0);
+    let rank = ((p / 100.0) * v.len() as f64).ceil() as usize;
+    v[rank.saturating_sub(1)]
+}
+
+/// The serving runner: a database plus a simulated machine, driven by an
+/// arrival process.
+pub struct ServingRunner<'a> {
+    db: &'a Database,
+    config: SimConfig,
+}
+
+impl<'a> ServingRunner<'a> {
+    /// A runner over `db` and the given machine.
+    pub fn new(db: &'a Database, config: SimConfig) -> Self {
+        ServingRunner { db, config }
+    }
+
+    /// The simulated machine configuration.
+    pub fn config(&self) -> &SimConfig {
+        &self.config
+    }
+
+    /// Generate the full arrival list for `cfg` over `mix` — times from
+    /// the arrival process, then per arrival a uniformly drawn session
+    /// and a mix-sampled template, all from one seeded generator.
+    /// Empty for [`ArrivalProcess::Closed`].
+    pub fn arrivals(mix: &QueryMix, cfg: &ServeConfig) -> Vec<Arrival> {
+        let mut rng = StdRng::seed_from_u64(cfg.seed);
+        let times = cfg.process.schedule_with(cfg.horizon, &mut rng);
+        let mut next_seq = vec![0u32; cfg.sessions.max(1)];
+        times
+            .into_iter()
+            .map(|at| {
+                let session = rng.gen_range(0..cfg.sessions.max(1));
+                let template = mix.sample(&mut rng);
+                let seq = next_seq[session];
+                next_seq[session] += 1;
+                Arrival {
+                    at,
+                    session: session as u32,
+                    seq,
+                    plan: mix.template(template).clone(),
+                }
+            })
+            .collect()
+    }
+
+    /// Serve `mix` under `strategy`.
+    pub fn run(
+        &self,
+        mix: &QueryMix,
+        strategy: Strategy,
+        cfg: &ServeConfig,
+    ) -> Result<ServingReport, EngineError> {
+        let mut policy = strategy.build();
+        self.run_with_policy(mix, policy.as_mut(), strategy.name(), cfg)
+    }
+
+    /// Like [`ServingRunner::run`] with a caller-constructed policy.
+    pub fn run_with_policy(
+        &self,
+        mix: &QueryMix,
+        policy: &mut dyn PlacementPolicy,
+        label: &'static str,
+        cfg: &ServeConfig,
+    ) -> Result<ServingReport, EngineError> {
+        if let ArrivalProcess::Closed { users } = cfg.process {
+            // Degenerate case: delegate to the closed-loop runner so the
+            // two paths can never drift apart.
+            let report = WorkloadRunner::new(self.db, self.config.clone()).run_with_policy(
+                mix.templates(),
+                policy,
+                label,
+                &cfg.closed_loop(users),
+            )?;
+            return Ok(ServingReport {
+                strategy: report.strategy,
+                offered: mix.len(),
+                shed: report.metrics.shed,
+                horizon: cfg.horizon,
+                metrics: report.metrics,
+                outcomes: report.outcomes,
+                trace: report.trace,
+            });
+        }
+
+        self.db.stats().reset();
+        let executor = Executor::new(self.db, self.config.clone());
+        // Caches persist from warm-up into the measured run, exactly as
+        // in the closed-loop procedure.
+        let mut cache = robustq_sim::CacheSet::for_topology(
+            &self.config.topology,
+            self.config.cache_policy,
+        );
+
+        let warm_opts = cfg.exec_options(false);
+        for _ in 0..cfg.warmup_runs {
+            executor.run_with_cache(
+                WorkloadRunner::sessions(mix.templates(), 1),
+                policy,
+                &warm_opts,
+                &mut cache,
+            )?;
+        }
+
+        let arrivals = Self::arrivals(mix, cfg);
+        let offered = arrivals.len();
+        let opts = cfg.exec_options(true);
+        let tracer = opts.tracer.clone();
+        let out = executor.run_open_loop_with_cache(arrivals, policy, &opts, &mut cache)?;
+        Ok(ServingReport {
+            strategy: label,
+            offered,
+            shed: out.metrics.shed,
+            horizon: cfg.horizon,
+            metrics: out.metrics,
+            outcomes: out.outcomes,
+            trace: tracer.is_enabled().then(|| tracer.take()),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use robustq_storage::gen::ssb::SsbGenerator;
+    use robustq_workloads::micro;
+
+    fn db() -> Database {
+        SsbGenerator::new(1).with_rows_per_sf(2_000).generate()
+    }
+
+    fn mix() -> QueryMix {
+        QueryMix::uniform(micro::parallel_selection_workload(4))
+    }
+
+    #[test]
+    fn open_loop_completes_all_arrivals_when_unloaded() {
+        let db = db();
+        let runner = ServingRunner::new(&db, SimConfig::default());
+        let cfg = ServeConfig::new(
+            ArrivalProcess::Uniform { rate_qps: 50.0 },
+            VirtualTime::from_millis(100),
+        )
+        .with_sessions(8);
+        let report = runner.run(&mix(), Strategy::CpuOnly, &cfg).unwrap();
+        assert_eq!(report.offered, 5);
+        assert_eq!(report.completed(), 5);
+        assert_eq!(report.shed, 0);
+        assert!(report.p99() >= report.p50());
+        assert!(report.qps() > 0.0);
+    }
+
+    #[test]
+    fn offered_equals_completed_plus_shed_under_overload() {
+        let db = db();
+        let runner = ServingRunner::new(&db, SimConfig::default());
+        let cfg = ServeConfig::new(
+            ArrivalProcess::Poisson { rate_qps: 2_000_000.0 },
+            VirtualTime::from_millis(5),
+        )
+        .with_seed(9)
+        .with_admission_limit(1)
+        .with_queue_cap(2);
+        let report = runner.run(&mix(), Strategy::CpuOnly, &cfg).unwrap();
+        assert!(report.offered > 0);
+        assert_eq!(report.offered, report.completed() + report.shed as usize);
+        assert!(report.shed > 0, "expected overload shedding");
+    }
+
+    #[test]
+    fn same_seed_reproduces_the_schedule() {
+        let cfg = ServeConfig::new(
+            ArrivalProcess::Poisson { rate_qps: 10_000.0 },
+            VirtualTime::from_millis(20),
+        )
+        .with_seed(7);
+        let a = ServingRunner::arrivals(&mix(), &cfg);
+        let b = ServingRunner::arrivals(&mix(), &cfg);
+        assert_eq!(a.len(), b.len());
+        assert!(a
+            .iter()
+            .zip(&b)
+            .all(|(x, y)| x.at == y.at && x.session == y.session && x.seq == y.seq));
+    }
+
+    #[test]
+    fn closed_process_routes_to_closed_loop() {
+        let db = db();
+        let runner = ServingRunner::new(&db, SimConfig::default());
+        let cfg = ServeConfig::new(ArrivalProcess::Closed { users: 2 }, VirtualTime::ZERO);
+        let report = runner.run(&mix(), Strategy::CpuOnly, &cfg).unwrap();
+        assert_eq!(report.completed(), 4);
+        assert_eq!(report.shed, 0);
+        assert_eq!(report.offered, 4);
+    }
+
+    #[test]
+    fn percentile_is_nearest_rank() {
+        let report = ServingReport {
+            strategy: "test",
+            offered: 100,
+            shed: 0,
+            horizon: VirtualTime::ZERO,
+            metrics: RunMetrics::default(),
+            outcomes: (1..=100)
+                .map(|ms| QueryOutcome {
+                    session: 0,
+                    seq: 0,
+                    latency: VirtualTime::from_millis(ms),
+                    admit_wait: VirtualTime::from_millis(ms / 2),
+                    rows: 0,
+                    checksum: 0,
+                    faults: Default::default(),
+                    result: None,
+                })
+                .collect(),
+            trace: None,
+        };
+        assert_eq!(report.p50(), VirtualTime::from_millis(50));
+        assert_eq!(report.p99(), VirtualTime::from_millis(99));
+        assert_eq!(report.p999(), VirtualTime::from_millis(100));
+        assert_eq!(report.admit_wait_percentile(50.0), VirtualTime::from_millis(25));
+    }
+}

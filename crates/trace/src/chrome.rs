@@ -11,7 +11,11 @@
 //! faithfully rather than a bug. Transfer lanes never overlap (the link
 //! is FIFO per direction). Session lanes are strictly nested: queries of
 //! one session run closed-loop, so every `B` closes before the next
-//! opens — the balance property `trace-lint` checks.
+//! opens — the balance property `trace-lint` checks. Open-loop serving
+//! (DESIGN.md §13) breaks that guarantee — one session may have several
+//! queries in flight — so a query span that overlaps an earlier span on
+//! its session lane degrades to an `X` (complete) event, keeping `B`/`E`
+//! nesting balanced; shed queries appear as instants on their lane.
 
 use crate::event::{OpOutcome, TraceEvent, TransferKind};
 use crate::json::write_escaped;
@@ -203,6 +207,11 @@ pub fn chrome_trace_json(events: &[TraceEvent]) -> String {
     push(&mut out, 0, 'M', thread_name(lane::CACHE, "GPU column cache"));
     push(&mut out, 0, 'M', thread_name(lane::FAULTS, "fault injections"));
     push(&mut out, 0, 'M', thread_name(lane::PLACEMENT, "placement decisions"));
+    // Per-session lane occupancy: the latest `end` rendered so far. A
+    // span starting before that overlaps (open-loop concurrency within
+    // one session) and must not open a `B` the balance check would trip
+    // on; it renders as an `X` instead.
+    let mut session_busy: Vec<(u32, u64)> = Vec::new();
     let mut sessions_seen: Vec<u32> = Vec::new();
     let mut devices_seen: Vec<DeviceId> = Vec::new();
     let mut shard_lane_named = false;
@@ -217,7 +226,7 @@ pub fn chrome_trace_json(events: &[TraceEvent]) -> String {
                 // instant on the session lane only once the lane exists
                 // (QueryDone names it), so skip — spans carry `submit`.
             }
-            TraceEvent::QueryDone { query, session, seq, submit, end, rows } => {
+            TraceEvent::QueryDone { query, session, seq, submit, admit, end, rows } => {
                 if !sessions_seen.contains(&session) {
                     sessions_seen.push(session);
                     push(
@@ -232,24 +241,80 @@ pub fn chrome_trace_json(events: &[TraceEvent]) -> String {
                 }
                 let tid = lane::SESSIONS + session as u64;
                 let name = format!("query {query} (seq {seq})");
-                let mut b = String::new();
-                b.push_str("{\"name\":");
-                write_escaped(&mut b, &name);
-                let _ = write!(
-                    b,
-                    ",\"cat\":\"query\",\"ph\":\"B\",\"ts\":{},\"pid\":1,\"tid\":{tid},\"args\":{{\"query\":{query}}}}}",
+                let start_ns = submit.as_nanos();
+                let end_ns = end.as_nanos();
+                let busy = match session_busy.iter().position(|(s, _)| *s == session) {
+                    Some(i) => &mut session_busy[i],
+                    None => {
+                        session_busy.push((session, 0));
+                        session_busy.last_mut().expect("just pushed")
+                    }
+                };
+                if start_ns < busy.1 {
+                    // Overlaps an already-rendered span on this session
+                    // lane (open-loop concurrency): `X` keeps `B`/`E`
+                    // nesting balanced.
+                    let args = format!(
+                        "\"query\":{query},\"rows\":{rows},\"admit_wait_us\":{}",
+                        us(admit.as_nanos().saturating_sub(start_ns)),
+                    );
+                    push(
+                        &mut out,
+                        start_ns,
+                        'X',
+                        complete_event(&name, "query", tid, start_ns, end_ns, &args),
+                    );
+                } else {
+                    let mut b = String::new();
+                    b.push_str("{\"name\":");
+                    write_escaped(&mut b, &name);
+                    let _ = write!(
+                        b,
+                        ",\"cat\":\"query\",\"ph\":\"B\",\"ts\":{},\"pid\":1,\"tid\":{tid},\"args\":{{\"query\":{query}}}}}",
+                        us(start_ns),
+                    );
+                    push(&mut out, start_ns, 'B', b);
+                    let mut e = String::new();
+                    e.push_str("{\"name\":");
+                    write_escaped(&mut e, &name);
+                    let _ = write!(
+                        e,
+                        ",\"cat\":\"query\",\"ph\":\"E\",\"ts\":{},\"pid\":1,\"tid\":{tid},\"args\":{{\"rows\":{rows}}}}}",
+                        us(end_ns),
+                    );
+                    push(&mut out, end_ns, 'E', e);
+                }
+                busy.1 = busy.1.max(end_ns);
+            }
+            TraceEvent::QueryShed { session, seq, submit, reason, at } => {
+                if !sessions_seen.contains(&session) {
+                    sessions_seen.push(session);
+                    push(
+                        &mut out,
+                        0,
+                        'M',
+                        thread_name(
+                            lane::SESSIONS + session as u64,
+                            &format!("session {session}"),
+                        ),
+                    );
+                }
+                let args = format!(
+                    "\"seq\":{seq},\"reason\":\"{reason:?}\",\"submit_us\":{}",
                     us(submit.as_nanos()),
                 );
-                push(&mut out, submit.as_nanos(), 'B', b);
-                let mut e = String::new();
-                e.push_str("{\"name\":");
-                write_escaped(&mut e, &name);
-                let _ = write!(
-                    e,
-                    ",\"cat\":\"query\",\"ph\":\"E\",\"ts\":{},\"pid\":1,\"tid\":{tid},\"args\":{{\"rows\":{rows}}}}}",
-                    us(end.as_nanos()),
+                push(
+                    &mut out,
+                    at.as_nanos(),
+                    'i',
+                    instant_event(
+                        &format!("shed ({reason:?})"),
+                        "query",
+                        lane::SESSIONS + session as u64,
+                        at.as_nanos(),
+                        &args,
+                    ),
                 );
-                push(&mut out, end.as_nanos(), 'E', e);
             }
             TraceEvent::OpSpan {
                 query,
@@ -577,6 +642,7 @@ mod tests {
                 session: 0,
                 seq: 0,
                 submit: t(0),
+                admit: t(0),
                 end: t(6),
                 rows: 2,
             },
@@ -633,6 +699,69 @@ mod tests {
         assert_eq!(args.get("est_cpu_us").unwrap().as_num(), Some(10.0));
         assert_eq!(args.get("est_gpu_us").unwrap().as_num(), Some(4.0));
         assert_eq!(args.get("chosen").unwrap().as_str(), Some("GPU"));
+    }
+
+    #[test]
+    fn overlapping_session_spans_degrade_to_complete_events() {
+        let t = VirtualTime::from_micros;
+        // Open-loop: session 0 has two queries in flight. Completion
+        // order is end order, so the long span [0, 10] arrives after the
+        // nested [5, 8] one.
+        let events = vec![
+            TraceEvent::QueryDone {
+                query: 1,
+                session: 0,
+                seq: 1,
+                submit: t(5),
+                admit: t(5),
+                end: t(8),
+                rows: 1,
+            },
+            TraceEvent::QueryDone {
+                query: 0,
+                session: 0,
+                seq: 0,
+                submit: t(0),
+                admit: t(2),
+                end: t(10),
+                rows: 1,
+            },
+            TraceEvent::QueryShed {
+                session: 0,
+                seq: 2,
+                submit: t(9),
+                reason: crate::event::ShedReason::QueueFull,
+                at: t(9),
+            },
+        ];
+        let doc = chrome_trace_json(&events);
+        crate::lint::lint_chrome_trace(&doc).expect("balanced despite overlap");
+        let v = parse(&doc).unwrap();
+        let parsed = v.get("traceEvents").unwrap().as_arr().unwrap();
+        let phases: Vec<&str> = parsed
+            .iter()
+            .filter(|e| e.get("cat").and_then(|c| c.as_str()) == Some("query"))
+            .map(|e| e.get("ph").unwrap().as_str().unwrap())
+            .collect();
+        // First-rendered span keeps B/E; the overlapping one is an X;
+        // the shed query is an instant. (Sorted by ts: X@0, B@5, E@8, i@9.)
+        assert_eq!(phases, vec!["X", "B", "E", "i"]);
+        let x = parsed
+            .iter()
+            .find(|e| e.get("ph").and_then(|p| p.as_str()) == Some("X"))
+            .unwrap();
+        assert_eq!(
+            x.get("args").unwrap().get("admit_wait_us").unwrap().as_num(),
+            Some(2.0)
+        );
+        let shed = parsed
+            .iter()
+            .find(|e| e.get("name").and_then(|n| n.as_str()) == Some("shed (QueueFull)"))
+            .unwrap();
+        assert_eq!(
+            shed.get("args").unwrap().get("reason").unwrap().as_str(),
+            Some("QueueFull")
+        );
     }
 
     #[test]

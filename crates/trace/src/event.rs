@@ -135,6 +135,18 @@ pub enum FaultKind {
     },
 }
 
+/// Why an admission-control layer shed a submitted query instead of
+/// executing it (open-loop serving, DESIGN.md §13).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ShedReason {
+    /// The admission queue was at its configured depth cap when the
+    /// query arrived.
+    QueueFull,
+    /// The query waited in the admission queue longer than the
+    /// configured admission timeout.
+    Timeout,
+}
+
 /// When a placement decision was taken.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum PlacePhase {
@@ -192,10 +204,28 @@ pub enum TraceEvent {
         seq: u32,
         /// Submission instant (latency = `end - submit`).
         submit: VirtualTime,
+        /// Admission instant (queue wait = `admit - submit`, service =
+        /// `end - admit`).
+        admit: VirtualTime,
         /// Completion instant.
         end: VirtualTime,
         /// Result row count.
         rows: u64,
+    },
+    /// A submitted query was shed by admission control instead of
+    /// executing (open-loop overload protection, DESIGN.md §13). Shed
+    /// queries produce no outcome and no operator activity.
+    QueryShed {
+        /// Issuing session.
+        session: u32,
+        /// Position within the session's queue.
+        seq: u32,
+        /// Submission instant.
+        submit: VirtualTime,
+        /// Why admission refused the query.
+        reason: ShedReason,
+        /// Shedding instant (`at - submit` is the time wasted queueing).
+        at: VirtualTime,
     },
     /// One operator execution attempt on one device, from worker-slot
     /// acquisition (`start`) to completion or abort (`end`).
@@ -401,7 +431,8 @@ impl TraceEvent {
             | TraceEvent::Fault { at, .. }
             | TraceEvent::Retry { at, .. }
             | TraceEvent::Placement { at, .. }
-            | TraceEvent::ShardFanout { at, .. } => at,
+            | TraceEvent::ShardFanout { at, .. }
+            | TraceEvent::QueryShed { at, .. } => at,
             TraceEvent::QueryDone { end, .. }
             | TraceEvent::OpSpan { end, .. }
             | TraceEvent::Transfer { end, .. }

@@ -33,7 +33,9 @@ pub mod registry;
 pub mod tracer;
 
 pub use chrome::chrome_trace_json;
-pub use event::{EstVec, FaultKind, OpOutcome, PlacePhase, PlaceReason, TraceEvent, TransferKind};
+pub use event::{
+    EstVec, FaultKind, OpOutcome, PlacePhase, PlaceReason, ShedReason, TraceEvent, TransferKind,
+};
 pub use lint::{lint_chrome_trace, LintReport};
 pub use registry::{Histogram, MetricsRegistry};
 pub use tracer::{TraceData, Tracer};

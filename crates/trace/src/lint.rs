@@ -195,6 +195,7 @@ mod tests {
                 session: 0,
                 seq: 0,
                 submit: t(0),
+                admit: t(0),
                 end: t(3),
                 rows: 1,
             },

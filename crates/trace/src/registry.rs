@@ -104,10 +104,19 @@ impl MetricsRegistry {
         let mut reg = MetricsRegistry::default();
         for ev in events {
             match *ev {
-                TraceEvent::QueryDone { submit, end, .. } => {
+                TraceEvent::QueryDone { submit, admit, end, .. } => {
                     reg.bump("queries", 1);
                     reg.histogram("query_latency_ns")
                         .record(end.saturating_sub(submit).as_nanos());
+                    reg.histogram("admission_wait_ns")
+                        .record(admit.saturating_sub(submit).as_nanos());
+                    reg.histogram("query_service_ns")
+                        .record(end.saturating_sub(admit).as_nanos());
+                }
+                TraceEvent::QueryShed { submit, at, .. } => {
+                    reg.bump("queries_shed", 1);
+                    reg.histogram("shed_wait_ns")
+                        .record(at.saturating_sub(submit).as_nanos());
                 }
                 TraceEvent::OpSpan { device, queued_at, start, end, outcome, .. } => {
                     reg.histogram("op_queue_wait_ns")
@@ -267,8 +276,16 @@ mod tests {
                 session: 0,
                 seq: 0,
                 submit: t(0),
+                admit: t(1),
                 end: t(4),
                 rows: 1,
+            },
+            TraceEvent::QueryShed {
+                session: 1,
+                seq: 0,
+                submit: t(2),
+                reason: crate::event::ShedReason::QueueFull,
+                at: t(5),
             },
         ];
         let reg = MetricsRegistry::from_events(&events);
@@ -276,10 +293,14 @@ mod tests {
         assert_eq!(reg.counter("cache_misses"), 1);
         assert_eq!(reg.counter("ops_completed_gpu"), 1);
         assert_eq!(reg.counter("queries"), 1);
+        assert_eq!(reg.counter("queries_shed"), 1);
         assert_eq!(reg.counter("never_bumped"), 0);
         let lat = reg.get_histogram("query_latency_ns").unwrap();
         assert_eq!(lat.count(), 1);
         assert_eq!(lat.max(), 4_000);
+        assert_eq!(reg.get_histogram("admission_wait_ns").unwrap().max(), 1_000);
+        assert_eq!(reg.get_histogram("query_service_ns").unwrap().max(), 3_000);
+        assert_eq!(reg.get_histogram("shed_wait_ns").unwrap().max(), 3_000);
         assert_eq!(reg.get_histogram("op_queue_wait_ns").unwrap().max(), 1_000);
         assert!(reg.to_string().contains("query_latency_ns"));
     }

@@ -161,6 +161,8 @@ impl RunnerConfig {
             retry: self.retry,
             shard_ways: self.shard_ways,
             shard_min_bytes: self.shard_min_bytes,
+            queue_cap: usize::MAX,
+            admission_timeout: VirtualTime::ZERO,
             tracer: if measured && self.trace {
                 Tracer::new()
             } else {
@@ -445,6 +447,7 @@ mod tests {
             session: 0,
             seq: 0,
             latency: VirtualTime::from_millis(ms),
+            admit_wait: VirtualTime::ZERO,
             rows: 0,
             checksum: 0,
             faults: Default::default(),

@@ -13,4 +13,5 @@ pub use robustq_sim as sim;
 pub use robustq_sql as sql;
 pub use robustq_storage as storage;
 pub use robustq_trace as trace;
+pub use robustq_serve as serve;
 pub use robustq_workloads as workloads;
