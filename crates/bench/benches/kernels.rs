@@ -8,7 +8,7 @@
 //! written to `BENCH_kernels.json` at the repository root so the perf
 //! trajectory is tracked across commits.
 //!
-//! Two kernel families are measured:
+//! Three kernel families are measured:
 //!
 //! * `select` / `join_probe` / `aggregate` — the morsel-parallel kernels
 //!   against their serial counterparts, one entry per worker count in
@@ -17,7 +17,12 @@
 //! * `fused_select_aggregate` / `fused_select_probe` — the fused
 //!   selection-vector pipelines against the pre-selection-vector
 //!   *materializing* baseline (mask select + gather, then the downstream
-//!   kernel), so the fused speedup is algorithmic, not thread scaling.
+//!   kernel), so the fused speedup is algorithmic, not thread scaling;
+//! * `select_compressed_{rle,dict,bitpack}` — compressed-domain selection
+//!   (`ops::compressed`, DESIGN.md §14) against decompress-then-select on
+//!   the same predicate; positions must match exactly. The JSON also
+//!   records each compressed bench column's codec and byte ratio under
+//!   `"compression"`.
 //!
 //! `ROBUSTQ_BENCH_ROWS` overrides the row counts (CI smoke runs a small
 //! size; the JSON is only written at the default sizes). On a single-core
@@ -29,11 +34,12 @@
 use robustq_bench::table::json_str;
 use robustq_engine::expr::Expr;
 use robustq_engine::ops;
+use robustq_engine::ops::compressed::select_compressed;
 use robustq_engine::parallel;
 use robustq_engine::plan::{AggSpec, JoinKind};
 use robustq_engine::predicate::Predicate;
 use robustq_engine::{Chunk, ParallelCtx};
-use robustq_storage::{ColumnData, DataType, Field};
+use robustq_storage::{ColumnData, CompressedColumn, DataType, DictColumn, Field};
 use std::hint::black_box;
 use std::time::Instant;
 
@@ -108,8 +114,71 @@ fn aggregation_chunk(rows: usize) -> Chunk {
 }
 
 
+/// One compressed-domain selection fixture: a column whose shape forces
+/// the codec under test, plus a moderately selective predicate.
+struct CompressedFixture {
+    kernel: &'static str,
+    col: CompressedColumn,
+    pred: Predicate,
+}
+
+/// The column name compressed fixtures use.
+const CCOL: &str = "c";
+
+/// Fixtures for the three compressed-domain paths: RLE runs (sorted
+/// low-cardinality ints), dictionary truth table (16-string pool), and
+/// FOR+bit-packed literals (narrow-range noise, 12-bit payloads).
+fn compressed_fixtures(rows: usize) -> Vec<CompressedFixture> {
+    let mut rng = mix(4);
+    let run = (rows / 1000).max(1);
+    let rle = CompressedColumn::compress(&ColumnData::Int32(
+        (0..rows).map(|i| (i / run) as i32).collect(),
+    ));
+    assert_eq!(rle.codec(), "rle");
+    let pool: Vec<String> = (0..16).map(|i| format!("r{i:02}")).collect();
+    let dict = CompressedColumn::compress(&ColumnData::Str(DictColumn::from_strings(
+        (0..rows).map(|_| pool[(rng() % 16) as usize].clone()),
+    )));
+    assert_eq!(dict.codec(), "for-bitpack");
+    let bitpack = CompressedColumn::compress(&ColumnData::Int32(
+        (0..rows).map(|_| (rng() % 4096) as i32 - 2048).collect(),
+    ));
+    assert_eq!(bitpack.codec(), "for-bitpack");
+    vec![
+        CompressedFixture {
+            kernel: "select_compressed_rle",
+            col: rle,
+            pred: Predicate::between(CCOL, 100, 399),
+        },
+        CompressedFixture {
+            kernel: "select_compressed_dict",
+            col: dict,
+            pred: Predicate::in_list(CCOL, ["r01", "r07", "r12"]),
+        },
+        CompressedFixture {
+            kernel: "select_compressed_bitpack",
+            col: bitpack,
+            pred: Predicate::between(CCOL, -512, 511),
+        },
+    ]
+}
+
+/// Decompress-then-select reference for a compressed fixture: qualifying
+/// positions through the scalar selection-vector path.
+fn decompress_select(col: &CompressedColumn, pred: &Predicate) -> Vec<u32> {
+    let dec = col.decompress();
+    let dt = match &dec {
+        ColumnData::Int32(_) => DataType::Int32,
+        ColumnData::Int64(_) => DataType::Int64,
+        ColumnData::Float64(_) => DataType::Float64,
+        ColumnData::Str(_) => DataType::Str,
+    };
+    let chunk = Chunk::new(vec![Field::new(CCOL, dt)], vec![dec]);
+    pred.evaluate_selvec(&chunk, None).unwrap().positions().to_vec()
+}
+
 /// Best-of-`ITERS` wall-clock seconds for `f` (after one warm-up pass).
-fn time_best(mut f: impl FnMut() -> Chunk) -> (Chunk, f64) {
+fn time_best<T>(mut f: impl FnMut() -> T) -> (T, f64) {
     let out = f();
     let mut best = f64::INFINITY;
     for _ in 0..ITERS {
@@ -170,7 +239,25 @@ fn main() {
     // results[i] collects the measurements for sweep[i].
     let mut results: Vec<Vec<Measurement>> = sweep.iter().map(|_| Vec::new()).collect();
 
+    // One JSON object per (size, compressed bench column): codec + ratio.
+    let mut comp_meta: Vec<String> = Vec::new();
+
     for &rows in &sizes {
+        let cfix = compressed_fixtures(rows);
+        for fx in &cfix {
+            let raw = fx.col.decompress().byte_size();
+            let comp = fx.col.bytes();
+            comp_meta.push(format!(
+                "{{\"rows\": {}, \"kernel\": {}, \"codec\": {}, \
+                 \"raw_bytes\": {}, \"compressed_bytes\": {}, \"ratio\": {:.4}}}",
+                rows,
+                json_str(fx.kernel),
+                json_str(fx.col.codec()),
+                raw,
+                comp,
+                comp as f64 / raw as f64
+            ));
+        }
         let sel_chunk = selection_chunk(rows);
         let sel_pred = Predicate::and([
             Predicate::between("discount", 4, 6),
@@ -274,6 +361,28 @@ fn main() {
                     .unwrap()
                 }),
             );
+
+            // Compressed-domain selection vs decompress-then-select. These
+            // are worker-independent; re-timing them per sweep entry keeps
+            // the JSON shape uniform and feeds the same regression gate.
+            for fx in &cfix {
+                let base = time_best(|| decompress_select(&fx.col, &fx.pred));
+                let variant = time_best(|| {
+                    select_compressed(&fx.col, CCOL, &fx.pred).unwrap().positions
+                });
+                assert_eq!(
+                    base.0, variant.0,
+                    "{}/{rows}@{workers}w: compressed-domain positions diverge \
+                     from decompress-then-select",
+                    fx.kernel
+                );
+                results[i].push(Measurement {
+                    kernel: fx.kernel,
+                    rows,
+                    baseline_rows_per_sec: rows as f64 / base.1,
+                    variant_rows_per_sec: rows as f64 / variant.1,
+                });
+            }
         }
     }
 
@@ -317,6 +426,11 @@ fn main() {
             ));
         }
         json.push_str("\n    ]}");
+    }
+    json.push_str("\n  ],\n  \"compression\": [");
+    for (i, m) in comp_meta.iter().enumerate() {
+        json.push_str(if i == 0 { "\n    " } else { ",\n    " });
+        json.push_str(m);
     }
     json.push_str("\n  ]\n}\n");
 

@@ -14,11 +14,18 @@
 //!   GPU Only's at any K (`--max-ratio` defaults to 1.0 here) — the
 //!   learned strategy has to hold the tail precisely when the system
 //!   is saturated.
+//! * **`--kernels`** — the CPU kernel claim on `BENCH_kernels.json`
+//!   (DESIGN.md §14): at 8 workers on the 10M-row inputs, `select` and
+//!   `aggregate` must hold a ≥ 3× speedup over their scalar references
+//!   (margin below the ≥ 4× the committed JSON records, so a slow CI
+//!   host doesn't flake), and **no** kernel may dip below 0.95× at any
+//!   sweep point — optimizations must never regress a sibling kernel.
 //!
 //! ```text
 //! cargo run -p robustq-bench --release --bin bench-diff -- BENCH_multigpu.json
 //! cargo run -p robustq-bench --release --bin bench-diff -- --max-ratio 0.9 BENCH_multigpu.json
 //! cargo run -p robustq-bench --release --bin bench-diff -- --serving BENCH_serving.json
+//! cargo run -p robustq-bench --release --bin bench-diff -- --kernels BENCH_kernels.json
 //! ```
 
 use std::collections::BTreeMap;
@@ -29,16 +36,22 @@ struct Args {
     path: String,
     max_ratio: f64,
     serving: bool,
+    kernels: bool,
 }
 
 fn parse_args() -> Result<Args, String> {
-    let mut args =
-        Args { path: String::new(), max_ratio: f64::NAN, serving: false };
+    let mut args = Args {
+        path: String::new(),
+        max_ratio: f64::NAN,
+        serving: false,
+        kernels: false,
+    };
     let mut it = std::env::args().skip(1);
     let mut saw_path = false;
     while let Some(flag) = it.next() {
         match flag.as_str() {
             "--serving" => args.serving = true,
+            "--kernels" => args.kernels = true,
             "--max-ratio" => {
                 let v = it.next().ok_or("--max-ratio needs a value")?;
                 args.max_ratio =
@@ -54,9 +67,18 @@ fn parse_args() -> Result<Args, String> {
             other => return Err(format!("unknown flag {other:?}")),
         }
     }
+    if args.serving && args.kernels {
+        return Err("--serving and --kernels are mutually exclusive".into());
+    }
     if args.path.is_empty() {
-        args.path = if args.serving { "BENCH_serving.json" } else { "BENCH_multigpu.json" }
-            .to_string();
+        args.path = if args.serving {
+            "BENCH_serving.json"
+        } else if args.kernels {
+            "BENCH_kernels.json"
+        } else {
+            "BENCH_multigpu.json"
+        }
+        .to_string();
     }
     if args.max_ratio.is_nan() {
         args.max_ratio = if args.serving { 1.0 } else { 0.95 };
@@ -241,6 +263,66 @@ fn check_serving(doc: &Json, id: &str, max_ratio: f64) -> Result<bool, String> {
     Ok(ok)
 }
 
+/// Speedup floors for the kernel gate (`--kernels`).
+const KERNEL_HEADLINE_MIN: f64 = 3.0;
+const KERNEL_FLOOR: f64 = 0.95;
+const KERNEL_HEADLINE_ROWS: f64 = 10_000_000.0;
+const KERNEL_HEADLINE_WORKERS: f64 = 8.0;
+
+/// The kernel gate: every `(kernel, rows, workers)` speedup must stay
+/// above `KERNEL_FLOOR`, and `select` / `aggregate` at 8 workers on the
+/// 10M-row input must stay above `KERNEL_HEADLINE_MIN`.
+fn check_kernels(doc: &Json) -> Result<bool, String> {
+    let entries = doc
+        .get("entries")
+        .and_then(Json::as_arr)
+        .ok_or("document has no 'entries' array")?;
+    let mut ok = true;
+    let mut headline_seen = 0usize;
+    for (i, entry) in entries.iter().enumerate() {
+        let workers = entry
+            .get("workers")
+            .and_then(Json::as_num)
+            .ok_or_else(|| format!("entry {i} has no 'workers'"))?;
+        let results = entry
+            .get("results")
+            .and_then(Json::as_arr)
+            .ok_or_else(|| format!("entry {i} has no 'results'"))?;
+        for (j, r) in results.iter().enumerate() {
+            let field = |name: &str| {
+                r.get(name).and_then(Json::as_num).ok_or_else(|| {
+                    format!("entry {i} result {j} has no numeric {name:?}")
+                })
+            };
+            let kernel = r
+                .get("kernel")
+                .and_then(Json::as_str)
+                .ok_or_else(|| format!("entry {i} result {j} has no 'kernel'"))?;
+            let rows = field("rows")?;
+            let speedup = field("speedup")?;
+            let headline = (kernel == "select" || kernel == "aggregate")
+                && rows == KERNEL_HEADLINE_ROWS
+                && workers == KERNEL_HEADLINE_WORKERS;
+            headline_seen += headline as usize;
+            let min = if headline { KERNEL_HEADLINE_MIN } else { KERNEL_FLOOR };
+            let holds = speedup >= min;
+            ok &= holds;
+            println!(
+                "kernels: {kernel:<26} rows={rows:>10.0} workers={workers:.0} \
+                 speedup {speedup:.3} (floor {min}){}",
+                if holds { "" } else { "  FAIL" },
+            );
+        }
+    }
+    if headline_seen < 2 {
+        return Err(format!(
+            "no 8-worker 10M-row select/aggregate entries found (saw \
+             {headline_seen}) — regenerate BENCH_kernels.json with the full sweep"
+        ));
+    }
+    Ok(ok)
+}
+
 fn main() {
     let args = match parse_args() {
         Ok(a) => a,
@@ -263,6 +345,28 @@ fn main() {
             std::process::exit(1);
         }
     };
+    if args.kernels {
+        match check_kernels(&doc) {
+            Ok(true) => {
+                println!(
+                    "bench-diff: ok — kernel speedups hold ({KERNEL_HEADLINE_MIN}x \
+                     headline, {KERNEL_FLOOR}x floor)"
+                );
+                return;
+            }
+            Ok(false) => {
+                eprintln!(
+                    "bench-diff: FAIL: a kernel speedup fell below its floor \
+                     (headline {KERNEL_HEADLINE_MIN}x, global {KERNEL_FLOOR}x)"
+                );
+                std::process::exit(1);
+            }
+            Err(e) => {
+                eprintln!("bench-diff: {}: {e}", args.path);
+                std::process::exit(1);
+            }
+        }
+    }
     if args.serving {
         match check_serving(&doc, "serving-ssb", args.max_ratio) {
             Ok(true) => {

@@ -243,7 +243,7 @@ impl TaskOp {
                 LazyChunk::Filtered { base, sel } => {
                     // AND short-circuit: refine the incoming selection in
                     // place instead of rescanning the base chunk.
-                    let sel = predicate.evaluate_selvec(&base, Some(&sel))?;
+                    let sel = crate::simd::refine_selvec(predicate, &base, &sel)?;
                     Ok(LazyChunk::Filtered { base, sel })
                 }
             },
@@ -252,7 +252,7 @@ impl TaskOp {
                 // needs every build row, so materialize it.
                 let build = children[0].chunk();
                 let out = match children[1].parts() {
-                    (base, Some(sel)) => ops::join::hash_join_sel(
+                    (base, Some(sel)) => ops::join::hash_join_sel_fast(
                         &build,
                         base,
                         build_key,
@@ -283,7 +283,7 @@ impl TaskOp {
             TaskOp::Aggregate { group_by, aggs } => {
                 let out = match children[0].parts() {
                     (base, Some(sel)) => {
-                        ops::agg::aggregate_sel(base, Some(sel), group_by, aggs)?
+                        ops::agg::aggregate_sel_fast(base, Some(sel), group_by, aggs)?
                     }
                     (base, None) => parallel::aggregate(base, group_by, aggs, ctx)?,
                 };

@@ -37,11 +37,12 @@ pub mod ops;
 pub mod parallel;
 pub mod plan;
 pub mod predicate;
+pub mod simd;
 pub mod vectorized;
 
 pub use batch::{Chunk, LazyChunk, SelVec};
 pub use error::EngineError;
-pub use parallel::ParallelCtx;
+pub use parallel::{KernelClass, ParallelCtx};
 pub use exec::executor::{Arrival, ExecOptions, Executor, RunOutcome};
 pub use exec::metrics::RunMetrics;
 pub use exec::pipeline::{execute_plan_fused, fusion_sites, FusedKind};

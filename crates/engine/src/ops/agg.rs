@@ -7,6 +7,8 @@
 //! the base columns.
 
 use crate::batch::{Chunk, SelVec};
+use crate::expr::Expr;
+use crate::ops::hashtbl::FastMap;
 use crate::plan::{AggFunc, AggSpec};
 use robustq_storage::{ColumnData, DataType, Field};
 use std::collections::HashMap;
@@ -193,6 +195,402 @@ fn group_rows(
     }
 }
 
+/// An aggregate input the fast kernel can read per row without
+/// materializing a dense `f64` vector first.
+///
+/// Bare column references — the overwhelmingly common case — borrow the
+/// column and convert on the fly with exactly the [`ColumnData::get_f64`]
+/// semantics `Expr::evaluate_f64` uses, so a 10M-row `SUM(v)` no longer
+/// copies the whole column before accumulating. Compound expressions
+/// materialize as before, indexed by dense position.
+enum AggSrc<'a> {
+    /// Borrowed integer column (compares/accumulates as `v as f64`).
+    I32(&'a [i32]),
+    /// Borrowed integer column.
+    I64(&'a [i64]),
+    /// Borrowed float column.
+    F64(&'a [f64]),
+    /// Literal expression: the same value for every row.
+    Const(f64),
+    /// Materialized expression results, indexed by dense position `j`.
+    Owned(Vec<f64>),
+}
+
+/// Resolve one aggregate input, borrowing bare numeric columns. Error
+/// messages match `Expr::evaluate_f64` exactly.
+fn agg_src<'a>(
+    expr: &Expr,
+    chunk: &'a Chunk,
+    sel: Option<&SelVec>,
+) -> Result<AggSrc<'a>, String> {
+    if let Expr::Col(name) = expr {
+        let col = chunk.require_column(name)?;
+        return match col {
+            ColumnData::Int32(v) => Ok(AggSrc::I32(v)),
+            ColumnData::Int64(v) => Ok(AggSrc::I64(v)),
+            ColumnData::Float64(v) => Ok(AggSrc::F64(v)),
+            ColumnData::Str(_) => Err(format!("column {name} is not numeric")),
+        };
+    }
+    // A literal (e.g. `COUNT(*)`'s `1.0`) is infallible and constant: no
+    // point materializing a row-length vector of copies.
+    if let Expr::Lit(v) = expr {
+        return Ok(AggSrc::Const(*v));
+    }
+    Ok(AggSrc::Owned(match sel {
+        None => expr.evaluate_f64(chunk)?,
+        Some(s) => expr.evaluate_f64_at(chunk, s.positions())?,
+    }))
+}
+
+/// Column-wise accumulator for one aggregate across all groups.
+///
+/// The reference kernel keeps a `Vec<AggState>` per group — a heap
+/// allocation per group and a four-field update per row regardless of the
+/// aggregate function. Storing one contiguous array per aggregate keeps
+/// the hot accumulators in cache and updates only the field the function
+/// actually reads; [`FastAcc::state`] rebuilds an [`AggState`] per group
+/// so [`finalize`] stays shared with the reference path (bit-identical by
+/// construction: same accumulation order, same `f64` operations).
+enum FastAcc {
+    Sum(Vec<f64>),
+    Count(Vec<u64>),
+    Min(Vec<f64>),
+    Max(Vec<f64>),
+    Avg { sum: Vec<f64>, count: Vec<u64> },
+}
+
+impl FastAcc {
+    fn new(func: AggFunc) -> FastAcc {
+        match func {
+            AggFunc::Sum => FastAcc::Sum(Vec::new()),
+            AggFunc::Count => FastAcc::Count(Vec::new()),
+            AggFunc::Min => FastAcc::Min(Vec::new()),
+            AggFunc::Max => FastAcc::Max(Vec::new()),
+            AggFunc::Avg => FastAcc::Avg { sum: Vec::new(), count: Vec::new() },
+        }
+    }
+
+    /// Size for `ngroups` groups, initialized to the neutral element.
+    fn resize(&mut self, ngroups: usize) {
+        match self {
+            FastAcc::Sum(a) => a.resize(ngroups, 0.0),
+            FastAcc::Count(a) => a.resize(ngroups, 0),
+            FastAcc::Min(a) => a.resize(ngroups, f64::INFINITY),
+            FastAcc::Max(a) => a.resize(ngroups, f64::NEG_INFINITY),
+            FastAcc::Avg { sum, count } => {
+                sum.resize(ngroups, 0.0);
+                count.resize(ngroups, 0);
+            }
+        }
+    }
+
+    /// Accumulate the whole row stream into this aggregate: `gids[j]` is
+    /// the group of dense position `j`, `sel` maps `j` to a global row for
+    /// borrowed column sources. Per-group accumulation order equals the
+    /// reference's row order, so sums are bit-identical.
+    fn accumulate(&mut self, src: &AggSrc<'_>, gids: &[u32], sel: Option<&[u32]>) {
+        match self {
+            FastAcc::Sum(a) => fold_into(a, gids, src, sel, |acc, v| *acc += v),
+            FastAcc::Count(a) => {
+                for &g in gids {
+                    a[g as usize] += 1;
+                }
+            }
+            FastAcc::Min(a) => {
+                fold_into(a, gids, src, sel, |acc, v| *acc = acc.min(v))
+            }
+            FastAcc::Max(a) => {
+                fold_into(a, gids, src, sel, |acc, v| *acc = acc.max(v))
+            }
+            FastAcc::Avg { sum, count } => {
+                fold_into(sum, gids, src, sel, |acc, v| *acc += v);
+                for &g in gids {
+                    count[g as usize] += 1;
+                }
+            }
+        }
+    }
+
+    /// The [`AggState`] view of group `gid` (only the fields the
+    /// function's `finish` reads are meaningful).
+    fn state(&self, gid: usize) -> AggState {
+        let mut s = AggState::new();
+        match self {
+            FastAcc::Sum(a) => s.sum = a[gid],
+            FastAcc::Count(a) => s.count = a[gid],
+            FastAcc::Min(a) => s.min = a[gid],
+            FastAcc::Max(a) => s.max = a[gid],
+            FastAcc::Avg { sum, count } => {
+                s.sum = sum[gid];
+                s.count = count[gid];
+            }
+        }
+        s
+    }
+}
+
+/// Tight per-source accumulation loop: one monomorphized loop per
+/// `(source, selection, fold)` combination, with no per-row dispatch.
+#[inline]
+fn fold_into(
+    a: &mut [f64],
+    gids: &[u32],
+    src: &AggSrc<'_>,
+    sel: Option<&[u32]>,
+    f: impl Fn(&mut f64, f64),
+) {
+    match (src, sel) {
+        (AggSrc::I32(v), None) => {
+            for (j, &g) in gids.iter().enumerate() {
+                f(&mut a[g as usize], v[j] as f64);
+            }
+        }
+        (AggSrc::I32(v), Some(p)) => {
+            for (j, &g) in gids.iter().enumerate() {
+                f(&mut a[g as usize], v[p[j] as usize] as f64);
+            }
+        }
+        (AggSrc::I64(v), None) => {
+            for (j, &g) in gids.iter().enumerate() {
+                f(&mut a[g as usize], v[j] as f64);
+            }
+        }
+        (AggSrc::I64(v), Some(p)) => {
+            for (j, &g) in gids.iter().enumerate() {
+                f(&mut a[g as usize], v[p[j] as usize] as f64);
+            }
+        }
+        (AggSrc::F64(v), None) => {
+            for (j, &g) in gids.iter().enumerate() {
+                f(&mut a[g as usize], v[j]);
+            }
+        }
+        (AggSrc::F64(v), Some(p)) => {
+            for (j, &g) in gids.iter().enumerate() {
+                f(&mut a[g as usize], v[p[j] as usize]);
+            }
+        }
+        (AggSrc::Const(c), _) => {
+            for &g in gids {
+                f(&mut a[g as usize], *c);
+            }
+        }
+        (AggSrc::Owned(v), _) => {
+            for (j, &g) in gids.iter().enumerate() {
+                f(&mut a[g as usize], v[j]);
+            }
+        }
+    }
+}
+
+/// Largest key range the dense single-key grouper will table (8 MB of
+/// `u32` group ids). SSB/TPC-H group keys (dates, dictionary codes, small
+/// categorical ints) land far below this.
+const DENSE_MAX_RANGE: usize = 1 << 21;
+
+/// Direct-index `key -> group id` table for a single small-range integer
+/// or dictionary key: no hashing at all.
+enum DenseKeys<'a> {
+    I32 { vals: &'a [i32], base: i32 },
+    I64 { vals: &'a [i64], base: i64 },
+    Codes(&'a [u32]),
+}
+
+struct DenseGrouper<'a> {
+    keys: DenseKeys<'a>,
+    /// `table[key - base] = gid`; `u32::MAX` = unseen.
+    table: Vec<u32>,
+}
+
+impl<'a> DenseGrouper<'a> {
+    /// Build for `col` if its value range is small enough to table; the
+    /// min/max scan is a cheap vectorizable pass over the column.
+    fn try_new(col: &'a ColumnData) -> Option<DenseGrouper<'a>> {
+        match col {
+            ColumnData::Int32(v) => {
+                let (&first, rest) = v.split_first()?;
+                let (min, max) = rest.iter().fold((first, first), |(lo, hi), &x| {
+                    (lo.min(x), hi.max(x))
+                });
+                let range = (max as i64 - min as i64) as usize + 1;
+                (range <= DENSE_MAX_RANGE).then(|| DenseGrouper {
+                    keys: DenseKeys::I32 { vals: v, base: min },
+                    table: vec![u32::MAX; range],
+                })
+            }
+            ColumnData::Int64(v) => {
+                let (&first, rest) = v.split_first()?;
+                let (min, max) = rest.iter().fold((first, first), |(lo, hi), &x| {
+                    (lo.min(x), hi.max(x))
+                });
+                let range = (max as i128 - min as i128) as u128 + 1;
+                (range <= DENSE_MAX_RANGE as u128).then(|| DenseGrouper {
+                    keys: DenseKeys::I64 { vals: v, base: min },
+                    table: vec![u32::MAX; range as usize],
+                })
+            }
+            ColumnData::Float64(_) => None,
+            ColumnData::Str(d) => {
+                (d.dict().len() <= DENSE_MAX_RANGE).then(|| DenseGrouper {
+                    keys: DenseKeys::Codes(d.codes()),
+                    table: vec![u32::MAX; d.dict().len()],
+                })
+            }
+        }
+    }
+
+    #[inline]
+    fn slot(&mut self, row: u32) -> &mut u32 {
+        let idx = match &self.keys {
+            DenseKeys::I32 { vals, base } => {
+                (vals[row as usize] as i64 - *base as i64) as usize
+            }
+            DenseKeys::I64 { vals, base } => {
+                (vals[row as usize] as i128 - *base as i128) as usize
+            }
+            DenseKeys::Codes(codes) => codes[row as usize] as usize,
+        };
+        &mut self.table[idx]
+    }
+}
+
+/// Fast-path [`group_rows`]: identical group numbering, representatives
+/// and accumulation order, with the per-row `HashMap`/SipHash cost
+/// replaced by a dense table (single small-range key), a multiply-shift
+/// open-addressing map (one/two keys), or the reference map (3+ keys).
+fn group_rows_fast(
+    key_cols: &[&ColumnData],
+    rows: impl Iterator<Item = u32>,
+    representative: &mut Vec<u32>,
+    gids: &mut Vec<u32>,
+) {
+    let mut new_group = |row: u32| {
+        representative.push(row);
+        (representative.len() - 1) as u32
+    };
+    match key_cols {
+        [] => {
+            let mut seen = false;
+            for row in rows {
+                if !seen {
+                    new_group(row);
+                    seen = true;
+                }
+                gids.push(0);
+            }
+        }
+        [k0] => {
+            if let Some(mut dense) = DenseGrouper::try_new(k0) {
+                for row in rows {
+                    let slot = dense.slot(row);
+                    let mut gid = *slot;
+                    if gid == u32::MAX {
+                        gid = new_group(row);
+                        *slot = gid;
+                    }
+                    gids.push(gid);
+                }
+            } else {
+                let mut map: FastMap<u64> = FastMap::new();
+                for row in rows {
+                    let gid = map
+                        .get_or_insert(k0.key_at(row as usize), || new_group(row));
+                    gids.push(gid);
+                }
+            }
+        }
+        [k0, k1] => {
+            let mut map: FastMap<(u64, u64)> = FastMap::new();
+            for row in rows {
+                let key = (k0.key_at(row as usize), k1.key_at(row as usize));
+                gids.push(map.get_or_insert(key, || new_group(row)));
+            }
+        }
+        _ => {
+            let mut map: HashMap<Vec<u64>, u32> = HashMap::new();
+            for row in rows {
+                let key: Vec<u64> =
+                    key_cols.iter().map(|c| c.key_at(row as usize)).collect();
+                gids.push(*map.entry(key).or_insert_with(|| new_group(row)));
+            }
+        }
+    }
+}
+
+/// Production aggregation: bit-identical to [`aggregate`], with hashing
+/// and input materialization costs removed (see [`group_rows_fast`] and
+/// [`AggSrc`]).
+pub fn aggregate_fast(
+    chunk: &Chunk,
+    group_by: &[String],
+    aggs: &[AggSpec],
+) -> Result<Chunk, String> {
+    aggregate_sel_fast(chunk, None, group_by, aggs)
+}
+
+/// Production selection-vector aggregation: bit-identical to
+/// [`aggregate_sel`].
+pub fn aggregate_sel_fast(
+    chunk: &Chunk,
+    sel: Option<&SelVec>,
+    group_by: &[String],
+    aggs: &[AggSpec],
+) -> Result<Chunk, String> {
+    let key_cols: Vec<&ColumnData> = group_by
+        .iter()
+        .map(|name| chunk.require_column(name))
+        .collect::<Result<_, _>>()?;
+    let srcs: Vec<AggSrc<'_>> = aggs
+        .iter()
+        .map(|a| agg_src(&a.input, chunk, sel))
+        .collect::<Result<_, _>>()?;
+
+    // Phase 1: assign a group id to every (selected) row. Keeping this
+    // separate from accumulation lets phase 2 run one tight, dispatch-free
+    // loop per aggregate over the dense gid stream.
+    let n = sel.map_or(chunk.num_rows(), |s| s.len());
+    let mut representative: Vec<u32> = Vec::new();
+    let mut gids: Vec<u32> = Vec::with_capacity(n);
+    match sel {
+        None => group_rows_fast(
+            &key_cols,
+            (0..chunk.num_rows()).map(|r| r as u32),
+            &mut representative,
+            &mut gids,
+        ),
+        Some(s) => group_rows_fast(
+            &key_cols,
+            s.positions().iter().copied(),
+            &mut representative,
+            &mut gids,
+        ),
+    }
+
+    // Phase 2: column-wise accumulation. Per (group, aggregate) the fold
+    // order is still row order, so results are bit-identical to the
+    // row-at-a-time reference.
+    let mut accs: Vec<FastAcc> =
+        aggs.iter().map(|a| FastAcc::new(a.func)).collect();
+    let sel_rows = sel.map(|s| s.positions());
+    for (acc, src) in accs.iter_mut().zip(&srcs) {
+        acc.resize(representative.len());
+        acc.accumulate(src, &gids, sel_rows);
+    }
+
+    let mut states: Vec<Vec<AggState>> = (0..representative.len())
+        .map(|g| accs.iter().map(|a| a.state(g)).collect())
+        .collect();
+
+    // Global aggregate over empty groups: one row of neutral values.
+    if group_by.is_empty() && states.is_empty() {
+        representative.push(0);
+        states.push(vec![AggState::new(); aggs.len()]);
+    }
+
+    Ok(finalize(group_by, &key_cols, aggs, &representative, &states))
+}
+
 /// Build the output chunk from finished group states: one row per group,
 /// group-key columns (gathered at each group's representative row) followed
 /// by one column per aggregate. Shared by the serial and parallel kernels
@@ -332,5 +730,100 @@ mod tests {
     #[test]
     fn missing_group_column_is_error() {
         assert!(aggregate(&chunk(), &["zz".into()], &[AggSpec::count("c")]).is_err());
+    }
+
+    fn wide_chunk() -> Chunk {
+        // One dense-range key, one wide-range key (forces the hash path),
+        // one dict key, and two value columns covering borrowed + computed
+        // aggregate sources.
+        let n = 401usize;
+        Chunk::new(
+            vec![
+                Field::new("g", DataType::Int32),
+                Field::new("w", DataType::Int64),
+                Field::new("s", DataType::Str),
+                Field::new("v", DataType::Float64),
+                Field::new("i", DataType::Int32),
+            ],
+            vec![
+                ColumnData::Int32((0..n).map(|i| (i as i32 * 7) % 13).collect()),
+                ColumnData::Int64(
+                    (0..n).map(|i| (i as i64 % 5) * 1_000_000_007).collect(),
+                ),
+                ColumnData::Str(DictColumn::from_strings(
+                    (0..n).map(|i| format!("s{}", i % 9)),
+                )),
+                ColumnData::Float64((0..n).map(|i| i as f64 * 0.25 - 30.0).collect()),
+                ColumnData::Int32((0..n).map(|i| i as i32 - 200).collect()),
+            ],
+        )
+    }
+
+    #[test]
+    fn fast_aggregate_matches_reference_across_key_shapes() {
+        let c = wide_chunk();
+        let aggs = [
+            AggSpec::sum(Expr::col("v"), "sv"),
+            AggSpec::count("c"),
+            AggSpec::new(AggFunc::Min, Expr::col("i"), "mi"),
+            AggSpec::new(AggFunc::Avg, Expr::col("v") * Expr::lit(2.0), "av"),
+        ];
+        let shapes: [&[&str]; 6] = [
+            &[],
+            &["g"],
+            &["w"],
+            &["s"],
+            &["g", "w"],
+            &["g", "w", "s"],
+        ];
+        for keys in shapes {
+            let keys: Vec<String> = keys.iter().map(|k| k.to_string()).collect();
+            let want = aggregate(&c, &keys, &aggs).unwrap();
+            let got = aggregate_fast(&c, &keys, &aggs).unwrap();
+            assert_eq!(got.num_rows(), want.num_rows(), "keys {keys:?}");
+            for i in 0..want.num_rows() {
+                assert_eq!(got.row(i), want.row(i), "keys {keys:?} row {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn fast_aggregate_sel_matches_reference() {
+        let c = wide_chunk();
+        let sel = crate::batch::SelVec::new(
+            (0..c.num_rows() as u32).filter(|i| i % 3 == 1).collect(),
+        );
+        let aggs = [AggSpec::sum(Expr::col("v"), "sv"), AggSpec::count("c")];
+        for keys in [vec![], vec!["g".to_string()], vec!["s".to_string()]] {
+            let want = aggregate_sel(&c, Some(&sel), &keys, &aggs).unwrap();
+            let got = aggregate_sel_fast(&c, Some(&sel), &keys, &aggs).unwrap();
+            assert_eq!(got.num_rows(), want.num_rows(), "keys {keys:?}");
+            for i in 0..want.num_rows() {
+                assert_eq!(got.row(i), want.row(i), "keys {keys:?} row {i}");
+            }
+        }
+        // Empty selection still yields the neutral global row / zero groups.
+        let empty = crate::batch::SelVec::new(vec![]);
+        for keys in [vec![], vec!["g".to_string()]] {
+            let want = aggregate_sel(&c, Some(&empty), &keys, &aggs).unwrap();
+            let got = aggregate_sel_fast(&c, Some(&empty), &keys, &aggs).unwrap();
+            assert_eq!(got.num_rows(), want.num_rows());
+            for i in 0..want.num_rows() {
+                assert_eq!(got.row(i), want.row(i));
+            }
+        }
+    }
+
+    #[test]
+    fn fast_aggregate_error_messages_match_reference() {
+        let c = wide_chunk();
+        let aggs = [AggSpec::sum(Expr::col("s"), "x")];
+        let want = aggregate(&c, &[], &aggs).unwrap_err();
+        let got = aggregate_fast(&c, &[], &aggs).unwrap_err();
+        assert_eq!(format!("{got}"), format!("{want}"));
+        let aggs = [AggSpec::count("c")];
+        let want = aggregate(&c, &["zz".into()], &aggs).unwrap_err();
+        let got = aggregate_fast(&c, &["zz".into()], &aggs).unwrap_err();
+        assert_eq!(format!("{got}"), format!("{want}"));
     }
 }

@@ -1,0 +1,251 @@
+//! Specialized hash containers for the hot join/aggregation paths.
+//!
+//! The reference kernels use `std::collections::HashMap`, which is exactly
+//! right for a readable baseline but pays SipHash per lookup and (for the
+//! join build) one heap-allocated `Vec<u32>` per distinct key. The
+//! production kernels use these containers instead:
+//!
+//! * [`JoinTable`] — a chained hash table over canonical 64-bit join keys
+//!   with all entries in three flat arrays (multiply-shift hash, one
+//!   allocation per column, no per-key `Vec`s). Matches stream out in
+//!   build-row order, exactly the order `HashMap<u64, Vec<u32>>` produces,
+//!   so probes are bit-identical to the reference.
+//! * [`FastMap`] — an open-addressing `key -> group id` map (linear
+//!   probing, power-of-two capacity) for grouping; full keys are stored
+//!   and compared, so hash mixing affects speed only, never results.
+//!
+//! Both hash with Fibonacci multiply-shift (`key * 2^64/φ`, top bits):
+//! one multiply per lookup, and the golden-ratio constant scatters the
+//! dense/low-entropy keys (dictionary codes, small integers, sequential
+//! primary keys) these tables actually see.
+
+/// Fibonacci hashing constant: `floor(2^64 / φ)`, odd.
+const PHI: u64 = 0x9E37_79B9_7F4A_7C15;
+
+#[inline]
+fn mix(k: u64) -> u64 {
+    k.wrapping_mul(PHI)
+}
+
+/// A chained hash table mapping canonical join keys to build-row
+/// positions, laid out as flat arrays.
+///
+/// Equal-key matches come out in **increasing build-row order** — the
+/// contract the join kernels rely on for bit-identity with the
+/// `HashMap<u64, Vec<u32>>` reference (which pushes rows in scan order).
+/// Chains are built by prepending while scanning the build side in
+/// *reverse*, so each bucket's list ends up in increasing entry order.
+pub(crate) struct JoinTable {
+    /// `64 - log2(buckets.len())`: top-bits bucket index.
+    shift: u32,
+    /// Head entry index + 1 per bucket; 0 = empty.
+    buckets: Vec<u32>,
+    /// Entry key.
+    keys: Vec<u64>,
+    /// Entry build row.
+    rows: Vec<u32>,
+    /// Next entry index + 1 in the same bucket; 0 = chain end.
+    next: Vec<u32>,
+}
+
+impl JoinTable {
+    /// Hash every build key. Capacity is the next power of two above
+    /// `2 × keys` (load factor ≤ 0.5).
+    pub(crate) fn build(bkeys: &[u64]) -> JoinTable {
+        let cap = (bkeys.len() * 2).next_power_of_two().max(16);
+        let mut t = JoinTable {
+            shift: 64 - cap.trailing_zeros(),
+            buckets: vec![0; cap],
+            keys: Vec::with_capacity(bkeys.len()),
+            rows: Vec::with_capacity(bkeys.len()),
+            next: Vec::with_capacity(bkeys.len()),
+        };
+        for (i, &k) in bkeys.iter().enumerate().rev() {
+            let b = (mix(k) >> t.shift) as usize;
+            t.keys.push(k);
+            t.rows.push(i as u32);
+            t.next.push(t.buckets[b]);
+            t.buckets[b] = t.keys.len() as u32;
+        }
+        t
+    }
+
+    /// Visit the build rows matching `k`, in increasing build-row order.
+    #[inline]
+    pub(crate) fn for_each_match(&self, k: u64, mut f: impl FnMut(u32)) {
+        let mut e = self.buckets[(mix(k) >> self.shift) as usize];
+        while e != 0 {
+            let i = (e - 1) as usize;
+            if self.keys[i] == k {
+                f(self.rows[i]);
+            }
+            e = self.next[i];
+        }
+    }
+
+    /// True if any build row has key `k`.
+    #[inline]
+    pub(crate) fn contains(&self, k: u64) -> bool {
+        let mut e = self.buckets[(mix(k) >> self.shift) as usize];
+        while e != 0 {
+            let i = (e - 1) as usize;
+            if self.keys[i] == k {
+                return true;
+            }
+            e = self.next[i];
+        }
+        false
+    }
+}
+
+/// A grouping key the open-addressing map can hash and compare.
+pub(crate) trait FastKey: Copy + PartialEq {
+    /// Mix into a 64-bit hash; the map takes top bits for the slot.
+    fn mixed(self) -> u64;
+}
+
+impl FastKey for u64 {
+    #[inline]
+    fn mixed(self) -> u64 {
+        mix(self)
+    }
+}
+
+impl FastKey for (u64, u64) {
+    #[inline]
+    fn mixed(self) -> u64 {
+        // Mix the halves with distinct odd constants before combining so
+        // (a, b) and (b, a) land apart.
+        mix(self.0.wrapping_mul(PHI) ^ self.1.wrapping_mul(0xC2B2_AE3D_27D4_EB4F))
+    }
+}
+
+/// Open-addressing `key -> u32` map with linear probing.
+///
+/// Slots hold entry indices (+1; 0 = empty) into flat `keys`/`vals`
+/// arrays, so rehashing on growth moves only the `u32` slots — values and
+/// their insertion order never move, which is what keeps first-occurrence
+/// group numbering stable across growth.
+pub(crate) struct FastMap<K: FastKey> {
+    shift: u32,
+    /// Entry index + 1 per slot; 0 = empty.
+    slots: Vec<u32>,
+    keys: Vec<K>,
+    vals: Vec<u32>,
+}
+
+impl<K: FastKey> FastMap<K> {
+    pub(crate) fn new() -> FastMap<K> {
+        let cap = 1024usize;
+        FastMap {
+            shift: 64 - cap.trailing_zeros(),
+            slots: vec![0; cap],
+            keys: Vec::new(),
+            vals: Vec::new(),
+        }
+    }
+
+    /// Value for `key`, inserting `make()` on first sight.
+    #[inline]
+    pub(crate) fn get_or_insert(
+        &mut self,
+        key: K,
+        make: impl FnOnce() -> u32,
+    ) -> u32 {
+        let mask = self.slots.len() - 1;
+        let mut i = (key.mixed() >> self.shift) as usize;
+        loop {
+            let e = self.slots[i];
+            if e == 0 {
+                let v = make();
+                self.keys.push(key);
+                self.vals.push(v);
+                self.slots[i] = self.keys.len() as u32;
+                if self.keys.len() * 2 >= self.slots.len() {
+                    self.grow();
+                }
+                return v;
+            }
+            let idx = (e - 1) as usize;
+            if self.keys[idx] == key {
+                return self.vals[idx];
+            }
+            i = (i + 1) & mask;
+        }
+    }
+
+    /// Double the slot array and rehash entry indices (entries stay put).
+    fn grow(&mut self) {
+        let cap = self.slots.len() * 2;
+        self.shift = 64 - cap.trailing_zeros();
+        let mut slots = vec![0u32; cap];
+        let mask = cap - 1;
+        for (idx, key) in self.keys.iter().enumerate() {
+            let mut i = (key.mixed() >> self.shift) as usize;
+            while slots[i] != 0 {
+                i = (i + 1) & mask;
+            }
+            slots[i] = idx as u32 + 1;
+        }
+        self.slots = slots;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashMap;
+
+    #[test]
+    fn join_table_matches_reference_order() {
+        // Keys with duplicates, a never-matching sentinel neighborhood,
+        // and values that collide in low bits.
+        let bkeys: Vec<u64> =
+            (0..1000).map(|i| (i % 37) * 1024).chain([u64::MAX - 1]).collect();
+        let mut reference: HashMap<u64, Vec<u32>> = HashMap::new();
+        for (i, &k) in bkeys.iter().enumerate() {
+            reference.entry(k).or_default().push(i as u32);
+        }
+        let table = JoinTable::build(&bkeys);
+        for probe in (0..40).map(|i| i * 1024).chain([u64::MAX - 1, u64::MAX]) {
+            let mut got = Vec::new();
+            table.for_each_match(probe, |r| got.push(r));
+            let want = reference.get(&probe).cloned().unwrap_or_default();
+            assert_eq!(got, want, "key {probe}");
+            assert_eq!(table.contains(probe), !want.is_empty());
+        }
+    }
+
+    #[test]
+    fn join_table_empty() {
+        let table = JoinTable::build(&[]);
+        assert!(!table.contains(0));
+        table.for_each_match(0, |_| panic!("no matches in an empty table"));
+    }
+
+    #[test]
+    fn fast_map_assigns_first_occurrence_ids_across_growth() {
+        let mut map: FastMap<u64> = FastMap::new();
+        let mut reference: HashMap<u64, u32> = HashMap::new();
+        let mut next = 0u32;
+        // Enough distinct keys to force several growths.
+        for i in 0..50_000u64 {
+            let key = (i * i) % 9973;
+            let want = *reference.entry(key).or_insert_with(|| {
+                let v = next;
+                next += 1;
+                v
+            });
+            let got = map.get_or_insert(key, || want);
+            assert_eq!(got, want, "key {key}");
+        }
+    }
+
+    #[test]
+    fn fast_map_pair_keys_do_not_conflate() {
+        let mut map: FastMap<(u64, u64)> = FastMap::new();
+        assert_eq!(map.get_or_insert((1, 2), || 0), 0);
+        assert_eq!(map.get_or_insert((2, 1), || 1), 1);
+        assert_eq!(map.get_or_insert((1, 2), || 99), 0);
+    }
+}

@@ -7,6 +7,7 @@
 //! before the join.
 
 use crate::batch::{Chunk, SelVec};
+use crate::ops::hashtbl::JoinTable;
 use crate::plan::JoinKind;
 use robustq_storage::{ColumnData, DataType};
 use std::cell::RefCell;
@@ -294,6 +295,154 @@ pub fn hash_join_sel(
     })
 }
 
+/// [`probe_into`] against a [`JoinTable`]: the production probe loop.
+///
+/// Match order per probe row is increasing build row — the same order the
+/// `HashMap<u64, Vec<u32>>` reference emits — so outputs are bit-identical
+/// to [`probe_into`] for the same position stream.
+pub(crate) fn probe_table_into(
+    keys: &ProbeKeys<'_>,
+    table: &JoinTable,
+    kind: JoinKind,
+    positions: impl Iterator<Item = u32>,
+    probe_pos: &mut Vec<u32>,
+    build_pos: &mut Vec<u32>,
+) {
+    match kind {
+        JoinKind::Inner => {
+            for p in positions {
+                let k = keys.key(p as usize);
+                if k == u64::MAX {
+                    continue; // probe-only string, cannot match
+                }
+                table.for_each_match(k, |b| {
+                    probe_pos.push(p);
+                    build_pos.push(b);
+                });
+            }
+        }
+        JoinKind::Semi => {
+            for p in positions {
+                let k = keys.key(p as usize);
+                if k != u64::MAX && table.contains(k) {
+                    probe_pos.push(p);
+                }
+            }
+        }
+        JoinKind::Anti => {
+            for p in positions {
+                let k = keys.key(p as usize);
+                if k == u64::MAX || !table.contains(k) {
+                    probe_pos.push(p);
+                }
+            }
+        }
+    }
+}
+
+/// Production hash join: bit-identical to [`hash_join`], built on the
+/// flat-array [`JoinTable`] (multiply-shift hashing, no per-key `Vec`s)
+/// with pre-sized probe output buffers.
+///
+/// The output reserve is `probe rows`: for Semi/Anti it is exact worst
+/// case, and for Inner it covers every probe workload whose average match
+/// count is ≤ 1 (foreign-key probes) without a counting pre-pass —
+/// higher-fanout joins fall back to amortized growth beyond that.
+pub fn hash_join_fast(
+    build: &Chunk,
+    probe: &Chunk,
+    build_key: &str,
+    probe_key: &str,
+    kind: JoinKind,
+) -> Result<Chunk, String> {
+    let bcol = build.require_column(build_key)?;
+    let pcol = probe.require_column(probe_key)?;
+    with_key_buffers(|bkeys, pkeys| {
+        join_keys_into(bcol, pcol, bkeys, pkeys)?;
+        let table = JoinTable::build(bkeys);
+        match kind {
+            JoinKind::Inner => {
+                let mut probe_pos: Vec<u32> = Vec::with_capacity(pkeys.len());
+                let mut build_pos: Vec<u32> = Vec::with_capacity(pkeys.len());
+                for (i, &k) in pkeys.iter().enumerate() {
+                    if k == u64::MAX {
+                        continue; // probe-only string, cannot match
+                    }
+                    table.for_each_match(k, |b| {
+                        probe_pos.push(i as u32);
+                        build_pos.push(b);
+                    });
+                }
+                Ok(probe.gather(&probe_pos).zip(build.gather(&build_pos)))
+            }
+            JoinKind::Semi => {
+                let mut pos: Vec<u32> = Vec::with_capacity(pkeys.len());
+                for (i, &k) in pkeys.iter().enumerate() {
+                    if k != u64::MAX && table.contains(k) {
+                        pos.push(i as u32);
+                    }
+                }
+                Ok(probe.gather(&pos))
+            }
+            JoinKind::Anti => {
+                let mut pos: Vec<u32> = Vec::with_capacity(pkeys.len());
+                for (i, &k) in pkeys.iter().enumerate() {
+                    if k == u64::MAX || !table.contains(k) {
+                        pos.push(i as u32);
+                    }
+                }
+                Ok(probe.gather(&pos))
+            }
+        }
+    })
+}
+
+/// Production selection-vector hash join: bit-identical to
+/// [`hash_join_sel`], on [`JoinTable`] with pre-sized outputs.
+pub fn hash_join_sel_fast(
+    build: &Chunk,
+    probe: &Chunk,
+    build_key: &str,
+    probe_key: &str,
+    kind: JoinKind,
+    sel: Option<&SelVec>,
+) -> Result<Chunk, String> {
+    let bcol = build.require_column(build_key)?;
+    let pcol = probe.require_column(probe_key)?;
+    with_key_buffers(|bkeys, _| {
+        let keys = probe_key_extractor(bcol, pcol, bkeys)?;
+        let table = JoinTable::build(bkeys);
+        let probed = sel.map_or(probe.num_rows(), |s| s.positions().len());
+        let mut probe_pos = Vec::with_capacity(probed);
+        let mut build_pos =
+            Vec::with_capacity(if kind == JoinKind::Inner { probed } else { 0 });
+        match sel {
+            Some(s) => probe_table_into(
+                &keys,
+                &table,
+                kind,
+                s.positions().iter().copied(),
+                &mut probe_pos,
+                &mut build_pos,
+            ),
+            None => probe_table_into(
+                &keys,
+                &table,
+                kind,
+                0..probe.num_rows() as u32,
+                &mut probe_pos,
+                &mut build_pos,
+            ),
+        }
+        match kind {
+            JoinKind::Inner => {
+                Ok(probe.gather(&probe_pos).zip(build.gather(&build_pos)))
+            }
+            JoinKind::Semi | JoinKind::Anti => Ok(probe.gather(&probe_pos)),
+        }
+    })
+}
+
 /// Hash the build keys into `key -> build row positions`.
 pub(crate) fn build_table(bkeys: &[u64]) -> HashMap<u64, Vec<u32>> {
     let mut table: HashMap<u64, Vec<u32>> = HashMap::with_capacity(bkeys.len());
@@ -506,5 +655,63 @@ mod tests {
         let out =
             hash_join(&empty_build, &probe_side(), "id", "fk", JoinKind::Anti).unwrap();
         assert_eq!(out.num_rows(), 3);
+    }
+
+    #[test]
+    fn fast_join_matches_reference_all_kinds() {
+        // Pseudo-random keys with duplicates and misses on both sides so the
+        // fast table exercises chained buckets and empty lookups.
+        let n = 257usize;
+        let bkeys: Vec<i64> = (0..n).map(|i| ((i * 37) % 83) as i64).collect();
+        let pkeys: Vec<i64> = (0..n * 2).map(|i| ((i * 53) % 120) as i64).collect();
+        let build = Chunk::new(
+            vec![
+                Field::new("k", DataType::Int64),
+                Field::new("bv", DataType::Int32),
+            ],
+            vec![
+                ColumnData::Int64(bkeys),
+                ColumnData::Int32((0..n as i32).collect()),
+            ],
+        );
+        let probe = Chunk::new(
+            vec![
+                Field::new("fk", DataType::Int64),
+                Field::new("pv", DataType::Int32),
+            ],
+            vec![
+                ColumnData::Int64(pkeys),
+                ColumnData::Int32((0..(n * 2) as i32).collect()),
+            ],
+        );
+        let sel = SelVec::new((0..(n * 2) as u32).filter(|i| i % 3 != 0).collect());
+        for kind in [JoinKind::Inner, JoinKind::Semi, JoinKind::Anti] {
+            let want = hash_join(&build, &probe, "k", "fk", kind).unwrap();
+            let got = hash_join_fast(&build, &probe, "k", "fk", kind).unwrap();
+            assert_eq!(got.num_rows(), want.num_rows(), "{kind:?}");
+            for i in 0..want.num_rows() {
+                assert_eq!(got.row(i), want.row(i), "{kind:?} row {i}");
+            }
+            let want =
+                hash_join_sel(&build, &probe, "k", "fk", kind, Some(&sel)).unwrap();
+            let got =
+                hash_join_sel_fast(&build, &probe, "k", "fk", kind, Some(&sel)).unwrap();
+            assert_eq!(got.num_rows(), want.num_rows(), "sel {kind:?}");
+            for i in 0..want.num_rows() {
+                assert_eq!(got.row(i), want.row(i), "sel {kind:?} row {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn fast_join_empty_and_error_paths_match() {
+        let empty_build = build_side().gather(&[]);
+        let out = hash_join_fast(&empty_build, &probe_side(), "id", "fk", JoinKind::Anti)
+            .unwrap();
+        assert_eq!(out.num_rows(), 3);
+        assert!(
+            hash_join_fast(&build_side(), &probe_side(), "name", "fk", JoinKind::Inner)
+                .is_err()
+        );
     }
 }

@@ -7,6 +7,8 @@
 //! the result.
 
 pub mod agg;
+pub mod compressed;
+pub(crate) mod hashtbl;
 pub mod join;
 pub mod project;
 pub mod select;

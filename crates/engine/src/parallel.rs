@@ -43,8 +43,10 @@
 
 use crate::batch::{Chunk, SelVec};
 use crate::ops;
+use crate::ops::hashtbl::JoinTable;
 use crate::plan::{AggSpec, JoinKind};
-use crate::predicate::{CompiledPred, Predicate};
+use crate::predicate::Predicate;
+use crate::simd::ProdPred;
 use robustq_storage::ColumnData;
 use std::collections::hash_map::Entry;
 use std::collections::HashMap;
@@ -65,6 +67,22 @@ pub const DEFAULT_MORSEL_ROWS: usize = 65_536;
 /// memory-bound kernels (the PR-1 benchmarks measured a net *slowdown*,
 /// 0.97×, at 1M rows).
 pub const DEFAULT_MIN_ROWS_PER_WORKER: usize = 524_288;
+
+/// Kernel classes with distinct parallel break-even points.
+///
+/// Fan-out overhead is roughly constant, so how many rows amortize it
+/// depends on per-row kernel cost: block-vectorized selection is the
+/// cheapest per row and needs the most rows, hash-probe joins (a
+/// dependent load per row) the fewest.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum KernelClass {
+    /// Predicate evaluation / selection-vector refinement.
+    Selection,
+    /// Hash-join build + probe.
+    Join,
+    /// Group-by aggregation.
+    Aggregation,
+}
 
 /// How kernel work is spread across CPU worker threads.
 ///
@@ -136,6 +154,23 @@ impl ParallelCtx {
     /// Kernels fall back to the serial reference path otherwise.
     pub fn should_parallelize(&self, rows: usize) -> bool {
         !self.is_serial() && rows >= self.min_rows_per_worker.saturating_mul(2)
+    }
+
+    /// Class-scaled minimum rows per worker (cost-aware threshold):
+    /// vectorized selection needs `2×` the base rows to amortize fan-out,
+    /// aggregation breaks even at the base, and join probes at half of it.
+    /// `min_rows_per_worker == 0` still disables thresholds entirely.
+    pub fn min_rows_for(&self, class: KernelClass) -> usize {
+        match class {
+            KernelClass::Selection => self.min_rows_per_worker.saturating_mul(2),
+            KernelClass::Aggregation => self.min_rows_per_worker,
+            KernelClass::Join => self.min_rows_per_worker / 2,
+        }
+    }
+
+    /// [`ParallelCtx::should_parallelize`] with the per-class threshold.
+    pub fn should_parallelize_kernel(&self, rows: usize, class: KernelClass) -> bool {
+        !self.is_serial() && rows >= self.min_rows_for(class).saturating_mul(2)
     }
 
     /// True if an input of `rows` rows would actually fan out to more
@@ -384,22 +419,18 @@ impl<T: Copy + Send, U: Copy + Send> MorselArena for (Vec<T>, Vec<U>) {
     }
 }
 
-/// Parallel selection: bit-identical to [`ops::select::select`].
+/// Production selection: bit-identical to [`ops::select::select`].
+///
+/// Serial or parallel, the selection vector comes from the block
+/// predicate evaluator ([`crate::simd`]) and the result is materialized
+/// by one global gather, like the serial reference path (so string
+/// columns share the same dictionary `Arc` either way).
 pub fn select(
     chunk: &Chunk,
     predicate: &Predicate,
     ctx: ParallelCtx,
 ) -> Result<Chunk, String> {
-    if ctx.is_serial()
-        || !ctx.should_parallelize(chunk.num_rows())
-        || !ctx.fans_out(chunk.num_rows())
-    {
-        return ops::select::select(chunk, predicate);
-    }
     let sel = select_positions(chunk, predicate, ctx)?;
-    // One global gather, like the serial path: gathered string columns
-    // share the input's dictionary Arc (a per-morsel gather + concat would
-    // rebuild dictionaries and change code assignments).
     Ok(chunk.gather(sel.positions()))
 }
 
@@ -408,20 +439,28 @@ pub fn select(
 /// positions into its arena and the spans are concatenated **once**, in
 /// morsel order — so the result equals the serial
 /// [`Predicate::evaluate_selvec`]`(chunk, None)` exactly.
+///
+/// The predicate is compiled **once** (to the block form when the shape
+/// supports it — see [`crate::simd::BlockPred`]) and shared read-only
+/// across workers; the serial path runs the same compiled form over the
+/// full row range.
 pub fn select_positions(
     chunk: &Chunk,
     predicate: &Predicate,
     ctx: ParallelCtx,
 ) -> Result<SelVec, String> {
+    let pred = ProdPred::compile(predicate, chunk)?;
     if ctx.is_serial()
-        || !ctx.should_parallelize(chunk.num_rows())
+        || !ctx.should_parallelize_kernel(chunk.num_rows(), KernelClass::Selection)
         || !ctx.fans_out(chunk.num_rows())
     {
-        return predicate.evaluate_selvec(chunk, None);
+        let mut positions = Vec::new();
+        pred.append_range(0..chunk.num_rows(), &mut positions)?;
+        return Ok(SelVec::new(positions));
     }
     let positions =
         ctx.run_morsels_arena(chunk.num_rows(), |rows, out: &mut Vec<u32>| {
-            predicate.evaluate_positions_range(chunk, rows, out)
+            pred.append_range(rows, out)
         })?;
     Ok(SelVec::new(positions))
 }
@@ -439,16 +478,16 @@ pub fn hash_join(
     ctx: ParallelCtx,
 ) -> Result<Chunk, String> {
     if ctx.is_serial()
-        || !ctx.should_parallelize(probe.num_rows())
+        || !ctx.should_parallelize_kernel(probe.num_rows(), KernelClass::Join)
         || !ctx.fans_out(probe.num_rows())
     {
-        return ops::join::hash_join(build, probe, build_key, probe_key, kind);
+        return ops::join::hash_join_fast(build, probe, build_key, probe_key, kind);
     }
     let bcol = build.require_column(build_key)?;
     let pcol = probe.require_column(probe_key)?;
     ops::join::with_key_buffers(|bkeys, pkeys| {
         ops::join::join_keys_into(bcol, pcol, bkeys, pkeys)?;
-        let table = ops::join::build_table(bkeys);
+        let table = JoinTable::build(bkeys);
 
         match kind {
             JoinKind::Inner => {
@@ -460,12 +499,10 @@ pub fn hash_join(
                             if k == u64::MAX {
                                 continue; // probe-only string, cannot match
                             }
-                            if let Some(matches) = table.get(&k) {
-                                for &b in matches {
-                                    out.0.push(i as u32);
-                                    out.1.push(b);
-                                }
-                            }
+                            table.for_each_match(k, |b| {
+                                out.0.push(i as u32);
+                                out.1.push(b);
+                            });
                         }
                         Ok(())
                     },
@@ -479,7 +516,7 @@ pub fn hash_join(
                         out.extend(
                             rows.filter(|&i| {
                                 let k = pkeys[i];
-                                let found = k != u64::MAX && table.contains_key(&k);
+                                let found = k != u64::MAX && table.contains(k);
                                 found == keep_matches
                             })
                             .map(|i| i as u32),
@@ -538,10 +575,10 @@ pub fn aggregate(
 ) -> Result<Chunk, String> {
     if ctx.is_serial()
         || group_by.is_empty()
-        || !ctx.should_parallelize(chunk.num_rows())
+        || !ctx.should_parallelize_kernel(chunk.num_rows(), KernelClass::Aggregation)
         || !ctx.fans_out(chunk.num_rows())
     {
-        return ops::agg::aggregate(chunk, group_by, aggs);
+        return ops::agg::aggregate_fast(chunk, group_by, aggs);
     }
     let n = chunk.num_rows();
     let key_cols: Vec<&ColumnData> = group_by
@@ -639,13 +676,16 @@ pub fn fused_filter_aggregate(
     ctx: ParallelCtx,
 ) -> Result<Chunk, String> {
     if ctx.is_serial()
-        || !ctx.should_parallelize(chunk.num_rows())
+        || !ctx.should_parallelize_kernel(chunk.num_rows(), KernelClass::Aggregation)
         || !ctx.fans_out(chunk.num_rows())
     {
-        let sel = predicate.evaluate_selvec(chunk, None)?;
-        return ops::agg::aggregate_sel(chunk, Some(&sel), group_by, aggs);
+        let pred = ProdPred::compile(predicate, chunk)?;
+        let mut positions = Vec::new();
+        pred.append_range(0..chunk.num_rows(), &mut positions)?;
+        let sel = SelVec::new(positions);
+        return ops::agg::aggregate_sel_fast(chunk, Some(&sel), group_by, aggs);
     }
-    let pred = CompiledPred::compile(predicate, chunk)?;
+    let pred = ProdPred::compile(predicate, chunk)?;
     let key_cols: Vec<&ColumnData> = group_by
         .iter()
         .map(|name| chunk.require_column(name))
@@ -739,11 +779,14 @@ pub fn fused_filter_probe(
     ctx: ParallelCtx,
 ) -> Result<Chunk, String> {
     if ctx.is_serial()
-        || !ctx.should_parallelize(probe.num_rows())
+        || !ctx.should_parallelize_kernel(probe.num_rows(), KernelClass::Join)
         || !ctx.fans_out(probe.num_rows())
     {
-        let sel = predicate.evaluate_selvec(probe, None)?;
-        return ops::join::hash_join_sel(
+        let pred = ProdPred::compile(predicate, probe)?;
+        let mut positions = Vec::new();
+        pred.append_range(0..probe.num_rows(), &mut positions)?;
+        let sel = SelVec::new(positions);
+        return ops::join::hash_join_sel_fast(
             build,
             probe,
             build_key,
@@ -752,12 +795,12 @@ pub fn fused_filter_probe(
             Some(&sel),
         );
     }
-    let pred = CompiledPred::compile(predicate, probe)?;
+    let pred = ProdPred::compile(predicate, probe)?;
     let bcol = build.require_column(build_key)?;
     let pcol = probe.require_column(probe_key)?;
     ops::join::with_key_buffers(|bkeys, _pkeys| {
         let keys = ops::join::probe_key_extractor(bcol, pcol, bkeys)?;
-        let table = ops::join::build_table(bkeys);
+        let table = JoinTable::build(bkeys);
         match kind {
             JoinKind::Inner => {
                 let (probe_pos, build_pos) = ctx.run_morsels_arena(
@@ -766,7 +809,7 @@ pub fn fused_filter_probe(
                         // The filter scratch is morsel-bounded; size it once.
                         let mut positions = Vec::with_capacity(rows.len());
                         pred.append_range(rows, &mut positions)?;
-                        ops::join::probe_into(
+                        ops::join::probe_table_into(
                             &keys,
                             &table,
                             kind,
@@ -788,7 +831,7 @@ pub fn fused_filter_probe(
                         let mut positions = Vec::with_capacity(rows.len());
                         pred.append_range(rows, &mut positions)?;
                         let mut build_pos = Vec::new();
-                        ops::join::probe_into(
+                        ops::join::probe_table_into(
                             &keys,
                             &table,
                             kind,

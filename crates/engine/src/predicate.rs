@@ -50,7 +50,7 @@ pub enum CmpOp {
 }
 
 impl CmpOp {
-    fn matches(self, ord: Ordering) -> bool {
+    pub(crate) fn matches(self, ord: Ordering) -> bool {
         match self {
             CmpOp::Eq => ord == Ordering::Equal,
             CmpOp::Ne => ord != Ordering::Equal,

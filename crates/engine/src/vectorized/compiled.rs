@@ -6,9 +6,10 @@
 //!
 //! * a fixed per-query **compilation time** (generating and compiling the
 //!   pipelines),
-//! * one pass over each pipeline's *source* bytes at the fastest
-//!   (projection-class) throughput — fused operators process tuples in
-//!   registers,
+//! * one pass over each pipeline's *source* bytes at the faster of the
+//!   projection-class and the operator's own throughput — fused operators
+//!   process tuples in registers, so a fused pass never costs more than
+//!   the same operator's vectorized pass,
 //! * full materialization cost at each pipeline breaker (join builds,
 //!   aggregations, sorts), exactly as in the bulk model.
 //!
@@ -84,8 +85,15 @@ impl<'a> CompiledEngine<'a> {
                 compute += self.cost.duration(s.class, kind, s.bytes_in, s.bytes_out);
             } else {
                 // Fused into a pipeline: one register-speed pass over the
-                // operator's input, no materialization.
-                compute += self.cost.duration(OpClass::Projection, kind, s.bytes_in, 0);
+                // operator's input, no materialization. Charged at the
+                // faster of projection and the operator's own class — the
+                // SIMD-recalibrated CPU selection rate outruns projection,
+                // and fusing can't be slower than the vectorized pass.
+                let fused = self
+                    .cost
+                    .duration(OpClass::Projection, kind, s.bytes_in, 0)
+                    .min(self.cost.duration(s.class, kind, s.bytes_in, 0));
+                compute += fused;
             }
             base_bytes += s.base_bytes;
         }

@@ -69,12 +69,15 @@ pub enum ValueKind {
 }
 
 /// Zig-zag encode a signed value into an unsigned one so FOR works for
-/// negatives.
-fn zigzag(v: i64) -> u64 {
+/// negatives. Public so compressed-domain kernels can translate literals
+/// into the packed payload space.
+pub fn zigzag(v: i64) -> u64 {
     ((v << 1) ^ (v >> 63)) as u64
 }
 
-fn unzigzag(v: u64) -> i64 {
+/// Inverse of [`zigzag`]; public so compressed-domain kernels can decode
+/// packed payloads without materializing the whole column.
+pub fn unzigzag(v: u64) -> i64 {
     ((v >> 1) as i64) ^ -((v & 1) as i64)
 }
 
@@ -218,6 +221,23 @@ impl CompressedColumn {
             CompressedColumn::Raw(c) => c.byte_size(),
             CompressedColumn::Rle { runs, .. } => (runs.len() * 12) as u64,
             CompressedColumn::BitPacked { words, .. } => (words.len() * 8) as u64 + 16,
+        }
+    }
+
+    /// Compressed payload bytes — alias of [`Self::compressed_size`] used
+    /// by the catalog's per-table compression statistics.
+    pub fn bytes(&self) -> u64 {
+        self.compressed_size()
+    }
+
+    /// Number of logical rows the payload encodes.
+    pub fn num_rows(&self) -> usize {
+        match self {
+            CompressedColumn::Raw(c) => c.len(),
+            CompressedColumn::Rle { runs, .. } => {
+                runs.iter().map(|&(_, c)| c as usize).sum()
+            }
+            CompressedColumn::BitPacked { rows, .. } => *rows,
         }
     }
 

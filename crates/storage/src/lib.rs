@@ -39,8 +39,8 @@ pub mod table;
 pub mod types;
 
 pub use column::{ColumnData, DictColumn};
-pub use compress::{compressed_size, CompressedColumn};
-pub use database::{ColumnId, Database};
+pub use compress::{compressed_size, CompressedColumn, ValueKind};
+pub use database::{ColumnId, CompressionReport, Database, TableCompression};
 pub use error::StorageError;
 pub use stats::AccessStats;
 pub use table::{Field, Schema, Table};

@@ -4,8 +4,9 @@
 //! vendored crate implements the slice of proptest the workspace's property
 //! tests use: the [`proptest!`] macro, [`prop_assert!`]/[`prop_assert_eq!`],
 //! the [`strategy::Strategy`] trait with `prop_map`, integer-range / tuple /
-//! `vec` / `select` / `bool` strategies, a tiny `.{lo,hi}`-style string
-//! pattern strategy, and [`test_runner::ProptestConfig`].
+//! `vec` / `select` / `bool` strategies, [`strategy::Just`] and the uniform
+//! [`prop_oneof!`] union, a tiny `.{lo,hi}`-style string pattern strategy,
+//! and [`test_runner::ProptestConfig`].
 //!
 //! Differences from upstream, by design:
 //! - **No shrinking.** A failing case panics with the generated inputs
@@ -60,6 +61,57 @@ pub mod strategy {
         fn generate(&self, rng: &mut TestRng) -> O {
             (self.func)(self.source.generate(rng))
         }
+    }
+
+    /// Always generates a clone of the wrapped value.
+    #[derive(Debug, Clone, Copy)]
+    pub struct Just<T>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn generate(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    impl<V> Strategy for Box<dyn Strategy<Value = V>> {
+        type Value = V;
+        fn generate(&self, rng: &mut TestRng) -> V {
+            (**self).generate(rng)
+        }
+    }
+
+    /// One of several strategies producing the same value type, chosen
+    /// uniformly per case. Built by [`crate::prop_oneof!`]; upstream's
+    /// per-arm weights are not supported.
+    pub struct Union<V> {
+        arms: Vec<Box<dyn Strategy<Value = V>>>,
+    }
+
+    impl<V> Union<V> {
+        /// A union over `arms`. Panics if `arms` is empty.
+        pub fn new(arms: Vec<Box<dyn Strategy<Value = V>>>) -> Self {
+            assert!(!arms.is_empty(), "prop_oneof!: no arms");
+            Union { arms }
+        }
+    }
+
+    impl<V> Strategy for Union<V> {
+        type Value = V;
+        fn generate(&self, rng: &mut TestRng) -> V {
+            let i = rng.gen_range(0..self.arms.len());
+            self.arms[i].generate(rng)
+        }
+    }
+
+    /// Box a strategy as a uniform [`Union`] arm (used by
+    /// [`crate::prop_oneof!`] so `as`-cast type placeholders are not
+    /// needed at the call site).
+    pub fn union_arm<S>(s: S) -> Box<dyn Strategy<Value = S::Value>>
+    where
+        S: Strategy + 'static,
+    {
+        Box::new(s)
     }
 
     macro_rules! impl_int_strategy {
@@ -302,9 +354,20 @@ pub mod prop {
 /// Everything a property-test file needs.
 pub mod prelude {
     pub use super::prop;
-    pub use super::strategy::Strategy;
+    pub use super::strategy::{Just, Strategy};
     pub use super::test_runner::ProptestConfig;
-    pub use super::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+    pub use super::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}
+
+/// Choose uniformly between several strategies producing the same value
+/// type (subset of upstream `prop_oneof!`: no per-arm weights).
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::union_arm($strat)),+
+        ])
+    };
 }
 
 /// Define deterministic property tests.
@@ -411,6 +474,11 @@ mod tests {
         fn prop_map_applies(doubled in (0i32..10).prop_map(|x| x * 2)) {
             prop_assert_eq!(doubled % 2, 0);
             prop_assert_ne!(doubled, 21);
+        }
+
+        #[test]
+        fn oneof_and_just(x in prop_oneof![Just(-1i32), 0i32..10, (100i32..200).prop_map(|v| v * 2)]) {
+            prop_assert!(x == -1 || (0..10).contains(&x) || (200..400).contains(&x));
         }
     }
 
