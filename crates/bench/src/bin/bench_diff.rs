@@ -1,6 +1,6 @@
 //! Gate benchmark claims on the JSON the sweep bins write.
 //!
-//! Two modes, both deterministic (the sim has no noise, so the margins
+//! Four modes, all deterministic (the sim has no noise, so the margins
 //! guard against cost-model tweaks eroding a win, not against jitter):
 //!
 //! * **Default** — the multi-GPU scaling claim on `BENCH_multigpu.json`
@@ -20,16 +20,29 @@
 //!   (margin below the ≥ 4× the committed JSON records, so a slow CI
 //!   host doesn't flake), and **no** kernel may dip below 0.95× at any
 //!   sweep point — optimizations must never regress a sibling kernel.
+//! * **`--adaptive`** — the adaptive-placement claim on the
+//!   `multigpu-adaptive` table (DESIGN.md §15, written by
+//!   `multigpu --adaptive`): every staged (adaptive) row must record
+//!   *zero* oversize fallbacks — chunked staging has to absorb the
+//!   over-heap operators the regime manufactures — and no more aborts
+//!   than its static sibling; and wherever both models record
+//!   est-vs-actual samples, the adaptive median relative error must be
+//!   *strictly below* the static one. Both comparisons must be
+//!   non-vacuous (some static row must abort, some pair must be
+//!   numeric).
 //!
 //! ```text
 //! cargo run -p robustq-bench --release --bin bench-diff -- BENCH_multigpu.json
 //! cargo run -p robustq-bench --release --bin bench-diff -- --max-ratio 0.9 BENCH_multigpu.json
 //! cargo run -p robustq-bench --release --bin bench-diff -- --serving BENCH_serving.json
 //! cargo run -p robustq-bench --release --bin bench-diff -- --kernels BENCH_kernels.json
+//! cargo run -p robustq-bench --release --bin bench-diff -- --adaptive BENCH_multigpu.json
 //! ```
 
 use std::collections::BTreeMap;
 
+use robustq_bench::args::ArgStream;
+use robustq_engine::EngineError;
 use robustq_trace::json::{parse, Json};
 
 struct Args {
@@ -37,38 +50,41 @@ struct Args {
     max_ratio: f64,
     serving: bool,
     kernels: bool,
+    adaptive: bool,
 }
 
-fn parse_args() -> Result<Args, String> {
+fn parse_args() -> Result<Args, EngineError> {
     let mut args = Args {
         path: String::new(),
         max_ratio: f64::NAN,
         serving: false,
         kernels: false,
+        adaptive: false,
     };
-    let mut it = std::env::args().skip(1);
+    let mut it = ArgStream::from_env();
     let mut saw_path = false;
-    while let Some(flag) = it.next() {
+    while let Some(flag) = it.next_flag() {
         match flag.as_str() {
             "--serving" => args.serving = true,
             "--kernels" => args.kernels = true,
+            "--adaptive" => args.adaptive = true,
             "--max-ratio" => {
-                let v = it.next().ok_or("--max-ratio needs a value")?;
-                args.max_ratio =
-                    v.parse().map_err(|e| format!("--max-ratio: {e}"))?;
+                args.max_ratio = it.parsed("--max-ratio")?;
                 if !(0.0..=1.0).contains(&args.max_ratio) {
-                    return Err("--max-ratio must be in (0, 1]".into());
+                    return Err(EngineError::config("--max-ratio must be in (0, 1]"));
                 }
             }
             other if !other.starts_with('-') && !saw_path => {
                 args.path = other.to_string();
                 saw_path = true;
             }
-            other => return Err(format!("unknown flag {other:?}")),
+            other => return Err(ArgStream::unknown_flag(other)),
         }
     }
-    if args.serving && args.kernels {
-        return Err("--serving and --kernels are mutually exclusive".into());
+    if args.serving as u8 + args.kernels as u8 + args.adaptive as u8 > 1 {
+        return Err(EngineError::config(
+            "--serving, --kernels and --adaptive are mutually exclusive",
+        ));
     }
     if args.path.is_empty() {
         args.path = if args.serving {
@@ -86,51 +102,59 @@ fn parse_args() -> Result<Args, String> {
     Ok(args)
 }
 
+/// The FigTable named `id` inside the `{"tables": [...]}` document.
+fn find_table<'a>(doc: &'a Json, id: &str) -> Result<&'a Json, EngineError> {
+    doc.get("tables")
+        .and_then(Json::as_arr)
+        .ok_or_else(|| EngineError::config("document has no 'tables' array"))?
+        .iter()
+        .find(|t| t.get("id").and_then(Json::as_str) == Some(id))
+        .ok_or_else(|| EngineError::config(format!("no table with id {id:?}")))
+}
+
+/// Column name → index resolver for the FigTable `id`.
+fn columns(table: &Json, id: &str) -> Result<Vec<Json>, EngineError> {
+    table
+        .get("columns")
+        .and_then(Json::as_arr)
+        .map(<[Json]>::to_vec)
+        .ok_or_else(|| EngineError::config(format!("table {id:?} has no 'columns'")))
+}
+
 /// One table row we care about: `(strategy label, K) -> makespan ms`.
 type Makespans = BTreeMap<(String, u64), f64>;
 
 /// Extract strategy/K/makespan from the FigTable named `id`.
-fn makespans(doc: &Json, id: &str) -> Result<Makespans, String> {
-    let tables = doc
-        .get("tables")
-        .and_then(Json::as_arr)
-        .ok_or("document has no 'tables' array")?;
-    let table = tables
-        .iter()
-        .find(|t| t.get("id").and_then(Json::as_str) == Some(id))
-        .ok_or_else(|| format!("no table with id {id:?}"))?;
-    let columns = table
-        .get("columns")
-        .and_then(Json::as_arr)
-        .ok_or_else(|| format!("table {id:?} has no 'columns'"))?;
+fn makespans(doc: &Json, id: &str) -> Result<Makespans, EngineError> {
+    let table = find_table(doc, id)?;
+    let columns = columns(table, id)?;
     let col = |name: &str| {
-        columns
-            .iter()
-            .position(|c| c.as_str() == Some(name))
-            .ok_or_else(|| format!("table {id:?} has no column {name:?}"))
+        columns.iter().position(|c| c.as_str() == Some(name)).ok_or_else(|| {
+            EngineError::config(format!("table {id:?} has no column {name:?}"))
+        })
     };
     let (k_col, strat_col, ms_col) =
         (col("K")?, col("Strategy")?, col("Makespan [ms]")?);
     let rows = table
         .get("rows")
         .and_then(Json::as_arr)
-        .ok_or_else(|| format!("table {id:?} has no 'rows'"))?;
+        .ok_or_else(|| EngineError::config(format!("table {id:?} has no 'rows'")))?;
     let mut out = Makespans::new();
     for (i, row) in rows.iter().enumerate() {
-        let row = row
-            .as_arr()
-            .ok_or_else(|| format!("table {id:?} row {i} is not an array"))?;
+        let row = row.as_arr().ok_or_else(|| {
+            EngineError::config(format!("table {id:?} row {i} is not an array"))
+        })?;
         let cell = |c: usize| {
-            row.get(c)
-                .and_then(Json::as_str)
-                .ok_or_else(|| format!("table {id:?} row {i} col {c} missing"))
+            row.get(c).and_then(Json::as_str).ok_or_else(|| {
+                EngineError::config(format!("table {id:?} row {i} col {c} missing"))
+            })
         };
-        let k: u64 = cell(k_col)?
-            .parse()
-            .map_err(|e| format!("table {id:?} row {i}: bad K: {e}"))?;
-        let ms: f64 = cell(ms_col)?
-            .parse()
-            .map_err(|e| format!("table {id:?} row {i}: bad makespan: {e}"))?;
+        let k: u64 = cell(k_col)?.parse().map_err(|e| {
+            EngineError::config(format!("table {id:?} row {i}: bad K: {e}"))
+        })?;
+        let ms: f64 = cell(ms_col)?.parse().map_err(|e| {
+            EngineError::config(format!("table {id:?} row {i}: bad makespan: {e}"))
+        })?;
         out.insert((cell(strat_col)?.to_string(), k), ms);
     }
     Ok(out)
@@ -138,15 +162,19 @@ fn makespans(doc: &Json, id: &str) -> Result<Makespans, String> {
 
 /// Check one workload table; returns whether any sharded strategy
 /// scales to max K within `max_ratio`, printing every ratio.
-fn check_table(doc: &Json, id: &str, max_ratio: f64) -> Result<bool, String> {
+fn check_table(doc: &Json, id: &str, max_ratio: f64) -> Result<bool, EngineError> {
     let spans = makespans(doc, id)?;
-    let min_k = spans.keys().map(|(_, k)| *k).min().ok_or("empty table")?;
+    let min_k = spans
+        .keys()
+        .map(|(_, k)| *k)
+        .min()
+        .ok_or_else(|| EngineError::config("empty table"))?;
     let max_k = spans.keys().map(|(_, k)| *k).max().unwrap_or(min_k);
     if max_k <= min_k {
-        return Err(format!(
+        return Err(EngineError::config(format!(
             "table {id:?} has a single K={min_k} — nothing to diff (run the \
              sweep with --ks 1,2,4)"
-        ));
+        )));
     }
     let mut any_scales = false;
     let mut saw_sharded = false;
@@ -166,9 +194,9 @@ fn check_table(doc: &Json, id: &str, max_ratio: f64) -> Result<bool, String> {
         );
     }
     if !saw_sharded {
-        return Err(format!(
+        return Err(EngineError::config(format!(
             "table {id:?} has no sharded rows — run the sweep with --shard"
-        ));
+        )));
     }
     Ok(any_scales)
 }
@@ -177,50 +205,39 @@ fn check_table(doc: &Json, id: &str, max_ratio: f64) -> Result<bool, String> {
 type ServingP99s = BTreeMap<(u64, String), BTreeMap<u64, f64>>;
 
 /// Extract K/strategy/rate/p99 from the FigTable named `id`.
-fn serving_p99s(doc: &Json, id: &str) -> Result<ServingP99s, String> {
-    let tables = doc
-        .get("tables")
-        .and_then(Json::as_arr)
-        .ok_or("document has no 'tables' array")?;
-    let table = tables
-        .iter()
-        .find(|t| t.get("id").and_then(Json::as_str) == Some(id))
-        .ok_or_else(|| format!("no table with id {id:?}"))?;
-    let columns = table
-        .get("columns")
-        .and_then(Json::as_arr)
-        .ok_or_else(|| format!("table {id:?} has no 'columns'"))?;
+fn serving_p99s(doc: &Json, id: &str) -> Result<ServingP99s, EngineError> {
+    let table = find_table(doc, id)?;
+    let columns = columns(table, id)?;
     let col = |name: &str| {
-        columns
-            .iter()
-            .position(|c| c.as_str() == Some(name))
-            .ok_or_else(|| format!("table {id:?} has no column {name:?}"))
+        columns.iter().position(|c| c.as_str() == Some(name)).ok_or_else(|| {
+            EngineError::config(format!("table {id:?} has no column {name:?}"))
+        })
     };
     let (k_col, strat_col, rate_col, p99_col) =
         (col("K")?, col("Strategy")?, col("Rate [qps]")?, col("p99 [ms]")?);
     let rows = table
         .get("rows")
         .and_then(Json::as_arr)
-        .ok_or_else(|| format!("table {id:?} has no 'rows'"))?;
+        .ok_or_else(|| EngineError::config(format!("table {id:?} has no 'rows'")))?;
     let mut out = ServingP99s::new();
     for (i, row) in rows.iter().enumerate() {
-        let row = row
-            .as_arr()
-            .ok_or_else(|| format!("table {id:?} row {i} is not an array"))?;
+        let row = row.as_arr().ok_or_else(|| {
+            EngineError::config(format!("table {id:?} row {i} is not an array"))
+        })?;
         let cell = |c: usize| {
-            row.get(c)
-                .and_then(Json::as_str)
-                .ok_or_else(|| format!("table {id:?} row {i} col {c} missing"))
+            row.get(c).and_then(Json::as_str).ok_or_else(|| {
+                EngineError::config(format!("table {id:?} row {i} col {c} missing"))
+            })
         };
-        let k: u64 = cell(k_col)?
-            .parse()
-            .map_err(|e| format!("table {id:?} row {i}: bad K: {e}"))?;
-        let rate: f64 = cell(rate_col)?
-            .parse()
-            .map_err(|e| format!("table {id:?} row {i}: bad rate: {e}"))?;
-        let p99: f64 = cell(p99_col)?
-            .parse()
-            .map_err(|e| format!("table {id:?} row {i}: bad p99: {e}"))?;
+        let k: u64 = cell(k_col)?.parse().map_err(|e| {
+            EngineError::config(format!("table {id:?} row {i}: bad K: {e}"))
+        })?;
+        let rate: f64 = cell(rate_col)?.parse().map_err(|e| {
+            EngineError::config(format!("table {id:?} row {i}: bad rate: {e}"))
+        })?;
+        let p99: f64 = cell(p99_col)?.parse().map_err(|e| {
+            EngineError::config(format!("table {id:?} row {i}: bad p99: {e}"))
+        })?;
         out.entry((k, cell(strat_col)?.to_string()))
             .or_default()
             .insert(rate as u64, p99);
@@ -230,13 +247,13 @@ fn serving_p99s(doc: &Json, id: &str) -> Result<ServingP99s, String> {
 
 /// The serving gate: at the highest tested rate, for every K,
 /// `p99(Data-Driven Chopping) <= max_ratio × p99(GPU Only)`.
-fn check_serving(doc: &Json, id: &str, max_ratio: f64) -> Result<bool, String> {
+fn check_serving(doc: &Json, id: &str, max_ratio: f64) -> Result<bool, EngineError> {
     let p99s = serving_p99s(doc, id)?;
     let max_rate = p99s
         .values()
         .flat_map(|by_rate| by_rate.keys().copied())
         .max()
-        .ok_or("empty table")?;
+        .ok_or_else(|| EngineError::config("empty table"))?;
     let ks: std::collections::BTreeSet<u64> =
         p99s.keys().map(|(k, _)| *k).collect();
     let mut ok = true;
@@ -246,7 +263,9 @@ fn check_serving(doc: &Json, id: &str, max_ratio: f64) -> Result<bool, String> {
                 .and_then(|by_rate| by_rate.get(&max_rate))
                 .copied()
                 .ok_or_else(|| {
-                    format!("no {strategy:?} row at K={k} rate={max_rate}")
+                    EngineError::config(format!(
+                        "no {strategy:?} row at K={k} rate={max_rate}"
+                    ))
                 })
         };
         let dd = at("Data-Driven Chopping")?;
@@ -263,6 +282,121 @@ fn check_serving(doc: &Json, id: &str, max_ratio: f64) -> Result<bool, String> {
     Ok(ok)
 }
 
+/// One `multigpu-adaptive` row per cost model at a sweep point.
+#[derive(Debug, Default, Clone)]
+struct AdaptiveRow {
+    aborts: u64,
+    oversize: u64,
+    median_err: Option<f64>,
+}
+
+/// The adaptive gate (DESIGN.md §15) on the `multigpu-adaptive` table:
+/// staged rows absorb every over-heap operator (zero oversize
+/// fallbacks), never abort more than their static siblings, and beat
+/// the static model's median est-vs-actual error wherever both report.
+fn check_adaptive(doc: &Json, id: &str) -> Result<bool, EngineError> {
+    let table = find_table(doc, id)?;
+    let columns = columns(table, id)?;
+    let col = |name: &str| {
+        columns.iter().position(|c| c.as_str() == Some(name)).ok_or_else(|| {
+            EngineError::config(format!("table {id:?} has no column {name:?}"))
+        })
+    };
+    let (k_col, strat_col, model_col, abort_col, over_col, err_col) = (
+        col("K")?,
+        col("Strategy")?,
+        col("Model")?,
+        col("Aborts")?,
+        col("Oversize")?,
+        col("MedianErr %")?,
+    );
+    let rows = table
+        .get("rows")
+        .and_then(Json::as_arr)
+        .ok_or_else(|| EngineError::config(format!("table {id:?} has no 'rows'")))?;
+    // (K, strategy) -> per-model rows.
+    let mut points: BTreeMap<(u64, String), BTreeMap<String, AdaptiveRow>> =
+        BTreeMap::new();
+    for (i, row) in rows.iter().enumerate() {
+        let row = row.as_arr().ok_or_else(|| {
+            EngineError::config(format!("table {id:?} row {i} is not an array"))
+        })?;
+        let cell = |c: usize| {
+            row.get(c).and_then(Json::as_str).ok_or_else(|| {
+                EngineError::config(format!("table {id:?} row {i} col {c} missing"))
+            })
+        };
+        let k: u64 = cell(k_col)?.parse().map_err(|e| {
+            EngineError::config(format!("table {id:?} row {i}: bad K: {e}"))
+        })?;
+        let aborts: u64 = cell(abort_col)?.parse().map_err(|e| {
+            EngineError::config(format!("table {id:?} row {i}: bad aborts: {e}"))
+        })?;
+        let oversize: u64 = cell(over_col)?.parse().map_err(|e| {
+            EngineError::config(format!("table {id:?} row {i}: bad oversize: {e}"))
+        })?;
+        let median_err = cell(err_col)?.parse().ok(); // "-" when no samples
+        points
+            .entry((k, cell(strat_col)?.to_string()))
+            .or_default()
+            .insert(
+                cell(model_col)?.to_string(),
+                AdaptiveRow { aborts, oversize, median_err },
+            );
+    }
+    if points.is_empty() {
+        return Err(EngineError::config(format!("table {id:?} has no rows")));
+    }
+    let mut ok = true;
+    let mut static_aborted = false;
+    let mut err_pairs = 0usize;
+    for ((k, strategy), models) in &points {
+        let get = |m: &str| {
+            models.get(m).cloned().ok_or_else(|| {
+                EngineError::config(format!(
+                    "table {id:?}: no {m:?} row at K={k} {strategy}"
+                ))
+            })
+        };
+        let st = get("static")?;
+        let ad = get("adaptive")?;
+        static_aborted |= st.aborts > 0;
+        let staged_ok = ad.oversize == 0 && ad.aborts <= st.aborts;
+        ok &= staged_ok;
+        let err_ok = match (st.median_err, ad.median_err) {
+            (Some(se), Some(ae)) => {
+                err_pairs += 1;
+                ae < se
+            }
+            _ => true, // plan-time strategies record no samples
+        };
+        ok &= err_ok;
+        println!(
+            "{id}: K={k} {strategy:<10} aborts {} -> {} oversize {} \
+             median-err {} -> {}{}",
+            st.aborts,
+            ad.aborts,
+            ad.oversize,
+            st.median_err.map_or("-".into(), |e| format!("{e:.2}%")),
+            ad.median_err.map_or("-".into(), |e| format!("{e:.2}%")),
+            if staged_ok && err_ok { "  HOLDS" } else { "  FAIL" },
+        );
+    }
+    if !static_aborted {
+        return Err(EngineError::config(format!(
+            "table {id:?}: no static row aborts — the regime is vacuous \
+             (heap too large for the workload?)"
+        )));
+    }
+    if err_pairs == 0 {
+        return Err(EngineError::config(format!(
+            "table {id:?}: no sweep point reports est-vs-actual error for \
+             both models — nothing to compare"
+        )));
+    }
+    Ok(ok)
+}
+
 /// Speedup floors for the kernel gate (`--kernels`).
 const KERNEL_HEADLINE_MIN: f64 = 3.0;
 const KERNEL_FLOOR: f64 = 0.95;
@@ -272,32 +406,33 @@ const KERNEL_HEADLINE_WORKERS: f64 = 8.0;
 /// The kernel gate: every `(kernel, rows, workers)` speedup must stay
 /// above `KERNEL_FLOOR`, and `select` / `aggregate` at 8 workers on the
 /// 10M-row input must stay above `KERNEL_HEADLINE_MIN`.
-fn check_kernels(doc: &Json) -> Result<bool, String> {
+fn check_kernels(doc: &Json) -> Result<bool, EngineError> {
     let entries = doc
         .get("entries")
         .and_then(Json::as_arr)
-        .ok_or("document has no 'entries' array")?;
+        .ok_or_else(|| EngineError::config("document has no 'entries' array"))?;
     let mut ok = true;
     let mut headline_seen = 0usize;
     for (i, entry) in entries.iter().enumerate() {
         let workers = entry
             .get("workers")
             .and_then(Json::as_num)
-            .ok_or_else(|| format!("entry {i} has no 'workers'"))?;
+            .ok_or_else(|| EngineError::config(format!("entry {i} has no 'workers'")))?;
         let results = entry
             .get("results")
             .and_then(Json::as_arr)
-            .ok_or_else(|| format!("entry {i} has no 'results'"))?;
+            .ok_or_else(|| EngineError::config(format!("entry {i} has no 'results'")))?;
         for (j, r) in results.iter().enumerate() {
             let field = |name: &str| {
                 r.get(name).and_then(Json::as_num).ok_or_else(|| {
-                    format!("entry {i} result {j} has no numeric {name:?}")
+                    EngineError::config(format!(
+                        "entry {i} result {j} has no numeric {name:?}"
+                    ))
                 })
             };
-            let kernel = r
-                .get("kernel")
-                .and_then(Json::as_str)
-                .ok_or_else(|| format!("entry {i} result {j} has no 'kernel'"))?;
+            let kernel = r.get("kernel").and_then(Json::as_str).ok_or_else(|| {
+                EngineError::config(format!("entry {i} result {j} has no 'kernel'"))
+            })?;
             let rows = field("rows")?;
             let speedup = field("speedup")?;
             let headline = (kernel == "select" || kernel == "aggregate")
@@ -315,10 +450,10 @@ fn check_kernels(doc: &Json) -> Result<bool, String> {
         }
     }
     if headline_seen < 2 {
-        return Err(format!(
+        return Err(EngineError::config(format!(
             "no 8-worker 10M-row select/aggregate entries found (saw \
              {headline_seen}) — regenerate BENCH_kernels.json with the full sweep"
-        ));
+        )));
     }
     Ok(ok)
 }
@@ -381,6 +516,30 @@ fn main() {
                     "bench-diff: FAIL: Data-Driven Chopping p99 exceeds {} x GPU \
                      Only p99 at the highest tested arrival rate",
                     args.max_ratio
+                );
+                std::process::exit(1);
+            }
+            Err(e) => {
+                eprintln!("bench-diff: {}: {e}", args.path);
+                std::process::exit(1);
+            }
+        }
+    }
+    if args.adaptive {
+        match check_adaptive(&doc, "multigpu-adaptive") {
+            Ok(true) => {
+                println!(
+                    "bench-diff: ok — adaptive placement criterion holds \
+                     (staging absorbs over-heap operators, adaptive error \
+                     undercuts static)"
+                );
+                return;
+            }
+            Ok(false) => {
+                eprintln!(
+                    "bench-diff: FAIL: a staged row recorded an oversize \
+                     fallback, aborted more than its static sibling, or did \
+                     not beat the static median est-vs-actual error"
                 );
                 std::process::exit(1);
             }

@@ -11,6 +11,12 @@
 //! cargo run -p robustq-bench --release --bin chaos -- --trace chaos-trace.json
 //! ```
 //!
+//! Shared flags (`--out`, `--trace`, `--seeds`, `--ks`, `--rows`,
+//! `--users`) parse as everywhere else in the bench suite: `--ks`
+//! repeats the whole sweep per co-processor count (baselined per K),
+//! `--rows` sizes the generated database, and the per-shape fault
+//! summary is written to `--out` as a FigTable JSON document.
+//!
 //! `--trace PATH` traces the first faulted seed's run, cross-checks the
 //! trace-derived metrics against the legacy counters (the debug-build
 //! invariant, enforced here in release too), and writes the Chrome
@@ -18,45 +24,38 @@
 
 use std::collections::BTreeMap;
 
-use robustq_core::Strategy;
-use robustq_engine::plan::PlanNode;
-use robustq_engine::RunMetrics;
-use robustq_sim::{FaultPlan, FaultSpec, SimConfig, VirtualTime};
+use robustq_bench::args::{ArgStream, CommonArgs};
+use robustq_bench::table::{tables_json, FigTable};
+use robustq_engine::EngineError;
+use robustq::prelude::*;
+use robustq_sim::FaultSpec;
 use robustq_storage::gen::ssb::SsbGenerator;
-use robustq_storage::Database;
-use robustq_workloads::{micro, ssb, RunReport, RunnerConfig, WorkloadRunner};
+use robustq_workloads::{micro, ssb};
 
 struct Args {
-    seeds: u64,
+    common: CommonArgs,
     base_seed: u64,
     workload: String,
-    users: usize,
-    trace: Option<String>,
 }
 
-fn parse_args() -> Result<Args, String> {
+fn parse_args() -> Result<Args, EngineError> {
     let mut args = Args {
-        seeds: 100,
+        common: CommonArgs::new("BENCH_chaos.json")
+            .with_ks(&[1])
+            .with_rows(1_000)
+            .with_users(2),
         base_seed: 0,
         workload: "ssb".to_string(),
-        users: 2,
-        trace: None,
     };
-    let mut it = std::env::args().skip(1);
-    while let Some(flag) = it.next() {
-        let mut value = |name: &str| {
-            it.next().ok_or_else(|| format!("{name} needs a value"))
-        };
+    let mut it = ArgStream::from_env();
+    while let Some(flag) = it.next_flag() {
+        if args.common.accept(&flag, &mut it)? {
+            continue;
+        }
         match flag.as_str() {
-            "--seeds" => args.seeds = value("--seeds")?.parse().map_err(|e| format!("--seeds: {e}"))?,
-            "--base-seed" => {
-                args.base_seed =
-                    value("--base-seed")?.parse().map_err(|e| format!("--base-seed: {e}"))?
-            }
-            "--workload" => args.workload = value("--workload")?,
-            "--users" => args.users = value("--users")?.parse().map_err(|e| format!("--users: {e}"))?,
-            "--trace" => args.trace = Some(value("--trace")?),
-            other => return Err(format!("unknown flag {other:?}")),
+            "--base-seed" => args.base_seed = it.parsed("--base-seed")?,
+            "--workload" => args.workload = it.value("--workload")?,
+            other => return Err(ArgStream::unknown_flag(other)),
         }
     }
     Ok(args)
@@ -158,7 +157,8 @@ fn main() {
         }
     };
 
-    let db: Database = SsbGenerator::new(1).with_rows_per_sf(1_000).generate();
+    let db: Database =
+        SsbGenerator::new(1).with_rows_per_sf(args.common.rows).generate();
     let queries: Vec<PlanNode> = match args.workload.as_str() {
         "ssb" => ssb::workload(&db).expect("SSB plans"),
         "micro" => micro::parallel_selection_workload(12),
@@ -168,25 +168,13 @@ fn main() {
         }
     };
 
-    let sim = SimConfig::default().with_gpu_memory(512 * 1024).with_gpu_cache(256 * 1024);
-    let runner = WorkloadRunner::new(&db, sim);
-    let cfg = RunnerConfig::default().with_users(args.users);
-    let baseline = runner
-        .run(&queries, Strategy::GpuPreferred, &cfg)
-        .expect("fault-free baseline run");
-    let map: BTreeMap<(usize, usize), (usize, u64)> = baseline
-        .outcomes
-        .iter()
-        .map(|o| ((o.session, o.seq), (o.rows, o.checksum)))
-        .collect();
-    let horizon = baseline.metrics.makespan.max(VirtualTime::from_micros(1));
-
     println!(
-        "chaos: workload={} users={} seeds={}..{}",
+        "chaos: workload={} users={} seeds={}..{} ks={:?}",
         args.workload,
-        args.users,
+        args.common.users,
         args.base_seed,
-        args.base_seed + args.seeds
+        args.base_seed + args.common.seeds,
+        args.common.ks,
     );
 
     // Totals per fault-model shape, printed as a deterministic summary.
@@ -195,72 +183,115 @@ fn main() {
     let mut fallbacks = [0u64; 5];
     let mut runs = [0u64; 5];
     let mut violations = 0u64;
-    for i in 0..args.seeds {
-        let seed = args.base_seed + i;
-        let shape = (seed % 5) as usize;
-        let plan = FaultPlan::new(seed, spec_for(seed, horizon));
-        let mut cfg =
-            RunnerConfig::default().with_users(args.users).with_fault_plan(plan);
-        // Trace the first faulted seed when asked.
-        let trace_this = args.trace.is_some() && i == 0;
-        if trace_this {
-            cfg = cfg.with_trace();
-        }
-        let report = match runner.run(&queries, Strategy::GpuPreferred, &cfg) {
-            Ok(r) => r,
-            Err(e) => {
-                println!("seed {seed}: run failed: {e}");
-                violations += 1;
-                continue;
+    for (ki, &k) in args.common.ks.iter().enumerate() {
+        let sim = SimConfig::default()
+            .with_gpu_memory(512 * 1024)
+            .with_gpu_cache(256 * 1024)
+            .with_coprocessors(k);
+        let runner = WorkloadRunner::new(&db, sim);
+        let cfg = RunnerConfig::default().with_users(args.common.users);
+        let baseline = runner
+            .run(&queries, Strategy::GpuPreferred, &cfg)
+            .expect("fault-free baseline run");
+        let map: BTreeMap<(usize, usize), (usize, u64)> = baseline
+            .outcomes
+            .iter()
+            .map(|o| ((o.session, o.seq), (o.rows, o.checksum)))
+            .collect();
+        let horizon = baseline.metrics.makespan.max(VirtualTime::from_micros(1));
+
+        for i in 0..args.common.seeds {
+            let seed = args.base_seed + i;
+            let shape = (seed % 5) as usize;
+            let plan = FaultPlan::new(seed, spec_for(seed, horizon));
+            let mut cfg = RunnerConfig::default()
+                .with_users(args.common.users)
+                .with_fault_plan(plan);
+            // Trace the first faulted seed (at the first K) when asked.
+            let trace_this = args.common.trace.is_some() && ki == 0 && i == 0;
+            if trace_this {
+                cfg = cfg.with_trace();
             }
-        };
-        for msg in check(&report, &map) {
-            println!("seed {seed}: VIOLATION: {msg}");
-            violations += 1;
-        }
-        if trace_this {
-            let path = args.trace.as_deref().expect("trace path present");
-            let trace = report.trace.as_ref().expect("traced run records events");
-            // Re-deriving metrics from a truncated stream would compare
-            // garbage: a ring overflow is itself a violation.
-            if trace.dropped > 0 {
-                println!(
-                    "seed {seed}: VIOLATION: trace ring overflowed ({} events \
-                     dropped)",
-                    trace.dropped
-                );
-                violations += 1;
-            }
-            // The §10 reconciliation invariant, enforced in release builds.
-            if RunMetrics::from_events(&trace.events) != report.metrics {
-                println!("seed {seed}: VIOLATION: trace-derived metrics diverge");
-                violations += 1;
-            }
-            let chrome = report.chrome_trace().expect("traced run exports");
-            match std::fs::write(path, &chrome) {
-                Ok(()) => println!(
-                    "seed {seed}: wrote {} events ({} dropped) to {path}",
-                    trace.events.len(),
-                    trace.dropped
-                ),
+            let report = match runner.run(&queries, Strategy::GpuPreferred, &cfg) {
+                Ok(r) => r,
                 Err(e) => {
-                    println!("seed {seed}: cannot write {path}: {e}");
+                    println!("seed {seed}: run failed: {e}");
+                    violations += 1;
+                    continue;
+                }
+            };
+            for msg in check(&report, &map) {
+                println!("seed {seed}: VIOLATION: {msg}");
+                violations += 1;
+            }
+            if trace_this {
+                let path = args.common.trace.as_deref().expect("trace path present");
+                let trace = report.trace.as_ref().expect("traced run records events");
+                // Re-deriving metrics from a truncated stream would compare
+                // garbage: a ring overflow is itself a violation.
+                if trace.dropped > 0 {
+                    println!(
+                        "seed {seed}: VIOLATION: trace ring overflowed ({} events \
+                         dropped)",
+                        trace.dropped
+                    );
                     violations += 1;
                 }
+                // The §10 reconciliation invariant, enforced in release builds.
+                if RunMetrics::from_events(&trace.events) != report.metrics {
+                    println!("seed {seed}: VIOLATION: trace-derived metrics diverge");
+                    violations += 1;
+                }
+                let chrome = report.chrome_trace().expect("traced run exports");
+                match std::fs::write(path, &chrome) {
+                    Ok(()) => println!(
+                        "seed {seed}: wrote {} events ({} dropped) to {path}",
+                        trace.events.len(),
+                        trace.dropped
+                    ),
+                    Err(e) => {
+                        println!("seed {seed}: cannot write {path}: {e}");
+                        violations += 1;
+                    }
+                }
             }
+            runs[shape] += 1;
+            injected[shape] += report.metrics.faults.injected;
+            retries[shape] += report.metrics.faults.retries;
+            fallbacks[shape] += report.metrics.faults.fallbacks;
         }
-        runs[shape] += 1;
-        injected[shape] += report.metrics.faults.injected;
-        retries[shape] += report.metrics.faults.retries;
-        fallbacks[shape] += report.metrics.faults.fallbacks;
     }
 
+    let mut table = FigTable::new(
+        "chaos-faults",
+        format!(
+            "Chaos sweep ({} workload): injected faults, retries and fallbacks \
+             per fault-model shape",
+            args.workload
+        ),
+    )
+    .with_columns(["Shape", "Runs", "Injected", "Retries", "Fallbacks"]);
     println!("shape      runs   injected   retries   fallbacks");
     for (i, name) in SHAPES.iter().enumerate() {
         println!(
             "{name:<9} {:>5} {:>10} {:>9} {:>11}",
             runs[i], injected[i], retries[i], fallbacks[i]
         );
+        table.push_row([
+            name.to_string(),
+            runs[i].to_string(),
+            injected[i].to_string(),
+            retries[i].to_string(),
+            fallbacks[i].to_string(),
+        ]);
+    }
+    if let Err(e) =
+        std::fs::write(&args.common.out, tables_json(std::slice::from_ref(&table)))
+    {
+        eprintln!("chaos: cannot write {}: {e}", args.common.out);
+        violations += 1;
+    } else {
+        println!("wrote {}", args.common.out);
     }
     let total: u64 = injected.iter().sum();
     println!("total injected: {total}, violations: {violations}");

@@ -12,9 +12,11 @@
 //! writes its Chrome `trace_event` JSON to PATH (load it in Perfetto, or
 //! validate it with the `trace-lint` binary).
 
+use robustq_bench::args::ArgStream;
 use robustq_bench::{
     all_figures, figure_by_id, traced_reference_run, Effort, FigTable, FIGURE_IDS,
 };
+use robustq_engine::EngineError;
 
 fn emit(table: &FigTable, json: bool) {
     if json {
@@ -24,25 +26,34 @@ fn emit(table: &FigTable, json: bool) {
     }
 }
 
-fn main() {
-    let effort = Effort::from_env();
-    let mut json = false;
-    let mut trace_path: Option<String> = None;
-    let mut ids: Vec<String> = Vec::new();
-    let mut it = std::env::args().skip(1);
-    while let Some(arg) = it.next() {
+struct Args {
+    json: bool,
+    trace_path: Option<String>,
+    ids: Vec<String>,
+}
+
+fn parse_args() -> Result<Args, EngineError> {
+    let mut args = Args { json: false, trace_path: None, ids: Vec::new() };
+    let mut it = ArgStream::from_env();
+    while let Some(arg) = it.next_flag() {
         match arg.as_str() {
-            "--json" => json = true,
-            "--trace" => match it.next() {
-                Some(p) => trace_path = Some(p),
-                None => {
-                    eprintln!("--trace needs an output path");
-                    std::process::exit(2);
-                }
-            },
-            _ => ids.push(arg),
+            "--json" => args.json = true,
+            "--trace" => args.trace_path = Some(it.value("--trace")?),
+            _ => args.ids.push(arg),
         }
     }
+    Ok(args)
+}
+
+fn main() {
+    let effort = Effort::from_env();
+    let Args { json, trace_path, ids } = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("figures: {e}");
+            std::process::exit(2);
+        }
+    };
 
     let mut failed = false;
     if ids.is_empty() && trace_path.is_none() {

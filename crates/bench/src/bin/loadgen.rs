@@ -17,104 +17,63 @@
 //! cargo run -p robustq-bench --release --bin loadgen -- --trace serving-trace.json
 //! ```
 //!
+//! Shared flags (`--out`, `--trace`, `--ks`, `--rows`, `--users`) parse
+//! as everywhere else in the bench suite; `--users` is the admission
+//! limit (concurrently executing queries). `--seeds` is accepted for
+//! uniformity but the sweep is single-seeded (`--seed` picks it).
+//!
 //! `--trace PATH` traces the highest-rate max-K Data-Driven Chopping
 //! run and writes its Chrome export to PATH (CI feeds it to
 //! `trace-lint` — the open-loop exporter degrades overlapping session
 //! spans to complete events, which must stay lint-clean).
 
-use robustq_core::Strategy;
-use robustq_sim::{SimConfig, VirtualTime};
+use robustq_bench::args::{ArgStream, CommonArgs};
+use robustq_bench::table::{tables_json, FigTable};
+use robustq_engine::EngineError;
+use robustq::prelude::*;
 use robustq_storage::gen::ssb::SsbGenerator;
-use robustq_storage::Database;
-use robustq_bench::table::FigTable;
-use robustq_serve::{ArrivalProcess, QueryMix, ServeConfig, ServingReport, ServingRunner};
 use robustq_workloads::ssb;
 
 struct Args {
-    rows: usize,
+    common: CommonArgs,
     rates: Vec<f64>,
-    ks: Vec<usize>,
     horizon_ms: u64,
     sessions: usize,
     seed: u64,
-    max_concurrent: usize,
     queue_cap: usize,
     theta: f64,
-    out: String,
-    trace: Option<String>,
 }
 
-fn parse_args() -> Result<Args, String> {
+fn parse_args() -> Result<Args, EngineError> {
     let mut args = Args {
-        rows: 8_000,
+        common: CommonArgs::new("BENCH_serving.json").with_ks(&[1, 2]),
         rates: vec![25_000.0, 100_000.0, 400_000.0],
-        ks: vec![1, 2],
         horizon_ms: 50,
         sessions: 100_000,
         seed: 42,
-        max_concurrent: 4,
         queue_cap: 32,
         theta: 0.8,
-        out: "BENCH_serving.json".to_string(),
-        trace: None,
     };
-    let mut it = std::env::args().skip(1);
-    while let Some(flag) = it.next() {
-        let mut value = |name: &str| {
-            it.next().ok_or_else(|| format!("{name} needs a value"))
-        };
+    let mut it = ArgStream::from_env();
+    while let Some(flag) = it.next_flag() {
+        if args.common.accept(&flag, &mut it)? {
+            continue;
+        }
         match flag.as_str() {
-            "--rows" => {
-                args.rows = value("--rows")?.parse().map_err(|e| format!("--rows: {e}"))?
-            }
             "--rates" => {
-                args.rates = value("--rates")?
-                    .split(',')
-                    .map(|r| r.parse().map_err(|e| format!("--rates: {e}")))
-                    .collect::<Result<_, _>>()?;
-                if args.rates.is_empty() || args.rates.iter().any(|&r| r <= 0.0) {
-                    return Err("--rates needs a comma list of rates > 0".into());
+                args.rates = it.parsed_list("--rates")?;
+                if args.rates.iter().any(|&r| r <= 0.0) {
+                    return Err(EngineError::config(
+                        "--rates needs a comma list of rates > 0",
+                    ));
                 }
             }
-            "--ks" => {
-                args.ks = value("--ks")?
-                    .split(',')
-                    .map(|k| k.parse().map_err(|e| format!("--ks: {e}")))
-                    .collect::<Result<_, _>>()?;
-                if args.ks.is_empty() || args.ks.contains(&0) {
-                    return Err("--ks needs a comma list of counts ≥ 1".into());
-                }
-            }
-            "--horizon-ms" => {
-                args.horizon_ms = value("--horizon-ms")?
-                    .parse()
-                    .map_err(|e| format!("--horizon-ms: {e}"))?
-            }
-            "--sessions" => {
-                args.sessions = value("--sessions")?
-                    .parse()
-                    .map_err(|e| format!("--sessions: {e}"))?
-            }
-            "--seed" => {
-                args.seed = value("--seed")?.parse().map_err(|e| format!("--seed: {e}"))?
-            }
-            "--max-concurrent" => {
-                args.max_concurrent = value("--max-concurrent")?
-                    .parse()
-                    .map_err(|e| format!("--max-concurrent: {e}"))?
-            }
-            "--queue-cap" => {
-                args.queue_cap = value("--queue-cap")?
-                    .parse()
-                    .map_err(|e| format!("--queue-cap: {e}"))?
-            }
-            "--theta" => {
-                args.theta =
-                    value("--theta")?.parse().map_err(|e| format!("--theta: {e}"))?
-            }
-            "--out" => args.out = value("--out")?,
-            "--trace" => args.trace = Some(value("--trace")?),
-            other => return Err(format!("unknown flag {other:?}")),
+            "--horizon-ms" => args.horizon_ms = it.parsed("--horizon-ms")?,
+            "--sessions" => args.sessions = it.parsed("--sessions")?,
+            "--seed" => args.seed = it.parsed("--seed")?,
+            "--queue-cap" => args.queue_cap = it.parsed("--queue-cap")?,
+            "--theta" => args.theta = it.parsed("--theta")?,
+            other => return Err(ArgStream::unknown_flag(other)),
         }
     }
     Ok(args)
@@ -148,10 +107,11 @@ fn main() {
             std::process::exit(2);
         }
     };
-    let max_k = *args.ks.iter().max().expect("ks non-empty");
+    let max_k = *args.common.ks.iter().max().expect("ks non-empty");
     let max_rate = args.rates.iter().cloned().fold(0.0f64, f64::max);
 
-    let db: Database = SsbGenerator::new(1).with_rows_per_sf(args.rows).generate();
+    let db: Database =
+        SsbGenerator::new(1).with_rows_per_sf(args.common.rows).generate();
     let mix = QueryMix::zipf(ssb::workload(&db).expect("SSB plans"), args.theta);
     // Same tight-cache regime as the multigpu sweep: the fact table
     // stresses a single co-processor cache, so placement quality — not
@@ -179,12 +139,12 @@ fn main() {
     ]);
     let mut failures = 0u64;
 
-    for &k in &args.ks {
+    for &k in &args.common.ks {
         let sim = base_sim.clone().with_coprocessors(k);
         let runner = ServingRunner::new(&db, sim);
         for &rate in &args.rates {
             for strategy in strategies {
-                let trace_this = args.trace.is_some()
+                let trace_this = args.common.trace.is_some()
                     && k == max_k
                     && rate == max_rate
                     && strategy == Strategy::DataDrivenChopping;
@@ -194,7 +154,7 @@ fn main() {
                 )
                 .with_sessions(args.sessions)
                 .with_seed(args.seed)
-                .with_admission_limit(args.max_concurrent)
+                .with_admission_limit(args.common.users)
                 .with_queue_cap(args.queue_cap);
                 if trace_this {
                     cfg = cfg.with_trace();
@@ -213,7 +173,7 @@ fn main() {
                 }
                 push_row(&mut table, k, rate, &report);
                 if trace_this {
-                    let path = args.trace.as_deref().expect("trace path");
+                    let path = args.common.trace.as_deref().expect("trace path");
                     let data = report.trace.as_ref().expect("traced run records");
                     if data.dropped > 0 {
                         eprintln!(
@@ -238,19 +198,13 @@ fn main() {
     }
 
     println!("{table}");
-    let mut json = String::from("{\n  \"tables\": [\n");
-    for line in table.to_json().lines() {
-        json.push_str("    ");
-        json.push_str(line);
-        json.push('\n');
-    }
-    json.pop();
-    json.push_str("\n  ]\n}\n");
-    if let Err(e) = std::fs::write(&args.out, &json) {
-        eprintln!("loadgen: cannot write {}: {e}", args.out);
+    if let Err(e) =
+        std::fs::write(&args.common.out, tables_json(std::slice::from_ref(&table)))
+    {
+        eprintln!("loadgen: cannot write {}: {e}", args.common.out);
         failures += 1;
     } else {
-        println!("wrote {}", args.out);
+        println!("wrote {}", args.common.out);
     }
 
     if failures > 0 {

@@ -30,69 +30,53 @@
 //! a table the data placement manager replicates into every cache
 //! instead of partitioning. Sharded rows must reproduce the unsharded
 //! K = 1 result fingerprints bit for bit.
+//!
+//! `--adaptive` adds the DESIGN.md §15 comparison table
+//! (`multigpu-adaptive`): the SSB workload on a deliberately small
+//! co-processor heap, once under the static cost model with chunked
+//! staging off (over-heap operators abort to the CPU) and once under the
+//! adaptive model with chunked staging on (they complete on-device in
+//! chunks). `bench-diff --adaptive` gates that the staged rows record
+//! zero oversize fallbacks, no more aborts than their static siblings,
+//! and a strictly lower median est-vs-actual error.
 
 use std::collections::BTreeMap;
 
-use robustq_bench::table::FigTable;
-use robustq_core::Strategy;
-use robustq_engine::plan::PlanNode;
-use robustq_engine::RunMetrics;
-use robustq_sim::{SimConfig, VirtualTime};
+use robustq_bench::args::{ArgStream, CommonArgs};
+use robustq_bench::table::{tables_json, FigTable};
+use robustq_engine::EngineError;
+use robustq::prelude::*;
 use robustq_storage::gen::ssb::SsbGenerator;
 use robustq_storage::gen::tpch::TpchGenerator;
 use robustq_storage::Database;
-use robustq_workloads::{ssb, tpch, RunReport, RunnerConfig, WorkloadRunner};
+use robustq_workloads::{ssb, tpch, RunReport, WorkloadRunner};
 
 struct Args {
-    users: usize,
-    rows: usize,
-    ks: Vec<usize>,
-    out: String,
-    trace: Option<String>,
+    common: CommonArgs,
     shard: bool,
+    adaptive: bool,
     replicate_max_bytes: u64,
 }
 
-fn parse_args() -> Result<Args, String> {
+fn parse_args() -> Result<Args, EngineError> {
     let mut args = Args {
-        users: 4,
-        rows: 8_000,
-        ks: vec![1, 2, 4],
-        out: "BENCH_multigpu.json".to_string(),
-        trace: None,
+        common: CommonArgs::new("BENCH_multigpu.json"),
         shard: false,
+        adaptive: false,
         replicate_max_bytes: 64 * 1024,
     };
-    let mut it = std::env::args().skip(1);
-    while let Some(flag) = it.next() {
-        let mut value = |name: &str| {
-            it.next().ok_or_else(|| format!("{name} needs a value"))
-        };
+    let mut it = ArgStream::from_env();
+    while let Some(flag) = it.next_flag() {
+        if args.common.accept(&flag, &mut it)? {
+            continue;
+        }
         match flag.as_str() {
-            "--users" => {
-                args.users = value("--users")?.parse().map_err(|e| format!("--users: {e}"))?
-            }
-            "--rows" => {
-                args.rows = value("--rows")?.parse().map_err(|e| format!("--rows: {e}"))?
-            }
-            "--ks" => {
-                args.ks = value("--ks")?
-                    .split(',')
-                    .map(|k| k.parse().map_err(|e| format!("--ks: {e}")))
-                    .collect::<Result<_, _>>()?;
-                if args.ks.is_empty() || args.ks.contains(&0) {
-                    return Err("--ks needs a comma list of counts ≥ 1".into());
-                }
-            }
-            "--out" => args.out = value("--out")?,
-            "--trace" => args.trace = Some(value("--trace")?),
             "--shard" => args.shard = true,
+            "--adaptive" => args.adaptive = true,
             "--replicate-max-bytes" => {
-                args.replicate_max_bytes = value("--replicate-max-bytes")?
-                    .parse()
-                    .map_err(|e| format!("--replicate-max-bytes: {e}"))?
+                args.replicate_max_bytes = it.parsed("--replicate-max-bytes")?
             }
-            other => return Err(format!("unknown flag {other:?}")),
+            other => return Err(ArgStream::unknown_flag(other)),
         }
     }
     Ok(args)
@@ -196,6 +180,98 @@ impl Sweep {
     }
 }
 
+/// Median est-vs-actual relative error over a run's model samples, in
+/// percent; `None` when the policy records no samples (e.g. plan-time
+/// pinning strategies that never consult a cost model).
+fn median_err_pct(report: &RunReport) -> Option<f64> {
+    let mut errs: Vec<f64> =
+        report.model_samples.iter().map(ModelUpdate::relative_error).collect();
+    if errs.is_empty() {
+        return None;
+    }
+    errs.sort_by(|a, b| a.partial_cmp(b).expect("finite errors"));
+    Some(100.0 * errs[errs.len() / 2])
+}
+
+/// The DESIGN.md §15 comparison: static model + abort-to-CPU versus
+/// adaptive model + chunked staging, on a heap small enough that the SSB
+/// join footprints exceed it. Returns the `multigpu-adaptive` table and
+/// the number of failures (result fingerprints must stay identical to
+/// the static baseline — staging may move work, never change answers).
+fn adaptive_sweep(
+    db: &Database,
+    queries: &[PlanNode],
+    ks: &[usize],
+    users: usize,
+) -> (FigTable, u64) {
+    let mut table = FigTable::new(
+        "multigpu-adaptive",
+        "SSB on a 128 KiB-heap fleet: static model + CPU fallback vs \
+         adaptive model + chunked staging",
+    )
+    .with_columns([
+        "K",
+        "Strategy",
+        "Model",
+        "Makespan [ms]",
+        "Aborts",
+        "Oversize",
+        "MedianErr %",
+    ]);
+    // A heap a fraction of the scaling sweep's (memory minus cache =
+    // 128 KiB): the fact-table joins' working footprints no longer fit,
+    // so placement either aborts them mid-flight (static rows) or stages
+    // them in chunks (adaptive rows).
+    let sim_base =
+        SimConfig::default().with_gpu_memory(384 * 1024).with_gpu_cache(256 * 1024);
+    let mut failures = 0u64;
+    let mut baseline: Option<BTreeMap<(usize, usize), (usize, u64)>> = None;
+    for &k in ks {
+        let runner = WorkloadRunner::new(db, sim_base.clone().with_coprocessors(k));
+        for strategy in [Strategy::GpuPreferred, Strategy::Chopping] {
+            for (model, kind, staged) in [
+                ("static", CostModelKind::Static, false),
+                ("adaptive", CostModelKind::Adaptive { seed: 42 }, true),
+            ] {
+                let mut cfg =
+                    RunnerConfig::default().with_users(users).with_cost_model(kind);
+                if staged {
+                    cfg = cfg.with_chunked_staging();
+                }
+                let report =
+                    runner.run(queries, strategy, &cfg).expect("adaptive sweep run");
+                let results = result_map(&report);
+                match &baseline {
+                    None => baseline = Some(results),
+                    Some(want) => {
+                        if *want != results {
+                            eprintln!(
+                                "multigpu: FAIL: adaptive K={k} {} {model} drifted \
+                                 from the baseline results",
+                                strategy.name(),
+                            );
+                            failures += 1;
+                        }
+                    }
+                }
+                table.push_row([
+                    k.to_string(),
+                    strategy.name().to_string(),
+                    model.to_string(),
+                    ms(report.metrics.makespan),
+                    report.metrics.aborts.to_string(),
+                    report.staging.oversize_fallbacks.to_string(),
+                    match median_err_pct(&report) {
+                        Some(pct) => format!("{pct:.2}"),
+                        None => "-".to_string(),
+                    },
+                ]);
+            }
+        }
+    }
+    (table, failures)
+}
+
 fn main() {
     let args = match parse_args() {
         Ok(a) => a,
@@ -204,10 +280,10 @@ fn main() {
             std::process::exit(2);
         }
     };
-    let max_k = *args.ks.iter().max().expect("ks non-empty");
+    let max_k = *args.common.ks.iter().max().expect("ks non-empty");
 
-    let ssb_db: Database = SsbGenerator::new(1).with_rows_per_sf(args.rows).generate();
-    let tpch_db: Database = TpchGenerator::new(1).with_rows_per_sf(args.rows).generate();
+    let ssb_db: Database = SsbGenerator::new(1).with_rows_per_sf(args.common.rows).generate();
+    let tpch_db: Database = TpchGenerator::new(1).with_rows_per_sf(args.common.rows).generate();
     let workloads: [(&str, &Database, Vec<PlanNode>); 2] = [
         ("ssb", &ssb_db, ssb::workload(&ssb_db).expect("SSB plans")),
         ("tpch", &tpch_db, tpch::workload()),
@@ -238,26 +314,26 @@ fn main() {
             "Busy per device [ms]",
         ]);
         let mut sweep =
-            Sweep { name, base_k: args.ks[0], table, baseline: None, failures: 0 };
-        for &k in &args.ks {
+            Sweep { name, base_k: args.common.ks[0], table, baseline: None, failures: 0 };
+        for &k in &args.common.ks {
             let sim = base_sim.clone().with_coprocessors(k);
             let runner = WorkloadRunner::new(db, sim);
             for strategy in strategies {
                 // With --shard the traced run is the sharded one below,
                 // so the shard lanes reach trace-lint.
-                let trace_this = args.trace.is_some()
+                let trace_this = args.common.trace.is_some()
                     && !args.shard
                     && *name == "ssb"
                     && k == max_k
                     && strategy == Strategy::DataDrivenChopping;
-                let mut cfg = RunnerConfig::default().with_users(args.users);
+                let mut cfg = RunnerConfig::default().with_users(args.common.users);
                 if trace_this {
                     cfg = cfg.with_trace();
                 }
                 let report = runner.run(queries, strategy, &cfg).expect("sweep run");
                 sweep.record(k, strategy.name(), &report);
                 if trace_this {
-                    let path = args.trace.as_deref().expect("trace path");
+                    let path = args.common.trace.as_deref().expect("trace path");
                     sweep.export_trace(path, &report, k);
                 }
             }
@@ -265,23 +341,23 @@ fn main() {
                 // K-way sharded leaf scans under the shard-aware
                 // strategies. The data-placement manager partitions large
                 // tables with the same `ways` so shards find their slice.
-                let sharded: [(&'static str, Box<dyn robustq_engine::PlacementPolicy>); 2] = [
-                    ("Chopping + Shard", Box::new(robustq_core::Chopping::new())),
+                let sharded: [(&'static str, Box<dyn PlacementPolicy>); 2] = [
+                    ("Chopping + Shard", Box::new(Chopping::new())),
                     (
                         "Data-Driven Chopping + Shard",
-                        Box::new(robustq_core::DataDrivenChopping::with_manager(
-                            robustq_core::DataPlacementManager::lfu()
+                        Box::new(DataDrivenChopping::with_manager(
+                            DataPlacementManager::lfu()
                                 .with_sharding(k, args.replicate_max_bytes),
                         )),
                     ),
                 ];
                 for (label, mut policy) in sharded {
-                    let trace_this = args.trace.is_some()
+                    let trace_this = args.common.trace.is_some()
                         && *name == "ssb"
                         && k == max_k
                         && label == "Data-Driven Chopping + Shard";
                     let mut cfg = RunnerConfig::default()
-                        .with_users(args.users)
+                        .with_users(args.common.users)
                         .with_sharding(k, 0.0);
                     if trace_this {
                         cfg = cfg.with_trace();
@@ -291,7 +367,7 @@ fn main() {
                         .expect("sharded sweep run");
                     sweep.record(k, label, &report);
                     if trace_this {
-                        let path = args.trace.as_deref().expect("trace path");
+                        let path = args.common.trace.as_deref().expect("trace path");
                         sweep.export_trace(path, &report, k);
                     }
                 }
@@ -302,22 +378,20 @@ fn main() {
         tables.push(sweep.table);
     }
 
-    let mut json = String::from("{\n  \"tables\": [");
-    for (i, t) in tables.iter().enumerate() {
-        json.push_str(if i == 0 { "\n" } else { ",\n" });
-        for line in t.to_json().lines() {
-            json.push_str("    ");
-            json.push_str(line);
-            json.push('\n');
-        }
-        json.pop(); // keep the closing brace on its own indented line
+    if args.adaptive {
+        let ssb_queries = &workloads[0].2;
+        let (table, fails) =
+            adaptive_sweep(&ssb_db, ssb_queries, &args.common.ks, args.common.users);
+        println!("{table}");
+        failures += fails;
+        tables.push(table);
     }
-    json.push_str("\n  ]\n}\n");
-    if let Err(e) = std::fs::write(&args.out, &json) {
-        eprintln!("multigpu: cannot write {}: {e}", args.out);
+
+    if let Err(e) = std::fs::write(&args.common.out, tables_json(&tables)) {
+        eprintln!("multigpu: cannot write {}: {e}", args.common.out);
         failures += 1;
     } else {
-        println!("wrote {}", args.out);
+        println!("wrote {}", args.common.out);
     }
 
     if failures > 0 {

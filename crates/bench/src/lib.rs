@@ -15,6 +15,7 @@
 //! paper's effects depend on. Times are virtual milliseconds — shapes and
 //! factors are comparable to the paper, absolute values are not.
 
+pub mod args;
 pub mod figures;
 pub mod machine;
 pub mod table;

@@ -129,6 +129,23 @@ fn json_string_array(items: &[String]) -> String {
     format!("[{}]", cells.join(", "))
 }
 
+/// Wrap tables in the `{"tables": [...]}` document every sweep bin
+/// writes and `bench-diff` reads.
+pub fn tables_json(tables: &[FigTable]) -> String {
+    let mut json = String::from("{\n  \"tables\": [");
+    for (i, t) in tables.iter().enumerate() {
+        json.push_str(if i == 0 { "\n" } else { ",\n" });
+        for line in t.to_json().lines() {
+            json.push_str("    ");
+            json.push_str(line);
+            json.push('\n');
+        }
+        json.pop(); // keep the closing brace on its own indented line
+    }
+    json.push_str("\n  ]\n}\n");
+    json
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -174,6 +191,16 @@ mod tests {
     fn json_escapes_special_characters() {
         assert_eq!(json_str("a\"b\\c\nd"), "\"a\\\"b\\\\c\\nd\"");
         assert_eq!(json_str("\u{1}"), "\"\\u0001\"");
+    }
+
+    #[test]
+    fn tables_json_wraps_documents() {
+        let mut t = FigTable::new("figX", "demo").with_columns(["a"]);
+        t.push_row(["1"]);
+        let doc = tables_json(std::slice::from_ref(&t));
+        assert!(doc.starts_with("{\n  \"tables\": ["), "{doc}");
+        assert!(doc.contains("\"id\": \"figX\""), "{doc}");
+        assert!(doc.ends_with("]\n}\n"), "{doc}");
     }
 
     #[test]

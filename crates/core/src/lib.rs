@@ -27,10 +27,12 @@
 //!   - [`strategies::DataDrivenChopping`] — the combined, robust strategy
 //!     (Section 5.4).
 
+pub mod costmodel;
 pub mod hype;
 pub mod placement_mgr;
 pub mod strategies;
 
+pub use costmodel::{build_cost_model, AdaptiveCostModel, StaticCostModel};
 pub use hype::HypeEstimator;
 pub use placement_mgr::{DataPlacementManager, PlacementPolicyKind};
 pub use strategies::{

@@ -10,7 +10,9 @@
 //! concurrency bound.
 
 use crate::strategies::runtime::RuntimePlacer;
-use robustq_engine::{Placement, PlacementPolicy, PolicyCtx, TaskInfo};
+use robustq_engine::{
+    CostModelKind, ModelUpdate, Placement, PlacementPolicy, PolicyCtx, TaskInfo,
+};
 use robustq_sim::{DeviceId, OpClass, VirtualTime};
 
 /// Query chopping with operator-driven data placement.
@@ -59,15 +61,20 @@ impl PlacementPolicy for Chopping {
         self.slot_override.unwrap_or(spec_slots)
     }
 
+    fn set_cost_model(&mut self, kind: CostModelKind) {
+        self.placer.set_cost_model(kind);
+    }
+
     fn observe(
         &mut self,
         op_class: OpClass,
         device: DeviceId,
         bytes_in: u64,
         bytes_out: u64,
-        duration: VirtualTime,
-    ) {
-        self.placer.observe(op_class, device, bytes_in, bytes_out, duration);
+        kernel: VirtualTime,
+        span: VirtualTime,
+    ) -> Option<ModelUpdate> {
+        Some(self.placer.observe(op_class, device, bytes_in, bytes_out, kernel, span))
     }
 }
 
@@ -102,8 +109,15 @@ mod tests {
     #[test]
     fn chopping_learns_from_observations() {
         let mut p = Chopping::new();
-        p.observe(OpClass::HashJoin, DeviceId::Gpu, 10, 10, VirtualTime::from_micros(5));
-        assert_eq!(p.placer().hype.total_observations(), 1);
+        p.observe(
+            OpClass::HashJoin,
+            DeviceId::Gpu,
+            10,
+            10,
+            VirtualTime::from_micros(5),
+            VirtualTime::from_micros(5),
+        );
+        assert_eq!(p.placer().model().total_observations(), 1);
     }
 
     #[test]

@@ -12,14 +12,17 @@
 //! HyPE cost models), and stops otherwise — quadratic in the number of
 //! leaves, with a fixed iteration cap for very wide plans.
 
-use crate::hype::HypeEstimator;
-use robustq_engine::{Placement, PlacementPolicy, PolicyCtx, TaskInfo};
+use crate::costmodel::build_cost_model;
+use robustq_engine::{
+    CostModel, CostModelKind, ModelUpdate, Placement, PlacementPolicy, PolicyCtx,
+    TaskInfo,
+};
 use robustq_sim::{CacheKey, DeviceId, OpClass, PerDevice, VirtualTime};
 
 /// The Critical Path strategy.
 #[derive(Debug, Clone)]
 pub struct CriticalPath {
-    hype: HypeEstimator,
+    model: Box<dyn CostModel>,
     /// Cap on refinement rounds (Appendix D: "a fixed number of
     /// iterations ... in case the plan contains too many leaf operators").
     max_iterations: usize,
@@ -34,7 +37,10 @@ impl Default for CriticalPath {
 impl CriticalPath {
     /// Critical Path with the default iteration cap.
     pub fn new() -> Self {
-        CriticalPath { hype: HypeEstimator::new(), max_iterations: 16 }
+        CriticalPath {
+            model: build_cost_model(CostModelKind::Static),
+            max_iterations: 16,
+        }
     }
 
     /// Override the refinement-round cap.
@@ -44,8 +50,8 @@ impl CriticalPath {
     }
 
     /// The learned cost models driving plan costing.
-    pub fn hype(&self) -> &HypeEstimator {
-        &self.hype
+    pub fn model(&self) -> &dyn CostModel {
+        &*self.model
     }
 
     /// Resolve placements from a set of co-processor leaves: leaves in the
@@ -110,16 +116,16 @@ impl CriticalPath {
                 }
             }
             let kernel =
-                self.hype.estimate(t.op_class, device, t.bytes_in, t.bytes_out_estimate);
+                self.model.estimate(t.op_class, device, t.bytes_in, t.bytes_out_estimate);
             completion.push(
-                children_done + self.hype.estimate_transfer(move_bytes) + kernel,
+                children_done + self.model.estimate_transfer(move_bytes) + kernel,
             );
         }
         let root = *completion.last().expect("non-empty plan");
         // The result must end on the host.
         if devices.last().expect("non-empty plan").is_coprocessor() {
             let out = tasks.last().expect("non-empty plan").bytes_out_estimate;
-            root + self.hype.estimate_transfer(out)
+            root + self.model.estimate_transfer(out)
         } else {
             root
         }
@@ -192,11 +198,17 @@ impl PlacementPolicy for CriticalPath {
             .zip(tasks)
             .map(|(d, t)| {
                 let est = PerDevice::from_fn(device_count, |dev| {
-                    self.hype.estimate(t.op_class, dev, t.bytes_in, t.bytes_out_estimate)
+                    self.model.estimate(t.op_class, dev, t.bytes_in, t.bytes_out_estimate)
                 });
                 Some(Placement::modeled(d, est))
             })
             .collect()
+    }
+
+    fn set_cost_model(&mut self, kind: CostModelKind) {
+        if self.model.kind() != kind {
+            self.model = build_cost_model(kind);
+        }
     }
 
     fn observe(
@@ -205,9 +217,10 @@ impl PlacementPolicy for CriticalPath {
         device: DeviceId,
         bytes_in: u64,
         bytes_out: u64,
-        duration: VirtualTime,
-    ) {
-        self.hype.observe(op_class, device, bytes_in, bytes_out, duration);
+        kernel: VirtualTime,
+        span: VirtualTime,
+    ) -> Option<ModelUpdate> {
+        Some(self.model.observe(op_class, device, bytes_in, bytes_out, kernel, span))
     }
 }
 
@@ -272,12 +285,14 @@ mod tests {
                     b,
                     0,
                     VirtualTime::from_secs_f64(b as f64 / 8.0e9),
+                    VirtualTime::from_secs_f64(b as f64 / 8.0e9),
                 );
                 cp.observe(
                     class,
                     DeviceId::Gpu,
                     b,
                     0,
+                    VirtualTime::from_secs_f64(b as f64 / 24.0e9),
                     VirtualTime::from_secs_f64(b as f64 / 24.0e9),
                 );
             }
@@ -348,7 +363,8 @@ mod tests {
         for mb in [1u64, 8, 64] {
             let b = mb * 1_000_000;
             for class in robustq_sim::OpClass::ALL {
-                cp.observe(class, g2, b, 0, VirtualTime::from_secs_f64(b as f64 / 24.0e9));
+                let d = VirtualTime::from_secs_f64(b as f64 / 24.0e9);
+                cp.observe(class, g2, b, 0, d, d);
             }
         }
         let out = cp.plan_query(&plan_tasks(8_000_000), &ctx);

@@ -13,7 +13,10 @@
 
 use crate::placement_mgr::{DataPlacementManager, PlacementPolicyKind};
 use crate::strategies::runtime::RuntimePlacer;
-use robustq_engine::{Placement, PlacementPolicy, PlaceReason, PolicyCtx, TaskInfo};
+use robustq_engine::{
+    CostModelKind, ModelUpdate, Placement, PlacementPolicy, PlaceReason, PolicyCtx,
+    TaskInfo,
+};
 use robustq_sim::{CacheKey, CacheSet, DeviceId, OpClass, VirtualTime};
 use robustq_storage::Database;
 
@@ -212,15 +215,20 @@ impl PlacementPolicy for DataDrivenChopping {
         false
     }
 
+    fn set_cost_model(&mut self, kind: CostModelKind) {
+        self.placer.set_cost_model(kind);
+    }
+
     fn observe(
         &mut self,
         op_class: OpClass,
         device: DeviceId,
         bytes_in: u64,
         bytes_out: u64,
-        duration: VirtualTime,
-    ) {
-        self.placer.observe(op_class, device, bytes_in, bytes_out, duration);
+        kernel: VirtualTime,
+        span: VirtualTime,
+    ) -> Option<ModelUpdate> {
+        Some(self.placer.observe(op_class, device, bytes_in, bytes_out, kernel, span))
     }
 
     fn update_data_placement(

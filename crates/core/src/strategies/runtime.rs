@@ -8,23 +8,48 @@
 //! topology is a candidate: the placer ranks the CPU and all K
 //! co-processors by estimated completion time.
 
-use crate::hype::HypeEstimator;
-use robustq_engine::{Placement, PlacementPolicy, PlaceReason, PolicyCtx, TaskInfo};
+use crate::costmodel::build_cost_model;
+use robustq_engine::{
+    CostModel, CostModelKind, ModelUpdate, Placement, PlacementPolicy, PlaceReason,
+    PolicyCtx, TaskInfo,
+};
 use robustq_sim::{partition_bytes, CacheKey, DeviceId, OpClass, PerDevice, VirtualTime};
 
 /// The shared run-time placement logic: estimated-completion-time
 /// minimization over all devices, using learned kernel models plus
 /// measured transfer bandwidth.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone)]
 pub struct RuntimePlacer {
-    /// The learned kernel/transfer models.
-    pub hype: HypeEstimator,
+    /// The learned kernel/transfer models behind the unified
+    /// [`CostModel`] surface ([`StaticCostModel`](crate::StaticCostModel)
+    /// by default).
+    model: Box<dyn CostModel>,
+}
+
+impl Default for RuntimePlacer {
+    fn default() -> Self {
+        RuntimePlacer { model: build_cost_model(CostModelKind::Static) }
+    }
 }
 
 impl RuntimePlacer {
     /// A placer with unfitted models (cold-start priors).
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// The active cost model (tests and reports inspect learned state).
+    pub fn model(&self) -> &dyn CostModel {
+        &*self.model
+    }
+
+    /// Swap the cost model for the kind an executor run requests. The
+    /// learned state survives when the kind is already active — warm-up
+    /// runs train the model the measured run uses.
+    pub fn set_cost_model(&mut self, kind: CostModelKind) {
+        if self.model.kind() != kind {
+            self.model = build_cost_model(kind);
+        }
     }
 
     /// Bytes that would have to cross `device`'s host link host→device
@@ -80,16 +105,16 @@ impl RuntimePlacer {
         device: DeviceId,
         ctx: &PolicyCtx,
     ) -> VirtualTime {
-        let kernel = self.hype.estimate(
+        let kernel = self.model.estimate(
             task.op_class,
             device,
             task.bytes_in,
             task.bytes_out_estimate,
         );
         let transfer = if device.is_coprocessor() {
-            self.hype.estimate_transfer(self.h2d_bytes(task, device, ctx))
+            self.model.estimate_transfer(self.h2d_bytes(task, device, ctx))
         } else {
-            self.hype.estimate_transfer(self.d2h_bytes(task))
+            self.model.estimate_transfer(self.d2h_bytes(task))
         };
         ctx.queued_work.get_padded(device) + transfer + kernel
     }
@@ -150,16 +175,18 @@ impl RuntimePlacer {
         Placement::modeled(device, est)
     }
 
-    /// Feed one completed-operator observation to the models.
+    /// Feed one completed-operator observation to the models and report
+    /// the predicted-vs-actual sample.
     pub fn observe(
         &mut self,
         op_class: OpClass,
         device: DeviceId,
         bytes_in: u64,
         bytes_out: u64,
-        duration: VirtualTime,
-    ) {
-        self.hype.observe(op_class, device, bytes_in, bytes_out, duration);
+        kernel: VirtualTime,
+        span: VirtualTime,
+    ) -> ModelUpdate {
+        self.model.observe(op_class, device, bytes_in, bytes_out, kernel, span)
     }
 }
 
@@ -191,15 +218,20 @@ impl PlacementPolicy for RuntimePlacement {
         self.placer.choose(task, ctx)
     }
 
+    fn set_cost_model(&mut self, kind: CostModelKind) {
+        self.placer.set_cost_model(kind);
+    }
+
     fn observe(
         &mut self,
         op_class: OpClass,
         device: DeviceId,
         bytes_in: u64,
         bytes_out: u64,
-        duration: VirtualTime,
-    ) {
-        self.placer.observe(op_class, device, bytes_in, bytes_out, duration);
+        kernel: VirtualTime,
+        span: VirtualTime,
+    ) -> Option<ModelUpdate> {
+        Some(self.placer.observe(op_class, device, bytes_in, bytes_out, kernel, span))
     }
 }
 
@@ -295,6 +327,7 @@ mod tests {
                     d,
                     b,
                     0,
+                    VirtualTime::from_secs_f64(b as f64 / rate),
                     VirtualTime::from_secs_f64(b as f64 / rate),
                 );
             }
@@ -441,7 +474,50 @@ mod tests {
         let placed = p.place_ready(&t, &ctx);
         assert_eq!(placed.device, DeviceId::Gpu);
         assert!(placed.est[DeviceId::Cpu] > placed.est[DeviceId::Gpu]);
-        p.observe(OpClass::Selection, placed.device, 1, 1, VirtualTime::from_micros(1));
-        assert_eq!(p.placer().hype.total_observations(), 1);
+        let u = p
+            .observe(
+                OpClass::Selection,
+                placed.device,
+                1,
+                1,
+                VirtualTime::from_micros(1),
+                VirtualTime::from_micros(1),
+            )
+            .expect("runtime placement reports samples");
+        assert!(!u.refined, "default model is static");
+        assert_eq!(p.placer().model().total_observations(), 1);
+    }
+
+    #[test]
+    fn set_cost_model_swaps_only_on_kind_change() {
+        let mut p = RuntimePlacer::new();
+        p.observe(
+            OpClass::Selection,
+            DeviceId::Gpu,
+            8,
+            4,
+            VirtualTime::from_micros(1),
+            VirtualTime::from_micros(1),
+        );
+        // Same kind: learned state survives (warm-up → measured run).
+        p.set_cost_model(CostModelKind::Static);
+        assert_eq!(p.model().total_observations(), 1);
+        // Kind change: fresh model of the new kind.
+        p.set_cost_model(CostModelKind::Adaptive { seed: 11 });
+        assert_eq!(p.model().name(), "adaptive");
+        assert_eq!(p.model().total_observations(), 0);
+        let u = p
+            .observe(
+                OpClass::Selection,
+                DeviceId::Gpu,
+                8,
+                4,
+                VirtualTime::from_micros(1),
+                VirtualTime::from_micros(1),
+            );
+        assert!(u.refined, "adaptive samples refine");
+        // Same adaptive seed again: still no rebuild.
+        p.set_cost_model(CostModelKind::Adaptive { seed: 11 });
+        assert_eq!(p.model().total_observations(), 1);
     }
 }

@@ -32,6 +32,18 @@ pub enum EngineError {
     },
     /// An internal invariant broke (e.g. a child output went missing).
     Internal(String),
+    /// Invalid configuration: a bad CLI flag, an out-of-range knob, or a
+    /// malformed benchmark artifact fed to a gate.
+    Config(String),
+}
+
+impl EngineError {
+    /// Shorthand for a [`EngineError::Config`] from any displayable value
+    /// (the typed replacement for the bench harness' old
+    /// `Result<_, String>` plumbing).
+    pub fn config(msg: impl fmt::Display) -> Self {
+        EngineError::Config(msg.to_string())
+    }
 }
 
 impl fmt::Display for EngineError {
@@ -45,6 +57,7 @@ impl fmt::Display for EngineError {
                 "executor stalled: {completed}/{total} queries completed"
             ),
             EngineError::Internal(msg) => write!(f, "internal error: {msg}"),
+            EngineError::Config(msg) => write!(f, "configuration error: {msg}"),
         }
     }
 }

@@ -221,6 +221,7 @@ impl Sim<'_, '_> {
                 remaining_ns: 0.0,
                 milestones: Vec::new(),
                 stage_bytes: 0,
+                staged_chunks: 0,
                 base_columns,
                 output: None,
                 output_bytes: 0,

@@ -1,0 +1,157 @@
+//! The unified cost-estimation surface.
+//!
+//! Placement strategies used to hard-wire their learned estimator
+//! (`robustq_core::HypeEstimator`); this module redesigns that surface
+//! into a [`CostModel`] trait so the estimator is *chosen per run*:
+//!
+//! * `StaticCostModel` (crate `robustq-core`) — the existing HyPE-style
+//!   per-(class, device) linear regressions. The default; runs are
+//!   bit-identical to the pre-trait executor.
+//! * `AdaptiveCostModel` (crate `robustq-core`) — seeded, deterministic
+//!   per-(class, device) EWMA throughput refinement in virtual time
+//!   (Section 4's runtime learning loop).
+//!
+//! The executor threads a [`CostModelKind`] through
+//! `ExecOptions`/`RunnerConfig` into every policy via
+//! [`crate::exec::policy::PlacementPolicy::set_cost_model`]; each
+//! completed operator produces a [`ModelUpdate`] predicted-vs-actual
+//! sample, so estimation error is auditable per run.
+
+use robustq_sim::{DeviceId, OpClass, VirtualTime};
+
+/// Which cost-model implementation a run should use.
+///
+/// Threaded through `ExecOptions` → `PlacementPolicy::set_cost_model`;
+/// strategies without a learned model ignore it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum CostModelKind {
+    /// The HyPE-style linear-regression estimator — current behaviour
+    /// and the default (golden fixtures pin bit-identity).
+    #[default]
+    Static,
+    /// Online EWMA throughput refinement from traced span durations,
+    /// deterministic for a given seed.
+    Adaptive {
+        /// Seed for the deterministic prior perturbation (distinct seeds
+        /// model distinct cold-start calibrations).
+        seed: u64,
+    },
+}
+
+/// One predicted-vs-actual sample from a completed operator.
+///
+/// `predicted` is the model's estimate *before* ingesting the sample, so
+/// the sequence of updates is exactly the model's online error curve.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ModelUpdate {
+    /// Operator class observed.
+    pub class: OpClass,
+    /// Device the operator ran on.
+    pub device: DeviceId,
+    /// The model's estimate before this sample was ingested.
+    pub predicted: VirtualTime,
+    /// The observed operator *span* (start → completion in virtual
+    /// time): the duration placement actually paid, including processor
+    /// sharing with concurrent operators — not the idealized
+    /// uncontended kernel duration.
+    pub actual: VirtualTime,
+    /// True when the sample comes from an adaptive model and should be
+    /// surfaced as a `ModelUpdate` trace event. Static models return
+    /// `false`: the sample is still collected for run-level auditing,
+    /// but nothing new enters the default trace stream (golden
+    /// fixtures stay byte-identical).
+    pub refined: bool,
+}
+
+impl ModelUpdate {
+    /// Relative estimation error `|predicted − actual| / actual`
+    /// (zero when the actual duration is zero).
+    pub fn relative_error(&self) -> f64 {
+        let actual = self.actual.as_secs_f64();
+        if actual <= 0.0 {
+            return 0.0;
+        }
+        (self.predicted.as_secs_f64() - actual).abs() / actual
+    }
+}
+
+/// A learned operator cost model: estimates kernel durations and
+/// transfer times, and refines itself from observed executions.
+///
+/// Implementations never read the simulator's ground-truth
+/// `robustq_sim::CostModel` — they learn, exactly as HyPE does on real
+/// hardware.
+pub trait CostModel: std::fmt::Debug {
+    /// Short display name (used in bench tables).
+    fn name(&self) -> &'static str;
+
+    /// The kind this model was built from.
+    fn kind(&self) -> CostModelKind;
+
+    /// Estimated kernel duration of one operator.
+    fn estimate(
+        &self,
+        class: OpClass,
+        device: DeviceId,
+        bytes_in: u64,
+        bytes_out: u64,
+    ) -> VirtualTime;
+
+    /// Estimated one-way host-link transfer time for `bytes`.
+    fn estimate_transfer(&self, bytes: u64) -> VirtualTime;
+
+    /// Ingest one completed operator and report the predicted-vs-actual
+    /// sample (prediction taken before the update).
+    ///
+    /// Two durations arrive because the two models learn from different
+    /// signals: `kernel` is the uncontended kernel duration (what the
+    /// static regressions have always been fed — their state stays
+    /// bit-identical), `span` is the traced operator span including
+    /// processor sharing (what the adaptive EWMA refines from, and the
+    /// `actual` every [`ModelUpdate`] audits against).
+    fn observe(
+        &mut self,
+        class: OpClass,
+        device: DeviceId,
+        bytes_in: u64,
+        bytes_out: u64,
+        kernel: VirtualTime,
+        span: VirtualTime,
+    ) -> ModelUpdate;
+
+    /// Total samples ingested across all (class, device) cells.
+    fn total_observations(&self) -> u64;
+
+    /// Clone into a box (object-safe `Clone`).
+    fn clone_box(&self) -> Box<dyn CostModel>;
+}
+
+impl Clone for Box<dyn CostModel> {
+    fn clone(&self) -> Self {
+        self.clone_box()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_kind_is_static() {
+        assert_eq!(CostModelKind::default(), CostModelKind::Static);
+    }
+
+    #[test]
+    fn relative_error_is_symmetric_in_sign() {
+        let upd = |p: u64, a: u64| ModelUpdate {
+            class: OpClass::Selection,
+            device: DeviceId::Cpu,
+            predicted: VirtualTime::from_nanos(p),
+            actual: VirtualTime::from_nanos(a),
+            refined: true,
+        };
+        assert!((upd(150, 100).relative_error() - 0.5).abs() < 1e-9);
+        assert!((upd(50, 100).relative_error() - 0.5).abs() < 1e-9);
+        assert_eq!(upd(10, 0).relative_error(), 0.0);
+    }
+}

@@ -10,8 +10,10 @@
 
 use crate::error::EngineError;
 use crate::exec::event_loop::{Ev, Sim, Status};
-use robustq_sim::{DeviceId, DeviceKind, PerDevice, VirtualTime};
-use robustq_trace::TransferKind;
+use robustq_sim::{
+    partition_bytes, DeviceId, DeviceKind, Direction, PerDevice, VirtualTime,
+};
+use robustq_trace::{TraceEvent, TransferKind};
 use std::collections::VecDeque;
 
 /// One device's scheduling state.
@@ -196,6 +198,20 @@ impl Sim<'_, '_> {
             }
             let footprint = self.cost.gpu_working_footprint(class, cost_in, cost_out)
                 + bytes_out;
+            // Larger-than-heap operators: with chunked staging enabled
+            // they partition and stream instead of walking into a
+            // guaranteed mid-flight abort (DESIGN.md §15).
+            if self.opts.chunked_staging
+                && input_transfer_bytes + footprint > self.heaps.device(device).capacity()
+            {
+                return self.start_staged_task(
+                    task,
+                    device,
+                    input_transfer_bytes,
+                    cost_in,
+                    cost_out,
+                );
+            }
             // Operators allocate incrementally (Section 2.5.1): a small
             // upfront slice (input buffers), then three growth stages
             // mid-execution — which is what makes mid-flight aborts, and
@@ -276,6 +292,148 @@ impl Sim<'_, '_> {
             let epoch = t.epoch;
             self.events.push(ready_at, Ev::ComputeStart { task, epoch });
         }
+        Ok(())
+    }
+
+    /// Upper bound on staging fan-out; per-chunk launch overhead makes
+    /// finer partitions pointless long before this.
+    const MAX_STAGE_CHUNKS: u32 = 4096;
+
+    /// Worst-case (first-chunk) device bytes of an `n`-way staged
+    /// execution: the chunk's input slice, its working footprint and its
+    /// retained chunk result. `partition_bytes` hands remainders to the
+    /// low chunks, so chunk 0 dominates.
+    fn staged_chunk_bytes(
+        &self,
+        class: robustq_sim::OpClass,
+        total_in: u64,
+        cost_in: u64,
+        cost_out: u64,
+        bytes_out: u64,
+        n: u32,
+    ) -> u64 {
+        let w = self.cost.gpu_working_footprint(
+            class,
+            partition_bytes(cost_in, 0, n),
+            partition_bytes(cost_out, 0, n),
+        );
+        partition_bytes(total_in, 0, n) + w + partition_bytes(bytes_out, 0, n)
+    }
+
+    /// Chunked out-of-core execution of a larger-than-heap operator:
+    /// partition → transfer → execute → evict over the device's existing
+    /// link machinery (DESIGN.md §15).
+    ///
+    /// The operator takes one fixed working allocation sized for a single
+    /// chunk, streams its input in chunk-sized slices over the host link
+    /// (compute starts when the first chunk lands; later chunks overlap
+    /// compute behind it on the FIFO), runs for the sum of per-chunk
+    /// kernel durations, and at completion streams each chunk's result
+    /// back to the host (`complete_task`'s evict phase). Base columns
+    /// travel inside the chunk stream and bypass the column cache — a
+    /// working set that outgrows the heap would only thrash it. The CPU
+    /// fallback remains for the case where even one chunk cannot fit.
+    fn start_staged_task(
+        &mut self,
+        task: usize,
+        device: DeviceId,
+        host_input_bytes: u64,
+        cost_in: u64,
+        cost_out: u64,
+    ) -> Result<(), EngineError> {
+        let now = self.now;
+        let query = self.tasks[task].query;
+        let class = self.tasks[task].node.op.op_class();
+        let bytes_out = self.tasks[task].output_bytes;
+        let shard = self.tasks[task].node.op.shard_spec();
+        let base_bytes: u64 = self.tasks[task]
+            .base_columns
+            .clone()
+            .iter()
+            .map(|&col| {
+                let full = self.db.column_size(col);
+                match shard {
+                    Some(s) => partition_bytes(full, s.index, s.of),
+                    None => full,
+                }
+            })
+            .sum();
+        let total_in = host_input_bytes + base_bytes;
+        let cap = self.heaps.device(device).capacity();
+        let chunks = (2..=Self::MAX_STAGE_CHUNKS).find(|&n| {
+            self.staged_chunk_bytes(class, total_in, cost_in, cost_out, bytes_out, n) <= cap
+        });
+        let Some(chunks) = chunks else {
+            // Even one chunk cannot fit the device heap: the CPU is the
+            // only remaining route.
+            self.staging.oversize_fallbacks += 1;
+            return self.abort_task(task, false);
+        };
+        let chunk_total =
+            self.staged_chunk_bytes(class, total_in, cost_in, cost_out, bytes_out, chunks);
+        let tag = Self::working_tag(task);
+        let mut injected = false;
+        if !self.alloc_or_inject(device, tag, chunk_total, 0, query, &mut injected) {
+            // The chunk-sized set fits an *empty* heap but not the
+            // current occupancy — ordinary contention abort.
+            return self.abort_task(task, injected);
+        }
+        self.tracer.emit(TraceEvent::OpStaged {
+            query: query as u32,
+            task: task as u32,
+            device,
+            chunks,
+            chunk_bytes: chunk_total,
+            at: now,
+        });
+
+        // Transfer phase: chunk slices stream back-to-back over the host
+        // link; compute may begin once the first slice arrived.
+        let mut ready_at = now;
+        let mut duration = VirtualTime::ZERO;
+        for i in 0..chunks {
+            let cin = partition_bytes(total_in, i, chunks);
+            if cin > 0 {
+                match self.xfer(
+                    now,
+                    device,
+                    Direction::HostToDevice,
+                    TransferKind::Input,
+                    cin,
+                    Some(query),
+                    true,
+                ) {
+                    Some(end) => {
+                        if i == 0 {
+                            ready_at = ready_at.max(end);
+                        }
+                    }
+                    None => {
+                        return self.abort_task(task, true);
+                    }
+                }
+            }
+            // Execute phase is costed per chunk: each slice pays its own
+            // launch overhead, so the adaptive model sees the real
+            // (overhead-heavier) staged throughput.
+            duration += self.cost.duration(
+                class,
+                DeviceKind::CoProcessor,
+                partition_bytes(cost_in, i, chunks),
+                partition_bytes(cost_out, i, chunks),
+            );
+        }
+
+        let t = &mut self.tasks[task];
+        t.kernel_duration = duration;
+        t.remaining_ns = duration.as_nanos() as f64;
+        // One fixed chunk-sized allocation: no growth stages, no
+        // mid-flight heap aborts.
+        t.milestones = Vec::new();
+        t.stage_bytes = 0;
+        t.staged_chunks = chunks;
+        let epoch = t.epoch;
+        self.events.push(ready_at, Ev::ComputeStart { task, epoch });
         Ok(())
     }
 

@@ -23,16 +23,17 @@
 
 use crate::error::EngineError;
 use crate::estimate;
+use crate::exec::costmodel::{CostModelKind, ModelUpdate};
 use crate::exec::device_rt::DeviceSet;
 use crate::exec::event_loop::{Sim, Submission};
 use crate::exec::memory::HeapSet;
-use crate::exec::metrics::{QueryOutcome, RunMetrics};
+use crate::exec::metrics::{QueryOutcome, RunMetrics, StagingStats};
 use crate::exec::policy::PlacementPolicy;
 use crate::parallel::ParallelCtx;
 use crate::plan::PlanNode;
 use robustq_sim::{
-    CacheKey, CacheSet, CostModel, EventQueue, FaultPlan, Interconnect, PerDevice, RetryPolicy,
-    SimConfig, VirtualTime,
+    CacheKey, CacheSet, CostModel as SimCostModel, EventQueue, FaultPlan, Interconnect,
+    PerDevice, RetryPolicy, SimConfig, VirtualTime,
 };
 use robustq_storage::{ColumnId, Database};
 use robustq_trace::Tracer;
@@ -91,6 +92,17 @@ pub struct ExecOptions {
     /// executing. [`VirtualTime::ZERO`] (the default) disables the
     /// timeout.
     pub admission_timeout: VirtualTime,
+    /// Which learned cost model the placement policy should estimate
+    /// with ([`CostModelKind::Static`] by default — bit-identical to
+    /// pre-trait behaviour). Forwarded to
+    /// [`PlacementPolicy::set_cost_model`] once per run.
+    pub cost_model: CostModelKind,
+    /// Chunked out-of-core staging: operators whose device footprint
+    /// exceeds the heap are partitioned into chunks that transfer,
+    /// execute and evict in sequence instead of aborting to the CPU
+    /// (DESIGN.md §15). Disabled by default — the staged-allocation
+    /// abort path of Section 2.5.1 is part of the golden behaviour.
+    pub chunked_staging: bool,
 }
 
 impl Default for ExecOptions {
@@ -108,6 +120,8 @@ impl Default for ExecOptions {
             shard_min_bytes: 0.0,
             queue_cap: usize::MAX,
             admission_timeout: VirtualTime::ZERO,
+            cost_model: CostModelKind::Static,
+            chunked_staging: false,
         }
     }
 }
@@ -135,6 +149,13 @@ pub struct RunOutcome {
     pub metrics: RunMetrics,
     /// One entry per executed query, in completion order.
     pub outcomes: Vec<QueryOutcome>,
+    /// Predicted-vs-actual cost-model samples, one per completed
+    /// operator observed by a model-backed policy, in completion order.
+    /// Empty for model-free policies.
+    pub model_samples: Vec<ModelUpdate>,
+    /// Chunked-staging counters (all zero unless
+    /// [`ExecOptions::chunked_staging`] engaged).
+    pub staging: StagingStats,
 }
 
 /// The workload executor: a database plus a machine configuration.
@@ -255,7 +276,7 @@ impl<'a> Executor<'a> {
             config: &self.config,
             policy,
             opts,
-            cost: CostModel::new(self.config.cost.clone()),
+            cost: SimCostModel::new(self.config.cost.clone()),
             caches,
             heaps: HeapSet::for_topology(&self.config.topology),
             link: Interconnect::for_topology(&self.config.topology),
@@ -289,6 +310,8 @@ impl<'a> Executor<'a> {
                 ..RunMetrics::default()
             },
             outcomes: Vec::new(),
+            model_samples: Vec::new(),
+            staging: StagingStats::default(),
             now: VirtualTime::ZERO,
             tracer: opts.tracer.clone(),
         };

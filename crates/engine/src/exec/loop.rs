@@ -13,16 +13,17 @@
 
 use crate::batch::LazyChunk;
 use crate::error::EngineError;
+use crate::exec::costmodel::ModelUpdate;
 use crate::exec::device_rt::DeviceSet;
 use crate::exec::executor::{ExecOptions, RunOutcome};
 use crate::exec::memory::HeapSet;
-use crate::exec::metrics::{FaultCounters, QueryOutcome, RunMetrics};
+use crate::exec::metrics::{FaultCounters, QueryOutcome, RunMetrics, StagingStats};
 use crate::exec::policy::{PlacementPolicy, TaskInfo};
 use crate::exec::task::TaskNode;
 use crate::plan::PlanNode;
 use robustq_sim::{
-    CacheSet, CostModel, DeviceId, Direction, EventQueue, FaultPlan, Interconnect, SimConfig,
-    VirtualTime,
+    CacheSet, CostModel as SimCostModel, DeviceId, Direction, EventQueue, FaultPlan,
+    Interconnect, SimConfig, VirtualTime,
 };
 use robustq_storage::{ColumnId, Database};
 use robustq_trace::Tracer;
@@ -62,6 +63,9 @@ pub(crate) struct TaskState {
     pub(crate) milestones: Vec<f64>,
     /// Bytes allocated per remaining stage.
     pub(crate) stage_bytes: u64,
+    /// Non-zero while the operator runs as a chunked out-of-core staging
+    /// pipeline: the number of partitions its input/output stream in.
+    pub(crate) staged_chunks: u32,
     pub(crate) base_columns: Vec<ColumnId>,
     /// The kernel result, kept lazy (base + selection vector) until a
     /// pipeline breaker or the query root forces materialization. Logical
@@ -113,7 +117,7 @@ pub(crate) struct Sim<'a, 'p> {
     pub(crate) config: &'a SimConfig,
     pub(crate) policy: &'p mut dyn PlacementPolicy,
     pub(crate) opts: &'a ExecOptions,
-    pub(crate) cost: CostModel,
+    pub(crate) cost: SimCostModel,
     /// One column cache per co-processor (caller-owned: warm across runs).
     pub(crate) caches: &'a mut CacheSet,
     /// One operator heap per co-processor.
@@ -140,6 +144,11 @@ pub(crate) struct Sim<'a, 'p> {
     pub(crate) completed_since_update: usize,
     pub(crate) metrics: RunMetrics,
     pub(crate) outcomes: Vec<QueryOutcome>,
+    /// Predicted-vs-actual samples from the policy's cost model, in
+    /// operator-completion order (side data: not part of `RunMetrics`).
+    pub(crate) model_samples: Vec<ModelUpdate>,
+    /// Chunked-staging counters (side data: not part of `RunMetrics`).
+    pub(crate) staging: StagingStats,
     pub(crate) now: VirtualTime,
     pub(crate) tracer: Tracer,
 }
@@ -153,6 +162,10 @@ impl Sim<'_, '_> {
         // metrics report this run's probes only (matching the trace).
         let (base_hits, base_misses) = self.cache_hit_miss();
         let trace_mark = self.tracer.mark();
+        // Pick the cost model before anything executes; policies keep
+        // their learned state when the kind is unchanged (warm-up →
+        // measured run continuity).
+        self.policy.set_cost_model(self.opts.cost_model);
         // Initial data placement from whatever statistics already exist
         // (the paper pre-loads access structures before each benchmark,
         // Section 6.1) — free of charge, like `ExecOptions::preload`.
@@ -226,6 +239,8 @@ impl Sim<'_, '_> {
         Ok(RunOutcome {
             metrics: self.metrics.clone(),
             outcomes: std::mem::take(&mut self.outcomes),
+            model_samples: std::mem::take(&mut self.model_samples),
+            staging: self.staging,
         })
     }
 

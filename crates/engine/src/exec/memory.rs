@@ -163,6 +163,9 @@ impl Sim<'_, '_> {
         let t = &mut self.tasks[task];
         t.epoch += 1;
         t.forced_cpu = true;
+        // A staged operator that still aborted (injected kernel fault,
+        // failed chunk transfer) restarts whole on the CPU.
+        t.staged_chunks = 0;
         // Restart on the CPU (CoGaDB's per-operator fallback, Section 2.5.1).
         self.enqueue(task, DeviceId::Cpu);
         self.dispatch(DeviceId::Cpu)?;
@@ -176,12 +179,17 @@ impl Sim<'_, '_> {
         let device = self.tasks[task].device.expect("finishing a placed task");
         self.devices.rt_mut(device).running -= 1;
 
+        let staged_chunks = self.tasks[task].staged_chunks;
         if device.is_coprocessor() {
-            // Release working memory, retain the result on the heap.
+            // Release working memory; retain the result on the heap —
+            // except for staged operators, whose output streams back to
+            // the host chunk by chunk (the evict phase below).
             self.heap_free(device, Self::working_tag(task));
-            let out_bytes = self.tasks[task].output_bytes;
-            let ok = self.heap_alloc(device, Self::result_tag(task), out_bytes);
-            debug_assert!(ok, "result reservation was covered by the working footprint");
+            if staged_chunks == 0 {
+                let out_bytes = self.tasks[task].output_bytes;
+                let ok = self.heap_alloc(device, Self::result_tag(task), out_bytes);
+                debug_assert!(ok, "result reservation was covered by the working footprint");
+            }
             // Inputs held on *this* device are consumed now (siblings'
             // outputs were already pulled to the host at start).
             for &c in &self.tasks[task].children.clone() {
@@ -227,16 +235,66 @@ impl Sim<'_, '_> {
             }
         }
         let t = &self.tasks[task];
-        self.policy.observe(
+        let query_id = t.query as u32;
+        let task_id = task as u32;
+        if let Some(update) = self.policy.observe(
             t.node.op.op_class(),
             device,
             t.bytes_in,
             t.output_bytes,
             t.kernel_duration,
-        );
+            busy,
+        ) {
+            // Adaptive refinements enter the trace stream so est-vs-actual
+            // error is auditable per run; static samples are collected on
+            // the side only (default traced runs stay byte-identical).
+            if update.refined {
+                self.tracer.emit(TraceEvent::ModelUpdate {
+                    query: query_id,
+                    task: task_id,
+                    op: update.class,
+                    device: update.device,
+                    predicted: update.predicted,
+                    actual: update.actual,
+                    at: self.now,
+                });
+            }
+            self.model_samples.push(update);
+        }
 
         self.tasks[task].status = Status::Done;
-        self.tasks[task].output_device = Some(device);
+        let mut staged_arrival = self.now;
+        if staged_chunks > 0 {
+            // Evict phase of the staged pipeline: each chunk's result
+            // returns to the host over the device link, costed per chunk
+            // (durable, like any result transfer). Nothing stays
+            // device-resident.
+            let query = self.tasks[task].query;
+            let bytes = self.d2h_consume_bytes(task);
+            for i in 0..staged_chunks {
+                let chunk = robustq_sim::partition_bytes(bytes, i, staged_chunks);
+                if chunk == 0 {
+                    continue;
+                }
+                let end = self
+                    .xfer(
+                        self.now,
+                        device,
+                        Direction::DeviceToHost,
+                        TransferKind::Result,
+                        chunk,
+                        Some(query),
+                        false,
+                    )
+                    .expect("non-abortable transfers always complete");
+                staged_arrival = staged_arrival.max(end);
+            }
+            self.tasks[task].output_device = Some(DeviceId::Cpu);
+            self.staging.staged_ops += 1;
+            self.staging.staged_chunks += staged_chunks as u64;
+        } else {
+            self.tasks[task].output_device = Some(device);
+        }
 
         match self.tasks[task].parent {
             Some(p) => {
@@ -248,8 +306,8 @@ impl Sim<'_, '_> {
             None => {
                 // Root: return the result to the host.
                 let query = self.tasks[task].query;
-                let mut done_at = self.now;
-                if device.is_coprocessor() {
+                let mut done_at = staged_arrival;
+                if self.tasks[task].output_device.is_some_and(DeviceId::is_coprocessor) {
                     let bytes = self.d2h_consume_bytes(task);
                     // Result transfers are durable: the fault layer only
                     // delays them, never loses them.

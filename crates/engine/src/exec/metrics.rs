@@ -44,6 +44,23 @@ impl FaultCounters {
     }
 }
 
+/// Chunked out-of-core staging counters (DESIGN.md §15).
+///
+/// Carried on `RunOutcome` beside [`RunMetrics`] — deliberately *not*
+/// inside it, so the Debug fingerprint of default (non-staging) runs is
+/// byte-identical to earlier releases.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StagingStats {
+    /// Operators whose footprint exceeded the device heap and executed
+    /// on-device via chunked staging.
+    pub staged_ops: u64,
+    /// Chunks transferred and executed across all staged operators.
+    pub staged_chunks: u64,
+    /// Oversize operators that still fell back to the CPU because even
+    /// a single chunk could not fit the device heap.
+    pub oversize_fallbacks: u64,
+}
+
 /// Outcome of one executed query.
 #[derive(Debug, Clone)]
 pub struct QueryOutcome {
@@ -236,7 +253,12 @@ impl RunMetrics {
                 | TraceEvent::CacheEvict { .. }
                 | TraceEvent::Placement { .. }
                 | TraceEvent::ShardFanout { .. }
-                | TraceEvent::ShardMerge { .. } => {}
+                | TraceEvent::ShardMerge { .. }
+                // Model refinements and staging markers are side data
+                // (`RunOutcome::{model_samples, staging}`), not part of
+                // the legacy counter set this reconstruction mirrors.
+                | TraceEvent::ModelUpdate { .. }
+                | TraceEvent::OpStaged { .. } => {}
             }
         }
         m.gpu_heap_leaked = last_heap_used.values().sum();

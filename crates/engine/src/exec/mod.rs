@@ -3,6 +3,8 @@
 //! * [`task`] — flattened task graphs built from physical plans,
 //! * [`policy`] — the [`policy::PlacementPolicy`] trait the placement
 //!   strategies implement,
+//! * [`costmodel`] — the unified [`costmodel::CostModel`] estimation
+//!   surface (static vs online-adaptive, selected per run),
 //! * [`metrics`] — run metrics (makespan, transfer times, aborts, wasted
 //!   time),
 //! * [`pipeline`] — the pipeline-fusion pass: filter→aggregate and
@@ -17,6 +19,7 @@
 //!   * [`admission`] — session lifecycle and query admission control.
 
 pub mod admission;
+pub mod costmodel;
 pub mod device_rt;
 #[path = "loop.rs"]
 pub mod event_loop;

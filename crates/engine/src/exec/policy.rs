@@ -25,6 +25,7 @@
 //! Nothing in the interface assumes K = 1; strategies rank candidate
 //! devices by iterating [`PolicyCtx::devices`].
 
+use crate::exec::costmodel::{CostModelKind, ModelUpdate};
 use robustq_sim::{
     CacheKey, CacheSet, DataCache, DeviceId, OpClass, PerDevice, Topology, VirtualTime,
 };
@@ -248,17 +249,31 @@ pub trait PlacementPolicy {
         true
     }
 
+    /// Select the cost model backing this policy's estimates
+    /// ([`crate::exec::costmodel::CostModelKind`], threaded from
+    /// `ExecOptions`). Policies without a learned model ignore it; the
+    /// executor calls this once per run, before any query is admitted.
+    fn set_cost_model(&mut self, kind: CostModelKind) {
+        let _ = kind;
+    }
+
     /// Observe one completed operator (kernel time only, no transfers) —
     /// the learning signal for HyPE-style cost models.
+    ///
+    /// Policies backed by a [`crate::exec::costmodel::CostModel`] return
+    /// the predicted-vs-actual [`ModelUpdate`] so the executor can audit
+    /// estimation error per run; model-free policies return `None`.
     fn observe(
         &mut self,
         op_class: OpClass,
         device: DeviceId,
         bytes_in: u64,
         bytes_out: u64,
-        duration: VirtualTime,
-    ) {
-        let _ = (op_class, device, bytes_in, bytes_out, duration);
+        kernel: VirtualTime,
+        span: VirtualTime,
+    ) -> Option<ModelUpdate> {
+        let _ = (op_class, device, bytes_in, bytes_out, kernel, span);
+        None
     }
 
     /// Periodic data-placement update (the background job of Section 3.2).
@@ -349,6 +364,17 @@ mod tests {
         assert_eq!(placed.reason, PlaceReason::Static);
         assert_eq!(p.worker_slots(DeviceId::Gpu, 4), usize::MAX);
         assert!(p.caches_on_miss());
+        p.set_cost_model(CostModelKind::Adaptive { seed: 7 });
+        assert!(p
+            .observe(
+                OpClass::Selection,
+                DeviceId::Cpu,
+                8,
+                4,
+                VirtualTime::from_micros(1),
+                VirtualTime::from_micros(1),
+            )
+            .is_none());
         let mut caches2 = CacheSet::for_topology(&t, CachePolicy::Lru);
         assert!(p.update_data_placement(&db, &mut caches2).is_empty());
     }

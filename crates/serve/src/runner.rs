@@ -23,7 +23,8 @@ use rand::{Rng, SeedableRng};
 use robustq_core::Strategy;
 use robustq_engine::exec::metrics::QueryOutcome;
 use robustq_engine::{
-    Arrival, EngineError, ExecOptions, Executor, ParallelCtx, PlacementPolicy, RunMetrics,
+    Arrival, CostModelKind, EngineError, ExecOptions, Executor, ModelUpdate, ParallelCtx,
+    PlacementPolicy, RunMetrics, StagingStats,
 };
 use robustq_sim::{FaultPlan, RetryPolicy, SimConfig, VirtualTime};
 use robustq_storage::Database;
@@ -69,6 +70,10 @@ pub struct ServeConfig {
     pub shard_ways: usize,
     /// Minimum estimated scan bytes to qualify for sharding.
     pub shard_min_bytes: f64,
+    /// Cost model driving run-time placement estimates (DESIGN.md §15).
+    pub cost_model: CostModelKind,
+    /// Chunked out-of-core staging for over-heap operators.
+    pub chunked_staging: bool,
 }
 
 impl ServeConfig {
@@ -89,6 +94,8 @@ impl ServeConfig {
             trace: false,
             shard_ways: 0,
             shard_min_bytes: 0.0,
+            cost_model: CostModelKind::Static,
+            chunked_staging: false,
         }
     }
 
@@ -148,6 +155,20 @@ impl ServeConfig {
         self
     }
 
+    /// Drive run-time placement with `model` (static regressions by
+    /// default; [`CostModelKind::Adaptive`] for online EWMA refinement).
+    pub fn with_cost_model(mut self, model: CostModelKind) -> Self {
+        self.cost_model = model;
+        self
+    }
+
+    /// Stage over-heap operators through the co-processor in chunks
+    /// instead of aborting them to the CPU.
+    pub fn with_chunked_staging(mut self) -> Self {
+        self.chunked_staging = true;
+        self
+    }
+
     /// The executor options for the measured serving run.
     fn exec_options(&self, measured: bool) -> ExecOptions {
         ExecOptions {
@@ -166,6 +187,8 @@ impl ServeConfig {
             } else {
                 VirtualTime::ZERO
             },
+            cost_model: self.cost_model,
+            chunked_staging: self.chunked_staging,
             tracer: if measured && self.trace { Tracer::new() } else { Tracer::disabled() },
         }
     }
@@ -183,6 +206,8 @@ impl ServeConfig {
         cfg.trace = self.trace;
         cfg.shard_ways = self.shard_ways;
         cfg.shard_min_bytes = self.shard_min_bytes;
+        cfg.cost_model = self.cost_model;
+        cfg.chunked_staging = self.chunked_staging;
         cfg
     }
 }
@@ -209,6 +234,11 @@ pub struct ServingReport {
     /// The measured run's event stream, when [`ServeConfig::trace`] was
     /// set (`None` otherwise).
     pub trace: Option<TraceData>,
+    /// Every cost-model observation of the measured run, in completion
+    /// order (est-vs-actual audit).
+    pub model_samples: Vec<ModelUpdate>,
+    /// Chunked-staging counters of the measured run.
+    pub staging: StagingStats,
 }
 
 impl ServingReport {
@@ -369,6 +399,8 @@ impl<'a> ServingRunner<'a> {
                 metrics: report.metrics,
                 outcomes: report.outcomes,
                 trace: report.trace,
+                model_samples: report.model_samples,
+                staging: report.staging,
             });
         }
 
@@ -404,6 +436,8 @@ impl<'a> ServingRunner<'a> {
             metrics: out.metrics,
             outcomes: out.outcomes,
             trace: tracer.is_enabled().then(|| tracer.take()),
+            model_samples: out.model_samples,
+            staging: out.staging,
         })
     }
 }
@@ -504,6 +538,8 @@ mod tests {
                 })
                 .collect(),
             trace: None,
+            model_samples: vec![],
+            staging: StagingStats::default(),
         };
         assert_eq!(report.p50(), VirtualTime::from_millis(50));
         assert_eq!(report.p99(), VirtualTime::from_millis(99));

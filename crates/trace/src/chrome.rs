@@ -577,6 +577,45 @@ pub fn chrome_trace_json(events: &[TraceEvent]) -> String {
                     ),
                 );
             }
+            TraceEvent::ModelUpdate { query, task, op, device, predicted, actual, at } => {
+                // Refinements ride the placement lane: they are the cost
+                // model's side of the placement conversation.
+                let args = format!(
+                    "\"query\":{query},\"task\":{task},\"device\":\"{device}\",\"predicted_us\":{},\"actual_us\":{}",
+                    us(predicted.as_nanos()),
+                    us(actual.as_nanos()),
+                );
+                push(
+                    &mut out,
+                    at.as_nanos(),
+                    'i',
+                    instant_event(
+                        &format!("{op:?} model update"),
+                        "model",
+                        lane::PLACEMENT,
+                        at.as_nanos(),
+                        &args,
+                    ),
+                );
+            }
+            TraceEvent::OpStaged { query, task, device, chunks, chunk_bytes, at } => {
+                ensure_device_lanes(&mut out, &mut devices_seen, device);
+                let args = format!(
+                    "\"query\":{query},\"task\":{task},\"chunks\":{chunks},\"chunk_bytes\":{chunk_bytes}"
+                );
+                push(
+                    &mut out,
+                    at.as_nanos(),
+                    'i',
+                    instant_event(
+                        &format!("staged ×{chunks}"),
+                        "staging",
+                        device_lane(device, Role::Heap),
+                        at.as_nanos(),
+                        &args,
+                    ),
+                );
+            }
         }
     }
 

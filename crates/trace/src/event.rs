@@ -412,6 +412,42 @@ pub enum TraceEvent {
         /// Decision instant.
         at: VirtualTime,
     },
+    /// An adaptive cost model refined a per-(operator-class, device)
+    /// estimate from an observed kernel duration (DESIGN.md §15). Static
+    /// models never emit this — default traces stay byte-identical.
+    ModelUpdate {
+        /// Query whose operator produced the observation.
+        query: u32,
+        /// Executor-wide task id of the observed operator.
+        task: u32,
+        /// Cost-model class of the operator.
+        op: OpClass,
+        /// Device the observation came from.
+        device: DeviceId,
+        /// What the model predicted before seeing the observation.
+        predicted: VirtualTime,
+        /// The observed kernel duration.
+        actual: VirtualTime,
+        /// Observation instant (operator completion).
+        at: VirtualTime,
+    },
+    /// A larger-than-heap operator entered the chunked out-of-core
+    /// staging pipeline instead of aborting to the CPU (DESIGN.md §15).
+    OpStaged {
+        /// Query the operator belongs to.
+        query: u32,
+        /// Executor-wide task id.
+        task: u32,
+        /// Co-processor running the staged pipeline.
+        device: DeviceId,
+        /// Number of partitions the operator streams through.
+        chunks: u32,
+        /// Fixed device-heap bytes held for the pipeline (worst-case
+        /// chunk: input slice + working footprint + chunk result).
+        chunk_bytes: u64,
+        /// When the pipeline was set up (first chunk transfer request).
+        at: VirtualTime,
+    },
 }
 
 impl TraceEvent {
@@ -432,7 +468,9 @@ impl TraceEvent {
             | TraceEvent::Retry { at, .. }
             | TraceEvent::Placement { at, .. }
             | TraceEvent::ShardFanout { at, .. }
-            | TraceEvent::QueryShed { at, .. } => at,
+            | TraceEvent::QueryShed { at, .. }
+            | TraceEvent::ModelUpdate { at, .. }
+            | TraceEvent::OpStaged { at, .. } => at,
             TraceEvent::QueryDone { end, .. }
             | TraceEvent::OpSpan { end, .. }
             | TraceEvent::Transfer { end, .. }

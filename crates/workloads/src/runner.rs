@@ -9,7 +9,10 @@
 use robustq_core::Strategy;
 use robustq_engine::exec::metrics::QueryOutcome;
 use robustq_engine::plan::PlanNode;
-use robustq_engine::{EngineError, ExecOptions, Executor, ParallelCtx, RunMetrics};
+use robustq_engine::{
+    CostModelKind, EngineError, ExecOptions, Executor, ModelUpdate, ParallelCtx, RunMetrics,
+    StagingStats,
+};
 use robustq_sim::{FaultPlan, RetryPolicy, SimConfig, VirtualTime};
 use robustq_storage::{ColumnId, Database};
 use robustq_trace::{chrome_trace_json, MetricsRegistry, TraceData, Tracer};
@@ -50,6 +53,13 @@ pub struct RunnerConfig {
     /// Only scans whose estimated input is at least this many bytes are
     /// sharded (tiny scans gain nothing from a merge barrier).
     pub shard_min_bytes: f64,
+    /// Cost model driving run-time placement estimates (DESIGN.md §15).
+    /// Applies to warm-up *and* measured runs, so an adaptive model
+    /// enters the measured run already trained.
+    pub cost_model: CostModelKind,
+    /// Chunked out-of-core staging for operators whose device footprint
+    /// exceeds the co-processor heap (default off: abort to CPU).
+    pub chunked_staging: bool,
 }
 
 /// Which phase of the Section 6.1 run procedure an [`ExecOptions`] set
@@ -77,6 +87,8 @@ impl Default for RunnerConfig {
             trace: false,
             shard_ways: 0,
             shard_min_bytes: 0.0,
+            cost_model: CostModelKind::Static,
+            chunked_staging: false,
         }
     }
 }
@@ -145,6 +157,20 @@ impl RunnerConfig {
         self
     }
 
+    /// Drive run-time placement with `model` (static regressions by
+    /// default; [`CostModelKind::Adaptive`] for online EWMA refinement).
+    pub fn with_cost_model(mut self, model: CostModelKind) -> Self {
+        self.cost_model = model;
+        self
+    }
+
+    /// Stage over-heap operators through the co-processor in chunks
+    /// instead of aborting them to the CPU.
+    pub fn with_chunked_staging(mut self) -> Self {
+        self.chunked_staging = true;
+        self
+    }
+
     /// The executor options for one phase of the run procedure — the
     /// single place runner configuration maps onto [`ExecOptions`].
     /// `preload` stays empty here; the runner fills it for the measured
@@ -163,6 +189,8 @@ impl RunnerConfig {
             shard_min_bytes: self.shard_min_bytes,
             queue_cap: usize::MAX,
             admission_timeout: VirtualTime::ZERO,
+            cost_model: self.cost_model,
+            chunked_staging: self.chunked_staging,
             tracer: if measured && self.trace {
                 Tracer::new()
             } else {
@@ -186,6 +214,11 @@ pub struct RunReport {
     /// The measured run's event stream, when [`RunnerConfig::trace`] was
     /// set (`None` otherwise).
     pub trace: Option<TraceData>,
+    /// Every cost-model observation of the measured run, in completion
+    /// order (est-vs-actual audit; see [`ModelUpdate::relative_error`]).
+    pub model_samples: Vec<ModelUpdate>,
+    /// Chunked-staging counters of the measured run.
+    pub staging: StagingStats,
 }
 
 impl RunReport {
@@ -371,6 +404,8 @@ impl<'a> WorkloadRunner<'a> {
             metrics: out.metrics,
             outcomes: out.outcomes,
             trace: tracer.is_enabled().then(|| tracer.take()),
+            model_samples: out.model_samples,
+            staging: out.staging,
         })
     }
 }
@@ -459,6 +494,8 @@ mod tests {
             metrics: RunMetrics::default(),
             outcomes: (1..=100).map(mk).collect(),
             trace: None,
+            model_samples: vec![],
+            staging: StagingStats::default(),
         };
         assert_eq!(report.median_latency(), VirtualTime::from_millis(50));
         assert_eq!(report.p95_latency(), VirtualTime::from_millis(95));
@@ -471,6 +508,8 @@ mod tests {
             metrics: RunMetrics::default(),
             outcomes: vec![],
             trace: None,
+            model_samples: vec![],
+            staging: StagingStats::default(),
         };
         assert_eq!(empty.p95_latency(), VirtualTime::ZERO);
     }

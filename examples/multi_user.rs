@@ -7,10 +7,9 @@
 //! cargo run --release --example multi_user
 //! ```
 
-use robustq::core::Strategy;
-use robustq::sim::SimConfig;
+use robustq::prelude::*;
 use robustq::storage::gen::ssb::SsbGenerator;
-use robustq::workloads::{micro, RunnerConfig, WorkloadRunner};
+use robustq::workloads::micro;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let db = SsbGenerator::new(10).with_rows_per_sf(4_000).generate();

@@ -6,12 +6,10 @@
 //! cargo run --release --example quickstart
 //! ```
 
-use robustq::core::Strategy;
 use robustq::engine::ops;
-use robustq::sim::SimConfig;
+use robustq::prelude::*;
 use robustq::sql::plan_sql;
 use robustq::storage::gen::ssb::SsbGenerator;
-use robustq::workloads::{RunnerConfig, WorkloadRunner};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // 1. A Star Schema Benchmark database at scale factor 1 (downscaled).

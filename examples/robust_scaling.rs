@@ -6,10 +6,9 @@
 //! cargo run --release --example robust_scaling
 //! ```
 
-use robustq::core::Strategy;
-use robustq::sim::SimConfig;
+use robustq::prelude::*;
 use robustq::storage::gen::ssb::SsbGenerator;
-use robustq::workloads::{ssb, RunnerConfig, WorkloadRunner};
+use robustq::workloads::ssb;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Size the GPU cache to the workload's working set at SF 3, so the
