@@ -20,6 +20,13 @@
 //!   (margin below the ≥ 4× the committed JSON records, so a slow CI
 //!   host doesn't flake), and **no** kernel may dip below 0.95× at any
 //!   sweep point — optimizations must never regress a sibling kernel.
+//! * **`--streaming`** — the standing-query robustness claim on
+//!   `BENCH_streaming.json` (DESIGN.md §16): at the *tightest tested
+//!   window period*, Data-Driven Chopping must complete every scheduled
+//!   window tick and its tick p99 must not exceed GPU Only's
+//!   (`--max-ratio` defaults to 1.0) at any K — the learned strategy
+//!   has to keep standing results fresh precisely when the window
+//!   cadence is most demanding.
 //! * **`--adaptive`** — the adaptive-placement claim on the
 //!   `multigpu-adaptive` table (DESIGN.md §15, written by
 //!   `multigpu --adaptive`): every staged (adaptive) row must record
@@ -35,6 +42,7 @@
 //! cargo run -p robustq-bench --release --bin bench-diff -- BENCH_multigpu.json
 //! cargo run -p robustq-bench --release --bin bench-diff -- --max-ratio 0.9 BENCH_multigpu.json
 //! cargo run -p robustq-bench --release --bin bench-diff -- --serving BENCH_serving.json
+//! cargo run -p robustq-bench --release --bin bench-diff -- --streaming BENCH_streaming.json
 //! cargo run -p robustq-bench --release --bin bench-diff -- --kernels BENCH_kernels.json
 //! cargo run -p robustq-bench --release --bin bench-diff -- --adaptive BENCH_multigpu.json
 //! ```
@@ -51,6 +59,7 @@ struct Args {
     serving: bool,
     kernels: bool,
     adaptive: bool,
+    streaming: bool,
 }
 
 fn parse_args() -> Result<Args, EngineError> {
@@ -60,6 +69,7 @@ fn parse_args() -> Result<Args, EngineError> {
         serving: false,
         kernels: false,
         adaptive: false,
+        streaming: false,
     };
     let mut it = ArgStream::from_env();
     let mut saw_path = false;
@@ -68,6 +78,7 @@ fn parse_args() -> Result<Args, EngineError> {
             "--serving" => args.serving = true,
             "--kernels" => args.kernels = true,
             "--adaptive" => args.adaptive = true,
+            "--streaming" => args.streaming = true,
             "--max-ratio" => {
                 args.max_ratio = it.parsed("--max-ratio")?;
                 if !(0.0..=1.0).contains(&args.max_ratio) {
@@ -81,9 +92,11 @@ fn parse_args() -> Result<Args, EngineError> {
             other => return Err(ArgStream::unknown_flag(other)),
         }
     }
-    if args.serving as u8 + args.kernels as u8 + args.adaptive as u8 > 1 {
+    if args.serving as u8 + args.kernels as u8 + args.adaptive as u8 + args.streaming as u8
+        > 1
+    {
         return Err(EngineError::config(
-            "--serving, --kernels and --adaptive are mutually exclusive",
+            "--serving, --kernels, --adaptive and --streaming are mutually exclusive",
         ));
     }
     if args.path.is_empty() {
@@ -91,13 +104,15 @@ fn parse_args() -> Result<Args, EngineError> {
             "BENCH_serving.json"
         } else if args.kernels {
             "BENCH_kernels.json"
+        } else if args.streaming {
+            "BENCH_streaming.json"
         } else {
             "BENCH_multigpu.json"
         }
         .to_string();
     }
     if args.max_ratio.is_nan() {
-        args.max_ratio = if args.serving { 1.0 } else { 0.95 };
+        args.max_ratio = if args.serving || args.streaming { 1.0 } else { 0.95 };
     }
     Ok(args)
 }
@@ -277,6 +292,109 @@ fn check_serving(doc: &Json, id: &str, max_ratio: f64) -> Result<bool, EngineErr
              GPU Only p99 {gpu:.3}ms (ratio {:.3}){}",
             dd / gpu,
             if holds { "  HOLDS" } else { "  FAIL" },
+        );
+    }
+    Ok(ok)
+}
+
+/// One `streaming-ssb` row: scheduled/completed ticks and tick p99.
+#[derive(Debug, Clone, Copy)]
+struct StreamingRow {
+    ticks: u64,
+    done: u64,
+    tick_p99: f64,
+}
+
+/// `(K, strategy) -> window period ms -> row` from the streaming table.
+type StreamingRows = BTreeMap<(u64, String), BTreeMap<u64, StreamingRow>>;
+
+/// Extract K/strategy/window/ticks/p99 from the FigTable named `id`.
+/// Window periods are keyed in microseconds so they stay integral.
+fn streaming_rows(doc: &Json, id: &str) -> Result<StreamingRows, EngineError> {
+    let table = find_table(doc, id)?;
+    let columns = columns(table, id)?;
+    let col = |name: &str| {
+        columns.iter().position(|c| c.as_str() == Some(name)).ok_or_else(|| {
+            EngineError::config(format!("table {id:?} has no column {name:?}"))
+        })
+    };
+    let (k_col, strat_col, win_col, ticks_col, done_col, p99_col) = (
+        col("K")?,
+        col("Strategy")?,
+        col("Window [ms]")?,
+        col("Ticks")?,
+        col("Ticks done")?,
+        col("Tick p99 [ms]")?,
+    );
+    let rows = table
+        .get("rows")
+        .and_then(Json::as_arr)
+        .ok_or_else(|| EngineError::config(format!("table {id:?} has no 'rows'")))?;
+    let mut out = StreamingRows::new();
+    for (i, row) in rows.iter().enumerate() {
+        let row = row.as_arr().ok_or_else(|| {
+            EngineError::config(format!("table {id:?} row {i} is not an array"))
+        })?;
+        let cell = |c: usize| {
+            row.get(c).and_then(Json::as_str).ok_or_else(|| {
+                EngineError::config(format!("table {id:?} row {i} col {c} missing"))
+            })
+        };
+        let num = |c: usize, what: &str| -> Result<f64, EngineError> {
+            cell(c)?.parse().map_err(|e| {
+                EngineError::config(format!("table {id:?} row {i}: bad {what}: {e}"))
+            })
+        };
+        let k = num(k_col, "K")? as u64;
+        let window_us = (num(win_col, "window")? * 1e3).round() as u64;
+        let row = StreamingRow {
+            ticks: num(ticks_col, "ticks")? as u64,
+            done: num(done_col, "ticks done")? as u64,
+            tick_p99: num(p99_col, "tick p99")?,
+        };
+        out.entry((k, cell(strat_col)?.to_string())).or_default().insert(window_us, row);
+    }
+    Ok(out)
+}
+
+/// The streaming gate: at the tightest window period, for every K,
+/// Data-Driven Chopping completes every scheduled tick and
+/// `tick-p99(Data-Driven Chopping) <= max_ratio × tick-p99(GPU Only)`.
+fn check_streaming(doc: &Json, id: &str, max_ratio: f64) -> Result<bool, EngineError> {
+    let rows = streaming_rows(doc, id)?;
+    let min_window = rows
+        .values()
+        .flat_map(|by_win| by_win.keys().copied())
+        .min()
+        .ok_or_else(|| EngineError::config("empty table"))?;
+    let ks: std::collections::BTreeSet<u64> = rows.keys().map(|(k, _)| *k).collect();
+    let mut ok = true;
+    for k in ks {
+        let at = |strategy: &str| {
+            rows.get(&(k, strategy.to_string()))
+                .and_then(|by_win| by_win.get(&min_window))
+                .copied()
+                .ok_or_else(|| {
+                    EngineError::config(format!(
+                        "no {strategy:?} row at K={k} window={min_window}us"
+                    ))
+                })
+        };
+        let dd = at("Data-Driven Chopping")?;
+        let gpu = at("GPU Only")?;
+        let complete = dd.done == dd.ticks;
+        let tail = dd.tick_p99 <= max_ratio * gpu.tick_p99;
+        ok &= complete && tail;
+        println!(
+            "{id}: K={k} window={:.3}ms: Data-Driven Chopping ticks {}/{} p99 \
+             {:.3}ms vs GPU Only p99 {:.3}ms (ratio {:.3}){}",
+            min_window as f64 / 1e3,
+            dd.done,
+            dd.ticks,
+            dd.tick_p99,
+            gpu.tick_p99,
+            dd.tick_p99 / gpu.tick_p99,
+            if complete && tail { "  HOLDS" } else { "  FAIL" },
         );
     }
     Ok(ok)
@@ -515,6 +633,30 @@ fn main() {
                 eprintln!(
                     "bench-diff: FAIL: Data-Driven Chopping p99 exceeds {} x GPU \
                      Only p99 at the highest tested arrival rate",
+                    args.max_ratio
+                );
+                std::process::exit(1);
+            }
+            Err(e) => {
+                eprintln!("bench-diff: {}: {e}", args.path);
+                std::process::exit(1);
+            }
+        }
+    }
+    if args.streaming {
+        match check_streaming(&doc, "streaming-ssb", args.max_ratio) {
+            Ok(true) => {
+                println!(
+                    "bench-diff: ok — streaming robustness criterion holds at the \
+                     tightest tested window period"
+                );
+                return;
+            }
+            Ok(false) => {
+                eprintln!(
+                    "bench-diff: FAIL: Data-Driven Chopping missed window ticks or \
+                     its tick p99 exceeds {} x GPU Only's at the tightest tested \
+                     window period",
                     args.max_ratio
                 );
                 std::process::exit(1);

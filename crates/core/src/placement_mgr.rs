@@ -113,16 +113,20 @@ impl DataPlacementManager {
 
     /// Algorithm 1: fill the cache with the highest-ranked columns that
     /// fit, replacing the previous pinned set. Returns the keys newly
-    /// cached (whose transfer the caller charges).
-    pub fn update(&self, db: &Database, cache: &mut DataCache) -> Vec<CacheKey> {
+    /// cached (whose transfer the caller charges). `epochs` gives each
+    /// column's current data epoch by [`ColumnId::index`] (empty = all
+    /// epoch 0, the batch case), so pins target the live version and a
+    /// re-run after an append re-pins only the touched columns.
+    pub fn update(&self, db: &Database, cache: &mut DataCache, epochs: &[u64]) -> Vec<CacheKey> {
         let budget_cap = self.budget.unwrap_or(u64::MAX).min(cache.capacity());
         let mut used = 0u64;
         let mut pins: Vec<(CacheKey, u64)> = Vec::new();
         for (id, _) in self.ranking(db) {
             let bytes = db.column_size(id);
+            let epoch = epochs.get(id.index()).copied().unwrap_or(0);
             if used + bytes <= budget_cap {
                 used += bytes;
-                pins.push((CacheKey(id.0 as u64), bytes));
+                pins.push((CacheKey::column_at(id.0, epoch), bytes));
             }
         }
         let (newly_cached, _evicted) = cache.set_pinned(&pins);
@@ -151,6 +155,7 @@ impl DataPlacementManager {
         &mut self,
         db: &Database,
         caches: &mut CacheSet,
+        epochs: &[u64],
     ) -> Vec<(DeviceId, CacheKey)> {
         let k = caches.len();
         if k == 0 {
@@ -183,6 +188,7 @@ impl DataPlacementManager {
             let table = db.table_of(id);
             let home = self.homes[&table];
             let bytes = db.column_size(id);
+            let epoch = epochs.get(id.index()).copied().unwrap_or(0);
             if ways >= 2 && k >= 2 {
                 if table_bytes[&table] <= self.replicate_max_bytes {
                     // Small build side: replicate into every cache that
@@ -190,7 +196,7 @@ impl DataPlacementManager {
                     for (slot, u) in used.iter_mut().enumerate() {
                         if *u + bytes <= budgets[slot] {
                             *u += bytes;
-                            pins[slot].push((CacheKey::column(id.0), bytes));
+                            pins[slot].push((CacheKey::column_at(id.0, epoch), bytes));
                         }
                     }
                 } else {
@@ -201,14 +207,16 @@ impl DataPlacementManager {
                         let part = partition_bytes(bytes, p, ways as u32);
                         if used[slot] + part <= budgets[slot] {
                             used[slot] += part;
-                            pins[slot]
-                                .push((CacheKey::partition(id.0, p, ways as u32), part));
+                            pins[slot].push((
+                                CacheKey::partition_at(id.0, p, ways as u32, epoch),
+                                part,
+                            ));
                         }
                     }
                 }
             } else if used[home] + bytes <= budgets[home] {
                 used[home] += bytes;
-                pins[home].push((CacheKey::column(id.0), bytes));
+                pins[home].push((CacheKey::column_at(id.0, epoch), bytes));
             }
         }
         let mut newly = Vec::new();
@@ -264,7 +272,7 @@ mod tests {
         touch(&db, "c", 10);
         let mut cache = DataCache::new(24, CachePolicy::Lru); // room for 2 columns
         let mgr = DataPlacementManager::lfu();
-        let newly = mgr.update(&db, &mut cache);
+        let newly = mgr.update(&db, &mut cache, &[]);
         assert_eq!(newly.len(), 2);
         let c = db.column_id("t", "c").unwrap();
         let a = db.column_id("t", "a").unwrap();
@@ -279,7 +287,7 @@ mod tests {
         touch(&db, "a", 1);
         let mut cache = DataCache::new(1_000, CachePolicy::Lru);
         let mgr = DataPlacementManager::lfu();
-        mgr.update(&db, &mut cache);
+        mgr.update(&db, &mut cache, &[]);
         assert_eq!(cache.len(), 1);
     }
 
@@ -290,12 +298,12 @@ mod tests {
         touch(&db, "b", 4);
         let mut cache = DataCache::new(24, CachePolicy::Lru);
         let mgr = DataPlacementManager::lfu();
-        let first = mgr.update(&db, &mut cache);
+        let first = mgr.update(&db, &mut cache, &[]);
         assert_eq!(first.len(), 2);
         // Shift the ranking: c becomes hottest; a survives, b is evicted.
         touch(&db, "c", 10);
         touch(&db, "a", 5);
-        let second = mgr.update(&db, &mut cache);
+        let second = mgr.update(&db, &mut cache, &[]);
         let c = db.column_id("t", "c").unwrap();
         let b = db.column_id("t", "b").unwrap();
         assert_eq!(second, vec![CacheKey(c.0 as u64)], "only c is newly cached");
@@ -328,7 +336,7 @@ mod tests {
         )
         .with_coprocessor(DeviceSpec::coprocessor(4, 1_000, 24), LinkParams::default());
         let mut caches = CacheSet::for_topology(&topo, CachePolicy::Lru);
-        let newly = DataPlacementManager::lfu().update_set(&db, &mut caches);
+        let newly = DataPlacementManager::lfu().update_set(&db, &mut caches, &[]);
         assert_eq!(newly.len(), 3, "all three accessed columns fit somewhere");
         let c = db.column_id("t", "c").unwrap();
         let a = db.column_id("t", "a").unwrap();
@@ -358,8 +366,8 @@ mod tests {
         let mut caches = CacheSet::for_topology(&topo, CachePolicy::Lru);
         let mut single = DataCache::new(24, CachePolicy::Lru);
         let mut mgr = DataPlacementManager::lfu();
-        let newly_set = mgr.update_set(&db, &mut caches);
-        let newly_one = mgr.update(&db, &mut single);
+        let newly_set = mgr.update_set(&db, &mut caches, &[]);
+        let newly_one = mgr.update(&db, &mut single, &[]);
         assert_eq!(
             newly_set.iter().map(|&(_, k)| k).collect::<Vec<_>>(),
             newly_one
@@ -393,7 +401,7 @@ mod tests {
         .with_coprocessor(DeviceSpec::coprocessor(4, 1_000, 1_000), LinkParams::default());
         let mut caches = CacheSet::for_topology(&topo, CachePolicy::Lru);
         let mut mgr = DataPlacementManager::lfu();
-        mgr.update_set(&db, &mut caches);
+        mgr.update_set(&db, &mut caches, &[]);
         let a = db.column_id("t", "a").unwrap();
         assert!(caches.device(DeviceId::Gpu).contains(CacheKey(a.0 as u64)));
         // Flip the ranking: dim becomes far hotter than t. Without sticky
@@ -401,7 +409,7 @@ mod tests {
         for _ in 0..100 {
             db.stats().record_access(dim_d.index());
         }
-        let newly = mgr.update_set(&db, &mut caches);
+        let newly = mgr.update_set(&db, &mut caches, &[]);
         assert_eq!(newly, vec![], "a reshuffle must not re-home pinned tables");
         assert!(caches.device(DeviceId::Gpu).contains(CacheKey(a.0 as u64)));
         let g2 = DeviceId::coprocessor(2);
@@ -437,7 +445,7 @@ mod tests {
         // t's accessed columns total 24 B (> 12), dim totals 12 B (≤ 12):
         // t is partitioned 2-ways, dim replicated everywhere.
         let mut mgr = DataPlacementManager::lfu().with_sharding(2, 12);
-        mgr.update_set(&db, &mut caches);
+        mgr.update_set(&db, &mut caches, &[]);
         let a = db.column_id("t", "a").unwrap();
         let b = db.column_id("t", "b").unwrap();
         let g1 = DeviceId::Gpu;
@@ -474,7 +482,7 @@ mod tests {
         touch(&db, "c", 1);
         let mut cache = DataCache::new(1_000, CachePolicy::Lru);
         let mgr = DataPlacementManager::lfu().with_budget(12);
-        mgr.update(&db, &mut cache);
+        mgr.update(&db, &mut cache, &[]);
         assert_eq!(cache.used(), 12);
         assert_eq!(cache.len(), 1);
     }
@@ -504,7 +512,7 @@ mod tests {
         db.stats().record_access(0);
         db.stats().record_access(1);
         let mut cache = DataCache::new(20, CachePolicy::Lru);
-        DataPlacementManager::lfu().update(&db, &mut cache);
+        DataPlacementManager::lfu().update(&db, &mut cache, &[]);
         // big (80 B) cannot fit; small (12 B) still gets pinned.
         assert_eq!(cache.used(), 12);
     }

@@ -54,7 +54,7 @@ impl PlacementPolicy for Chopping {
     }
 
     fn place_ready(&mut self, task: &TaskInfo, ctx: &PolicyCtx) -> Placement {
-        self.placer.choose(task, ctx)
+        self.placer.choose_recurring(task, ctx)
     }
 
     fn worker_slots(&self, _device: DeviceId, spec_slots: usize) -> usize {

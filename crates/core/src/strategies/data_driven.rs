@@ -148,8 +148,9 @@ impl PlacementPolicy for DataDriven {
         &mut self,
         db: &Database,
         caches: &mut CacheSet,
+        epochs: &[u64],
     ) -> Vec<(DeviceId, CacheKey)> {
-        self.manager.update_set(db, caches)
+        self.manager.update_set(db, caches, epochs)
     }
 }
 
@@ -163,6 +164,11 @@ pub struct DataDrivenChopping {
     manager: DataPlacementManager,
     placer: RuntimePlacer,
     slot_override: Option<usize>,
+    /// Memoized device per `(standing query, task slot)`: residency
+    /// rarely moves between window ticks, so the first tick's chain
+    /// decision is replayed ([`PlaceReason::Recurring`]) until an abort
+    /// invalidates it.
+    recurring: std::collections::BTreeMap<(u32, u32), DeviceId>,
 }
 
 impl DataDrivenChopping {
@@ -172,6 +178,7 @@ impl DataDrivenChopping {
             manager: DataPlacementManager::new(kind),
             placer: RuntimePlacer::new(),
             slot_override: None,
+            recurring: std::collections::BTreeMap::new(),
         }
     }
 
@@ -181,6 +188,7 @@ impl DataDrivenChopping {
             manager,
             placer: RuntimePlacer::new(),
             slot_override: None,
+            recurring: std::collections::BTreeMap::new(),
         }
     }
 
@@ -197,14 +205,32 @@ impl PlacementPolicy for DataDrivenChopping {
     }
 
     fn place_ready(&mut self, task: &TaskInfo, ctx: &PolicyCtx) -> Placement {
-        if self.manager.shard_ways() >= 2 && task.shard.is_none() {
-            if let Some(home) = query_home(task, ctx) {
-                return Placement::fixed(home).because(PlaceReason::ShardSpread);
+        // Standing-query ticks replay the previous tick's decision for
+        // the same task slot; aborts drop the memo and re-derive.
+        if let Some(slot) = task.recurring {
+            if task.was_aborted {
+                self.recurring.remove(&slot);
+            } else if let Some(&device) = self.recurring.get(&slot) {
+                return Placement::fixed(device).because(PlaceReason::Recurring);
             }
         }
-        let cached = resident_device(task, ctx);
-        Placement::fixed(data_driven_device(task, cached))
-            .because(PlaceReason::DataResidency)
+        let placed = if self.manager.shard_ways() >= 2 && task.shard.is_none() {
+            query_home(task, ctx)
+                .map(|home| Placement::fixed(home).because(PlaceReason::ShardSpread))
+        } else {
+            None
+        };
+        let placed = placed.unwrap_or_else(|| {
+            let cached = resident_device(task, ctx);
+            Placement::fixed(data_driven_device(task, cached))
+                .because(PlaceReason::DataResidency)
+        });
+        if let Some(slot) = task.recurring {
+            if !task.was_aborted {
+                self.recurring.insert(slot, placed.device);
+            }
+        }
+        placed
     }
 
     fn worker_slots(&self, _device: DeviceId, spec_slots: usize) -> usize {
@@ -235,8 +261,9 @@ impl PlacementPolicy for DataDrivenChopping {
         &mut self,
         db: &Database,
         caches: &mut CacheSet,
+        epochs: &[u64],
     ) -> Vec<(DeviceId, CacheKey)> {
-        self.manager.update_set(db, caches)
+        self.manager.update_set(db, caches, epochs)
     }
 }
 
@@ -397,7 +424,7 @@ mod tests {
         db.stats().record_access(0);
         let mut fx = fixture(1_000);
         let mut p = DataDrivenChopping::new(PlacementPolicyKind::Lfu);
-        let newly = p.update_data_placement(&db, &mut fx.caches);
+        let newly = p.update_data_placement(&db, &mut fx.caches, &[]);
         assert_eq!(newly, vec![(DeviceId::Gpu, CacheKey(0))]);
         assert!(fx.caches.device(DeviceId::Gpu).contains(CacheKey(0)));
     }

@@ -13,7 +13,8 @@ use robustq_engine::{
     CostModel, CostModelKind, ModelUpdate, Placement, PlacementPolicy, PlaceReason,
     PolicyCtx, TaskInfo,
 };
-use robustq_sim::{partition_bytes, CacheKey, DeviceId, OpClass, PerDevice, VirtualTime};
+use robustq_sim::{partition_bytes, DeviceId, OpClass, PerDevice, VirtualTime};
+use std::collections::BTreeMap;
 
 /// The shared run-time placement logic: estimated-completion-time
 /// minimization over all devices, using learned kernel models plus
@@ -24,11 +25,19 @@ pub struct RuntimePlacer {
     /// [`CostModel`] surface ([`StaticCostModel`](crate::StaticCostModel)
     /// by default).
     model: Box<dyn CostModel>,
+    /// Memoized device per `(standing query, task slot)`: a standing
+    /// query re-submits the same plan every window tick, so the first
+    /// tick's ranked decision is reused for later ticks
+    /// ([`PlaceReason::Recurring`]) as long as the device stays viable.
+    recurring: BTreeMap<(u32, u32), DeviceId>,
 }
 
 impl Default for RuntimePlacer {
     fn default() -> Self {
-        RuntimePlacer { model: build_cost_model(CostModelKind::Static) }
+        RuntimePlacer {
+            model: build_cost_model(CostModelKind::Static),
+            recurring: BTreeMap::new(),
+        }
     }
 }
 
@@ -62,17 +71,19 @@ impl RuntimePlacer {
             let full = ctx.db.column_size(col);
             match task.shard {
                 // A shard stages only its slice, resident under either
-                // the matching partition key or the whole column.
+                // the matching partition key or the whole column (both at
+                // the column's current data epoch — stale residency from
+                // before an append re-transfers).
                 Some(s) => {
                     let cache = ctx.cache(device);
-                    if !cache.contains(CacheKey::partition(col.0, s.index, s.of))
-                        && !cache.contains(CacheKey::column(col.0))
+                    if !cache.contains(ctx.partition_key(col, s.index, s.of))
+                        && !cache.contains(ctx.column_key(col))
                     {
                         bytes += partition_bytes(full, s.index, s.of);
                     }
                 }
                 None => {
-                    if !ctx.cache(device).contains(CacheKey::column(col.0)) {
+                    if !ctx.cache(device).contains(ctx.column_key(col)) {
                         bytes += full;
                     }
                 }
@@ -175,6 +186,37 @@ impl RuntimePlacer {
         Placement::modeled(device, est)
     }
 
+    /// [`RuntimePlacer::choose`] with standing-query memoization: the
+    /// first time a `(standing, slot)` pair is placed, the ranked choice
+    /// is recorded; later window ticks reuse that device with
+    /// [`PlaceReason::Recurring`] — skipping the ranking — as long as it
+    /// still passes the heap veto. An abort or a failed veto drops the
+    /// memo and re-ranks (the fleet may have changed shape). Tasks of
+    /// ordinary queries (`recurring == None`) always take the plain path.
+    pub fn choose_recurring(&mut self, task: &TaskInfo, ctx: &PolicyCtx) -> Placement {
+        let Some(slot) = task.recurring else {
+            return self.choose(task, ctx);
+        };
+        if task.was_aborted {
+            self.recurring.remove(&slot);
+            return self.choose(task, ctx);
+        }
+        if let Some(&device) = self.recurring.get(&slot) {
+            let viable = !device.is_coprocessor() || {
+                let projected = (1 + ctx.running.get_padded(device) as u64)
+                    .saturating_mul(task.bytes_in.saturating_mul(2));
+                ctx.heap_free.get_padded(device) >= projected
+            };
+            if viable {
+                return Placement::fixed(device).because(PlaceReason::Recurring);
+            }
+            self.recurring.remove(&slot);
+        }
+        let placed = self.choose(task, ctx);
+        self.recurring.insert(slot, placed.device);
+        placed
+    }
+
     /// Feed one completed-operator observation to the models and report
     /// the predicted-vs-actual sample.
     pub fn observe(
@@ -215,7 +257,7 @@ impl PlacementPolicy for RuntimePlacement {
     }
 
     fn place_ready(&mut self, task: &TaskInfo, ctx: &PolicyCtx) -> Placement {
-        self.placer.choose(task, ctx)
+        self.placer.choose_recurring(task, ctx)
     }
 
     fn set_cost_model(&mut self, kind: CostModelKind) {
@@ -285,6 +327,7 @@ pub(crate) mod test_support {
                 running: PerDevice::splat(0, n),
                 heap_free: PerDevice::splat(u64::MAX, n),
                 now: VirtualTime::ZERO,
+                col_epochs: &[],
             }
         }
 
@@ -306,6 +349,7 @@ pub(crate) mod test_support {
             children_tasks: vec![],
             was_aborted: false,
             shard: None,
+            recurring: None,
         }
     }
 }

@@ -194,6 +194,30 @@ impl Chunk {
         Ok(Chunk { fields, columns: data })
     }
 
+    /// Materialize selected columns of the row range `[lo, hi)` of a base
+    /// table into a chunk. This is the windowed-scan entry point: string
+    /// columns share the table's dictionary (codes are stable under
+    /// append), so a range chunk is value-identical to the same rows of
+    /// the full table.
+    pub fn from_table_range(
+        table: &Table,
+        columns: &[String],
+        lo: usize,
+        hi: usize,
+    ) -> Result<Self, String> {
+        let mut fields = Vec::with_capacity(columns.len());
+        let mut data = Vec::with_capacity(columns.len());
+        for name in columns {
+            let idx = table
+                .schema()
+                .index_of(name)
+                .ok_or_else(|| format!("no column {name} in table {}", table.name()))?;
+            fields.push(table.schema().field(idx).clone());
+            data.push(table.column_slice(idx, lo, hi));
+        }
+        Ok(Chunk { fields, columns: data })
+    }
+
     /// The fields, in column order.
     pub fn fields(&self) -> &[Field] {
         &self.fields

@@ -13,7 +13,9 @@
 //! unannotated.
 
 use crate::error::EngineError;
-use crate::exec::event_loop::{policy_ctx, QueryState, Sim, Status, Submission, TaskState};
+use crate::exec::event_loop::{
+    policy_ctx, QueryState, QueryWindow, Sim, Status, Submission, TaskState,
+};
 use crate::exec::metrics::{FaultCounters, QueryOutcome};
 use crate::exec::policy::{PolicyCtx, TaskInfo};
 use crate::exec::task::{flatten, ShardSpec, TaskNode, TaskOp};
@@ -130,6 +132,8 @@ impl Sim<'_, '_> {
                 seq,
                 plan,
                 submit: self.now,
+                window: None,
+                standing: None,
             });
         }
     }
@@ -163,12 +167,31 @@ impl Sim<'_, '_> {
     }
 
     pub(crate) fn admit_query(&mut self, sub: Submission) -> Result<(), EngineError> {
-        let Submission { session, seq, plan, submit: submit_time } = sub;
+        let Submission { session, seq, plan, submit: submit_time, window, standing } =
+            sub;
         let query = self.queries.len();
         let base = self.tasks.len();
         let nodes = flatten(&plan);
-        let estimates = crate::exec::executor::postorder_estimates(&plan, self.db);
+        let mut estimates =
+            crate::exec::executor::postorder_estimates(&plan, self.db);
         debug_assert_eq!(nodes.len(), estimates.len());
+        // Windowed ticks scan only the window's slice of the feed table:
+        // scale the leaf estimates so sharding and compile-time placement
+        // see the pruned input, not the whole (ever-growing) table.
+        if let Some(w) = window {
+            let frac = self.window_fraction(w);
+            for (node, est) in nodes.iter().zip(estimates.iter_mut()) {
+                let windowed_leaf = matches!(
+                    &node.op,
+                    TaskOp::Scan { table, .. }
+                        if self.db.table_position(table) == Some(w.table as usize)
+                );
+                if windowed_leaf {
+                    est.0 *= frac;
+                    est.1 *= frac;
+                }
+            }
+        }
         // Intra-operator sharding (DESIGN.md §12): qualifying leaf scans
         // fan out across the co-processor fleet. One shard per
         // co-processor at most — with fewer than two there is nothing to
@@ -235,6 +258,9 @@ impl Sim<'_, '_> {
             session,
             seq,
             root,
+            first_task: base,
+            window,
+            standing,
             submit_time,
             admit_time: self.now,
         });
@@ -246,6 +272,17 @@ impl Sim<'_, '_> {
             seq: seq as u32,
             at: submit_time,
         });
+        if let (Some(s), Some(w)) = (standing, window) {
+            // Emitted at admission, once the execution has a query id.
+            self.tracer.emit(TraceEvent::WindowFire {
+                standing: s,
+                tick: seq as u32,
+                query: query as u32,
+                lo: w.lo,
+                hi: w.hi,
+                at: submit_time,
+            });
+        }
         for (merge, shards) in shard_fanouts {
             self.tracer.emit(TraceEvent::ShardFanout {
                 query: query as u32,
@@ -286,11 +323,43 @@ impl Sim<'_, '_> {
         Ok(())
     }
 
+    /// Fraction of the windowed table a tick actually reads, via segment
+    /// pruning: only segments overlapping `[lo, hi)` are touched, and of
+    /// those only the overlapping rows. (Segments partition the row
+    /// space, so this equals the row fraction — but walking the segment
+    /// list is what a real column store would do, and keeps the figure
+    /// honest if segment layout ever gains gaps.)
+    pub(crate) fn window_fraction(&self, w: QueryWindow) -> f64 {
+        let table = &self.db.tables()[w.table as usize];
+        let rows = table.num_rows();
+        if rows == 0 {
+            return 1.0;
+        }
+        let (lo, hi) = (w.lo as usize, w.hi as usize);
+        let overlap: usize = table
+            .segments_overlapping(lo, hi)
+            .map(|s| s.rows().end.min(hi).saturating_sub(s.rows().start.max(lo)))
+            .sum();
+        overlap as f64 / rows as f64
+    }
+
     pub(crate) fn exact_bytes_in(&self, task: usize) -> u64 {
         let t = &self.tasks[task];
         if t.children.is_empty() {
+            // A windowed tick's feed-table scan reads only the window's
+            // slice of each base column (segment pruning).
+            let win_frac = match (t.node.op.scan_access(), self.queries[t.query].window)
+            {
+                (Some((table, _)), Some(w))
+                    if self.db.table_position(table) == Some(w.table as usize) =>
+                {
+                    self.window_fraction(w)
+                }
+                _ => 1.0,
+            };
             let full: u64 =
                 t.base_columns.iter().map(|&c| self.db.column_size(c)).sum();
+            let full = (full as f64 * win_frac) as u64;
             // A shard reads only its row-range slice of each base column.
             match t.node.op.shard_spec() {
                 Some(s) => (full as f64 * s.fraction()) as u64,
@@ -368,7 +437,11 @@ impl Sim<'_, '_> {
             && self.completed_since_update >= self.opts.placement_update_period
         {
             self.completed_since_update = 0;
-            let new_keys = self.policy.update_data_placement(self.db, self.caches);
+            let new_keys = self.policy.update_data_placement(
+                self.db,
+                self.caches,
+                &self.feed.col_epochs,
+            );
             for (device, key) in new_keys {
                 // Partition keys home a byte-range slice of the column;
                 // whole-column keys move it in full.
@@ -402,7 +475,14 @@ impl Sim<'_, '_> {
         if let Some(plan) = self.sessions.get_mut(session).and_then(|s| s.pop_front()) {
             let seq = self.session_seq[session];
             self.session_seq[session] += 1;
-            self.submit_query(Submission { session, seq, plan, submit: self.now });
+            self.submit_query(Submission {
+                session,
+                seq,
+                plan,
+                submit: self.now,
+                window: None,
+                standing: None,
+            });
         }
         self.process_admissions()?;
         Ok(())

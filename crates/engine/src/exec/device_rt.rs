@@ -142,11 +142,18 @@ impl Sim<'_, '_> {
                     })
                 })
                 .collect::<Result<_, _>>()?;
+            // A standing-query tick scans only its window's rows of the
+            // fed table; batch queries (window `None`) take the plain
+            // path, byte-identical to earlier releases.
+            let window = self.queries[self.tasks[task].query].window.map(|w| {
+                let name = self.db.tables()[w.table as usize].name();
+                (name, w.lo as usize, w.hi as usize)
+            });
             let out = self
                 .tasks[task]
                 .node
                 .op
-                .execute_lazy(&children_chunks, self.db, self.opts.parallel)
+                .execute_windowed(&children_chunks, self.db, self.opts.parallel, window)
                 .map_err(EngineError::Kernel)?;
             self.tasks[task].output_bytes = out.byte_size();
             self.tasks[task].output_rows = out.num_rows() as u64;

@@ -35,7 +35,7 @@ use robustq_sim::{
     CacheKey, CacheSet, CostModel as SimCostModel, EventQueue, FaultPlan, Interconnect,
     PerDevice, RetryPolicy, SimConfig, VirtualTime,
 };
-use robustq_storage::{ColumnId, Database};
+use robustq_storage::{ColumnId, Database, DbEpoch};
 use robustq_trace::Tracer;
 use std::collections::VecDeque;
 
@@ -142,6 +142,63 @@ pub struct Arrival {
     pub plan: PlanNode,
 }
 
+/// How a standing query's window advances per tick.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WindowKind {
+    /// Consecutive disjoint windows: tick `k` covers the feed rows that
+    /// arrived in `(k·period, (k+1)·period]`.
+    Tumbling,
+    /// Overlapping windows: tick `k` covers the rows that arrived in
+    /// `((k+1)·period − length, (k+1)·period]`.
+    Sliding {
+        /// Window length in virtual time (≥ the period for overlap).
+        length: VirtualTime,
+    },
+}
+
+/// A query registered once and re-executed per window tick against the
+/// feed-table rows its window covers (DESIGN.md §16). Every tick goes
+/// through ordinary admission control; its results are bit-identical to
+/// running the same plan one-shot against a static snapshot of the
+/// window's rows.
+#[derive(Debug, Clone)]
+pub struct StandingQuery {
+    /// Virtual session the ticks report under. Use ids above the arrival
+    /// sessions' so per-session metrics separate cleanly.
+    pub session: u32,
+    /// The registered plan.
+    pub plan: PlanNode,
+    /// Name of the fed table the window ranges over; scans of every
+    /// other table read in full (static dimensions).
+    pub table: String,
+    /// Tumbling or sliding window.
+    pub kind: WindowKind,
+    /// Tick period in virtual time.
+    pub period: VirtualTime,
+    /// Number of ticks to fire.
+    pub ticks: u32,
+}
+
+/// One scheduled feed commit: the append that the database committed
+/// under `epoch` becomes visible at virtual instant `at`.
+#[derive(Debug, Clone, Copy)]
+pub struct FeedEvent {
+    /// Commit instant.
+    pub at: VirtualTime,
+    /// Epoch of the (pre-built) append this event replays.
+    pub epoch: DbEpoch,
+}
+
+/// The feed arrival process of a streaming run: a time-sorted replay
+/// schedule over a database whose appends are already built. Epochs not
+/// scheduled (below every scheduled epoch of their table) count as
+/// pre-run history.
+#[derive(Debug, Clone, Default)]
+pub struct FeedSchedule {
+    /// Scheduled commits, sorted by `at`.
+    pub events: Vec<FeedEvent>,
+}
+
 /// Result of a workload run.
 #[derive(Debug, Clone)]
 pub struct RunOutcome {
@@ -204,7 +261,15 @@ impl<'a> Executor<'a> {
         opts: &ExecOptions,
         caches: &mut CacheSet,
     ) -> Result<RunOutcome, EngineError> {
-        self.run_inner(sessions, Vec::new(), policy, opts, caches)
+        self.run_inner(
+            sessions,
+            Vec::new(),
+            FeedSchedule::default(),
+            Vec::new(),
+            policy,
+            opts,
+            caches,
+        )
     }
 
     /// Execute an open-loop arrival schedule (DESIGN.md §13): each
@@ -242,33 +307,93 @@ impl<'a> Executor<'a> {
             arrivals.windows(2).all(|w| w[0].at <= w[1].at),
             "arrival schedule must be sorted by time"
         );
-        self.run_inner(Vec::new(), arrivals, policy, opts, caches)
+        self.run_inner(
+            Vec::new(),
+            arrivals,
+            FeedSchedule::default(),
+            Vec::new(),
+            policy,
+            opts,
+            caches,
+        )
     }
 
-    fn run_inner(
+    /// Execute a streaming run: an open-loop arrival schedule interleaved
+    /// with a feed replay, plus standing queries fired per window tick
+    /// (DESIGN.md §16). The database must already contain every scheduled
+    /// append (build it, then replay it); `Ev`-level append events only
+    /// flip epochs and cache residency in virtual time. Starts from cold
+    /// co-processor caches.
+    pub fn run_streaming(
         &self,
-        sessions: Vec<Vec<PlanNode>>,
         arrivals: Vec<Arrival>,
+        feed: FeedSchedule,
+        standing: Vec<StandingQuery>,
+        policy: &mut dyn PlacementPolicy,
+        opts: &ExecOptions,
+    ) -> Result<RunOutcome, EngineError> {
+        let mut caches =
+            CacheSet::for_topology(&self.config.topology, self.config.cache_policy);
+        self.run_streaming_with_cache(arrivals, feed, standing, policy, opts, &mut caches)
+    }
+
+    /// Like [`Executor::run_streaming`] but continuing from (and
+    /// updating) existing caches.
+    pub fn run_streaming_with_cache(
+        &self,
+        arrivals: Vec<Arrival>,
+        feed: FeedSchedule,
+        standing: Vec<StandingQuery>,
         policy: &mut dyn PlacementPolicy,
         opts: &ExecOptions,
         caches: &mut CacheSet,
     ) -> Result<RunOutcome, EngineError> {
+        debug_assert!(
+            arrivals.windows(2).all(|w| w[0].at <= w[1].at),
+            "arrival schedule must be sorted by time"
+        );
+        debug_assert!(
+            feed.events.windows(2).all(|w| w[0].at <= w[1].at),
+            "feed schedule must be sorted by time"
+        );
+        self.run_inner(Vec::new(), arrivals, feed, standing, policy, opts, caches)
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn run_inner(
+        &self,
+        sessions: Vec<Vec<PlanNode>>,
+        arrivals: Vec<Arrival>,
+        feed: FeedSchedule,
+        standing: Vec<StandingQuery>,
+        policy: &mut dyn PlacementPolicy,
+        opts: &ExecOptions,
+        caches: &mut CacheSet,
+    ) -> Result<RunOutcome, EngineError> {
+        let feed_rt = crate::exec::feed::build_feed(self.db, &feed, &standing)?;
         if !opts.preload.is_empty() {
             for (_, cache) in caches.iter_mut() {
                 let mut budget = cache.capacity();
                 let mut pins = Vec::new();
                 for &col in &opts.preload {
                     let bytes = self.db.column_size(col);
+                    // Pin at the column's *initial* epoch so preloaded
+                    // residency survives until the first append touches
+                    // it. Batch runs have an empty epoch table — the key
+                    // degenerates to the classic epoch-0 encoding.
+                    let epoch =
+                        feed_rt.col_epochs.get(col.index()).copied().unwrap_or(0);
                     if bytes <= budget {
                         budget -= bytes;
-                        pins.push((CacheKey(col.0 as u64), bytes));
+                        pins.push((CacheKey::column_at(col.0, epoch), bytes));
                     }
                 }
                 cache.set_pinned(&pins);
             }
         }
-        let total_queries: usize =
-            sessions.iter().map(Vec::len).sum::<usize>() + arrivals.len();
+        let total_queries: usize = sessions.iter().map(Vec::len).sum::<usize>()
+            + arrivals.len()
+            + standing.iter().map(|s| s.ticks as usize).sum::<usize>();
         let session_count = sessions.len();
         let device_count = self.config.topology.device_count();
         let mut sim = Sim {
@@ -296,10 +421,13 @@ impl<'a> Executor<'a> {
                         seq: a.seq as usize,
                         plan: a.plan,
                         submit: a.at,
+                        window: None,
+                        standing: None,
                     })
                 })
                 .collect(),
             admission_queue: VecDeque::new(),
+            feed: feed_rt,
             active_queries: 0,
             completed_since_update: 0,
             metrics: RunMetrics {

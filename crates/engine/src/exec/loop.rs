@@ -78,10 +78,31 @@ pub(crate) struct TaskState {
     pub(crate) load_contribution: VirtualTime,
 }
 
+/// The feed-table row range a windowed query execution scans:
+/// `[lo, hi)` of the table at registration index `table`. Scans of any
+/// other table (static dimensions) read in full.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) struct QueryWindow {
+    /// Registration index of the windowed (fed) table.
+    pub(crate) table: u32,
+    /// First feed-table row in the window.
+    pub(crate) lo: u64,
+    /// One past the last feed-table row in the window.
+    pub(crate) hi: u64,
+}
+
 pub(crate) struct QueryState {
     pub(crate) session: usize,
     pub(crate) seq: usize,
     pub(crate) root: usize,
+    /// First global task index of this query's graph (recurring-slot
+    /// arithmetic: `task - first_task` identifies "the same operator"
+    /// across window ticks of a standing query).
+    pub(crate) first_task: usize,
+    /// The window this execution scans, for standing-query ticks.
+    pub(crate) window: Option<QueryWindow>,
+    /// Standing-query registration index, if this execution is a tick.
+    pub(crate) standing: Option<u32>,
     /// When the session issued the query (queueing for admission counts
     /// toward latency — the paper's admission-control comparison measures
     /// response time from submission).
@@ -98,6 +119,10 @@ pub(crate) struct Submission {
     pub(crate) seq: usize,
     pub(crate) plan: PlanNode,
     pub(crate) submit: VirtualTime,
+    /// Feed-table window, for standing-query ticks (`seq` is the tick).
+    pub(crate) window: Option<QueryWindow>,
+    /// Standing-query registration index, for standing-query ticks.
+    pub(crate) standing: Option<u32>,
 }
 
 pub(crate) enum Ev {
@@ -110,6 +135,13 @@ pub(crate) enum Ev {
     /// An open-loop arrival fires: the indexed entry of `Sim::arrivals`
     /// is submitted for admission (DESIGN.md §13).
     Arrive { arrival: usize },
+    /// A feed append batch commits: the indexed entry of
+    /// `Sim::feed.appends` bumps column epochs and invalidates stale
+    /// cache residency (the data itself is pre-built; see `exec::feed`).
+    Append { index: usize },
+    /// A standing query's window closes: the indexed entry of
+    /// `Sim::feed.fires` is submitted for admission.
+    WindowFire { fire: usize },
 }
 
 pub(crate) struct Sim<'a, 'p> {
@@ -140,6 +172,8 @@ pub(crate) struct Sim<'a, 'p> {
     /// taken when their event fires. Empty in closed-loop runs.
     pub(crate) arrivals: Vec<Option<Submission>>,
     pub(crate) admission_queue: VecDeque<Submission>,
+    /// Feed replay and standing-query state (empty for batch runs).
+    pub(crate) feed: crate::exec::feed::FeedRt,
     pub(crate) active_queries: usize,
     pub(crate) completed_since_update: usize,
     pub(crate) metrics: RunMetrics,
@@ -169,18 +203,37 @@ impl Sim<'_, '_> {
         // Initial data placement from whatever statistics already exist
         // (the paper pre-loads access structures before each benchmark,
         // Section 6.1) — free of charge, like `ExecOptions::preload`.
-        let _ = self.policy.update_data_placement(self.db, self.caches);
+        let _ = self.policy.update_data_placement(
+            self.db,
+            self.caches,
+            &self.feed.col_epochs,
+        );
 
         // Kick off. Closed loop: the first query of every session is a
         // candidate. Open loop: every arrival is scheduled at its instant
         // (the heap keeps insertion order at equal timestamps, so
-        // same-instant arrivals submit in schedule order).
+        // same-instant arrivals submit in schedule order). Feed appends
+        // are pushed before window fires so a window closing at the very
+        // instant of an append observes the post-append epoch.
         for s in 0..self.sessions.len() {
             if let Some(plan) = self.sessions[s].pop_front() {
                 let seq = self.session_seq[s];
                 self.session_seq[s] += 1;
-                self.submit_query(Submission { session: s, seq, plan, submit: self.now });
+                self.submit_query(Submission {
+                    session: s,
+                    seq,
+                    plan,
+                    submit: self.now,
+                    window: None,
+                    standing: None,
+                });
             }
+        }
+        for i in 0..self.feed.appends.len() {
+            self.events.push(self.feed.appends[i].at, Ev::Append { index: i });
+        }
+        for i in 0..self.feed.fires.len() {
+            self.events.push(self.feed.fires[i].at, Ev::WindowFire { fire: i });
         }
         for (i, slot) in self.arrivals.iter().enumerate() {
             if let Some(sub) = slot {
@@ -198,6 +251,8 @@ impl Sim<'_, '_> {
                 }
                 Ev::QueryDone { query } => self.on_query_done(query)?,
                 Ev::Arrive { arrival } => self.on_arrive(arrival)?,
+                Ev::Append { index } => self.on_append(index),
+                Ev::WindowFire { fire } => self.on_window_fire(fire)?,
             }
             #[cfg(debug_assertions)]
             self.audit();
@@ -277,6 +332,7 @@ impl Sim<'_, '_> {
                 }
             })
             .collect();
+        let q = &self.queries[t.query];
         TaskInfo {
             query: t.query,
             task,
@@ -289,6 +345,7 @@ impl Sim<'_, '_> {
             children_tasks: t.children.clone(),
             was_aborted: t.forced_cpu,
             shard: t.node.op.shard_spec(),
+            recurring: q.standing.map(|s| (s, (task - q.first_task) as u32)),
         }
     }
 
@@ -357,6 +414,7 @@ macro_rules! policy_ctx {
                 }
             }),
             now: $sim.now,
+            col_epochs: &$sim.feed.col_epochs,
         }
     };
 }

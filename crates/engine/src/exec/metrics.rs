@@ -254,11 +254,15 @@ impl RunMetrics {
                 | TraceEvent::Placement { .. }
                 | TraceEvent::ShardFanout { .. }
                 | TraceEvent::ShardMerge { .. }
-                // Model refinements and staging markers are side data
-                // (`RunOutcome::{model_samples, staging}`), not part of
-                // the legacy counter set this reconstruction mirrors.
+                // Model refinements, staging markers and feed activity
+                // are side data (`RunOutcome::{model_samples, staging}`,
+                // the feed report), not part of the legacy counter set
+                // this reconstruction mirrors.
                 | TraceEvent::ModelUpdate { .. }
-                | TraceEvent::OpStaged { .. } => {}
+                | TraceEvent::OpStaged { .. }
+                | TraceEvent::Append { .. }
+                | TraceEvent::EpochSeal { .. }
+                | TraceEvent::WindowFire { .. } => {}
             }
         }
         m.gpu_heap_leaked = last_heap_used.values().sum();

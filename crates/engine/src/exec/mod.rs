@@ -21,6 +21,7 @@
 pub mod admission;
 pub mod costmodel;
 pub mod device_rt;
+pub mod feed;
 #[path = "loop.rs"]
 pub mod event_loop;
 pub mod executor;

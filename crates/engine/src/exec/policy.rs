@@ -99,6 +99,11 @@ pub struct TaskInfo {
     /// is. Shard-aware strategies spread shards across the fleet instead
     /// of argmin-ing a single winner (DESIGN.md §12).
     pub shard: Option<crate::exec::task::ShardSpec>,
+    /// For tasks of a standing query: `(standing id, task slot)`. Every
+    /// window tick re-submits the same plan, so the slot identifies "the
+    /// same operator as last tick" — strategies may memoize its placement
+    /// ([`PlaceReason::Recurring`]) instead of re-ranking each fire.
+    pub recurring: Option<(u32, u32)>,
 }
 
 /// Read-only snapshot of execution state exposed to policies.
@@ -119,6 +124,11 @@ pub struct PolicyCtx<'a> {
     pub heap_free: PerDevice<u64>,
     /// Current virtual time.
     pub now: VirtualTime,
+    /// Per-column data epoch (indexed by [`ColumnId::index`]): the epoch
+    /// of the last append that touched the column, as tracked by the
+    /// executor's feed replay. Empty for batch runs — every column then
+    /// reads as epoch 0, which matches the pre-streaming cache keys.
+    pub col_epochs: &'a [u64],
 }
 
 impl PolicyCtx<'_> {
@@ -137,10 +147,26 @@ impl PolicyCtx<'_> {
         self.caches.device(device)
     }
 
+    /// Current data epoch of column `col` (0 in batch runs).
+    pub fn epoch_of(&self, col: ColumnId) -> u64 {
+        self.col_epochs.get(col.index()).copied().unwrap_or(0)
+    }
+
+    /// The epoch-tagged whole-column cache key for `col`.
+    pub fn column_key(&self, col: ColumnId) -> CacheKey {
+        CacheKey::column_at(col.0, self.epoch_of(col))
+    }
+
+    /// The epoch-tagged partition cache key for shard `index`/`of` of `col`.
+    pub fn partition_key(&self, col: ColumnId, index: u32, of: u32) -> CacheKey {
+        CacheKey::partition_at(col.0, index, of, self.epoch_of(col))
+    }
+
     /// True if every base column in `cols` is resident in `device`'s
-    /// cache (vacuously true for an empty list).
+    /// cache *at its current epoch* (vacuously true for an empty list).
+    /// Stale-epoch entries do not count — an append demotes residency.
     pub fn all_cached_on(&self, device: DeviceId, cols: &[ColumnId]) -> bool {
-        cols.iter().all(|c| self.caches.device(device).contains(CacheKey(c.0 as u64)))
+        cols.iter().all(|c| self.caches.device(device).contains(self.column_key(*c)))
     }
 
     /// The first co-processor whose cache holds *all* of `cols`, or
@@ -171,8 +197,8 @@ impl PolicyCtx<'_> {
     ) -> bool {
         let cache = self.caches.device(device);
         cols.iter().all(|c| {
-            cache.contains(CacheKey::partition(c.0, shard.index, shard.of))
-                || cache.contains(CacheKey::column(c.0))
+            cache.contains(self.partition_key(*c, shard.index, shard.of))
+                || cache.contains(self.column_key(*c))
         })
     }
 
@@ -195,7 +221,7 @@ impl PolicyCtx<'_> {
         let partition_home = self.coprocessors().find(|&d| {
             let cache = self.caches.device(d);
             cols.iter()
-                .all(|c| cache.contains(CacheKey::partition(c.0, shard.index, shard.of)))
+                .all(|c| cache.contains(self.partition_key(*c, shard.index, shard.of)))
         });
         if partition_home.is_some() {
             return partition_home;
@@ -279,12 +305,16 @@ pub trait PlacementPolicy {
     /// Periodic data-placement update (the background job of Section 3.2).
     /// May re-pin any co-processor cache; returns `(device, key)` pairs
     /// newly cached so the executor can charge each link's transfer time.
+    /// `epochs` is the per-column data epoch table (empty in batch runs):
+    /// data-driven strategies pin epoch-tagged keys so a fresh append
+    /// re-stages only the touched columns.
     fn update_data_placement(
         &mut self,
         db: &Database,
         caches: &mut CacheSet,
+        epochs: &[u64],
     ) -> Vec<(DeviceId, CacheKey)> {
-        let _ = (db, caches);
+        let _ = (db, caches, epochs);
         Vec::new()
     }
 }
@@ -325,6 +355,7 @@ mod tests {
             running: PerDevice::splat(0, topology.device_count()),
             heap_free: PerDevice::splat(0, topology.device_count()),
             now: VirtualTime::ZERO,
+            col_epochs: &[],
         }
     }
 
@@ -341,6 +372,7 @@ mod tests {
             children_tasks: vec![],
             was_aborted: false,
             shard: None,
+            recurring: None,
         }
     }
 
@@ -376,7 +408,7 @@ mod tests {
             )
             .is_none());
         let mut caches2 = CacheSet::for_topology(&t, CachePolicy::Lru);
-        assert!(p.update_data_placement(&db, &mut caches2).is_empty());
+        assert!(p.update_data_placement(&db, &mut caches2, &[]).is_empty());
     }
 
     #[test]

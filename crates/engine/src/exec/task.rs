@@ -335,6 +335,51 @@ impl TaskOp {
         }
     }
 
+    /// [`TaskOp::execute_lazy`] restricted to a standing-query window:
+    /// when `window` names this op's scan table, base chunks are built
+    /// from the row range `[lo, hi)` instead of the full table. Every
+    /// other operator (and scans of non-windowed tables, e.g. static
+    /// dimension tables) delegates to the unwindowed path, so a window
+    /// covering the whole table is bit-identical to a plain run.
+    pub fn execute_windowed(
+        &self,
+        children: &[LazyChunk],
+        db: &Database,
+        ctx: ParallelCtx,
+        window: Option<(&str, usize, usize)>,
+    ) -> Result<LazyChunk, String> {
+        let bounds = match (self, window) {
+            (
+                TaskOp::Scan { table, .. } | TaskOp::ScanShard { table, .. },
+                Some((w_table, lo, hi)),
+            ) if table == w_table => (lo, hi),
+            _ => return self.execute_lazy(children, db, ctx),
+        };
+        let (lo, hi) = bounds;
+        match self {
+            TaskOp::Scan { table, columns, predicate } => {
+                let t = db.table(table).ok_or_else(|| format!("no table {table}"))?;
+                let (_, read_cols) = self.scan_access().expect("scan op");
+                let chunk = Chunk::from_table_range(t, &read_cols, lo, hi)?;
+                let filtered = match predicate {
+                    Some(p) => parallel::select(&chunk, p, ctx)?,
+                    None => chunk,
+                };
+                Ok(LazyChunk::Materialized(ops::project::keep_columns(
+                    &filtered, columns,
+                )?))
+            }
+            TaskOp::ScanShard { table, shard, .. } => {
+                let t = db.table(table).ok_or_else(|| format!("no table {table}"))?;
+                let (_, read_cols) = self.scan_access().expect("scan op");
+                let chunk = Chunk::from_table_range(t, &read_cols, lo, hi)?;
+                let sel = shard_positions(&chunk, self.shard_predicate(), *shard)?;
+                Ok(LazyChunk::Filtered { base: Arc::new(chunk), sel })
+            }
+            _ => unreachable!("bounds only match scan ops"),
+        }
+    }
+
     /// Short label for diagnostics.
     pub fn label(&self) -> &'static str {
         match self {

@@ -251,10 +251,11 @@ impl Sim<'_, '_> {
         let mut ready_at = now;
         for &col in &self.tasks[task].base_columns.clone() {
             let full = self.db.column_size(col);
+            let epoch = self.col_epoch(col);
             let (key, bytes) = match shard {
                 Some(s) => {
-                    let pkey = CacheKey::partition(col.0, s.index, s.of);
-                    let ckey = CacheKey::column(col.0);
+                    let pkey = CacheKey::partition_at(col.0, s.index, s.of, epoch);
+                    let ckey = CacheKey::column_at(col.0, epoch);
                     // Prefer whichever key is resident (peeked without
                     // touching stats) so the single counted probe below
                     // records exactly one hit or miss per staged column.
@@ -266,7 +267,7 @@ impl Sim<'_, '_> {
                         (pkey, partition_bytes(full, s.index, s.of))
                     }
                 }
-                None => (CacheKey::column(col.0), full),
+                None => (CacheKey::column_at(col.0, epoch), full),
             };
             let hit = self.caches.device_mut(device).probe(key);
             self.tracer.emit(TraceEvent::CacheProbe { device, key, bytes, hit, at: now });

@@ -23,8 +23,8 @@ use rand::{Rng, SeedableRng};
 use robustq_core::Strategy;
 use robustq_engine::exec::metrics::QueryOutcome;
 use robustq_engine::{
-    Arrival, CostModelKind, EngineError, ExecOptions, Executor, ModelUpdate, ParallelCtx,
-    PlacementPolicy, RunMetrics, StagingStats,
+    Arrival, CostModelKind, EngineError, ExecOptions, Executor, FeedSchedule, ModelUpdate,
+    ParallelCtx, PlacementPolicy, RunMetrics, StagingStats, StandingQuery,
 };
 use robustq_sim::{FaultPlan, RetryPolicy, SimConfig, VirtualTime};
 use robustq_storage::Database;
@@ -74,6 +74,9 @@ pub struct ServeConfig {
     pub cost_model: CostModelKind,
     /// Chunked out-of-core staging for over-heap operators.
     pub chunked_staging: bool,
+    /// Capture per-query result chunks in the outcomes (streaming
+    /// window-identity tests; costs memory, off by default).
+    pub capture_results: bool,
 }
 
 impl ServeConfig {
@@ -96,6 +99,7 @@ impl ServeConfig {
             shard_min_bytes: 0.0,
             cost_model: CostModelKind::Static,
             chunked_staging: false,
+            capture_results: false,
         }
     }
 
@@ -169,10 +173,16 @@ impl ServeConfig {
         self
     }
 
+    /// Keep every completed query's result chunk in its outcome.
+    pub fn with_captured_results(mut self) -> Self {
+        self.capture_results = true;
+        self
+    }
+
     /// The executor options for the measured serving run.
     fn exec_options(&self, measured: bool) -> ExecOptions {
         ExecOptions {
-            capture_results: false,
+            capture_results: measured && self.capture_results,
             placement_update_period: self.placement_update_period,
             max_concurrent_queries: self.max_concurrent_queries,
             preload: Vec::new(),
@@ -308,6 +318,74 @@ impl ServingReport {
     }
 }
 
+/// Result of one measured *streaming* serving run: ad-hoc open-loop
+/// arrivals interleaved with a feed replay and standing-query window
+/// ticks (DESIGN.md §16). Ticks flow through the same admission control
+/// as arrivals, so both populations share one shed budget.
+#[derive(Debug, Clone)]
+pub struct StreamingReport {
+    /// Display name of the strategy that ran.
+    pub strategy: &'static str,
+    /// Ad-hoc queries offered by the arrival process.
+    pub offered_arrivals: usize,
+    /// Standing-query window ticks scheduled over the horizon.
+    pub offered_ticks: usize,
+    /// Queries shed (arrivals and ticks combined);
+    /// `offered_arrivals + offered_ticks == completed + shed`.
+    pub shed: u64,
+    /// Aggregated run metrics over both populations.
+    pub metrics: RunMetrics,
+    /// Ad-hoc arrival outcomes, in completion order.
+    pub arrival_outcomes: Vec<QueryOutcome>,
+    /// Window-tick outcomes, sorted by (standing query, tick). The
+    /// outcome's `session - sessions_pool` is the standing-query index
+    /// and its `seq` the tick number.
+    pub window_outcomes: Vec<QueryOutcome>,
+    /// The measured run's event stream (includes `Append`, `EpochSeal`
+    /// and `WindowFire`), when tracing was enabled.
+    pub trace: Option<TraceData>,
+    /// Cost-model observations of the measured run.
+    pub model_samples: Vec<ModelUpdate>,
+    /// Chunked-staging counters of the measured run.
+    pub staging: StagingStats,
+}
+
+impl StreamingReport {
+    /// Completed queries across both populations.
+    pub fn completed(&self) -> usize {
+        self.arrival_outcomes.len() + self.window_outcomes.len()
+    }
+
+    /// The `p`-th window-tick latency percentile (nearest-rank) — the
+    /// streaming SLO headline: how stale a standing result gets.
+    pub fn tick_percentile(&self, p: f64) -> VirtualTime {
+        percentile(self.window_outcomes.iter().map(|o| o.latency), p)
+    }
+
+    /// 99th-percentile window-tick latency.
+    pub fn tick_p99(&self) -> VirtualTime {
+        self.tick_percentile(99.0)
+    }
+
+    /// The `p`-th ad-hoc arrival latency percentile (nearest-rank).
+    pub fn arrival_percentile(&self, p: f64) -> VirtualTime {
+        percentile(self.arrival_outcomes.iter().map(|o| o.latency), p)
+    }
+
+    /// Chrome-trace JSON of the measured run (feed lane included), when
+    /// tracing was enabled.
+    pub fn chrome_trace(&self) -> Option<String> {
+        self.trace.as_ref().map(|t| chrome_trace_json(&t.events))
+    }
+
+    /// Counters and histograms derived from the measured run's event
+    /// stream (`appends`, `window_fires`, `cache_evictions`, …). `None`
+    /// when the run was untraced.
+    pub fn metrics_registry(&self) -> Option<MetricsRegistry> {
+        self.trace.as_ref().map(|t| MetricsRegistry::from_events(&t.events))
+    }
+}
+
 /// Nearest-rank percentile over an unsorted latency iterator.
 fn percentile(values: impl Iterator<Item = VirtualTime>, p: f64) -> VirtualTime {
     let mut v: Vec<VirtualTime> = values.collect();
@@ -435,6 +513,93 @@ impl<'a> ServingRunner<'a> {
             horizon: cfg.horizon,
             metrics: out.metrics,
             outcomes: out.outcomes,
+            trace: tracer.is_enabled().then(|| tracer.take()),
+            model_samples: out.model_samples,
+            staging: out.staging,
+        })
+    }
+
+    /// Serve `mix` under `strategy` while replaying `feed` and firing
+    /// `standing` window ticks (DESIGN.md §16).
+    ///
+    /// The database must be pre-built with every scheduled append batch
+    /// already committed; the feed schedule replays those epochs in
+    /// virtual time, interleaved with the arrival process's ad-hoc
+    /// queries. Standing-query sessions are re-numbered above the
+    /// arrival session pool (`cfg.sessions + index`), so the report can
+    /// split the two populations. [`ArrivalProcess::Closed`] contributes
+    /// no ad-hoc arrivals here — a pure standing-window run.
+    pub fn run_streaming(
+        &self,
+        mix: &QueryMix,
+        feed: FeedSchedule,
+        standing: Vec<StandingQuery>,
+        strategy: Strategy,
+        cfg: &ServeConfig,
+    ) -> Result<StreamingReport, EngineError> {
+        let mut policy = strategy.build();
+        self.run_streaming_with_policy(mix, feed, standing, policy.as_mut(), strategy.name(), cfg)
+    }
+
+    /// Like [`ServingRunner::run_streaming`] with a caller-constructed
+    /// policy.
+    pub fn run_streaming_with_policy(
+        &self,
+        mix: &QueryMix,
+        feed: FeedSchedule,
+        mut standing: Vec<StandingQuery>,
+        policy: &mut dyn PlacementPolicy,
+        label: &'static str,
+        cfg: &ServeConfig,
+    ) -> Result<StreamingReport, EngineError> {
+        let pool = cfg.sessions.max(1) as u32;
+        for (i, sq) in standing.iter_mut().enumerate() {
+            sq.session = pool + i as u32;
+        }
+        let offered_ticks = standing.iter().map(|s| s.ticks as usize).sum();
+
+        self.db.stats().reset();
+        let executor = Executor::new(self.db, self.config.clone());
+        let mut cache = robustq_sim::CacheSet::for_topology(
+            &self.config.topology,
+            self.config.cache_policy,
+        );
+
+        // Warm caches on the ad-hoc templates *and* the standing plans:
+        // a standing query's first tick should find its columns resident
+        // just like a repeated ad-hoc template would.
+        let mut warm_templates = mix.templates().to_vec();
+        warm_templates.extend(standing.iter().map(|s| s.plan.clone()));
+        let warm_opts = cfg.exec_options(false);
+        for _ in 0..cfg.warmup_runs {
+            executor.run_with_cache(
+                WorkloadRunner::sessions(&warm_templates, 1),
+                policy,
+                &warm_opts,
+                &mut cache,
+            )?;
+        }
+
+        let arrivals = match cfg.process {
+            ArrivalProcess::Closed { .. } => Vec::new(),
+            _ => Self::arrivals(mix, cfg),
+        };
+        let offered_arrivals = arrivals.len();
+        let opts = cfg.exec_options(true);
+        let tracer = opts.tracer.clone();
+        let out =
+            executor.run_streaming_with_cache(arrivals, feed, standing, policy, &opts, &mut cache)?;
+        let (mut window_outcomes, arrival_outcomes): (Vec<_>, Vec<_>) =
+            out.outcomes.into_iter().partition(|o| o.session >= pool as usize);
+        window_outcomes.sort_by_key(|o| (o.session, o.seq));
+        Ok(StreamingReport {
+            strategy: label,
+            offered_arrivals,
+            offered_ticks,
+            shed: out.metrics.shed,
+            metrics: out.metrics,
+            arrival_outcomes,
+            window_outcomes,
             trace: tracer.is_enabled().then(|| tracer.take()),
             model_samples: out.model_samples,
             staging: out.staging,

@@ -14,27 +14,59 @@
 use std::collections::HashMap;
 
 /// Opaque cache key; the engine uses the base-column id, or a
-/// column-partition id for sharded scans (see [`CacheKey::partition`]).
+/// column-partition id for sharded scans (see [`CacheKey::partition`]),
+/// each versioned by the column's epoch of last append (see
+/// [`CacheKey::column_at`]).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct CacheKey(pub u64);
 
-/// Bit layout of partition keys: flag | of | index | column id.
+/// Bit layout of partition keys: flag | epoch | of | index | column id.
 const PARTITION_FLAG: u64 = 1 << 63;
+/// Partition keys carry the epoch in bits 49..63 (14 bits).
+const PART_EPOCH_SHIFT: u64 = 49;
+const PART_EPOCH_MAX: u64 = (1 << 14) - 1;
+/// Whole-column keys carry the epoch in bits 32..62 (30 bits).
+const COL_EPOCH_SHIFT: u64 = 32;
+const COL_EPOCH_MAX: u64 = (1 << 30) - 1;
 
 impl CacheKey {
-    /// Key of a whole base column.
+    /// Key of a whole base column at epoch 0 (a never-appended column).
     pub fn column(id: u32) -> CacheKey {
-        CacheKey(id as u64)
+        CacheKey::column_at(id, 0)
     }
 
-    /// Key of row-range partition `index` of `of` of a base column. The
-    /// encoding keeps partition keys disjoint from whole-column keys, so
-    /// a partitioned and a fully cached copy of the same column can
-    /// coexist without colliding.
+    /// Key of a whole base column as of the epoch of its last append.
+    ///
+    /// The epoch is part of the key, so staging after an append can never
+    /// hit a stale pre-append copy: entries for older epochs simply stop
+    /// matching (and are actively dropped by
+    /// [`DataCache::invalidate_column`]). Epoch 0 keys are bit-identical
+    /// to the pre-epoch encoding, which keeps every batch golden intact.
+    pub fn column_at(id: u32, epoch: u64) -> CacheKey {
+        debug_assert!(epoch <= COL_EPOCH_MAX, "epoch out of key range");
+        CacheKey(((epoch & COL_EPOCH_MAX) << COL_EPOCH_SHIFT) | id as u64)
+    }
+
+    /// Key of row-range partition `index` of `of` of a base column at
+    /// epoch 0. The encoding keeps partition keys disjoint from
+    /// whole-column keys, so a partitioned and a fully cached copy of the
+    /// same column can coexist without colliding.
     pub fn partition(id: u32, index: u32, of: u32) -> CacheKey {
+        CacheKey::partition_at(id, index, of, 0)
+    }
+
+    /// Key of a column partition as of the epoch of its last append.
+    pub fn partition_at(id: u32, index: u32, of: u32, epoch: u64) -> CacheKey {
         debug_assert!(index < of, "partition index out of range");
         debug_assert!(of <= u8::MAX as u32 + 1, "at most 256 partitions");
-        CacheKey(PARTITION_FLAG | ((of as u64) << 40) | ((index as u64) << 32) | id as u64)
+        debug_assert!(epoch <= PART_EPOCH_MAX, "epoch out of key range");
+        CacheKey(
+            PARTITION_FLAG
+                | ((epoch & PART_EPOCH_MAX) << PART_EPOCH_SHIFT)
+                | ((of as u64) << 40)
+                | ((index as u64) << 32)
+                | id as u64,
+        )
     }
 
     /// The base-column id this key caches (whole or partitioned).
@@ -47,7 +79,16 @@ impl CacheKey {
         if self.0 & PARTITION_FLAG == 0 {
             return None;
         }
-        Some(((self.0 >> 32) as u8 as u32, (self.0 >> 40) as u32 & 0x7f_ffff))
+        Some(((self.0 >> 32) as u8 as u32, (self.0 >> 40) as u32 & 0x1ff))
+    }
+
+    /// The append epoch this key was staged under (0 = never appended).
+    pub fn epoch(self) -> u64 {
+        if self.0 & PARTITION_FLAG == 0 {
+            (self.0 >> COL_EPOCH_SHIFT) & COL_EPOCH_MAX
+        } else {
+            (self.0 >> PART_EPOCH_SHIFT) & PART_EPOCH_MAX
+        }
     }
 }
 
@@ -342,6 +383,35 @@ impl DataCache {
         v
     }
 
+    /// Drop every resident copy (whole or partitioned, pinned or not) of
+    /// `column_id` staged under an epoch older than `current_epoch`.
+    ///
+    /// This is the append-invalidation primitive: an append bumps the
+    /// column's epoch, so anything staged under an earlier epoch is a
+    /// stale prefix copy. Entries for other columns are untouched —
+    /// appends invalidate only the columns they touch. Returns the
+    /// dropped `(key, bytes)` pairs, sorted by key.
+    pub fn invalidate_column(
+        &mut self,
+        column_id: u32,
+        current_epoch: u64,
+    ) -> Vec<(CacheKey, u64)> {
+        let stale: Vec<CacheKey> = self
+            .entries
+            .keys()
+            .filter(|k| k.column_id() == column_id && k.epoch() < current_epoch)
+            .copied()
+            .collect();
+        let mut dropped = Vec::with_capacity(stale.len());
+        for k in stale {
+            let e = self.entries.remove(&k).expect("stale key is resident");
+            self.used -= e.bytes;
+            dropped.push((k, e.bytes));
+        }
+        dropped.sort();
+        dropped
+    }
+
     /// Remove everything, including pinned entries.
     pub fn clear(&mut self) {
         self.entries.clear();
@@ -572,6 +642,68 @@ mod tests {
         // Distinct (index, of) pairs are distinct keys.
         assert_ne!(CacheKey::partition(7, 0, 2), CacheKey::partition(7, 0, 4));
         assert_ne!(CacheKey::partition(7, 0, 4), CacheKey::partition(7, 1, 4));
+    }
+
+    #[test]
+    fn epoch0_keys_match_the_pre_epoch_encoding() {
+        // Batch goldens depend on this: a never-appended database keys
+        // its cache exactly as before epochs existed.
+        assert_eq!(CacheKey::column_at(7, 0), CacheKey(7));
+        assert_eq!(CacheKey::column_at(7, 0), CacheKey::column(7));
+        assert_eq!(CacheKey::partition_at(7, 1, 4, 0), CacheKey::partition(7, 1, 4));
+        assert_eq!(CacheKey::column(7).epoch(), 0);
+        assert_eq!(CacheKey::partition(7, 1, 4).epoch(), 0);
+    }
+
+    #[test]
+    fn epoch_keys_round_trip_and_stay_disjoint() {
+        for epoch in [0u64, 1, 2, 1000, 16_000] {
+            let w = CacheKey::column_at(9, epoch);
+            assert_eq!(w.column_id(), 9);
+            assert_eq!(w.epoch(), epoch);
+            assert_eq!(w.partition_of(), None);
+            let p = CacheKey::partition_at(9, 3, 8, epoch);
+            assert_eq!(p.column_id(), 9);
+            assert_eq!(p.epoch(), epoch);
+            assert_eq!(p.partition_of(), Some((3, 8)));
+            assert_ne!(w, p);
+            if epoch > 0 {
+                assert_ne!(w, CacheKey::column(9));
+                assert_ne!(p, CacheKey::partition(9, 3, 8));
+            }
+        }
+        // Max partition count and max partition epoch coexist.
+        let p = CacheKey::partition_at(u32::MAX, 255, 256, (1 << 14) - 1);
+        assert_eq!(p.column_id(), u32::MAX);
+        assert_eq!(p.partition_of(), Some((255, 256)));
+        assert_eq!(p.epoch(), (1 << 14) - 1);
+    }
+
+    #[test]
+    fn invalidation_drops_only_stale_copies_of_the_column() {
+        let mut c = DataCache::new(1_000, CachePolicy::Lru);
+        c.insert(CacheKey::column_at(1, 0), 100);
+        c.insert(CacheKey::partition_at(1, 0, 2, 0), 50);
+        c.insert(CacheKey::column_at(2, 0), 200); // other column
+        c.set_pinned(&[(CacheKey::column_at(3, 0), 80)]);
+        let dropped = c.invalidate_column(1, 5);
+        assert_eq!(
+            dropped,
+            vec![
+                (CacheKey::column_at(1, 0), 100),
+                (CacheKey::partition_at(1, 0, 2, 0), 50),
+            ]
+        );
+        // Untouched columns survive — appends invalidate only what they
+        // touch.
+        assert!(c.contains(CacheKey::column_at(2, 0)));
+        assert!(c.contains(CacheKey::column_at(3, 0)));
+        assert_eq!(c.used(), 280);
+        assert_eq!(c.used(), c.accounted_bytes());
+        // Current-epoch copies are not stale.
+        c.insert(CacheKey::column_at(1, 5), 100);
+        assert!(c.invalidate_column(1, 5).is_empty());
+        assert!(c.contains(CacheKey::column_at(1, 5)));
     }
 
     #[test]

@@ -17,17 +17,17 @@ impl VirtualTime {
     pub const ZERO: VirtualTime = VirtualTime(0);
 
     /// From whole nanoseconds.
-    pub fn from_nanos(ns: u64) -> Self {
+    pub const fn from_nanos(ns: u64) -> Self {
         VirtualTime(ns)
     }
 
     /// From whole microseconds.
-    pub fn from_micros(us: u64) -> Self {
+    pub const fn from_micros(us: u64) -> Self {
         VirtualTime(us * 1_000)
     }
 
     /// From whole milliseconds.
-    pub fn from_millis(ms: u64) -> Self {
+    pub const fn from_millis(ms: u64) -> Self {
         VirtualTime(ms * 1_000_000)
     }
 
@@ -42,7 +42,7 @@ impl VirtualTime {
     }
 
     /// Whole nanoseconds.
-    pub fn as_nanos(self) -> u64 {
+    pub const fn as_nanos(self) -> u64 {
         self.0
     }
 

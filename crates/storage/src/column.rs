@@ -92,6 +92,46 @@ impl DictColumn {
         let codes = positions.iter().map(|&p| self.codes[p as usize]).collect();
         DictColumn { dict: Arc::clone(&self.dict), codes }
     }
+
+    /// Append `other`'s rows, remapping its codes into this column's
+    /// dictionary (growing it for unseen strings). Existing codes are
+    /// never rewritten — the row prefix stays byte-identical, which is
+    /// what epoch snapshots rely on.
+    pub fn append(&mut self, other: &DictColumn) {
+        let lookup: HashMap<&str, u32> = self
+            .dict
+            .iter()
+            .enumerate()
+            .map(|(i, s)| (s.as_str(), i as u32))
+            .collect();
+        // Dictionaries hold each distinct string once, so an incoming
+        // string missing from the base dict appears exactly once in
+        // `other.dict` — no need to track newly assigned codes.
+        let mut new_strings: Vec<String> = Vec::new();
+        let base = self.dict.len() as u32;
+        let mut remap: Vec<u32> = Vec::with_capacity(other.dict.len());
+        for s in other.dict.iter() {
+            let code = match lookup.get(s.as_str()) {
+                Some(&c) => c,
+                None => {
+                    let c = base + new_strings.len() as u32;
+                    new_strings.push(s.clone());
+                    c
+                }
+            };
+            remap.push(code);
+        }
+        drop(lookup);
+        if !new_strings.is_empty() {
+            Arc::make_mut(&mut self.dict).extend(new_strings);
+        }
+        self.codes.extend(other.codes.iter().map(|&c| remap[c as usize]));
+    }
+
+    /// Rows `lo..hi` as a new column sharing the dictionary.
+    pub fn slice(&self, lo: usize, hi: usize) -> DictColumn {
+        DictColumn { dict: Arc::clone(&self.dict), codes: self.codes[lo..hi].to_vec() }
+    }
 }
 
 /// A typed, fully materialized column.
@@ -176,6 +216,40 @@ impl ColumnData {
             ColumnData::Int64(v) => v[i] as u64,
             ColumnData::Float64(v) => v[i].to_bits(),
             ColumnData::Str(d) => d.codes()[i] as u64,
+        }
+    }
+
+    /// Append `other`'s rows to this column in place. String appends
+    /// remap the incoming codes into this column's dictionary; rows
+    /// already stored are never rewritten.
+    ///
+    /// # Panics
+    /// Panics on a type mismatch — callers (table appends) validate
+    /// schemas first.
+    pub fn append(&mut self, other: &ColumnData) {
+        match (self, other) {
+            (ColumnData::Int32(a), ColumnData::Int32(b)) => a.extend_from_slice(b),
+            (ColumnData::Int64(a), ColumnData::Int64(b)) => a.extend_from_slice(b),
+            (ColumnData::Float64(a), ColumnData::Float64(b)) => {
+                a.extend_from_slice(b)
+            }
+            (ColumnData::Str(a), ColumnData::Str(b)) => a.append(b),
+            (a, b) => panic!(
+                "append type mismatch: {} vs {}",
+                a.data_type(),
+                b.data_type()
+            ),
+        }
+    }
+
+    /// Rows `lo..hi` as a new column (string slices share the base
+    /// dictionary).
+    pub fn slice(&self, lo: usize, hi: usize) -> ColumnData {
+        match self {
+            ColumnData::Int32(v) => ColumnData::Int32(v[lo..hi].to_vec()),
+            ColumnData::Int64(v) => ColumnData::Int64(v[lo..hi].to_vec()),
+            ColumnData::Float64(v) => ColumnData::Float64(v[lo..hi].to_vec()),
+            ColumnData::Str(d) => ColumnData::Str(d.slice(lo, hi)),
         }
     }
 

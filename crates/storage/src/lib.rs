@@ -40,8 +40,11 @@ pub mod types;
 
 pub use column::{ColumnData, DictColumn};
 pub use compress::{compressed_size, CompressedColumn, ValueKind};
-pub use database::{ColumnId, CompressionReport, Database, TableCompression};
+pub use database::{
+    AppendRecord, ColumnId, CompressionReport, Database, DbEpoch, Snapshot,
+    TableCompression,
+};
 pub use error::StorageError;
 pub use stats::AccessStats;
-pub use table::{Field, Schema, Table};
+pub use table::{ColStats, Field, Schema, SegmentMeta, Table, DEFAULT_SEAL_ROWS};
 pub use types::{DataType, Value};

@@ -49,6 +49,10 @@ mod lane {
     pub const EXTRA_DEVICES: u64 = 10;
     /// Lanes per co-processor block: ops, h2d, d2h, heap, cache.
     pub const BLOCK: u64 = 5;
+    /// Feed activity (appends, segment seals, window fires; DESIGN.md
+    /// §16). Named lazily on the first feed event, so batch exports stay
+    /// byte-identical to earlier releases.
+    pub const FEED: u64 = 99;
     /// Session lanes start here: `tid = SESSIONS + session`.
     pub const SESSIONS: u64 = 100;
 }
@@ -215,6 +219,7 @@ pub fn chrome_trace_json(events: &[TraceEvent]) -> String {
     let mut sessions_seen: Vec<u32> = Vec::new();
     let mut devices_seen: Vec<DeviceId> = Vec::new();
     let mut shard_lane_named = false;
+    let mut feed_lane_named = false;
     // Fan-out instants by (query, merge task), so the merge can emit the
     // full shard span (fan-out → merge completion) as one `X` event.
     let mut fanouts: Vec<((u32, u32), u64)> = Vec::new();
@@ -611,6 +616,69 @@ pub fn chrome_trace_json(events: &[TraceEvent]) -> String {
                         &format!("staged ×{chunks}"),
                         "staging",
                         device_lane(device, Role::Heap),
+                        at.as_nanos(),
+                        &args,
+                    ),
+                );
+            }
+            TraceEvent::Append { table, rows, bytes, epoch, at } => {
+                if !feed_lane_named {
+                    feed_lane_named = true;
+                    push(&mut out, 0, 'M', thread_name(lane::FEED, "feed"));
+                }
+                let args = format!(
+                    "\"table\":{table},\"rows\":{rows},\"bytes\":{bytes},\"epoch\":{epoch}"
+                );
+                push(
+                    &mut out,
+                    at.as_nanos(),
+                    'i',
+                    instant_event(
+                        &format!("append +{rows} e{epoch}"),
+                        "feed",
+                        lane::FEED,
+                        at.as_nanos(),
+                        &args,
+                    ),
+                );
+            }
+            TraceEvent::EpochSeal { table, segment, rows, epoch, at } => {
+                if !feed_lane_named {
+                    feed_lane_named = true;
+                    push(&mut out, 0, 'M', thread_name(lane::FEED, "feed"));
+                }
+                let args = format!(
+                    "\"table\":{table},\"segment\":{segment},\"rows\":{rows},\"epoch\":{epoch}"
+                );
+                push(
+                    &mut out,
+                    at.as_nanos(),
+                    'i',
+                    instant_event(
+                        &format!("seal s{segment} e{epoch}"),
+                        "feed",
+                        lane::FEED,
+                        at.as_nanos(),
+                        &args,
+                    ),
+                );
+            }
+            TraceEvent::WindowFire { standing, tick, query, lo, hi, at } => {
+                if !feed_lane_named {
+                    feed_lane_named = true;
+                    push(&mut out, 0, 'M', thread_name(lane::FEED, "feed"));
+                }
+                let args = format!(
+                    "\"standing\":{standing},\"tick\":{tick},\"query\":{query},\"lo\":{lo},\"hi\":{hi}"
+                );
+                push(
+                    &mut out,
+                    at.as_nanos(),
+                    'i',
+                    instant_event(
+                        &format!("fire s{standing} w{tick}"),
+                        "feed",
+                        lane::FEED,
                         at.as_nanos(),
                         &args,
                     ),

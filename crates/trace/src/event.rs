@@ -174,6 +174,9 @@ pub enum PlaceReason {
     ShardSpread,
     /// The executor's abort recovery forced the CPU.
     AbortFallback,
+    /// A standing query's memoized first-fire placement was replayed
+    /// instead of re-estimating (recurring-footprint memoization, §16).
+    Recurring,
 }
 
 /// One structured trace event, stamped in virtual time.
@@ -448,6 +451,50 @@ pub enum TraceEvent {
         /// When the pipeline was set up (first chunk transfer request).
         at: VirtualTime,
     },
+    /// A feed batch committed: rows appended to a base table mid-run,
+    /// bumping the database epoch (streaming feeds, DESIGN.md §16).
+    Append {
+        /// Registration index of the table appended to.
+        table: u32,
+        /// Rows this batch added.
+        rows: u64,
+        /// Raw payload bytes the batch added.
+        bytes: u64,
+        /// The epoch the append committed under.
+        epoch: u32,
+        /// Commit instant.
+        at: VirtualTime,
+    },
+    /// An append crossed the seal threshold: an open segment sealed and
+    /// its stats were recomputed exactly.
+    EpochSeal {
+        /// Registration index of the table owning the segment.
+        table: u32,
+        /// Index of the sealed segment within the table.
+        segment: u32,
+        /// Rows in the sealed segment.
+        rows: u64,
+        /// The epoch the seal committed under.
+        epoch: u32,
+        /// Seal instant.
+        at: VirtualTime,
+    },
+    /// A standing query fired for one window tick: the registered plan
+    /// was re-submitted over the window's row range of the feed table.
+    WindowFire {
+        /// Standing-query registration index.
+        standing: u32,
+        /// Window tick number (0-based).
+        tick: u32,
+        /// Executor-wide query id of the submitted execution.
+        query: u32,
+        /// First feed-table row in the window.
+        lo: u64,
+        /// One past the last feed-table row in the window.
+        hi: u64,
+        /// Fire instant.
+        at: VirtualTime,
+    },
 }
 
 impl TraceEvent {
@@ -470,7 +517,10 @@ impl TraceEvent {
             | TraceEvent::ShardFanout { at, .. }
             | TraceEvent::QueryShed { at, .. }
             | TraceEvent::ModelUpdate { at, .. }
-            | TraceEvent::OpStaged { at, .. } => at,
+            | TraceEvent::OpStaged { at, .. }
+            | TraceEvent::Append { at, .. }
+            | TraceEvent::EpochSeal { at, .. }
+            | TraceEvent::WindowFire { at, .. } => at,
             TraceEvent::QueryDone { end, .. }
             | TraceEvent::OpSpan { end, .. }
             | TraceEvent::Transfer { end, .. }

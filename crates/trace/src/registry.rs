@@ -176,6 +176,16 @@ impl MetricsRegistry {
                     reg.bump("staged_ops", 1);
                     reg.bump("staged_chunks", chunks as u64);
                 }
+                TraceEvent::Append { rows, bytes, .. } => {
+                    reg.bump("appends", 1);
+                    reg.bump("append_rows", rows);
+                    reg.histogram("append_bytes").record(bytes);
+                }
+                TraceEvent::EpochSeal { .. } => reg.bump("epoch_seals", 1),
+                TraceEvent::WindowFire { lo, hi, .. } => {
+                    reg.bump("window_fires", 1);
+                    reg.histogram("window_rows").record(hi.saturating_sub(lo));
+                }
                 TraceEvent::QuerySubmit { .. }
                 | TraceEvent::CacheInsert { .. }
                 | TraceEvent::HeapAlloc { .. }

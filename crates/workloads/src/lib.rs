@@ -20,8 +20,10 @@ pub mod micro;
 pub mod partitioned;
 pub mod runner;
 pub mod ssb;
+pub mod ssb_stream;
 pub mod tpch;
 
 pub use runner::{RunPhase, RunReport, RunnerConfig, WorkloadRunner};
 pub use ssb::SsbQuery;
+pub use ssb_stream::{SsbStreamData, SsbStreamGen};
 pub use tpch::TpchQuery;

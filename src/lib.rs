@@ -29,10 +29,14 @@ pub mod prelude {
     };
     pub use robustq_engine::plan::PlanNode;
     pub use robustq_engine::{
-        CostModel, CostModelKind, EngineError, ExecOptions, Executor, ModelUpdate,
-        Placement, PlacementPolicy, RunMetrics, RunOutcome, StagingStats,
+        CostModel, CostModelKind, EngineError, ExecOptions, Executor, FeedEvent,
+        FeedSchedule, ModelUpdate, Placement, PlacementPolicy, RunMetrics, RunOutcome,
+        StagingStats, StandingQuery, WindowKind,
     };
-    pub use robustq_serve::{ArrivalProcess, QueryMix, ServeConfig, ServingReport, ServingRunner};
+    pub use robustq_serve::{
+        ArrivalProcess, QueryMix, ServeConfig, ServingReport, ServingRunner,
+        StreamingReport,
+    };
     pub use robustq_sim::{
         DeviceId, FaultPlan, RetryPolicy, SimConfig, Topology, VirtualTime,
     };

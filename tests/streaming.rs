@@ -1,0 +1,320 @@
+//! Streaming acceptance pins (DESIGN.md §16).
+//!
+//! The tentpole invariant: a standing query's per-window results are
+//! *value-identical* (sorted row sets) to a one-shot execution against a
+//! static database holding exactly the window's rows — under every
+//! placement strategy, fleet size K ∈ {1, 2, 4}, real-CPU worker counts
+//! 1 vs 8, and seeded fault plans. Placement, sharding, retries and
+//! faults shift virtual time; they must never change what a window
+//! returns.
+//!
+//! Alongside the identity matrix:
+//!
+//! * appends invalidate only the fed table's staged columns — dimension
+//!   residency (and its bytes) survives every batch;
+//! * ad-hoc open-loop arrivals interleave with window ticks through one
+//!   admission path, with conserved offered/completed/shed accounting
+//!   and `Append`/`WindowFire` visible in the trace registry.
+
+use std::collections::BTreeMap;
+
+use robustq::core::Strategy;
+use robustq::engine::ops::execute_plan;
+use robustq::engine::{ExecOptions, Executor, ParallelCtx, StandingQuery, WindowKind};
+use robustq::serve::{ArrivalProcess, QueryMix, ServeConfig, ServingRunner};
+use robustq::sim::{CacheSet, FaultPlan, FaultSpec, SimConfig, VirtualTime};
+use robustq::storage::Value;
+use robustq::workloads::ssb_stream::{SsbStreamData, SsbStreamGen};
+use robustq::workloads::SsbQuery;
+
+const PERIOD: VirtualTime = VirtualTime::from_millis(2);
+const TICKS: u32 = 4;
+const BATCHES: usize = 4;
+
+fn stream() -> SsbStreamData {
+    SsbStreamGen::new(1)
+        .with_rows_per_sf(800)
+        .with_batches(BATCHES)
+        .with_seal_rows(250)
+        .build()
+        .expect("stream build")
+}
+
+fn sim_k(k: usize) -> SimConfig {
+    SimConfig::default()
+        .with_gpu_memory(2 * 1024 * 1024)
+        .with_gpu_cache(1024 * 1024)
+        .with_coprocessors(k)
+}
+
+/// The two standing queries of the matrix: a flight-1 aggregate
+/// (tumbling) and a multi-join group-by (sliding, two periods long).
+fn standing(data: &SsbStreamData) -> Vec<StandingQuery> {
+    let mut tumbling = data
+        .standing_query(SsbQuery::Q1_1, WindowKind::Tumbling, PERIOD, TICKS)
+        .expect("Q1.1 plan");
+    tumbling.session = 1_000;
+    let mut sliding = data
+        .standing_query(
+            SsbQuery::Q3_3,
+            WindowKind::Sliding { length: VirtualTime::from_nanos(2 * PERIOD.as_nanos()) },
+            PERIOD,
+            TICKS,
+        )
+        .expect("Q3.3 plan");
+    sliding.session = 1_001;
+    vec![tumbling, sliding]
+}
+
+/// Expected `[lo, hi)` lineorder rows of standing query `s`'s tick `k`
+/// under the batch-per-period feed: batch `j` commits exactly when tick
+/// `j` closes, so tick `k` sees batches `0..=k`.
+fn expected_window(data: &SsbStreamData, s: usize, k: usize) -> (usize, usize) {
+    let hi = data.visible_after(k + 1);
+    let lo = match s {
+        0 => data.visible_after(k),           // tumbling: one period back
+        _ => data.visible_after(k.saturating_sub(1)), // sliding 2·period
+    };
+    (lo.min(hi), hi)
+}
+
+/// One-shot oracle: the standing query executed against a static
+/// database holding exactly the window's rows, as sorted row values.
+fn oracle(data: &SsbStreamData, s: usize, k: usize) -> Vec<Vec<Value>> {
+    let q = [SsbQuery::Q1_1, SsbQuery::Q3_3][s];
+    let (lo, hi) = expected_window(data, s, k);
+    let snap = data.window_db(lo, hi);
+    let plan = q.plan(&snap).expect("window plan");
+    execute_plan(&plan, &snap).expect("window oracle").sorted_rows()
+}
+
+/// All `(standing, tick) -> sorted rows` of one streaming run.
+fn run_windows(
+    data: &SsbStreamData,
+    strategy: Strategy,
+    k: usize,
+    workers: usize,
+    fault: FaultPlan,
+) -> BTreeMap<(usize, usize), Vec<Vec<Value>>> {
+    let executor = Executor::new(&data.db, sim_k(k));
+    let mut policy = strategy.build();
+    let opts = ExecOptions {
+        capture_results: true,
+        parallel: ParallelCtx::serial().with_workers(workers),
+        fault,
+        shard_ways: if k >= 2 { k } else { 0 },
+        ..ExecOptions::default()
+    };
+    let out = executor
+        .run_streaming(
+            Vec::new(),
+            data.feed_schedule(PERIOD, PERIOD),
+            standing(data),
+            policy.as_mut(),
+            &opts,
+        )
+        .expect("streaming run");
+    let expected: usize = 2 * TICKS as usize;
+    assert_eq!(out.outcomes.len(), expected, "{}: tick went missing", strategy.name());
+    out.outcomes
+        .into_iter()
+        .map(|o| {
+            let rows =
+                o.result.as_ref().expect("captured window result").sorted_rows();
+            ((o.session - 1_000, o.seq), rows)
+        })
+        .collect()
+}
+
+/// The tentpole matrix: every strategy × K ∈ {1, 2, 4} reproduces the
+/// static-snapshot oracle for every window of both standing queries.
+#[test]
+fn window_results_match_static_snapshots_under_all_strategies_and_k() {
+    let data = stream();
+    let oracles: BTreeMap<(usize, usize), Vec<Vec<Value>>> = (0..2usize)
+        .flat_map(|s| (0..TICKS as usize).map(move |k| ((s, k), ())))
+        .map(|((s, k), ())| ((s, k), oracle(&data, s, k)))
+        .collect();
+    // Windows must not be degenerate: every tick scans a non-empty,
+    // strictly growing prefix range.
+    for k in 0..TICKS as usize {
+        let (lo, hi) = expected_window(&data, 0, k);
+        assert!(hi > lo, "tick {k}: empty tumbling window");
+    }
+    for strategy in Strategy::ALL {
+        for k in [1usize, 2, 4] {
+            let got = run_windows(&data, strategy, k, 1, FaultPlan::disabled());
+            for ((s, tick), rows) in &got {
+                assert_eq!(
+                    rows,
+                    &oracles[&(*s, *tick)],
+                    "{} K={k}: standing {s} tick {tick} drifted from its \
+                     static-snapshot oracle",
+                    strategy.name()
+                );
+            }
+        }
+    }
+}
+
+/// Virtual time and window results are independent of real-CPU worker
+/// counts.
+#[test]
+fn streaming_runs_are_deterministic_across_worker_counts() {
+    let data = stream();
+    let one = run_windows(&data, Strategy::DataDrivenChopping, 2, 1, FaultPlan::disabled());
+    let eight =
+        run_windows(&data, Strategy::DataDrivenChopping, 2, 8, FaultPlan::disabled());
+    assert_eq!(one, eight, "worker count changed a window result");
+}
+
+/// Seeded fault plans (allocation failures, transfer faults, kernel
+/// aborts, mixed) perturb placement and retries, never window contents.
+#[test]
+fn window_results_survive_seeded_faults() {
+    let data = stream();
+    let baseline = run_windows(&data, Strategy::DataDrivenChopping, 2, 1, FaultPlan::disabled());
+    for seed in [1u64, 2, 3] {
+        let mut spec = FaultSpec::default();
+        match seed % 3 {
+            0 => spec.alloc_fail_prob = 0.2,
+            1 => {
+                spec.transfer_transient_prob = 0.1;
+                spec.kernel_abort_prob = 0.1;
+            }
+            _ => {
+                spec.alloc_fail_prob = 0.05;
+                spec.transfer_transient_prob = 0.05;
+                spec.kernel_abort_prob = 0.05;
+            }
+        }
+        let faulty =
+            run_windows(&data, Strategy::DataDrivenChopping, 2, 1, FaultPlan::new(seed, spec));
+        assert_eq!(baseline, faulty, "seed {seed}: faults changed a window result");
+    }
+}
+
+/// Appends drop only the fed table's staged columns: after the run every
+/// resident lineorder key carries the final epoch (stale copies are
+/// gone), and dimension residency — hence surviving resident bytes —
+/// outlives every batch.
+#[test]
+fn appends_invalidate_only_feed_columns() {
+    let data = stream();
+    let lineorder = data.db.table_position("lineorder").expect("lineorder registered");
+    let final_epoch = data.epochs.last().expect("at least one batch").0;
+    let executor = Executor::new(&data.db, sim_k(1));
+    let mut policy = Strategy::DataDrivenChopping.build();
+    let mut caches = CacheSet::for_topology(&sim_k(1).topology, sim_k(1).cache_policy);
+    let opts = ExecOptions { capture_results: false, ..ExecOptions::default() };
+    executor
+        .run_streaming_with_cache(
+            Vec::new(),
+            data.feed_schedule(PERIOD, PERIOD),
+            standing(&data),
+            policy.as_mut(),
+            &opts,
+            &mut caches,
+        )
+        .expect("streaming run");
+    let gpu = robustq::sim::DeviceId::Gpu;
+    let cache = caches.device(gpu);
+    assert!(cache.used() > 0, "nothing resident after the run");
+    let mut dim_resident = 0u64;
+    for key in cache.resident_keys() {
+        let id = robustq::storage::ColumnId(key.column_id());
+        if data.db.table_of(id) == lineorder {
+            assert_eq!(
+                key.epoch(),
+                final_epoch,
+                "stale lineorder copy (column {}, epoch {}) survived invalidation",
+                key.column_id(),
+                key.epoch()
+            );
+        } else {
+            assert_eq!(key.epoch(), 0, "never-appended column got a non-zero epoch");
+            dim_resident += 1;
+        }
+    }
+    assert!(
+        dim_resident > 0,
+        "append invalidation wiped dimension residency — it must only touch \
+         the fed table's columns"
+    );
+}
+
+/// Ad-hoc arrivals and window ticks share one admission path: offered
+/// accounting conserves, every tick completes, and the trace registry
+/// sees the feed (`appends`, `window_fires`, epoch-keyed evictions).
+#[test]
+fn streaming_interleaves_arrivals_and_window_ticks() {
+    let data = stream();
+    let queries: Vec<_> = [SsbQuery::Q1_2, SsbQuery::Q2_3]
+        .iter()
+        .map(|q| q.plan(&data.db).expect("plan"))
+        .collect();
+    let runner = ServingRunner::new(&data.db, sim_k(2));
+    let horizon = VirtualTime::from_nanos(PERIOD.as_nanos() * (TICKS as u64 + 1));
+    let cfg = ServeConfig::new(ArrivalProcess::Poisson { rate_qps: 2_000.0 }, horizon)
+        .with_sessions(8)
+        .with_seed(11)
+        .with_trace();
+    let report = runner
+        .run_streaming(
+            &QueryMix::uniform(queries),
+            data.feed_schedule(PERIOD, PERIOD),
+            standing(&data),
+            Strategy::DataDrivenChopping,
+            &cfg,
+        )
+        .expect("streaming serve");
+    assert!(report.offered_arrivals > 0, "horizon produced no arrivals");
+    assert_eq!(report.offered_ticks, 2 * TICKS as usize);
+    assert_eq!(
+        report.offered_arrivals + report.offered_ticks,
+        report.completed() + report.shed as usize,
+        "offered/completed/shed accounting drifted"
+    );
+    assert_eq!(report.window_outcomes.len(), 2 * TICKS as usize, "a tick was shed");
+    assert!(report.tick_p99() > VirtualTime::ZERO);
+    let registry = report.metrics_registry().expect("traced run");
+    assert_eq!(registry.counter("appends"), BATCHES as u64);
+    assert_eq!(registry.counter("window_fires"), 2 * TICKS as u64);
+    assert!(
+        registry.counter("cache_evictions") > 0,
+        "appends never invalidated a staged column"
+    );
+}
+
+/// A streaming run with an empty feed and no standing queries is the
+/// plain open-loop path — entry points must agree bit-for-bit.
+#[test]
+fn empty_feed_degenerates_to_open_loop() {
+    let data = stream();
+    let queries: Vec<_> =
+        [SsbQuery::Q1_1].iter().map(|q| q.plan(&data.db).expect("plan")).collect();
+    let mix = QueryMix::uniform(queries);
+    let cfg = ServeConfig::new(
+        ArrivalProcess::Uniform { rate_qps: 1_000.0 },
+        VirtualTime::from_millis(4),
+    )
+    .with_sessions(4);
+    let runner = ServingRunner::new(&data.db, sim_k(1));
+    let open = runner.run(&mix, Strategy::GpuPreferred, &cfg).expect("open loop");
+    let streaming = runner
+        .run_streaming(
+            &mix,
+            robustq::engine::FeedSchedule::default(),
+            Vec::new(),
+            Strategy::GpuPreferred,
+            &cfg,
+        )
+        .expect("degenerate streaming");
+    assert_eq!(open.metrics, streaming.metrics, "degenerate metrics drifted");
+    assert_eq!(
+        format!("{:?}", open.outcomes),
+        format!("{:?}", streaming.arrival_outcomes),
+        "degenerate outcomes drifted"
+    );
+    assert!(streaming.window_outcomes.is_empty());
+}
